@@ -1,0 +1,21 @@
+"""Ablation beyond the paper: the SM tuple cache disabled entirely
+(per-sub-batch forwarding) vs normal drain-based batching."""
+
+from conftest import regenerate
+
+from repro.experiments import ablations
+
+
+class _Module:
+    @staticmethod
+    def run(fast=False):
+        return ablations.run_batching_ablation(fast)
+
+    @staticmethod
+    def check_shapes(figures):
+        return ablations.check_batching_ablation(figures)
+
+
+def test_ablation_tuple_cache_batching(benchmark):
+    figures = regenerate(benchmark, _Module)
+    assert "ablation_cache" in figures

@@ -1,0 +1,21 @@
+"""Ablation beyond the paper: memory pools and lazy deserialization
+toggled independently (the paper only reports both-on/both-off)."""
+
+from conftest import regenerate
+
+from repro.experiments import ablations
+
+
+class _Module:
+    @staticmethod
+    def run(fast=False):
+        return ablations.run_optimization_decomposition(fast)
+
+    @staticmethod
+    def check_shapes(figures):
+        return ablations.check_optimization_decomposition(figures)
+
+
+def test_ablation_optimization_decomposition(benchmark):
+    figures = regenerate(benchmark, _Module)
+    assert "ablation_opt" in figures

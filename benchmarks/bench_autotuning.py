@@ -1,0 +1,12 @@
+"""Extension benchmark: the paper's Section V-B future work — online
+auto-tuning of max-spout-pending and cache-drain-frequency from
+real-time observations."""
+
+from conftest import regenerate
+
+from repro.experiments import autotuning as module
+
+
+def test_autotuning_recovers_bad_configuration(benchmark):
+    figures = regenerate(benchmark, module)
+    assert "autotune" in figures

@@ -1,0 +1,15 @@
+"""Regenerates Figures 2, 3 and 4: Heron vs Storm WordCount.
+
+Fig. 2 (throughput with acks), Fig. 3 (latency with acks) and Fig. 4
+(throughput without acks) come from the same head-to-head runs, exactly
+as in the paper's Section VI-A.
+"""
+
+from conftest import regenerate
+
+from repro.experiments import fig02_04_heron_vs_storm as module
+
+
+def test_fig02_03_04_heron_vs_storm(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"fig2", "fig3", "fig4"}

@@ -1,0 +1,15 @@
+"""Regenerates Figures 5-9: Stream Manager optimization impact.
+
+Throughput / throughput-per-core with and without acks, plus latency,
+with the Section V-A optimizations (memory pools + lazy deserialization)
+toggled together.
+"""
+
+from conftest import regenerate
+
+from repro.experiments import fig05_09_sm_optimizations as module
+
+
+def test_fig05_to_09_sm_optimizations(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"fig5", "fig6", "fig7", "fig8", "fig9"}

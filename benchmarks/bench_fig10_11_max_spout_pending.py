@@ -1,0 +1,10 @@
+"""Regenerates Figures 10-11: the max-spout-pending tuning sweep."""
+
+from conftest import regenerate
+
+from repro.experiments import fig10_11_max_spout_pending as module
+
+
+def test_fig10_11_max_spout_pending(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"fig10", "fig11"}

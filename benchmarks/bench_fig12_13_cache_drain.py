@@ -1,0 +1,10 @@
+"""Regenerates Figures 12-13: the cache-drain-frequency tuning sweep."""
+
+from conftest import regenerate
+
+from repro.experiments import fig12_13_cache_drain as module
+
+
+def test_fig12_13_cache_drain(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"fig12", "fig13"}

@@ -1,0 +1,11 @@
+"""Regenerates Figure 14: the Kafka->filter->aggregate->Redis
+resource-consumption breakdown."""
+
+from conftest import regenerate
+
+from repro.experiments import fig14_resource_breakdown as module
+
+
+def test_fig14_resource_breakdown(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"fig14"}

@@ -1,0 +1,10 @@
+"""Regenerates the Section III-B comparison: micro-batch latency floor."""
+
+from conftest import regenerate
+
+from repro.experiments import microbatch_latency as module
+
+
+def test_microbatch_latency_floor(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"microbatch"}

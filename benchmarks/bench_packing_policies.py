@@ -1,0 +1,10 @@
+"""Regenerates the Section IV-A packing-policy trade-off tables."""
+
+from conftest import regenerate
+
+from repro.experiments import packing_policies as module
+
+
+def test_packing_policy_tradeoff(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"containers", "cost", "balance"}

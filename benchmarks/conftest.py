@@ -1,0 +1,56 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one group of paper figures (the paper
+derives grouped figures from the same runs, e.g. Figs. 2-3 from the same
+acked WordCount executions). A benchmark:
+
+* runs the experiment module's ``run()`` at the paper's full parameters,
+* prints the same series the paper plots,
+* asserts the paper's qualitative shape checks.
+
+Set ``REPRO_BENCH_FAST=1`` to run reduced configurations (CI smoke).
+"""
+
+import os
+import pathlib
+import re
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def _save_csv(key: str, figure) -> None:
+    from repro.experiments.svg import save_svg
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", key.lower()).strip("_")
+    (RESULTS_DIR / f"{slug}.csv").write_text(figure.to_csv())
+    (RESULTS_DIR / f"{slug}.txt").write_text(figure.format_table())
+    save_svg(figure, RESULTS_DIR / f"{slug}.svg")
+
+
+def regenerate(benchmark, module) -> dict:
+    """Time one full regeneration of a figure module and print it.
+
+    The measured series are also written as CSV under
+    ``benchmarks/results/`` for plotting.
+    """
+    fast = fast_mode()
+    figures = benchmark.pedantic(lambda: module.run(fast=fast),
+                                 rounds=1, iterations=1)
+    print()
+    for key, figure in figures.items():
+        figure.print()
+        _save_csv(key, figure)
+    checks = module.check_shapes(figures)
+    for check in checks:
+        print(check)
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "shape checks failed: " + \
+        "; ".join(str(c) for c in failed)
+    return figures

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Online auto-tuning — the paper's Section V-B future work, implemented.
+
+"As part of future work, we plan to automate the process of configuring
+the values for these parameters based on real-time observations of the
+workload performance."
+
+We start WordCount at a deliberately bad configuration — a 1ms cache
+drain interval (flush-overhead regime of Fig. 12) and a 100K pending
+window (queueing regime of Fig. 11) — attach the AutoTuner, and watch it
+hill-climb the drain interval and steer the pending window to a 60ms
+latency SLO.
+
+Run:  python examples/autotuning.py
+"""
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core import HeronCluster
+from repro.tuning import AutoTuner
+from repro.workloads import wordcount_topology
+
+
+def main():
+    config = Config()
+    config.set(Keys.BATCH_SIZE, 1000)
+    config.set(Keys.SAMPLE_CAP, 16)
+    config.set(Keys.ACKING_ENABLED, True)
+    config.set(Keys.ACK_TRACKING, "counted")
+    config.set(Keys.MAX_SPOUT_PENDING, 100_000)       # far too large
+    config.set(Keys.CACHE_DRAIN_FREQUENCY_MS, 1.0)    # far too small
+
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(
+        wordcount_topology(4, corpus_size=1000, config=config))
+    handle.wait_until_running()
+
+    print("starting from a deliberately bad configuration:")
+    print("  cache drain frequency : 1.0 ms   (flush-overhead regime)")
+    print("  max spout pending     : 100,000  (queueing regime)")
+    print("  latency SLO           : 60 ms\n")
+
+    tuner = AutoTuner(handle, interval=0.5, latency_slo=0.060).attach()
+    cluster.run_for(15.0)
+    tuner.detach()
+
+    print(tuner.report.describe())
+    print(f"\nfinal settings: drain {tuner.report.final_drain_ms:.1f}ms, "
+          f"pending {tuner.report.final_max_pending:,}")
+    handle.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Real-time machine learning — another intro-motivated Heron workload.
+
+An online click-prediction pipeline:
+
+* ``impressions`` — a spout emitting ad impressions with 4 numeric
+  features and a (hidden) true click probability;
+* ``train``      — bolts learning a logistic-regression model by online
+  SGD, each on its shuffle-grouped shard of the stream;
+* ``score``      — a bolt holding the latest averaged model, scoring a
+  held-out probe set every second (tick tuples) and reporting accuracy.
+
+Model averaging flows through the topology itself: trainers broadcast
+their weights downstream on a dedicated stream every 0.5s windows.
+
+Run:  python examples/realtime_ml.py
+"""
+
+import math
+import random
+
+from repro.api import Bolt, Spout, TopologyBuilder, is_tick
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.core import HeronCluster
+
+TRUE_WEIGHTS = [2.0, -1.5, 0.7, 3.0]
+TRUE_BIAS = -0.6
+FEATURES = len(TRUE_WEIGHTS)
+LEARNING_RATE = 0.05
+
+
+def sigmoid(z):
+    """Numerically safe logistic function."""
+    if z < -30:
+        return 0.0
+    if z > 30:
+        return 1.0
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+def make_example(rng):
+    """One labeled impression from the hidden true model."""
+    features = [rng.uniform(-1, 1) for _ in range(FEATURES)]
+    p_click = sigmoid(sum(w * x for w, x in zip(TRUE_WEIGHTS, features))
+                      + TRUE_BIAS)
+    label = 1 if rng.random() < p_click else 0
+    return features, label
+
+
+class ImpressionSpout(Spout):
+    """Emits labeled ad impressions."""
+
+    outputs = {"default": ["features", "label"]}
+
+    def open(self, context, collector):
+        self._rng = random.Random(1000 + context.task_id)
+
+    def next_tuple(self, collector):
+        features, label = make_example(self._rng)
+        collector.emit([features, label])
+
+
+class SgdTrainerBolt(Bolt):
+    """Online logistic-regression SGD on this task's stream shard;
+    publishes its weights downstream twice a second."""
+
+    outputs = {"default": ["task", "weights", "bias", "examples"]}
+    tick_frequency = 0.5
+
+    def __init__(self):
+        super().__init__()
+        self.weights = [0.0] * FEATURES
+        self.bias = 0.0
+        self.examples_seen = 0
+        self._task_id = 0
+
+    def prepare(self, context, collector):
+        self._task_id = context.task_id
+
+    def execute(self, tup, collector):
+        if is_tick(tup):
+            collector.emit([self._task_id, list(self.weights), self.bias,
+                            self.examples_seen])
+            return
+        features, label = tup[0], tup[1]
+        prediction = sigmoid(sum(w * x for w, x in
+                                 zip(self.weights, features)) + self.bias)
+        gradient = prediction - label
+        for i in range(FEATURES):
+            self.weights[i] -= LEARNING_RATE * gradient * features[i]
+        self.bias -= LEARNING_RATE * gradient
+        self.examples_seen += 1
+
+
+class ModelScorerBolt(Bolt):
+    """Averages trainer models (weighted by examples seen) and evaluates
+    on a fixed probe set."""
+
+    PROBE_SIZE = 500
+
+    def __init__(self):
+        super().__init__()
+        self._models = {}
+        self.history = []
+        rng = random.Random(7)
+        self._probe = [make_example(rng) for _ in range(self.PROBE_SIZE)]
+
+    def execute(self, tup, collector):
+        task, weights, bias, examples = tup[0], tup[1], tup[2], tup[3]
+        self._models[task] = (weights, bias, examples)
+        self._evaluate()
+
+    def _evaluate(self):
+        models = [m for m in self._models.values() if m[2] > 0]
+        if not models:
+            return
+        total = sum(m[2] for m in models)
+        avg_weights = [sum(m[0][i] * m[2] for m in models) / total
+                       for i in range(FEATURES)]
+        avg_bias = sum(m[1] * m[2] for m in models) / total
+        correct = 0
+        for features, label in self._probe:
+            p = sigmoid(sum(w * x for w, x in zip(avg_weights, features))
+                        + avg_bias)
+            correct += int((p >= 0.5) == (label == 1))
+        self.history.append((total, correct / self.PROBE_SIZE,
+                             list(avg_weights)))
+
+
+def main():
+    builder = TopologyBuilder("realtime-ml")
+    builder.set_spout("impressions", ImpressionSpout(), parallelism=2)
+    builder.set_bolt("train", SgdTrainerBolt(), parallelism=3) \
+        .shuffle_grouping("impressions")
+    builder.set_bolt("score", ModelScorerBolt(), parallelism=1) \
+        .global_grouping("train")
+    builder.set_config(Keys.BATCH_SIZE, 50)
+    topology = builder.build()
+    print(topology.describe(), "\n")
+
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    cluster.run_for(5.0)
+
+    scorer = handle._runtime.instances[("score", 0)].user
+    print("online model quality over time "
+          "(examples trained, probe accuracy):")
+    step = max(1, len(scorer.history) // 8)
+    for examples, accuracy, weights in scorer.history[::step]:
+        bar = "#" * int(accuracy * 40)
+        print(f"  {examples:>9,.0f}  {accuracy:6.1%}  {bar}")
+    final = scorer.history[-1]
+    print(f"\nfinal probe accuracy: {final[1]:.1%} after "
+          f"{final[0]:,.0f} examples")
+    print(f"learned weights: {[round(w, 2) for w in final[2]]}")
+    print(f"true weights   : {TRUE_WEIGHTS}")
+    handle.kill()
+
+
+if __name__ == "__main__":
+    main()

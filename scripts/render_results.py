@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Render the figure tables from the benchmark CSV artifacts.
+
+``pytest benchmarks/`` saves every reproduced figure's series under
+``benchmarks/results/*.csv`` (plus an SVG chart). This script re-renders
+those series as the aligned tables the paper plots — handy because
+pytest captures the in-test prints unless run with ``-s``.
+
+Usage:  python scripts/render_results.py [results_dir]
+"""
+
+import csv
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.experiments.series import Figure  # noqa: E402
+
+
+def load_figure(path: pathlib.Path) -> Figure:
+    """Rebuild a Figure from one results CSV."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        x_label, _series, y_label = header[0], header[1], header[2]
+        figure = Figure(path.stem, "(from benchmark artifacts)",
+                        x_label, y_label)
+        for x_value, series, y_value in reader:
+            figure.add_point(series, float(x_value), float(y_value))
+    return figure
+
+
+def main() -> int:
+    """Render every CSV in the results directory as a table."""
+    results_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    paths = sorted(results_dir.glob("*.csv"))
+    if not paths:
+        print(f"no CSV artifacts under {results_dir}; run "
+              f"'pytest benchmarks/ --benchmark-only' first",
+              file=sys.stderr)
+        return 1
+    for path in paths:
+        print(load_figure(path).format_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

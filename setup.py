@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(``bdist_wheel``) are unavailable; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

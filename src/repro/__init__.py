@@ -1,0 +1,19 @@
+"""repro — a reproduction of *Twitter Heron: Towards Extensible Streaming
+Engines* (ICDE 2017).
+
+The package implements Heron's modular streaming-engine architecture in
+Python — topology API, Resource Manager (pluggable packing policies),
+Scheduler (pluggable scheduling frameworks), State Manager, Topology
+Master, Stream Manager (with the paper's communication-layer
+optimizations), Metrics Manager, and Heron Instances — together with a
+Storm-architecture baseline and a micro-batch baseline, all running on a
+deterministic discrete-event cluster simulator.
+
+See ``examples/quickstart.py`` for a complete runnable example, DESIGN.md
+for the architecture, and EXPERIMENTS.md for the paper-figure
+reproductions.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

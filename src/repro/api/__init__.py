@@ -1,0 +1,70 @@
+"""The user-facing topology API.
+
+A Heron topology is a directed graph of **spouts** (sources) and **bolts**
+(operators). Users subclass :class:`Spout` / :class:`Bolt`, wire them with
+a :class:`TopologyBuilder`, pick stream *groupings* for each edge, and
+submit the built :class:`Topology` to an engine (Heron, or one of the
+baselines — the same topology object runs on all engines, which is what
+makes the head-to-head figures apples-to-apples).
+
+Example::
+
+    builder = TopologyBuilder("wordcount")
+    builder.set_spout("word", WordSpout(), parallelism=25)
+    builder.set_bolt("count", CountBolt(), parallelism=25) \\
+           .fields_grouping("word", fields=["word"])
+    topology = builder.build()
+"""
+
+from repro.api.component import (Bolt, Component, ComponentContext,
+                                 Spout, TICK_STREAM, is_tick)
+from repro.api.config_keys import TopologyConfigKeys
+from repro.api.grouping import (
+    AllGrouping,
+    CustomGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    NoneGrouping,
+    PartialKeyGrouping,
+    ShuffleGrouping,
+)
+from repro.api.topology import (
+    BoltSpec,
+    InputSpec,
+    SpoutSpec,
+    Topology,
+    TopologyBuilder,
+)
+from repro.api.tuples import Batch, Tuple, Values
+from repro.api.windowing import TumblingWindowBolt, Window
+
+__all__ = [
+    "AllGrouping",
+    "Batch",
+    "Bolt",
+    "BoltSpec",
+    "Component",
+    "ComponentContext",
+    "CustomGrouping",
+    "DirectGrouping",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "Grouping",
+    "InputSpec",
+    "NoneGrouping",
+    "PartialKeyGrouping",
+    "ShuffleGrouping",
+    "Spout",
+    "TICK_STREAM",
+    "SpoutSpec",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyConfigKeys",
+    "TumblingWindowBolt",
+    "Tuple",
+    "Values",
+    "Window",
+    "is_tick",
+]

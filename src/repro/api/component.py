@@ -1,0 +1,161 @@
+"""Spout and Bolt base classes — the user-code contract.
+
+A Heron Instance hosts exactly one spout or bolt task. The engine drives
+it through this interface:
+
+* spouts: ``open`` once, then ``next_tuple``/``next_batch`` repeatedly,
+  plus ``ack``/``fail`` callbacks when acking is enabled, ``close`` at end;
+* bolts: ``prepare`` once, then ``execute``/``execute_batch`` per
+  delivery, ``close`` at end.
+
+Batch methods have default implementations in terms of the per-tuple
+methods, so simple components implement only the per-tuple form; the
+high-rate workloads override the batch form for speed.
+
+User CPU cost: by default the engine charges the cost-model's per-tuple
+user cost. A component can declare heavier logic by overriding
+:attr:`Component.user_cost_per_tuple` (seconds per tuple) — the Fig. 14
+topology uses this to model its filter/aggregate work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Protocol, Sequence
+
+from repro.api.tuples import DEFAULT_STREAM, Batch, Tuple, Values
+from repro.common.config import Config
+
+
+@dataclass
+class ComponentContext:
+    """What a task knows about itself and its surroundings."""
+
+    topology_name: str
+    component: str
+    task_id: int
+    parallelism: int
+    config: Config
+
+    def now(self) -> float:
+        """Current (simulated) time; overridden by the engine."""
+        return 0.0
+
+
+class Collector(Protocol):
+    """Where user code emits tuples. Implemented by each engine."""
+
+    def emit(self, values: Values, stream: str = DEFAULT_STREAM,
+             anchors: Optional[List[int]] = None) -> None:
+        """Emit one tuple (anchored to upstream tuples when acking)."""
+        ...
+
+    def emit_batch(self, values: List[Values], count: Optional[int] = None,
+                   stream: str = DEFAULT_STREAM) -> None:
+        """Emit many tuples at once; ``count`` defaults to ``len(values)``."""
+        ...
+
+    def ack(self, tup: Tuple) -> None:
+        """Mark an input tuple fully processed (bolts, acking on)."""
+        ...
+
+    def fail(self, tup: Tuple) -> None:
+        """Mark an input tuple failed (triggers spout ``fail``)."""
+        ...
+
+
+class Component:
+    """Common base for spouts and bolts."""
+
+    #: Declared output field names per stream; subclasses may override or
+    #: populate via ``declare_output``.
+    outputs: dict = {}
+
+    #: Extra user-logic CPU seconds charged per processed tuple (on top of
+    #: the engine's dispatch cost). Override for compute-heavy components.
+    user_cost_per_tuple: float = 0.0
+
+    def __init__(self) -> None:
+        if not self.outputs:
+            self.outputs = {DEFAULT_STREAM: []}
+
+    def declare_output(self, fields: Sequence[str],
+                       stream: str = DEFAULT_STREAM) -> None:
+        """Declare the output schema of one stream."""
+        if self.outputs is type(self).outputs:
+            self.outputs = dict(type(self).outputs)
+        self.outputs[stream] = list(fields)
+
+    def output_fields(self, stream: str = DEFAULT_STREAM) -> List[str]:
+        """Declared output field names of one stream."""
+        return list(self.outputs.get(stream, []))
+
+    def close(self) -> None:
+        """Called when the task shuts down."""
+
+
+class Spout(Component):
+    """A source of tuples."""
+
+    def open(self, context: ComponentContext, collector: Collector) -> None:
+        """One-time initialization before any ``next_tuple`` call."""
+
+    def next_tuple(self, collector: Collector) -> None:
+        """Emit zero or more tuples. Called repeatedly by the engine."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither next_tuple nor "
+            f"next_batch")
+
+    def next_batch(self, collector: Collector, max_tuples: int) -> int:
+        """Emit up to ``max_tuples`` tuples; return how many were emitted.
+
+        Default: loop ``next_tuple``, assuming each call emits one tuple
+        (engines use the collector's own counting, so over/under emitting
+        is safe, just less precise for pacing).
+        """
+        for i in range(max_tuples):
+            self.next_tuple(collector)
+        return max_tuples
+
+    def ack(self, tuple_id: int) -> None:
+        """A tuple emitted with this id was fully processed."""
+
+    def fail(self, tuple_id: int) -> None:
+        """A tuple emitted with this id failed or timed out."""
+
+
+#: Stream name of engine-generated tick tuples.
+TICK_STREAM = "__tick"
+
+
+def is_tick(tup: Tuple) -> bool:
+    """True for engine-generated tick tuples (see Bolt.tick_frequency)."""
+    return tup.stream == TICK_STREAM
+
+
+class Bolt(Component):
+    """An operator over input streams."""
+
+    #: If set (> 0), the engine delivers a *tick tuple* on stream
+    #: ``__tick`` every this many (simulated) seconds — the Storm/Heron
+    #: mechanism windowed bolts use for time-based triggers. Check inputs
+    #: with :func:`is_tick`.
+    tick_frequency: Optional[float] = None
+
+    def prepare(self, context: ComponentContext, collector: Collector) -> None:
+        """One-time initialization before any ``execute`` call."""
+
+    def execute(self, tup: Tuple, collector: Collector) -> None:
+        """Process one input tuple."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither execute nor "
+            f"execute_batch")
+
+    def execute_batch(self, batch: Batch, collector: Collector) -> None:
+        """Process a weighted batch. Default: loop ``execute`` per tuple.
+
+        Engines call this on every delivery; performance-oriented bolts
+        override it and honor :attr:`Batch.weight`.
+        """
+        for tup in batch.tuples():
+            self.execute(tup, collector)

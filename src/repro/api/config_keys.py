@@ -1,0 +1,133 @@
+"""Topology-level configuration keys.
+
+These are the knobs a user sets at submission time ("either at topology
+submission time through the command line or using special configuration
+files" — Section II). Module-specific keys (packing, scheduling, storm)
+are declared next to their modules; everything funnels through the same
+:class:`~repro.common.config.Config`.
+
+The two knobs of Section V-B — ``max_spout_pending`` and
+``cache_drain_frequency_ms`` — live here; Figures 10–13 sweep them.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ConfigKey, ConfigSchema
+from repro.common.units import GB, MB
+
+SCHEMA = ConfigSchema("topology")
+
+
+def _declare(*args, **kwargs) -> ConfigKey:
+    return SCHEMA.declare(ConfigKey(*args, **kwargs))
+
+
+class TopologyConfigKeys:
+    """Namespace of topology configuration keys."""
+
+    ACKING_ENABLED = _declare(
+        "topology.acking.enabled", default=False, value_type=bool,
+        description="Track tuples end-to-end and deliver ack/fail "
+                    "callbacks to spouts.")
+
+    MAX_SPOUT_PENDING = _declare(
+        "topology.max.spout.pending", default=20_000, value_type=int,
+        validator=lambda v: v > 0,
+        description="Maximum tuples emitted-but-not-yet-acked per spout "
+                    "task (Section V-B; swept in Figs. 10-11). Only "
+                    "enforced when acking is enabled.")
+
+    MESSAGE_TIMEOUT_SECS = _declare(
+        "topology.message.timeout.secs", default=30.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Tuples not acked within this window are failed.")
+
+    ACK_TRACKING = _declare(
+        "topology.ack.tracking", default="exact", value_type=str,
+        validator=lambda v: v in ("exact", "counted"),
+        description="'exact' tracks individual tuple ids through the XOR "
+                    "tuple tree; 'counted' tracks per-batch counts only "
+                    "(equivalent aggregate behaviour, used for very "
+                    "high-rate sweeps).")
+
+    # --- per-instance resources (consumed by the Resource Manager) --------
+    INSTANCE_CPU = _declare(
+        "heron.instance.cpu", default=1.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="CPU cores requested per Heron Instance.")
+
+    INSTANCE_RAM = _declare(
+        "heron.instance.ram", default=1 * GB, value_type=int,
+        validator=lambda v: v > 0,
+        description="RAM bytes requested per Heron Instance.")
+
+    INSTANCE_DISK = _declare(
+        "heron.instance.disk", default=1 * GB, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Disk bytes requested per Heron Instance.")
+
+    INSTANCES_PER_CONTAINER = _declare(
+        "heron.instances.per.container", default=4, value_type=int,
+        validator=lambda v: v > 0,
+        description="Target instance count per container (round-robin "
+                    "packing uses this to size the container count).")
+
+    CONTAINER_CPU_PADDING = _declare(
+        "heron.container.cpu.padding", default=1.0, value_type=float,
+        validator=lambda v: v >= 0,
+        description="Extra CPU per container for the Stream Manager and "
+                    "Metrics Manager processes.")
+
+    CONTAINER_RAM_PADDING = _declare(
+        "heron.container.ram.padding", default=512 * MB, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Extra RAM per container for SM/MM.")
+
+    # --- Stream Manager (Section V) ----------------------------------------
+    CACHE_ENABLED = _declare(
+        "heron.streammgr.cache.enabled", default=True, value_type=bool,
+        description="Use the SM tuple cache (batch per destination, "
+                    "flush on the drain timer). Disabling it forwards "
+                    "every routed sub-batch immediately — the batching "
+                    "ablation of DESIGN.md §4.")
+
+    CACHE_DRAIN_FREQUENCY_MS = _declare(
+        "heron.streammgr.cache.drain.frequency.ms", default=10.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="How often the SM tuple cache is flushed "
+                    "(Section V-B; swept in Figs. 12-13).")
+
+    MEMPOOL_ENABLED = _declare(
+        "heron.streammgr.mempool.enabled", default=True, value_type=bool,
+        description="Reuse pooled message objects in the SM instead of "
+                    "allocating per tuple (Section V-A optimization).")
+
+    LAZY_DESERIALIZATION = _declare(
+        "heron.streammgr.lazy.deserialization", default=True,
+        value_type=bool,
+        description="Parse only the destination field of routed tuples "
+                    "and forward payloads serialized "
+                    "(Section V-A optimization).")
+
+    BATCH_SIZE = _declare(
+        "heron.streammgr.batch.size", default=500, value_type=int,
+        validator=lambda v: v > 0,
+        description="Tuples per instance→SM TupleSet batch.")
+
+    SAMPLE_CAP = _declare(
+        "heron.streammgr.sample.cap", default=0, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Max concrete tuple values carried per batch; 0 means "
+                    "full fidelity (every value carried). Performance "
+                    "sweeps set a small cap; see DESIGN.md §5.")
+
+    BACKPRESSURE_HIGH_WATERMARK = _declare(
+        "heron.streammgr.backpressure.high.watermark", default=120,
+        value_type=int, validator=lambda v: v > 0,
+        description="Queue length above which the SM initiates spout "
+                    "backpressure.")
+
+    BACKPRESSURE_LOW_WATERMARK = _declare(
+        "heron.streammgr.backpressure.low.watermark", default=40,
+        value_type=int, validator=lambda v: v >= 0,
+        description="Queue length below which backpressure is released.")

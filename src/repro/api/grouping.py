@@ -1,0 +1,378 @@
+"""Stream groupings: how tuples on an edge are partitioned across tasks.
+
+A :class:`Grouping` is a declarative spec attached to a topology edge.
+At runtime each router (a Heron Stream Manager, or a Storm executor)
+calls :meth:`Grouping.create` to get a mutable :class:`GroupingInstance`
+whose :meth:`~GroupingInstance.split` partitions a batch of tuples among
+destination tasks. ``split`` works on both full-fidelity batches and
+sampled batches (where ``count > len(values)``): concrete values are
+routed exactly, and the represented count is allocated proportionally
+with deterministic largest-remainder rounding.
+
+Provided groupings (matching Storm/Heron semantics):
+
+* :class:`ShuffleGrouping` — round-robin load balancing,
+* :class:`FieldsGrouping` — hash partitioning on a subset of fields
+  (the WordCount topology's ``word`` key),
+* :class:`AllGrouping` — broadcast to every task,
+* :class:`GlobalGrouping` — everything to the lowest task id,
+* :class:`NoneGrouping` — like shuffle (engine may colocate),
+* :class:`CustomGrouping` / :class:`DirectGrouping` — user routing logic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.tuples import Values, fields_index
+from repro.common.errors import TopologyError
+
+#: One routed share: (task_id, concrete values, tuple ids, represented count).
+Route = Tuple[int, List[Values], List[int], int]
+
+
+def stable_hash(value: object) -> int:
+    """A deterministic, process-independent hash (Python's ``hash`` is
+    salted per process for strings, which would break replayability)."""
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value & 0xFFFFFFFF
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode())
+    if isinstance(value, (tuple, list)):
+        acc = 2166136261
+        for item in value:
+            acc = (acc * 16777619) ^ stable_hash(item)
+            acc &= 0xFFFFFFFF
+        return acc
+    return zlib.crc32(repr(value).encode())
+
+
+def allocate_proportionally(weights: Sequence[float], total: int) -> List[int]:
+    """Split ``total`` units across bins ∝ ``weights`` (largest remainder).
+
+    Deterministic; the result sums exactly to ``total``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0: {total}")
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        raise ValueError("weights must have a positive sum")
+    raw = [w * total / weight_sum for w in weights]
+    floors = [int(r) for r in raw]
+    shortfall = total - sum(floors)
+    # Hand the remaining units to the largest fractional parts; break ties
+    # by index for determinism.
+    order = sorted(range(len(raw)), key=lambda i: (-(raw[i] - floors[i]), i))
+    for i in order[:shortfall]:
+        floors[i] += 1
+    return floors
+
+
+class GroupingInstance:
+    """Mutable per-edge routing state created by :meth:`Grouping.create`."""
+
+    def __init__(self, task_ids: Sequence[int]) -> None:
+        if not task_ids:
+            raise TopologyError("grouping needs at least one destination task")
+        self.task_ids = list(task_ids)
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        """Partition a batch among destination tasks.
+
+        ``values`` are the concrete (possibly sampled) tuples; ``tuple_ids``
+        is empty or aligned with ``values``; ``count`` is the total number
+        of simulated tuples the batch represents (>= len(values)).
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+    def _split_by_choice(self, values: List[Values], tuple_ids: List[int],
+                         count: int,
+                         choose: Callable[[Values], int]) -> List[Route]:
+        """Route concrete values via ``choose``; allocate count by the
+        sample proportions (exact when the batch is full fidelity)."""
+        per_task_values: Dict[int, List[Values]] = {}
+        per_task_ids: Dict[int, List[int]] = {}
+        ids = tuple_ids if tuple_ids else None
+        for index, value in enumerate(values):
+            task = choose(value)
+            per_task_values.setdefault(task, []).append(value)
+            if ids is not None:
+                per_task_ids.setdefault(task, []).append(ids[index])
+        if not per_task_values:
+            return []
+        tasks = sorted(per_task_values)
+        shares = allocate_proportionally(
+            [len(per_task_values[t]) for t in tasks], count)
+        routes = []
+        for task, share in zip(tasks, shares):
+            if share == 0 and not per_task_values[task]:
+                continue
+            routes.append((task, per_task_values[task],
+                           per_task_ids.get(task, []),
+                           max(share, len(per_task_values[task]))))
+        return routes
+
+
+class Grouping:
+    """Declarative grouping spec; ``create`` instantiates routing state."""
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        """Instantiate routing state for one edge (source fields + destination tasks)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description for topology listings."""
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Shuffle / None
+# ---------------------------------------------------------------------------
+
+class _ShuffleInstance(GroupingInstance):
+    def __init__(self, task_ids: Sequence[int]) -> None:
+        super().__init__(task_ids)
+        self._next = 0
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        tasks = self.task_ids
+        n = len(tasks)
+        if count <= 0:
+            return []
+        base, remainder = divmod(count, n)
+        routes: List[Route] = []
+        # Rotate which tasks receive the remainder so long-run load is even.
+        start = self._next
+        self._next = (self._next + remainder) % n
+        extra = {tasks[(start + i) % n] for i in range(remainder)}
+        # Concrete values round-robin too (aligned with ids).
+        per_task_values: Dict[int, List[Values]] = {t: [] for t in tasks}
+        per_task_ids: Dict[int, List[int]] = {t: [] for t in tasks}
+        for index, value in enumerate(values):
+            task = tasks[(start + index) % n]
+            per_task_values[task].append(value)
+            if tuple_ids:
+                per_task_ids[task].append(tuple_ids[index])
+        for i, task in enumerate(tasks):
+            share = base + (1 if task in extra else 0)
+            share = max(share, len(per_task_values[task]))
+            if share > 0:
+                routes.append((task, per_task_values[task],
+                               per_task_ids[task], share))
+        return routes
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin: even load regardless of data skew."""
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        return _ShuffleInstance(task_ids)
+
+
+class NoneGrouping(ShuffleGrouping):
+    """Caller doesn't care; behaves like shuffle."""
+
+
+# ---------------------------------------------------------------------------
+# Fields (hash partitioning)
+# ---------------------------------------------------------------------------
+
+class _FieldsInstance(GroupingInstance):
+    def __init__(self, task_ids: Sequence[int], positions: List[int]) -> None:
+        super().__init__(task_ids)
+        self._positions = positions
+
+    def task_for(self, value: Values) -> int:
+        if len(self._positions) == 1:
+            key = value[self._positions[0]]
+        else:
+            key = tuple(value[p] for p in self._positions)
+        return self.task_ids[stable_hash(key) % len(self.task_ids)]
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        if not values:
+            # Nothing concrete to hash: fall back to an even spread.
+            if count <= 0:
+                return []
+            shares = allocate_proportionally([1.0] * len(self.task_ids), count)
+            return [(task, [], [], share)
+                    for task, share in zip(self.task_ids, shares) if share]
+        return self._split_by_choice(values, tuple_ids, count, self.task_for)
+
+
+class FieldsGrouping(Grouping):
+    """Hash partition on named fields: same key → same task, always."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise TopologyError("fields grouping needs at least one field")
+        self.fields = list(fields)
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        positions = fields_index(source_fields, self.fields)
+        return _FieldsInstance(task_ids, positions)
+
+    def describe(self) -> str:
+        return f"FieldsGrouping({self.fields})"
+
+
+# ---------------------------------------------------------------------------
+# All / Global
+# ---------------------------------------------------------------------------
+
+class _AllInstance(GroupingInstance):
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        return [(task, list(values), list(tuple_ids), count)
+                for task in self.task_ids]
+
+
+class AllGrouping(Grouping):
+    """Broadcast: every destination task receives every tuple."""
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        return _AllInstance(task_ids)
+
+
+class _GlobalInstance(GroupingInstance):
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        if count <= 0 and not values:
+            return []
+        return [(min(self.task_ids), values, tuple_ids, count)]
+
+
+class GlobalGrouping(Grouping):
+    """Everything to the single lowest-id task."""
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        return _GlobalInstance(task_ids)
+
+
+# ---------------------------------------------------------------------------
+# Custom / Direct
+# ---------------------------------------------------------------------------
+
+class _CustomInstance(GroupingInstance):
+    def __init__(self, task_ids: Sequence[int],
+                 chooser: Callable[[Values, List[int]], int]) -> None:
+        super().__init__(task_ids)
+        self._chooser = chooser
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        def choose(value: Values) -> int:
+            task = self._chooser(value, self.task_ids)
+            if task not in self.task_ids:
+                raise TopologyError(
+                    f"custom grouping chose unknown task {task}; "
+                    f"valid: {self.task_ids}")
+            return task
+        if not values:
+            raise TopologyError(
+                "custom grouping cannot route sampled batches without "
+                "concrete values")
+        return self._split_by_choice(values, tuple_ids, count, choose)
+
+
+class CustomGrouping(Grouping):
+    """User-supplied routing: ``chooser(values, task_ids) -> task_id``."""
+
+    def __init__(self, chooser: Callable[[Values, List[int]], int]) -> None:
+        if not callable(chooser):
+            raise TopologyError("custom grouping needs a callable chooser")
+        self.chooser = chooser
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        return _CustomInstance(task_ids, self.chooser)
+
+
+class DirectGrouping(CustomGrouping):
+    """The emitter picks the destination: the tuple's *last* field must be
+    the destination task id (a convention, documented here, that keeps the
+    collector API uniform)."""
+
+    def __init__(self) -> None:
+        super().__init__(lambda values, task_ids: values[-1])
+
+
+# ---------------------------------------------------------------------------
+# Partial-key (two-choice) grouping
+# ---------------------------------------------------------------------------
+
+class _PartialKeyInstance(GroupingInstance):
+    """Key-based two-choice routing with per-router load counters.
+
+    Each key hashes to two candidate tasks; every tuple goes to the
+    currently less-loaded of the two (Nasir et al.'s partial key
+    grouping, shipped by Storm/Heron for skewed keys). Downstream
+    aggregations must therefore combine *partial* per-key results.
+    """
+
+    def __init__(self, task_ids: Sequence[int],
+                 positions: List[int]) -> None:
+        super().__init__(task_ids)
+        self._positions = positions
+        self._load: Dict[int, int] = {task: 0 for task in self.task_ids}
+
+    def _candidates(self, value: Values) -> Tuple[int, int]:
+        if len(self._positions) == 1:
+            key = value[self._positions[0]]
+        else:
+            key = tuple(value[p] for p in self._positions)
+        n = len(self.task_ids)
+        first = stable_hash(key) % n
+        second = stable_hash((key, "salt")) % n
+        if second == first:
+            second = (first + 1) % n
+        return self.task_ids[first], self.task_ids[second]
+
+    def task_for(self, value: Values) -> int:
+        left, right = self._candidates(value)
+        task = left if self._load[left] <= self._load[right] else right
+        self._load[task] += 1
+        return task
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        if not values:
+            raise TopologyError(
+                "partial-key grouping needs concrete values to balance on")
+        return self._split_by_choice(values, tuple_ids, count,
+                                     self.task_for)
+
+
+class PartialKeyGrouping(Grouping):
+    """Two-choice key grouping: bounds load skew from hot keys at the
+    price of splitting each key across (at most) two tasks."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise TopologyError(
+                "partial-key grouping needs at least one field")
+        self.fields = list(fields)
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        positions = fields_index(source_fields, self.fields)
+        return _PartialKeyInstance(task_ids, positions)
+
+    def describe(self) -> str:
+        return f"PartialKeyGrouping({self.fields})"

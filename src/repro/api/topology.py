@@ -1,0 +1,324 @@
+"""Topology definition and the builder.
+
+A :class:`Topology` is the validated, immutable logical plan: named
+spouts and bolts with parallelism hints, edges with groupings, and the
+topology config. Engines consume it; the Resource Manager packs it; the
+State Manager stores (a description of) it.
+
+Scaling ("adjust the parallelism of the components of a running Heron
+topology", Section IV-A) is modeled by :meth:`Topology.with_parallelism`,
+which derives a new logical plan; the Resource Manager's ``repack`` then
+reconciles the physical placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.api.component import Bolt, Spout
+from repro.api.grouping import (AllGrouping, CustomGrouping, FieldsGrouping,
+                                GlobalGrouping, Grouping, NoneGrouping,
+                                PartialKeyGrouping, ShuffleGrouping)
+from repro.api.tuples import DEFAULT_STREAM
+from repro.common.config import Config
+from repro.common.errors import TopologyError
+from repro.common.ids import check_name
+from repro.common.resources import Resource
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """One incoming edge of a bolt: source component+stream and grouping."""
+
+    component: str
+    grouping: Grouping
+    stream: str = DEFAULT_STREAM
+
+
+@dataclass(frozen=True)
+class SpoutSpec:
+    """A declared spout: user object + parallelism + optional resources."""
+
+    name: str
+    spout: Spout
+    parallelism: int
+    resource: Optional[Resource] = None
+
+
+@dataclass(frozen=True)
+class BoltSpec:
+    """A declared bolt: user object + parallelism + inputs + resources."""
+
+    name: str
+    bolt: Bolt
+    parallelism: int
+    inputs: Tuple[InputSpec, ...] = ()
+    resource: Optional[Resource] = None
+
+
+class Topology:
+    """The validated logical plan. Construct via :class:`TopologyBuilder`."""
+
+    def __init__(self, name: str, spouts: Mapping[str, SpoutSpec],
+                 bolts: Mapping[str, BoltSpec], config: Config) -> None:
+        self.name = check_name(name, "topology name")
+        self.spouts: Dict[str, SpoutSpec] = dict(spouts)
+        self.bolts: Dict[str, BoltSpec] = dict(bolts)
+        self.config = config
+        self._validate()
+
+    # -- validation -----------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.spouts:
+            raise TopologyError(
+                f"topology {self.name!r} has no spouts (no data sources)")
+        for spec in list(self.spouts.values()) + list(self.bolts.values()):
+            if spec.parallelism <= 0:
+                raise TopologyError(
+                    f"component {spec.name!r} has nonpositive parallelism "
+                    f"{spec.parallelism}")
+        for bolt in self.bolts.values():
+            if not bolt.inputs:
+                raise TopologyError(
+                    f"bolt {bolt.name!r} has no inputs; it would never "
+                    f"receive tuples")
+            for inp in bolt.inputs:
+                source = self.component(inp.component, missing_ok=True)
+                if source is None:
+                    raise TopologyError(
+                        f"bolt {bolt.name!r} reads from unknown component "
+                        f"{inp.component!r}")
+                declared = self._user_component(inp.component).outputs
+                if inp.stream not in declared:
+                    raise TopologyError(
+                        f"bolt {bolt.name!r} reads stream {inp.stream!r} of "
+                        f"{inp.component!r}, which declares "
+                        f"{sorted(declared)}")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Heron topologies are DAGs; reject cycles with a clear message."""
+        edges: Dict[str, List[str]] = {name: [] for name in self.components()}
+        for bolt in self.bolts.values():
+            for inp in bolt.inputs:
+                edges[inp.component].append(bolt.name)
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(node: str, stack: List[str]) -> None:
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = stack[stack.index(node):] + [node]
+                raise TopologyError(
+                    f"topology {self.name!r} has a cycle: "
+                    f"{' -> '.join(cycle)}")
+            state[node] = 0
+            stack.append(node)
+            for succ in edges[node]:
+                visit(succ, stack)
+            stack.pop()
+            state[node] = 1
+
+        for name in self.components():
+            visit(name, [])
+
+    # -- lookups ---------------------------------------------------------------
+    def components(self) -> List[str]:
+        """All component names, spouts first, in insertion order."""
+        return list(self.spouts) + list(self.bolts)
+
+    def component(self, name: str, missing_ok: bool = False):
+        """The spec of a component (raises unless missing_ok)."""
+        spec = self.spouts.get(name) or self.bolts.get(name)
+        if spec is None and not missing_ok:
+            raise TopologyError(f"unknown component {name!r}")
+        return spec
+
+    def _user_component(self, name: str):
+        spec = self.component(name)
+        return spec.spout if isinstance(spec, SpoutSpec) else spec.bolt
+
+    def parallelism_of(self, name: str) -> int:
+        """Task count of one component."""
+        return self.component(name).parallelism
+
+    def is_spout(self, name: str) -> bool:
+        """Whether the named component is a spout."""
+        return name in self.spouts
+
+    @property
+    def total_instances(self) -> int:
+        return sum(s.parallelism for s in self.spouts.values()) + \
+            sum(b.parallelism for b in self.bolts.values())
+
+    def downstream(self, component: str,
+                   stream: str = DEFAULT_STREAM) -> List[Tuple[str, Grouping]]:
+        """Edges out of (component, stream): [(bolt name, grouping), ...]."""
+        result = []
+        for bolt in self.bolts.values():
+            for inp in bolt.inputs:
+                if inp.component == component and inp.stream == stream:
+                    result.append((bolt.name, inp.grouping))
+        return result
+
+    def output_fields(self, component: str,
+                      stream: str = DEFAULT_STREAM) -> List[str]:
+        """Declared output fields of (component, stream)."""
+        return self._user_component(component).output_fields(stream)
+
+    # -- scaling ----------------------------------------------------------------
+    def with_parallelism(self, changes: Mapping[str, int]) -> "Topology":
+        """A new Topology with some components' parallelism changed.
+
+        This is the logical half of ``heron update``; the physical half is
+        the Resource Manager's ``repack``.
+        """
+        spouts = dict(self.spouts)
+        bolts = dict(self.bolts)
+        for name, parallelism in changes.items():
+            if parallelism <= 0:
+                raise TopologyError(
+                    f"parallelism for {name!r} must be positive: "
+                    f"{parallelism}")
+            if name in spouts:
+                spouts[name] = replace(spouts[name], parallelism=parallelism)
+            elif name in bolts:
+                bolts[name] = replace(bolts[name], parallelism=parallelism)
+            else:
+                raise TopologyError(
+                    f"cannot scale unknown component {name!r}")
+        return Topology(self.name, spouts, bolts, self.config)
+
+    def describe(self) -> str:
+        """A short human-readable summary (used by the CLI and examples)."""
+        lines = [f"topology {self.name}"]
+        for spec in self.spouts.values():
+            lines.append(f"  spout {spec.name} x{spec.parallelism}")
+        for spec in self.bolts.values():
+            inputs = ", ".join(
+                f"{inp.component}/{inp.stream} {inp.grouping.describe()}"
+                for inp in spec.inputs)
+            lines.append(f"  bolt  {spec.name} x{spec.parallelism} <- {inputs}")
+        return "\n".join(lines)
+
+
+class BoltDeclarer:
+    """Fluent input declaration for one bolt (returned by ``set_bolt``)."""
+
+    def __init__(self, builder: "TopologyBuilder", name: str) -> None:
+        self._builder = builder
+        self._name = name
+
+    def _add(self, component: str, grouping: Grouping,
+             stream: str) -> "BoltDeclarer":
+        self._builder._add_input(self._name,
+                                 InputSpec(component, grouping, stream))
+        return self
+
+    def shuffle_grouping(self, component: str,
+                         stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with round-robin routing."""
+        return self._add(component, ShuffleGrouping(), stream)
+
+    def fields_grouping(self, component: str, fields: List[str],
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with hash partitioning on fields."""
+        return self._add(component, FieldsGrouping(fields), stream)
+
+    def partial_key_grouping(self, component: str, fields: List[str],
+                             stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with two-choice key routing."""
+        return self._add(component, PartialKeyGrouping(fields), stream)
+
+    def all_grouping(self, component: str,
+                     stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with broadcast routing."""
+        return self._add(component, AllGrouping(), stream)
+
+    def global_grouping(self, component: str,
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe routing everything to task 0."""
+        return self._add(component, GlobalGrouping(), stream)
+
+    def none_grouping(self, component: str,
+                      stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with don't-care (shuffle) routing."""
+        return self._add(component, NoneGrouping(), stream)
+
+    def custom_grouping(self, component: str, chooser,
+                        stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Subscribe with user-supplied routing."""
+        return self._add(component, CustomGrouping(chooser), stream)
+
+    def grouping(self, component: str, grouping: Grouping,
+                 stream: str = DEFAULT_STREAM) -> "BoltDeclarer":
+        """Attach an arbitrary (e.g. user-defined) grouping object."""
+        return self._add(component, grouping, stream)
+
+
+class TopologyBuilder:
+    """Accumulates spouts/bolts/config, then :meth:`build` validates."""
+
+    def __init__(self, name: str) -> None:
+        self.name = check_name(name, "topology name")
+        self._spouts: Dict[str, SpoutSpec] = {}
+        self._bolts: Dict[str, BoltSpec] = {}
+        self._inputs: Dict[str, List[InputSpec]] = {}
+        self._config = Config()
+
+    def set_spout(self, name: str, spout: Spout, parallelism: int = 1,
+                  resource: Optional[Resource] = None) -> "TopologyBuilder":
+        """Declare a spout with its parallelism."""
+        check_name(name, "spout name")
+        self._check_fresh(name)
+        if not isinstance(spout, Spout):
+            raise TopologyError(
+                f"{name!r} must be a Spout instance, got "
+                f"{type(spout).__name__}")
+        self._spouts[name] = SpoutSpec(name, spout, parallelism, resource)
+        return self
+
+    def set_bolt(self, name: str, bolt: Bolt, parallelism: int = 1,
+                 resource: Optional[Resource] = None) -> BoltDeclarer:
+        """Declare a bolt; returns its input declarer."""
+        check_name(name, "bolt name")
+        self._check_fresh(name)
+        if not isinstance(bolt, Bolt):
+            raise TopologyError(
+                f"{name!r} must be a Bolt instance, got "
+                f"{type(bolt).__name__}")
+        self._bolts[name] = BoltSpec(name, bolt, parallelism)
+        if resource is not None:
+            self._bolts[name] = replace(self._bolts[name], resource=resource)
+        self._inputs[name] = []
+        return BoltDeclarer(self, name)
+
+    def set_config(self, key, value) -> "TopologyBuilder":
+        """Set one topology config value."""
+        self._config.set(key, value)
+        return self
+
+    def update_config(self, config: Config) -> "TopologyBuilder":
+        """Merge a Config into the topology config."""
+        self._config.update(config)
+        return self
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._spouts or name in self._bolts:
+            raise TopologyError(f"duplicate component name {name!r}")
+
+    def _add_input(self, bolt_name: str, spec: InputSpec) -> None:
+        self._inputs[bolt_name].append(spec)
+
+    def build(self, config: Optional[Config] = None) -> Topology:
+        """Validate and freeze the topology."""
+        merged = self._config.copy()
+        if config is not None:
+            merged.update(config)
+        bolts = {
+            name: replace(spec, inputs=tuple(self._inputs[name]))
+            for name, spec in self._bolts.items()
+        }
+        return Topology(self.name, self._spouts, bolts, merged)

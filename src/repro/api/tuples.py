@@ -1,0 +1,87 @@
+"""Tuple and batch value types seen by user code.
+
+``Values`` is just a list of field values, ordered to match the emitting
+component's declared output fields. A :class:`Tuple` wraps values with
+their provenance (source component, stream) and ack id. A :class:`Batch`
+is what batch-aware bolts receive: a *sample* of concrete values plus the
+total simulated ``count`` it represents (see DESIGN.md §5 on sampling —
+in full-fidelity runs ``count == len(values)`` and nothing is sampled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+Values = List[Any]
+
+DEFAULT_STREAM = "default"
+
+
+@dataclass
+class Tuple:
+    """One data tuple as delivered to a bolt's ``execute``."""
+
+    values: Values
+    stream: str = DEFAULT_STREAM
+    source_component: str = ""
+    tuple_id: int = 0  # 0 = unanchored (acking disabled for this tuple)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class Batch:
+    """A weighted batch of tuples as delivered to ``execute_batch``.
+
+    ``values`` holds up to ``count`` concrete value-lists; when the engine
+    samples (performance runs), ``len(values) < count`` and each concrete
+    value statistically represents ``weight`` tuples.
+    """
+
+    values: List[Values]
+    count: int
+    stream: str = DEFAULT_STREAM
+    source_component: str = ""
+    tuple_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.count < len(self.values):
+            raise ValueError(
+                f"batch count {self.count} < concrete values "
+                f"{len(self.values)}")
+
+    @property
+    def weight(self) -> float:
+        """How many simulated tuples each concrete value represents."""
+        if not self.values:
+            return 0.0
+        return self.count / len(self.values)
+
+    def tuples(self) -> List[Tuple]:
+        """Materialize per-tuple views (full-fidelity paths only)."""
+        ids = self.tuple_ids or [0] * len(self.values)
+        return [Tuple(values=v, stream=self.stream,
+                      source_component=self.source_component, tuple_id=i)
+                for v, i in zip(self.values, ids)]
+
+
+def fields_index(declared: Sequence[str], wanted: Sequence[str]) -> List[int]:
+    """Map wanted field names to positions in the declared output fields.
+
+    Used by fields grouping: ``fields_index(["word", "n"], ["word"]) == [0]``.
+    Raises ValueError on unknown fields.
+    """
+    positions = []
+    for name in wanted:
+        try:
+            positions.append(list(declared).index(name))
+        except ValueError:
+            raise ValueError(
+                f"field {name!r} is not among declared output fields "
+                f"{list(declared)}") from None
+    return positions

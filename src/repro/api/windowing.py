@@ -1,0 +1,97 @@
+"""Windowed bolts built on tick tuples.
+
+Heron's windowed-bolt API lets user code process time-based windows of
+tuples instead of individual ones. :class:`TumblingWindowBolt` implements
+the tumbling (non-overlapping) case on top of the engine's tick-tuple
+mechanism: tuples accumulate in the current window; every
+``window_seconds`` a tick fires and :meth:`process_window` receives the
+closed window.
+
+Subclass and override :meth:`process_window`::
+
+    class Sum(TumblingWindowBolt):
+        window_seconds = 1.0
+        def process_window(self, window, collector):
+            collector.emit([sum(t[0] for t in window.tuples)])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+from repro.api.component import Bolt, Collector, ComponentContext, is_tick
+from repro.api.tuples import Batch, Tuple
+
+
+@dataclass
+class Window:
+    """One closed window of tuples.
+
+    ``tuples`` carries the concrete tuples seen; ``count`` the total
+    (weighted) number of tuples the window represents — they differ only
+    under sampled batches, mirroring :class:`~repro.api.tuples.Batch`.
+    """
+
+    start: float
+    end: float
+    tuples: List[Tuple] = field(default_factory=list)
+    count: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TumblingWindowBolt(Bolt):
+    """Accumulate tuples; hand each closed window to ``process_window``."""
+
+    #: Window length in (simulated) seconds; also the tick frequency.
+    window_seconds: float = 1.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive: {self.window_seconds}")
+        self.tick_frequency = self.window_seconds
+        self._window: List[Tuple] = []
+        self._count = 0.0
+        self._window_start = 0.0
+        self._now = lambda: 0.0
+        self.windows_processed = 0
+
+    def prepare(self, context: ComponentContext,
+                collector: Collector) -> None:
+        self._now = context.now
+        self._window_start = context.now()
+
+    # -- accumulation -----------------------------------------------------
+    def execute(self, tup: Tuple, collector: Collector) -> None:
+        if is_tick(tup):
+            self._close_window(collector)
+            return
+        self._window.append(tup)
+        self._count += 1
+
+    def execute_batch(self, batch: Batch, collector: Collector) -> None:
+        if batch.stream == "__tick":
+            self._close_window(collector)
+            return
+        self._window.extend(batch.tuples())
+        self._count += batch.count
+
+    def _close_window(self, collector: Collector) -> None:
+        window = Window(start=self._window_start, end=self._now(),
+                        tuples=self._window, count=self._count)
+        self._window = []
+        self._count = 0.0
+        self._window_start = window.end
+        self.windows_processed += 1
+        self.process_window(window, collector)
+
+    # -- user hook -----------------------------------------------------------
+    def process_window(self, window: Window,
+                       collector: Collector) -> None:
+        """Handle one closed window (override me)."""
+        raise NotImplementedError

@@ -1,0 +1,12 @@
+"""Baseline engines the paper compares Heron against (Section III).
+
+* :mod:`repro.baselines.storm` — an Apache-Storm-architecture engine:
+  workers (shared JVMs) hosting executor threads, executor-thread
+  (de)serialization, acker executors, pre-acquired cluster resources;
+* :mod:`repro.baselines.microbatch` — a Spark-Streaming-style
+  discretized micro-batch engine with a batch-interval latency floor.
+
+Both run the *same* topology objects on the *same* simulator substrate
+and cost model as Heron, so head-to-head differences come only from the
+architectural differences the paper describes.
+"""

@@ -1,0 +1,365 @@
+"""The discretized-stream engine.
+
+Model (following Spark Streaming's architecture):
+
+* **receivers** ingest records continuously into the current block;
+* every ``batch_interval`` the **driver** seals the pending blocks into a
+  batch and runs the topology's bolt stages over it, stage by stage with
+  a shuffle barrier between stages (Spark's narrow/wide dependency
+  boundary);
+* each stage spawns one task per partition; tasks run on a fixed pool of
+  **executor** processes, each costing a scheduling overhead plus
+  per-record processing;
+* a record's latency = batch completion time − record arrival time.
+
+Like the other engines it executes real user bolt code (via
+``execute_batch``) and charges CPU through the shared cost model. It
+supports linear spout→bolt→…→bolt chains, which covers the paper's
+workloads; it is a comparison baseline, not a full Spark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.component import ComponentContext
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import Topology
+from repro.api.tuples import Batch
+from repro.common.errors import TopologyError
+from repro.core.instance import InstanceCollector
+from repro.metrics.stats import WeightedStats
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel, DEFAULT_COST_MODEL
+from repro.simulation.events import Simulator
+from repro.simulation.network import Network
+
+MICROS = 1e-6
+MILLIS = 1e-3
+
+#: Driver-side cost of scheduling one task (Spark's per-task overhead).
+TASK_SCHEDULING_OVERHEAD = 120.0 * MICROS
+
+#: Executor-side per-record processing cost (deserialize + iterate).
+PER_RECORD_COST = 1.2 * MICROS
+
+#: Fixed per-task launch cost on the executor.
+TASK_LAUNCH_COST = 250.0 * MICROS
+
+
+@dataclass
+class _Task:
+    batch_id: int
+    stage: int
+    values: List[Any]
+    count: int
+    arrival_time_sum: float
+
+
+@dataclass
+class _TaskDone:
+    batch_id: int
+    stage: int
+
+
+@dataclass
+class MicroBatchResult:
+    """What a finished run reports."""
+
+    records_processed: int
+    batches_completed: int
+    latency: WeightedStats
+    fell_behind: bool
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+
+class _ExecutorProcess(Actor):
+    """A shared executor process running tasks from any stage."""
+
+    def __init__(self, sim: Simulator, index: int, *, location: Location,
+                 network, ledger: Optional[CostLedger],
+                 engine: "MicroBatchEngine") -> None:
+        super().__init__(sim, f"mb-executor-{index}", location,
+                         network=network, ledger=ledger,
+                         group="microbatch-executor")
+        self.engine = engine
+
+    def on_message(self, message: Any) -> None:
+        if not isinstance(message, _Task):
+            return
+        engine = self.engine
+        self.charge(TASK_LAUNCH_COST)
+        self.charge(message.count * PER_RECORD_COST)
+        stage_bolt = engine.stage_bolts[message.stage]
+        if stage_bolt.user_cost_per_tuple:
+            self.charge(message.count * stage_bolt.user_cost_per_tuple,
+                        "user")
+        collector = InstanceCollector(_FakeInstance())
+        collector.begin()
+        batch = Batch(values=message.values, count=message.count,
+                      source_component=engine.stage_names[message.stage])
+        stage_bolt.execute_batch(batch, collector)
+        # Stage output feeds the next stage's pending partitions.
+        engine.stage_output(message, collector)
+        self.send(engine.driver, _TaskDone(message.batch_id, message.stage))
+
+
+class _FakeInstance:
+    """Minimal duck-type for InstanceCollector outside a Heron instance."""
+
+    exact_acking = False
+    is_spout = False
+    key = ("microbatch", 0)
+
+    def next_tuple_id(self) -> int:  # pragma: no cover - never called
+        return 0
+
+
+class _BatchTick:
+    pass
+
+
+class _IngestTick:
+    pass
+
+
+class _Driver(Actor):
+    """Seals batches and schedules stage tasks with barriers."""
+
+    def __init__(self, sim: Simulator, *, location: Location, network,
+                 ledger: Optional[CostLedger],
+                 engine: "MicroBatchEngine") -> None:
+        super().__init__(sim, "mb-driver", location, network=network,
+                         ledger=ledger, group="microbatch-driver")
+        self.engine = engine
+        self._outstanding: Dict[int, int] = {}
+
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, _BatchTick):
+            self.engine.seal_batch(self)
+        elif isinstance(message, _TaskDone):
+            self._task_done(message)
+
+    def schedule_stage(self, batch_id: int, stage: int,
+                       partitions: List[_Task]) -> None:
+        self.charge(TASK_SCHEDULING_OVERHEAD * max(1, len(partitions)))
+        self._outstanding[batch_id] = len(partitions)
+        if not partitions:
+            self.engine.stage_complete(self, batch_id, stage)
+            return
+        for index, task in enumerate(partitions):
+            executor = self.engine.executors[
+                index % len(self.engine.executors)]
+            self.send(executor, task)
+
+    def _task_done(self, done: _TaskDone) -> None:
+        self.charge(TASK_SCHEDULING_OVERHEAD / 4)
+        self._outstanding[done.batch_id] -= 1
+        if self._outstanding[done.batch_id] == 0:
+            del self._outstanding[done.batch_id]
+            self.engine.stage_complete(self, done.batch_id, done.stage)
+
+
+class _Receiver(Actor):
+    """Continuously ingests records into the current block."""
+
+    def __init__(self, sim: Simulator, index: int, *, location: Location,
+                 network, ledger: Optional[CostLedger],
+                 engine: "MicroBatchEngine") -> None:
+        super().__init__(sim, f"mb-receiver-{index}", location,
+                         network=network, ledger=ledger,
+                         group="microbatch-receiver")
+        self.engine = engine
+
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, _IngestTick):
+            self.engine.ingest(self)
+
+
+class MicroBatchEngine:
+    """Runs a linear topology in discretized micro-batches."""
+
+    def __init__(self, topology: Topology, *,
+                 batch_interval: float = 0.5,
+                 input_rate: float = 200_000.0,
+                 executor_count: int = 4,
+                 ingest_tick: float = 10 * MILLIS,
+                 costs: Optional[CostModel] = None,
+                 sim: Optional[Simulator] = None) -> None:
+        if batch_interval <= 0 or input_rate <= 0:
+            raise ValueError("batch_interval and input_rate must be > 0")
+        self.topology = topology
+        self.batch_interval = batch_interval
+        self.input_rate = input_rate
+        self.ingest_tick = ingest_tick
+        self.sim = sim or Simulator()
+        self.costs = costs or DEFAULT_COST_MODEL
+        network = Network(self.costs)
+        self.ledger = CostLedger()
+
+        self.stage_names, self.stage_bolts = self._linearize(topology)
+        self.sample_cap = int(topology.config.get(Keys.SAMPLE_CAP)) or 0
+
+        # The spout only *generates* records here; rate is driver-limited.
+        spout_spec = next(iter(topology.spouts.values()))
+        import copy
+        self.source = copy.deepcopy(spout_spec.spout)
+        context = ComponentContext(topology.name, spout_spec.name, 0,
+                                   1, topology.config)
+        context.now = lambda: self.sim.now  # type: ignore[method-assign]
+        self._source_collector = InstanceCollector(_FakeInstance())
+        self.source.open(context, self._source_collector)
+        for stage_index, bolt in enumerate(self.stage_bolts):
+            bolt.prepare(ComponentContext(
+                topology.name, self.stage_names[stage_index], 0, 1,
+                topology.config), self._source_collector)
+
+        loc = Location(0, 0, 0)
+        self.driver = _Driver(self.sim, location=loc, network=network,
+                              ledger=self.ledger, engine=self)
+        self.executors = [
+            _ExecutorProcess(self.sim, i, location=Location(0, 0, i + 1),
+                             network=network, ledger=self.ledger,
+                             engine=self)
+            for i in range(executor_count)
+        ]
+        self.receiver = _Receiver(self.sim, 0,
+                                  location=Location(0, 0, 99),
+                                  network=network, ledger=self.ledger,
+                                  engine=self)
+
+        # Block under accumulation: (values sample, count, arrival sum).
+        self._block: Tuple[List, int, float] = ([], 0, 0.0)
+        self._batches: Dict[int, Dict] = {}
+        self._batch_ids = iter(range(1, 1 << 30))
+        self._stage_buffers: Dict[Tuple[int, int], List[_Task]] = {}
+
+        self.records_processed = 0
+        self.batches_completed = 0
+        self.latency = WeightedStats()
+        self.max_batch_delay = 0.0
+
+        self.sim.every(self.ingest_tick,
+                       lambda: self.receiver.deliver(_IngestTick()))
+        self.sim.every(self.batch_interval,
+                       lambda: self.driver.deliver(_BatchTick()))
+
+    @staticmethod
+    def _linearize(topology: Topology):
+        """Check the topology is a linear chain and order its bolts."""
+        if len(topology.spouts) != 1:
+            raise TopologyError("micro-batch engine needs exactly 1 spout")
+        names, bolts = [], []
+        current = next(iter(topology.spouts))
+        while True:
+            downstream = [d for stream in ("default",)
+                          for d, _g in topology.downstream(current, stream)]
+            if not downstream:
+                break
+            if len(downstream) != 1:
+                raise TopologyError(
+                    "micro-batch engine supports linear chains only")
+            current = downstream[0]
+            names.append(current)
+            bolts.append(topology.bolts[current].bolt)
+        if not bolts:
+            raise TopologyError("topology has no bolt stages")
+        return names, bolts
+
+    # -- ingestion ------------------------------------------------------------
+    def ingest(self, receiver: _Receiver) -> None:
+        """Pull one tick's records from the source into the open block."""
+        now = self.sim.now
+        count = int(self.input_rate * self.ingest_tick)
+        concrete = min(count, self.sample_cap) if self.sample_cap else count
+        self._source_collector.begin()
+        self.source.next_batch(self._source_collector, concrete)
+        values = self._source_collector.emitted.get("default", [])[:concrete]
+        receiver.charge(count * self.costs.instance_serialize_per_tuple)
+        block_values, block_count, block_arrivals = self._block
+        block_values.extend(values)
+        self._block = (block_values, block_count + count,
+                       block_arrivals + now * count)
+
+    # -- batch lifecycle ---------------------------------------------------------
+    def seal_batch(self, driver: _Driver) -> None:
+        """Close the open block and schedule stage 0 over it."""
+        values, count, arrival_sum = self._block
+        self._block = ([], 0, 0.0)
+        if count == 0:
+            return
+        batch_id = next(self._batch_ids)
+        partitions = self._partition(values, count, arrival_sum,
+                                     batch_id, stage=0)
+        self._batches[batch_id] = {"arrival_sum": arrival_sum,
+                                   "count": count,
+                                   "sealed_at": self.sim.now}
+        driver.schedule_stage(batch_id, 0, partitions)
+
+    def _partition(self, values: List, count: int, arrival_sum: float,
+                   batch_id: int, stage: int) -> List[_Task]:
+        width = max(1, len(self.executors))
+        tasks = []
+        share = max(1, count // width)
+        concrete_share = max(1, len(values) // width) if values else 0
+        remaining = count
+        for index in range(width):
+            if remaining <= 0:
+                break
+            task_count = remaining if index == width - 1 \
+                else min(share, remaining)
+            remaining -= task_count
+            chunk = values[index * concrete_share:
+                           (index + 1) * concrete_share] if values else []
+            if len(chunk) > task_count:
+                chunk = chunk[:task_count]
+            tasks.append(_Task(batch_id, stage, chunk, task_count,
+                               arrival_sum * task_count / count))
+        return tasks
+
+    def stage_output(self, task: _Task, collector) -> None:
+        """Collect a task's emissions as input for the next stage."""
+        next_stage = task.stage + 1
+        if next_stage >= len(self.stage_bolts):
+            return
+        values = collector.emitted.get("default", [])
+        extra = collector.extra_counts.get("default", 0)
+        count = len(values) + extra
+        if count == 0:
+            return
+        buffer = self._stage_buffers.setdefault((task.batch_id, next_stage),
+                                                [])
+        buffer.append(_Task(task.batch_id, next_stage, values, count,
+                            task.arrival_time_sum * count / task.count))
+
+    def stage_complete(self, driver: _Driver, batch_id: int,
+                       stage: int) -> None:
+        """Barrier: a stage finished; run the next or finish the batch."""
+        next_stage = stage + 1
+        pending = self._stage_buffers.pop((batch_id, next_stage), None)
+        if next_stage < len(self.stage_bolts) and pending:
+            driver.schedule_stage(batch_id, next_stage, pending)
+            return
+        # Batch finished (either last stage, or nothing left to do).
+        info = self._batches.pop(batch_id)
+        count = info["count"]
+        self.records_processed += count
+        self.batches_completed += 1
+        mean_arrival = info["arrival_sum"] / count
+        self.latency.add(self.sim.now - mean_arrival, weight=count)
+        delay = self.sim.now - info["sealed_at"]
+        self.max_batch_delay = max(self.max_batch_delay, delay)
+
+    # -- running ----------------------------------------------------------------
+    def run(self, duration: float) -> MicroBatchResult:
+        """Advance simulated time and return the result summary."""
+        self.sim.run_for(duration)
+        return MicroBatchResult(
+            records_processed=self.records_processed,
+            batches_completed=self.batches_completed,
+            latency=self.latency,
+            fell_behind=self.max_batch_delay > self.batch_interval)

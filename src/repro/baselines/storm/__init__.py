@@ -1,0 +1,25 @@
+"""A Storm-architecture streaming engine (the Section III-A baseline).
+
+Architectural contrasts with Heron, all modeled here:
+
+* **Monolithic scheduling** — "the resources for a Storm cluster must be
+  acquired before any topology can be submitted": a
+  :class:`StormCluster` pre-acquires every supervisor slot at
+  construction; topologies then pack executors into those fixed workers.
+* **Shared JVMs** — "Storm... packs multiple spout and bolt tasks into a
+  single executor. Each executor shares the same JVM with other
+  executors": executors are threads of a worker process, and their
+  service times inflate with thread contention.
+* **Communication on the processing path** — "the threads that perform
+  the communication operations and the actual processing tasks share the
+  same JVM": (de)serialization for inter-worker transfer is charged on
+  executor threads, and a per-worker transfer thread moves buffers
+  between workers.
+* **Acker executors** — acking flows through dedicated acker executors
+  living in the same JVMs.
+"""
+
+from repro.baselines.storm.cluster import StormCluster, StormTopologyHandle
+from repro.baselines.storm.config_keys import StormConfigKeys
+
+__all__ = ["StormCluster", "StormConfigKeys", "StormTopologyHandle"]

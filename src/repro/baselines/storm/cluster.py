@@ -1,0 +1,384 @@
+"""The Storm baseline cluster: pre-acquired slots, workers, wiring.
+
+Monolithic by design (that is the point of the baseline): scheduling,
+resource management and process placement all happen inside
+:meth:`StormCluster.submit_topology`, with none of Heron's module
+boundaries. "The resources for a Storm cluster must be acquired before
+any topology can be submitted" — the constructor grabs every supervisor
+slot up front, and topologies compete for those fixed slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.config_keys import SCHEMA as TOPOLOGY_SCHEMA
+from repro.api.topology import Topology
+from repro.baselines.storm.config_keys import SCHEMA as STORM_SCHEMA
+from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
+from repro.baselines.storm.executor import (ACKER_COMPONENT, AckerExecutor,
+                                             StormExecutor, _Start)
+from repro.baselines.storm.messages import (AckPacket, RemoteBatch,
+                                             TransferOut, WorkerDelivery,
+                                             merge_batches)
+from repro.common.config import Config
+from repro.common.errors import SchedulerError, TopologyError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.messages import (DataBatch, InstanceKey, PauseSpouts,
+                                 ResumeSpouts)
+from repro.metrics.stats import WeightedStats
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.cluster import Cluster, Container
+from repro.simulation.costs import CostModel, DEFAULT_COST_MODEL
+from repro.simulation.events import Simulator
+from repro.simulation.network import Network
+
+MILLIS = 1e-3
+
+DEFAULT_SUPERVISOR = Resource(cpu=8, ram=28 * GB, disk=500 * GB)
+
+
+class _FlushTick:
+    """Self-timer: flush transfer buffers + check backpressure."""
+
+
+class WorkerTransfer(Actor):
+    """The worker's transfer thread: buffers inter-worker traffic."""
+
+    def __init__(self, sim: Simulator, worker_id: int, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 costs: CostModel, flush_interval: float,
+                 high_watermark: int = 120, low_watermark: int = 40) -> None:
+        super().__init__(sim, f"storm-transfer-{worker_id}", location,
+                         network=network, ledger=ledger,
+                         group="storm-transfer")
+        self.worker_id = worker_id
+        self.costs = costs
+        self.peers: Dict[int, "WorkerTransfer"] = {}
+        self.local_executors: Dict[InstanceKey, Actor] = {}
+        self.spout_executors: List[Actor] = []
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.in_backpressure = False
+        self._buffers: Dict[int, WorkerDelivery] = {}
+        self.batches_forwarded = 0
+        self.every(flush_interval, lambda: self.deliver(_FlushTick()))
+
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, TransferOut):
+            self._buffer(message)
+        elif isinstance(message, WorkerDelivery):
+            self._handle_delivery(message)
+        elif isinstance(message, _FlushTick):
+            self._flush()
+            self._check_backpressure()
+
+    def _buffer(self, message: TransferOut) -> None:
+        for dest_worker, payload in message.items:
+            self.charge(self.costs.storm_batch_overhead)
+            delivery = self._buffers.get(dest_worker)
+            if delivery is None:
+                delivery = WorkerDelivery(self.worker_id)
+                self._buffers[dest_worker] = delivery
+            if isinstance(payload, AckPacket):
+                delivery.ack_packets.append(payload)
+            else:
+                delivery.batches.append(payload)
+
+    def _flush(self) -> None:
+        buffers, self._buffers = self._buffers, {}
+        for dest_worker, delivery in buffers.items():
+            peer = self.peers.get(dest_worker)
+            if peer is None or not peer.alive:
+                continue
+            self.charge(self.costs.storm_batch_overhead *
+                        (len(delivery.batches) + len(delivery.ack_packets)))
+            self.send(peer, delivery)
+
+    def _handle_delivery(self, delivery: WorkerDelivery) -> None:
+        costs = self.costs
+        for batch in merge_batches(delivery.batches):
+            self.charge(costs.storm_batch_overhead)
+            executor = self.local_executors.get(batch.dest)
+            if executor is not None and executor.alive:
+                self.send(executor, RemoteBatch(batch))
+                self.batches_forwarded += 1
+        for packet in delivery.ack_packets:
+            self.charge(costs.storm_batch_overhead)
+            executor = self.local_executors.get(packet.dest_key)
+            if executor is not None and executor.alive:
+                self.send(executor, packet)
+
+    def _check_backpressure(self) -> None:
+        depth = self.inbox_len
+        for executor in self.local_executors.values():
+            if executor.alive and executor.inbox_len > depth:
+                depth = executor.inbox_len
+        if not self.in_backpressure and depth > self.high_watermark:
+            self.in_backpressure = True
+            for spout in self.spout_executors:
+                if spout.alive:
+                    self.send(spout, PauseSpouts(self.worker_id))
+        elif self.in_backpressure and depth < self.low_watermark:
+            self.in_backpressure = False
+            for spout in self.spout_executors:
+                if spout.alive:
+                    self.send(spout, ResumeSpouts(self.worker_id))
+
+
+class StormWorker:
+    """One worker JVM: a slot container hosting executor threads."""
+
+    def __init__(self, worker_id: int, container: Container) -> None:
+        self.id = worker_id
+        self.container = container
+        self.process_id = container.new_process_id()
+        self.executors: List[Actor] = []
+        self.transfer: Optional[WorkerTransfer] = None
+
+    def location(self) -> Location:
+        """A Location inside this worker's shared JVM process."""
+        return self.container.location(shared_process=self.process_id)
+
+    @property
+    def cores(self) -> float:
+        return self.container.resource.cpu
+
+    def apply_contention(self, coeff: float) -> float:
+        """Shared-JVM contention: service inflates once runnable threads
+        exceed the worker's cores (+2 for transfer/receive threads)."""
+        threads = len(self.executors) + 2
+        factor = 1.0 + coeff * max(0.0, threads - self.cores)
+        for actor in self.executors:
+            actor.contention = factor
+        if self.transfer is not None:
+            self.transfer.contention = factor
+        return factor
+
+
+class StormCluster:
+    """The monolithic Storm deployment."""
+
+    def __init__(self, supervisors: int = 4,
+                 supervisor_resource: Resource = DEFAULT_SUPERVISOR,
+                 costs: Optional[CostModel] = None, *,
+                 sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.costs = costs or DEFAULT_COST_MODEL
+        self.network = Network(self.costs)
+        self.ledger = CostLedger()
+        self.cluster = Cluster.homogeneous(supervisors, supervisor_resource)
+        # Pre-acquire every slot now — Storm's static resource model.
+        self.free_slots: List[Container] = [
+            self.cluster.allocate_container(supervisor_resource, tag="storm")
+            for _ in range(supervisors)
+        ]
+        self.topologies: Dict[str, "StormTopologyHandle"] = {}
+        self._instance_indices = 0
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_for(self, seconds: float) -> None:
+        """Advance simulated time."""
+        self.sim.run_for(seconds)
+
+    # -- submission (scheduling + resource management, fused) ------------------
+    def submit_topology(self, topology: Topology,
+                        config: Optional[Config] = None
+                        ) -> "StormTopologyHandle":
+        """Pack executors into pre-acquired worker slots and start them."""
+        if topology.name in self.topologies:
+            raise TopologyError(
+                f"topology {topology.name!r} is already running")
+        merged = topology.config.copy()
+        if config is not None:
+            merged.update(config)
+        TOPOLOGY_SCHEMA.validate(merged)
+        STORM_SCHEMA.validate(merged)
+
+        num_workers = merged.get(StormKeys.NUM_WORKERS) or \
+            len(self.free_slots)
+        if num_workers < 1 or num_workers > len(self.free_slots):
+            raise SchedulerError(
+                f"need {num_workers} worker slots but only "
+                f"{len(self.free_slots)} are free (Storm resources are "
+                f"acquired before topologies; add supervisors)")
+        slots = [self.free_slots.pop(0) for _ in range(num_workers)]
+        workers = [StormWorker(i, slot) for i, slot in enumerate(slots)]
+
+        flush_interval = \
+            float(merged.get(StormKeys.TRANSFER_FLUSH_MS)) * MILLIS
+        for worker in workers:
+            transfer = WorkerTransfer(
+                self.sim, worker.id, location=worker.location(),
+                network=self.network, ledger=self.ledger, costs=self.costs,
+                flush_interval=flush_interval)
+            worker.container.attach(transfer)
+            worker.transfer = transfer
+
+        # --- even-scheduler executor placement -----------------------------
+        spout_components = frozenset(topology.spouts)
+        keys: List[InstanceKey] = []
+        for component in topology.components():
+            keys.extend((component, task) for task in
+                        range(topology.parallelism_of(component)))
+        num_ackers = merged.get(StormKeys.NUM_ACKERS) or num_workers
+        acking = bool(merged.get(
+            # Ackers only exist when acking is enabled.
+            "topology.acking.enabled", False))
+        acker_keys: List[InstanceKey] = [
+            (ACKER_COMPONENT, i) for i in range(num_ackers)] if acking \
+            else []
+
+        executors: Dict[InstanceKey, StormExecutor] = {}
+        ackers: Dict[InstanceKey, AckerExecutor] = {}
+        directory: Dict[InstanceKey, Tuple[Actor, int]] = {}
+        for cursor, key in enumerate(keys):
+            worker = workers[cursor % num_workers]
+            spec = topology.component(key[0])
+            user = spec.spout if topology.is_spout(key[0]) else spec.bolt
+            executor = StormExecutor(
+                self.sim, key, location=worker.location(),
+                network=self.network, ledger=self.ledger,
+                user_component=user, config=merged, costs=self.costs,
+                topology_name=topology.name,
+                parallelism=topology.parallelism_of(key[0]),
+                spout_components=spout_components, worker_id=worker.id,
+                instance_index=self._next_index(),
+                flush_interval=flush_interval)
+            worker.container.attach(executor)
+            worker.executors.append(executor)
+            executors[key] = executor
+            directory[key] = (executor, worker.id)
+        for cursor, key in enumerate(acker_keys):
+            worker = workers[cursor % num_workers]
+            acker = AckerExecutor(
+                self.sim, key, location=worker.location(),
+                network=self.network, ledger=self.ledger, config=merged,
+                costs=self.costs, worker_id=worker.id,
+                flush_interval=flush_interval)
+            worker.container.attach(acker)
+            worker.executors.append(acker)
+            ackers[key] = acker
+            directory[key] = (acker, worker.id)
+
+        # --- wiring -------------------------------------------------------------
+        task_ids = {name: list(range(topology.parallelism_of(name)))
+                    for name in topology.components()}
+        for key, executor in executors.items():
+            routing = {}
+            user = topology._user_component(key[0])
+            for stream in user.outputs:
+                fields = topology.output_fields(key[0], stream)
+                edges = [(dest, grouping.create(fields, task_ids[dest]))
+                         for dest, grouping in
+                         topology.downstream(key[0], stream)]
+                if edges:
+                    routing[stream] = edges
+            executor.routing = routing
+            executor.directory = directory
+            executor.ackers = acker_keys
+            executor.transfer = workers[
+                directory[key][1]].transfer
+        for key, acker in ackers.items():
+            acker.directory = directory
+            acker.transfer = workers[directory[key][1]].transfer
+        peer_map = {worker.id: worker.transfer for worker in workers}
+        spouts = [executors[key] for key in keys
+                  if key[0] in spout_components]
+        for worker in workers:
+            assert worker.transfer is not None
+            worker.transfer.peers = dict(peer_map)
+            worker.transfer.local_executors = {
+                key: actor for key, (actor, wid) in directory.items()
+                if wid == worker.id}
+            worker.transfer.spout_executors = spouts
+
+        contention = max(worker.apply_contention(
+            self.costs.storm_contention_per_excess_thread)
+            for worker in workers)
+
+        for executor in executors.values():
+            self.sim.schedule(0.0, executor.deliver, _Start())
+
+        handle = StormTopologyHandle(self, topology, workers, executors,
+                                     ackers, contention)
+        self.topologies[topology.name] = handle
+        return handle
+
+    def _next_index(self) -> int:
+        self._instance_indices += 1
+        return self._instance_indices
+
+    def kill_topology(self, name: str) -> None:
+        """Kill a topology and return its worker slots to the pool."""
+        handle = self.topologies.pop(name, None)
+        if handle is None:
+            raise TopologyError(f"unknown topology {name!r}")
+        for worker in handle.workers:
+            for actor in worker.executors:
+                actor.kill()
+            if worker.transfer is not None:
+                worker.transfer.kill()
+            worker.executors.clear()
+            self.free_slots.append(worker.container)
+
+
+class StormTopologyHandle:
+    """Metrics/lifecycle view, mirroring Heron's TopologyHandle."""
+
+    def __init__(self, cluster: StormCluster, topology: Topology,
+                 workers: List[StormWorker],
+                 executors: Dict[InstanceKey, StormExecutor],
+                 ackers: Dict[InstanceKey, AckerExecutor],
+                 contention: float) -> None:
+        self._cluster = cluster
+        self.topology = topology
+        self.name = topology.name
+        self.workers = workers
+        self.executors = executors
+        self.ackers = ackers
+        self.contention = contention
+
+    def kill(self) -> None:
+        """Kill this topology."""
+        self._cluster.kill_topology(self.name)
+
+    def totals(self) -> Dict[str, float]:
+        """Cumulative counters across every executor."""
+        totals = {"emitted": 0.0, "executed": 0.0, "acked": 0.0,
+                  "failed": 0.0}
+        for executor in self.executors.values():
+            totals["emitted"] += executor.emitted_count
+            totals["executed"] += executor.executed_count
+            totals["acked"] += executor.acked_count
+            totals["failed"] += executor.failed_count
+        return totals
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-component cumulative counters."""
+        result: Dict[str, Dict[str, float]] = {}
+        for (component, _task), executor in self.executors.items():
+            row = result.setdefault(
+                component, {"emitted": 0.0, "executed": 0.0,
+                            "acked": 0.0, "failed": 0.0})
+            row["emitted"] += executor.emitted_count
+            row["executed"] += executor.executed_count
+            row["acked"] += executor.acked_count
+            row["failed"] += executor.failed_count
+        return result
+
+    def latency_stats(self) -> WeightedStats:
+        """End-to-end latency stats over all spout executors."""
+        merged = WeightedStats()
+        for executor in self.executors.values():
+            if executor.is_spout:
+                merged.merge(executor.latency)
+        return merged
+
+    def provisioned_cores(self) -> float:
+        """CPU cores held by this topology's workers."""
+        return sum(worker.container.resource.cpu for worker in self.workers)

@@ -1,0 +1,38 @@
+"""Storm-specific configuration keys.
+
+Shared semantics (acking on/off, max spout pending, batch size, sample
+cap) reuse the same :class:`~repro.api.config_keys.TopologyConfigKeys`
+so experiments configure both engines identically.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ConfigKey, ConfigSchema
+
+SCHEMA = ConfigSchema("storm")
+
+
+def _declare(*args, **kwargs) -> ConfigKey:
+    return SCHEMA.declare(ConfigKey(*args, **kwargs))
+
+
+class StormConfigKeys:
+    """Knobs of the Storm baseline."""
+
+    NUM_WORKERS = _declare(
+        "storm.num.workers", default=0, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Worker processes for a topology; 0 = one worker per "
+                    "supervisor (Storm's common deployment).")
+
+    NUM_ACKERS = _declare(
+        "storm.num.ackers", default=0, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Acker executors; 0 = one per worker "
+                    "(Storm's default).")
+
+    TRANSFER_FLUSH_MS = _declare(
+        "storm.transfer.flush.ms", default=5.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Worker transfer-buffer flush interval "
+                    "(disruptor batch flush).")

@@ -1,0 +1,550 @@
+"""Storm executors: spout/bolt/acker threads inside shared worker JVMs.
+
+Unlike a Heron Instance, a Storm executor does its own routing (there is
+no Stream Manager) and pays (de)serialization for inter-worker traffic on
+its own thread. All executors of a worker share that worker's JVM: their
+service times carry the worker's contention factor.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.component import ComponentContext, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.grouping import GroupingInstance, stable_hash
+from repro.api.tuples import Batch, Tuple as ApiTuple
+from repro.baselines.storm.messages import (AckPacket, RemoteBatch,
+                                             TransferOut, WorkerDelivery)
+from repro.common.config import Config
+from repro.core.acking import AckTracker, CountedTracker, RootEntry
+from repro.core.instance import InstanceCollector
+from repro.core.messages import (AckComplete, AckCounted, DataBatch,
+                                 EmitTick, InstanceKey, PauseSpouts,
+                                 ResumeSpouts, XorUpdate)
+from repro.metrics.stats import WeightedStats
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostCategory, CostModel
+from repro.simulation.events import Simulator
+
+ACKER_COMPONENT = "__acker"
+
+
+class _Start:
+    """Cluster → executor: topology wired; spouts may emit."""
+
+
+class _StallCheck:
+    """Self-timer: counted-mode ack-stall detection."""
+
+
+class _SendFlush:
+    """Self-timer: flush the executor's send buffer (disruptor batching)."""
+
+
+class StormExecutor(Actor):
+    """One spout or bolt executor thread."""
+
+    def __init__(self, sim: Simulator, key: InstanceKey, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 user_component, config: Config, costs: CostModel,
+                 topology_name: str, parallelism: int,
+                 spout_components: frozenset, worker_id: int,
+                 instance_index: int, flush_interval: float = 0.005) -> None:
+        component, task_id = key
+        super().__init__(sim, f"storm-{component}[{task_id}]", location,
+                         network=network, ledger=ledger,
+                         group="storm-executor")
+        self.key = key
+        self.component = component
+        self.task_id = task_id
+        self.costs = costs
+        self.config = config
+        self.worker_id = worker_id
+        self.spout_components = spout_components
+        self.user = copy.deepcopy(user_component)
+        self.is_spout = isinstance(self.user, Spout)
+
+        self.acking = bool(config.get(Keys.ACKING_ENABLED))
+        self.exact_acking = self.acking and \
+            config.get(Keys.ACK_TRACKING) == "exact"
+        self.max_pending = int(config.get(Keys.MAX_SPOUT_PENDING))
+        self.batch_size = int(config.get(Keys.BATCH_SIZE))
+        self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
+
+        # Wired by the cluster after every executor exists:
+        self.routing: Dict[str, List[Tuple[str, GroupingInstance]]] = {}
+        self.directory: Dict[InstanceKey, Tuple["StormExecutor", int]] = {}
+        self.ackers: List[InstanceKey] = []
+        self.transfer: Optional[Actor] = None
+        self.spout_executors: List[InstanceKey] = []
+
+        self.collector = InstanceCollector(self)  # same accumulation logic
+        self.context = ComponentContext(topology_name, component, task_id,
+                                        parallelism, config)
+        self.context.now = lambda: self.sim.now  # type: ignore[method-assign]
+        self.active = False
+        self.paused_by_backpressure = False
+        self.emit_loop_idle = True
+        self.opened = False
+        self._tuple_seq = 0
+        self._id_base = (instance_index + 1) << 40
+        self.tracker = CountedTracker(self.message_timeout)
+
+        self.emitted_count = 0
+        self.executed_count = 0
+        self.acked_count = 0
+        self.failed_count = 0
+        self.latency = WeightedStats()
+
+        # Send buffers: Storm's disruptor batches outgoing tuples per
+        # destination and flushes on a timer.
+        self._out_data: Dict[Tuple, DataBatch] = {}
+        self._out_acks: Dict[InstanceKey, AckPacket] = {}
+        self.every(flush_interval, lambda: self.deliver(_SendFlush()))
+
+        if self.is_spout and self.acking:
+            self.every(self.message_timeout / 2,
+                       lambda: self.deliver(_StallCheck()))
+
+    # -- identity ------------------------------------------------------------
+    def next_tuple_id(self) -> int:
+        """A globally unique tuple id for exact ack tracking."""
+        self._tuple_seq += 1
+        return self._id_base | self._tuple_seq
+
+    @property
+    def pending(self) -> int:
+        return self.tracker.pending
+
+    # -- message handling ------------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, DataBatch):
+            self._handle_data(message, remote=False)
+        elif isinstance(message, RemoteBatch):
+            self._handle_data(message.batch, remote=True)
+        elif isinstance(message, AckPacket):
+            self._handle_ack_packet(message)
+        elif isinstance(message, (AckComplete, AckCounted)):
+            self._handle_ack(message)
+        elif isinstance(message, EmitTick):
+            self._emit_once()
+        elif isinstance(message, _Start):
+            self._start()
+        elif isinstance(message, PauseSpouts):
+            self._set_backpressure(True)
+        elif isinstance(message, ResumeSpouts):
+            self._set_backpressure(False)
+        elif isinstance(message, _StallCheck):
+            self._check_stall()
+        elif isinstance(message, _SendFlush):
+            self._flush_send_buffers()
+
+    def _start(self) -> None:
+        if not self.opened:
+            self.opened = True
+            if self.is_spout:
+                self.user.open(self.context, self.collector)
+            else:
+                self.user.prepare(self.context, self.collector)
+        if self.is_spout and not self.active:
+            self.active = True
+            self._wake_emit_loop()
+
+    def on_killed(self) -> None:
+        if self.opened:
+            self.user.close()
+
+    # -- spout loop ----------------------------------------------------------------
+    def _gate_open(self) -> bool:
+        if not (self.active and not self.paused_by_backpressure):
+            return False
+        if self.acking and self.tracker.pending >= self.max_pending:
+            return False
+        return True
+
+    def _emit_once(self) -> None:
+        if not self._gate_open():
+            self.emit_loop_idle = True
+            return
+        self.emit_loop_idle = False
+        budget = self.batch_size
+        if self.acking:
+            budget = min(budget, self.max_pending - self.tracker.pending)
+        self.collector.begin()
+        self.user.next_batch(self.collector, budget)
+        if self.collector.total_emitted:
+            self._flush_emissions(input_batch=None)
+            self.send(self, EmitTick())
+        else:
+            # Idle source: back off instead of spinning (wait strategy).
+            self.charge(self.costs.storm_user_per_tuple)
+            self.send(self, EmitTick(), extra_delay=1e-3)
+
+    def _wake_emit_loop(self) -> None:
+        if self.emit_loop_idle and self._gate_open():
+            self.emit_loop_idle = False
+            self.send(self, EmitTick())
+
+    def _set_backpressure(self, paused: bool) -> None:
+        self.paused_by_backpressure = paused
+        if not paused:
+            self._wake_emit_loop()
+
+    def _check_stall(self) -> None:
+        failed = self.tracker.check_stalled(self.sim.now)
+        if failed:
+            self.failed_count += failed
+            self.user.fail(0)
+            self._wake_emit_loop()
+
+    # -- bolt execution -----------------------------------------------------------
+    def _handle_data(self, batch: DataBatch, remote: bool) -> None:
+        if self.is_spout:
+            return
+        if not self.opened:
+            self._start()
+        costs = self.costs
+        count = batch.count
+        self.charge(costs.storm_batch_overhead)
+        self.charge(count * (costs.storm_user_per_tuple +
+                             costs.storm_framework_per_tuple))
+        if remote:
+            self.charge(count * costs.storm_serialize_per_tuple)
+        if self.user.user_cost_per_tuple:
+            self.charge(count * self.user.user_cost_per_tuple,
+                        CostCategory.USER)
+        self.collector.begin()
+        if self.exact_acking:
+            self._execute_exact(batch)
+        else:
+            api_batch = Batch(values=batch.values, count=count,
+                              stream=batch.stream,
+                              source_component=batch.source_component)
+            self.user.execute_batch(api_batch, self.collector)
+        self.executed_count += count
+        self._flush_emissions(input_batch=batch)
+
+    def _execute_exact(self, batch: DataBatch) -> None:
+        for index, values in enumerate(batch.values):
+            tup = ApiTuple(values=values, stream=batch.stream,
+                           source_component=batch.source_component,
+                           tuple_id=batch.tuple_ids[index])
+            self.collector.current_anchors = batch.anchors[index]
+            self.user.execute(tup, self.collector)
+            if not any(f.tuple_id == tup.tuple_id
+                       for f in self.collector.failed_tuples):
+                self.collector.acked_tuples.append(tup)
+        self.collector.current_anchors = []
+
+    # -- emission flush: the executor routes its own output -------------------------
+    def _flush_emissions(self, input_batch: Optional[DataBatch]) -> None:
+        collector = self.collector
+        costs = self.costs
+        now = self.sim.now
+        total = 0
+        for stream in set(collector.emitted) | set(collector.extra_counts):
+            values = collector.emitted.get(stream, [])
+            count = len(values) + collector.extra_counts.get(stream, 0)
+            if count == 0:
+                continue
+            total += count
+            if self.is_spout:
+                origin, emit_time_sum = self.key, now * count
+            else:
+                origin = input_batch.origin if input_batch else self.key
+                emit_time_sum = (input_batch.emit_time_sum if input_batch
+                                 else now * count)
+            batch = DataBatch(
+                dest=None, source_component=self.component, stream=stream,
+                values=values, count=count, origin=origin,
+                emit_time_sum=emit_time_sum,
+                tuple_ids=collector.emitted_ids.get(stream, []),
+                anchors=collector.emitted_anchors.get(stream, []))
+            self._route(batch)
+        if total:
+            self.emitted_count += total
+            self.charge(total * costs.storm_framework_per_tuple)
+            if self.is_spout:
+                self.charge(total * costs.storm_user_per_tuple)
+                if self.user.user_cost_per_tuple:
+                    category = getattr(self.user, "charges_category",
+                                       None) or CostCategory.USER
+                    self.charge(total * self.user.user_cost_per_tuple,
+                                category)
+                if self.acking:
+                    self.tracker.emitted(total, now)
+        self._flush_acks(input_batch)
+
+    def _route(self, batch: DataBatch) -> None:
+        for dest_component, grouping in self.routing.get(batch.stream, []):
+            if self.exact_acking:
+                indices = list(range(len(batch.values)))
+                routes = grouping.split(batch.values, indices, batch.count)
+                for task, values, idxs, count in routes:
+                    sub = DataBatch(
+                        dest=(dest_component, task),
+                        source_component=batch.source_component,
+                        stream=batch.stream, values=values, count=count,
+                        origin=batch.origin,
+                        emit_time_sum=batch.emit_time_sum *
+                        (count / batch.count) if batch.count else 0.0,
+                        tuple_ids=[batch.tuple_ids[i] for i in idxs],
+                        anchors=[batch.anchors[i] for i in idxs])
+                    self._dispatch(sub.dest, sub)
+            else:
+                routes = grouping.split(batch.values, [], batch.count)
+                for task, values, _ids, count in routes:
+                    sub = DataBatch(
+                        dest=(dest_component, task),
+                        source_component=batch.source_component,
+                        stream=batch.stream, values=values, count=count,
+                        origin=batch.origin,
+                        emit_time_sum=batch.emit_time_sum *
+                        (count / batch.count) if batch.count else 0.0)
+                    self._dispatch(sub.dest, sub)
+
+    def _dispatch(self, dest: InstanceKey, payload: Any) -> None:
+        """Queue a batch/packet for another executor via the send buffer
+        (intra-JVM and inter-worker alike: Storm batches both)."""
+        if isinstance(payload, DataBatch):
+            key = (payload.dest, payload.source_component, payload.stream,
+                   payload.origin)
+            into = self._out_data.get(key)
+            if into is None:
+                self._out_data[key] = payload
+            else:
+                into.values.extend(payload.values)
+                into.count += payload.count
+                into.emit_time_sum += payload.emit_time_sum
+                into.tuple_ids.extend(payload.tuple_ids)
+                into.anchors.extend(payload.anchors)
+        else:
+            into = self._out_acks.get(dest)
+            if into is None:
+                self._out_acks[dest] = payload
+            else:
+                into.inits.extend(payload.inits)
+                into.xors.extend(payload.xors)
+                into.counted.extend(payload.counted)
+
+    def _flush_send_buffers(self) -> None:
+        """Deliver buffered output: intra-JVM queues directly, remote
+        payloads serialized (executor thread!) and handed to transfer."""
+        if not self._out_data and not self._out_acks:
+            return
+        costs = self.costs
+        remote_items: List[Tuple[int, Any]] = []
+        data, self._out_data = self._out_data, {}
+        acks, self._out_acks = self._out_acks, {}
+        for batch in data.values():
+            entry = self.directory.get(batch.dest)
+            if entry is None:
+                continue
+            executor, worker_id = entry
+            self.charge(costs.storm_batch_overhead)
+            if worker_id == self.worker_id:
+                self.send(executor, batch)
+            else:
+                # Kryo on the executor thread for the inter-worker hop.
+                self.charge(batch.count * costs.storm_serialize_per_tuple)
+                remote_items.append((worker_id, batch))
+        for dest, packet in acks.items():
+            entry = self.directory.get(dest)
+            if entry is None:
+                continue
+            executor, worker_id = entry
+            count = sum(a.count for a in packet.counted) + \
+                len(packet.inits) + len(packet.xors)
+            self.charge(costs.storm_batch_overhead)
+            if worker_id == self.worker_id:
+                self.send(executor, packet)
+            else:
+                self.charge(count * costs.storm_serialize_per_tuple)
+                remote_items.append((worker_id, packet))
+        if remote_items and self.transfer is not None:
+            self.send(self.transfer, TransferOut(remote_items))
+
+    # -- ack production ----------------------------------------------------------------
+    def _acker_for(self, origin: InstanceKey) -> Optional[InstanceKey]:
+        if not self.ackers:
+            return None
+        return self.ackers[stable_hash(origin) % len(self.ackers)]
+
+    def _flush_acks(self, input_batch: Optional[DataBatch]) -> None:
+        if not self.acking:
+            return
+        collector = self.collector
+        costs = self.costs
+        if self.exact_acking:
+            packets: Dict[InstanceKey, AckPacket] = {}
+
+            def packet_for(origin: InstanceKey) -> Optional[AckPacket]:
+                acker = self._acker_for(origin)
+                if acker is None:
+                    return None
+                packet = packets.get(acker)
+                if packet is None:
+                    packet = AckPacket(dest_key=acker)
+                    packets[acker] = packet
+                return packet
+
+            if self.is_spout:
+                now = self.sim.now
+                for stream, ids in collector.emitted_ids.items():
+                    for root in ids:
+                        packet = packet_for(self.key)
+                        if packet is not None:
+                            packet.inits.append((root, self.key, now))
+                            self.charge(costs.storm_ack_emit_per_tuple)
+            else:
+                for stream, ids in collector.emitted_ids.items():
+                    anchor_lists = collector.emitted_anchors[stream]
+                    for new_id, anchor_list in zip(ids, anchor_lists):
+                        for root, origin in anchor_list:
+                            packet = packet_for(origin)
+                            if packet is not None:
+                                packet.xors.append(
+                                    XorUpdate(root, origin, new_id))
+                                self.charge(costs.storm_ack_emit_per_tuple)
+                if input_batch is not None:
+                    for tup in collector.acked_tuples:
+                        idx = input_batch.tuple_ids.index(tup.tuple_id)
+                        for root, origin in input_batch.anchors[idx]:
+                            packet = packet_for(origin)
+                            if packet is not None:
+                                packet.xors.append(
+                                    XorUpdate(root, origin, tup.tuple_id))
+                                self.charge(costs.storm_ack_emit_per_tuple)
+                    for tup in collector.failed_tuples:
+                        idx = input_batch.tuple_ids.index(tup.tuple_id)
+                        for root, origin in input_batch.anchors[idx]:
+                            packet = packet_for(origin)
+                            if packet is not None:
+                                packet.xors.append(
+                                    XorUpdate(root, origin, 0, fail=True))
+            for acker, packet in packets.items():
+                self._dispatch(acker, packet)
+        elif not self.is_spout and input_batch is not None \
+                and input_batch.source_component in self.spout_components:
+            acker = self._acker_for(input_batch.origin)
+            if acker is not None:
+                self.charge(input_batch.count * costs.storm_ack_emit_per_tuple)
+                self._dispatch(acker, AckPacket(
+                    dest_key=acker,
+                    counted=[AckCounted(input_batch.origin,
+                                        input_batch.count,
+                                        input_batch.emit_time_sum)]))
+
+    def _handle_ack_packet(self, packet: AckPacket) -> None:
+        """Only spouts see these (acker replies rerouted as AckCounted)."""
+        for ack in packet.counted:
+            self._handle_ack(ack)
+
+    # -- spout ack consumption ---------------------------------------------------------
+    def _handle_ack(self, ack) -> None:
+        if not self.is_spout:
+            return
+        count = ack.count
+        self.charge(count * self.costs.instance_ack_per_tuple)
+        accepted = self.tracker.acked(count, self.sim.now)
+        if ack.failed:
+            self.failed_count += accepted
+            if accepted:
+                self.user.fail(0)
+        else:
+            self.acked_count += accepted
+            if accepted:
+                self.user.ack(0)
+            if count > 0:
+                self.latency.add(self.sim.now - ack.emit_time_sum / count,
+                                 weight=count)
+        self._wake_emit_loop()
+
+
+class AckerExecutor(Actor):
+    """A dedicated acking executor thread (Storm's acker bolt)."""
+
+    def __init__(self, sim: Simulator, key: InstanceKey, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 config: Config, costs: CostModel, worker_id: int,
+                 flush_interval: float) -> None:
+        super().__init__(sim, f"storm-acker[{key[1]}]", location,
+                         network=network, ledger=ledger,
+                         group="storm-acker")
+        self.key = key
+        self.costs = costs
+        self.worker_id = worker_id
+        self.directory: Dict[InstanceKey, Tuple[Actor, int]] = {}
+        self.transfer: Optional[Actor] = None
+        self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
+        self.tracker = AckTracker(self._on_complete, self._on_expire)
+        self._out: Dict[InstanceKey, List[float]] = {}   # acked count, ets
+        self._fail_out: Dict[InstanceKey, List[float]] = {}
+        self.acks_processed = 0
+        self.every(flush_interval, self._flush)
+        self.every(self.message_timeout / 2,
+                   lambda: self.deliver(_Rotate()))
+
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, AckPacket):
+            self._handle_packet(message)
+        elif isinstance(message, _Rotate):
+            self.tracker.rotate()
+
+    def _handle_packet(self, packet: AckPacket) -> None:
+        costs = self.costs
+        for root, spout, emit_time in packet.inits:
+            self.charge(costs.storm_acker_per_op)
+            self.tracker.register(root, spout, emit_time)
+            self.acks_processed += 1
+        for update in packet.xors:
+            self.charge(costs.storm_acker_per_op)
+            if update.fail:
+                self.tracker.fail(update.root)
+            else:
+                self.tracker.update(update.root, update.value)
+            self.acks_processed += 1
+        for ack in packet.counted:
+            # Counted mode: charge the same two XOR ops per tuple a real
+            # acker would perform (init + ack), then aggregate.
+            self.charge(2 * costs.storm_acker_per_op * ack.count)
+            self.acks_processed += ack.count
+            slot = self._out.setdefault(ack.origin, [0.0, 0.0])
+            slot[0] += ack.count
+            slot[1] += ack.emit_time_sum
+
+    def _on_complete(self, entry: RootEntry) -> None:
+        slot = self._out.setdefault(entry.spout, [0.0, 0.0])
+        slot[0] += 1
+        slot[1] += entry.emit_time
+
+    def _on_expire(self, entry: RootEntry) -> None:
+        slot = self._fail_out.setdefault(entry.spout, [0.0, 0.0])
+        slot[0] += 1
+        slot[1] += entry.emit_time
+
+    def _flush(self) -> None:
+        remote_items = []
+        for cache, failed in ((self._out, False), (self._fail_out, True)):
+            for origin, (count, emit_sum) in cache.items():
+                entry = self.directory.get(origin)
+                if entry is None:
+                    continue
+                executor, worker_id = entry
+                ack = AckCounted(origin, int(count), emit_sum, failed=failed)
+                if worker_id == self.worker_id:
+                    self.send(executor, ack)
+                else:
+                    remote_items.append(
+                        (worker_id, AckPacket(dest_key=origin,
+                                              counted=[ack])))
+        if remote_items and self.transfer is not None:
+            self.send(self.transfer, TransferOut(remote_items))
+        self._out = {}
+        self._fail_out = {}
+
+
+class _Rotate:
+    """Self-timer for the acker timeout wheel."""

@@ -1,0 +1,66 @@
+"""Messages internal to the Storm baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from repro.core.messages import AckCounted, DataBatch, InstanceKey, XorUpdate
+
+
+@dataclass
+class RemoteBatch:
+    """A batch that crossed workers: the receiving executor must pay
+    deserialization on its own thread (Section III-A)."""
+
+    batch: DataBatch
+
+
+@dataclass
+class TransferOut:
+    """Executor → local transfer thread: one send-buffer flush's worth of
+    remote-bound payloads, as (dest_worker, DataBatch | AckPacket) pairs."""
+
+    items: List[Tuple[int, Any]]
+
+
+def merge_batches(batches: List[DataBatch]) -> List[DataBatch]:
+    """Coalesce batches sharing (dest, source component, stream, origin).
+
+    Values, counts, ids/anchors and emit-time sums are all additive, so
+    merging preserves routing, acking, and latency accounting exactly.
+    """
+    merged = {}
+    for batch in batches:
+        key = (batch.dest, batch.source_component, batch.stream,
+               batch.origin)
+        into = merged.get(key)
+        if into is None:
+            merged[key] = batch
+            continue
+        into.values.extend(batch.values)
+        into.count += batch.count
+        into.emit_time_sum += batch.emit_time_sum
+        into.tuple_ids.extend(batch.tuple_ids)
+        into.anchors.extend(batch.anchors)
+    return list(merged.values())
+
+
+@dataclass
+class WorkerDelivery:
+    """Transfer thread → remote transfer thread: one flush's buffers."""
+
+    from_worker: int
+    batches: List[DataBatch] = field(default_factory=list)
+    ack_packets: List["AckPacket"] = field(default_factory=list)
+
+
+@dataclass
+class AckPacket:
+    """Traffic to/from acker executors."""
+
+    dest_key: InstanceKey  # the acker's key, or the spout's for replies
+    inits: List[Tuple[int, InstanceKey, float]] = field(
+        default_factory=list)  # (root, spout, emit_time) — exact mode
+    xors: List[XorUpdate] = field(default_factory=list)
+    counted: List[AckCounted] = field(default_factory=list)

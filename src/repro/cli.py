@@ -1,0 +1,191 @@
+"""The ``heron-sim`` command line interface.
+
+Subcommands::
+
+    heron-sim demo                     # run a small WordCount end to end
+    heron-sim figure fig2 [--fast]     # regenerate one paper figure
+    heron-sim figures                  # list reproducible figures
+    heron-sim submit --parallelism 4   # run WordCount with knobs
+
+This is a thin convenience layer over ``repro.experiments`` and
+``repro.core``; everything it does is available as a library call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro import __version__
+
+#: figure id -> (module path, description)
+FIGURES: Dict[str, tuple] = {
+    "fig2": ("repro.experiments.fig02_04_heron_vs_storm",
+             "Figs 2-4: Heron vs Storm throughput/latency"),
+    "fig5": ("repro.experiments.fig05_09_sm_optimizations",
+             "Figs 5-9: Stream Manager optimization impact"),
+    "fig10": ("repro.experiments.fig10_11_max_spout_pending",
+              "Figs 10-11: max-spout-pending sweep"),
+    "fig12": ("repro.experiments.fig12_13_cache_drain",
+              "Figs 12-13: cache-drain-frequency sweep"),
+    "fig14": ("repro.experiments.fig14_resource_breakdown",
+              "Fig 14: resource-consumption breakdown"),
+    "microbatch": ("repro.experiments.microbatch_latency",
+                   "§III-B: micro-batch latency floor"),
+    "packing": ("repro.experiments.packing_policies",
+                "§IV-A: packing-policy trade-off"),
+    "ablations": ("repro.experiments.ablations",
+                  "Beyond-paper ablations (pools/lazy/cache)"),
+    "autotune": ("repro.experiments.autotuning",
+                 "§V-B future work: online auto-tuning"),
+}
+
+#: Aliases: every paper figure number resolves to its runner.
+ALIASES = {"fig3": "fig2", "fig4": "fig2", "fig6": "fig5", "fig7": "fig5",
+           "fig8": "fig5", "fig9": "fig5", "fig11": "fig10",
+           "fig13": "fig12"}
+
+
+def _cmd_figures(_args) -> int:
+    print("reproducible figures (heron-sim figure <id> [--fast]):")
+    for figure_id, (_module, description) in FIGURES.items():
+        print(f"  {figure_id:<12} {description}")
+    print("aliases:", ", ".join(f"{a}->{b}" for a, b in ALIASES.items()))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+
+    figure_id = ALIASES.get(args.id, args.id)
+    entry = FIGURES.get(figure_id)
+    if entry is None:
+        print(f"unknown figure {args.id!r}; try 'heron-sim figures'",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(entry[0])
+    figures = module.run(fast=args.fast)
+    for key, figure in figures.items():
+        figure.print()
+        if args.csv:
+            print(figure.to_csv())
+        if args.svg:
+            import pathlib
+
+            from repro.experiments.svg import save_svg
+            out_dir = pathlib.Path(args.svg)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"{key}.svg"
+            save_svg(figure, out_path)
+            print(f"wrote {out_path}")
+    failed = 0
+    for check in module.check_shapes(figures):
+        print(check)
+        failed += 0 if check.passed else 1
+    return 1 if failed else 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro.api.config_keys import TopologyConfigKeys as Keys
+    from repro.common.config import Config
+    from repro.core import HeronCluster
+    from repro.workloads import wordcount_topology
+
+    config = Config().set(Keys.BATCH_SIZE, 100).set(Keys.SAMPLE_CAP, 16)
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(
+        wordcount_topology(2, corpus_size=1000, config=config))
+    handle.wait_until_running()
+    print(handle.packing_plan.describe())
+    cluster.run_for(1.0)
+    totals = handle.totals()
+    print(f"1.0s simulated: {totals['emitted']:,.0f} emitted, "
+          f"{totals['executed']:,.0f} counted")
+    handle.kill()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.api.config_keys import TopologyConfigKeys as Keys
+    from repro.common.config import Config
+    from repro.core import HeronCluster
+    from repro.packing import FirstFitDecreasingPacking, RoundRobinPacking
+    from repro.workloads import wordcount_topology
+
+    config = Config()
+    config.set(Keys.ACKING_ENABLED, args.acks)
+    config.set(Keys.ACK_TRACKING, "counted")  # sampled batches need it
+    config.set(Keys.SAMPLE_CAP, 24)
+    config.set(Keys.MAX_SPOUT_PENDING, args.max_pending)
+    config.set(Keys.CACHE_DRAIN_FREQUENCY_MS, args.drain_ms)
+    cluster = HeronCluster.on_yarn(machines=max(4, args.parallelism)) \
+        if args.framework == "yarn" else \
+        HeronCluster.on_aurora(machines=max(4, args.parallelism)) \
+        if args.framework == "aurora" else HeronCluster.local()
+    packing = FirstFitDecreasingPacking() if args.packing == "ffd" \
+        else RoundRobinPacking()
+    topology = wordcount_topology(args.parallelism, config=config)
+    handle = cluster.submit_topology(topology, resource_manager=packing)
+    handle.wait_until_running()
+    print(handle.packing_plan.describe())
+    cluster.run_for(args.seconds)
+    totals = handle.totals()
+    rate = totals["acked" if args.acks else "executed"] / args.seconds
+    print(f"{args.seconds:.1f}s simulated: "
+          f"{rate * 60 / 1e6:,.0f}M tuples/min", end="")
+    if args.acks:
+        print(f", mean latency {handle.latency_stats().mean * 1e3:.1f}ms")
+    else:
+        print()
+    handle.kill()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the heron-sim argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="heron-sim",
+        description="Reproduction of 'Twitter Heron: Towards Extensible "
+                    "Streaming Engines' (ICDE 2017).")
+    parser.add_argument("--version", action="version",
+                        version=f"heron-sim {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures") \
+        .set_defaults(func=_cmd_figures)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", help="figure id (see 'figures')")
+    figure.add_argument("--fast", action="store_true",
+                        help="reduced parameters (smoke run)")
+    figure.add_argument("--csv", action="store_true",
+                        help="also print CSV data")
+    figure.add_argument("--svg", metavar="DIR",
+                        help="also render SVG charts into DIR")
+    figure.set_defaults(func=_cmd_figure)
+
+    sub.add_parser("demo", help="run a small WordCount end to end") \
+        .set_defaults(func=_cmd_demo)
+
+    submit = sub.add_parser("submit", help="run WordCount with knobs")
+    submit.add_argument("--parallelism", type=int, default=4)
+    submit.add_argument("--acks", action="store_true")
+    submit.add_argument("--max-pending", type=int, default=20_000)
+    submit.add_argument("--drain-ms", type=float, default=10.0)
+    submit.add_argument("--seconds", type=float, default=1.0)
+    submit.add_argument("--framework", choices=["local", "yarn", "aurora"],
+                        default="local")
+    submit.add_argument("--packing", choices=["rr", "ffd"], default="rr")
+    submit.set_defaults(func=_cmd_submit)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

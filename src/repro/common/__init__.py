@@ -1,0 +1,51 @@
+"""Shared plumbing used across every repro subpackage.
+
+This package deliberately contains no streaming-engine logic: only error
+types, configuration handling, resource units, and identifier helpers that
+the substrate and engine packages build on.
+"""
+
+from repro.common.config import Config, ConfigKey
+from repro.common.errors import (
+    ConfigError,
+    PackingError,
+    ReproError,
+    SchedulerError,
+    SerializationError,
+    SimulationError,
+    StateError,
+    TopologyError,
+)
+from repro.common.resources import Resource
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    MILLIS,
+    MINUTES,
+    SECONDS,
+    format_bytes,
+    format_duration,
+)
+
+__all__ = [
+    "Config",
+    "ConfigKey",
+    "ConfigError",
+    "PackingError",
+    "ReproError",
+    "Resource",
+    "SchedulerError",
+    "SerializationError",
+    "SimulationError",
+    "StateError",
+    "TopologyError",
+    "GB",
+    "KB",
+    "MB",
+    "MILLIS",
+    "MINUTES",
+    "SECONDS",
+    "format_bytes",
+    "format_duration",
+]

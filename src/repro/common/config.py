@@ -1,0 +1,163 @@
+"""Typed configuration plumbing.
+
+Heron lets the user configure every module either at topology submission
+time (command line) or through configuration files. We model that with a
+:class:`Config` — a typed, validating key/value map — and :class:`ConfigKey`
+declarations that carry a default, a type, and an optional validator.
+
+Modules declare their keys next to their implementation (see
+``repro.api.config_keys`` for the topology-level ones) so each module remains
+self-contained, per the paper's modularity goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ConfigKey:
+    """Declaration of one configuration knob.
+
+    ``value_type`` is enforced on ``set``; ``validator`` (if given) receives
+    the value and must return True for acceptance.
+    """
+
+    name: str
+    default: Any = None
+    value_type: Optional[type] = None
+    validator: Optional[Callable[[Any], bool]] = None
+    description: str = ""
+
+    def check(self, value: Any) -> Any:
+        """Validate (and lightly coerce) ``value`` for this key."""
+        if self.value_type is not None and not isinstance(value, self.value_type):
+            # Allow ints where floats are declared -- ubiquitous and safe.
+            if self.value_type is float and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                value = float(value)
+            else:
+                raise ConfigError(
+                    f"config key {self.name!r} expects "
+                    f"{self.value_type.__name__}, got "
+                    f"{type(value).__name__}: {value!r}")
+        if self.validator is not None and not self.validator(value):
+            raise ConfigError(
+                f"config key {self.name!r} rejected value {value!r}")
+        return value
+
+
+class Config:
+    """A typed key/value configuration map.
+
+    Keys may be set by :class:`ConfigKey` or by bare string name. Unknown
+    string keys are allowed (modules may look for extension-specific keys)
+    but typed keys are validated. ``Config`` objects are cheap to copy and
+    support layered defaults via :meth:`with_overrides`.
+    """
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = dict(values or {})
+
+    # -- mutation ---------------------------------------------------------
+    def set(self, key: "ConfigKey | str", value: Any) -> "Config":
+        """Set a value; returns self for chaining."""
+        if isinstance(key, ConfigKey):
+            self._values[key.name] = key.check(value)
+        else:
+            self._values[str(key)] = value
+        return self
+
+    def update(self, other: "Config | Mapping[str, Any]") -> "Config":
+        """Merge another config/mapping on top of this one (in place)."""
+        if isinstance(other, Config):
+            self._values.update(other._values)
+        else:
+            self._values.update(other)
+        return self
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, key: "ConfigKey | str", default: Any = None) -> Any:
+        """Fetch a value; for a ConfigKey the declared default wins over
+        ``default`` when ``default`` is None."""
+        if isinstance(key, ConfigKey):
+            if key.name in self._values:
+                return self._values[key.name]
+            return key.default if default is None else default
+        return self._values.get(str(key), default)
+
+    def require(self, key: "ConfigKey | str") -> Any:
+        """Fetch a value that must be present (or have a non-None default)."""
+        value = self.get(key)
+        if value is None:
+            name = key.name if isinstance(key, ConfigKey) else key
+            raise ConfigError(f"required config key {name!r} is not set")
+        return value
+
+    def __contains__(self, key: "ConfigKey | str") -> bool:
+        name = key.name if isinstance(key, ConfigKey) else str(key)
+        return name in self._values
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(sorted(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Config) and self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v!r}" for k, v in self)
+        return f"Config({inner})"
+
+    # -- derivation ---------------------------------------------------------
+    def copy(self) -> "Config":
+        """An independent copy of this config."""
+        return Config(self._values)
+
+    def with_overrides(self, other: "Config | Mapping[str, Any]") -> "Config":
+        """Return a new Config = self overlaid with ``other``."""
+        return self.copy().update(other)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the stored values."""
+        return dict(self._values)
+
+
+@dataclass
+class ConfigSchema:
+    """A named collection of :class:`ConfigKey` declarations.
+
+    Modules can publish a schema so tooling (CLI, docs) can enumerate the
+    knobs they accept, and ``validate`` can check a whole Config at once.
+    """
+
+    name: str
+    keys: Dict[str, ConfigKey] = field(default_factory=dict)
+
+    def declare(self, key: ConfigKey) -> ConfigKey:
+        """Register a key in this schema (duplicate names rejected)."""
+        if key.name in self.keys:
+            raise ConfigError(
+                f"duplicate config key {key.name!r} in schema {self.name!r}")
+        self.keys[key.name] = key
+        return key
+
+    def validate(self, config: Config) -> None:
+        """Type-check every value in ``config`` that this schema declares."""
+        for name, value in config:
+            key = self.keys.get(name)
+            if key is not None:
+                key.check(value)
+
+    def defaults(self) -> Config:
+        """A Config holding every declared default (skipping Nones)."""
+        cfg = Config()
+        for key in self.keys.values():
+            if key.default is not None:
+                cfg.set(key, key.default)
+        return cfg

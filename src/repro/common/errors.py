@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro packages.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure while still being
+able to distinguish subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid, missing, or ill-typed configuration value."""
+
+
+class SimulationError(ReproError):
+    """A violation of simulation-kernel invariants (time travel, double
+    start, sends from dead actors, ...)."""
+
+
+class SerializationError(ReproError):
+    """Malformed wire data or misuse of the serialization substrate."""
+
+
+class TopologyError(ReproError):
+    """An invalid topology definition (unknown components, bad groupings,
+    nonpositive parallelism, cycles where not allowed, ...)."""
+
+
+class PackingError(ReproError):
+    """The resource manager could not produce a valid packing plan."""
+
+
+class SchedulerError(ReproError):
+    """Scheduling-framework interaction failed (no capacity, unknown
+    container, double submission, ...)."""
+
+
+class StateError(ReproError):
+    """State-manager failures: missing nodes, session expiry, conflicting
+    ephemeral owners, ...."""

@@ -1,0 +1,62 @@
+"""Identifier helpers.
+
+The engine names things hierarchically — ``topology/container/instance`` —
+and several subsystems need compact, deterministic, process-unique ids.
+Everything here is deterministic (no uuid/time) so simulations replay
+identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def check_name(name: str, what: str = "name") -> str:
+    """Validate a user-supplied component/topology name.
+
+    Names must be non-empty, start alphanumeric, and contain only
+    alphanumerics, ``_``, ``.`` and ``-`` (they are embedded in state-manager
+    paths and instance ids).
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid {what}: {name!r} (must match {_NAME_RE.pattern})")
+    return name
+
+
+def instance_id(component: str, task_id: int, container_id: int) -> str:
+    """The canonical Heron instance id: ``container_<c>_<component>_<task>``."""
+    return f"container_{container_id}_{component}_{task_id}"
+
+
+def parse_instance_id(iid: str) -> tuple[int, str, int]:
+    """Inverse of :func:`instance_id`; returns (container, component, task)."""
+    match = re.match(r"^container_(\d+)_(.+)_(\d+)$", iid)
+    if not match:
+        raise ValueError(f"not an instance id: {iid!r}")
+    return int(match.group(1)), match.group(2), int(match.group(3))
+
+
+class IdGenerator:
+    """A deterministic counter-based id source.
+
+    >>> gen = IdGenerator("actor")
+    >>> gen.next(), gen.next()
+    ('actor-0', 'actor-1')
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter: Iterator[int] = itertools.count()
+
+    def next(self) -> str:
+        """The next id string (prefix-N)."""
+        return f"{self._prefix}-{next(self._counter)}"
+
+    def next_int(self) -> int:
+        """The next bare integer id."""
+        return next(self._counter)

@@ -1,0 +1,80 @@
+"""Resource descriptors (CPU / RAM / disk) used by packing and scheduling.
+
+A :class:`Resource` is an immutable triple. CPU is measured in (fractional)
+cores, RAM and disk in bytes. The arithmetic here is what the Resource
+Manager's packing algorithms and the schedulers' capacity checks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import format_bytes
+
+
+@dataclass(frozen=True, order=False)
+class Resource:
+    """An immutable (cpu cores, ram bytes, disk bytes) requirement/capacity."""
+
+    cpu: float = 0.0
+    ram: int = 0
+    disk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.ram < 0 or self.disk < 0:
+            raise ValueError(f"resource dimensions must be >= 0: {self}")
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.cpu + other.cpu, self.ram + other.ram,
+                        self.disk + other.disk)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        """Subtract; raises ValueError if any dimension would go negative."""
+        return Resource(self.cpu - other.cpu, self.ram - other.ram,
+                        self.disk - other.disk)
+
+    def scale(self, factor: float) -> "Resource":
+        """Return this resource multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return Resource(self.cpu * factor, int(self.ram * factor),
+                        int(self.disk * factor))
+
+    # -- comparisons ----------------------------------------------------
+    def fits_in(self, capacity: "Resource") -> bool:
+        """True if this requirement fits within ``capacity`` on every
+        dimension (the partial order used by bin packing)."""
+        return (self.cpu <= capacity.cpu + 1e-9
+                and self.ram <= capacity.ram
+                and self.disk <= capacity.disk)
+
+    def dominates(self, other: "Resource") -> bool:
+        """True if every dimension of self is >= the same dimension of
+        ``other``."""
+        return other.fits_in(self)
+
+    def max_with(self, other: "Resource") -> "Resource":
+        """Component-wise maximum (used to size homogeneous containers)."""
+        return Resource(max(self.cpu, other.cpu), max(self.ram, other.ram),
+                        max(self.disk, other.disk))
+
+    @property
+    def is_zero(self) -> bool:
+        return self.cpu == 0 and self.ram == 0 and self.disk == 0
+
+    @staticmethod
+    def zero() -> "Resource":
+        return Resource(0.0, 0, 0)
+
+    @staticmethod
+    def total(resources) -> "Resource":
+        """Sum an iterable of resources."""
+        acc = Resource.zero()
+        for res in resources:
+            acc = acc + res
+        return acc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Resource(cpu={self.cpu:g}, ram={format_bytes(self.ram)}, "
+                f"disk={format_bytes(self.disk)})")

@@ -1,0 +1,67 @@
+"""Units used throughout the simulator and engine.
+
+Simulated time is a ``float`` number of **seconds**. Byte quantities are
+plain ``int`` bytes. The constants here exist so call sites read naturally
+(``5 * MILLIS`` rather than ``0.005``).
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+SECONDS = 1.0
+MILLIS = 1e-3
+MICROS = 1e-6
+MINUTES = 60.0
+
+# --- space -----------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def format_duration(seconds: float) -> str:
+    """Render a simulated duration in a human-friendly unit.
+
+    >>> format_duration(0.0025)
+    '2.500ms'
+    >>> format_duration(90)
+    '1.50min'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds / MICROS:.3f}us"
+    if seconds < 1.0:
+        return f"{seconds / MILLIS:.3f}ms"
+    if seconds < MINUTES:
+        return f"{seconds:.3f}s"
+    return f"{seconds / MINUTES:.2f}min"
+
+
+def format_bytes(count: int) -> str:
+    """Render a byte count in a human-friendly unit.
+
+    >>> format_bytes(2048)
+    '2.0KB'
+    """
+    if count < 0:
+        return "-" + format_bytes(-count)
+    if count < KB:
+        return f"{count}B"
+    if count < MB:
+        return f"{count / KB:.1f}KB"
+    if count < GB:
+        return f"{count / MB:.1f}MB"
+    return f"{count / GB:.2f}GB"
+
+
+def tuples_per_min(tuple_count: float, seconds: float) -> float:
+    """Convert a tuple count over a window to tuples/minute (paper units)."""
+    if seconds <= 0:
+        raise ValueError(f"window must be positive, got {seconds}")
+    return tuple_count * MINUTES / seconds
+
+
+def millions_per_min(tuple_count: float, seconds: float) -> float:
+    """Convert a tuple count over a window to million tuples/minute."""
+    return tuples_per_min(tuple_count, seconds) / 1e6

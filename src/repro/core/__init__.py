@@ -1,0 +1,40 @@
+"""Heron's core runtime — the paper's primary contribution.
+
+The modules here are the blue boxes of Figure 1:
+
+* :class:`~repro.core.topology_master.TopologyMaster` — topology
+  lifecycle, physical-plan distribution, TM-location advertisement;
+* :class:`~repro.core.stream_manager.StreamManager` — the optimized
+  communication layer (tuple cache, lazy deserialization, memory pools,
+  ack routing, backpressure);
+* :class:`~repro.core.instance.HeronInstance` — process-per-task
+  execution of user spouts/bolts;
+* :class:`~repro.core.metrics_manager.MetricsManager` — per-container
+  metrics collection;
+* :class:`~repro.core.heron.HeronCluster` — the facade wiring the
+  pluggable Resource Manager / Scheduler / State Manager modules.
+"""
+
+from repro.core.acking import AckTracker, CountedTracker, RotatingMap
+from repro.core.heron import HeronCluster, TopologyHandle
+from repro.core.instance import HeronInstance
+from repro.core.messages import DataBatch, InstanceKey
+from repro.core.metrics_manager import MetricsManager
+from repro.core.pplan import PhysicalPlan
+from repro.core.stream_manager import StreamManager
+from repro.core.topology_master import TopologyMaster
+
+__all__ = [
+    "AckTracker",
+    "CountedTracker",
+    "DataBatch",
+    "HeronCluster",
+    "HeronInstance",
+    "InstanceKey",
+    "MetricsManager",
+    "PhysicalPlan",
+    "RotatingMap",
+    "StreamManager",
+    "TopologyHandle",
+    "TopologyMaster",
+]

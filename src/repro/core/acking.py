@@ -1,0 +1,172 @@
+"""XOR tuple-tree tracking (exact mode) and rotating timeout buckets.
+
+Heron tracks tuple trees the same way Storm does: each *root* tuple gets
+a registry entry; the ids of every tuple in its tree are XOR-ed into the
+entry (once when the tuple is emitted, once when it is acked). When the
+accumulated value returns to zero the tree is complete and the spout gets
+its ack. A :class:`RotatingMap` with N buckets implements message
+timeouts: entries untouched for a full rotation cycle are expired and the
+spout gets a fail.
+
+The tracker lives in the Stream Manager of the *origin* (spout-side)
+container; downstream bolts send :class:`~repro.core.messages.XorUpdate`
+messages that are routed back to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import InstanceKey
+
+
+@dataclass
+class RootEntry:
+    """One pending tuple tree."""
+
+    root: int
+    spout: InstanceKey
+    emit_time: float
+    xor_value: int = 0
+
+
+class RotatingMap:
+    """N-bucket rotating dictionary (the classic Storm timeout structure).
+
+    New/updated entries go to the head bucket; :meth:`rotate` retires the
+    tail bucket and returns its entries (these have been idle for at least
+    ``buckets - 1`` rotations). With rotation interval ``timeout /
+    (buckets - 1)``, an entry expires after at least ``timeout`` idle time.
+    """
+
+    def __init__(self, buckets: int = 3) -> None:
+        if buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {buckets}")
+        self._buckets: List[Dict[int, RootEntry]] = [
+            {} for _ in range(buckets)]
+
+    def put(self, key: int, entry: RootEntry) -> None:
+        """Insert/replace an entry in the head (freshest) bucket."""
+        self.remove(key)
+        self._buckets[0][key] = entry
+
+    def get(self, key: int) -> Optional[RootEntry]:
+        """Look up an entry without touching its idle clock."""
+        for bucket in self._buckets:
+            entry = bucket.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def touch(self, key: int) -> Optional[RootEntry]:
+        """Fetch and move to the head bucket (resets the idle clock)."""
+        for bucket in self._buckets:
+            entry = bucket.pop(key, None)
+            if entry is not None:
+                self._buckets[0][key] = entry
+                return entry
+        return None
+
+    def remove(self, key: int) -> Optional[RootEntry]:
+        """Remove and return an entry (None if absent)."""
+        for bucket in self._buckets:
+            entry = bucket.pop(key, None)
+            if entry is not None:
+                return entry
+        return None
+
+    def rotate(self) -> List[RootEntry]:
+        """Retire the oldest bucket; returns the expired entries."""
+        expired = self._buckets.pop()
+        self._buckets.insert(0, {})
+        return list(expired.values())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+
+class AckTracker:
+    """Exact XOR tracking for the roots originated by one container.
+
+    ``on_complete(entry)`` fires when a tree finishes; ``on_expire(entry)``
+    when it times out. Updates for unknown roots (already completed or
+    expired) are ignored, as in Storm/Heron.
+    """
+
+    def __init__(self, on_complete: Callable[[RootEntry], None],
+                 on_expire: Callable[[RootEntry], None],
+                 buckets: int = 3) -> None:
+        self._map = RotatingMap(buckets)
+        self._on_complete = on_complete
+        self._on_expire = on_expire
+
+    def register(self, root: int, spout: InstanceKey,
+                 emit_time: float) -> None:
+        """A spout emitted root tuple ``root``; its own id starts the XOR."""
+        entry = RootEntry(root, spout, emit_time, xor_value=root)
+        self._map.put(root, entry)
+
+    def update(self, root: int, value: int) -> None:
+        """XOR ``value`` into the tree (emission or ack of a tree tuple)."""
+        entry = self._map.touch(root)
+        if entry is None:
+            return
+        entry.xor_value ^= value
+        if entry.xor_value == 0:
+            self._map.remove(root)
+            self._on_complete(entry)
+
+    def fail(self, root: int) -> None:
+        """Explicit failure (a bolt called ``collector.fail``)."""
+        entry = self._map.remove(root)
+        if entry is not None:
+            self._on_expire(entry)
+
+    def rotate(self) -> int:
+        """Advance the timeout wheel; expired roots fail. Returns count."""
+        expired = self._map.rotate()
+        for entry in expired:
+            self._on_expire(entry)
+        return len(expired)
+
+    @property
+    def pending(self) -> int:
+        return len(self._map)
+
+
+class CountedTracker:
+    """Counted-mode bookkeeping for one spout instance.
+
+    Tracks only the number of in-flight tuples plus a stall timeout: if
+    no ack progress happens within ``timeout``, the outstanding window is
+    failed wholesale (crude, but in-flight loss only happens under
+    container failure, where exactness is not the point of this mode).
+    """
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+        self.pending = 0
+        self.last_progress: float = 0.0
+
+    def emitted(self, count: int, now: float) -> None:
+        """Record ``count`` newly in-flight tuples."""
+        if self.pending == 0:
+            self.last_progress = now
+        self.pending += count
+
+    def acked(self, count: int, now: float) -> int:
+        """Returns the accepted count (clipped to pending)."""
+        accepted = min(count, self.pending)
+        self.pending -= accepted
+        self.last_progress = now
+        return accepted
+
+    def check_stalled(self, now: float) -> int:
+        """If acks stalled past the timeout, fail the whole window."""
+        if self.pending > 0 and now - self.last_progress > self.timeout:
+            failed = self.pending
+            self.pending = 0
+            self.last_progress = now
+            return failed
+        return 0

@@ -1,0 +1,447 @@
+"""The Heron engine facade: submit/kill/restart/update topologies.
+
+:class:`HeronCluster` wires the modules together exactly along the
+paper's seams: a pluggable State Manager, a pluggable Resource Manager
+invoked on demand at submit/scale time, a pluggable Scheduler driving a
+scheduling framework, and per-container process sets (TM / SM / MM /
+instances) launched through the Scheduler's
+:class:`~repro.scheduler.base.TopologyLauncher` hooks.
+
+Example::
+
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(topology)
+    cluster.run_for(10.0)
+    print(handle.snapshot())
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional
+
+from repro.api.config_keys import SCHEMA as TOPOLOGY_SCHEMA
+from repro.api.topology import Topology
+from repro.common.config import Config
+from repro.common.errors import SchedulerError, TopologyError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.instance import HeronInstance
+from repro.core.messages import ActivateTopology, DeactivateTopology, \
+    InstanceKey
+from repro.core.metrics_manager import MetricsManager
+from repro.core.pplan import PhysicalPlan
+from repro.core.stream_manager import StreamManager
+from repro.core.topology_master import TopologyMaster
+from repro.metrics.stats import WeightedStats
+from repro.packing.base import SCHEMA as PACKING_SCHEMA, ResourceManager
+from repro.packing.plan import ContainerPlan, PackingPlan
+from repro.packing.round_robin import RoundRobinPacking
+from repro.scheduler.base import (KillTopologyRequest,
+                                  RestartTopologyRequest, Scheduler,
+                                  UpdateTopologyRequest)
+from repro.scheduler.frameworks import (AuroraFramework, LocalFramework,
+                                        SchedulingFramework, YarnFramework)
+from repro.scheduler.impls import (AuroraScheduler, LocalScheduler,
+                                   YarnScheduler)
+from repro.simulation.actors import CostLedger
+from repro.simulation.cluster import Cluster, Container
+from repro.simulation.costs import CostModel, DEFAULT_COST_MODEL
+from repro.simulation.events import Simulator
+from repro.simulation.network import Network
+from repro.simulation.rng import RngRegistry
+from repro.statemgr.base import StateManager
+from repro.statemgr.inmemory import InMemoryStateManager
+from repro.statemgr.paths import TopologyPaths
+
+
+class HeronCluster:
+    """One simulated deployment of Heron: substrate + modules + topologies."""
+
+    def __init__(self, *, framework: SchedulingFramework,
+                 statemgr: Optional[StateManager] = None,
+                 costs: Optional[CostModel] = None,
+                 seed: int = 0) -> None:
+        self.framework = framework
+        self.sim: Simulator = framework.sim
+        self.cluster: Cluster = framework.cluster
+        self.costs = costs or DEFAULT_COST_MODEL
+        self.network = Network(self.costs)
+        self.ledger = CostLedger()
+        self.statemgr = statemgr or InMemoryStateManager()
+        self.rng = RngRegistry(seed)
+        self.topologies: Dict[str, _TopologyRuntime] = {}
+        self._instance_indices = itertools.count()
+
+    # -- convenience constructors ---------------------------------------------
+    @classmethod
+    def local(cls, costs: Optional[CostModel] = None,
+              seed: int = 0) -> "HeronCluster":
+        """Single-machine local mode (LocalFramework + LocalScheduler)."""
+        sim = Simulator()
+        return cls(framework=LocalFramework(sim), costs=costs, seed=seed)
+
+    @classmethod
+    def on_aurora(cls, machines: int = 16,
+                  machine_resource: Resource = Resource(
+                      cpu=24, ram=72 * GB, disk=1000 * GB),
+                  costs: Optional[CostModel] = None,
+                  seed: int = 0) -> "HeronCluster":
+        sim = Simulator()
+        cluster = Cluster.homogeneous(machines, machine_resource)
+        return cls(framework=AuroraFramework(sim, cluster), costs=costs,
+                   seed=seed)
+
+    @classmethod
+    def on_yarn(cls, machines: int = 16,
+                machine_resource: Resource = Resource(
+                    cpu=24, ram=72 * GB, disk=1000 * GB),
+                costs: Optional[CostModel] = None,
+                seed: int = 0) -> "HeronCluster":
+        sim = Simulator()
+        cluster = Cluster.homogeneous(machines, machine_resource)
+        return cls(framework=YarnFramework(sim, cluster), costs=costs,
+                   seed=seed)
+
+    # -- time ---------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_for(self, seconds: float) -> None:
+        """Advance simulated time."""
+        self.sim.run_for(seconds)
+
+    # -- topology lifecycle ----------------------------------------------------------
+    def submit_topology(self, topology: Topology, *,
+                        config: Optional[Config] = None,
+                        resource_manager: Optional[ResourceManager] = None,
+                        scheduler: Optional[Scheduler] = None
+                        ) -> "TopologyHandle":
+        """Submit a topology: pack, schedule, launch.
+
+        The Resource Manager and Scheduler are per-topology pluggable —
+        "different Heron applications can seamlessly operate on the same
+        resources using different module implementations" (Section I).
+        """
+        if topology.name in self.topologies:
+            raise TopologyError(
+                f"topology {topology.name!r} is already running")
+        merged = topology.config.copy()
+        if config is not None:
+            merged.update(config)
+        TOPOLOGY_SCHEMA.validate(merged)
+        PACKING_SCHEMA.validate(merged)
+
+        manager = resource_manager or RoundRobinPacking()
+        manager.initialize(merged, topology)
+        plan = manager.pack()
+
+        paths = TopologyPaths(topology.name)
+        self.statemgr.put(paths.topology, topology.describe().encode())
+        self.statemgr.put(paths.packing_plan, plan.to_json())
+        self.statemgr.put(paths.execution_state, b"RUNNING")
+
+        runtime = _TopologyRuntime(self, topology, merged, manager, plan)
+        sched = scheduler or self._default_scheduler()
+        sched.initialize(merged, self.framework, runtime, topology.name)
+        runtime.scheduler = sched
+        self.topologies[topology.name] = runtime
+        sched.on_schedule(plan)
+        self.statemgr.put(paths.scheduler_location,
+                          type(sched).__name__.encode())
+        return TopologyHandle(self, runtime)
+
+    def _default_scheduler(self) -> Scheduler:
+        if isinstance(self.framework, AuroraFramework):
+            return AuroraScheduler()
+        if isinstance(self.framework, YarnFramework):
+            return YarnScheduler()
+        return LocalScheduler()
+
+    def kill_topology(self, name: str) -> None:
+        """Kill a topology: release containers, purge its state tree."""
+        runtime = self._runtime(name)
+        runtime.scheduler.on_kill(KillTopologyRequest(name))
+        paths = TopologyPaths(name)
+        if self.statemgr.exists(paths.base):
+            self.statemgr.delete(paths.base, recursive=True)
+        del self.topologies[name]
+
+    def restart_topology(self, name: str,
+                         container_id: Optional[int] = None) -> None:
+        """Restart one container of a topology (or all of them)."""
+        runtime = self._runtime(name)
+        runtime.scheduler.on_restart(
+            RestartTopologyRequest(name, container_id))
+
+    def update_topology(self, name: str,
+                        parallelism_changes: Mapping[str, int]) -> None:
+        """Topology scaling: repack, then push the delta to the scheduler
+        and the new physical plan to the Topology Master."""
+        runtime = self._runtime(name)
+        runtime.apply_scaling(parallelism_changes)
+
+    def activate(self, name: str) -> None:
+        """Resume spout emission (``heron activate``)."""
+        self._send_activation(name, True)
+
+    def deactivate(self, name: str) -> None:
+        """Pause spout emission (``heron deactivate``)."""
+        self._send_activation(name, False)
+
+    def _send_activation(self, name: str, active: bool) -> None:
+        runtime = self._runtime(name)
+        tmaster = runtime.tmaster
+        if tmaster is None or not tmaster.alive:
+            raise SchedulerError(f"topology {name!r} has no live TM")
+        message = ActivateTopology() if active else DeactivateTopology()
+        self.sim.schedule(0.0, tmaster.deliver, message)
+
+    def _runtime(self, name: str) -> "_TopologyRuntime":
+        runtime = self.topologies.get(name)
+        if runtime is None:
+            raise TopologyError(f"unknown topology {name!r}")
+        return runtime
+
+
+class _TopologyRuntime:
+    """Per-topology actor bookkeeping; implements TopologyLauncher."""
+
+    def __init__(self, heron: HeronCluster, topology: Topology,
+                 config: Config, manager: ResourceManager,
+                 plan: PackingPlan) -> None:
+        self.heron = heron
+        self.topology = topology
+        self.config = config
+        self.manager = manager
+        self.packing_plan = plan
+        self.pplan = PhysicalPlan(topology, plan)
+        self.scheduler: Scheduler = None  # type: ignore[assignment]
+        self.paths = TopologyPaths(topology.name)
+
+        self.tmaster: Optional[TopologyMaster] = None
+        self.sms: Dict[int, StreamManager] = {}
+        self.mms: Dict[int, MetricsManager] = {}
+        self.instances: Dict[InstanceKey, HeronInstance] = {}
+        self.container_keys: Dict[int, List[InstanceKey]] = {}
+        self.retired_counters: Dict[str, Dict[str, float]] = {}
+        self.retired_latency = WeightedStats()
+        self.spout_components = frozenset(topology.spouts)
+
+    # -- TopologyLauncher ------------------------------------------------------
+    def launch_tmaster(self, container: Container) -> None:
+        heron = self.heron
+        tmaster = TopologyMaster(
+            heron.sim, location=container.location(), network=heron.network,
+            ledger=heron.ledger, costs=heron.costs, pplan=self.pplan,
+            statemgr=heron.statemgr,
+            tmaster_path=self.paths.tmaster_location)
+        container.attach(tmaster)
+        self.tmaster = tmaster
+        tmaster.start()
+
+    def resolve_tmaster(self) -> Optional[TopologyMaster]:
+        tmaster = self.tmaster
+        if tmaster is not None and tmaster.alive:
+            return tmaster
+        return None
+
+    def launch_container(self, container: Container,
+                         plan: ContainerPlan) -> None:
+        heron = self.heron
+        cid = plan.id
+        sm = StreamManager(
+            heron.sim, cid, location=container.location(),
+            network=heron.network, ledger=heron.ledger, config=self.config,
+            costs=heron.costs, topology_name=self.topology.name,
+            resolve_tmaster=self.resolve_tmaster, statemgr=heron.statemgr,
+            tmaster_path=self.paths.tmaster_location)
+        container.attach(sm)
+        self.sms[cid] = sm
+
+        mm = MetricsManager(
+            heron.sim, cid, location=container.location(),
+            network=heron.network, ledger=heron.ledger, costs=heron.costs,
+            resolve_tmaster=self.resolve_tmaster)
+        container.attach(mm)
+        self.mms[cid] = mm
+
+        keys: List[InstanceKey] = []
+        for inst_plan in plan.instances:
+            key: InstanceKey = (inst_plan.component, inst_plan.task_id)
+            spec = self.topology.component(inst_plan.component)
+            user = spec.spout if self.topology.is_spout(
+                inst_plan.component) else spec.bolt
+            instance = HeronInstance(
+                heron.sim, key, location=container.location(),
+                network=heron.network, ledger=heron.ledger,
+                user_component=user, config=self.config, costs=heron.costs,
+                topology_name=self.topology.name,
+                parallelism=self.topology.parallelism_of(
+                    inst_plan.component),
+                spout_components=self.spout_components,
+                stream_manager=sm, metrics_manager=mm,
+                instance_index=next(heron._instance_indices))
+            container.attach(instance)
+            sm.register_local(key, instance)
+            self.instances[key] = instance
+            keys.append(key)
+        self.container_keys[cid] = keys
+
+    def stop_container(self, container_id: int) -> None:
+        """Drop runtime bookkeeping for a container being released.
+
+        Counters of the dying instances are folded into the retired
+        totals so topology metrics stay monotonic across restarts and
+        scale-downs. (The actors themselves are killed by the framework
+        when the container is released.)
+        """
+        self.sms.pop(container_id, None)
+        self.mms.pop(container_id, None)
+        for key in self.container_keys.pop(container_id, []):
+            instance = self.instances.pop(key, None)
+            if instance is None:
+                continue
+            retired = self.retired_counters.setdefault(
+                key[0], {"emitted": 0.0, "executed": 0.0, "acked": 0.0,
+                         "failed": 0.0})
+            retired["emitted"] += instance.emitted_count
+            retired["executed"] += instance.executed_count
+            retired["acked"] += instance.acked_count
+            retired["failed"] += instance.failed_count
+            self.retired_latency.merge(instance.latency)
+
+    # -- scaling ----------------------------------------------------------------
+    def apply_scaling(self, parallelism_changes: Mapping[str, int]) -> None:
+        new_topology = self.topology.with_parallelism(parallelism_changes)
+        new_plan = self.manager.repack(self.packing_plan,
+                                       parallelism_changes)
+        self.topology = new_topology
+        self.packing_plan = new_plan
+        self.pplan = PhysicalPlan(new_topology, new_plan)
+        self.heron.statemgr.put(self.paths.packing_plan, new_plan.to_json())
+        self.scheduler.on_update(
+            UpdateTopologyRequest(self.topology.name, new_plan))
+        tmaster = self.resolve_tmaster()
+        if tmaster is not None:
+            tmaster.update_plan(self.pplan)
+
+
+class TopologyHandle:
+    """User-facing view of a running topology: metrics + lifecycle."""
+
+    def __init__(self, heron: HeronCluster,
+                 runtime: _TopologyRuntime) -> None:
+        self._heron = heron
+        self._runtime = runtime
+        self.name = runtime.topology.name
+
+    # -- lifecycle shortcuts -----------------------------------------------------
+    def kill(self) -> None:
+        """Kill this topology."""
+        self._heron.kill_topology(self.name)
+
+    def restart(self, container_id: Optional[int] = None) -> None:
+        """Restart one container (or all)."""
+        self._heron.restart_topology(self.name, container_id)
+
+    def scale(self, parallelism_changes: Mapping[str, int]) -> None:
+        """Change component parallelism at runtime (repack + onUpdate)."""
+        self._heron.update_topology(self.name, parallelism_changes)
+
+    def activate(self) -> None:
+        """Resume spout emission."""
+        self._heron.activate(self.name)
+
+    def deactivate(self) -> None:
+        """Pause spout emission."""
+        self._heron.deactivate(self.name)
+
+    def wait_until_running(self, timeout: float = 10.0) -> None:
+        """Advance time until the physical plan is live everywhere."""
+        deadline = self._heron.now + timeout
+        while self._heron.now < deadline:
+            tmaster = self._runtime.tmaster
+            sms = self._runtime.sms.values()
+            if (tmaster is not None and tmaster.alive
+                    and tmaster.plan_broadcasts > 0
+                    and all(sm.pplan is not None for sm in sms)):
+                return
+            self._heron.run_for(0.01)
+        raise SchedulerError(
+            f"topology {self.name!r} did not reach running within "
+            f"{timeout}s")
+
+    # -- metrics ---------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative per-component counters (live + retired)."""
+        result: Dict[str, Dict[str, float]] = {}
+        for component, retired in self._runtime.retired_counters.items():
+            result[component] = dict(retired)
+        for (component, _task), inst in self._runtime.instances.items():
+            row = result.setdefault(
+                component, {"emitted": 0.0, "executed": 0.0,
+                            "acked": 0.0, "failed": 0.0})
+            row["emitted"] += inst.emitted_count
+            row["executed"] += inst.executed_count
+            row["acked"] += inst.acked_count
+            row["failed"] += inst.failed_count
+        return result
+
+    def totals(self) -> Dict[str, float]:
+        """Cumulative emitted/executed/acked/failed across all components."""
+        totals = {"emitted": 0.0, "executed": 0.0, "acked": 0.0,
+                  "failed": 0.0}
+        for row in self.snapshot().values():
+            for key in totals:
+                totals[key] += row[key]
+        return totals
+
+    def latency_stats(self) -> WeightedStats:
+        """End-to-end (spout emit → ack) latency over all spouts."""
+        merged = WeightedStats()
+        merged.merge(self._runtime.retired_latency)
+        for (component, _task), inst in self._runtime.instances.items():
+            if inst.is_spout:
+                merged.merge(inst.latency)
+        return merged
+
+    def sm_totals(self) -> Dict[str, float]:
+        """Aggregated Stream Manager counters across containers."""
+        totals = {"tuples_routed": 0.0, "acks_routed": 0.0, "drains": 0.0,
+                  "batches_in": 0.0, "batches_out": 0.0,
+                  "dropped_batches": 0.0, "backpressure_starts": 0.0}
+        for sm in self._runtime.sms.values():
+            for key in totals:
+                totals[key] += getattr(sm, key.replace("-", "_"))
+        return totals
+
+    @property
+    def packing_plan(self) -> PackingPlan:
+        return self._runtime.packing_plan
+
+    @property
+    def physical_plan(self) -> PhysicalPlan:
+        return self._runtime.pplan
+
+    def provisioned_cores(self) -> float:
+        """CPU cores currently provisioned for this topology."""
+        return self._heron.cluster.provisioned_cores(self.name)
+
+    def pool_stats(self):
+        """Aggregated SM cache-entry pool statistics."""
+        acquires = hits = 0
+        for sm in self._runtime.sms.values():
+            acquires += sm.pool_stats.acquires
+            hits += sm.pool_stats.hits
+        return {"acquires": acquires, "hits": hits}
+
+    def tmaster_metrics(self) -> Dict[int, dict]:
+        """Per-container metric summaries as collected by the Topology
+        Master via the Metrics Managers (the control-plane metrics path:
+        instance → MM → TM)."""
+        tmaster = self._runtime.tmaster
+        if tmaster is None or not tmaster.alive:
+            return {}
+        return dict(tmaster.container_metrics)

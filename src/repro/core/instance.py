@@ -1,0 +1,481 @@
+"""The Heron Instance: one spout or bolt task in its own process.
+
+"The remaining containers each run a Stream Manager, a Metrics Manager
+and a set of Heron Instances which are essentially spouts or bolts that
+run on their own JVM" (Section II). Process-per-instance is the resource
+isolation story of Section III-A; here each instance is its own actor
+with its own queue and its own charged CPU.
+
+Spouts run a self-paced emit loop throttled by three gates:
+
+* **activation** — spouts only emit between topology activate/deactivate
+  and once the physical plan has arrived;
+* **max_spout_pending** — with acking on, emission stops while
+  ``pending >= max_spout_pending`` and resumes on acks (Section V-B);
+* **backpressure** — Stream Managers pause/resume spouts when queues
+  cross the configured watermarks.
+
+Bolts process :class:`~repro.core.messages.DataBatch` deliveries, run
+user code, and (with acking) emit ack traffic back toward the spouts.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional
+
+from repro.api.component import Bolt, ComponentContext, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.tuples import Batch, Tuple
+from repro.common.config import Config
+from repro.core.acking import CountedTracker
+from repro.core.messages import (AckComplete, AckCounted, DataBatch,
+                                 EmitTick, InstanceBatches, InstanceKey,
+                                 MetricSample, PauseSpouts, ResumeSpouts,
+                                 XorUpdate)
+from repro.metrics.stats import WeightedStats
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostCategory, CostModel
+from repro.simulation.events import Simulator
+
+
+class _StartInstance:
+    """SM → instance: the physical plan is live; spouts may emit."""
+
+
+class _StallCheck:
+    """Self-timer: counted-mode ack-stall detection."""
+
+
+class _MetricsTick:
+    """Self-timer: report metrics to the Metrics Manager."""
+
+
+class InstanceCollector:
+    """Accumulates emissions/acks during one user-code invocation."""
+
+    def __init__(self, instance: "HeronInstance") -> None:
+        self._instance = instance
+        self.emitted: Dict[str, List[List[Any]]] = {}
+        self.extra_counts: Dict[str, int] = {}
+        self.current_anchors: List = []  # exact-mode auto-anchoring
+        self.acked_tuples: List[Tuple] = []
+        self.failed_tuples: List[Tuple] = []
+        self.emitted_ids: Dict[str, List[int]] = {}
+        self.emitted_anchors: Dict[str, List[List]] = {}
+
+    def begin(self) -> None:
+        """Reset accumulation for one user-code invocation."""
+        self.emitted = {}
+        self.extra_counts = {}
+        self.current_anchors = []
+        self.acked_tuples = []
+        self.failed_tuples = []
+        self.emitted_ids = {}
+        self.emitted_anchors = {}
+
+    # -- Collector protocol ------------------------------------------------
+    def emit(self, values: List[Any], stream: str = "default",
+             anchors: Optional[List[int]] = None) -> None:
+        """Record one emitted tuple (assigning ids/anchors in exact mode)."""
+        self.emitted.setdefault(stream, []).append(values)
+        if self._instance.exact_acking:
+            new_id = self._instance.next_tuple_id()
+            self.emitted_ids.setdefault(stream, []).append(new_id)
+            if self._instance.is_spout:
+                anchor_list = [(new_id, self._instance.key)]
+            else:
+                anchor_list = list(self.current_anchors)
+            self.emitted_anchors.setdefault(stream, []).append(anchor_list)
+
+    def emit_batch(self, values: List[List[Any]],
+                   count: Optional[int] = None,
+                   stream: str = "default") -> None:
+        """Weighted emission (performance workloads). Under exact ack
+        tracking only full-fidelity batches are allowed (each tuple needs
+        its own id), and they fall back to per-tuple emits."""
+        total = len(values) if count is None else count
+        if self._instance.exact_acking:
+            if total != len(values):
+                raise RuntimeError(
+                    "sampled emit_batch is not supported with exact ack "
+                    "tracking; use counted tracking for sampled runs")
+            for value in values:
+                self.emit(value, stream)
+            return
+        if total < len(values):
+            raise ValueError(
+                f"count {total} < number of concrete values {len(values)}")
+        self.emitted.setdefault(stream, []).extend(values)
+        if total > len(values):
+            self.extra_counts[stream] = \
+                self.extra_counts.get(stream, 0) + (total - len(values))
+
+    def ack(self, tup: Tuple) -> None:
+        """Mark an input tuple successfully processed (exact mode)."""
+        self.acked_tuples.append(tup)
+
+    def fail(self, tup: Tuple) -> None:
+        """Mark an input tuple failed (fails its whole tree in exact mode)."""
+        self.failed_tuples.append(tup)
+
+    def stream_count(self, stream: str) -> int:
+        """Tuples emitted on one stream during this invocation."""
+        return len(self.emitted.get(stream, [])) + \
+            self.extra_counts.get(stream, 0)
+
+    @property
+    def total_emitted(self) -> int:
+        return sum(self.stream_count(stream) for stream in
+                   set(self.emitted) | set(self.extra_counts))
+
+
+class HeronInstance(Actor):
+    """The actor hosting one spout or bolt task."""
+
+    def __init__(self, sim: Simulator, key: InstanceKey, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 user_component, config: Config, costs: CostModel,
+                 topology_name: str, parallelism: int,
+                 spout_components: frozenset,
+                 stream_manager: Optional[Actor] = None,
+                 metrics_manager: Optional[Actor] = None,
+                 instance_index: int = 0) -> None:
+        component, task_id = key
+        super().__init__(sim, f"{component}[{task_id}]", location,
+                         network=network, ledger=ledger, group="instance")
+        self.key = key
+        self.component = component
+        self.task_id = task_id
+        self.costs = costs
+        self.config = config
+        self.topology_name = topology_name
+        self.spout_components = spout_components
+        self.stream_manager = stream_manager
+        self.metrics_manager = metrics_manager
+
+        # Each task runs its own copy of the user object (no shared state
+        # between tasks, as with separate JVMs).
+        self.user = copy.deepcopy(user_component)
+        self.is_spout = isinstance(self.user, Spout)
+        if not self.is_spout and not isinstance(self.user, Bolt):
+            raise TypeError(f"{user_component!r} is neither Spout nor Bolt")
+
+        # --- config snapshot ---------------------------------------------
+        self.acking = bool(config.get(Keys.ACKING_ENABLED))
+        self.exact_acking = self.acking and \
+            config.get(Keys.ACK_TRACKING) == "exact"
+        self.max_pending = int(config.get(Keys.MAX_SPOUT_PENDING))
+        self.batch_size = int(config.get(Keys.BATCH_SIZE))
+        self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
+
+        # --- state ----------------------------------------------------------
+        self.collector = InstanceCollector(self)
+        self.context = ComponentContext(topology_name, component, task_id,
+                                        parallelism, config)
+        self.context.now = lambda: self.sim.now  # type: ignore[method-assign]
+        self.active = False          # physical plan not yet live
+        self.paused_by_backpressure = False
+        self.emit_loop_idle = True
+        self.opened = False
+        self._tuple_seq = 0
+        self._id_base = (instance_index + 1) << 40
+        self.tracker = CountedTracker(self.message_timeout)
+
+        # --- counters (read by the metrics/harness layer) --------------------
+        self.emitted_count = 0
+        self.executed_count = 0
+        self.acked_count = 0
+        self.failed_count = 0
+        self.latency = WeightedStats()
+        self.backpressure_pauses = 0
+
+        if self.is_spout and self.acking:
+            self.every(self.message_timeout / 2,
+                       lambda: self.deliver(_StallCheck()))
+
+    # -- identity helpers -----------------------------------------------------
+    def next_tuple_id(self) -> int:
+        """A globally unique tuple id for exact ack tracking."""
+        self._tuple_seq += 1
+        return self._id_base | self._tuple_seq
+
+    @property
+    def pending(self) -> int:
+        return self.tracker.pending
+
+    # -- message handling -----------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, DataBatch):
+            self._handle_data(message)
+        elif isinstance(message, (AckComplete, AckCounted)):
+            self._handle_ack(message)
+        elif isinstance(message, EmitTick):
+            self._emit_once()
+        elif isinstance(message, _StartInstance):
+            self._start()
+        elif isinstance(message, PauseSpouts):
+            self._set_backpressure(True)
+        elif isinstance(message, ResumeSpouts):
+            self._set_backpressure(False)
+        elif isinstance(message, _StallCheck):
+            self._check_stall()
+        elif isinstance(message, _MetricsTick):
+            self._report_metrics()
+
+    # -- lifecycle --------------------------------------------------------------
+    def _start(self) -> None:
+        if not self.opened:
+            self.opened = True
+            if self.is_spout:
+                self.user.open(self.context, self.collector)
+            else:
+                self.user.prepare(self.context, self.collector)
+                tick = getattr(self.user, "tick_frequency", None)
+                if tick:
+                    self.every(tick, self._deliver_tick)
+            self.every(1.0, lambda: self.deliver(_MetricsTick()))
+        if self.is_spout and not self.active:
+            self.active = True
+            self._wake_emit_loop()
+
+    def deactivate(self) -> None:
+        """Stop the spout emit loop (topology deactivate)."""
+        self.active = False
+
+    def activate(self) -> None:
+        """Resume the spout emit loop (topology activate)."""
+        if self.opened and self.is_spout and not self.active:
+            self.active = True
+            self._wake_emit_loop()
+
+    def on_killed(self) -> None:
+        if self.opened:
+            self.user.close()
+
+    # -- spout emit loop ----------------------------------------------------------
+    def _gate_open(self) -> bool:
+        if not (self.active and not self.paused_by_backpressure):
+            return False
+        if self.acking and self.tracker.pending >= self.max_pending:
+            return False
+        return True
+
+    def _emit_once(self) -> None:
+        if not self._gate_open():
+            self.emit_loop_idle = True
+            return
+        self.emit_loop_idle = False
+        budget = self.batch_size
+        if self.acking:
+            budget = min(budget, self.max_pending - self.tracker.pending)
+        self.collector.begin()
+        self.user.next_batch(self.collector, budget)
+        emitted = self.collector.total_emitted
+        if emitted:
+            self._flush_emissions(charge_spout=True)
+            self.send(self, EmitTick())
+        else:
+            # Source idle (e.g., a rate-limited broker has no events yet):
+            # back off instead of spinning, as a real spout's wait-strategy
+            # does. 1ms keeps idle CPU negligible and batches healthy.
+            self.charge(self.costs.instance_emit_per_tuple)
+            self.send(self, EmitTick(), extra_delay=1e-3)
+
+    def _wake_emit_loop(self) -> None:
+        if self.emit_loop_idle and self._gate_open():
+            self.emit_loop_idle = False
+            self.send(self, EmitTick())
+
+    def _set_backpressure(self, paused: bool) -> None:
+        if paused and not self.paused_by_backpressure:
+            self.backpressure_pauses += 1
+        self.paused_by_backpressure = paused
+        if not paused:
+            self._wake_emit_loop()
+
+    def _check_stall(self) -> None:
+        failed = self.tracker.check_stalled(self.sim.now)
+        if failed:
+            self.failed_count += failed
+            if self.is_spout:
+                self.user.fail(0)
+            self._wake_emit_loop()
+
+    def _deliver_tick(self) -> None:
+        """Engine-generated tick tuple (Bolt.tick_frequency)."""
+        from repro.api.component import TICK_STREAM
+        self.deliver(DataBatch(
+            dest=self.key, source_component="__system", stream=TICK_STREAM,
+            values=[[]], count=1, origin=self.key,
+            emit_time_sum=self.sim.now, tuple_ids=[0], anchors=[[]]))
+
+    # -- bolt execution -------------------------------------------------------------
+    def _handle_data(self, batch: DataBatch) -> None:
+        if self.is_spout:
+            return  # spouts have no data inputs
+        if not self.opened:
+            self._start()
+        if batch.stream == "__tick":
+            self.charge(self.costs.instance_execute_per_tuple)
+            self.collector.begin()
+            if self.exact_acking:
+                self._execute_exact(batch)
+            else:
+                self.user.execute_batch(
+                    Batch(values=batch.values, count=batch.count,
+                          stream=batch.stream,
+                          source_component=batch.source_component),
+                    self.collector)
+            # Ticks are engine-internal: not counted as executed tuples,
+            # never acked; emissions they trigger flow normally.
+            self.collector.acked_tuples = []
+            self.collector.failed_tuples = []
+            self._flush_emissions(charge_spout=False, input_batch=None)
+            return
+        count = batch.count
+        fetch_like = getattr(self.user, "charges_category", None)
+        category = fetch_like if fetch_like else CostCategory.USER
+        self.charge(self.costs.instance_batch_overhead)
+        self.charge(count * self.costs.instance_execute_per_tuple,
+                    CostCategory.ENGINE)
+        if self.user.user_cost_per_tuple:
+            self.charge(count * self.user.user_cost_per_tuple, category)
+        self.collector.begin()
+        if self.exact_acking:
+            self._execute_exact(batch)
+        else:
+            api_batch = Batch(values=batch.values, count=count,
+                              stream=batch.stream,
+                              source_component=batch.source_component)
+            self.user.execute_batch(api_batch, self.collector)
+        self.executed_count += count
+        self._flush_emissions(charge_spout=False, input_batch=batch)
+
+    def _execute_exact(self, batch: DataBatch) -> None:
+        """Per-tuple execution with correct anchoring and auto-ack."""
+        for index, values in enumerate(batch.values):
+            tup = Tuple(values=values, stream=batch.stream,
+                        source_component=batch.source_component,
+                        tuple_id=batch.tuple_ids[index])
+            self.collector.current_anchors = batch.anchors[index]
+            self.user.execute(tup, self.collector)
+            # BasicBolt semantics: auto-ack unless the user failed it.
+            if not any(f.tuple_id == tup.tuple_id
+                       for f in self.collector.failed_tuples):
+                self.collector.acked_tuples.append(tup)
+        self.collector.current_anchors = []
+
+    # -- emission flush ----------------------------------------------------------
+    def _flush_emissions(self, charge_spout: bool,
+                         input_batch: Optional[DataBatch] = None) -> None:
+        collector = self.collector
+        now = self.sim.now
+        batches: List[DataBatch] = []
+        total = 0
+        for stream in set(collector.emitted) | set(collector.extra_counts):
+            values = collector.emitted.get(stream, [])
+            count = len(values) + collector.extra_counts.get(stream, 0)
+            if count == 0:
+                continue
+            total += count
+            if self.is_spout:
+                origin = self.key
+                emit_time_sum = now * count
+            else:
+                origin = input_batch.origin if input_batch else self.key
+                emit_time_sum = (input_batch.emit_time_sum if input_batch
+                                 else now * count)
+            batches.append(DataBatch(
+                dest=None, source_component=self.component, stream=stream,
+                values=values, count=count, origin=origin,
+                emit_time_sum=emit_time_sum,
+                tuple_ids=collector.emitted_ids.get(stream, []),
+                anchors=collector.emitted_anchors.get(stream, [])))
+        acks: List[AckCounted] = []
+        xor_updates: List[XorUpdate] = []
+        if self.exact_acking:
+            # Emissions extend the tuple trees; acks retire tree nodes.
+            for stream, ids in collector.emitted_ids.items():
+                anchor_lists = collector.emitted_anchors[stream]
+                if self.is_spout:
+                    continue  # spout roots are registered by the SM
+                for new_id, anchor_list in zip(ids, anchor_lists):
+                    for root, origin in anchor_list:
+                        xor_updates.append(XorUpdate(root, origin, new_id))
+            if input_batch is not None:
+                for tup in collector.acked_tuples:
+                    idx = batch_index(input_batch, tup.tuple_id)
+                    for root, origin in input_batch.anchors[idx]:
+                        xor_updates.append(
+                            XorUpdate(root, origin, tup.tuple_id))
+                for tup in collector.failed_tuples:
+                    idx = batch_index(input_batch, tup.tuple_id)
+                    for root, origin in input_batch.anchors[idx]:
+                        xor_updates.append(
+                            XorUpdate(root, origin, 0, fail=True))
+        elif self.acking and input_batch is not None \
+                and input_batch.source_component in self.spout_components:
+            # Counted mode: first-hop completion acks the origin spout.
+            acks.append(AckCounted(input_batch.origin, input_batch.count,
+                                   input_batch.emit_time_sum))
+
+        if total:
+            self.emitted_count += total
+            per_tuple = (self.costs.instance_serialize_per_tuple +
+                         (self.costs.instance_emit_per_tuple
+                          if self.is_spout else 0.0))
+            self.charge(total * per_tuple)
+            if charge_spout and self.user.user_cost_per_tuple:
+                fetch_like = getattr(self.user, "charges_category", None)
+                category = fetch_like if fetch_like else CostCategory.USER
+                self.charge(total * self.user.user_cost_per_tuple, category)
+            if self.is_spout:
+                if self.acking:
+                    self.tracker.emitted(total, now)
+                self.charge(self.costs.instance_batch_overhead)
+        if (batches or acks or xor_updates) and self.stream_manager:
+            self.send(self.stream_manager,
+                      InstanceBatches(self.key, batches, acks, xor_updates))
+
+    # -- ack handling ---------------------------------------------------------------
+    def _handle_ack(self, ack) -> None:
+        if not self.is_spout:
+            return
+        count = ack.count
+        self.charge(count * self.costs.instance_ack_per_tuple)
+        accepted = self.tracker.acked(count, self.sim.now)
+        if ack.failed:
+            self.failed_count += accepted
+            callback = self.user.fail
+        else:
+            self.acked_count += accepted
+            callback = self.user.ack
+            if count > 0:
+                mean_emit = ack.emit_time_sum / count
+                self.latency.add(self.sim.now - mean_emit, weight=count)
+        if isinstance(ack, AckComplete):
+            for tuple_id in ack.tuple_ids:
+                callback(tuple_id)
+        elif accepted:
+            callback(0)
+        self._wake_emit_loop()
+
+    # -- metrics ------------------------------------------------------------------
+    def _report_metrics(self) -> None:
+        if self.metrics_manager is None:
+            return
+        self.charge(self.costs.metrics_per_sample)
+        self.send(self.metrics_manager, MetricSample(
+            source=self.name,
+            metrics={
+                "emitted": self.emitted_count,
+                "executed": self.executed_count,
+                "acked": self.acked_count,
+                "failed": self.failed_count,
+            }))
+
+
+def batch_index(batch: DataBatch, tuple_id: int) -> int:
+    """Locate a tuple id inside a batch (exact mode, small batches)."""
+    return batch.tuple_ids.index(tuple_id)

@@ -1,0 +1,173 @@
+"""Runtime messages exchanged between Heron processes (actors).
+
+These are the in-simulation representations of the wire messages in
+:mod:`repro.serialization.messages`: tuple payloads ride as Python lists
+for simulation speed, while (de)serialization CPU cost is charged by the
+Stream Manager according to the cost model (see DESIGN.md §5).
+
+``InstanceKey`` identifies a task as ``(component, task_id)`` — the hot
+routing maps key on these tuples rather than on instance-id strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+InstanceKey = Tuple[str, int]
+
+#: Exact-mode anchor: (root tuple id, origin spout instance key).
+Anchor = Tuple[int, InstanceKey]
+
+
+@dataclass
+class DataBatch:
+    """A batch of data tuples between an instance and a Stream Manager.
+
+    ``count`` is the number of simulated tuples represented; ``values``
+    carries up to ``count`` concrete value-lists (all of them in
+    full-fidelity runs, a sample in performance runs).
+
+    ``emit_time_sum`` is the sum of spout-emit timestamps over all
+    ``count`` tuples; ack latency is measured against its mean, which is
+    exact for an unmerged batch and a weighted average after the tuple
+    cache merges batches.
+    """
+
+    dest: Optional[InstanceKey]
+    source_component: str
+    stream: str
+    values: List[Any]
+    count: int
+    origin: InstanceKey
+    emit_time_sum: float
+    tuple_ids: List[int] = field(default_factory=list)
+    anchors: List[List[Anchor]] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Scrub for memory-pool reuse."""
+        self.dest = None
+        self.source_component = ""
+        self.stream = ""
+        self.values = []
+        self.count = 0
+        self.origin = ("", -1)
+        self.emit_time_sum = 0.0
+        self.tuple_ids = []
+        self.anchors = []
+
+
+@dataclass
+class InstanceBatches:
+    """What one instance hands its local SM after a next_batch/execute
+    call: every per-stream batch it produced, plus ack bookkeeping."""
+
+    source: InstanceKey
+    batches: List[DataBatch]
+    acks: List["AckCounted"] = field(default_factory=list)
+    xor_updates: List["XorUpdate"] = field(default_factory=list)
+
+
+@dataclass
+class RemoteDelivery:
+    """SM → SM transfer: all cached batches bound for one remote
+    container, shipped as a single framed message per drain."""
+
+    from_container: int
+    batches: List[DataBatch]
+    acks: List["AckCounted"] = field(default_factory=list)
+    xor_updates: List["XorUpdate"] = field(default_factory=list)
+
+
+@dataclass
+class AckCounted:
+    """Counted-mode ack: ``count`` tuples of ``origin`` finished their
+    first hop; ``emit_time_sum`` supports latency accounting."""
+
+    origin: InstanceKey
+    count: int
+    emit_time_sum: float
+    failed: bool = False
+
+
+@dataclass
+class XorUpdate:
+    """Exact-mode ack-tree update: XOR ``value`` into ``root``'s entry
+    at the origin spout's Stream Manager. ``fail=True`` instead fails the
+    whole tree immediately (a bolt called ``collector.fail``)."""
+
+    root: int
+    origin: InstanceKey
+    value: int
+    fail: bool = False
+
+
+@dataclass
+class AckComplete:
+    """SM → spout instance: one root tuple finished (or failed)."""
+
+    tuple_ids: List[int]
+    count: int
+    emit_time_sum: float
+    failed: bool = False
+
+
+@dataclass
+class EmitTick:
+    """Self-message driving a spout's emit loop."""
+
+
+@dataclass
+class PauseSpouts:
+    """Backpressure start: pause local spouts (SM → instances, TM-wide)."""
+
+    initiator_container: int
+
+
+@dataclass
+class ResumeSpouts:
+    """Backpressure end."""
+
+    initiator_container: int
+
+
+@dataclass
+class RegisterStmgr:
+    """SM → TM: container registration (carries the SM actor ref)."""
+
+    container_id: int
+    stmgr: Any
+
+
+@dataclass
+class NewPhysicalPlan:
+    """TM → SMs: the physical plan plus the SM directory."""
+
+    pplan: Any  # PhysicalPlan
+    stmgr_directory: dict  # container_id -> SM actor
+
+
+@dataclass
+class ActivateTopology:
+    """Resume spout emission topology-wide (``heron activate``)."""
+
+
+@dataclass
+class DeactivateTopology:
+    """Pause spout emission topology-wide (``heron deactivate``)."""
+
+
+@dataclass
+class MetricSample:
+    """Instance/SM → Metrics Manager: one periodic metrics report."""
+
+    source: str
+    metrics: dict
+
+
+@dataclass
+class MetricsSummary:
+    """Metrics Manager → TM: per-container aggregate."""
+
+    container_id: int
+    metrics: dict

@@ -1,0 +1,70 @@
+"""The Metrics Manager: per-container metrics collection.
+
+"The Metrics Manager collects several metrics about the status of the
+processes in a container" (Section II). Every local process sends it
+periodic :class:`~repro.core.messages.MetricSample` reports; it keeps the
+latest value per source, aggregates container-wide sums, and forwards a
+:class:`~repro.core.messages.MetricsSummary` to the Topology Master at a
+fixed cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.messages import MetricSample, MetricsSummary
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel
+from repro.simulation.events import Simulator
+
+
+class _ForwardTick:
+    """Self-timer: push the container summary to the TM."""
+
+
+class MetricsManager(Actor):
+    """One per container; receives samples, forwards summaries."""
+
+    def __init__(self, sim: Simulator, container_id: int, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 costs: CostModel,
+                 resolve_tmaster: Callable[[], Optional[Actor]],
+                 forward_interval: float = 5.0) -> None:
+        super().__init__(sim, f"metricsmgr-{container_id}", location,
+                         network=network, ledger=ledger,
+                         group="metrics-manager")
+        self.container_id = container_id
+        self.costs = costs
+        self.resolve_tmaster = resolve_tmaster
+        self.latest: Dict[str, dict] = {}
+        self.samples_received = 0
+        self.summaries_sent = 0
+        self.every(forward_interval, lambda: self.deliver(_ForwardTick()))
+
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, MetricSample):
+            self.charge(self.costs.metrics_per_sample)
+            self.latest[message.source] = message.metrics
+            self.samples_received += 1
+        elif isinstance(message, _ForwardTick):
+            self._forward()
+
+    def _forward(self) -> None:
+        if not self.latest:
+            return
+        tmaster = self.resolve_tmaster()
+        if tmaster is None or not tmaster.alive:
+            return
+        self.charge(self.costs.metrics_per_sample * len(self.latest))
+        self.send(tmaster, MetricsSummary(self.container_id,
+                                          self.container_totals()))
+        self.summaries_sent += 1
+
+    def container_totals(self) -> Dict[str, float]:
+        """Sum each metric over every reporting process."""
+        totals: Dict[str, float] = {}
+        for metrics in self.latest.values():
+            for key, value in metrics.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0.0) + value
+        return totals

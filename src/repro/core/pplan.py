@@ -1,0 +1,95 @@
+"""The physical plan: where every task runs and how streams route.
+
+Built from the logical :class:`~repro.api.topology.Topology` plus the
+Resource Manager's :class:`~repro.packing.plan.PackingPlan`; distributed
+by the Topology Master to every Stream Manager, which derives its
+per-edge routing tables (grouping instances) from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.api.grouping import Grouping, GroupingInstance
+from repro.api.topology import Topology
+from repro.common.errors import TopologyError
+from repro.core.messages import InstanceKey
+from repro.packing.plan import PackingPlan
+
+
+class PhysicalPlan:
+    """Task placement + stream routing derived from topology × packing."""
+
+    def __init__(self, topology: Topology, packing_plan: PackingPlan) -> None:
+        if not packing_plan.matches_topology(
+                {name: topology.parallelism_of(name)
+                 for name in topology.components()}):
+            raise TopologyError(
+                f"packing plan does not match topology "
+                f"{topology.name!r} parallelism")
+        self.topology = topology
+        self.packing_plan = packing_plan
+
+        self.container_of: Dict[InstanceKey, int] = {}
+        self.instances_by_container: Dict[int, List[InstanceKey]] = {}
+        for container in packing_plan.containers:
+            keys = []
+            for inst in container.instances:
+                key: InstanceKey = (inst.component, inst.task_id)
+                self.container_of[key] = container.id
+                keys.append(key)
+            self.instances_by_container[container.id] = keys
+
+        self.task_ids: Dict[str, List[int]] = {
+            name: [t for t, _c in packing_plan.tasks_of(name)]
+            for name in topology.components()
+        }
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def container_ids(self) -> List[int]:
+        return sorted(self.instances_by_container)
+
+    def edges_from(self, component: str,
+                   stream: str) -> List[Tuple[str, Grouping]]:
+        """Outgoing edges of (component, stream) as (dest, grouping) pairs."""
+        return self.topology.downstream(component, stream)
+
+    def build_routing(self, component: str) -> Dict[
+            str, List[Tuple[str, GroupingInstance]]]:
+        """Per-stream routing table for tuples emitted by ``component``.
+
+        Returns ``{stream: [(dest_component, grouping_instance), ...]}``.
+        Each caller (SM) gets fresh grouping instances so per-edge state
+        (shuffle rotation) is router-local, exactly as in Heron where
+        each SM routes independently.
+        """
+        tables: Dict[str, List[Tuple[str, GroupingInstance]]] = {}
+        user = self.topology._user_component(component)
+        for stream in user.outputs:
+            edges = []
+            source_fields = self.topology.output_fields(component, stream)
+            for dest, grouping in self.edges_from(component, stream):
+                edges.append((dest, grouping.create(
+                    source_fields, self.task_ids[dest])))
+            if edges:
+                tables[stream] = edges
+        return tables
+
+    def is_spout(self, component: str) -> bool:
+        """Whether ``component`` is a spout."""
+        return self.topology.is_spout(component)
+
+    def spout_keys(self) -> List[InstanceKey]:
+        """Every spout task key in the plan."""
+        return [(name, task) for name in self.topology.spouts
+                for task in self.task_ids[name]]
+
+    def describe(self) -> str:
+        """Human-readable container-by-container listing."""
+        lines = [f"physical plan for {self.topology.name}"]
+        for cid in self.container_ids:
+            members = ", ".join(f"{c}[{t}]"
+                                for c, t in self.instances_by_container[cid])
+            lines.append(f"  container {cid}: {members}")
+        return "\n".join(lines)

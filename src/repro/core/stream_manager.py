@@ -1,0 +1,557 @@
+"""The Stream Manager: the engine's communication layer (Section V).
+
+One SM runs per container and is "responsible for routing tuples among
+Heron Instances". This implementation carries all the behaviours the
+paper evaluates:
+
+* **tuple cache** — outgoing tuples are accumulated per destination and
+  flushed every ``cache_drain_frequency_ms`` (Figs. 12–13). Entries are
+  recycled through a real :class:`~repro.serialization.pool.ObjectPool`
+  when memory pools are enabled;
+* **Section V-A optimizations** — with lazy deserialization on, a routed
+  tuple costs only a header parse + routing lookup; off, the SM pays full
+  deserialize + re-serialize per tuple. With memory pools off it also
+  pays per-tuple/per-batch allocation costs (Figs. 5–9);
+* **ack routing** — counted-mode acks and exact-mode XOR updates flow
+  back through SMs to the origin container, whose SM runs the
+  :class:`~repro.core.acking.AckTracker`;
+* **backpressure** — when this SM's queue or any local instance queue
+  crosses the high watermark, it broadcasts PauseSpouts to every SM
+  (including itself); below the low watermark it broadcasts resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.acking import AckTracker, RootEntry
+from repro.core.instance import HeronInstance, _StartInstance
+from repro.core.messages import (AckComplete, AckCounted, DataBatch,
+                                 InstanceBatches, InstanceKey,
+                                 NewPhysicalPlan, PauseSpouts, RegisterStmgr,
+                                 RemoteDelivery, ResumeSpouts, XorUpdate)
+from repro.core.pplan import PhysicalPlan
+from repro.serialization.pool import ObjectPool
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel
+from repro.simulation.events import Simulator
+
+MILLIS = 1e-3
+
+
+class _DrainTick:
+    """Self-timer: flush the tuple cache."""
+
+
+class _HeartbeatTick:
+    """Self-timer: send a liveness heartbeat to the Topology Master."""
+
+
+class _RotateTick:
+    """Self-timer: advance the exact-mode ack timeout wheel."""
+
+
+class _CacheEntry:
+    """Accumulated tuples bound for one destination instance."""
+
+    __slots__ = ("values", "tuple_ids", "anchors", "count", "emit_time_sum",
+                 "source_component", "stream", "origin")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.values: List[Any] = []
+        self.tuple_ids: List[int] = []
+        self.anchors: List[List] = []
+        self.count = 0
+        self.emit_time_sum = 0.0
+        self.source_component = ""
+        self.stream = ""
+        self.origin: InstanceKey = ("", -1)
+
+
+#: Cache key: destination instance + provenance that must not be merged.
+_CacheKey = Tuple[InstanceKey, str, str, InstanceKey]
+
+
+class StreamManager(Actor):
+    """The per-container tuple router."""
+
+    def __init__(self, sim: Simulator, container_id: int, *,
+                 location: Location, network, ledger: Optional[CostLedger],
+                 config: Config, costs: CostModel, topology_name: str,
+                 resolve_tmaster: Callable[[], Optional[Actor]],
+                 statemgr=None, tmaster_path: Optional[str] = None) -> None:
+        super().__init__(sim, f"stmgr-{container_id}", location,
+                         network=network, ledger=ledger,
+                         group="stream-manager")
+        self.container_id = container_id
+        self.costs = costs
+        self.config = config
+        self.topology_name = topology_name
+        self.resolve_tmaster = resolve_tmaster
+        self.statemgr = statemgr
+        self.tmaster_path = tmaster_path
+
+        # --- config snapshot ---------------------------------------------
+        self.lazy_deser = bool(config.get(Keys.LAZY_DESERIALIZATION))
+        self.mempool = bool(config.get(Keys.MEMPOOL_ENABLED))
+        self.cache_enabled = bool(config.get(Keys.CACHE_ENABLED))
+        self.drain_interval = \
+            float(config.get(Keys.CACHE_DRAIN_FREQUENCY_MS)) * MILLIS
+        self.acking = bool(config.get(Keys.ACKING_ENABLED))
+        self.exact_acking = self.acking and \
+            config.get(Keys.ACK_TRACKING) == "exact"
+        self.high_watermark = int(config.get(Keys.BACKPRESSURE_HIGH_WATERMARK))
+        self.low_watermark = int(config.get(Keys.BACKPRESSURE_LOW_WATERMARK))
+        self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
+
+        # --- routing state ----------------------------------------------------
+        self.pplan: Optional[PhysicalPlan] = None
+        self.directory: Dict[int, Actor] = {}
+        self.local_instances: Dict[InstanceKey, HeronInstance] = {}
+        self._routing_tables: Dict[str, Dict] = {}
+
+        # --- the tuple cache ---------------------------------------------------
+        self._cache: Dict[_CacheKey, _CacheEntry] = {}
+        self._entry_pool: ObjectPool[_CacheEntry] = ObjectPool(
+            _CacheEntry, capacity=4096)
+        self._ack_cache: Dict[InstanceKey, List[float]] = {}  # [count, ets]
+        self._fail_cache: Dict[InstanceKey, List[float]] = {}
+        self._xor_out: Dict[int, List[XorUpdate]] = {}
+        self._completions: Dict[InstanceKey, List[AckComplete]] = {}
+
+        # --- exact-mode tracking of roots originated in this container ---------
+        self.tracker = AckTracker(self._on_tree_complete,
+                                  self._on_tree_expire)
+
+        # --- backpressure ---------------------------------------------------------
+        self.in_backpressure = False
+
+        # --- counters ----------------------------------------------------------
+        self.tuples_routed = 0
+        self.acks_routed = 0
+        self.batches_in = 0
+        self.batches_out = 0
+        self.drains = 0
+        self.dropped_batches = 0
+        self.backpressure_starts = 0
+
+        self._drain_timer = self.every(self.drain_interval,
+                                       lambda: self.deliver(_DrainTick()))
+        self._heartbeat_seq = 0
+        self.every(3.0, lambda: self.deliver(_HeartbeatTick()))
+        if self.exact_acking:
+            self.every(self.message_timeout / 2,
+                       lambda: self.deliver(_RotateTick()))
+        self._register_with_tmaster()
+        if statemgr is not None and tmaster_path is not None:
+            self._arm_tmaster_watch()
+
+    # -- wiring --------------------------------------------------------------
+    def register_local(self, key: InstanceKey,
+                       instance: HeronInstance) -> None:
+        """Register an instance actor living in this SM's container."""
+        self.local_instances[key] = instance
+
+    def _register_with_tmaster(self) -> None:
+        tmaster = self.resolve_tmaster()
+        if tmaster is not None:
+            self.send(tmaster, RegisterStmgr(self.container_id, self))
+
+    def _arm_tmaster_watch(self) -> None:
+        """Re-register whenever the TM location (re)appears — the State
+        Manager watch mechanics of Section IV-C."""
+
+        def on_event(event) -> None:
+            if not self.alive:
+                return
+            self._arm_tmaster_watch()
+            self._register_with_tmaster()
+
+        self.statemgr.watch(self.tmaster_path, on_event)
+
+    # -- message handling --------------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, InstanceBatches):
+            self._handle_local(message)
+        elif isinstance(message, RemoteDelivery):
+            self._handle_remote(message)
+        elif isinstance(message, _DrainTick):
+            self._drain()
+        elif isinstance(message, NewPhysicalPlan):
+            self._handle_new_plan(message)
+        elif isinstance(message, (PauseSpouts, ResumeSpouts)):
+            self._handle_pause_resume(message)
+        elif isinstance(message, _RotateTick):
+            self.tracker.rotate()
+        elif isinstance(message, _HeartbeatTick):
+            self._send_heartbeat()
+        elif isinstance(message, RegisterStmgr):
+            pass  # SMs never receive these; TMs do
+
+    def _send_heartbeat(self) -> None:
+        """Periodic liveness signal to the TM (wire-format Heartbeat
+        semantics; see ``repro.serialization.messages.Heartbeat``)."""
+        tmaster = self.resolve_tmaster()
+        if tmaster is None:
+            return
+        from repro.serialization.messages import Heartbeat
+        self._heartbeat_seq += 1
+        self.charge(self.costs.tmaster_per_event)
+        self.send(tmaster, Heartbeat(sender=self.name, time=self.sim.now,
+                                     sequence=self._heartbeat_seq))
+
+    # -- physical plan -------------------------------------------------------------
+    def _handle_new_plan(self, message: NewPhysicalPlan) -> None:
+        self.charge(self.costs.tmaster_per_event)
+        self.pplan = message.pplan
+        self.directory = dict(message.stmgr_directory)
+        self._routing_tables = {}
+        for key, instance in self.local_instances.items():
+            self.send(instance, _StartInstance())
+
+    def _routes_for(self, component: str):
+        tables = self._routing_tables.get(component)
+        if tables is None:
+            assert self.pplan is not None
+            tables = self.pplan.build_routing(component)
+            self._routing_tables[component] = tables
+        return tables
+
+    # -- local instance traffic ------------------------------------------------------
+    def _handle_local(self, message: InstanceBatches) -> None:
+        if self.pplan is None:
+            self.dropped_batches += len(message.batches)
+            return
+        costs = self.costs
+        for batch in message.batches:
+            count = batch.count
+            self.batches_in += 1
+            self.charge(costs.sm_batch_overhead)
+            self.charge(count * costs.sm_route_per_tuple)
+            if not self.lazy_deser:
+                self.charge(count * (costs.sm_full_deserialize_per_tuple +
+                                     costs.sm_reserialize_per_tuple))
+            if not self.mempool:
+                self.charge(count * costs.sm_alloc_per_tuple +
+                            costs.sm_alloc_per_batch)
+            if self.exact_acking and \
+                    self.pplan.is_spout(batch.source_component):
+                self._register_roots(batch)
+            self._route(batch)
+        self._absorb_acks(message.acks, message.xor_updates)
+
+    def _register_roots(self, batch: DataBatch) -> None:
+        mean_emit = batch.emit_time_sum / batch.count if batch.count else 0.0
+        for tuple_id in batch.tuple_ids:
+            self.tracker.register(tuple_id, batch.origin, mean_emit)
+
+    def _route(self, batch: DataBatch) -> None:
+        edges = self._routes_for(batch.source_component).get(batch.stream, [])
+        for dest_component, grouping in edges:
+            if self.exact_acking:
+                indices = list(range(len(batch.values)))
+                routes = grouping.split(batch.values, indices, batch.count)
+                for task, values, idxs, count in routes:
+                    self._cache_insert(
+                        (dest_component, task), batch, values, count,
+                        tuple_ids=[batch.tuple_ids[i] for i in idxs],
+                        anchors=[batch.anchors[i] for i in idxs])
+                    self.tuples_routed += count
+            else:
+                routes = grouping.split(batch.values, [], batch.count)
+                for task, values, _ids, count in routes:
+                    self._cache_insert((dest_component, task), batch,
+                                       values, count)
+                    self.tuples_routed += count
+
+    def _cache_insert(self, dest: InstanceKey, batch: DataBatch,
+                      values: List, count: int,
+                      tuple_ids: Optional[List[int]] = None,
+                      anchors: Optional[List] = None) -> None:
+        if not self.cache_enabled:
+            # Batching ablation: forward each routed sub-batch right away
+            # (one transfer per sub-batch, no cross-batch coalescing).
+            self._forward_now(dest, batch, values, count,
+                              tuple_ids or [], anchors or [])
+            return
+        key: _CacheKey = (dest, batch.source_component, batch.stream,
+                          batch.origin)
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = self._entry_pool.acquire() if self.mempool \
+                else _CacheEntry()
+            entry.source_component = batch.source_component
+            entry.stream = batch.stream
+            entry.origin = batch.origin
+            self._cache[key] = entry
+        entry.values.extend(values)
+        entry.count += count
+        entry.emit_time_sum += batch.emit_time_sum * (count / batch.count) \
+            if batch.count else 0.0
+        if tuple_ids:
+            entry.tuple_ids.extend(tuple_ids)
+        if anchors:
+            entry.anchors.extend(anchors)
+
+    def _forward_now(self, dest: InstanceKey, batch: DataBatch,
+                     values: List, count: int, tuple_ids: List[int],
+                     anchors: List) -> None:
+        """Cache-disabled path: ship one sub-batch immediately."""
+        assert self.pplan is not None
+        out = DataBatch(
+            dest=dest, source_component=batch.source_component,
+            stream=batch.stream, values=values, count=count,
+            origin=batch.origin,
+            emit_time_sum=(batch.emit_time_sum * (count / batch.count)
+                           if batch.count else 0.0),
+            tuple_ids=tuple_ids, anchors=anchors)
+        self.batches_out += 1
+        self.charge(self.costs.sm_send_per_batch)
+        home = self.pplan.container_of.get(dest)
+        if home == self.container_id:
+            instance = self.local_instances.get(dest)
+            if instance is not None and instance.alive:
+                self.send(instance, out)
+            else:
+                self.dropped_batches += 1
+        elif home is not None:
+            peer = self.directory.get(home)
+            if peer is not None and peer.alive:
+                self.send(peer, RemoteDelivery(self.container_id, [out]))
+            else:
+                self.dropped_batches += 1
+        else:
+            self.dropped_batches += 1
+
+    # -- ack absorption ---------------------------------------------------------------
+    def _ack_unit_cost(self) -> float:
+        """Per-ack-entry SM cost, including the Section V-A penalties
+        when the optimizations are disabled (acks are protobufs too)."""
+        cost = self.costs.sm_ack_per_tuple
+        if not self.lazy_deser:
+            cost += self.costs.sm_ack_deserialize_penalty
+        if not self.mempool:
+            cost += self.costs.sm_ack_alloc_penalty
+        return cost
+
+    def _absorb_acks(self, acks: List[AckCounted],
+                     xor_updates: List[XorUpdate]) -> None:
+        costs = self.costs
+        if acks:
+            unit = self._ack_unit_cost()
+            for ack in acks:
+                self.charge(unit * ack.count)
+                self.acks_routed += ack.count
+                cache = self._fail_cache if ack.failed else self._ack_cache
+                slot = cache.setdefault(ack.origin, [0.0, 0.0])
+                slot[0] += ack.count
+                slot[1] += ack.emit_time_sum
+        if xor_updates:
+            assert self.pplan is not None
+            self.charge(self._ack_unit_cost() * len(xor_updates))
+            self.acks_routed += len(xor_updates)
+            for update in xor_updates:
+                home = self.pplan.container_of[update.origin]
+                if home == self.container_id:
+                    self._apply_xor(update)
+                else:
+                    self._xor_out.setdefault(home, []).append(update)
+
+    def _apply_xor(self, update: XorUpdate) -> None:
+        if update.fail:
+            self.tracker.fail(update.root)
+        else:
+            self.tracker.update(update.root, update.value)
+
+    def _on_tree_complete(self, entry: RootEntry) -> None:
+        self._completions.setdefault(entry.spout, []).append(
+            AckComplete([entry.root], 1, entry.emit_time))
+
+    def _on_tree_expire(self, entry: RootEntry) -> None:
+        self._completions.setdefault(entry.spout, []).append(
+            AckComplete([entry.root], 1, entry.emit_time, failed=True))
+
+    # -- remote traffic -------------------------------------------------------------
+    def _handle_remote(self, message: RemoteDelivery) -> None:
+        costs = self.costs
+        for batch in message.batches:
+            self.batches_in += 1
+            # Lazy path: parse only the destination header and forward the
+            # payload as-is; otherwise pay the full decode.
+            self.charge(costs.sm_batch_overhead)
+            if not self.lazy_deser:
+                self.charge(batch.count * costs.sm_full_deserialize_per_tuple)
+            if not self.mempool:
+                self.charge(batch.count * costs.sm_alloc_per_tuple +
+                            costs.sm_alloc_per_batch)
+            instance = self.local_instances.get(batch.dest)
+            if instance is None or not instance.alive:
+                self.dropped_batches += 1
+                continue
+            self.charge(costs.sm_send_per_batch)
+            self.send(instance, batch)
+        if message.acks:
+            unit = self._ack_unit_cost()
+            for ack in message.acks:
+                self.charge(unit * ack.count)
+                self._deliver_ack_local(ack)
+        if message.xor_updates:
+            self.charge(self._ack_unit_cost() * len(message.xor_updates))
+            for update in message.xor_updates:
+                self._apply_xor(update)
+
+    def _deliver_ack_local(self, ack: AckCounted) -> None:
+        instance = self.local_instances.get(ack.origin)
+        if instance is not None and instance.alive:
+            self.send(instance, ack)
+
+    # -- drain --------------------------------------------------------------------
+    def _drain(self) -> None:
+        costs = self.costs
+        cache, self._cache = self._cache, {}
+        remote: Dict[int, RemoteDelivery] = {}
+        anything = bool(cache or self._ack_cache or self._fail_cache
+                        or self._xor_out or self._completions)
+        if anything:
+            self.drains += 1
+            self.charge(costs.sm_drain_fixed)
+        assert self.pplan is not None or not anything
+        for (dest, _src, _stream, _origin), entry in cache.items():
+            batch = DataBatch(
+                dest=dest, source_component=entry.source_component,
+                stream=entry.stream, values=entry.values, count=entry.count,
+                origin=entry.origin, emit_time_sum=entry.emit_time_sum,
+                tuple_ids=entry.tuple_ids, anchors=entry.anchors)
+            self.batches_out += 1
+            home = self.pplan.container_of.get(dest)
+            if home == self.container_id:
+                instance = self.local_instances.get(dest)
+                if instance is not None and instance.alive:
+                    self.charge(costs.sm_send_per_batch)
+                    self.send(instance, batch)
+                else:
+                    self.dropped_batches += 1
+            elif home is not None:
+                delivery = remote.get(home)
+                if delivery is None:
+                    delivery = RemoteDelivery(self.container_id, [])
+                    remote[home] = delivery
+                delivery.batches.append(batch)
+                self.charge(costs.sm_send_per_batch)
+            else:
+                self.dropped_batches += 1
+            if self.mempool:
+                self._entry_pool.release(entry)
+
+        self._drain_acks(remote)
+        for home, delivery in remote.items():
+            peer = self.directory.get(home)
+            if peer is not None and peer.alive:
+                self.send(peer, delivery)
+            else:
+                self.dropped_batches += len(delivery.batches)
+        self._check_backpressure()
+
+    def _drain_acks(self, remote: Dict[int, RemoteDelivery]) -> None:
+        assert self.pplan is not None or not (self._ack_cache
+                                              or self._xor_out)
+
+        def ship(origin: InstanceKey, ack: AckCounted) -> None:
+            home = self.pplan.container_of.get(origin)
+            if home == self.container_id:
+                self._deliver_ack_local(ack)
+            elif home is not None:
+                delivery = remote.get(home)
+                if delivery is None:
+                    delivery = RemoteDelivery(self.container_id, [])
+                    remote[home] = delivery
+                delivery.acks.append(ack)
+
+        for origin, (count, emit_sum) in self._ack_cache.items():
+            ship(origin, AckCounted(origin, int(count), emit_sum))
+        for origin, (count, emit_sum) in self._fail_cache.items():
+            ship(origin, AckCounted(origin, int(count), emit_sum,
+                                    failed=True))
+        self._ack_cache = {}
+        self._fail_cache = {}
+
+        for home, updates in self._xor_out.items():
+            delivery = remote.get(home)
+            if delivery is None:
+                delivery = RemoteDelivery(self.container_id, [])
+                remote[home] = delivery
+            delivery.xor_updates.extend(updates)
+        self._xor_out = {}
+
+        # Exact-mode completions for local spouts, batched per spout.
+        completions, self._completions = self._completions, {}
+        for spout, items in completions.items():
+            instance = self.local_instances.get(spout)
+            if instance is None or not instance.alive:
+                continue
+            for failed in (False, True):
+                matching = [c for c in items if c.failed is failed]
+                if not matching:
+                    continue
+                merged = AckComplete(
+                    tuple_ids=[t for c in matching for t in c.tuple_ids],
+                    count=sum(c.count for c in matching),
+                    emit_time_sum=sum(c.emit_time_sum for c in matching),
+                    failed=failed)
+                self.send(instance, merged)
+
+    # -- backpressure --------------------------------------------------------------
+    def _queue_pressure(self) -> int:
+        depth = self.inbox_len
+        for instance in self.local_instances.values():
+            if instance.alive and instance.inbox_len > depth:
+                depth = instance.inbox_len
+        return depth
+
+    def _check_backpressure(self) -> None:
+        if self.acking:
+            # With acking on, flow control is the spouts' max-spout-pending
+            # window (Section V-B): in-flight data is already bounded, and
+            # the tuning figures attribute throttling entirely to the cap.
+            return
+        depth = self._queue_pressure()
+        if not self.in_backpressure and depth > self.high_watermark:
+            self.in_backpressure = True
+            self.backpressure_starts += 1
+            self._broadcast(PauseSpouts(self.container_id))
+        elif self.in_backpressure and depth < self.low_watermark:
+            self.in_backpressure = False
+            self._broadcast(ResumeSpouts(self.container_id))
+
+    def _broadcast(self, message: Any) -> None:
+        self._handle_pause_resume(message)
+        for cid, peer in self.directory.items():
+            if cid != self.container_id and peer.alive:
+                self.send(peer, message)
+
+    def _handle_pause_resume(self, message: Any) -> None:
+        pause = isinstance(message, PauseSpouts)
+        for key, instance in self.local_instances.items():
+            if instance.alive and instance.is_spout:
+                self.send(instance,
+                          PauseSpouts(0) if pause else ResumeSpouts(0))
+
+    # -- runtime tuning (the paper's future-work hook) -------------------------------
+    def set_drain_interval(self, interval: float) -> None:
+        """Adjust the cache drain frequency of a *running* SM — used by
+        the auto-tuner (Section V-B future work)."""
+        if interval <= 0:
+            raise ValueError(f"drain interval must be positive: {interval}")
+        self.drain_interval = interval
+        self._drain_timer.reschedule(interval)
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def pool_stats(self):
+        return self._entry_pool.stats

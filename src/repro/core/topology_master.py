@@ -1,0 +1,137 @@
+"""The Topology Master: per-topology lifecycle coordinator.
+
+"The first container runs the Topology Master which is the process
+responsible for managing the topology throughout its existence"
+(Section II). Concretely it:
+
+* advertises its location through the State Manager as an **ephemeral**
+  node (so every Stream Manager learns immediately if it dies —
+  Section IV-C);
+* collects Stream Manager registrations and, once every container of the
+  physical plan has registered, broadcasts the plan plus the SM
+  directory to all SMs (and rebroadcasts whenever a container
+  re-registers after recovery);
+* receives per-container metrics summaries from the Metrics Managers;
+* fans out activate/deactivate commands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.messages import (ActivateTopology, DeactivateTopology,
+                                 MetricsSummary, NewPhysicalPlan,
+                                 PauseSpouts, RegisterStmgr, ResumeSpouts)
+from repro.serialization.messages import Heartbeat
+from repro.core.pplan import PhysicalPlan
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel
+from repro.simulation.events import Simulator
+from repro.statemgr.base import StateManager, StateSession
+
+
+class TopologyMaster(Actor):
+    """The topology's control-plane brain (container 0)."""
+
+    def __init__(self, sim: Simulator, *, location: Location, network,
+                 ledger: Optional[CostLedger], costs: CostModel,
+                 pplan: PhysicalPlan, statemgr: StateManager,
+                 tmaster_path: str) -> None:
+        super().__init__(sim, f"tmaster-{pplan.topology.name}", location,
+                         network=network, ledger=ledger,
+                         group="topology-master")
+        self.costs = costs
+        self.pplan = pplan
+        self.statemgr = statemgr
+        self.tmaster_path = tmaster_path
+        self.registrations: Dict[int, Actor] = {}
+        self.container_metrics: Dict[int, dict] = {}
+        self.last_heartbeat: Dict[str, float] = {}
+        self.plan_broadcasts = 0
+        self.activated = True
+        self.session: Optional[StateSession] = None
+
+    def start(self) -> None:
+        """Advertise our location via an ephemeral node (dies with us).
+
+        Called by the runtime *after* it has recorded this TM as current,
+        so that watch callbacks triggered by the node creation resolve to
+        this instance.
+        """
+        statemgr, tmaster_path = self.statemgr, self.tmaster_path
+        self.session = statemgr.session()
+        if statemgr.exists(tmaster_path):
+            # A previous TM's node lingering would be a split-brain bug.
+            statemgr.delete(tmaster_path)
+        self.session.create_ephemeral(tmaster_path,
+                                      self.name.encode("utf-8"))
+
+    # -- message handling ----------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, RegisterStmgr):
+            self._handle_register(message)
+        elif isinstance(message, MetricsSummary):
+            self.charge(self.costs.tmaster_per_event)
+            self.container_metrics[message.container_id] = message.metrics
+        elif isinstance(message, Heartbeat):
+            self.charge(self.costs.tmaster_per_event)
+            self.last_heartbeat[message.sender] = message.time
+        elif isinstance(message, (ActivateTopology, DeactivateTopology)):
+            self._handle_activation(
+                isinstance(message, ActivateTopology))
+
+    def _handle_register(self, message: RegisterStmgr) -> None:
+        self.charge(self.costs.tmaster_per_event)
+        self.registrations[message.container_id] = message.stmgr
+        expected = set(self.pplan.container_ids)
+        registered = {cid for cid, sm in self.registrations.items()
+                      if sm.alive}
+        if expected <= registered:
+            self._broadcast_plan()
+
+    def _broadcast_plan(self) -> None:
+        self.plan_broadcasts += 1
+        directory = {cid: sm for cid, sm in self.registrations.items()
+                     if sm.alive}
+        self.charge(self.costs.tmaster_per_event * len(directory))
+        for sm in directory.values():
+            self.send(sm, NewPhysicalPlan(self.pplan, directory))
+
+    def _handle_activation(self, activate: bool) -> None:
+        self.charge(self.costs.tmaster_per_event)
+        self.activated = activate
+        message_cls = ResumeSpouts if activate else PauseSpouts
+        for sm in self.registrations.values():
+            if sm.alive:
+                self.send(sm, message_cls(0))
+
+    def stale_stmgrs(self, max_age: float = 10.0) -> list:
+        """SM names whose last heartbeat is older than ``max_age``
+        (liveness monitoring; the scheduler owns the actual recovery)."""
+        cutoff = self.sim.now - max_age
+        return sorted(name for name, seen in self.last_heartbeat.items()
+                      if seen < cutoff)
+
+    # -- plan updates (topology scaling) ------------------------------------------
+    def update_plan(self, pplan: PhysicalPlan) -> None:
+        """Install a new physical plan and rebroadcast it.
+
+        Called by the runtime after the Resource Manager's repack and the
+        Scheduler's onUpdate have reshaped the containers. Registrations
+        from removed containers are dropped; the broadcast reaches the
+        surviving SMs, and relaunched containers register on their own.
+        """
+        self.pplan = pplan
+        valid = set(pplan.container_ids)
+        self.registrations = {cid: sm for cid, sm in
+                              self.registrations.items()
+                              if cid in valid and sm.alive}
+        if set(self.registrations) >= valid:
+            self._broadcast_plan()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def on_killed(self) -> None:
+        # Session expiry deletes the ephemeral location node and fires the
+        # SMs' watches — the failure-notification path of Section IV-C.
+        if self.session is not None:
+            self.session.expire()

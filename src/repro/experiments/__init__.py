@@ -1,0 +1,26 @@
+"""The experiment harness: one runner per paper figure.
+
+Each ``figXX_*`` module exposes ``run(fast=False) -> Figure``; a
+:class:`~repro.experiments.series.Figure` holds the measured series,
+prints the same rows the paper plots, exports CSV, and checks the
+paper's qualitative shape (who wins, by what factor, where knees fall).
+``fast=True`` shrinks parallelisms and windows for CI-speed smoke runs;
+the benchmarks in ``benchmarks/`` run the full configurations.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments.harness import (ExperimentPoint, heron_perf_config,
+                                       run_heron_wordcount,
+                                       run_storm_wordcount)
+from repro.experiments.series import Figure, Series
+
+__all__ = [
+    "ExperimentPoint",
+    "Figure",
+    "Series",
+    "heron_perf_config",
+    "run_heron_wordcount",
+    "run_storm_wordcount",
+]

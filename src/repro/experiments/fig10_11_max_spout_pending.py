@@ -1,0 +1,87 @@
+"""Figures 10-11: sweeping ``max_spout_pending`` (Section V-B, VI-C).
+
+* Fig. 10 — throughput rises with the pending cap until the topology
+  "cannot handle more in-flight tuples", then saturates;
+* Fig. 11 — latency rises monotonically with the cap (more in-flight
+  tuples ⇒ more queueing — Little's law).
+
+Acks on, WordCount, parallelism ∈ {25, 100, 200} on dual-Xeon machines;
+8 instances per container to match the paper's denser second testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.harness import (DUAL_XEON_MACHINE, heron_perf_config,
+                                       run_heron_wordcount, windows_for)
+from repro.experiments.series import (Figure, ShapeCheck, check_monotonic)
+
+FULL_PARALLELISMS = [25, 100, 200]
+FAST_PARALLELISMS = [25]
+FULL_PENDING = [1_000, 2_500, 5_000, 10_000, 20_000, 40_000, 60_000]
+FAST_PENDING = [1_000, 5_000, 20_000, 60_000]
+
+
+def series_label(parallelism: int) -> str:
+    """The paper's series label for one parallelism level."""
+    return f"{parallelism} Spouts/{parallelism} Bolts"
+
+
+def run(fast: bool = False) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
+    pending_values = FAST_PENDING if fast else FULL_PENDING
+
+    fig10 = Figure("Figure 10", "Throughput vs max spout pending",
+                   "max spout pending (tuples)", "million tuples/min")
+    fig11 = Figure("Figure 11", "Latency vs max spout pending",
+                   "max spout pending (tuples)", "latency (ms)")
+
+    for parallelism in parallelisms:
+        warmup, measure = windows_for(parallelism, fast)
+        label = series_label(parallelism)
+        for pending in pending_values:
+            point = run_heron_wordcount(
+                parallelism, acks=True,
+                config=heron_perf_config(acks=True, max_pending=pending,
+                                         instances_per_container=8),
+                warmup=warmup, measure=measure,
+                machine=DUAL_XEON_MACHINE)
+            fig10.add_point(label, pending, point.throughput_mtpm)
+            fig11.add_point(label, pending, point.latency_ms)
+
+    return {"fig10": fig10, "fig11": fig11}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the paper's qualitative claims on the figures."""
+    checks: List[ShapeCheck] = []
+    for label, series in figures["fig10"].series.items():
+        points = sorted(series.points)
+        rises = points[1][1] > points[0][1] * 1.2
+        first_half_max = max(y for _x, y in points[:len(points) // 2 + 1])
+        plateau = points[-1][1] < first_half_max * 2.0
+        checks.append(ShapeCheck(
+            f"Fig 10 [{label}]: throughput rises then saturates",
+            rises and plateau,
+            f"ys: {', '.join(f'{y:.0f}' for _x, y in points)}"))
+    for label, series in figures["fig11"].series.items():
+        checks.append(check_monotonic(
+            series, increasing=True, tolerance=0.15,
+            description=f"Fig 11 [{label}]: latency rises with the cap"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,94 @@
+"""Figures 12-13: sweeping ``cache_drain_frequency_ms`` (Section V-B, VI-C).
+
+* Fig. 12 — throughput peaks at an intermediate drain interval: small
+  intervals pay the flush overhead, large ones lengthen the round trip
+  so the bounded in-flight window starves the spouts;
+* Fig. 13 — latency is U-shaped for the same two reasons.
+
+Acks on, WordCount, parallelism ∈ {25, 100, 200}; the pending cap is
+fixed while the drain interval varies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.harness import (DUAL_XEON_MACHINE, heron_perf_config,
+                                       run_heron_wordcount, windows_for)
+from repro.experiments.series import (Figure, ShapeCheck,
+                                      check_peak_interior)
+
+FULL_PARALLELISMS = [25, 100, 200]
+FAST_PARALLELISMS = [25]
+FULL_DRAINS_MS = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0]
+FAST_DRAINS_MS = [1.0, 5.0, 15.0, 35.0]
+
+#: Fixed pending cap while the drain interval is swept: the decline at
+#: large intervals is the cap starving the spout (Section VI-C).
+MAX_PENDING = 8_000
+
+
+def series_label(parallelism: int) -> str:
+    """The paper's series label for one parallelism level."""
+    return f"{parallelism} Spouts/{parallelism} Bolts"
+
+
+def run(fast: bool = False) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
+    drains = FAST_DRAINS_MS if fast else FULL_DRAINS_MS
+
+    fig12 = Figure("Figure 12", "Throughput vs cache drain frequency",
+                   "cache drain frequency (ms)", "million tuples/min")
+    fig13 = Figure("Figure 13", "Latency vs cache drain frequency",
+                   "cache drain frequency (ms)", "latency (ms)")
+
+    for parallelism in parallelisms:
+        warmup, measure = windows_for(parallelism, fast)
+        label = series_label(parallelism)
+        for drain_ms in drains:
+            point = run_heron_wordcount(
+                parallelism, acks=True,
+                config=heron_perf_config(acks=True, drain_ms=drain_ms,
+                                         max_pending=MAX_PENDING,
+                                         instances_per_container=8),
+                warmup=warmup, measure=measure,
+                machine=DUAL_XEON_MACHINE)
+            fig12.add_point(label, drain_ms, point.throughput_mtpm)
+            fig13.add_point(label, drain_ms, point.latency_ms)
+
+    return {"fig12": fig12, "fig13": fig13}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the paper's qualitative claims on the figures."""
+    checks: List[ShapeCheck] = []
+    for label, series in figures["fig12"].series.items():
+        checks.append(check_peak_interior(
+            series,
+            description=f"Fig 12 [{label}]: throughput peaks at an "
+                        f"intermediate drain interval"))
+    for label, series in figures["fig13"].series.items():
+        points = sorted(series.points)
+        minimum = min(y for _x, y in points)
+        u_shaped = points[0][1] > minimum * 1.1 and \
+            points[-1][1] > minimum * 1.1
+        checks.append(ShapeCheck(
+            f"Fig 13 [{label}]: latency is U-shaped over the sweep",
+            u_shaped,
+            f"ys: {', '.join(f'{y:.1f}' for _x, y in points)}"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,127 @@
+"""Figure 14: resource-consumption breakdown of a production topology.
+
+"We used a real topology that reads events from Apache Kafka at a rate
+of 60-100 million events/min. It then filters the tuples before sending
+them to an aggregator bolt, which after performing aggregation, stores
+the data in Redis. ... Heron consumes only 11% of the resources. ...
+The remaining resources are used to fetch data from Kafka (60%), execute
+the user logic (21%) and write data to Redis (8%)."
+
+We run the analogous Kafka→filter→aggregate→Redis topology (simulated
+external services, see ``repro.workloads.kafka_redis``) and read the
+CPU-time attribution straight off the simulation's cost ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.heron import HeronCluster
+from repro.experiments.series import Figure, ShapeCheck
+from repro.simulation.costs import CostCategory
+from repro.workloads.kafka_redis import kafka_redis_topology
+
+#: The paper's pie, as fractions.
+PAPER_BREAKDOWN = {
+    CostCategory.FETCH: 0.60,
+    CostCategory.USER: 0.21,
+    CostCategory.ENGINE: 0.11,
+    CostCategory.WRITE: 0.08,
+}
+
+SERIES = "measured fraction"
+PAPER_SERIES = "paper fraction"
+
+CATEGORY_ORDER = [CostCategory.FETCH, CostCategory.USER,
+                  CostCategory.ENGINE, CostCategory.WRITE]
+
+CATEGORY_INDEX = {category: i + 1 for i, category in
+                  enumerate(CATEGORY_ORDER)}
+
+
+def run(fast: bool = False) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    events_per_min = 80e6
+    if fast:
+        scale = dict(spouts=6, filters=6, aggregators=6, sinks=3)
+        events_per_min = 20e6
+        duration = 3.0
+    else:
+        scale = dict(spouts=24, filters=24, aggregators=24, sinks=12)
+        duration = 6.0
+
+    config = Config()
+    config.set(Keys.SAMPLE_CAP, 24)
+    config.set(Keys.BATCH_SIZE, 1000)
+    config.set(Keys.INSTANCES_PER_CONTAINER, 4)
+    topology, broker, redis = kafka_redis_topology(
+        events_per_min=events_per_min, config=config, **scale)
+
+    machine = Resource(cpu=24, ram=72 * GB, disk=1000 * GB)
+    instances = sum(scale.values())
+    machines = (instances // 4 + 2) * 5 // 4 // 4 + 3
+    cluster = HeronCluster.on_yarn(machines=max(machines, 4),
+                                   machine_resource=machine)
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    cluster.run_for(1.0)  # warmup: pipeline fills, aggregation windows turn
+    baseline = {cat: cluster.ledger.by_category.get(cat, 0.0)
+                for cat in CATEGORY_ORDER}
+    cluster.run_for(duration)
+
+    totals = {cat: cluster.ledger.by_category.get(cat, 0.0) - baseline[cat]
+              for cat in CATEGORY_ORDER}
+    grand = sum(totals.values())
+
+    figure = Figure("Figure 14", "Resource consumption breakdown",
+                    "category (1=fetch 2=user 3=heron 4=write)", "fraction")
+    for category in CATEGORY_ORDER:
+        fraction = totals[category] / grand if grand else 0.0
+        figure.add_point(SERIES, CATEGORY_INDEX[category], fraction)
+        figure.add_point(PAPER_SERIES, CATEGORY_INDEX[category],
+                         PAPER_BREAKDOWN[category])
+    figure.notes.append(
+        f"events fetched: {broker.total_fetched:,}; "
+        f"redis writes: {redis.writes:,} "
+        f"({redis.records_written:,} records)")
+    return {"fig14": figure}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the paper's qualitative claims on the figures."""
+    figure = figures["fig14"]
+    checks: List[ShapeCheck] = []
+    measured = {category: figure.series[SERIES].y_at(index)
+                for category, index in CATEGORY_INDEX.items()}
+    for category in CATEGORY_ORDER:
+        target = PAPER_BREAKDOWN[category]
+        value = measured[category]
+        ok = abs(value - target) <= max(0.06, target * 0.4)
+        checks.append(ShapeCheck(
+            f"Fig 14: {category} share ~= {target:.0%}", ok,
+            f"measured {value:.1%}"))
+    ordering = (measured[CostCategory.FETCH] > measured[CostCategory.USER]
+                > measured[CostCategory.ENGINE]
+                > measured[CostCategory.WRITE] > 0)
+    checks.append(ShapeCheck(
+        "Fig 14: fetch > user > heron > write ordering", ordering,
+        ", ".join(f"{c}={measured[c]:.1%}" for c in CATEGORY_ORDER)))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

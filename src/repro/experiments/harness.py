@@ -1,0 +1,177 @@
+"""Shared measurement plumbing for the figure runners.
+
+A measurement run is: build the topology with performance-grade config
+(sampled batches, counted acking), launch it on a cluster sized like the
+paper's testbed, warm up, then measure throughput/latency over a window
+by differencing counters — simulated-time rates, fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.baselines.storm.cluster import StormCluster
+from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB, MINUTES
+from repro.core.heron import HeronCluster, TopologyHandle
+from repro.metrics.stats import WeightedStats
+from repro.simulation.costs import CostModel
+from repro.workloads.wordcount import wordcount_topology
+
+#: The paper's two testbeds.
+HDINSIGHT_MACHINE = Resource(cpu=8, ram=28 * GB, disk=500 * GB)
+DUAL_XEON_MACHINE = Resource(cpu=24, ram=72 * GB, disk=1000 * GB)
+
+#: Corpus size used in performance runs: the full 450K words dominate
+#: setup time without changing hash-partitioning behaviour, so perf runs
+#: use a smaller corpus with identical uniformity.
+PERF_CORPUS = 45_000
+
+
+@dataclass
+class ExperimentPoint:
+    """One measured configuration."""
+
+    engine: str
+    parallelism: int
+    throughput_tps: float            # tuples/second (simulated)
+    latency_s: float                 # mean end-to-end latency (acked runs)
+    cores: float                     # provisioned CPU cores
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_mtpm(self) -> float:
+        """Million tuples/minute — the paper's throughput unit."""
+        return self.throughput_tps * MINUTES / 1e6
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def throughput_mtpm_per_core(self) -> float:
+        return self.throughput_mtpm / self.cores if self.cores else 0.0
+
+
+def windows_for(parallelism: int, fast: bool) -> tuple:
+    """(warmup, measure) seconds, shrunk at scale.
+
+    High-parallelism points simulate millions of events per simulated
+    second; steady state is reached well within a few hundred ms, so
+    shorter windows lose nothing but wall-clock time.
+    """
+    if fast:
+        return (0.3, 0.5)
+    if parallelism >= 200:
+        return (0.3, 0.5)
+    if parallelism >= 100:
+        return (0.3, 0.6)
+    return (0.4, 0.8)
+
+
+class _LatencyWindow:
+    """Mean latency over a window by differencing WeightedStats."""
+
+    def __init__(self, stats: WeightedStats) -> None:
+        self._count = stats.count
+        self._total = stats.total
+
+    def mean_since(self, stats: WeightedStats) -> float:
+        dcount = stats.count - self._count
+        dtotal = stats.total - self._total
+        return dtotal / dcount if dcount > 0 else 0.0
+
+
+def heron_perf_config(*, acks: bool, optimized: bool = True,
+                      max_pending: int = 20_000, drain_ms: float = 10.0,
+                      instances_per_container: int = 4,
+                      batch_size: int = 1000,
+                      sample_cap: int = 24,
+                      mempool: Optional[bool] = None,
+                      lazy: Optional[bool] = None) -> Config:
+    """Performance-run configuration for the Heron engine."""
+    cfg = Config()
+    cfg.set(Keys.ACKING_ENABLED, acks)
+    cfg.set(Keys.ACK_TRACKING, "counted")
+    cfg.set(Keys.MAX_SPOUT_PENDING, max_pending)
+    cfg.set(Keys.CACHE_DRAIN_FREQUENCY_MS, drain_ms)
+    cfg.set(Keys.BATCH_SIZE, batch_size)
+    cfg.set(Keys.SAMPLE_CAP, sample_cap)
+    cfg.set(Keys.INSTANCES_PER_CONTAINER, instances_per_container)
+    cfg.set(Keys.MEMPOOL_ENABLED, optimized if mempool is None else mempool)
+    cfg.set(Keys.LAZY_DESERIALIZATION, optimized if lazy is None else lazy)
+    return cfg
+
+
+def machines_for(parallelism: int, instances_per_container: int,
+                 machine: Resource) -> int:
+    """Machines needed for a WordCount run of this size (+TM headroom)."""
+    instances = 2 * parallelism
+    containers = math.ceil(instances / instances_per_container)
+    container_cpu = instances_per_container + 1.0  # + SM/MM padding
+    per_machine = max(1, int(machine.cpu // container_cpu))
+    return math.ceil((containers + 1) / per_machine) + 1
+
+
+def run_heron_wordcount(parallelism: int, *, acks: bool, config: Config,
+                        warmup: float = 0.5, measure: float = 1.0,
+                        machine: Resource = HDINSIGHT_MACHINE,
+                        costs: Optional[CostModel] = None,
+                        corpus_size: int = PERF_CORPUS) -> ExperimentPoint:
+    """Measure WordCount on Heron (YARN scheduling framework)."""
+    ipc = int(config.get(Keys.INSTANCES_PER_CONTAINER))
+    cluster = HeronCluster.on_yarn(
+        machines=machines_for(parallelism, ipc, machine),
+        machine_resource=machine, costs=costs)
+    topology = wordcount_topology(parallelism, corpus_size=corpus_size,
+                                  config=config)
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    return _measure(cluster, handle, parallelism, "heron", acks,
+                    warmup, measure)
+
+
+def run_storm_wordcount(parallelism: int, *, acks: bool, config: Config,
+                        warmup: float = 0.5, measure: float = 1.0,
+                        machine: Resource = HDINSIGHT_MACHINE,
+                        costs: Optional[CostModel] = None,
+                        corpus_size: int = PERF_CORPUS) -> ExperimentPoint:
+    """Measure WordCount on the Storm baseline, same machine budget."""
+    ipc = int(config.get(Keys.INSTANCES_PER_CONTAINER))
+    supervisors = machines_for(parallelism, ipc, machine)
+    cluster = StormCluster(supervisors=supervisors,
+                           supervisor_resource=machine, costs=costs)
+    storm_config = config.copy()
+    storm_config.set(StormKeys.TRANSFER_FLUSH_MS, 10.0)
+    topology = wordcount_topology(parallelism, corpus_size=corpus_size,
+                                  config=storm_config)
+    handle = cluster.submit_topology(topology)
+    return _measure(cluster, handle, parallelism, "storm", acks,
+                    warmup, measure)
+
+
+def _measure(cluster, handle, parallelism: int, engine: str, acks: bool,
+             warmup: float, measure: float) -> ExperimentPoint:
+    cluster.run_for(warmup)
+    start_totals = handle.totals()
+    start_time = cluster.now
+    latency_window = _LatencyWindow(handle.latency_stats())
+    cluster.run_for(measure)
+    end_totals = handle.totals()
+    window = cluster.now - start_time
+    counter = "acked" if acks else "executed"
+    throughput = (end_totals[counter] - start_totals[counter]) / window
+    latency = latency_window.mean_since(handle.latency_stats()) if acks \
+        else 0.0
+    cores = handle.provisioned_cores()
+    point = ExperimentPoint(engine=engine, parallelism=parallelism,
+                            throughput_tps=throughput, latency_s=latency,
+                            cores=cores)
+    point.extra["failed"] = end_totals["failed"] - start_totals["failed"]
+    handle.kill()
+    return point

@@ -1,0 +1,90 @@
+"""Section III-B (no figure): the micro-batch latency floor.
+
+"Because of its architecture, [Spark Streaming] operates on small batches
+of input data and thus it is not suitable for applications with latency
+needs below a few hundred milliseconds."
+
+We run WordCount on the micro-batch baseline across batch intervals and
+on Heron (acked, so latency is measured), and show that micro-batch
+latency is bounded below by roughly half the batch interval while
+Heron's sits in the tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.baselines.microbatch.engine import MicroBatchEngine
+from repro.common.config import Config
+from repro.experiments.harness import heron_perf_config, run_heron_wordcount
+from repro.experiments.series import Figure, ShapeCheck, check_monotonic
+from repro.workloads.wordcount import wordcount_topology
+
+FULL_INTERVALS = [0.1, 0.25, 0.5, 1.0, 2.0]
+FAST_INTERVALS = [0.25, 1.0]
+
+MICROBATCH = "Micro-batch engine"
+HERON = "Heron"
+
+
+def run(fast: bool = False) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    intervals = FAST_INTERVALS if fast else FULL_INTERVALS
+    figure = Figure("§III-B", "Micro-batch latency floor vs Heron",
+                    "batch interval (ms)", "mean latency (ms)")
+
+    config = Config().set(Keys.SAMPLE_CAP, 64)
+    for interval in intervals:
+        topology = wordcount_topology(2, corpus_size=1000, config=config)
+        engine = MicroBatchEngine(topology, batch_interval=interval,
+                                  input_rate=50_000.0, executor_count=4)
+        result = engine.run(max(3.0, interval * 8))
+        figure.add_point(MICROBATCH, interval * 1000,
+                         result.mean_latency * 1000)
+
+    heron = run_heron_wordcount(
+        4, acks=True, config=heron_perf_config(acks=True),
+        warmup=0.3, measure=0.7)
+    for interval in intervals:
+        figure.add_point(HERON, interval * 1000, heron.latency_ms)
+    figure.notes.append(
+        "Heron's latency is batch-interval independent (no such knob).")
+    return {"microbatch": figure}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the paper's qualitative claims on the figures."""
+    figure = figures["microbatch"]
+    checks = [check_monotonic(
+        figure.series[MICROBATCH], increasing=True,
+        description="micro-batch latency grows with the batch interval")]
+    floor_ok = all(latency >= interval_ms / 2
+                   for interval_ms, latency in
+                   figure.series[MICROBATCH].points)
+    checks.append(ShapeCheck(
+        "micro-batch latency >= interval/2 (the discretization floor)",
+        floor_ok))
+    heron_latency = figure.series[HERON].points[0][1]
+    slower = [latency for interval_ms, latency in
+              figure.series[MICROBATCH].points if interval_ms >= 250]
+    checks.append(ShapeCheck(
+        "Heron is far below the 'few hundred ms' micro-batch regime",
+        all(latency > 3 * heron_latency for latency in slower),
+        f"heron {heron_latency:.0f}ms vs micro-batch "
+        f"{', '.join(f'{v:.0f}' for v in slower)}ms"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,118 @@
+"""Section IV-A (no figure): the packing-policy trade-off.
+
+"A user who wants to optimize for load balancing can use a simple Round
+Robin algorithm... A user who wants to reduce the total cost of running
+a topology in a pay-as-you-go environment can choose a Bin Packing
+algorithm that produces a packing plan with the minimum number of
+containers."
+
+We pack a heterogeneous topology with both built-in policies and report
+container count, total provisioned CPU (the pay-as-you-go cost proxy),
+and the load-balance spread (max/min container CPU utilization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api.component import Bolt, Spout
+from repro.api.topology import TopologyBuilder
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.experiments.series import Figure, ShapeCheck
+from repro.packing.ffd import FirstFitDecreasingPacking
+from repro.packing.round_robin import RoundRobinPacking
+
+
+class _Spout(Spout):
+    outputs = {"default": ["x"]}
+
+    def next_tuple(self, collector):
+        collector.emit(["x"])
+
+
+class _Bolt(Bolt):
+    def execute(self, tup, collector):
+        pass
+
+
+def heterogeneous_topology(scale: int = 4):
+    """A mixed-size topology: big spouts, medium bolts, small sinks."""
+    builder = TopologyBuilder("hetero")
+    builder.set_spout("ingest", _Spout(), parallelism=2 * scale,
+                      resource=Resource(cpu=3.0, ram=3 * GB))
+    builder.set_bolt("transform", _Bolt(), parallelism=3 * scale,
+                     resource=Resource(cpu=1.5, ram=2 * GB)) \
+        .shuffle_grouping("ingest")
+    builder.set_bolt("sink", _Bolt(), parallelism=4 * scale,
+                     resource=Resource(cpu=0.5, ram=1 * GB)) \
+        .shuffle_grouping("transform")
+    return builder.build()
+
+
+def run(fast: bool = False) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    scales = [1, 2, 4] if fast else [1, 2, 4, 8, 16]
+    containers = Figure("§IV-A (containers)",
+                        "Containers allocated by packing policy",
+                        "topology scale", "containers")
+    cost = Figure("§IV-A (cost)", "Provisioned CPU by packing policy",
+                  "topology scale", "total provisioned cpu cores")
+    balance = Figure("§IV-A (balance)", "Load spread by packing policy",
+                     "topology scale", "max/min container instance-cpu")
+
+    for scale in scales:
+        topology = heterogeneous_topology(scale)
+        for policy_name, policy in (("Round Robin", RoundRobinPacking()),
+                                    ("FFD Bin Packing",
+                                     FirstFitDecreasingPacking())):
+            policy.initialize(Config(), topology)
+            plan = policy.pack()
+            containers.add_point(policy_name, scale, plan.container_count)
+            cost.add_point(policy_name, scale, plan.total_resource.cpu)
+            loads = [c.instance_resource.cpu for c in plan.containers]
+            balance.add_point(policy_name, scale,
+                              max(loads) / max(min(loads), 1e-9))
+
+    return {"containers": containers, "cost": cost, "balance": balance}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the paper's qualitative claims on the figures."""
+    checks: List[ShapeCheck] = []
+    for scale in figures["containers"].series["Round Robin"].xs:
+        rr = figures["containers"].series["Round Robin"].y_at(scale)
+        ffd = figures["containers"].series["FFD Bin Packing"].y_at(scale)
+        checks.append(ShapeCheck(
+            f"scale {scale:g}: FFD uses no more containers than RR",
+            ffd <= rr, f"FFD {ffd:g} vs RR {rr:g}"))
+        rr_cost = figures["cost"].series["Round Robin"].y_at(scale)
+        ffd_cost = figures["cost"].series["FFD Bin Packing"].y_at(scale)
+        checks.append(ShapeCheck(
+            f"scale {scale:g}: FFD provisions no more CPU than RR",
+            ffd_cost <= rr_cost + 1e-9,
+            f"FFD {ffd_cost:g} vs RR {rr_cost:g}"))
+    rr_spread = figures["balance"].series["Round Robin"].ys
+    ffd_spread = figures["balance"].series["FFD Bin Packing"].ys
+    checks.append(ShapeCheck(
+        "RR balances load at least as evenly as FFD (on average)",
+        sum(rr_spread) / len(rr_spread) <=
+        sum(ffd_spread) / len(ffd_spread) + 1e-9,
+        f"mean spread RR {sum(rr_spread) / len(rr_spread):.2f} vs "
+        f"FFD {sum(ffd_spread) / len(ffd_spread):.2f}"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,171 @@
+"""Figure/series containers: printing, CSV export, shape checks."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One plotted line: label plus (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one (x, y) point."""
+        self.points.append((x, y))
+
+    def y_at(self, x: float) -> float:
+        """The y value at an exact x (KeyError if absent)."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _y in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _x, y in self.points]
+
+    def argmax(self) -> float:
+        """x of the maximum y."""
+        if not self.points:
+            raise ValueError(f"series {self.label!r} is empty")
+        return max(self.points, key=lambda p: p[1])[0]
+
+
+class Figure:
+    """A reproduced paper figure: series + axis labels + shape checks."""
+
+    def __init__(self, figure_id: str, title: str, x_label: str,
+                 y_label: str) -> None:
+        self.figure_id = figure_id
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series: Dict[str, Series] = {}
+        self.notes: List[str] = []
+
+    def series_for(self, label: str) -> Series:
+        """Get-or-create the series with this label."""
+        if label not in self.series:
+            self.series[label] = Series(label)
+        return self.series[label]
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append a point to the labeled series."""
+        self.series_for(label).add(x, y)
+
+    # -- output -----------------------------------------------------------
+    def format_table(self) -> str:
+        """A table with one row per x value, one column per series."""
+        out = io.StringIO()
+        out.write(f"== {self.figure_id}: {self.title} ==\n")
+        labels = list(self.series)
+        xs = sorted({x for s in self.series.values() for x in s.xs})
+        header = [self.x_label] + labels
+        rows = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for label in labels:
+                try:
+                    row.append(f"{self.series[label].y_at(x):,.2f}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+                  for i in range(len(header))]
+        out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        out.write(f"    [{self.y_label}]\n")
+        for row in rows:
+            out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def print(self) -> None:
+        """Print the figure as an aligned table."""
+        print(self.format_table())
+
+    def to_csv(self) -> str:
+        """CSV rendering: x,series,y rows."""
+        lines = [f"{self.x_label},series,{self.y_label}"]
+        for label, series in self.series.items():
+            for x, y in series.points:
+                lines.append(f"{x:g},{label},{y:g}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper, verified on a Figure."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.description}" + \
+            (f" ({self.detail})" if self.detail else "")
+
+
+def check_ratio_band(figure: Figure, better: str, worse: str,
+                     low: float, high: float, *,
+                     description: str,
+                     slack: float = 0.35) -> ShapeCheck:
+    """Check that series ``better`` / ``worse`` falls in [low, high]
+    (± slack as relative tolerance on the band edges) at every shared x.
+    """
+    ratios = []
+    for x in figure.series[better].xs:
+        try:
+            denominator = figure.series[worse].y_at(x)
+        except KeyError:
+            continue
+        if denominator > 0:
+            ratios.append(figure.series[better].y_at(x) / denominator)
+    if not ratios:
+        return ShapeCheck(description, False, "no comparable points")
+    lo_bound = low * (1 - slack)
+    hi_bound = high * (1 + slack)
+    ok = all(lo_bound <= r <= hi_bound for r in ratios)
+    detail = f"ratios {', '.join(f'{r:.2f}' for r in ratios)} vs " \
+             f"band [{low}, {high}]"
+    return ShapeCheck(description, ok, detail)
+
+
+def check_monotonic(series: Series, increasing: bool, *,
+                    description: str, tolerance: float = 0.05) -> ShapeCheck:
+    """Check a series is (near-)monotonic along x."""
+    points = sorted(series.points)
+    ok = True
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        if increasing and y2 < y1 * (1 - tolerance):
+            ok = False
+        if not increasing and y2 > y1 * (1 + tolerance):
+            ok = False
+    return ShapeCheck(description, ok,
+                      f"ys: {', '.join(f'{y:.1f}' for _x, y in points)}")
+
+
+def check_peak_interior(series: Series, *, description: str) -> ShapeCheck:
+    """Check a series peaks strictly inside its x range (rise then fall)."""
+    points = sorted(series.points)
+    if len(points) < 3:
+        return ShapeCheck(description, False, "too few points")
+    peak_x = max(points, key=lambda p: p[1])[0]
+    interior = points[0][0] < peak_x < points[-1][0]
+    first, last, peak = points[0][1], points[-1][1], \
+        max(y for _x, y in points)
+    shaped = peak > first and peak > last
+    return ShapeCheck(description, interior and shaped,
+                      f"peak at x={peak_x:g}; "
+                      f"ends {first:.1f}/{last:.1f}, peak {peak:.1f}")

@@ -1,0 +1,137 @@
+"""Minimal SVG line-chart rendering for reproduced figures.
+
+No plotting library ships offline, so this renders a
+:class:`~repro.experiments.series.Figure` to a standalone SVG line chart
+(axes, ticks, legend, one polyline+markers per series) with nothing but
+string formatting. `heron-sim figure <id> --svg DIR` and the benchmark
+harness use it to produce viewable artifacts next to the CSVs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.series import Figure
+
+#: Line colors per series index (accessible, print-safe).
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#17becf"]
+
+WIDTH, HEIGHT = 640, 400
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 50
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = step * int(low / step)
+    if first > low:
+        first -= step
+    ticks = []
+    tick = first
+    while tick <= high + step * 0.51:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return f"{int(value):,}"
+    return f"{value:g}"
+
+
+def render_svg(figure: Figure) -> str:
+    """Render the figure as a standalone SVG document."""
+    all_points: List[Tuple[float, float]] = [
+        p for s in figure.series.values() for p in s.points]
+    if not all_points:
+        raise ValueError(f"figure {figure.figure_id!r} has no points")
+    xs = [x for x, _y in all_points]
+    ys = [y for _x, y in all_points]
+    x_ticks = _nice_ticks(min(xs), max(xs))
+    y_ticks = _nice_ticks(min(0.0, min(ys)), max(ys))
+    x_lo, x_hi = x_ticks[0], x_ticks[-1]
+    y_lo, y_hi = y_ticks[0], y_ticks[-1]
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def sx(x: float) -> float:
+        return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{figure.figure_id}: '
+        f'{figure.title}</text>',
+    ]
+    # Gridlines + ticks.
+    for tick in y_ticks:
+        y = sy(tick)
+        parts.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+                     f'x2="{WIDTH - MARGIN_R}" y2="{y:.1f}" '
+                     f'stroke="#e0e0e0"/>')
+        parts.append(f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end" font-size="10">'
+                     f'{_fmt(tick)}</text>')
+    for tick in x_ticks:
+        x = sx(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{MARGIN_T}" '
+                     f'x2="{x:.1f}" y2="{HEIGHT - MARGIN_B}" '
+                     f'stroke="#f0f0f0"/>')
+        parts.append(f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_B + 16}" '
+                     f'text-anchor="middle" font-size="10">'
+                     f'{_fmt(tick)}</text>')
+    # Axes.
+    parts.append(f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+                 f'y2="{HEIGHT - MARGIN_B}" stroke="black"/>')
+    parts.append(f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" '
+                 f'x2="{WIDTH - MARGIN_R}" y2="{HEIGHT - MARGIN_B}" '
+                 f'stroke="black"/>')
+    parts.append(f'<text x="{MARGIN_L + plot_w / 2}" '
+                 f'y="{HEIGHT - 12}" text-anchor="middle" '
+                 f'font-size="11">{figure.x_label}</text>')
+    parts.append(f'<text x="16" y="{MARGIN_T + plot_h / 2}" '
+                 f'text-anchor="middle" font-size="11" '
+                 f'transform="rotate(-90 16 {MARGIN_T + plot_h / 2})">'
+                 f'{figure.y_label}</text>')
+    # Series.
+    for index, (label, series) in enumerate(figure.series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = sorted(series.points)
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        for x, y in points:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
+                         f'r="3" fill="{color}"/>')
+        # Legend entry.
+        ly = MARGIN_T + 6 + index * 16
+        lx = WIDTH - MARGIN_R - 150
+        parts.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" '
+                     f'y2="{ly}" stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{lx + 24}" y="{ly + 4}" font-size="10">'
+                     f'{label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(figure: Figure, path) -> None:
+    """Write the rendered chart to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(figure))

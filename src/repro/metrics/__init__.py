@@ -1,0 +1,9 @@
+"""Metrics primitives: weighted streaming statistics and reservoirs.
+
+Used by engine processes for their counters/latency tracking and by the
+experiment harness to compute the figures' series.
+"""
+
+from repro.metrics.stats import WeightedReservoir, WeightedStats
+
+__all__ = ["WeightedReservoir", "WeightedStats"]

@@ -1,0 +1,120 @@
+"""Weighted streaming statistics.
+
+Latency observations arrive per *batch* with a tuple-count weight, so the
+stats track weighted mean/min/max plus a deterministic weighted reservoir
+for percentile estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+
+class WeightedStats:
+    """Streaming weighted mean/min/max with a bounded sample reservoir."""
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1: {reservoir_size}")
+        self.count = 0.0        # total weight
+        self.total = 0.0        # weighted sum
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir = WeightedReservoir(reservoir_size)
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Record one observation with the given weight."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive: {weight}")
+        self.count += weight
+        self.total += value * weight
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._reservoir.add(value, weight)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Weighted percentile (q in [0, 1]) from the reservoir."""
+        return self._reservoir.percentile(q)
+
+    def merge(self, other: "WeightedStats") -> None:
+        """Fold another stats object into this one."""
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is not None:
+                self.min = bound if self.min is None else min(self.min, bound)
+                self.max = bound if self.max is None else max(self.max, bound)
+        self._reservoir.merge(other._reservoir)
+
+    def snapshot(self) -> dict:
+        """Summary dict: count/mean/min/max/p50/p99."""
+        return {"count": self.count, "mean": self.mean,
+                "min": self.min, "max": self.max,
+                "p50": self.percentile(0.50), "p99": self.percentile(0.99)}
+
+
+class WeightedReservoir:
+    """Deterministic weighted sampling via systematic thinning.
+
+    Keeps at most ``size`` (value, weight) pairs. When full, pairs are
+    coalesced by halving: adjacent samples merge, weights add — a simple
+    deterministic sketch adequate for figure-level percentiles (no RNG,
+    so simulations replay identically).
+    """
+
+    def __init__(self, size: int = 512) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1: {size}")
+        self.size = size
+        self.samples: List[Tuple[float, float]] = []
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Add a weighted sample (compacting when full)."""
+        self.samples.append((value, weight))
+        if len(self.samples) >= 2 * self.size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Shrink back to ``size`` samples by repeatedly merging the
+        adjacent (by value) pair with the smallest combined weight —
+        heavy clusters stay put, so quantile resolution stays balanced
+        instead of collapsing the oldest region (a t-digest-flavoured
+        strategy)."""
+        samples = sorted(self.samples)
+        while len(samples) > self.size:
+            best = min(range(len(samples) - 1),
+                       key=lambda i: samples[i][1] + samples[i + 1][1])
+            (v1, w1), (v2, w2) = samples[best], samples[best + 1]
+            samples[best:best + 2] = [
+                ((v1 * w1 + v2 * w2) / (w1 + w2), w1 + w2)]
+        self.samples = samples
+
+    def percentile(self, q: float) -> float:
+        """Weighted percentile (q in [0, 1]) over the kept samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1]: {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples, key=lambda pair: pair[0])
+        total = sum(weight for _v, weight in ordered)
+        target = q * total
+        acc = 0.0
+        for value, weight in ordered:
+            acc += weight
+            if acc >= target:
+                return value
+        return ordered[-1][0]
+
+    def merge(self, other: "WeightedReservoir") -> None:
+        """Fold another reservoir's samples into this one."""
+        for value, weight in other.samples:
+            self.add(value, weight)
+
+    @property
+    def total_weight(self) -> float:
+        return math.fsum(weight for _v, weight in self.samples)

@@ -1,0 +1,42 @@
+"""The Resource Manager module: packing Heron Instances into containers.
+
+Per Section IV-A, the Resource Manager "is the component responsible for
+assigning Heron Instances to containers, namely generating a packing
+plan" via ``pack()`` (first submission) and ``repack()`` (topology
+scaling). It is invoked on demand — it is not a long-running process —
+and different topologies on the same cluster may use different policies.
+
+Provided policies:
+
+* :class:`RoundRobinPacking` — "a user who wants to optimize for load
+  balancing can use a simple Round Robin algorithm" — homogeneous
+  containers, instances spread evenly;
+* :class:`FirstFitDecreasingPacking` — "a user who wants to reduce the
+  total cost of running a topology in a pay-as-you-go environment can
+  choose a Bin Packing algorithm that produces a packing plan with the
+  minimum number of containers" — heterogeneous containers, FFD bin
+  packing.
+
+Any object implementing :class:`ResourceManager` plugs in; the
+``repack`` implementations follow the paper's stated goals: "minimize
+disruptions to the existing packing plan while still providing load
+balancing for the newly added instances" and "exploit the available free
+space of the already provisioned containers".
+"""
+
+from repro.packing.base import PackingConfigKeys, ResourceManager
+from repro.packing.ffd import FirstFitDecreasingPacking
+from repro.packing.plan import (ContainerPlan, InstancePlan, PackingPlan,
+                                PlanDelta)
+from repro.packing.round_robin import RoundRobinPacking
+
+__all__ = [
+    "ContainerPlan",
+    "FirstFitDecreasingPacking",
+    "InstancePlan",
+    "PackingConfigKeys",
+    "PackingPlan",
+    "PlanDelta",
+    "ResourceManager",
+    "RoundRobinPacking",
+]

@@ -1,0 +1,142 @@
+"""The Resource Manager interface and shared packing plumbing.
+
+The API mirrors the paper's Section IV-A listing::
+
+    public interface ResourceManager {
+        void initialize(Configuration conf, Topology topology)
+        PackingPlan pack()
+        PackingPlan repack(PackingPlan currentPlan, Map parallelismChanges)
+        void close()
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.api.config_keys import TopologyConfigKeys as TopoKeys
+from repro.api.topology import Topology
+from repro.common.config import Config, ConfigKey, ConfigSchema
+from repro.common.errors import PackingError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.packing.plan import InstancePlan, PackingPlan
+
+SCHEMA = ConfigSchema("packing")
+
+
+def _declare(*args, **kwargs) -> ConfigKey:
+    return SCHEMA.declare(ConfigKey(*args, **kwargs))
+
+
+class PackingConfigKeys:
+    """Knobs consumed by the provided packing policies."""
+
+    FFD_MAX_CONTAINER_CPU = _declare(
+        "packing.ffd.max.container.cpu", default=8.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Bin capacity (cores) for FFD bin packing, before "
+                    "SM/MM padding.")
+
+    FFD_MAX_CONTAINER_RAM = _declare(
+        "packing.ffd.max.container.ram", default=8 * GB, value_type=int,
+        validator=lambda v: v > 0,
+        description="Bin capacity (RAM bytes) for FFD bin packing.")
+
+    FFD_MAX_CONTAINER_DISK = _declare(
+        "packing.ffd.max.container.disk", default=32 * GB, value_type=int,
+        validator=lambda v: v > 0,
+        description="Bin capacity (disk bytes) for FFD bin packing.")
+
+
+class ResourceManager:
+    """Base class for packing policies (the module's plug-in point)."""
+
+    def __init__(self) -> None:
+        self.config: Optional[Config] = None
+        self.topology: Optional[Topology] = None
+
+    # -- the paper's four methods -------------------------------------------
+    def initialize(self, config: Config, topology: Topology) -> None:
+        """Bind this (on-demand, short-lived) manager to one topology."""
+        self.config = topology.config.with_overrides(config)
+        self.topology = topology
+
+    def pack(self) -> PackingPlan:
+        """Produce the initial packing plan."""
+        raise NotImplementedError
+
+    def repack(self, current_plan: PackingPlan,
+               parallelism_changes: Mapping[str, int]) -> PackingPlan:
+        """Adjust an existing plan for new component parallelisms."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (none for the built-in policies)."""
+
+    # -- shared helpers ----------------------------------------------------
+    def _require_initialized(self) -> Topology:
+        if self.topology is None or self.config is None:
+            raise PackingError(
+                f"{type(self).__name__} used before initialize()")
+        return self.topology
+
+    def instance_resource(self, component: str) -> Resource:
+        """The resource requirement of one instance of ``component``.
+
+        Per-component hints on the topology win; otherwise the
+        topology-level instance defaults apply.
+        """
+        topology = self._require_initialized()
+        spec = topology.component(component)
+        if spec.resource is not None:
+            return spec.resource
+        assert self.config is not None
+        return Resource(cpu=self.config.get(TopoKeys.INSTANCE_CPU),
+                        ram=self.config.get(TopoKeys.INSTANCE_RAM),
+                        disk=self.config.get(TopoKeys.INSTANCE_DISK))
+
+    def padding(self) -> Resource:
+        """Per-container headroom for the SM and Metrics Manager."""
+        assert self.config is not None
+        return Resource(cpu=self.config.get(TopoKeys.CONTAINER_CPU_PADDING),
+                        ram=self.config.get(TopoKeys.CONTAINER_RAM_PADDING))
+
+    def all_instances(self,
+                      parallelism: Optional[Mapping[str, int]] = None
+                      ) -> List[InstancePlan]:
+        """Every instance the (possibly rescaled) topology needs.
+
+        Tasks are interleaved across components — spout[0], bolt[0],
+        spout[1], bolt[1], ... — so slot-based policies naturally mix
+        component types within containers (good for locality and even
+        load, and how Heron's round-robin behaves).
+        """
+        topology = self._require_initialized()
+        counts: Dict[str, int] = {
+            name: topology.parallelism_of(name)
+            for name in topology.components()
+        }
+        if parallelism:
+            counts.update(parallelism)
+        result: List[InstancePlan] = []
+        max_count = max(counts.values())
+        for task in range(max_count):
+            for component in topology.components():
+                if task < counts[component]:
+                    result.append(InstancePlan(
+                        component, task, self.instance_resource(component)))
+        return result
+
+    @staticmethod
+    def check_changes(current_plan: PackingPlan,
+                      parallelism_changes: Mapping[str, int]) -> None:
+        existing = current_plan.component_parallelism()
+        for component, count in parallelism_changes.items():
+            if component not in existing:
+                raise PackingError(
+                    f"cannot scale unknown component {component!r}")
+            if count <= 0:
+                raise PackingError(
+                    f"parallelism for {component!r} must be positive: "
+                    f"{count}")

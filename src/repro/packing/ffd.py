@@ -1,0 +1,93 @@
+"""First-Fit-Decreasing bin packing: optimize for container count / cost.
+
+"A user who wants to reduce the total cost of running a topology in a
+pay-as-you-go environment can choose a Bin Packing algorithm that
+produces a packing plan with the minimum number of containers"
+(Section IV-A). FFD is the classic approximation: sort instances by
+decreasing size, place each into the first container with room, open a
+new container only when none fits.
+
+Containers are *heterogeneous*: each declares exactly what its contents
+need (plus SM/MM padding) — the shape YARN-style frameworks support.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.common.errors import PackingError
+from repro.common.resources import Resource
+from repro.packing import repack as rp
+from repro.packing.base import PackingConfigKeys, ResourceManager
+from repro.packing.plan import ContainerPlan, InstancePlan, PackingPlan
+
+
+class FirstFitDecreasingPacking(ResourceManager):
+    """Minimize container count via FFD bin packing."""
+
+    def bin_capacity(self) -> Resource:
+        """The FFD bin size from config (before SM/MM padding)."""
+        assert self.config is not None
+        return Resource(
+            cpu=self.config.get(PackingConfigKeys.FFD_MAX_CONTAINER_CPU),
+            ram=self.config.get(PackingConfigKeys.FFD_MAX_CONTAINER_RAM),
+            disk=self.config.get(PackingConfigKeys.FFD_MAX_CONTAINER_DISK))
+
+    def pack(self) -> PackingPlan:
+        topology = self._require_initialized()
+        instances = self._sorted_decreasing(self.all_instances())
+        assignments: rp.Assignments = {}
+        for instance in instances:
+            self._first_fit(assignments, instance)
+        return self._plan(topology.name, assignments)
+
+    def repack(self, current_plan: PackingPlan,
+               parallelism_changes: Mapping[str, int]) -> PackingPlan:
+        self._require_initialized()
+        self.check_changes(current_plan, parallelism_changes)
+        counts = rp.target_counts(current_plan, parallelism_changes)
+        assignments = rp.current_assignments(current_plan)
+        rp.apply_removals(assignments, counts)
+        additions = self._sorted_decreasing(
+            rp.new_instances(assignments, counts, self.instance_resource))
+        # "Exploit the available free space of the already provisioned
+        # containers": first-fit into existing bins before opening new ones.
+        for instance in additions:
+            self._first_fit(assignments, instance)
+        rp.drop_empty(assignments)
+        return self._plan(current_plan.topology_name, assignments)
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _sorted_decreasing(
+            instances: List[InstancePlan]) -> List[InstancePlan]:
+        return sorted(
+            instances,
+            key=lambda i: (-i.resource.ram, -i.resource.cpu,
+                           i.component, i.task_id))
+
+    def _first_fit(self, assignments: rp.Assignments,
+                   instance: InstancePlan) -> None:
+        capacity = self.bin_capacity()
+        if not instance.resource.fits_in(capacity):
+            raise PackingError(
+                f"instance {instance.component}[{instance.task_id}] needs "
+                f"{instance.resource}, exceeding the bin capacity "
+                f"{capacity}; raise the packing.ffd.max.container.* config")
+        for cid in sorted(assignments):
+            used = Resource.total(i.resource for i in assignments[cid])
+            if (used + instance.resource).fits_in(capacity):
+                assignments[cid].append(instance)
+                return
+        assignments[rp.next_container_id(assignments)] = [instance]
+
+    def _plan(self, topology_name: str,
+              assignments: rp.Assignments) -> PackingPlan:
+        padding = self.padding()
+        containers = [
+            ContainerPlan(
+                cid, tuple(instances),
+                Resource.total(i.resource for i in instances) + padding)
+            for cid, instances in sorted(assignments.items())
+        ]
+        return PackingPlan(topology_name, containers)

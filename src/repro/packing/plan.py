@@ -1,0 +1,235 @@
+"""The packing-plan data model.
+
+"The packing plan is essentially a mapping from containers to a set of
+Heron Instances and their corresponding resource requirements"
+(Section IV-A). Plans are immutable values: the Resource Manager produces
+them, the Scheduler consumes them, the State Manager stores them, and
+scaling produces a *new* plan whose difference from the old one
+(:class:`PlanDelta`) tells the Scheduler what to change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import PackingError
+from repro.common.ids import instance_id
+from repro.common.resources import Resource
+
+
+@dataclass(frozen=True)
+class InstancePlan:
+    """One Heron Instance: which task of which component, and its needs."""
+
+    component: str
+    task_id: int
+    resource: Resource
+
+    def instance_id(self, container_id: int) -> str:
+        """The canonical instance id within a container."""
+        return instance_id(self.component, self.task_id, container_id)
+
+
+@dataclass(frozen=True)
+class ContainerPlan:
+    """One container: its id, instances, and required capacity."""
+
+    id: int
+    instances: Tuple[InstancePlan, ...]
+    required: Resource
+
+    def __post_init__(self) -> None:
+        if self.id < 1:
+            raise PackingError(
+                f"container ids start at 1 (0 is the Topology Master): "
+                f"{self.id}")
+        need = Resource.total(i.resource for i in self.instances)
+        if not need.fits_in(self.required):
+            raise PackingError(
+                f"container {self.id} requires {need} but declares only "
+                f"{self.required}")
+
+    @property
+    def instance_resource(self) -> Resource:
+        return Resource.total(i.resource for i in self.instances)
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """What changed between two plans (consumed by Scheduler.onUpdate)."""
+
+    added: Tuple[ContainerPlan, ...]
+    removed: Tuple[ContainerPlan, ...]
+    changed: Tuple[Tuple[ContainerPlan, ContainerPlan], ...]  # (old, new)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+
+class PackingPlan:
+    """An immutable mapping of containers → instances for one topology."""
+
+    def __init__(self, topology_name: str,
+                 containers: Iterable[ContainerPlan]) -> None:
+        self.topology_name = topology_name
+        self.containers: Tuple[ContainerPlan, ...] = tuple(
+            sorted(containers, key=lambda c: c.id))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.containers:
+            raise PackingError(
+                f"packing plan for {self.topology_name!r} has no containers")
+        seen_containers = set()
+        seen_tasks = set()
+        for container in self.containers:
+            if container.id in seen_containers:
+                raise PackingError(
+                    f"duplicate container id {container.id}")
+            seen_containers.add(container.id)
+            for instance in container.instances:
+                key = (instance.component, instance.task_id)
+                if key in seen_tasks:
+                    raise PackingError(
+                        f"task {key} assigned to multiple containers")
+                seen_tasks.add(key)
+        if not seen_tasks:
+            raise PackingError(
+                f"packing plan for {self.topology_name!r} has no instances")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def container_count(self) -> int:
+        return len(self.containers)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(len(c.instances) for c in self.containers)
+
+    @property
+    def total_resource(self) -> Resource:
+        return Resource.total(c.required for c in self.containers)
+
+    @property
+    def max_container_resource(self) -> Resource:
+        """Component-wise max of container requirements — the container
+        size a homogeneous framework (Aurora) must allocate for every
+        container of this plan."""
+        acc = Resource.zero()
+        for container in self.containers:
+            acc = acc.max_with(container.required)
+        return acc
+
+    def container(self, container_id: int) -> ContainerPlan:
+        """Look up one container plan by id."""
+        for candidate in self.containers:
+            if candidate.id == container_id:
+                return candidate
+        raise PackingError(f"no container {container_id} in plan")
+
+    def component_parallelism(self) -> Dict[str, int]:
+        """Instances per component across the whole plan."""
+        counts: Dict[str, int] = {}
+        for container in self.containers:
+            for instance in container.instances:
+                counts[instance.component] = \
+                    counts.get(instance.component, 0) + 1
+        return counts
+
+    def tasks_of(self, component: str) -> List[Tuple[int, int]]:
+        """Sorted [(task_id, container_id)] for one component."""
+        result = []
+        for container in self.containers:
+            for instance in container.instances:
+                if instance.component == component:
+                    result.append((instance.task_id, container.id))
+        return sorted(result)
+
+    def instance_ids(self) -> List[str]:
+        """Every instance id in the plan, sorted."""
+        ids = []
+        for container in self.containers:
+            for instance in container.instances:
+                ids.append(instance.instance_id(container.id))
+        return sorted(ids)
+
+    def matches_topology(self, parallelism: Mapping[str, int]) -> bool:
+        """Does this plan place exactly the requested tasks (0..p-1)?"""
+        for component, count in parallelism.items():
+            tasks = [t for t, _c in self.tasks_of(component)]
+            if tasks != list(range(count)):
+                return False
+        return self.component_parallelism().keys() == set(parallelism)
+
+    # -- diffing -----------------------------------------------------------
+    def diff(self, newer: "PackingPlan") -> PlanDelta:
+        """What the Scheduler must do to move from ``self`` to ``newer``."""
+        old = {c.id: c for c in self.containers}
+        new = {c.id: c for c in newer.containers}
+        added = tuple(new[i] for i in sorted(new.keys() - old.keys()))
+        removed = tuple(old[i] for i in sorted(old.keys() - new.keys()))
+        changed = tuple(
+            (old[i], new[i]) for i in sorted(old.keys() & new.keys())
+            if old[i].instances != new[i].instances
+            or old[i].required != new[i].required)
+        return PlanDelta(added, removed, changed)
+
+    # -- serialization (for the State Manager) ---------------------------------
+    def to_json(self) -> bytes:
+        """Serialize for State Manager storage."""
+        doc = {
+            "topology": self.topology_name,
+            "containers": [
+                {
+                    "id": c.id,
+                    "required": [c.required.cpu, c.required.ram,
+                                 c.required.disk],
+                    "instances": [
+                        {"component": i.component, "task": i.task_id,
+                         "resource": [i.resource.cpu, i.resource.ram,
+                                      i.resource.disk]}
+                        for i in c.instances
+                    ],
+                }
+                for c in self.containers
+            ],
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, blob: bytes) -> "PackingPlan":
+        doc = json.loads(blob.decode("utf-8"))
+        containers = []
+        for cdoc in doc["containers"]:
+            instances = tuple(
+                InstancePlan(idoc["component"], idoc["task"],
+                             Resource(*idoc["resource"]))
+                for idoc in cdoc["instances"])
+            containers.append(ContainerPlan(cdoc["id"], instances,
+                                            Resource(*cdoc["required"])))
+        return cls(doc["topology"], containers)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PackingPlan)
+                and self.topology_name == other.topology_name
+                and self.containers == other.containers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PackingPlan({self.topology_name!r}, "
+                f"{self.container_count} containers, "
+                f"{self.instance_count} instances)")
+
+    def describe(self) -> str:
+        """Human-readable container-by-container listing."""
+        lines = [f"packing plan for {self.topology_name}: "
+                 f"{self.container_count} containers, "
+                 f"{self.instance_count} instances"]
+        for container in self.containers:
+            members = ", ".join(f"{i.component}[{i.task_id}]"
+                                for i in container.instances)
+            lines.append(f"  container {container.id} "
+                         f"(cpu={container.required.cpu:g}): {members}")
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Shared scaling (repack) plumbing.
+
+Both built-in policies follow the paper's repack contract: "Heron
+currently attempts to minimize disruptions to the existing packing plan
+while still providing load balancing for the newly added instances. It
+also tries to exploit the available free space of the already provisioned
+containers." The pieces factored here:
+
+* existing instances never move (minimal disruption);
+* parallelism decreases remove the *highest* task ids, keeping each
+  component's task ids contiguous ``0..p-1``;
+* parallelism increases mint fresh task ids; the policy decides where
+  each lands (slot-balanced for round-robin, first-fit for FFD);
+* emptied containers are dropped from the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.packing.plan import InstancePlan, PackingPlan
+
+Assignments = Dict[int, List[InstancePlan]]
+
+
+def current_assignments(plan: PackingPlan) -> Assignments:
+    """Mutable container → instance-list view of a plan."""
+    return {c.id: list(c.instances) for c in plan.containers}
+
+
+def target_counts(plan: PackingPlan,
+                  parallelism_changes: Mapping[str, int]) -> Dict[str, int]:
+    """Component parallelism after applying the requested changes."""
+    counts = plan.component_parallelism()
+    counts.update(parallelism_changes)
+    return counts
+
+
+def apply_removals(assignments: Assignments,
+                   counts: Mapping[str, int]) -> None:
+    """Drop instances whose task_id exceeds the new parallelism.
+
+    Removing the highest ids keeps the surviving ids contiguous, so no
+    existing instance is renumbered (minimal disruption).
+    """
+    for container_id, instances in assignments.items():
+        instances[:] = [
+            inst for inst in instances
+            if inst.task_id < counts[inst.component]
+        ]
+
+
+def new_instances(assignments: Assignments, counts: Mapping[str, int],
+                  resource_of) -> List[InstancePlan]:
+    """The instances to add: fresh task ids per grown component,
+    interleaved across components for balanced placement."""
+    existing: Dict[str, int] = {component: 0 for component in counts}
+    for instances in assignments.values():
+        for inst in instances:
+            existing[inst.component] += 1
+    pending: List[Tuple[str, int]] = []
+    for component in counts:
+        for task in range(existing[component], counts[component]):
+            pending.append((component, task))
+    # Interleave by task id so e.g. adding 4 spouts and 4 bolts alternates.
+    pending.sort(key=lambda item: (item[1], item[0]))
+    return [InstancePlan(component, task, resource_of(component))
+            for component, task in pending]
+
+
+def drop_empty(assignments: Assignments) -> None:
+    """Remove containers left with no instances."""
+    for container_id in [cid for cid, ins in assignments.items() if not ins]:
+        del assignments[container_id]
+
+
+def next_container_id(assignments: Assignments) -> int:
+    """The next unused container id."""
+    return max(assignments.keys(), default=0) + 1

@@ -1,0 +1,89 @@
+"""Round-robin packing: optimize for load balance.
+
+"A user who wants to optimize for load balancing can use a simple Round
+Robin algorithm to assign Heron Instances to containers" (Section IV-A).
+
+Instances are dealt out cyclically over ``ceil(total /
+instances_per_container)`` containers. Containers are *homogeneous*: each
+declares the maximum per-container requirement (plus SM/MM padding), the
+shape Aurora-style frameworks need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping
+
+from repro.api.config_keys import TopologyConfigKeys as TopoKeys
+from repro.common.resources import Resource
+from repro.packing import repack as rp
+from repro.packing.base import ResourceManager
+from repro.packing.plan import ContainerPlan, InstancePlan, PackingPlan
+
+
+class RoundRobinPacking(ResourceManager):
+    """Even, slot-based distribution over homogeneous containers."""
+
+    def _slots(self) -> int:
+        assert self.config is not None
+        return self.config.get(TopoKeys.INSTANCES_PER_CONTAINER)
+
+    def pack(self) -> PackingPlan:
+        topology = self._require_initialized()
+        # Deal each component's tasks cyclically, continuing the cursor
+        # across components so spouts and bolts end up mixed within
+        # containers (Heron's round-robin behaviour).
+        order = {name: pos for pos, name in enumerate(topology.components())}
+        instances = sorted(self.all_instances(),
+                           key=lambda i: (order[i.component], i.task_id))
+        slots = self._slots()
+        container_count = max(1, math.ceil(len(instances) / slots))
+        assignments: rp.Assignments = {
+            cid: [] for cid in range(1, container_count + 1)}
+        for cursor, instance in enumerate(instances):
+            assignments[(cursor % container_count) + 1].append(instance)
+        return self._plan(topology.name, assignments)
+
+    def repack(self, current_plan: PackingPlan,
+               parallelism_changes: Mapping[str, int]) -> PackingPlan:
+        self._require_initialized()
+        self.check_changes(current_plan, parallelism_changes)
+        counts = rp.target_counts(current_plan, parallelism_changes)
+        assignments = rp.current_assignments(current_plan)
+        rp.apply_removals(assignments, counts)
+        additions = rp.new_instances(assignments, counts,
+                                     self.instance_resource)
+        self._place_balanced(assignments, additions)
+        rp.drop_empty(assignments)
+        return self._plan(current_plan.topology_name, assignments)
+
+    # -- internals -----------------------------------------------------------
+    def _place_balanced(self, assignments: rp.Assignments,
+                        additions: List[InstancePlan]) -> None:
+        """Fill the least-loaded containers first (free slots), spilling
+        into fresh containers once every slot is taken."""
+        slots = self._slots()
+        for instance in additions:
+            candidates = [cid for cid, ins in assignments.items()
+                          if len(ins) < slots]
+            if candidates:
+                target = min(candidates,
+                             key=lambda cid: (len(assignments[cid]), cid))
+            else:
+                target = rp.next_container_id(assignments)
+                assignments[target] = []
+            assignments[target].append(instance)
+
+    def _plan(self, topology_name: str,
+              assignments: rp.Assignments) -> PackingPlan:
+        padding = self.padding()
+        # Homogeneous sizing: every container declares the largest need.
+        biggest = Resource.zero()
+        for instances in assignments.values():
+            need = Resource.total(i.resource for i in instances) + padding
+            biggest = biggest.max_with(need)
+        containers = [
+            ContainerPlan(cid, tuple(instances), biggest)
+            for cid, instances in sorted(assignments.items())
+        ]
+        return PackingPlan(topology_name, containers)

@@ -1,0 +1,53 @@
+"""The Scheduler module and the simulated scheduling frameworks.
+
+Per Section IV-B, the Scheduler "is the module responsible for interacting
+with the underlying scheduling framework such as YARN or Aurora and
+allocate the necessary resources based on the packing plan produced by
+the Resource Manager". Its API::
+
+    public interface Scheduler {
+        void initialize(Configuration conf)
+        void onSchedule(PackingPlan initialPlan);
+        void onKill(KillTopologyRequest request);
+        void onRestart(RestartTopologyRequest request);
+        void onUpdate(UpdateTopologyRequest request);
+        void close()
+    }
+
+Two behavioural axes from the paper are modeled faithfully:
+
+* **stateful vs stateless** — a stateful Scheduler (YARN) monitors its
+  containers and reacts to failures itself; a stateless Scheduler
+  (Aurora) relies on the framework to restart failed containers;
+* **heterogeneous vs homogeneous containers** — "YARN can allocate
+  heterogeneous containers whereas Aurora can only allocate homogeneous
+  containers for a given packing plan". The Scheduler adapts the packing
+  plan to what the framework supports, abstracting this from the
+  Resource Manager.
+
+The frameworks themselves (:mod:`repro.scheduler.frameworks`) are
+simulations of Aurora/YARN/local-mode built on the cluster substrate.
+"""
+
+from repro.scheduler.base import (KillTopologyRequest, RestartTopologyRequest,
+                                  Scheduler, TopologyLauncher,
+                                  UpdateTopologyRequest)
+from repro.scheduler.frameworks import (AuroraFramework, LocalFramework,
+                                        SchedulingFramework, YarnFramework)
+from repro.scheduler.impls import (AuroraScheduler, LocalScheduler,
+                                   YarnScheduler)
+
+__all__ = [
+    "AuroraFramework",
+    "AuroraScheduler",
+    "KillTopologyRequest",
+    "LocalFramework",
+    "LocalScheduler",
+    "RestartTopologyRequest",
+    "Scheduler",
+    "SchedulingFramework",
+    "TopologyLauncher",
+    "UpdateTopologyRequest",
+    "YarnFramework",
+    "YarnScheduler",
+]

@@ -1,0 +1,255 @@
+"""The Scheduler interface and its request types.
+
+The Scheduler turns packing plans into framework container allocations
+and starts the Heron processes in them ("The Scheduler is also
+responsible for starting all the Heron processes assigned to the
+container"). Process start/stop itself is delegated to a
+:class:`TopologyLauncher` provided by the runtime, keeping the Scheduler
+module independent of the engine internals — the modularity boundary the
+paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol
+
+from repro.common.config import Config
+from repro.common.errors import SchedulerError
+from repro.common.resources import Resource
+from repro.packing.plan import ContainerPlan, PackingPlan
+from repro.scheduler.frameworks import SchedulingFramework
+from repro.simulation.cluster import Container
+
+TMASTER_ROLE = "tmaster"
+
+#: Resources reserved for the Topology Master's own container.
+TMASTER_RESOURCE = Resource(cpu=1.0, ram=1 << 30)
+
+
+def container_role(container_id: int) -> str:
+    """Framework role string for a plan container."""
+    return f"container-{container_id}"
+
+
+def role_container_id(role: str) -> Optional[int]:
+    """Inverse of :func:`container_role` (None for the TM role)."""
+    if role.startswith("container-"):
+        return int(role.split("-", 1)[1])
+    return None
+
+
+@dataclass(frozen=True)
+class KillTopologyRequest:
+    topology_name: str
+
+
+@dataclass(frozen=True)
+class RestartTopologyRequest:
+    topology_name: str
+    container_id: Optional[int] = None  # None = every container
+
+
+@dataclass(frozen=True)
+class UpdateTopologyRequest:
+    topology_name: str
+    new_packing_plan: PackingPlan
+
+
+class TopologyLauncher(Protocol):
+    """Runtime hooks the Scheduler uses to start/stop Heron processes."""
+
+    def launch_tmaster(self, container: Container) -> None:
+        """Start the Topology Master process in its container."""
+        ...
+
+    def launch_container(self, container: Container,
+                         plan: ContainerPlan) -> None:
+        """Start SM + Metrics Manager + instances for one plan container."""
+        ...
+
+    def stop_container(self, container_id: int) -> None:
+        """Tear down engine bookkeeping for a plan container going away."""
+        ...
+
+
+class Scheduler:
+    """Base Scheduler: plan → containers bookkeeping + the paper's API.
+
+    Subclasses define :attr:`is_stateful` and how container sizes map to
+    the framework's capabilities via :meth:`container_spec`.
+    """
+
+    #: Stateful schedulers monitor containers and repair failures
+    #: themselves; stateless ones rely on the framework.
+    is_stateful = False
+
+    def __init__(self) -> None:
+        self.config: Config = Config()
+        self.framework: Optional[SchedulingFramework] = None
+        self.launcher: Optional[TopologyLauncher] = None
+        self.topology_name: Optional[str] = None
+        self.current_plan: Optional[PackingPlan] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def initialize(self, config: Config, framework: SchedulingFramework,
+                   launcher: TopologyLauncher, topology_name: str) -> None:
+        """Bind the scheduler to a framework, launcher and topology."""
+        self.config = config
+        self.framework = framework
+        self.launcher = launcher
+        self.topology_name = topology_name
+        framework.register_job(topology_name,
+                               client=self if self._is_client() else
+                               _StatelessClient(self))
+
+    def _is_client(self) -> bool:
+        return self.is_stateful
+
+    # -- the paper's five methods ---------------------------------------------
+    def on_schedule(self, initial_plan: PackingPlan) -> None:
+        """Allocate all resources for the initial packing plan."""
+        framework, launcher = self._require_wiring()
+        if self.current_plan is not None:
+            raise SchedulerError(
+                f"topology {self.topology_name!r} is already scheduled")
+        tmaster = framework.allocate(self._job, TMASTER_ROLE,
+                                     self.tmaster_spec(initial_plan))
+        launcher.launch_tmaster(tmaster)
+        for container_plan in initial_plan.containers:
+            self._allocate_and_launch(container_plan, initial_plan)
+        self.current_plan = initial_plan
+
+    def on_kill(self, request: KillTopologyRequest) -> None:
+        """Release every container of the topology."""
+        framework, launcher = self._require_wiring()
+        self._check_request(request.topology_name)
+        if self.current_plan is not None:
+            for container_plan in self.current_plan.containers:
+                launcher.stop_container(container_plan.id)
+        framework.kill_job(self._job)
+        self.current_plan = None
+
+    def on_restart(self, request: RestartTopologyRequest) -> None:
+        """Restart one container (or all): release + reallocate + relaunch."""
+        framework, launcher = self._require_wiring()
+        self._check_request(request.topology_name)
+        plan = self._require_plan()
+        targets = [plan.container(request.container_id)] \
+            if request.container_id is not None else list(plan.containers)
+        for container_plan in targets:
+            role = container_role(container_plan.id)
+            launcher.stop_container(container_plan.id)
+            framework.release(self._job, role)
+            self._allocate_and_launch(container_plan, plan)
+
+    def on_update(self, request: UpdateTopologyRequest) -> None:
+        """Apply a new packing plan (topology scaling)."""
+        framework, launcher = self._require_wiring()
+        self._check_request(request.topology_name)
+        old_plan = self._require_plan()
+        new_plan = request.new_packing_plan
+        delta = old_plan.diff(new_plan)
+        for removed in delta.removed:
+            launcher.stop_container(removed.id)
+            framework.release(self._job, container_role(removed.id))
+        for old_container, new_container in delta.changed:
+            # Simplest faithful behaviour: bounce the container with its
+            # new instance set (Heron restarts affected containers too).
+            launcher.stop_container(old_container.id)
+            framework.release(self._job, container_role(old_container.id))
+            self._allocate_and_launch(new_container, new_plan)
+        for added in delta.added:
+            self._allocate_and_launch(added, new_plan)
+        self.current_plan = new_plan
+
+    def close(self) -> None:
+        """Release framework/launcher references."""
+        self.framework = None
+        self.launcher = None
+
+    # -- framework-shape adaptation ----------------------------------------------
+    def container_spec(self, container_plan: ContainerPlan,
+                       plan: PackingPlan) -> Resource:
+        """The size actually requested from the framework for a container.
+
+        "Depending on the framework used, the Heron Scheduler determines
+        whether homogeneous or heterogeneous containers should be
+        allocated" — overridden per scheduler.
+        """
+        raise NotImplementedError
+
+    def tmaster_spec(self, plan: PackingPlan) -> Resource:
+        """Size of the Topology Master's container (container 0).
+
+        Homogeneous frameworks must size it like every other container;
+        heterogeneous ones can keep it small.
+        """
+        return TMASTER_RESOURCE
+
+    # -- FrameworkClient (stateful schedulers) -------------------------------------
+    def relaunch_container(self, role: str, container: Container) -> None:
+        """FrameworkClient hook: restart processes in a fresh container."""
+        launcher = self._require_wiring()[1]
+        if role == TMASTER_ROLE:
+            launcher.launch_tmaster(container)
+            return
+        plan = self._require_plan()
+        cid = role_container_id(role)
+        if cid is None:
+            raise SchedulerError(f"unknown role {role!r}")
+        launcher.launch_container(container, plan.container(cid))
+
+    def container_lost(self, role: str, spec: Resource) -> None:
+        """Stateful recovery: request a replacement and relaunch."""
+        if not self.is_stateful:
+            return
+        framework = self._require_wiring()[0]
+        replacement = framework.allocate(self._job, role, spec)
+        self.relaunch_container(role, replacement)
+
+    # -- internals ------------------------------------------------------------
+    @property
+    def _job(self) -> str:
+        assert self.topology_name is not None
+        return self.topology_name
+
+    def _allocate_and_launch(self, container_plan: ContainerPlan,
+                             plan: PackingPlan) -> None:
+        framework, launcher = self._require_wiring()
+        spec = self.container_spec(container_plan, plan)
+        container = framework.allocate(
+            self._job, container_role(container_plan.id), spec)
+        launcher.launch_container(container, container_plan)
+
+    def _require_wiring(self):
+        if self.framework is None or self.launcher is None:
+            raise SchedulerError(
+                f"{type(self).__name__} used before initialize()")
+        return self.framework, self.launcher
+
+    def _require_plan(self) -> PackingPlan:
+        if self.current_plan is None:
+            raise SchedulerError(
+                f"topology {self.topology_name!r} is not scheduled")
+        return self.current_plan
+
+    def _check_request(self, topology_name: str) -> None:
+        if topology_name != self.topology_name:
+            raise SchedulerError(
+                f"request for {topology_name!r} sent to the scheduler of "
+                f"{self.topology_name!r}")
+
+
+class _StatelessClient:
+    """Framework client for stateless schedulers: relaunches on demand
+    (the framework drives recovery) but ignores failure notifications."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+
+    def relaunch_container(self, role: str, container: Container) -> None:
+        self._scheduler.relaunch_container(role, container)
+
+    def container_lost(self, role: str, spec: Resource) -> None:
+        pass  # stateless: the framework owns recovery

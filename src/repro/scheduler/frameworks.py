@@ -1,0 +1,209 @@
+"""Simulated scheduling frameworks: Aurora-like, YARN-like, local mode.
+
+These stand in for the production frameworks Heron runs on. They share a
+small contract — allocate/release containers for a named job — and differ
+exactly along the two axes Section IV-B describes:
+
+* :class:`AuroraFramework` — only **homogeneous** containers per job, and
+  **framework-side recovery**: when a container fails, Aurora itself
+  allocates a replacement and re-invokes the client's relaunch hook
+  ("Aurora invokes the appropriate command to restart the container and
+  its corresponding tasks"). The Heron scheduler on top can be stateless.
+* :class:`YarnFramework` — **heterogeneous** containers allowed, but the
+  framework only *notifies* its client of failures; the client (a
+  stateful Heron scheduler) must request replacements itself.
+* :class:`LocalFramework` — single-machine, heterogeneous, no recovery
+  and no notifications (local development mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.common.errors import SchedulerError
+from repro.common.resources import Resource
+from repro.simulation.cluster import Cluster, Container
+from repro.simulation.events import Simulator
+
+
+class FrameworkClient(Protocol):
+    """What a scheduling framework needs from its client (the Heron
+    Scheduler) to restore processes after container churn."""
+
+    def relaunch_container(self, role: str, container: Container) -> None:
+        """(Re)start the job's processes inside a fresh container."""
+        ...
+
+    def container_lost(self, role: str, spec: Resource) -> None:
+        """Notification-only frameworks (YARN) report failures here."""
+        ...
+
+
+@dataclass
+class JobContainer:
+    """One allocated container of a job, identified by its role string."""
+
+    role: str
+    spec: Resource
+    container: Container
+
+
+@dataclass
+class FrameworkJob:
+    """A framework-side job: named container set plus the client hook."""
+
+    name: str
+    client: Optional[FrameworkClient] = None
+    containers: Dict[str, JobContainer] = field(default_factory=dict)
+
+
+class SchedulingFramework:
+    """Common allocation bookkeeping; subclasses set policy knobs."""
+
+    #: Can one job's containers have different sizes?
+    heterogeneous = True
+    #: Does the framework itself restart failed containers?
+    restarts_failed_containers = False
+    #: Does the framework notify the client about failures?
+    notifies_client_on_failure = False
+
+    name = "framework"
+
+    def __init__(self, sim: Simulator, cluster: Cluster, *,
+                 container_startup_delay: float = 0.0,
+                 failure_recovery_delay: float = 1.0) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.container_startup_delay = container_startup_delay
+        self.failure_recovery_delay = failure_recovery_delay
+        self.jobs: Dict[str, FrameworkJob] = {}
+        cluster.on_container_failed(self._handle_cluster_failure)
+
+    # -- job lifecycle ------------------------------------------------------
+    def register_job(self, job_name: str,
+                     client: Optional[FrameworkClient] = None) -> FrameworkJob:
+        """Register a job before allocating containers for it."""
+        if job_name in self.jobs:
+            raise SchedulerError(f"job {job_name!r} already registered "
+                                 f"with {self.name}")
+        job = FrameworkJob(job_name, client)
+        self.jobs[job_name] = job
+        return job
+
+    def allocate(self, job_name: str, role: str,
+                 spec: Resource) -> Container:
+        """Allocate one container for ``role`` within a job."""
+        job = self._job(job_name)
+        if role in job.containers:
+            raise SchedulerError(
+                f"job {job_name!r} already has a container for {role!r}")
+        if not self.heterogeneous:
+            self._check_homogeneous(job, spec)
+        container = self.cluster.allocate_container(spec, tag=job_name)
+        job.containers[role] = JobContainer(role, spec, container)
+        return container
+
+    def release(self, job_name: str, role: str) -> None:
+        """Release one container back to the cluster."""
+        job = self._job(job_name)
+        jc = job.containers.pop(role, None)
+        if jc is None:
+            raise SchedulerError(
+                f"job {job_name!r} has no container for role {role!r}")
+        if jc.container.running:
+            self.cluster.release_container(jc.container)
+
+    def kill_job(self, job_name: str) -> None:
+        """Release every container of a job and forget it."""
+        job = self._job(job_name)
+        for jc in list(job.containers.values()):
+            if jc.container.running:
+                self.cluster.release_container(jc.container)
+        job.containers.clear()
+        del self.jobs[job_name]
+
+    def job_containers(self, job_name: str) -> List[JobContainer]:
+        """The job's currently allocated containers."""
+        return list(self._job(job_name).containers.values())
+
+    # -- failure handling ---------------------------------------------------
+    def _handle_cluster_failure(self, container: Container) -> None:
+        located = self._locate(container)
+        if located is None:
+            return  # not one of ours
+        job, jc = located
+        del job.containers[jc.role]
+        if self.restarts_failed_containers:
+            self.sim.schedule(self.failure_recovery_delay,
+                              self._framework_restart, job, jc)
+        elif self.notifies_client_on_failure and job.client is not None:
+            self.sim.schedule(self.failure_recovery_delay,
+                              job.client.container_lost, jc.role, jc.spec)
+
+    def _framework_restart(self, job: FrameworkJob, jc: JobContainer) -> None:
+        if job.name not in self.jobs or jc.role in job.containers:
+            return  # job killed, or role re-filled, while we waited
+        container = self.cluster.allocate_container(jc.spec, tag=job.name)
+        job.containers[jc.role] = JobContainer(jc.role, jc.spec, container)
+        if job.client is not None:
+            job.client.relaunch_container(jc.role, container)
+
+    # -- helpers ------------------------------------------------------------
+    def _job(self, job_name: str) -> FrameworkJob:
+        job = self.jobs.get(job_name)
+        if job is None:
+            raise SchedulerError(
+                f"job {job_name!r} is not registered with {self.name}")
+        return job
+
+    def _check_homogeneous(self, job: FrameworkJob, spec: Resource) -> None:
+        for jc in job.containers.values():
+            if jc.spec != spec:
+                raise SchedulerError(
+                    f"{self.name} only allocates homogeneous containers: "
+                    f"job {job.name!r} has {jc.spec} but {spec} was "
+                    f"requested")
+
+    def _locate(self, container: Container):
+        for job in self.jobs.values():
+            for jc in job.containers.values():
+                if jc.container is container:
+                    return job, jc
+        return None
+
+
+class AuroraFramework(SchedulingFramework):
+    """Homogeneous containers; the framework restarts failed ones."""
+
+    name = "aurora"
+    heterogeneous = False
+    restarts_failed_containers = True
+    notifies_client_on_failure = False
+
+
+class YarnFramework(SchedulingFramework):
+    """Heterogeneous containers; failures are reported, not repaired."""
+
+    name = "yarn"
+    heterogeneous = True
+    restarts_failed_containers = False
+    notifies_client_on_failure = True
+
+
+class LocalFramework(SchedulingFramework):
+    """Single-server development mode: no recovery, no notifications."""
+
+    name = "local"
+    heterogeneous = True
+    restarts_failed_containers = False
+    notifies_client_on_failure = False
+
+    def __init__(self, sim: Simulator, cluster: Optional[Cluster] = None,
+                 **kwargs) -> None:
+        if cluster is None:
+            cluster = Cluster.homogeneous(
+                1, Resource(cpu=1024, ram=1 << 46, disk=1 << 50))
+        if len(cluster.machines) != 1:
+            raise SchedulerError("local mode runs on exactly one machine")
+        super().__init__(sim, cluster, **kwargs)

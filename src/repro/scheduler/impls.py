@@ -1,0 +1,60 @@
+"""Concrete Scheduler implementations: Aurora, YARN, local.
+
+Each one pairs a statefulness policy with a container-shape policy,
+mirroring Section IV-B:
+
+* :class:`AuroraScheduler` — **stateless** ("the Heron Scheduler is
+  stateless when Aurora is the underlying scheduling framework"), and
+  requests **homogeneous** containers sized to the largest container of
+  the packing plan;
+* :class:`YarnScheduler` — **stateful** ("the Heron Scheduler monitors
+  the state of the containers... When a container failure is detected,
+  the Scheduler invokes the appropriate commands to restart the
+  container and its associated tasks"), and passes the plan's
+  **heterogeneous** container sizes straight through;
+* :class:`LocalScheduler` — stateful (nobody else would recover) over
+  the single-machine local framework.
+"""
+
+from __future__ import annotations
+
+from repro.common.resources import Resource
+from repro.packing.plan import ContainerPlan, PackingPlan
+from repro.scheduler.base import Scheduler
+
+
+class AuroraScheduler(Scheduler):
+    """Stateless scheduler over Aurora-like frameworks."""
+
+    is_stateful = False
+
+    def container_spec(self, container_plan: ContainerPlan,
+                       plan: PackingPlan) -> Resource:
+        # Aurora "can only allocate homogeneous containers for a given
+        # packing plan": every container gets the plan's maximum.
+        return plan.max_container_resource
+
+    def tmaster_spec(self, plan: PackingPlan) -> Resource:
+        return plan.max_container_resource
+
+
+class YarnScheduler(Scheduler):
+    """Stateful scheduler over YARN-like frameworks."""
+
+    is_stateful = True
+
+    def container_spec(self, container_plan: ContainerPlan,
+                       plan: PackingPlan) -> Resource:
+        # YARN "can allocate heterogeneous containers": request exactly
+        # what each container needs.
+        return container_plan.required
+
+
+class LocalScheduler(Scheduler):
+    """Stateful scheduler for single-machine local mode."""
+
+    is_stateful = True
+
+    def container_spec(self, container_plan: ContainerPlan,
+                       plan: PackingPlan) -> Resource:
+        return container_plan.required

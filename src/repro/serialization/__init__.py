@@ -1,0 +1,55 @@
+"""Protocol-Buffers-style serialization substrate.
+
+Heron's Stream Manager exchanges Protocol Buffer messages between
+processes; its two headline optimizations (Section V-A) are *memory pools*
+(reusing message objects instead of new/delete per tuple) and *lazy
+deserialization* (parsing only the destination field of an incoming
+message and forwarding the payload as opaque bytes).
+
+This package provides those three pieces from scratch:
+
+* :mod:`repro.serialization.wire` — a varint/tag-length-value wire format
+  (the same encoding family as protobuf),
+* :mod:`repro.serialization.messages` — the engine's message schemas with
+  encode/decode and a type registry,
+* :mod:`repro.serialization.pool` — object memory pools with hit/miss
+  statistics,
+* :mod:`repro.serialization.lazy` — lazy message views that decode only
+  the routing header and expose the rest as bytes.
+
+The control plane (state-manager persistence, registration, heartbeats)
+round-trips through this wire format for real. On the simulated data
+plane, tuple payloads ride as Python lists for simulation speed and the
+(de)serialization CPU cost is charged via the cost model — the *code
+paths* (pool acquire/release, lazy header-only access) are exercised by
+the Stream Manager either way. See DESIGN.md §5.
+"""
+
+from repro.serialization.lazy import LazyMessageView
+from repro.serialization.messages import (
+    AckBatch,
+    Heartbeat,
+    MessageRegistry,
+    Register,
+    TupleBatch,
+    decode_message,
+    encode_message,
+)
+from repro.serialization.pool import ObjectPool, PoolStats
+from repro.serialization.wire import WireReader, WireWriter, WireType
+
+__all__ = [
+    "AckBatch",
+    "Heartbeat",
+    "LazyMessageView",
+    "MessageRegistry",
+    "ObjectPool",
+    "PoolStats",
+    "Register",
+    "TupleBatch",
+    "WireReader",
+    "WireType",
+    "WireWriter",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,65 @@
+"""Lazy message views.
+
+The optimized Stream Manager "parses only the destination field that
+determines the particular Heron Instance that must receive the tuple. The
+tuple is not deserialized but is forwarded as a serialized byte array"
+(Section V-A). :class:`LazyMessageView` is that object: it wraps the
+encoded bytes, decodes the routing header on demand, and only
+materializes the full message if someone actually needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serialization.messages import (Message, TupleBatch,
+                                          decode_message, peek_destination)
+
+
+class LazyMessageView:
+    """A view over an encoded :class:`TupleBatch` that defers decoding.
+
+    * :meth:`destination` parses just the destination field (cheap),
+    * :attr:`raw` is the still-serialized byte array to forward,
+    * :meth:`materialize` performs (and memoizes) the full decode.
+    """
+
+    __slots__ = ("_raw", "_destination", "_decoded")
+
+    def __init__(self, raw: bytes) -> None:
+        self._raw = raw
+        self._destination: Optional[str] = None
+        self._decoded: Optional[Message] = None
+
+    @property
+    def raw(self) -> bytes:
+        return self._raw
+
+    @property
+    def size(self) -> int:
+        return len(self._raw)
+
+    def destination(self) -> str:
+        """Decode only the destination field (memoized)."""
+        if self._destination is None:
+            if self._decoded is not None:
+                self._destination = self._decoded.dest_instance  # type: ignore[attr-defined]
+            else:
+                self._destination = peek_destination(self._raw)
+        return self._destination
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._decoded is not None
+
+    def materialize(self) -> TupleBatch:
+        """Full decode (memoized) — the path lazy deserialization avoids."""
+        if self._decoded is None:
+            decoded = decode_message(self._raw)
+            if not isinstance(decoded, TupleBatch):
+                raise TypeError(
+                    f"LazyMessageView wraps a {type(decoded).__name__}, "
+                    f"not a TupleBatch")
+            self._decoded = decoded
+            self._destination = decoded.dest_instance
+        return self._decoded  # type: ignore[return-value]

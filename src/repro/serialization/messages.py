@@ -1,0 +1,327 @@
+"""Engine message schemas over the wire format.
+
+Each message class knows how to encode itself into a :class:`WireWriter`
+and decode itself from a :class:`WireReader`. :func:`encode_message` /
+:func:`decode_message` add a one-varint type envelope so a receiver can
+dispatch without prior knowledge — this is the "well-specified
+communication protocol" layer the paper's modules talk through.
+
+Field numbers are part of the protocol and must not be renumbered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.common.errors import SerializationError
+from repro.serialization.wire import WireReader, WireWriter, WireType
+
+
+class MessageRegistry:
+    """Maps message classes to stable type ids for the envelope."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, Type["Message"]] = {}
+        self._by_cls: Dict[Type["Message"], int] = {}
+
+    def register(self, type_id: int, cls: Type["Message"]) -> Type["Message"]:
+        """Bind a message class to a stable envelope type id."""
+        if type_id in self._by_id:
+            raise SerializationError(
+                f"message type id {type_id} already registered "
+                f"({self._by_id[type_id].__name__})")
+        self._by_id[type_id] = cls
+        self._by_cls[cls] = type_id
+        return cls
+
+    def id_of(self, cls: Type["Message"]) -> int:
+        """The type id of a registered class."""
+        try:
+            return self._by_cls[cls]
+        except KeyError:
+            raise SerializationError(
+                f"unregistered message class {cls.__name__}") from None
+
+    def class_of(self, type_id: int) -> Type["Message"]:
+        """The class registered under a type id."""
+        try:
+            return self._by_id[type_id]
+        except KeyError:
+            raise SerializationError(
+                f"unknown message type id {type_id}") from None
+
+
+DEFAULT_REGISTRY = MessageRegistry()
+
+
+def _register(type_id: int):
+    def decorator(cls):
+        return DEFAULT_REGISTRY.register(type_id, cls)
+    return decorator
+
+
+class Message:
+    """Base class: encode/decode contract."""
+
+    def encode_into(self, writer: WireWriter) -> None:
+        """Write this message's fields into ``writer``."""
+        raise NotImplementedError
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "Message":
+        raise NotImplementedError
+
+
+def encode_message(message: Message,
+                   registry: MessageRegistry = DEFAULT_REGISTRY) -> bytes:
+    """Encode with a type-id envelope: ``[type_id varint][payload]``."""
+    writer = WireWriter()
+    writer.write_varint(registry.id_of(type(message)))
+    message.encode_into(writer)
+    return writer.getvalue()
+
+
+def decode_message(data: bytes,
+                   registry: MessageRegistry = DEFAULT_REGISTRY) -> Message:
+    """Inverse of :func:`encode_message`."""
+    reader = WireReader(data)
+    type_id = reader.read_varint()
+    cls = registry.class_of(type_id)
+    return cls.decode_from(reader)
+
+
+# ---------------------------------------------------------------------------
+# Data plane
+# ---------------------------------------------------------------------------
+
+@_register(1)
+@dataclass
+class TupleBatch(Message):
+    """A batch of data tuples flowing between instances via SMs.
+
+    ``values`` carries the in-memory tuple payloads on the simulated data
+    plane; on the wire they are represented by ``payload`` bytes (or, when
+    only cost matters, by ``payload_size``). ``tuple_ids`` are the ack ids
+    (0 when acking is disabled); ``anchors`` carry the upstream tuple-tree
+    ids for XOR ack tracking.
+    """
+
+    FIELD_DEST = 1  # the one field lazy deserialization must locate
+
+    dest_instance: str = ""
+    source_instance: str = ""
+    stream: str = "default"
+    batch_id: int = 0
+    tuple_ids: List[int] = dc_field(default_factory=list)
+    anchors: List[int] = dc_field(default_factory=list)
+    payload: bytes = b""
+    payload_size: int = 0
+    values: List[Any] = dc_field(default_factory=list)  # not wire-encoded
+
+    @property
+    def count(self) -> int:
+        return len(self.values) if self.values else len(self.tuple_ids)
+
+    def encode_into(self, writer: WireWriter) -> None:
+        writer.field_str(self.FIELD_DEST, self.dest_instance)
+        writer.field_str(2, self.source_instance)
+        writer.field_str(3, self.stream)
+        writer.field_varint(4, self.batch_id)
+        writer.field_packed_varints(5, self.tuple_ids)
+        writer.field_packed_varints(6, self.anchors)
+        writer.field_bytes(7, self.payload)
+        writer.field_varint(8, self.payload_size)
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "TupleBatch":
+        msg = cls()
+        for field, wire_type in reader.fields():
+            if field == cls.FIELD_DEST:
+                msg.dest_instance = reader.read_str()
+            elif field == 2:
+                msg.source_instance = reader.read_str()
+            elif field == 3:
+                msg.stream = reader.read_str()
+            elif field == 4:
+                msg.batch_id = reader.read_varint()
+            elif field == 5:
+                msg.tuple_ids = reader.read_packed_varints()
+            elif field == 6:
+                msg.anchors = reader.read_packed_varints()
+            elif field == 7:
+                msg.payload = reader.read_bytes()
+            elif field == 8:
+                msg.payload_size = reader.read_varint()
+            else:
+                reader.skip(wire_type)
+        return msg
+
+    def reset(self) -> None:
+        """Clear for reuse via an :class:`ObjectPool`."""
+        self.dest_instance = ""
+        self.source_instance = ""
+        self.stream = "default"
+        self.batch_id = 0
+        self.tuple_ids = []
+        self.anchors = []
+        self.payload = b""
+        self.payload_size = 0
+        self.values = []
+
+
+@_register(2)
+@dataclass
+class AckBatch(Message):
+    """A batch of ack/fail notifications routed back to a spout."""
+
+    dest_instance: str = ""
+    source_instance: str = ""
+    acked_ids: List[int] = dc_field(default_factory=list)
+    failed_ids: List[int] = dc_field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.acked_ids) + len(self.failed_ids)
+
+    def encode_into(self, writer: WireWriter) -> None:
+        writer.field_str(1, self.dest_instance)
+        writer.field_str(2, self.source_instance)
+        writer.field_packed_varints(3, self.acked_ids)
+        writer.field_packed_varints(4, self.failed_ids)
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "AckBatch":
+        msg = cls()
+        for field, wire_type in reader.fields():
+            if field == 1:
+                msg.dest_instance = reader.read_str()
+            elif field == 2:
+                msg.source_instance = reader.read_str()
+            elif field == 3:
+                msg.acked_ids = reader.read_packed_varints()
+            elif field == 4:
+                msg.failed_ids = reader.read_packed_varints()
+            else:
+                reader.skip(wire_type)
+        return msg
+
+    def reset(self) -> None:
+        """Clear for reuse via an :class:`ObjectPool`."""
+        self.dest_instance = ""
+        self.source_instance = ""
+        self.acked_ids = []
+        self.failed_ids = []
+
+
+# ---------------------------------------------------------------------------
+# Control plane
+# ---------------------------------------------------------------------------
+
+@_register(3)
+@dataclass
+class Register(Message):
+    """A process announcing itself (kind + name + container)."""
+
+    kind: str = ""
+    name: str = ""
+    container_id: int = 0
+
+    def encode_into(self, writer: WireWriter) -> None:
+        writer.field_str(1, self.kind)
+        writer.field_str(2, self.name)
+        writer.field_varint(3, self.container_id)
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "Register":
+        msg = cls()
+        for field, wire_type in reader.fields():
+            if field == 1:
+                msg.kind = reader.read_str()
+            elif field == 2:
+                msg.name = reader.read_str()
+            elif field == 3:
+                msg.container_id = reader.read_varint()
+            else:
+                reader.skip(wire_type)
+        return msg
+
+
+@_register(4)
+@dataclass
+class Heartbeat(Message):
+    """Periodic liveness signal with a timestamp and a metrics checksum."""
+
+    sender: str = ""
+    time: float = 0.0
+    sequence: int = 0
+
+    def encode_into(self, writer: WireWriter) -> None:
+        writer.field_str(1, self.sender)
+        writer.field_double(2, self.time)
+        writer.field_varint(3, self.sequence)
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "Heartbeat":
+        msg = cls()
+        for field, wire_type in reader.fields():
+            if field == 1:
+                msg.sender = reader.read_str()
+            elif field == 2:
+                msg.time = reader.read_double()
+            elif field == 3:
+                msg.sequence = reader.read_varint()
+            else:
+                reader.skip(wire_type)
+        return msg
+
+
+@_register(5)
+@dataclass
+class StateEntry(Message):
+    """One state-manager node, used by the local-filesystem backend."""
+
+    path: str = ""
+    data: bytes = b""
+    version: int = 0
+    ephemeral: bool = False
+
+    def encode_into(self, writer: WireWriter) -> None:
+        writer.field_str(1, self.path)
+        writer.field_bytes(2, self.data)
+        writer.field_varint(3, self.version)
+        writer.field_bool(4, self.ephemeral)
+
+    @classmethod
+    def decode_from(cls, reader: WireReader) -> "StateEntry":
+        msg = cls()
+        for field, wire_type in reader.fields():
+            if field == 1:
+                msg.path = reader.read_str()
+            elif field == 2:
+                msg.data = reader.read_bytes()
+            elif field == 3:
+                msg.version = reader.read_varint()
+            elif field == 4:
+                msg.ephemeral = bool(reader.read_varint())
+            else:
+                reader.skip(wire_type)
+        return msg
+
+
+def peek_destination(data: bytes) -> str:
+    """Lazy-deserialization helper: extract only a TupleBatch's destination.
+
+    Scans the envelope + fields, decoding *just* field 1 and skipping
+    everything else — this is exactly what the optimized Stream Manager
+    does before forwarding the still-serialized payload (Section V-A).
+    """
+    reader = WireReader(data)
+    type_id = reader.read_varint()
+    if DEFAULT_REGISTRY.class_of(type_id) is not TupleBatch:
+        raise SerializationError("peek_destination expects a TupleBatch")
+    for field, wire_type in reader.fields():
+        if field == TupleBatch.FIELD_DEST and wire_type == WireType.LENGTH:
+            return reader.read_str()
+        reader.skip(wire_type)
+    raise SerializationError("TupleBatch has no destination field")

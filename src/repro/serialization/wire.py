@@ -1,0 +1,255 @@
+"""A Protocol-Buffers-family wire format: varints + tag-length-value.
+
+Supports the three wire types the engine needs:
+
+* ``VARINT`` — unsigned LEB128 varints (signed values use zigzag),
+* ``FIXED64`` — little-endian IEEE-754 doubles,
+* ``LENGTH`` — length-delimited byte strings (strings, nested messages,
+  packed repeated fields).
+
+Field numbers 1..2**28 are supported. Unknown fields can be skipped, which
+is what makes lazy deserialization (reading one header field and ignoring
+the rest) possible.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import SerializationError
+
+_DOUBLE = struct.Struct("<d")
+
+
+class WireType:
+    """Wire-type codes (low 3 bits of a field tag)."""
+
+    VARINT = 0
+    FIXED64 = 1
+    LENGTH = 2
+
+    ALL = (VARINT, FIXED64, LENGTH)
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one with small absolute values small.
+
+    >>> [zigzag_encode(v) for v in (0, -1, 1, -2, 2)]
+    [0, 1, 2, 3, 4]
+    """
+    return (value << 1) ^ (value >> 63) if value >= -(1 << 63) else \
+        _raise_range(value)
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def _raise_range(value: int) -> int:
+    raise SerializationError(f"signed value out of 64-bit range: {value}")
+
+
+class WireWriter:
+    """Builds an encoded message into an internal buffer."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    # -- primitives -----------------------------------------------------
+    def write_varint(self, value: int) -> None:
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise SerializationError(
+                f"varints are unsigned; use write_signed for {value}")
+        buf = self._buf
+        while value >= 0x80:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def write_tag(self, field: int, wire_type: int) -> None:
+        """Append a field tag (number + wire type)."""
+        if field < 1:
+            raise SerializationError(f"field numbers start at 1: {field}")
+        if wire_type not in WireType.ALL:
+            raise SerializationError(f"unknown wire type: {wire_type}")
+        self.write_varint((field << 3) | wire_type)
+
+    # -- field writers -----------------------------------------------------
+    def field_varint(self, field: int, value: int) -> None:
+        """Append an unsigned varint field."""
+        self.write_tag(field, WireType.VARINT)
+        self.write_varint(value)
+
+    def field_signed(self, field: int, value: int) -> None:
+        """Append a zigzag-encoded signed field."""
+        self.write_tag(field, WireType.VARINT)
+        self.write_varint(zigzag_encode(value))
+
+    def field_bool(self, field: int, value: bool) -> None:
+        """Append a boolean field (varint 0/1)."""
+        self.field_varint(field, 1 if value else 0)
+
+    def field_double(self, field: int, value: float) -> None:
+        """Append an IEEE-754 double field."""
+        self.write_tag(field, WireType.FIXED64)
+        self._buf += _DOUBLE.pack(value)
+
+    def field_bytes(self, field: int, value: bytes) -> None:
+        """Append a length-delimited bytes field."""
+        self.write_tag(field, WireType.LENGTH)
+        self.write_varint(len(value))
+        self._buf += value
+
+    def field_str(self, field: int, value: str) -> None:
+        """Append a UTF-8 string field."""
+        self.field_bytes(field, value.encode("utf-8"))
+
+    def field_packed_varints(self, field: int, values: List[int]) -> None:
+        """Packed repeated varints (one length-delimited blob)."""
+        inner = WireWriter()
+        for value in values:
+            inner.write_varint(value)
+        self.field_bytes(field, inner.getvalue())
+
+    def field_message(self, field: int, inner: "WireWriter") -> None:
+        """Embed a nested message built in another writer."""
+        self.field_bytes(field, inner.getvalue())
+
+    # -- output -------------------------------------------------------------
+    def getvalue(self) -> bytes:
+        """The encoded message bytes."""
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def clear(self) -> None:
+        """Reset for reuse (the memory-pool path)."""
+        self._buf.clear()
+
+
+class WireReader:
+    """Streaming decoder over an encoded message."""
+
+    __slots__ = ("_data", "_pos", "_end")
+
+    def __init__(self, data: bytes, start: int = 0,
+                 end: Optional[int] = None) -> None:
+        self._data = data
+        self._pos = start
+        self._end = len(data) if end is None else end
+        if not (0 <= start <= self._end <= len(data)):
+            raise SerializationError(
+                f"bad reader window [{start}, {end}) over {len(data)} bytes")
+
+    # -- primitives --------------------------------------------------------
+    def read_varint(self) -> int:
+        """Read an unsigned LEB128 varint."""
+        data, pos, end = self._data, self._pos, self._end
+        result = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise SerializationError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise SerializationError("varint too long")
+        self._pos = pos
+        return result
+
+    def read_signed(self) -> int:
+        """Read a zigzag-encoded signed varint."""
+        return zigzag_decode(self.read_varint())
+
+    def read_tag(self) -> Tuple[int, int]:
+        """Read a field tag; returns (field number, wire type)."""
+        tag = self.read_varint()
+        field, wire_type = tag >> 3, tag & 0x7
+        if field < 1 or wire_type not in WireType.ALL:
+            raise SerializationError(f"bad tag: field={field} wt={wire_type}")
+        return field, wire_type
+
+    def read_double(self) -> float:
+        """Read an IEEE-754 double."""
+        if self._pos + 8 > self._end:
+            raise SerializationError("truncated double")
+        (value,) = _DOUBLE.unpack_from(self._data, self._pos)
+        self._pos += 8
+        return value
+
+    def read_bytes(self) -> bytes:
+        """Read a length-delimited bytes field."""
+        length = self.read_varint()
+        if self._pos + length > self._end:
+            raise SerializationError(
+                f"truncated length-delimited field ({length} bytes)")
+        value = self._data[self._pos:self._pos + length]
+        self._pos += length
+        return bytes(value)
+
+    def read_str(self) -> str:
+        """Read a UTF-8 string field."""
+        return self.read_bytes().decode("utf-8")
+
+    def read_packed_varints(self) -> List[int]:
+        """Read a packed repeated-varint field."""
+        blob = self.read_bytes()
+        inner = WireReader(blob)
+        values = []
+        while not inner.at_end:
+            values.append(inner.read_varint())
+        return values
+
+    def read_message_reader(self) -> "WireReader":
+        """A sub-reader over a nested message without copying."""
+        length = self.read_varint()
+        if self._pos + length > self._end:
+            raise SerializationError("truncated nested message")
+        sub = WireReader(self._data, self._pos, self._pos + length)
+        self._pos += length
+        return sub
+
+    # -- skipping (the enabler of lazy deserialization) ----------------------
+    def skip(self, wire_type: int) -> None:
+        """Skip one field's value without decoding it."""
+        if wire_type == WireType.VARINT:
+            self.read_varint()
+        elif wire_type == WireType.FIXED64:
+            if self._pos + 8 > self._end:
+                raise SerializationError("truncated fixed64 while skipping")
+            self._pos += 8
+        elif wire_type == WireType.LENGTH:
+            length = self.read_varint()
+            if self._pos + length > self._end:
+                raise SerializationError("truncated field while skipping")
+            self._pos += length
+        else:  # pragma: no cover - read_tag rejects these already
+            raise SerializationError(f"cannot skip wire type {wire_type}")
+
+    # -- iteration helpers -----------------------------------------------------
+    def fields(self) -> Iterator[Tuple[int, int]]:
+        """Yield (field, wire_type) until the end of the window.
+
+        The caller must consume or :meth:`skip` each field's value before
+        advancing the iterator.
+        """
+        while not self.at_end:
+            yield self.read_tag()
+
+    @property
+    def at_end(self) -> bool:
+        return self._pos >= self._end
+
+    @property
+    def remaining(self) -> int:
+        return self._end - self._pos

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event cluster simulator.
+
+This package is the *hardware substrate* of the reproduction: it plays the
+role of the paper's physical clusters (HDInsight nodes, dual-Xeon machines).
+Everything above it — Heron, the Storm baseline, the micro-batch baseline —
+runs as :class:`~repro.simulation.actors.Actor` processes on simulated
+machines, paying simulated CPU time per operation according to
+:class:`~repro.simulation.costs.CostModel`.
+
+Design notes
+------------
+* Simulated time is a float number of seconds. The event loop is a binary
+  heap with a monotonically increasing tiebreak counter, so runs are fully
+  deterministic (no wall clock, no unordered-set iteration on the hot path).
+* An actor is a single-threaded server: it processes one message at a time;
+  each message's handler *charges* CPU cost, and the actor stays busy for
+  the charged time (scaled by its speed and contention factor) before taking
+  the next message. Queueing, bottlenecks and backpressure are emergent.
+* Messages sent from inside a handler are buffered and released when the
+  service completes, so downstream effects are observed after the service
+  time — giving correct end-to-end latency accounting.
+"""
+
+from repro.simulation.actors import Actor, Location
+from repro.simulation.cluster import Cluster, Container, Machine
+from repro.simulation.costs import CostCategory, CostModel
+from repro.simulation.events import EventHandle, Simulator
+from repro.simulation.network import Network
+from repro.simulation.rng import RngStream
+
+__all__ = [
+    "Actor",
+    "Cluster",
+    "Container",
+    "CostCategory",
+    "CostModel",
+    "EventHandle",
+    "Location",
+    "Machine",
+    "Network",
+    "RngStream",
+    "Simulator",
+]

@@ -1,0 +1,234 @@
+"""Actors: single-threaded simulated server processes.
+
+An :class:`Actor` models one OS process (or one thread pinned inside a
+shared process, for the Storm baseline): it owns an inbox, processes one
+message at a time, and every message handler *charges* CPU cost via
+:meth:`Actor.charge`. The actor remains busy for the charged time — scaled
+by its ``speed`` and ``contention`` — before taking the next message.
+Messages sent from inside a handler are buffered and released when the
+service completes, so downstream observers see effects after the service
+time (correct latency accounting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.simulation.costs import CostCategory
+from repro.simulation.events import EventHandle, RepeatingEvent, Simulator
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where an actor runs: used by the network model to price delivery.
+
+    Actors sharing ``process_id`` are threads in one process (Storm
+    executors in a worker JVM); actors sharing only ``container_id`` are
+    separate processes in one container (Heron instances and their SM);
+    and so on outward.
+    """
+
+    machine_id: int
+    container_id: int
+    process_id: int
+
+    def colocated_process(self, other: "Location") -> bool:
+        """Whether both locations are threads of one process."""
+        return (self.machine_id == other.machine_id
+                and self.container_id == other.container_id
+                and self.process_id == other.process_id)
+
+
+class CostLedger:
+    """Accumulates charged CPU time per cost category and per actor group.
+
+    The Fig. 14 resource-consumption breakdown is read directly off this
+    ledger after a run.
+    """
+
+    def __init__(self) -> None:
+        self.by_category: Dict[str, float] = {}
+        self.by_group: Dict[str, float] = {}
+        self.total: float = 0.0
+
+    def add(self, category: str, group: str, cost: float) -> None:
+        """Attribute ``cost`` CPU-seconds to a category and group."""
+        self.by_category[category] = self.by_category.get(category, 0.0) + cost
+        self.by_group[group] = self.by_group.get(group, 0.0) + cost
+        self.total += cost
+
+    def fraction(self, category: str) -> float:
+        """Share of total charged CPU attributed to ``category``."""
+        if self.total <= 0:
+            return 0.0
+        return self.by_category.get(category, 0.0) / self.total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Category → fraction-of-total map (sums to 1 when total > 0)."""
+        return {cat: self.fraction(cat) for cat in sorted(self.by_category)}
+
+
+class Actor:
+    """Base class for every simulated process.
+
+    Subclasses override :meth:`on_message` and call :meth:`charge` for CPU
+    work and :meth:`send` to communicate. ``group`` labels the ledger rows
+    (e.g., ``"stream-manager"``) for per-component accounting.
+    """
+
+    def __init__(self, sim: Simulator, name: str, location: Location, *,
+                 network: "NetworkProtocol", ledger: Optional[CostLedger] = None,
+                 group: str = "actor", speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise SimulationError(f"actor speed must be positive: {speed}")
+        self.sim = sim
+        self.name = name
+        self.location = location
+        self.network = network
+        self.ledger = ledger
+        self.group = group
+        self.speed = speed
+        self.contention = 1.0
+        self.alive = True
+
+        self._inbox: Deque[Any] = deque()
+        self._busy = False
+        self._in_handler = False
+        self._charged = 0.0
+        self._pending_out: List[Tuple["Actor", Any, float]] = []
+        self._completion: Optional[EventHandle] = None
+        self._timers: List[RepeatingEvent] = []
+        self.messages_processed = 0
+        self.busy_time = 0.0
+
+    # -- messaging ----------------------------------------------------------
+    def deliver(self, message: Any) -> None:
+        """Enqueue a message for this actor (already past network delay)."""
+        if not self.alive:
+            return
+        self._inbox.append(message)
+        if not self._busy:
+            self._process_loop()
+
+    def send(self, dest: "Actor", message: Any, extra_delay: float = 0.0) -> None:
+        """Send ``message`` to ``dest`` with modeled network latency.
+
+        Inside a handler the send is buffered and released at service
+        completion; outside (timers, external drivers) it goes immediately.
+        """
+        delay = self.network.latency(self.location, dest.location) + extra_delay
+        if self._in_handler:
+            self._pending_out.append((dest, message, delay))
+        else:
+            self.sim.schedule(delay, dest.deliver, message)
+
+    # -- cost accounting ------------------------------------------------------
+    def charge(self, cost: float, category: str = CostCategory.ENGINE) -> None:
+        """Charge ``cost`` seconds of CPU for the message being handled."""
+        if cost < 0:
+            raise SimulationError(f"negative cost: {cost}")
+        self._charged += cost
+        if self.ledger is not None:
+            self.ledger.add(category, self.group, cost)
+
+    # -- lifecycle -------------------------------------------------------------
+    def every(self, interval: float, fn: Callable[[], Any]) -> RepeatingEvent:
+        """A repeating timer owned by this actor (cancelled on kill)."""
+        timer = self.sim.every(interval, fn)
+        self._timers.append(timer)
+        return timer
+
+    def kill(self) -> None:
+        """Stop this actor: drop its queue, cancel timers and completions."""
+        self.alive = False
+        self._inbox.clear()
+        self._pending_out.clear()
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._busy = False
+        self.on_killed()
+
+    # -- subclass hooks ---------------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        """Handle one message; charge CPU via :meth:`charge`."""
+        raise NotImplementedError
+
+    def on_killed(self) -> None:
+        """Cleanup hook invoked when the actor is killed."""
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def inbox_len(self) -> int:
+        return len(self._inbox)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    # -- internals -------------------------------------------------------------
+    def _process_loop(self) -> None:
+        """Process messages until one costs time or the inbox drains."""
+        while self._inbox and self.alive:
+            message = self._inbox.popleft()
+            self._charged = 0.0
+            self._in_handler = True
+            try:
+                self.on_message(message)
+            finally:
+                self._in_handler = False
+            self.messages_processed += 1
+            service = self._charged * self.contention / self.speed
+            if service > 0.0:
+                self._busy = True
+                self.busy_time += service
+                self._completion = self.sim.schedule(service, self._complete)
+                return
+            self._flush_pending()
+        # inbox empty (or dead): idle
+
+    def _complete(self) -> None:
+        self._completion = None
+        self._busy = False
+        self._flush_pending()
+        if self._inbox and self.alive:
+            self._process_loop()
+
+    def _flush_pending(self) -> None:
+        if not self._pending_out:
+            return
+        pending, self._pending_out = self._pending_out, []
+        for dest, message, delay in pending:
+            self.sim.schedule(delay, dest.deliver, message)
+
+
+class NetworkProtocol:
+    """Structural protocol for what actors need from a network model."""
+
+    def latency(self, src: Location, dst: Location) -> float:  # pragma: no cover
+        """Delivery latency between two locations."""
+        raise NotImplementedError
+
+
+class FunctionActor(Actor):
+    """An actor whose handler is a plain callable — handy in tests.
+
+    The callable receives ``(actor, message)`` and may call ``actor.charge``.
+    """
+
+    def __init__(self, sim: Simulator, name: str, location: Location, *,
+                 network: NetworkProtocol, handler: Callable[["Actor", Any], None],
+                 ledger: Optional[CostLedger] = None, group: str = "actor",
+                 speed: float = 1.0) -> None:
+        super().__init__(sim, name, location, network=network, ledger=ledger,
+                         group=group, speed=speed)
+        self._handler = handler
+
+    def on_message(self, message: Any) -> None:
+        self._handler(self, message)

@@ -1,0 +1,203 @@
+"""The simulated cluster: machines, containers, and their lifecycle.
+
+This stands in for the paper's physical testbeds. A :class:`Cluster` owns a
+set of homogeneous or heterogeneous :class:`Machine` objects; scheduling
+frameworks (``repro.scheduler.frameworks``) allocate :class:`Container`
+slices out of machines and launch engine processes (actors) inside them.
+
+Containers provide the resource-isolation boundary the paper leans on:
+per-container core counts feed the throughput-per-core figures, and
+container kill/failure drives the scheduler-recovery behaviours of §IV-B.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import SchedulerError, SimulationError
+from repro.common.resources import Resource
+from repro.simulation.actors import Actor, Location
+
+
+class ContainerState:
+    """Lifecycle states of a container."""
+
+    RUNNING = "RUNNING"
+    KILLED = "KILLED"    # deliberately released
+    FAILED = "FAILED"    # crashed (failure injection)
+
+
+class Container:
+    """A resource-isolated slice of one machine hosting engine processes."""
+
+    def __init__(self, container_id: int, machine: "Machine",
+                 resource: Resource) -> None:
+        self.id = container_id
+        self.machine = machine
+        self.resource = resource
+        self.state = ContainerState.RUNNING
+        self.processes: List[Actor] = []
+        self._process_ids = itertools.count()
+        self.tag: Optional[str] = None  # engine-specific label (topology etc.)
+
+    def location(self, *, shared_process: Optional[int] = None) -> Location:
+        """A Location inside this container.
+
+        ``shared_process`` pins multiple actors into one simulated process
+        (Storm worker JVMs); otherwise each call gets a fresh process id
+        (Heron's process-per-instance model).
+        """
+        pid = shared_process if shared_process is not None \
+            else next(self._process_ids)
+        return Location(self.machine.id, self.id, pid)
+
+    def new_process_id(self) -> int:
+        """A fresh process id within this container."""
+        return next(self._process_ids)
+
+    def attach(self, actor: Actor) -> Actor:
+        """Register an actor as running inside this container."""
+        if self.state != ContainerState.RUNNING:
+            raise SimulationError(
+                f"cannot attach process to {self.state} container {self.id}")
+        self.processes.append(actor)
+        return actor
+
+    def kill_processes(self) -> None:
+        """Kill every process attached to this container."""
+        for proc in self.processes:
+            proc.kill()
+        self.processes.clear()
+
+    @property
+    def running(self) -> bool:
+        return self.state == ContainerState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Container(id={self.id}, machine={self.machine.id}, "
+                f"state={self.state}, cpu={self.resource.cpu:g})")
+
+
+class Machine:
+    """One physical machine with a fixed resource capacity."""
+
+    def __init__(self, machine_id: int, capacity: Resource) -> None:
+        self.id = machine_id
+        self.capacity = capacity
+        self.allocated = Resource.zero()
+        self.containers: Dict[int, Container] = {}
+
+    @property
+    def free(self) -> Resource:
+        return self.capacity - self.allocated
+
+    def can_fit(self, resource: Resource) -> bool:
+        """Whether this machine has room for ``resource``."""
+        return resource.fits_in(self.free)
+
+    def _allocate(self, container: Container) -> None:
+        if not self.can_fit(container.resource):
+            raise SchedulerError(
+                f"machine {self.id} cannot fit {container.resource}")
+        self.allocated = self.allocated + container.resource
+        self.containers[container.id] = container
+
+    def _release(self, container: Container) -> None:
+        if container.id not in self.containers:
+            raise SchedulerError(
+                f"container {container.id} not on machine {self.id}")
+        del self.containers[container.id]
+        self.allocated = self.allocated - container.resource
+
+
+class Cluster:
+    """A set of machines plus container allocation/release/failure.
+
+    ``on_container_failed`` observers let scheduling frameworks react to
+    injected failures (the stateless-scheduler path) or surface them to a
+    monitoring Heron scheduler (the stateful path).
+    """
+
+    def __init__(self, machines: List[Machine]) -> None:
+        if not machines:
+            raise SchedulerError("a cluster needs at least one machine")
+        self.machines = machines
+        self._container_ids = itertools.count(1)
+        self.containers: Dict[int, Container] = {}
+        self._failure_observers: List[Callable[[Container], None]] = []
+
+    @classmethod
+    def homogeneous(cls, machine_count: int, capacity: Resource) -> "Cluster":
+        """A cluster of ``machine_count`` identical machines."""
+        if machine_count <= 0:
+            raise SchedulerError(
+                f"machine_count must be positive: {machine_count}")
+        return cls([Machine(i, capacity) for i in range(machine_count)])
+
+    # -- allocation ---------------------------------------------------------
+    def allocate_container(self, resource: Resource,
+                           tag: Optional[str] = None) -> Container:
+        """First-fit allocate a container across machines.
+
+        Machines are scanned in id order for determinism; raises
+        :class:`SchedulerError` when nothing fits.
+        """
+        for machine in self.machines:
+            if machine.can_fit(resource):
+                container = Container(next(self._container_ids), machine,
+                                      resource)
+                container.tag = tag
+                machine._allocate(container)
+                self.containers[container.id] = container
+                return container
+        raise SchedulerError(
+            f"no machine can fit a container of {resource}; "
+            f"free={[str(m.free) for m in self.machines]}")
+
+    def release_container(self, container: Container) -> None:
+        """Kill a container's processes and return its resources."""
+        self._remove(container, ContainerState.KILLED)
+
+    def fail_container(self, container: Container) -> None:
+        """Failure injection: crash a container and notify observers."""
+        self._remove(container, ContainerState.FAILED)
+        for observer in list(self._failure_observers):
+            observer(container)
+
+    def on_container_failed(self,
+                            observer: Callable[[Container], None]) -> None:
+        """Register an observer for injected container failures."""
+        self._failure_observers.append(observer)
+
+    def _remove(self, container: Container, state: str) -> None:
+        if container.id not in self.containers:
+            raise SchedulerError(
+                f"container {container.id} is not live in this cluster")
+        container.kill_processes()
+        container.state = state
+        container.machine._release(container)
+        del self.containers[container.id]
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def total_capacity(self) -> Resource:
+        return Resource.total(m.capacity for m in self.machines)
+
+    @property
+    def total_allocated(self) -> Resource:
+        return Resource.total(m.allocated for m in self.machines)
+
+    def provisioned_cores(self, tag: Optional[str] = None) -> float:
+        """CPU cores currently allocated (optionally for one tag).
+
+        This is the denominator of the paper's throughput-per-core figures
+        (Figs. 6 and 8): cores *provisioned*, not cores busy.
+        """
+        return sum(c.resource.cpu for c in self.containers.values()
+                   if tag is None or c.tag == tag)
+
+    def live_containers(self, tag: Optional[str] = None) -> List[Container]:
+        """Currently running containers (optionally filtered by tag)."""
+        return [c for c in self.containers.values()
+                if tag is None or c.tag == tag]

@@ -1,0 +1,178 @@
+"""The discrete-event loop: a simulated clock plus a pending-event heap.
+
+The :class:`Simulator` is intentionally tiny — it is the "kernel" the whole
+reproduction runs on — and is written for predictable performance: a heap of
+``(time, seq, handle)`` entries, cancellation by tombstone, and no per-event
+allocations beyond the entry tuple.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("fn", "args", "cancelled", "time")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+        self.fn = None  # drop references early
+        self.args = ()
+
+
+class RepeatingEvent:
+    """A fixed-interval timer created by :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "_interval", "_fn", "_handle", "_stopped")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[[], Any]) -> None:
+        if interval <= 0:
+            raise SimulationError(
+                f"repeating interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._stopped = False
+        self._handle = sim.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fn()
+        if not self._stopped:  # fn may have stopped us
+            self._handle = self._sim.schedule(self._interval, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing (idempotent)."""
+        self._stopped = True
+        self._handle.cancel()
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def reschedule(self, interval: float) -> None:
+        """Change the firing interval, starting from now."""
+        if interval <= 0:
+            raise SimulationError(
+                f"repeating interval must be positive, got {interval}")
+        self._interval = interval
+        self._handle.cancel()
+        if not self._stopped:
+            self._handle = self._sim.schedule(interval, self._fire)
+
+
+class Simulator:
+    """The discrete-event kernel.
+
+    Time only moves inside :meth:`run_for` / :meth:`run_until` /
+    :meth:`step`; callbacks run with ``sim.now`` set to their scheduled time.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        handle = EventHandle(self.now + delay, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (handle.time, self._seq, handle))
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def every(self, interval: float, fn: Callable[[], Any]) -> RepeatingEvent:
+        """Run ``fn()`` every ``interval`` seconds until stopped."""
+        return RepeatingEvent(self, interval, fn)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event; returns False if none remain."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if time < self.now - 1e-12:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self.now}")
+            self.now = time
+            fn, args = handle.fn, handle.args
+            handle.fn = None
+            handle.args = ()
+            fn(*args)  # type: ignore[misc]
+            self._events_processed += 1
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Advance the clock to ``time``, running every event before it."""
+        if time < self.now:
+            raise SimulationError(
+                f"run_until target {time} is before now {self.now}")
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                etime, _seq, handle = heap[0]
+                if etime > time:
+                    break
+                heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = etime
+                fn, args = handle.fn, handle.args
+                handle.fn = None
+                handle.args = ()
+                fn(*args)  # type: ignore[misc]
+                self._events_processed += 1
+        finally:
+            self._running = False
+        self.now = time
+
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds."""
+        self.run_until(self.now + duration)
+
+    def drain(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (bounded to catch runaways)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"drain exceeded {max_events} events; likely a live-lock")
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,41 @@
+"""The network latency model.
+
+Delivery latency depends on how far apart two actors run: same process,
+same container, same machine, or across machines. The constants come from
+:class:`~repro.simulation.costs.CostModel` so ablations can vary them.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.actors import Location, NetworkProtocol
+from repro.simulation.costs import CostModel
+
+
+class Network(NetworkProtocol):
+    """Prices message delivery between actor locations."""
+
+    def __init__(self, costs: CostModel) -> None:
+        self.costs = costs
+
+    def latency(self, src: Location, dst: Location) -> float:
+        """Distance-based delivery latency between locations."""
+        if src.machine_id != dst.machine_id:
+            return self.costs.net_cross_machine
+        if src.container_id != dst.container_id:
+            return self.costs.net_same_machine
+        if src.process_id != dst.process_id:
+            return self.costs.net_same_container
+        return self.costs.net_local_process
+
+
+class UniformNetwork(NetworkProtocol):
+    """A flat-latency network, useful in unit tests."""
+
+    def __init__(self, latency: float = 0.0) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0: {latency}")
+        self._latency = latency
+
+    def latency(self, src: Location, dst: Location) -> float:
+        """Flat delivery latency."""
+        return self._latency

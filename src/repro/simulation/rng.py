@@ -1,0 +1,77 @@
+"""Deterministic random-number streams.
+
+Each subsystem that needs randomness gets its *own* named stream derived
+from the experiment seed, so adding randomness to one component never
+perturbs another (a standard reproducible-simulation practice).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngStream:
+    """A named, seeded random stream (thin wrapper over ``random.Random``)."""
+
+    def __init__(self, root_seed: int, name: str) -> None:
+        self.name = name
+        self._rng = random.Random(_derive_seed(root_seed, name))
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponentially distributed value with the given rate."""
+        return self._rng.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """A uniformly chosen element."""
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        """k distinct uniformly chosen elements."""
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, items: list) -> None:
+        """In-place deterministic shuffle."""
+        self._rng.shuffle(items)
+
+    def jitter(self, value: float, fraction: float) -> float:
+        """``value`` perturbed uniformly by up to ±``fraction`` of itself."""
+        if fraction < 0:
+            raise ValueError(f"jitter fraction must be >= 0: {fraction}")
+        return value * (1.0 + self._rng.uniform(-fraction, fraction))
+
+
+class RngRegistry:
+    """Creates and memoizes named :class:`RngStream` objects for one seed."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, RngStream] = {}
+
+    def stream(self, name: str) -> RngStream:
+        """The memoized stream for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = RngStream(self.root_seed, name)
+            self._streams[name] = stream
+        return stream

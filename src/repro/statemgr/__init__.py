@@ -1,0 +1,38 @@
+"""The State Manager module: distributed coordination + topology metadata.
+
+Per Section IV-C, Heron "uses the State Manager module for distributed
+coordination and for storing topology metadata": the Topology Master
+advertises its location through it (so Stream Managers learn immediately
+when the TM dies), and it stores the topology definition, the packing
+plan, container host/port info, and the scheduler location.
+
+Both implementations the paper describes are provided:
+
+* :class:`InMemoryStateManager` — ZooKeeper-like: tree-structured nodes,
+  versioned writes, **sessions** with **ephemeral nodes** (deleted when the
+  owning session dies) and **watches** (one-shot notifications, as in
+  ZooKeeper);
+* :class:`LocalFileSystemStateManager` — the same API persisted to a
+  directory on the local filesystem (Heron's local mode), with nodes
+  stored as wire-encoded :class:`~repro.serialization.messages.StateEntry`
+  records.
+
+Anything implementing :class:`StateManager` can be plugged into the
+engine — that is the extensibility point the paper advertises.
+"""
+
+from repro.statemgr.base import (StateManager, StateSession, WatchEvent,
+                                 WatchEventType)
+from repro.statemgr.inmemory import InMemoryStateManager
+from repro.statemgr.localfs import LocalFileSystemStateManager
+from repro.statemgr.paths import TopologyPaths
+
+__all__ = [
+    "InMemoryStateManager",
+    "LocalFileSystemStateManager",
+    "StateManager",
+    "StateSession",
+    "TopologyPaths",
+    "WatchEvent",
+    "WatchEventType",
+]

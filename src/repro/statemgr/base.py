@@ -1,0 +1,261 @@
+"""The State Manager API: a tree-structured, watchable, versioned store.
+
+Semantics follow ZooKeeper closely because that is what Heron's production
+State Manager wraps:
+
+* nodes form a tree addressed by ``/``-separated paths;
+* ``create`` fails if the node exists (intermediate nodes are auto-created
+  as permanent empty nodes, mirroring Heron's mkdirs helpers);
+* ``set`` fails if the node does not exist; each set bumps the version;
+  an expected version can be supplied for optimistic concurrency;
+* **ephemeral** nodes belong to a :class:`StateSession` and disappear when
+  the session closes/expires — this is how Topology Master liveness works;
+* **watches** are one-shot: a watcher registered on a path fires once for
+  the next create/change/delete and must re-register (exactly ZooKeeper's
+  model, and the discipline the Topology Master failover logic follows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import StateError
+
+
+class WatchEventType:
+    """What happened to a watched node."""
+
+    CREATED = "CREATED"
+    CHANGED = "CHANGED"
+    DELETED = "DELETED"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """Delivered to a watcher exactly once."""
+
+    type: str
+    path: str
+
+
+WatchCallback = Callable[[WatchEvent], None]
+
+
+def normalize_path(path: str) -> str:
+    """Canonicalize a node path: absolute, no trailing slash, no doubles."""
+    if not path or not path.startswith("/"):
+        raise StateError(f"paths must be absolute: {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise StateError(f"path traversal not allowed: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def parent_paths(path: str) -> List[str]:
+    """All proper ancestors of ``path``, root-first (excluding '/')."""
+    parts = [part for part in path.split("/") if part]
+    return ["/" + "/".join(parts[:i]) for i in range(1, len(parts))]
+
+
+class StateSession:
+    """A client session owning ephemeral nodes.
+
+    Closing (or expiring) the session deletes every ephemeral node it
+    created, firing their watches — the mechanism behind "in case the
+    Topology Master dies, all the Stream Managers become immediately
+    aware of the event".
+    """
+
+    def __init__(self, manager: "StateManager", session_id: int) -> None:
+        self._manager = manager
+        self.session_id = session_id
+        self.alive = True
+        self.ephemeral_paths: List[str] = []
+
+    def create_ephemeral(self, path: str, data: bytes) -> None:
+        """Create an ephemeral node owned by this session."""
+        if not self.alive:
+            raise StateError(f"session {self.session_id} is closed")
+        self._manager._create(path, data, ephemeral=True, session=self)
+        self.ephemeral_paths.append(normalize_path(path))
+
+    def close(self) -> None:
+        """Graceful close: ephemerals removed, session unusable."""
+        self.expire()
+
+    def expire(self) -> None:
+        """Abrupt expiry (process death): same cleanup as close."""
+        if not self.alive:
+            return
+        self.alive = False
+        for path in list(self.ephemeral_paths):
+            if self._manager.exists(path):
+                self._manager.delete(path)
+        self.ephemeral_paths.clear()
+        self._manager._forget_session(self)
+
+
+@dataclass
+class _Node:
+    data: bytes
+    version: int = 0
+    ephemeral: bool = False
+    session_id: Optional[int] = None
+
+
+class StateManager:
+    """Shared implementation of the tree/watch/session semantics.
+
+    Subclasses supply persistence by overriding the ``_persist_*`` hooks;
+    the in-memory implementation is this class with no-op hooks.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _Node] = {"/": _Node(b"")}
+        self._watches: Dict[str, List[WatchCallback]] = {}
+        self._child_watches: Dict[str, List[WatchCallback]] = {}
+        self._sessions: Dict[int, StateSession] = {}
+        self._next_session = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Expire every open session and drop watches."""
+        for session in list(self._sessions.values()):
+            session.expire()
+        self._watches.clear()
+        self._child_watches.clear()
+
+    def session(self) -> StateSession:
+        """Open a new client session (for ephemeral nodes)."""
+        session = StateSession(self, self._next_session)
+        self._sessions[self._next_session] = session
+        self._next_session += 1
+        return session
+
+    def _forget_session(self, session: StateSession) -> None:
+        self._sessions.pop(session.session_id, None)
+
+    # -- reads ----------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether a node exists at ``path``."""
+        return normalize_path(path) in self._nodes
+
+    def get(self, path: str) -> Tuple[bytes, int]:
+        """Return (data, version); raises if missing."""
+        node = self._nodes.get(normalize_path(path))
+        if node is None:
+            raise StateError(f"no such node: {path}")
+        return node.data, node.version
+
+    def get_data(self, path: str) -> bytes:
+        """A node's data (raises if missing)."""
+        return self.get(path)[0]
+
+    def children(self, path: str) -> List[str]:
+        """Immediate child *names* (not full paths), sorted."""
+        base = normalize_path(path)
+        if base not in self._nodes:
+            raise StateError(f"no such node: {path}")
+        prefix = base if base.endswith("/") else base + "/"
+        names = set()
+        for other in self._nodes:
+            if other.startswith(prefix):
+                names.add(other[len(prefix):].split("/", 1)[0])
+        return sorted(names)
+
+    # -- writes ------------------------------------------------------------
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a permanent node (parents auto-created)."""
+        self._create(path, data, ephemeral=False, session=None)
+
+    def _create(self, path: str, data: bytes, ephemeral: bool,
+                session: Optional[StateSession]) -> None:
+        path = normalize_path(path)
+        if path in self._nodes:
+            raise StateError(f"node already exists: {path}")
+        for ancestor in parent_paths(path):
+            if ancestor not in self._nodes:
+                self._nodes[ancestor] = _Node(b"")
+                self._persist_create(ancestor, self._nodes[ancestor])
+        node = _Node(data, ephemeral=ephemeral,
+                     session_id=session.session_id if session else None)
+        self._nodes[path] = node
+        self._persist_create(path, node)
+        self._fire(path, WatchEventType.CREATED)
+        self._fire_child(path)
+
+    def set(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        """Overwrite a node's data; returns the new version."""
+        path = normalize_path(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise StateError(f"cannot set missing node: {path}")
+        if expected_version is not None and node.version != expected_version:
+            raise StateError(
+                f"version conflict on {path}: expected {expected_version}, "
+                f"found {node.version}")
+        node.data = data
+        node.version += 1
+        self._persist_set(path, node)
+        self._fire(path, WatchEventType.CHANGED)
+        return node.version
+
+    def put(self, path: str, data: bytes) -> None:
+        """Create-or-set convenience."""
+        if self.exists(path):
+            self.set(path, data)
+        else:
+            self.create(path, data)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        """Delete a node (and optionally its subtree)."""
+        path = normalize_path(path)
+        if path == "/":
+            raise StateError("cannot delete the root")
+        if path not in self._nodes:
+            raise StateError(f"no such node: {path}")
+        prefix = path + "/"
+        descendants = [p for p in self._nodes if p.startswith(prefix)]
+        if descendants and not recursive:
+            raise StateError(f"node {path} has children; use recursive=True")
+        for victim in sorted(descendants, reverse=True) + [path]:
+            del self._nodes[victim]
+            self._persist_delete(victim)
+            self._fire(victim, WatchEventType.DELETED)
+        self._fire_child(path)
+
+    # -- watches ---------------------------------------------------------------
+    def watch(self, path: str, callback: WatchCallback) -> None:
+        """One-shot data watch on ``path`` (ZooKeeper-style)."""
+        self._watches.setdefault(normalize_path(path), []).append(callback)
+
+    def watch_children(self, path: str, callback: WatchCallback) -> None:
+        """One-shot watch firing when ``path``'s child set changes."""
+        self._child_watches.setdefault(normalize_path(path),
+                                       []).append(callback)
+
+    def _fire(self, path: str, event_type: str) -> None:
+        callbacks = self._watches.pop(path, [])
+        event = WatchEvent(event_type, path)
+        for callback in callbacks:
+            callback(event)
+
+    def _fire_child(self, changed_path: str) -> None:
+        parent = changed_path.rsplit("/", 1)[0] or "/"
+        callbacks = self._child_watches.pop(parent, [])
+        event = WatchEvent(WatchEventType.CHANGED, parent)
+        for callback in callbacks:
+            callback(event)
+
+    # -- persistence hooks ----------------------------------------------------
+    def _persist_create(self, path: str, node: _Node) -> None:
+        """Subclass hook: a node was created."""
+
+    def _persist_set(self, path: str, node: _Node) -> None:
+        """Subclass hook: a node's data changed."""
+
+    def _persist_delete(self, path: str) -> None:
+        """Subclass hook: a node was removed."""

@@ -1,0 +1,29 @@
+"""The ZooKeeper-like in-memory State Manager.
+
+All the tree/watch/session semantics live in
+:class:`~repro.statemgr.base.StateManager`; this class exists so the
+pluggability contract reads naturally (`InMemoryStateManager()` vs
+`LocalFileSystemStateManager(root)`), and to carry the cluster-mode
+documentation:
+
+In production Heron this role is played by a ZooKeeper ensemble shared by
+all containers. In the simulation every engine process holds a reference
+to the same ``InMemoryStateManager``, which models a ZooKeeper that is
+always reachable; session expiry (process death) is driven explicitly by
+the component that owned the session — see the Topology Master failover
+test for the full sequence.
+"""
+
+from __future__ import annotations
+
+from repro.statemgr.base import StateManager
+
+
+class InMemoryStateManager(StateManager):
+    """Tree store with sessions, ephemerals, and one-shot watches."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InMemoryStateManager(nodes={len(self._nodes)})"

@@ -1,0 +1,88 @@
+"""The local-filesystem State Manager (Heron's local mode).
+
+Section IV-C: "Heron provides a State Manager implementation using Apache
+Zookeeper for distributed coordination in a cluster environment and also
+an implementation on the local file system for running locally in a
+single server. Both implementations currently operate on tree-structured
+storage where the root of the tree is supplied by the Heron
+administrator."
+
+Nodes map to files under the supplied root directory; each file holds a
+wire-encoded :class:`~repro.serialization.messages.StateEntry` so the
+on-disk format is the same protocol family the rest of the engine speaks.
+Ephemeral nodes are *not* persisted across restarts (matching ZooKeeper:
+an ephemeral cannot outlive its session, and a restart kills the session).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.common.errors import StateError
+from repro.serialization.messages import StateEntry, decode_message, \
+    encode_message
+from repro.statemgr.base import StateManager, _Node, normalize_path
+
+_SUFFIX = ".node"
+
+
+class LocalFileSystemStateManager(StateManager):
+    """State Manager persisted under a root directory."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._load()
+
+    # -- path mapping ----------------------------------------------------
+    def _file_for(self, path: str) -> Path:
+        relative = normalize_path(path).lstrip("/")
+        return self.root / (relative + _SUFFIX) if relative else \
+            self.root / _SUFFIX
+
+    def _path_for(self, file: Path) -> str:
+        relative = file.relative_to(self.root).as_posix()
+        return "/" + relative[:-len(_SUFFIX)]
+
+    # -- startup recovery ---------------------------------------------------
+    def _load(self) -> None:
+        """Rebuild the in-memory tree from disk, dropping stale ephemerals."""
+        for file in sorted(self.root.rglob("*" + _SUFFIX)):
+            entry = decode_message(file.read_bytes())
+            if not isinstance(entry, StateEntry):
+                raise StateError(f"corrupt state file: {file}")
+            if entry.ephemeral:
+                # The owning session died with the previous process.
+                file.unlink()
+                continue
+            path = self._path_for(file)
+            self._nodes[path] = _Node(entry.data, version=entry.version)
+
+    # -- persistence hooks ----------------------------------------------------
+    def _write(self, path: str, node: _Node) -> None:
+        entry = StateEntry(path=path, data=node.data, version=node.version,
+                           ephemeral=node.ephemeral)
+        file = self._file_for(path)
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_bytes(encode_message(entry))
+
+    def _persist_create(self, path: str, node: _Node) -> None:
+        self._write(path, node)
+
+    def _persist_set(self, path: str, node: _Node) -> None:
+        self._write(path, node)
+
+    def _persist_delete(self, path: str) -> None:
+        file = self._file_for(path)
+        if file.exists():
+            file.unlink()
+        # Prune now-empty directories so children() stays accurate on load.
+        parent = file.parent
+        while parent != self.root and not any(parent.iterdir()):
+            parent.rmdir()
+            parent = parent.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalFileSystemStateManager(root={self.root})"

@@ -1,0 +1,19 @@
+"""Online auto-tuning of the Stream Manager knobs — the paper's stated
+future work.
+
+Section V-B: "As part of future work, we plan to automate the process of
+configuring the values for these parameters based on real-time
+observations of the workload performance." :class:`AutoTuner` implements
+exactly that for the two parameters the paper discusses:
+
+* ``cache_drain_frequency`` — tuned by hill climbing on observed
+  throughput (the Fig. 12 curve is unimodal: flush overhead on the left,
+  starvation on the right);
+* ``max_spout_pending`` — tuned toward a latency objective: shrink the
+  window when the observed latency exceeds the SLO, grow it while there
+  is latency headroom and the window is the binding constraint.
+"""
+
+from repro.tuning.autotune import AutoTuner, TunerReport
+
+__all__ = ["AutoTuner", "TunerReport"]

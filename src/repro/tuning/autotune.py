@@ -1,0 +1,261 @@
+"""The auto-tuner: observe throughput/latency, adjust the SM knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.heron import TopologyHandle
+
+MILLIS = 1e-3
+
+
+@dataclass
+class TunerStep:
+    """One observation + decision record."""
+
+    time: float
+    throughput_tps: float
+    latency_s: float
+    drain_interval: float
+    max_pending: int
+    action: str
+
+
+@dataclass
+class TunerReport:
+    """The tuner's trace plus final settings."""
+
+    steps: List[TunerStep] = field(default_factory=list)
+
+    @property
+    def final_drain_ms(self) -> float:
+        return self.steps[-1].drain_interval / MILLIS if self.steps else 0.0
+
+    @property
+    def final_max_pending(self) -> int:
+        return self.steps[-1].max_pending if self.steps else 0
+
+    @property
+    def best_throughput(self) -> float:
+        return max((s.throughput_tps for s in self.steps), default=0.0)
+
+    def describe(self) -> str:
+        """The trace as an aligned, human-readable table."""
+        lines = ["auto-tuner trace (time, Mtuples/min, latency ms, "
+                 "drain ms, pending, action):"]
+        for step in self.steps:
+            lines.append(
+                f"  t={step.time:6.2f}s  "
+                f"{step.throughput_tps * 60 / 1e6:8.1f}  "
+                f"{step.latency_s * 1e3:6.1f}  "
+                f"{step.drain_interval / MILLIS:5.1f}  "
+                f"{step.max_pending:6d}  {step.action}")
+        return "\n".join(lines)
+
+
+class AutoTuner:
+    """Periodically observes a running topology and retunes it.
+
+    Drives itself off the simulator clock: call :meth:`attach` once and
+    it re-evaluates every ``interval`` simulated seconds. Hill climbing
+    on the drain interval uses multiplicative steps and reverses
+    direction when throughput degrades; the pending window tracks the
+    latency SLO with multiplicative increase/decrease.
+    """
+
+    DRAIN_STEP = 1.6
+    DRAIN_MIN = 0.5 * MILLIS
+    DRAIN_MAX = 64 * MILLIS
+    PENDING_MIN = 500
+    PENDING_MAX = 200_000
+
+    def __init__(self, handle: TopologyHandle, *, interval: float = 1.0,
+                 latency_slo: Optional[float] = 0.060,
+                 tolerance: float = 0.03) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.handle = handle
+        self.interval = interval
+        self.latency_slo = latency_slo
+        self.tolerance = tolerance
+        self.report = TunerReport()
+        self._runtime = handle._runtime
+        self._heron = handle._heron
+        self._timer = None
+        self._last_counts: Optional[dict] = None
+        self._last_latency: Optional[tuple] = None
+        self._last_time = 0.0
+        self._last_throughput: Optional[float] = None
+        self._drain_up = True   # current hill-climb direction
+        self._settle = 0        # steps to skip after a change
+        self._reversals = 0
+        self._best: Optional[tuple] = None  # (throughput, drain)
+        self._holding = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self) -> "AutoTuner":
+        """Start observing (first decision after two intervals)."""
+        if self._timer is not None:
+            raise RuntimeError("tuner already attached")
+        self._timer = self._heron.sim.every(self.interval, self._step)
+        return self
+
+    def detach(self) -> None:
+        """Stop observing and adjusting."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # -- knob plumbing ------------------------------------------------------------
+    @property
+    def current_drain(self) -> float:
+        sms = list(self._runtime.sms.values())
+        return sms[0].drain_interval if sms else 0.0
+
+    @property
+    def current_pending(self) -> int:
+        for instance in self._runtime.instances.values():
+            if instance.is_spout:
+                return instance.max_pending
+        return 0
+
+    def _set_drain(self, interval: float) -> None:
+        interval = min(max(interval, self.DRAIN_MIN), self.DRAIN_MAX)
+        for sm in self._runtime.sms.values():
+            if sm.alive:
+                sm.set_drain_interval(interval)
+
+    def _set_pending(self, pending: int) -> None:
+        pending = min(max(pending, self.PENDING_MIN), self.PENDING_MAX)
+        for instance in self._runtime.instances.values():
+            if instance.alive and instance.is_spout:
+                instance.max_pending = pending
+                instance._wake_emit_loop()
+
+    # -- the control loop -------------------------------------------------------------
+    def _observe(self) -> Optional[tuple]:
+        """(throughput tps, latency s) over the last interval."""
+        now = self._heron.sim.now
+        totals = self.handle.totals()
+        stats = self.handle.latency_stats()
+        latency_state = (stats.count, stats.total)
+        if self._last_counts is None:
+            self._last_counts, self._last_latency = totals, latency_state
+            self._last_time = now
+            return None
+        window = now - self._last_time
+        counter = "acked" if self._acking else "executed"
+        throughput = (totals[counter] - self._last_counts[counter]) / window
+        dcount = latency_state[0] - self._last_latency[0]
+        dtotal = latency_state[1] - self._last_latency[1]
+        latency = dtotal / dcount if dcount > 0 else 0.0
+        self._last_counts, self._last_latency = totals, latency_state
+        self._last_time = now
+        return throughput, latency
+
+    @property
+    def _acking(self) -> bool:
+        from repro.api.config_keys import TopologyConfigKeys as Keys
+        return bool(self._runtime.config.get(Keys.ACKING_ENABLED))
+
+    def _step(self) -> None:
+        observation = self._observe()
+        if observation is None:
+            return
+        throughput, latency = observation
+        action = self._decide(throughput, latency)
+        self.report.steps.append(TunerStep(
+            time=self._heron.sim.now, throughput_tps=throughput,
+            latency_s=latency, drain_interval=self.current_drain,
+            max_pending=self.current_pending, action=action))
+
+    def _objective(self, throughput: float, latency: float) -> float:
+        """Throughput, penalized as latency approaches/exceeds the SLO.
+
+        The penalty starts at 70% of the SLO so that, on a flat
+        throughput plateau, configurations with latency headroom win the
+        tie (otherwise measurement noise can crown a high-latency point).
+        """
+        if self.latency_slo is not None and self._acking and latency > 0:
+            knee = 0.7 * self.latency_slo
+            return throughput * min(1.0, knee / latency)
+        return throughput
+
+    def _decide(self, throughput: float, latency: float) -> str:
+        if self._settle > 0:
+            self._settle -= 1
+            return "settling"
+        objective = self._objective(throughput, latency)
+        if not self._holding:
+            return self._climb_drain(objective)
+        return self._manage_pending(objective, throughput, latency)
+
+    def _climb_drain(self, objective: float) -> str:
+        """Hill-climb the drain interval on the penalized objective."""
+        if self._best is None or objective > self._best[0]:
+            self._best = (objective, self.current_drain)
+        reversed_direction = False
+        if self._last_throughput is not None and \
+                objective < self._last_throughput * (1 - self.tolerance):
+            self._drain_up = not self._drain_up
+            reversed_direction = True
+            self._reversals += 1
+            if self._reversals >= 2:
+                # Bracketed the optimum: pin to the best seen.
+                self._set_drain(self._best[1])
+                self._holding = True
+                self._settle = 1
+                self._last_throughput = None
+                return f"converged: hold drain at " \
+                       f"{self._best[1] / MILLIS:.1f}ms"
+        self._last_throughput = objective
+        old_drain = self.current_drain
+        factor = self.DRAIN_STEP if self._drain_up else 1 / self.DRAIN_STEP
+        new_drain = old_drain * factor
+        if not self.DRAIN_MIN <= new_drain <= self.DRAIN_MAX:
+            self._drain_up = not self._drain_up
+            factor = self.DRAIN_STEP if self._drain_up \
+                else 1 / self.DRAIN_STEP
+            new_drain = old_drain * factor
+        self._set_drain(new_drain)
+        self._settle = 1
+        direction = "up" if new_drain > old_drain else "down"
+        prefix = "objective dropped: reverse, " if reversed_direction \
+            else "probe "
+        return f"{prefix}drain {direction} to {new_drain / MILLIS:.1f}ms"
+
+    def _manage_pending(self, objective: float, throughput: float,
+                        latency: float) -> str:
+        """With the drain pinned, steer the pending window to the SLO."""
+        assert self._best is not None
+        if objective < self._best[0] * 0.80:
+            # The workload shifted under us: re-run the drain search.
+            self._holding = False
+            self._reversals = 0
+            self._best = (objective, self.current_drain)
+            self._last_throughput = None
+            return "objective regressed: resume drain probing"
+        if self._acking and self.latency_slo is not None:
+            if latency > self.latency_slo * 1.15:
+                self._set_pending(int(self.current_pending / 1.6))
+                self._settle = 1
+                return f"latency {latency * 1e3:.0f}ms over SLO: " \
+                       f"shrink pending"
+            if latency < self.latency_slo * 0.5 and \
+                    self._pending_bound(throughput, latency):
+                factor = 2.0 if latency < self.latency_slo * 0.25 else 1.4
+                self._set_pending(int(self.current_pending * factor))
+                self._settle = 1
+                return "latency headroom + window-bound: grow pending"
+        return "holding at tuned settings"
+
+    def _pending_bound(self, throughput: float, latency: float) -> bool:
+        """Is the in-flight window plausibly the binding constraint?
+        (Little's law: in-flight ≈ rate × latency per spout.)"""
+        spouts = [i for i in self._runtime.instances.values()
+                  if i.alive and i.is_spout]
+        if not spouts or throughput <= 0 or latency <= 0:
+            return False
+        per_spout_inflight = throughput * latency / len(spouts)
+        return per_spout_inflight > 0.7 * self.current_pending

@@ -1,0 +1,22 @@
+"""Workloads: the paper's benchmark topologies and external services.
+
+* :mod:`repro.workloads.wordcount` — the WordCount topology used by
+  every head-to-head and tuning figure (Figs. 2–13);
+* :mod:`repro.workloads.kafka_redis` — the production-style
+  Kafka → filter → aggregate → Redis topology of Fig. 14;
+* :mod:`repro.workloads.external` — simulated Kafka broker and Redis
+  server with per-operation cost accounting;
+* :mod:`repro.workloads.corpus` — the 450K-word synthetic corpus.
+"""
+
+from repro.workloads.corpus import DEFAULT_CORPUS_SIZE, corpus
+from repro.workloads.wordcount import (CountBolt, WordSpout,
+                                       wordcount_topology)
+
+__all__ = [
+    "CountBolt",
+    "DEFAULT_CORPUS_SIZE",
+    "WordSpout",
+    "corpus",
+    "wordcount_topology",
+]

@@ -1,0 +1,40 @@
+"""The synthetic word corpus.
+
+The paper's WordCount spout "picks a word at random from a set of 450K
+English words". No such dictionary ships offline, so we build a
+deterministic synthetic corpus of the same cardinality: distinct
+lowercase pseudo-words whose distribution under hash partitioning is
+indistinguishable from a real dictionary's (uniform across buckets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+DEFAULT_CORPUS_SIZE = 450_000
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+_CACHE: Dict[int, List[str]] = {}
+
+
+def _word_for(index: int) -> str:
+    """A distinct pseudo-word per index (bijective base-26 with a prefix)."""
+    letters = []
+    value = index
+    while True:
+        letters.append(_ALPHABET[value % 26])
+        value //= 26
+        if value == 0:
+            break
+    return "w" + "".join(reversed(letters))
+
+
+def corpus(size: int = DEFAULT_CORPUS_SIZE) -> List[str]:
+    """The first ``size`` corpus words (memoized; shared across tasks)."""
+    if size <= 0:
+        raise ValueError(f"corpus size must be positive: {size}")
+    cached = _CACHE.get(size)
+    if cached is None:
+        cached = [_word_for(i) for i in range(size)]
+        _CACHE[size] = cached
+    return cached

@@ -1,0 +1,130 @@
+"""Simulated external services: a Kafka broker and a Redis server.
+
+The Fig. 14 production topology "reads events from Apache Kafka at a rate
+of 60-100 million events/min ... and stores the data in Redis". Neither
+service is available offline, so we model what matters for the paper's
+resource-consumption breakdown: the *client-side CPU time* of fetching
+and writing, attributed to the ``fetch``/``write`` cost categories, plus
+a rate-limited event source.
+
+The :class:`KafkaBroker` is a token-bucket event source: consumers can
+never fetch faster than the configured production rate (events arrive
+when they arrive). The :class:`RedisServer` counts writes and models a
+bounded write rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simulation.rng import RngStream
+
+
+class KafkaBroker:
+    """A rate-limited, partitioned event stream.
+
+    ``events_per_sec`` is the aggregate production rate across all
+    partitions; each consumer (spout task) owns ``partitions /
+    consumer_count`` partitions and can fetch its proportional share.
+    """
+
+    def __init__(self, events_per_sec: float, *, partitions: int = 64,
+                 payload_fields: int = 3, seed: int = 7) -> None:
+        if events_per_sec <= 0:
+            raise ValueError(
+                f"events_per_sec must be positive: {events_per_sec}")
+        if partitions <= 0:
+            raise ValueError(f"partitions must be positive: {partitions}")
+        self.events_per_sec = events_per_sec
+        self.partitions = partitions
+        self.payload_fields = payload_fields
+        self._rng = RngStream(seed, "kafka")
+        self._consumed_by: dict = {}
+        self.total_fetched = 0
+
+    def __deepcopy__(self, memo):
+        # External services are shared infrastructure: per-task copies of
+        # a spout must all talk to the *same* broker.
+        return self
+
+    def assign(self, consumer_id: int, consumer_count: int) -> "KafkaConsumer":
+        """Create a consumer owning its share of partitions."""
+        if not 0 <= consumer_id < consumer_count:
+            raise ValueError(
+                f"consumer_id {consumer_id} out of range for "
+                f"{consumer_count} consumers")
+        share = self.events_per_sec / consumer_count
+        return KafkaConsumer(self, consumer_id, share)
+
+    def make_event(self, sequence: int) -> List:
+        """A synthetic event record: [key, kind, value]."""
+        return [f"k{sequence % 10_000}", sequence % 17,
+                (sequence * 2654435761) % 1_000_000]
+
+
+class KafkaConsumer:
+    """One spout task's view of the broker: a token bucket at its share
+    of the production rate."""
+
+    #: Kafka-consumer-style batching: don't return a fetch until at least
+    #: ``min_fetch`` events are available or ``max_wait`` has elapsed
+    #: since the last fetch (fetch.min.bytes / fetch.max.wait.ms).
+    min_fetch = 250
+    max_wait = 0.05
+
+    def __init__(self, broker: KafkaBroker, consumer_id: int,
+                 rate: float) -> None:
+        self.broker = broker
+        self.consumer_id = consumer_id
+        self.rate = rate
+        self._fetched = 0
+        self._sequence = consumer_id << 32
+        self._last_fetch = 0.0
+
+    def available(self, now: float) -> int:
+        """How many events have been produced but not yet fetched."""
+        produced = int(self.rate * now)
+        return max(0, produced - self._fetched)
+
+    def poll(self, now: float, max_events: int,
+             concrete_cap: int = 0) -> tuple:
+        """Fetch up to ``max_events``; returns (values, count).
+
+        ``concrete_cap`` bounds how many concrete records are
+        materialized (sampling, as with the WordCount spout)."""
+        count = min(max_events, self.available(now))
+        if count < min(max_events, self.min_fetch) and \
+                now - self._last_fetch < self.max_wait:
+            return [], 0
+        if count <= 0:
+            return [], 0
+        self._last_fetch = now
+        self._fetched += count
+        self.broker.total_fetched += count
+        concrete = min(count, concrete_cap) if concrete_cap else count
+        values = []
+        make_event = self.broker.make_event
+        for i in range(concrete):
+            self._sequence += 1
+            values.append(make_event(self._sequence))
+        return values, count
+
+
+class RedisServer:
+    """Counts writes; exposes simple aggregate state for verification."""
+
+    def __init__(self, max_writes_per_sec: Optional[float] = None) -> None:
+        self.max_writes_per_sec = max_writes_per_sec
+        self.writes = 0
+        self.records_written = 0
+        self.store: dict = {}
+
+    def __deepcopy__(self, memo):
+        # Shared infrastructure: every sink task writes to the same server.
+        return self
+
+    def write(self, key, value, count: int = 1) -> None:
+        """One pipeline write of ``count`` records."""
+        self.writes += 1
+        self.records_written += count
+        self.store[key] = value

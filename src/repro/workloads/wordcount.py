@@ -1,0 +1,105 @@
+"""The WordCount topology — the paper's benchmark workload.
+
+"The spout picks a word at random from a set of 450K English words and
+emits it. ... The spouts use hash partitioning to distribute the words
+to the bolts which in turn count the number of times each word was
+encountered" (Section VI-A). The same topology objects run on Heron and
+on the baselines.
+
+``WordSpout.next_batch`` honors the engine's ``sample_cap`` config: in
+full-fidelity mode every emitted tuple carries a concrete word; in
+performance mode a capped sample of concrete words represents the batch
+(see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Optional
+
+from repro.api.component import Bolt, ComponentContext, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import Topology, TopologyBuilder
+from repro.common.config import Config
+from repro.workloads.corpus import DEFAULT_CORPUS_SIZE, corpus
+
+
+class WordSpout(Spout):
+    """Emits uniformly random corpus words, as fast as it is allowed to."""
+
+    outputs = {"default": ["word"]}
+
+    def __init__(self, corpus_size: int = DEFAULT_CORPUS_SIZE,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.corpus_size = corpus_size
+        self.seed = seed
+        self._words = None
+        self._rng: Optional[random.Random] = None
+        self._sample_cap = 0
+        self.acks_seen = 0
+        self.fails_seen = 0
+
+    def open(self, context: ComponentContext, collector) -> None:
+        # Loaded here (not __init__) so per-task copies share the
+        # memoized corpus instead of deep-copying 450K strings.
+        self._words = corpus(self.corpus_size)
+        self._rng = random.Random((self.seed << 16) ^ context.task_id)
+        self._sample_cap = int(context.config.get(Keys.SAMPLE_CAP))
+
+    def next_batch(self, collector, max_tuples: int) -> int:
+        assert self._words is not None and self._rng is not None
+        concrete = max_tuples
+        if self._sample_cap and max_tuples > self._sample_cap:
+            concrete = self._sample_cap
+        choice = self._rng.choice
+        words = self._words
+        values = [[choice(words)] for _ in range(concrete)]
+        collector.emit_batch(values, count=max_tuples)
+        return max_tuples
+
+    def next_tuple(self, collector) -> None:
+        assert self._words is not None and self._rng is not None
+        collector.emit([self._rng.choice(self._words)])
+
+    def ack(self, tuple_id: int) -> None:
+        self.acks_seen += 1
+
+    def fail(self, tuple_id: int) -> None:
+        self.fails_seen += 1
+
+
+class CountBolt(Bolt):
+    """Counts word occurrences (weighted when batches are sampled)."""
+
+    outputs = {"default": ["word", "count"]}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counts: Counter = Counter()
+
+    def execute(self, tup, collector) -> None:
+        self.counts[tup[0]] += 1
+
+    def execute_batch(self, batch, collector) -> None:
+        if not batch.values:
+            return
+        weight = batch.weight
+        if weight == 1.0:
+            self.counts.update(values[0] for values in batch.values)
+        else:
+            for values in batch.values:
+                self.counts[values[0]] += weight
+
+
+def wordcount_topology(parallelism: int = 4, *,
+                       corpus_size: int = DEFAULT_CORPUS_SIZE,
+                       config: Optional[Config] = None,
+                       name: str = "wordcount") -> Topology:
+    """The paper's benchmark: N spouts → fields-grouped → N bolts."""
+    builder = TopologyBuilder(name)
+    builder.set_spout("word", WordSpout(corpus_size), parallelism)
+    builder.set_bolt("count", CountBolt(), parallelism) \
+        .fields_grouping("word", fields=["word"])
+    return builder.build(config)

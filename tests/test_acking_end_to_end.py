@@ -1,0 +1,146 @@
+"""End-to-end acking semantics across both engines: fan-out trees,
+explicit fails, and timeout expiry."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import TopologyBuilder
+from repro.baselines.storm.cluster import StormCluster
+from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
+from repro.core.heron import HeronCluster
+
+
+class NumberSpout(Spout):
+    outputs = {"default": ["n"]}
+
+    def open(self, context, collector):
+        self._next = context.task_id * 1_000_000
+
+    def next_tuple(self, collector):
+        collector.emit([self._next])
+        self._next += 1
+
+
+class SplitBolt(Bolt):
+    outputs = {"default": ["n"]}
+
+    def execute(self, tup, collector):
+        collector.emit([tup[0] * 2])
+        collector.emit([tup[0] * 2 + 1])
+
+
+class FailEverythingBolt(Bolt):
+    def execute(self, tup, collector):
+        collector.fail(tup)
+
+
+class SinkBolt(Bolt):
+    def execute(self, tup, collector):
+        pass
+
+
+def pipeline(middle_cls, sink_cls=SinkBolt):
+    builder = TopologyBuilder("pipeline")
+    builder.set_spout("numbers", NumberSpout(), parallelism=2)
+    builder.set_bolt("middle", middle_cls(), parallelism=2) \
+        .shuffle_grouping("numbers")
+    builder.set_bolt("sink", sink_cls(), parallelism=2) \
+        .shuffle_grouping("middle")
+    builder.set_config(Keys.BATCH_SIZE, 20)
+    builder.set_config(Keys.ACKING_ENABLED, True)
+    builder.set_config(Keys.ACK_TRACKING, "exact")
+    builder.set_config(Keys.MAX_SPOUT_PENDING, 100)
+    return builder
+
+
+class TestStormExactTrees:
+    def submit(self, middle_cls):
+        cluster = StormCluster(supervisors=2)
+        builder = pipeline(middle_cls)
+        builder.set_config(StormKeys.TRANSFER_FLUSH_MS, 2.0)
+        handle = cluster.submit_topology(builder.build())
+        return cluster, handle
+
+    def test_fanout_tree_fully_acked(self):
+        cluster, handle = self.submit(SplitBolt)
+        cluster.run_for(2.0)
+        totals = handle.totals()
+        assert totals["acked"] > 0
+        assert totals["failed"] == 0
+        snapshot = handle.snapshot()
+        assert snapshot["sink"]["executed"] == pytest.approx(
+            2 * snapshot["middle"]["executed"], rel=0.1)
+
+    def test_explicit_fail_reaches_spout(self):
+        cluster, handle = self.submit(FailEverythingBolt)
+        cluster.run_for(2.0)
+        totals = handle.totals()
+        assert totals["failed"] > 0
+        assert totals["acked"] == 0
+
+
+class TestHeronTimeoutExpiry:
+    def test_unacked_roots_expire_via_rotation(self):
+        """Kill the sinks: trees never complete; the SM's rotating
+        timeout wheel fails them after ~message_timeout."""
+        cluster = HeronCluster.local()
+        builder = pipeline(SplitBolt)
+        builder.set_config(Keys.MESSAGE_TIMEOUT_SECS, 1.0)
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        cluster.run_for(0.3)
+        for key, inst in list(handle._runtime.instances.items()):
+            if key[0] == "sink":
+                inst.kill()
+        cluster.run_for(4.0)
+        totals = handle.totals()
+        assert totals["failed"] > 0
+
+    def test_spout_fail_callback_invoked_on_expiry(self):
+        fails = []
+
+        class TrackingSpout(NumberSpout):
+            def fail(self, tuple_id):
+                fails.append(tuple_id)
+
+        cluster = HeronCluster.local()
+        builder = TopologyBuilder("t")
+        builder.set_spout("numbers", TrackingSpout(), parallelism=1)
+        builder.set_bolt("sink", FailEverythingBolt(), parallelism=1) \
+            .shuffle_grouping("numbers")
+        builder.set_config(Keys.BATCH_SIZE, 10)
+        builder.set_config(Keys.ACKING_ENABLED, True)
+        builder.set_config(Keys.ACK_TRACKING, "exact")
+        builder.set_config(Keys.MAX_SPOUT_PENDING, 50)
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        cluster.run_for(1.0)
+        assert fails
+        assert all(tuple_id > 0 for tuple_id in fails)
+
+
+class TestCountedVsExactThroughputAgreement:
+    def test_single_hop_counts_agree(self):
+        """For WordCount-like single-hop flows, counted and exact modes
+        must agree on acked totals within a small tolerance."""
+        from repro.workloads.wordcount import wordcount_topology
+        from repro.common.config import Config
+
+        results = {}
+        for mode in ("exact", "counted"):
+            cfg = Config()
+            cfg.set(Keys.BATCH_SIZE, 50)
+            cfg.set(Keys.ACKING_ENABLED, True)
+            cfg.set(Keys.ACK_TRACKING, mode)
+            cfg.set(Keys.MAX_SPOUT_PENDING, 300)
+            cluster = HeronCluster.local()
+            handle = cluster.submit_topology(
+                wordcount_topology(2, corpus_size=500, config=cfg))
+            handle.wait_until_running()
+            cluster.run_for(1.5)
+            totals = handle.totals()
+            results[mode] = totals
+            assert totals["failed"] == 0
+        ratio = results["exact"]["acked"] / results["counted"]["acked"]
+        assert 0.5 < ratio < 2.0

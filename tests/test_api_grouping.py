@@ -1,0 +1,214 @@
+"""Tests for stream groupings and batch splitting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api.grouping import (AllGrouping, CustomGrouping, DirectGrouping,
+                                FieldsGrouping, GlobalGrouping, NoneGrouping,
+                                ShuffleGrouping, allocate_proportionally,
+                                stable_hash)
+from repro.common.errors import TopologyError
+
+TASKS = [0, 1, 2, 3]
+
+
+def words(values):
+    return [[w] for w in values]
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("heron") == stable_hash("heron")
+
+    def test_types_covered(self):
+        for value in ["s", b"b", 7, -1, 2.5, True, ("a", 1), ["x"], None]:
+            assert isinstance(stable_hash(value), int)
+            assert stable_hash(value) >= 0
+
+    def test_tuple_order_matters(self):
+        assert stable_hash(("a", "b")) != stable_hash(("b", "a"))
+
+
+class TestAllocateProportionally:
+    def test_exact_split(self):
+        assert allocate_proportionally([1, 1], 10) == [5, 5]
+
+    def test_rounding_conserves_total(self):
+        result = allocate_proportionally([1, 1, 1], 10)
+        assert sum(result) == 10
+
+    def test_proportions_respected(self):
+        assert allocate_proportionally([3, 1], 8) == [6, 2]
+
+    def test_zero_total(self):
+        assert allocate_proportionally([1, 2], 0) == [0, 0]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_proportionally([1], -1)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_proportionally([0, 0], 5)
+
+    @given(weights=st.lists(st.floats(min_value=0.01, max_value=100),
+                            min_size=1, max_size=10),
+           total=st.integers(min_value=0, max_value=100_000))
+    def test_always_sums_to_total(self, weights, total):
+        assert sum(allocate_proportionally(weights, total)) == total
+
+
+class TestShuffleGrouping:
+    def test_even_split(self):
+        inst = ShuffleGrouping().create([], TASKS)
+        routes = inst.split([], [], 100)
+        assert sum(r[3] for r in routes) == 100
+        counts = [r[3] for r in routes]
+        assert max(counts) - min(counts) <= 1
+
+    def test_remainder_rotates(self):
+        inst = ShuffleGrouping().create([], [0, 1])
+        first = dict((r[0], r[3]) for r in inst.split([], [], 3))
+        second = dict((r[0], r[3]) for r in inst.split([], [], 3))
+        # Over two calls the load evens out.
+        assert first[0] + second[0] == first[1] + second[1]
+
+    def test_concrete_values_distributed(self):
+        inst = ShuffleGrouping().create([], [0, 1])
+        routes = inst.split(words(["a", "b", "c", "d"]), [1, 2, 3, 4], 4)
+        all_values = sorted(v[0] for r in routes for v in r[1])
+        all_ids = sorted(i for r in routes for i in r[2])
+        assert all_values == ["a", "b", "c", "d"]
+        assert all_ids == [1, 2, 3, 4]
+
+    def test_ids_stay_aligned_with_values(self):
+        inst = ShuffleGrouping().create([], [0, 1, 2])
+        routes = inst.split(words(["a", "b", "c"]), [10, 20, 30], 3)
+        pairing = {v[0]: tid for r in routes for v, tid in zip(r[1], r[2])}
+        assert pairing == {"a": 10, "b": 20, "c": 30}
+
+    def test_zero_count(self):
+        inst = ShuffleGrouping().create([], TASKS)
+        assert inst.split([], [], 0) == []
+
+    def test_none_grouping_behaves_like_shuffle(self):
+        inst = NoneGrouping().create([], TASKS)
+        assert sum(r[3] for r in inst.split([], [], 40)) == 40
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(TopologyError):
+            ShuffleGrouping().create([], [])
+
+
+class TestFieldsGrouping:
+    def test_same_key_same_task(self):
+        inst = FieldsGrouping(["word"]).create(["word"], TASKS)
+        routes1 = inst.split(words(["heron"]), [], 1)
+        routes2 = inst.split(words(["heron"]), [], 1)
+        assert routes1[0][0] == routes2[0][0]
+
+    def test_different_instances_agree(self):
+        """Two SMs routing the same key must pick the same task."""
+        grouping = FieldsGrouping(["word"])
+        a = grouping.create(["word"], TASKS)
+        b = grouping.create(["word"], TASKS)
+        for word in ["a", "b", "storm", "heron", "zookeeper"]:
+            assert a.split(words([word]), [], 1)[0][0] == \
+                b.split(words([word]), [], 1)[0][0]
+
+    def test_multi_field_key(self):
+        inst = FieldsGrouping(["a", "b"]).create(["a", "b", "c"], TASKS)
+        routes = inst.split([[1, 2, "x"], [1, 2, "y"]], [], 2)
+        assert len(routes) == 1  # same (a, b) key -> one task
+
+    def test_count_follows_sample_proportions(self):
+        inst = FieldsGrouping(["word"]).create(["word"], [0, 1])
+        # Find two words hashing to different tasks.
+        vocab = [f"w{i}" for i in range(100)]
+        by_task = {}
+        for word in vocab:
+            task = inst.split(words([word]), [], 1)[0][0]
+            by_task.setdefault(task, word)
+            if len(by_task) == 2:
+                break
+        w0, w1 = by_task[0], by_task[1]
+        routes = inst.split(words([w0, w0, w0, w1]), [], 400)
+        shares = {r[0]: r[3] for r in routes}
+        assert shares[0] == 300
+        assert shares[1] == 100
+
+    def test_empty_sample_falls_back_to_even(self):
+        inst = FieldsGrouping(["word"]).create(["word"], TASKS)
+        routes = inst.split([], [], 8)
+        assert sum(r[3] for r in routes) == 8
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            FieldsGrouping(["nope"]).create(["word"], TASKS)
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping([])
+
+    @given(vocab=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                          min_size=1, max_size=30),
+           count=st.integers(min_value=1, max_value=10_000))
+    def test_count_conserved(self, vocab, count):
+        count = max(count, len(vocab))
+        inst = FieldsGrouping(["word"]).create(["word"], TASKS)
+        routes = inst.split(words(vocab), [], count)
+        assert sum(r[3] for r in routes) == count
+
+
+class TestAllGrouping:
+    def test_broadcasts_to_every_task(self):
+        inst = AllGrouping().create([], TASKS)
+        routes = inst.split(words(["x"]), [7], 5)
+        assert len(routes) == len(TASKS)
+        for _task, values, ids, count in routes:
+            assert values == [["x"]]
+            assert ids == [7]
+            assert count == 5
+
+
+class TestGlobalGrouping:
+    def test_everything_to_lowest_task(self):
+        inst = GlobalGrouping().create([], [3, 1, 2])
+        routes = inst.split(words(["x", "y"]), [], 10)
+        assert routes == [(1, [["x"], ["y"]], [], 10)]
+
+    def test_zero_count_empty(self):
+        inst = GlobalGrouping().create([], TASKS)
+        assert inst.split([], [], 0) == []
+
+
+class TestCustomGrouping:
+    def test_chooser_invoked(self):
+        inst = CustomGrouping(
+            lambda values, tasks: tasks[values[0] % len(tasks)]
+        ).create([], [0, 1])
+        routes = inst.split([[0], [1], [2]], [], 3)
+        shares = {r[0]: r[3] for r in routes}
+        assert shares == {0: 2, 1: 1}
+
+    def test_bad_task_rejected(self):
+        inst = CustomGrouping(lambda values, tasks: 999).create([], TASKS)
+        with pytest.raises(TopologyError):
+            inst.split([[1]], [], 1)
+
+    def test_needs_concrete_values(self):
+        inst = CustomGrouping(lambda v, t: t[0]).create([], TASKS)
+        with pytest.raises(TopologyError):
+            inst.split([], [], 10)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TopologyError):
+            CustomGrouping("not callable")  # type: ignore[arg-type]
+
+
+class TestDirectGrouping:
+    def test_last_field_is_destination(self):
+        inst = DirectGrouping().create([], TASKS)
+        routes = inst.split([["payload", 2], ["other", 0]], [], 2)
+        assert {r[0] for r in routes} == {0, 2}

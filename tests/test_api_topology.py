@@ -1,0 +1,196 @@
+"""Tests for the topology builder and validation."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.grouping import FieldsGrouping, ShuffleGrouping
+from repro.api.topology import TopologyBuilder
+from repro.common.config import Config
+from repro.common.errors import TopologyError
+from repro.common.resources import Resource
+
+
+class WordSpout(Spout):
+    outputs = {"default": ["word"]}
+
+    def next_tuple(self, collector):
+        collector.emit(["hello"])
+
+
+class CountBolt(Bolt):
+    outputs = {"default": ["word", "count"]}
+
+    def execute(self, tup, collector):
+        collector.emit([tup[0], 1])
+
+
+class SinkBolt(Bolt):
+    def execute(self, tup, collector):
+        pass
+
+
+def wordcount_builder():
+    builder = TopologyBuilder("wordcount")
+    builder.set_spout("word", WordSpout(), parallelism=2)
+    builder.set_bolt("count", CountBolt(), parallelism=3) \
+        .fields_grouping("word", fields=["word"])
+    return builder
+
+
+class TestBuilder:
+    def test_build_succeeds(self):
+        topology = wordcount_builder().build()
+        assert topology.name == "wordcount"
+        assert topology.parallelism_of("word") == 2
+        assert topology.parallelism_of("count") == 3
+        assert topology.total_instances == 5
+
+    def test_components_order_spouts_first(self):
+        topology = wordcount_builder().build()
+        assert topology.components() == ["word", "count"]
+
+    def test_is_spout(self):
+        topology = wordcount_builder().build()
+        assert topology.is_spout("word")
+        assert not topology.is_spout("count")
+
+    def test_duplicate_name_rejected(self):
+        builder = wordcount_builder()
+        with pytest.raises(TopologyError):
+            builder.set_spout("word", WordSpout())
+
+    def test_wrong_types_rejected(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.set_spout("s", CountBolt())  # type: ignore[arg-type]
+        with pytest.raises(TopologyError):
+            builder.set_bolt("b", WordSpout())  # type: ignore[arg-type]
+
+    def test_bad_topology_name_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyBuilder("bad name!")
+
+    def test_config_merging(self):
+        builder = wordcount_builder()
+        builder.set_config(Keys.ACKING_ENABLED, True)
+        topology = builder.build(Config({"extra": 1}))
+        assert topology.config.get(Keys.ACKING_ENABLED) is True
+        assert topology.config.get("extra") == 1
+
+    def test_resource_hints_carried(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout(), resource=Resource(cpu=2))
+        builder.set_bolt("b", SinkBolt(), resource=Resource(cpu=3)) \
+            .shuffle_grouping("s")
+        topology = builder.build()
+        assert topology.spouts["s"].resource == Resource(cpu=2)
+        assert topology.bolts["b"].resource == Resource(cpu=3)
+
+
+class TestValidation:
+    def test_no_spouts_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_bolt("b", SinkBolt(), parallelism=1)
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_bolt_without_inputs_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout())
+        builder.set_bolt("orphan", SinkBolt())
+        with pytest.raises(TopologyError, match="no inputs"):
+            builder.build()
+
+    def test_unknown_source_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout())
+        builder.set_bolt("b", SinkBolt()).shuffle_grouping("ghost")
+        with pytest.raises(TopologyError, match="unknown component"):
+            builder.build()
+
+    def test_unknown_stream_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout())
+        builder.set_bolt("b", SinkBolt()).shuffle_grouping("s", stream="side")
+        with pytest.raises(TopologyError, match="stream"):
+            builder.build()
+
+    def test_nonpositive_parallelism_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout(), parallelism=0)
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_cycle_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout())
+        builder.set_bolt("a", CountBolt()).shuffle_grouping("s") \
+            .shuffle_grouping("b")
+        builder.set_bolt("b", CountBolt()).shuffle_grouping("a")
+        with pytest.raises(TopologyError, match="cycle"):
+            builder.build()
+
+    def test_diamond_is_fine(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout())
+        builder.set_bolt("left", CountBolt()).shuffle_grouping("s")
+        builder.set_bolt("right", CountBolt()).shuffle_grouping("s")
+        builder.set_bolt("join", SinkBolt()) \
+            .shuffle_grouping("left").shuffle_grouping("right")
+        builder.build()
+
+
+class TestQueries:
+    def test_downstream_edges(self):
+        topology = wordcount_builder().build()
+        edges = topology.downstream("word")
+        assert len(edges) == 1
+        name, grouping = edges[0]
+        assert name == "count"
+        assert isinstance(grouping, FieldsGrouping)
+
+    def test_downstream_empty_for_sink(self):
+        topology = wordcount_builder().build()
+        assert topology.downstream("count") == []
+
+    def test_output_fields(self):
+        topology = wordcount_builder().build()
+        assert topology.output_fields("word") == ["word"]
+        assert topology.output_fields("count") == ["word", "count"]
+
+    def test_unknown_component_rejected(self):
+        topology = wordcount_builder().build()
+        with pytest.raises(TopologyError):
+            topology.parallelism_of("ghost")
+
+    def test_describe_mentions_everything(self):
+        text = wordcount_builder().build().describe()
+        assert "wordcount" in text
+        assert "word" in text and "count" in text
+        assert "FieldsGrouping" in text
+
+
+class TestScaling:
+    def test_with_parallelism_changes(self):
+        topology = wordcount_builder().build()
+        scaled = topology.with_parallelism({"count": 6})
+        assert scaled.parallelism_of("count") == 6
+        assert scaled.parallelism_of("word") == 2
+        # Original untouched.
+        assert topology.parallelism_of("count") == 3
+
+    def test_scaling_spouts(self):
+        topology = wordcount_builder().build()
+        scaled = topology.with_parallelism({"word": 5})
+        assert scaled.parallelism_of("word") == 5
+
+    def test_unknown_component_rejected(self):
+        topology = wordcount_builder().build()
+        with pytest.raises(TopologyError):
+            topology.with_parallelism({"ghost": 2})
+
+    def test_nonpositive_rejected(self):
+        topology = wordcount_builder().build()
+        with pytest.raises(TopologyError):
+            topology.with_parallelism({"count": 0})

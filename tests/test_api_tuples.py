@@ -1,0 +1,126 @@
+"""Tests for Tuple/Batch value types and component base classes."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.tuples import Batch, Tuple, Values, fields_index
+
+
+class TestTuple:
+    def test_indexing(self):
+        tup = Tuple(values=["heron", 3])
+        assert tup[0] == "heron"
+        assert tup[1] == 3
+        assert len(tup) == 2
+
+    def test_defaults(self):
+        tup = Tuple(values=[1])
+        assert tup.stream == "default"
+        assert tup.tuple_id == 0
+
+
+class TestBatch:
+    def test_full_fidelity_weight_is_one(self):
+        batch = Batch(values=[["a"], ["b"]], count=2)
+        assert batch.weight == 1.0
+
+    def test_sampled_weight(self):
+        batch = Batch(values=[["a"], ["b"]], count=10)
+        assert batch.weight == 5.0
+
+    def test_empty_weight(self):
+        assert Batch(values=[], count=0).weight == 0.0
+
+    def test_count_less_than_values_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(values=[["a"], ["b"]], count=1)
+
+    def test_tuples_materialization(self):
+        batch = Batch(values=[["a"], ["b"]], count=2, stream="s",
+                      source_component="spout", tuple_ids=[5, 6])
+        tuples = batch.tuples()
+        assert [t.values for t in tuples] == [["a"], ["b"]]
+        assert [t.tuple_id for t in tuples] == [5, 6]
+        assert all(t.stream == "s" for t in tuples)
+
+    def test_tuples_without_ids(self):
+        batch = Batch(values=[["a"]], count=1)
+        assert batch.tuples()[0].tuple_id == 0
+
+
+class TestFieldsIndex:
+    def test_positions(self):
+        assert fields_index(["word", "count"], ["count"]) == [1]
+        assert fields_index(["a", "b", "c"], ["c", "a"]) == [2, 0]
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError):
+            fields_index(["word"], ["nope"])
+
+
+class RecordingCollector:
+    def __init__(self):
+        self.emitted = []
+
+    def emit(self, values, stream="default", anchors=None):
+        self.emitted.append(values)
+
+    def emit_batch(self, values, count=None, stream="default"):
+        self.emitted.extend(values)
+
+    def ack(self, tup):
+        pass
+
+    def fail(self, tup):
+        pass
+
+
+class TestComponentDefaults:
+    def test_spout_next_batch_loops_next_tuple(self):
+        class OneSpout(Spout):
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        collector = RecordingCollector()
+        emitted = OneSpout().next_batch(collector, 5)
+        assert emitted == 5
+        assert len(collector.emitted) == 5
+
+    def test_spout_without_next_tuple_raises(self):
+        with pytest.raises(NotImplementedError):
+            Spout().next_tuple(RecordingCollector())
+
+    def test_bolt_execute_batch_loops_execute(self):
+        seen = []
+
+        class Echo(Bolt):
+            def execute(self, tup, collector):
+                seen.append(tup.values)
+
+        batch = Batch(values=[["a"], ["b"]], count=2)
+        Echo().execute_batch(batch, RecordingCollector())
+        assert seen == [["a"], ["b"]]
+
+    def test_bolt_without_execute_raises(self):
+        with pytest.raises(NotImplementedError):
+            Bolt().execute(Tuple(values=[]), RecordingCollector())
+
+    def test_declare_output_does_not_mutate_class(self):
+        class MySpout(Spout):
+            outputs = {"default": ["x"]}
+
+        first, second = MySpout(), MySpout()
+        first.declare_output(["y"], stream="side")
+        assert "side" not in second.outputs
+        assert first.output_fields("side") == ["y"]
+
+    def test_default_outputs_initialized(self):
+        class Bare(Bolt):
+            def execute(self, tup, collector):
+                pass
+
+        assert Bare().output_fields() == []
+        assert "default" in Bare().outputs
+
+    def test_user_cost_default_zero(self):
+        assert Spout().user_cost_per_tuple == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the auto-tuner (the paper's Section V-B future work)."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.tuning import AutoTuner
+from repro.workloads.wordcount import wordcount_topology
+
+MILLIS = 1e-3
+
+
+def launch(drain_ms=10.0, pending=10_000, acks=True, parallelism=4):
+    cfg = Config()
+    cfg.set(Keys.BATCH_SIZE, 500)
+    cfg.set(Keys.SAMPLE_CAP, 16)
+    cfg.set(Keys.ACKING_ENABLED, acks)
+    cfg.set(Keys.ACK_TRACKING, "counted")
+    cfg.set(Keys.MAX_SPOUT_PENDING, pending)
+    cfg.set(Keys.CACHE_DRAIN_FREQUENCY_MS, drain_ms)
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(
+        wordcount_topology(parallelism, corpus_size=1000, config=cfg))
+    handle.wait_until_running()
+    return cluster, handle
+
+
+class TestKnobPlumbing:
+    def test_set_drain_interval_live(self):
+        cluster, handle = launch()
+        sm = next(iter(handle._runtime.sms.values()))
+        before = handle.sm_totals()["drains"]
+        sm.set_drain_interval(1 * MILLIS)
+        cluster.run_for(0.5)
+        fast_drains = handle.sm_totals()["drains"] - before
+        sm.set_drain_interval(50 * MILLIS)
+        before = handle.sm_totals()["drains"]
+        cluster.run_for(0.5)
+        slow_drains = handle.sm_totals()["drains"] - before
+        assert fast_drains > 5 * slow_drains
+
+    def test_set_drain_rejects_nonpositive(self):
+        _cluster, handle = launch()
+        sm = next(iter(handle._runtime.sms.values()))
+        with pytest.raises(ValueError):
+            sm.set_drain_interval(0.0)
+
+    def test_tuner_reads_current_settings(self):
+        cluster, handle = launch(drain_ms=7.0, pending=4321)
+        tuner = AutoTuner(handle)
+        assert tuner.current_drain == pytest.approx(7 * MILLIS)
+        assert tuner.current_pending == 4321
+
+    def test_double_attach_rejected(self):
+        _cluster, handle = launch()
+        tuner = AutoTuner(handle).attach()
+        with pytest.raises(RuntimeError):
+            tuner.attach()
+        tuner.detach()
+
+    def test_bad_interval_rejected(self):
+        _cluster, handle = launch()
+        with pytest.raises(ValueError):
+            AutoTuner(handle, interval=0.0)
+
+
+class TestTuningBehaviour:
+    def test_recovers_from_tiny_drain_interval(self):
+        """Start at 1ms drain (flush-overhead regime): the tuner should
+        move the interval up and throughput should improve."""
+        cluster, handle = launch(drain_ms=1.0, pending=8_000)
+        tuner = AutoTuner(handle, interval=0.5, latency_slo=None).attach()
+        cluster.run_for(0.5)
+        early = tuner.current_drain
+        cluster.run_for(13.0)
+        report = tuner.report
+        assert tuner.current_drain > early * 2
+        first = report.steps[0].throughput_tps
+        last_rates = [s.throughput_tps for s in report.steps[-4:]]
+        assert max(last_rates) > first * 1.1
+
+    def test_latency_slo_shrinks_pending(self):
+        """A huge pending window blows the latency SLO; the tuner must
+        shrink it until latency complies."""
+        cluster, handle = launch(pending=120_000)
+        AutoTuner(handle, interval=0.5, latency_slo=0.050).attach()
+        cluster.run_for(12.0)
+        stats_before = handle.latency_stats()
+        window = (stats_before.count, stats_before.total)
+        cluster.run_for(2.0)
+        stats_after = handle.latency_stats()
+        recent = (stats_after.total - window[1]) / \
+            max(stats_after.count - window[0], 1)
+        assert recent < 0.075  # near the 50ms SLO, far below the ~600ms start
+
+    def test_grows_pending_with_headroom(self):
+        """A tiny window under-utilizes the topology; with latency far
+        below SLO and the window binding, the tuner grows it."""
+        cluster, handle = launch(pending=1_000)
+        tuner = AutoTuner(handle, interval=0.5, latency_slo=0.100).attach()
+        cluster.run_for(16.0)
+        assert tuner.current_pending > 2_000
+
+    def test_detach_stops_adjustments(self):
+        cluster, handle = launch(drain_ms=1.0)
+        tuner = AutoTuner(handle, interval=0.5, latency_slo=None).attach()
+        cluster.run_for(2.0)
+        tuner.detach()
+        frozen = tuner.current_drain
+        cluster.run_for(3.0)
+        assert tuner.current_drain == frozen
+
+    def test_report_describes_trace(self):
+        cluster, handle = launch()
+        tuner = AutoTuner(handle, interval=0.5).attach()
+        cluster.run_for(3.0)
+        text = tuner.report.describe()
+        assert "auto-tuner trace" in text
+        assert len(tuner.report.steps) >= 3
+        assert tuner.report.best_throughput > 0

@@ -1,0 +1,57 @@
+"""Tests for the heron-sim CLI."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_figures_command(self, capsys):
+        assert cli.main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig14" in out
+
+    def test_unknown_figure(self, capsys):
+        assert cli.main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_aliases_resolve(self):
+        for alias, target in cli.ALIASES.items():
+            assert target in cli.FIGURES
+
+    def test_every_figure_module_importable(self):
+        import importlib
+        for module_path, _desc in cli.FIGURES.values():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "run")
+            assert hasattr(module, "check_shapes")
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert cli.main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "packing plan" in out
+        assert "emitted" in out
+
+
+class TestSubmit:
+    def test_submit_local(self, capsys):
+        assert cli.main(["submit", "--parallelism", "2",
+                         "--seconds", "0.3"]) == 0
+        assert "M tuples/min" in capsys.readouterr().out
+
+    def test_submit_acks_yarn_ffd(self, capsys):
+        assert cli.main(["submit", "--parallelism", "2", "--acks",
+                         "--seconds", "0.3", "--framework", "yarn",
+                         "--packing", "ffd"]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_submit_aurora(self, capsys):
+        assert cli.main(["submit", "--parallelism", "2",
+                         "--seconds", "0.2", "--framework",
+                         "aurora"]) == 0

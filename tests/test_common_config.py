@@ -1,0 +1,119 @@
+"""Tests for the typed Config plumbing."""
+
+import pytest
+
+from repro.common.config import Config, ConfigKey, ConfigSchema
+from repro.common.errors import ConfigError
+
+KEY_INT = ConfigKey("test.int", default=7, value_type=int)
+KEY_FLOAT = ConfigKey("test.float", default=1.5, value_type=float)
+KEY_POSITIVE = ConfigKey("test.positive", default=1, value_type=int,
+                         validator=lambda v: v > 0)
+KEY_FREE = ConfigKey("test.free")
+
+
+class TestConfigKey:
+    def test_check_accepts_declared_type(self):
+        assert KEY_INT.check(3) == 3
+
+    def test_check_rejects_wrong_type(self):
+        with pytest.raises(ConfigError):
+            KEY_INT.check("three")
+
+    def test_float_key_coerces_int(self):
+        assert KEY_FLOAT.check(2) == 2.0
+        assert isinstance(KEY_FLOAT.check(2), float)
+
+    def test_float_key_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            KEY_FLOAT.check(True)
+
+    def test_validator_rejects(self):
+        with pytest.raises(ConfigError):
+            KEY_POSITIVE.check(0)
+
+    def test_untyped_key_accepts_anything(self):
+        assert KEY_FREE.check(object()) is not None
+
+
+class TestConfig:
+    def test_get_returns_key_default(self):
+        assert Config().get(KEY_INT) == 7
+
+    def test_set_then_get(self):
+        cfg = Config().set(KEY_INT, 42)
+        assert cfg.get(KEY_INT) == 42
+
+    def test_set_validates(self):
+        with pytest.raises(ConfigError):
+            Config().set(KEY_POSITIVE, -1)
+
+    def test_string_keys_allowed(self):
+        cfg = Config().set("custom.key", "value")
+        assert cfg.get("custom.key") == "value"
+        assert "custom.key" in cfg
+
+    def test_require_missing_raises(self):
+        with pytest.raises(ConfigError):
+            Config().require("absent.key")
+
+    def test_require_present(self):
+        assert Config().require(KEY_INT) == 7  # default counts
+
+    def test_contains_with_key_object(self):
+        cfg = Config().set(KEY_INT, 1)
+        assert KEY_INT in cfg
+        assert KEY_FLOAT not in cfg
+
+    def test_with_overrides_does_not_mutate(self):
+        base = Config().set(KEY_INT, 1)
+        derived = base.with_overrides({KEY_INT.name: 2})
+        assert base.get(KEY_INT) == 1
+        assert derived.get(KEY_INT) == 2
+
+    def test_update_from_config(self):
+        first = Config().set("a", 1)
+        second = Config().set("a", 2).set("b", 3)
+        first.update(second)
+        assert first.get("a") == 2
+        assert first.get("b") == 3
+
+    def test_iteration_is_sorted(self):
+        cfg = Config().set("b", 2).set("a", 1)
+        assert [name for name, _value in cfg] == ["a", "b"]
+
+    def test_equality(self):
+        assert Config({"a": 1}) == Config({"a": 1})
+        assert Config({"a": 1}) != Config({"a": 2})
+
+    def test_len_and_as_dict(self):
+        cfg = Config({"a": 1, "b": 2})
+        assert len(cfg) == 2
+        assert cfg.as_dict() == {"a": 1, "b": 2}
+
+
+class TestConfigSchema:
+    def test_declare_and_defaults(self):
+        schema = ConfigSchema("test")
+        schema.declare(KEY_INT)
+        schema.declare(KEY_FLOAT)
+        defaults = schema.defaults()
+        assert defaults.get(KEY_INT) == 7
+        assert defaults.get(KEY_FLOAT) == 1.5
+
+    def test_duplicate_declare_rejected(self):
+        schema = ConfigSchema("test")
+        schema.declare(KEY_INT)
+        with pytest.raises(ConfigError):
+            schema.declare(KEY_INT)
+
+    def test_validate_checks_known_keys(self):
+        schema = ConfigSchema("test")
+        schema.declare(KEY_INT)
+        bad = Config().set("test.int", "nope")  # bypasses key typing
+        with pytest.raises(ConfigError):
+            schema.validate(bad)
+
+    def test_validate_ignores_unknown_keys(self):
+        schema = ConfigSchema("test")
+        schema.validate(Config().set("unknown", object()))

@@ -1,0 +1,54 @@
+"""Tests for identifier helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ids
+
+
+class TestCheckName:
+    def test_accepts_simple_names(self):
+        assert ids.check_name("word-count_1.v2") == "word-count_1.v2"
+
+    @pytest.mark.parametrize("bad", ["", "-leading", "_x", "has space",
+                                     "slash/name", None, 42])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            ids.check_name(bad)  # type: ignore[arg-type]
+
+
+class TestInstanceId:
+    def test_format(self):
+        assert ids.instance_id("count", 3, 2) == "container_2_count_3"
+
+    def test_parse_roundtrip(self):
+        iid = ids.instance_id("my-bolt", 17, 4)
+        assert ids.parse_instance_id(iid) == (4, "my-bolt", 17)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ids.parse_instance_id("not-an-id")
+
+    @given(component=st.from_regex(r"[a-z][a-z0-9_-]{0,15}", fullmatch=True),
+           task=st.integers(min_value=0, max_value=10_000),
+           container=st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_property(self, component, task, container):
+        iid = ids.instance_id(component, task, container)
+        assert ids.parse_instance_id(iid) == (container, component, task)
+
+
+class TestIdGenerator:
+    def test_sequence(self):
+        gen = ids.IdGenerator("x")
+        assert [gen.next() for _ in range(3)] == ["x-0", "x-1", "x-2"]
+
+    def test_next_int(self):
+        gen = ids.IdGenerator("x")
+        assert gen.next_int() == 0
+        assert gen.next_int() == 1
+
+    def test_independent_generators(self):
+        first, second = ids.IdGenerator("a"), ids.IdGenerator("b")
+        first.next()
+        assert second.next() == "b-0"

@@ -1,0 +1,121 @@
+"""Tests for the Resource value type, including algebraic properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.resources import Resource
+from repro.common.units import GB, MB
+
+resources = st.builds(
+    Resource,
+    cpu=st.floats(min_value=0, max_value=1024, allow_nan=False),
+    ram=st.integers(min_value=0, max_value=1 << 40),
+    disk=st.integers(min_value=0, max_value=1 << 40),
+)
+
+
+class TestConstruction:
+    def test_defaults_are_zero(self):
+        assert Resource() == Resource(0.0, 0, 0)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(cpu=-1.0)
+
+    def test_negative_ram_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(ram=-1)
+
+    def test_negative_disk_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(disk=-1)
+
+    def test_is_frozen(self):
+        res = Resource(1.0, 2, 3)
+        with pytest.raises(AttributeError):
+            res.cpu = 5.0  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Resource(1, 2, 3) + Resource(4, 5, 6) == Resource(5, 7, 9)
+
+    def test_sub(self):
+        assert Resource(4, 5, 6) - Resource(1, 2, 3) == Resource(3, 3, 3)
+
+    def test_sub_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1, 0, 0) - Resource(2, 0, 0)
+
+    def test_scale(self):
+        assert Resource(2.0, 100, 10).scale(1.5) == Resource(3.0, 150, 15)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1, 1, 1).scale(-1)
+
+    def test_total(self):
+        parts = [Resource(1, 1, 1), Resource(2, 2, 2), Resource(3, 3, 3)]
+        assert Resource.total(parts) == Resource(6, 6, 6)
+
+    def test_total_empty(self):
+        assert Resource.total([]) == Resource.zero()
+
+
+class TestComparisons:
+    def test_fits_in_true(self):
+        assert Resource(1, 1 * GB, 0).fits_in(Resource(2, 2 * GB, 1 * GB))
+
+    def test_fits_in_false_on_any_dimension(self):
+        big = Resource(2, 2 * GB, 2 * GB)
+        assert not Resource(3, 1, 1).fits_in(big)
+        assert not Resource(1, 3 * GB, 1).fits_in(big)
+        assert not Resource(1, 1, 3 * GB).fits_in(big)
+
+    def test_fits_in_tolerates_float_noise(self):
+        # 0.1 * 3 != 0.3 exactly; fits_in must not reject on epsilon error.
+        need = Resource(cpu=0.1 + 0.1 + 0.1)
+        assert need.fits_in(Resource(cpu=0.3))
+
+    def test_dominates(self):
+        assert Resource(2, 2, 2).dominates(Resource(1, 2, 0))
+        assert not Resource(2, 2, 2).dominates(Resource(3, 0, 0))
+
+    def test_max_with(self):
+        left = Resource(1, 4 * MB, 9)
+        right = Resource(3, 2 * MB, 10)
+        assert left.max_with(right) == Resource(3, 4 * MB, 10)
+
+    def test_is_zero(self):
+        assert Resource.zero().is_zero
+        assert not Resource(cpu=0.1).is_zero
+
+
+class TestProperties:
+    @given(resources, resources)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(resources, resources)
+    def test_sub_then_add_roundtrips(self, a, b):
+        total = a + b
+        recovered = total - b
+        assert recovered.cpu == pytest.approx(a.cpu)
+        assert recovered.ram == a.ram
+        assert recovered.disk == a.disk
+
+    @given(resources, resources)
+    def test_sum_dominates_parts(self, a, b):
+        assert (a + b).dominates(a)
+        assert (a + b).dominates(b)
+
+    @given(resources, resources)
+    def test_max_with_dominates_both(self, a, b):
+        merged = a.max_with(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    @given(resources)
+    def test_fits_in_reflexive(self, a):
+        assert a.fits_in(a)

@@ -1,0 +1,61 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert units.format_duration(2.5e-6) == "2.500us"
+
+    def test_milliseconds(self):
+        assert units.format_duration(0.0025) == "2.500ms"
+
+    def test_seconds(self):
+        assert units.format_duration(1.5) == "1.500s"
+
+    def test_minutes(self):
+        assert units.format_duration(90) == "1.50min"
+
+    def test_negative(self):
+        assert units.format_duration(-0.0025) == "-2.500ms"
+
+    def test_zero(self):
+        assert units.format_duration(0.0) == "0.000us"
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(2048) == "2.0KB"
+
+    def test_megabytes(self):
+        assert units.format_bytes(3 * units.MB) == "3.0MB"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(2 * units.GB) == "2.00GB"
+
+    def test_negative(self):
+        assert units.format_bytes(-2048) == "-2.0KB"
+
+
+class TestRates:
+    def test_tuples_per_min(self):
+        assert units.tuples_per_min(100, 60.0) == pytest.approx(100.0)
+
+    def test_tuples_per_min_scales(self):
+        assert units.tuples_per_min(50, 30.0) == pytest.approx(100.0)
+
+    def test_millions_per_min(self):
+        assert units.millions_per_min(2e6, 60.0) == pytest.approx(2.0)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            units.tuples_per_min(1, 0.0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            units.millions_per_min(1, -5.0)

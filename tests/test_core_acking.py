@@ -1,0 +1,155 @@
+"""Tests for XOR tuple-tree tracking and rotating timeouts."""
+
+import pytest
+
+from repro.core.acking import AckTracker, CountedTracker, RotatingMap, \
+    RootEntry
+
+SPOUT = ("word", 0)
+
+
+class TestRotatingMap:
+    def test_put_get(self):
+        rmap = RotatingMap()
+        entry = RootEntry(1, SPOUT, 0.0)
+        rmap.put(1, entry)
+        assert rmap.get(1) is entry
+        assert len(rmap) == 1
+
+    def test_rotate_expires_idle_entries(self):
+        rmap = RotatingMap(buckets=3)
+        rmap.put(1, RootEntry(1, SPOUT, 0.0))
+        assert rmap.rotate() == []
+        assert rmap.rotate() == []
+        expired = rmap.rotate()
+        assert [e.root for e in expired] == [1]
+        assert rmap.get(1) is None
+
+    def test_touch_resets_idle_clock(self):
+        rmap = RotatingMap(buckets=3)
+        rmap.put(1, RootEntry(1, SPOUT, 0.0))
+        rmap.rotate()
+        rmap.rotate()
+        assert rmap.touch(1) is not None  # moved back to head
+        assert rmap.rotate() == []
+        assert rmap.rotate() == []
+        assert [e.root for e in rmap.rotate()] == [1]
+
+    def test_remove(self):
+        rmap = RotatingMap()
+        rmap.put(1, RootEntry(1, SPOUT, 0.0))
+        assert rmap.remove(1).root == 1
+        assert rmap.remove(1) is None
+        assert len(rmap) == 0
+
+    def test_put_replaces(self):
+        rmap = RotatingMap()
+        rmap.put(1, RootEntry(1, SPOUT, 0.0))
+        rmap.put(1, RootEntry(1, SPOUT, 5.0))
+        assert len(rmap) == 1
+        assert rmap.get(1).emit_time == 5.0
+
+    def test_too_few_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            RotatingMap(buckets=1)
+
+
+class TestAckTracker:
+    def setup_method(self):
+        self.completed = []
+        self.expired = []
+        self.tracker = AckTracker(self.completed.append,
+                                  self.expired.append)
+
+    def test_single_tuple_tree(self):
+        """spout emits root 5 -> bolt acks 5 -> complete."""
+        self.tracker.register(5, SPOUT, 1.0)
+        self.tracker.update(5, 5)  # ack of the root tuple itself
+        assert [e.root for e in self.completed] == [5]
+        assert self.tracker.pending == 0
+
+    def test_two_level_tree(self):
+        """root 5 -> bolt emits 9 anchored to 5, acks 5 -> sink acks 9."""
+        self.tracker.register(5, SPOUT, 1.0)
+        self.tracker.update(5, 9)   # emission of child 9
+        self.tracker.update(5, 5)   # ack of root tuple
+        assert self.completed == []  # child still outstanding
+        self.tracker.update(5, 9)   # ack of child
+        assert [e.root for e in self.completed] == [5]
+
+    def test_fanout_tree(self):
+        """One root, three children, any ack order."""
+        self.tracker.register(1, SPOUT, 0.0)
+        for child in (10, 11, 12):
+            self.tracker.update(1, child)  # emissions
+        self.tracker.update(1, 1)          # root ack
+        for child in (12, 10, 11):
+            self.tracker.update(1, child)  # child acks
+        assert [e.root for e in self.completed] == [1]
+
+    def test_unknown_root_ignored(self):
+        self.tracker.update(99, 1)
+        assert self.completed == [] and self.expired == []
+
+    def test_explicit_fail(self):
+        self.tracker.register(5, SPOUT, 0.0)
+        self.tracker.fail(5)
+        assert [e.root for e in self.expired] == [5]
+        # Late acks for the failed root are ignored.
+        self.tracker.update(5, 5)
+        assert self.completed == []
+
+    def test_timeout_via_rotation(self):
+        self.tracker.register(5, SPOUT, 0.0)
+        assert self.tracker.rotate() == 0
+        assert self.tracker.rotate() == 0
+        assert self.tracker.rotate() == 1
+        assert [e.root for e in self.expired] == [5]
+
+    def test_active_tree_survives_rotation(self):
+        self.tracker.register(5, SPOUT, 0.0)
+        for i in range(6):
+            self.tracker.rotate()
+            child = 1000 + i
+            self.tracker.update(5, child)  # emission touches the entry
+            self.tracker.update(5, child)  # ack cancels it out
+        assert self.expired == []
+        self.tracker.update(5, 5)
+        assert [e.root for e in self.completed] == [5]
+
+    def test_many_independent_roots(self):
+        for root in range(1, 101):
+            self.tracker.register(root, SPOUT, 0.0)
+        for root in range(1, 101):
+            self.tracker.update(root, root)
+        assert len(self.completed) == 100
+        assert self.tracker.pending == 0
+
+
+class TestCountedTracker:
+    def test_emit_ack_cycle(self):
+        tracker = CountedTracker(timeout=10.0)
+        tracker.emitted(100, now=0.0)
+        assert tracker.pending == 100
+        assert tracker.acked(60, now=1.0) == 60
+        assert tracker.pending == 40
+
+    def test_ack_clipped_to_pending(self):
+        tracker = CountedTracker(timeout=10.0)
+        tracker.emitted(10, now=0.0)
+        assert tracker.acked(25, now=1.0) == 10
+        assert tracker.pending == 0
+
+    def test_stall_detection(self):
+        tracker = CountedTracker(timeout=10.0)
+        tracker.emitted(50, now=0.0)
+        assert tracker.check_stalled(now=5.0) == 0
+        assert tracker.check_stalled(now=11.0) == 50
+        assert tracker.pending == 0
+
+    def test_progress_resets_stall_clock(self):
+        tracker = CountedTracker(timeout=10.0)
+        tracker.emitted(50, now=0.0)
+        tracker.acked(10, now=8.0)
+        assert tracker.check_stalled(now=12.0) == 0
+        assert tracker.check_stalled(now=19.0) == 40

@@ -1,0 +1,317 @@
+"""End-to-end integration tests of the Heron runtime on the simulator."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.packing.ffd import FirstFitDecreasingPacking
+from repro.statemgr.paths import TopologyPaths
+from repro.workloads.wordcount import wordcount_topology
+
+
+def small_config(**overrides):
+    cfg = Config()
+    cfg.set(Keys.BATCH_SIZE, 50)
+    cfg.set(Keys.CACHE_DRAIN_FREQUENCY_MS, 5.0)
+    for key, value in overrides.items():
+        cfg.set(getattr(Keys, key.upper()), value)
+    return cfg
+
+
+def submit_wordcount(cluster, parallelism=2, corpus_size=1000, **overrides):
+    topology = wordcount_topology(parallelism, corpus_size=corpus_size,
+                                  config=small_config(**overrides))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    return handle
+
+
+class TestSubmitAndRun:
+    def test_tuples_flow_end_to_end(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster)
+        cluster.run_for(1.0)
+        totals = handle.totals()
+        assert totals["emitted"] > 0
+        assert totals["executed"] > 0
+
+    def test_words_actually_counted(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, corpus_size=50)
+        cluster.run_for(1.0)
+        counts = {}
+        for key, inst in handle._runtime.instances.items():
+            if key[0] == "count":
+                counts.update(inst.user.counts)
+        assert sum(counts.values()) == handle.totals()["executed"]
+        assert all(word.startswith("w") for word in counts)
+
+    def test_fields_grouping_consistency(self):
+        """Each word lands on exactly one bolt task."""
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, parallelism=3, corpus_size=100)
+        cluster.run_for(1.0)
+        seen = {}
+        for key, inst in handle._runtime.instances.items():
+            if key[0] != "count":
+                continue
+            for word in inst.user.counts:
+                assert word not in seen, \
+                    f"{word} counted by tasks {seen[word]} and {key[1]}"
+                seen[word] = key[1]
+        assert len(seen) > 10
+
+    def test_statemgr_metadata_written(self):
+        cluster = HeronCluster.local()
+        submit_wordcount(cluster)
+        paths = TopologyPaths("wordcount")
+        assert cluster.statemgr.exists(paths.topology)
+        assert cluster.statemgr.exists(paths.packing_plan)
+        assert cluster.statemgr.exists(paths.tmaster_location)
+        assert cluster.statemgr.get_data(paths.execution_state) == b"RUNNING"
+
+    def test_duplicate_submission_rejected(self):
+        cluster = HeronCluster.local()
+        submit_wordcount(cluster)
+        with pytest.raises(Exception, match="already running"):
+            cluster.submit_topology(wordcount_topology(2))
+
+    def test_throughput_is_deterministic(self):
+        def run():
+            cluster = HeronCluster.local()
+            handle = submit_wordcount(cluster)
+            cluster.run_for(1.0)
+            return handle.totals()
+
+        assert run() == run()
+
+
+class TestAcking:
+    def test_counted_acks_flow(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, acking_enabled=True,
+                                  ack_tracking="counted",
+                                  max_spout_pending=500)
+        cluster.run_for(1.0)
+        totals = handle.totals()
+        assert totals["acked"] > 0
+        assert totals["failed"] == 0
+        latency = handle.latency_stats()
+        assert latency.count > 0
+        assert latency.mean > 0
+
+    def test_exact_acks_flow(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, acking_enabled=True,
+                                  ack_tracking="exact",
+                                  max_spout_pending=200)
+        cluster.run_for(1.0)
+        totals = handle.totals()
+        assert totals["acked"] > 0
+        assert totals["failed"] == 0
+
+    def test_exact_and_counted_agree_on_flow(self):
+        results = {}
+        for mode in ("exact", "counted"):
+            cluster = HeronCluster.local()
+            handle = submit_wordcount(cluster, acking_enabled=True,
+                                      ack_tracking=mode,
+                                      max_spout_pending=300)
+            cluster.run_for(1.0)
+            results[mode] = handle.totals()
+        # Same order of magnitude of acked tuples (same closed loop).
+        ratio = results["exact"]["acked"] / results["counted"]["acked"]
+        assert 0.3 < ratio < 3.0
+
+    def test_max_spout_pending_caps_inflight(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, acking_enabled=True,
+                                  max_spout_pending=100,
+                                  ack_tracking="counted")
+        cluster.run_for(1.0)
+        for key, inst in handle._runtime.instances.items():
+            if key[0] == "word":
+                assert inst.pending <= 100
+
+    def test_spout_ack_callbacks_invoked(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, acking_enabled=True,
+                                  ack_tracking="exact",
+                                  max_spout_pending=100)
+        cluster.run_for(1.0)
+        spouts = [inst for key, inst in handle._runtime.instances.items()
+                  if key[0] == "word"]
+        assert any(s.user.acks_seen > 0 for s in spouts)
+
+
+class TestBackpressure:
+    def test_no_ack_run_stays_bounded(self):
+        """Without acks, backpressure must keep queues bounded."""
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, acking_enabled=False)
+        cluster.run_for(2.0)
+        for inst in handle._runtime.instances.values():
+            assert inst.inbox_len < 2000
+        for sm in handle._runtime.sms.values():
+            assert sm.inbox_len < 2000
+
+
+class TestLifecycle:
+    def test_kill_releases_everything(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster)
+        cluster.run_for(0.2)
+        handle.kill()
+        assert cluster.cluster.provisioned_cores() == 0
+        assert not cluster.statemgr.exists(TopologyPaths("wordcount").base)
+        cluster.run_for(0.5)  # no stray events blow up
+
+    def test_deactivate_stops_emission(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster)
+        cluster.run_for(0.5)
+        handle.deactivate()
+        cluster.run_for(0.2)  # drain in-flight
+        before = handle.totals()["emitted"]
+        cluster.run_for(0.5)
+        assert handle.totals()["emitted"] == before
+
+    def test_activate_resumes_emission(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster)
+        cluster.run_for(0.5)
+        handle.deactivate()
+        cluster.run_for(0.3)
+        before = handle.totals()["emitted"]
+        handle.activate()
+        cluster.run_for(0.5)
+        assert handle.totals()["emitted"] > before
+
+    def test_two_topologies_coexist(self):
+        cluster = HeronCluster.local()
+        first = submit_wordcount(cluster)
+        second_topology = wordcount_topology(2, corpus_size=1000,
+                                             config=small_config(),
+                                             name="wordcount2")
+        second = cluster.submit_topology(second_topology)
+        second.wait_until_running()
+        cluster.run_for(0.5)
+        assert first.totals()["executed"] > 0
+        assert second.totals()["executed"] > 0
+
+    def test_different_resource_managers_per_topology(self):
+        """Modularity: two topologies, two packing policies, one cluster."""
+        cluster = HeronCluster.local()
+        rr_handle = submit_wordcount(cluster)
+        ffd_topology = wordcount_topology(4, corpus_size=1000,
+                                          config=small_config(),
+                                          name="wordcount-ffd")
+        ffd_handle = cluster.submit_topology(
+            ffd_topology, resource_manager=FirstFitDecreasingPacking())
+        ffd_handle.wait_until_running()
+        cluster.run_for(0.3)
+        assert ffd_handle.totals()["executed"] > 0
+        assert ffd_handle.packing_plan.container_count <= \
+            rr_handle.packing_plan.container_count * 4
+
+
+class TestScaling:
+    def test_scale_up_bolts(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, parallelism=2)
+        cluster.run_for(0.5)
+        handle.scale({"count": 4})
+        cluster.run_for(1.0)
+        live_bolts = [k for k in handle._runtime.instances if k[0] == "count"]
+        assert len(live_bolts) == 4
+        # New bolts receive work too.
+        new_tasks = [handle._runtime.instances[("count", t)]
+                     for t in (2, 3)]
+        assert all(b.executed_count > 0 for b in new_tasks)
+
+    def test_scale_down_bolts(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, parallelism=3)
+        cluster.run_for(0.5)
+        handle.scale({"count": 1})
+        cluster.run_for(0.5)
+        live_bolts = [k for k in handle._runtime.instances if k[0] == "count"]
+        assert live_bolts == [("count", 0)]
+        assert handle.totals()["executed"] > 0
+
+    def test_counters_monotonic_across_scaling(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, parallelism=2)
+        cluster.run_for(0.5)
+        before = handle.totals()["executed"]
+        handle.scale({"count": 1})
+        cluster.run_for(0.1)
+        assert handle.totals()["executed"] >= before
+
+    def test_statemgr_plan_updated(self):
+        cluster = HeronCluster.local()
+        handle = submit_wordcount(cluster, parallelism=2)
+        cluster.run_for(0.2)
+        handle.scale({"count": 5})
+        from repro.packing.plan import PackingPlan
+        blob = cluster.statemgr.get_data(
+            TopologyPaths("wordcount").packing_plan)
+        stored = PackingPlan.from_json(blob)
+        assert stored.component_parallelism()["count"] == 5
+
+
+class TestFailureRecovery:
+    def test_container_failure_recovers_on_yarn(self):
+        cluster = HeronCluster.on_yarn(machines=4)
+        handle = submit_wordcount(cluster, parallelism=4)
+        cluster.run_for(0.5)
+        victim_cid = handle.packing_plan.containers[0].id
+        victim = next(
+            jc.container for jc in cluster.framework.job_containers(
+                "wordcount")
+            if jc.role == f"container-{victim_cid}")
+        cluster.cluster.fail_container(victim)
+        cluster.run_for(3.0)
+        # The stateful scheduler restored the container; traffic flows.
+        before = handle.totals()["executed"]
+        cluster.run_for(1.0)
+        assert handle.totals()["executed"] > before
+        assert victim_cid in handle._runtime.sms
+
+    def test_container_failure_recovers_on_aurora(self):
+        cluster = HeronCluster.on_aurora(machines=4)
+        handle = submit_wordcount(cluster, parallelism=4)
+        cluster.run_for(0.5)
+        victim_cid = handle.packing_plan.containers[-1].id
+        victim = next(
+            jc.container for jc in cluster.framework.job_containers(
+                "wordcount")
+            if jc.role == f"container-{victim_cid}")
+        cluster.cluster.fail_container(victim)
+        cluster.run_for(3.0)
+        before = handle.totals()["executed"]
+        cluster.run_for(1.0)
+        assert handle.totals()["executed"] > before
+
+    def test_tmaster_failover(self):
+        """TM dies -> ephemeral node vanishes -> SMs reconnect to new TM."""
+        cluster = HeronCluster.on_yarn(machines=4)
+        handle = submit_wordcount(cluster, parallelism=2)
+        cluster.run_for(0.5)
+        paths = TopologyPaths("wordcount")
+        tm_container = next(
+            jc.container for jc in cluster.framework.job_containers(
+                "wordcount") if jc.role == "tmaster")
+        cluster.cluster.fail_container(tm_container)
+        # Ephemeral location node is gone the moment the session dies.
+        assert not cluster.statemgr.exists(paths.tmaster_location)
+        cluster.run_for(3.0)
+        assert cluster.statemgr.exists(paths.tmaster_location)
+        new_tm = handle._runtime.tmaster
+        assert new_tm is not None and new_tm.alive
+        # SMs re-registered with the new TM and the plan was rebroadcast.
+        assert new_tm.plan_broadcasts >= 1
+        before = handle.totals()["executed"]
+        cluster.run_for(1.0)
+        assert handle.totals()["executed"] > before

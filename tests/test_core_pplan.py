@@ -1,0 +1,120 @@
+"""Tests for the physical plan and the HeronCluster facade edges."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.common.errors import SchedulerError, TopologyError
+from repro.core.heron import HeronCluster
+from repro.core.pplan import PhysicalPlan
+from repro.packing.round_robin import RoundRobinPacking
+from repro.workloads.wordcount import wordcount_topology
+
+
+def make_pplan(parallelism=3, slots=4):
+    topology = wordcount_topology(parallelism)
+    manager = RoundRobinPacking()
+    manager.initialize(
+        Config().set(Keys.INSTANCES_PER_CONTAINER, slots), topology)
+    return PhysicalPlan(topology, manager.pack())
+
+
+class TestPhysicalPlan:
+    def test_container_of_covers_every_task(self):
+        pplan = make_pplan(parallelism=3)
+        assert set(pplan.container_of) == {
+            ("word", 0), ("word", 1), ("word", 2),
+            ("count", 0), ("count", 1), ("count", 2)}
+
+    def test_instances_by_container_partition(self):
+        pplan = make_pplan(parallelism=4)
+        all_keys = [key for keys in pplan.instances_by_container.values()
+                    for key in keys]
+        assert sorted(all_keys) == sorted(pplan.container_of)
+
+    def test_task_ids_ordered(self):
+        pplan = make_pplan(parallelism=5)
+        assert pplan.task_ids["word"] == [0, 1, 2, 3, 4]
+
+    def test_spout_keys(self):
+        pplan = make_pplan(parallelism=2)
+        assert pplan.spout_keys() == [("word", 0), ("word", 1)]
+
+    def test_routing_tables(self):
+        pplan = make_pplan(parallelism=2)
+        tables = pplan.build_routing("word")
+        assert "default" in tables
+        dest, grouping = tables["default"][0]
+        assert dest == "count"
+        # Fresh grouping instances per call (router-local state).
+        again = pplan.build_routing("word")
+        assert again["default"][0][1] is not grouping
+
+    def test_sink_has_no_routing(self):
+        pplan = make_pplan(parallelism=2)
+        assert pplan.build_routing("count") == {}
+
+    def test_mismatched_plan_rejected(self):
+        topology = wordcount_topology(3)
+        other = wordcount_topology(5)
+        manager = RoundRobinPacking()
+        manager.initialize(Config(), other)
+        with pytest.raises(TopologyError, match="does not match"):
+            PhysicalPlan(topology, manager.pack())
+
+    def test_describe(self):
+        text = make_pplan(parallelism=2).describe()
+        assert "container 1" in text
+        assert "word[0]" in text
+
+
+class TestFacadeErrors:
+    def test_unknown_topology_operations(self):
+        cluster = HeronCluster.local()
+        with pytest.raises(TopologyError):
+            cluster.kill_topology("ghost")
+        with pytest.raises(TopologyError):
+            cluster.restart_topology("ghost")
+        with pytest.raises(TopologyError):
+            cluster.update_topology("ghost", {"x": 1})
+        with pytest.raises(TopologyError):
+            cluster.activate("ghost")
+
+    def test_scale_unknown_component_rejected(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(wordcount_topology(2))
+        handle.wait_until_running()
+        with pytest.raises(Exception):
+            handle.scale({"ghost": 3})
+
+    def test_wait_until_running_times_out_without_events(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(wordcount_topology(2))
+        # Sabotage: kill the TM before the plan broadcast can happen.
+        handle._runtime.tmaster.kill()
+        with pytest.raises(SchedulerError, match="did not reach running"):
+            handle.wait_until_running(timeout=0.5)
+
+    def test_resubmission_after_kill_is_allowed(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(wordcount_topology(2))
+        handle.wait_until_running()
+        handle.kill()
+        again = cluster.submit_topology(wordcount_topology(2))
+        again.wait_until_running()
+        cluster.run_for(0.2)
+        assert again.totals()["executed"] > 0
+
+    def test_activate_without_tm_rejected(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(wordcount_topology(2))
+        handle._runtime.tmaster.kill()
+        with pytest.raises(SchedulerError, match="no live TM"):
+            handle.activate()
+
+    def test_provisioned_cores_accounts_tm_container(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(wordcount_topology(2))
+        handle.wait_until_running()
+        plan_cpu = handle.packing_plan.total_resource.cpu
+        assert handle.provisioned_cores() > plan_cpu  # + TM container

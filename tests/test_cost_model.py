@@ -1,0 +1,112 @@
+"""Sanity tests pinning the cost model's documented orderings.
+
+The calibration narrative in ``repro.simulation.costs`` makes ordinal
+claims ("lazy path ≪ full decode", "Storm per-tuple cost exceeds
+Heron's instance cost", ...). These tests pin them so a recalibration
+cannot silently invert the paper's mechanisms.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation.costs import CostCategory, CostModel, \
+    DEFAULT_COST_MODEL
+
+
+class TestStructure:
+    def test_all_costs_nonnegative(self):
+        for field in dataclasses.fields(CostModel):
+            value = getattr(DEFAULT_COST_MODEL, field.name)
+            assert value >= 0, field.name
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_COST_MODEL.sm_route_per_tuple = 0  # type: ignore
+
+    def test_with_overrides(self):
+        model = DEFAULT_COST_MODEL.with_overrides(sm_drain_fixed=1.0)
+        assert model.sm_drain_fixed == 1.0
+        assert DEFAULT_COST_MODEL.sm_drain_fixed != 1.0
+        assert model.sm_route_per_tuple == \
+            DEFAULT_COST_MODEL.sm_route_per_tuple
+
+    def test_categories(self):
+        assert set(CostCategory.ALL) == {"fetch", "user", "engine",
+                                         "write"}
+
+
+class TestPaperOrderings:
+    """The inequalities the reproduction's mechanisms rest on."""
+
+    model = DEFAULT_COST_MODEL
+
+    def test_lazy_path_much_cheaper_than_full_decode(self):
+        # Section V-A: header parse vs full deserialize + reserialize.
+        full = self.model.sm_full_deserialize_per_tuple + \
+            self.model.sm_reserialize_per_tuple + \
+            self.model.sm_alloc_per_tuple
+        assert full > 5 * self.model.sm_route_per_tuple
+
+    def test_storm_per_tuple_framework_cost_exceeds_herons(self):
+        # Section III-A: communication work on the processing threads.
+        storm = self.model.storm_user_per_tuple + \
+            self.model.storm_framework_per_tuple + \
+            self.model.storm_serialize_per_tuple
+        heron = self.model.instance_emit_per_tuple + \
+            self.model.instance_serialize_per_tuple
+        assert storm > 2 * heron
+
+    def test_acking_is_substantial_but_not_dominant(self):
+        # Figs. 2 vs 4: acks cost about 2-3x of throughput, so the
+        # ack-path cost per tuple is of the same order as the data path.
+        data_path = self.model.instance_emit_per_tuple + \
+            self.model.instance_serialize_per_tuple
+        ack_path = self.model.instance_ack_per_tuple
+        assert 0.5 * data_path < ack_path < 4 * data_path
+
+    def test_network_distances_ordered(self):
+        assert self.model.net_local_process < \
+            self.model.net_same_container < \
+            self.model.net_same_machine < self.model.net_cross_machine
+
+    def test_drain_overhead_amortizes(self):
+        # One drain at the default 10ms interval must be a small
+        # fraction of an SM's budget, but dominant at 1ms (Fig. 12).
+        per_second_at_10ms = self.model.sm_drain_fixed * 100
+        per_second_at_1ms = self.model.sm_drain_fixed * 1000
+        assert per_second_at_10ms < 0.05
+        assert per_second_at_1ms > 0.15
+
+    def test_batch_overheads_amortize_at_default_batch(self):
+        per_tuple_share = self.model.sm_batch_overhead / 1000
+        assert per_tuple_share < 0.1 * self.model.sm_route_per_tuple
+
+    def test_acker_op_dominates_storm_ack_path(self):
+        # The known Storm bottleneck: acker executors.
+        assert self.model.storm_acker_per_op > \
+            self.model.storm_ack_emit_per_tuple
+
+
+class TestConfigSchemas:
+    def test_topology_schema_defaults_valid(self):
+        from repro.api.config_keys import SCHEMA
+        defaults = SCHEMA.defaults()
+        SCHEMA.validate(defaults)
+        assert len(defaults) > 10
+
+    def test_packing_schema_defaults_valid(self):
+        from repro.packing.base import SCHEMA
+        SCHEMA.validate(SCHEMA.defaults())
+
+    def test_storm_schema_defaults_valid(self):
+        from repro.baselines.storm.config_keys import SCHEMA
+        SCHEMA.validate(SCHEMA.defaults())
+
+    def test_every_key_documented(self):
+        from repro.api.config_keys import SCHEMA as topo
+        from repro.packing.base import SCHEMA as packing
+        from repro.baselines.storm.config_keys import SCHEMA as storm
+        for schema in (topo, packing, storm):
+            for key in schema.keys.values():
+                assert key.description, f"{key.name} lacks a description"

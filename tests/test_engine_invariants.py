@@ -1,0 +1,165 @@
+"""Cross-cutting engine invariants: conservation, determinism, isolation.
+
+These are the properties a streaming engine must never violate no matter
+the configuration; each test sweeps a configuration axis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.wordcount import wordcount_topology
+
+
+def run_wordcount(parallelism=2, seconds=0.6, **overrides):
+    cfg = Config()
+    cfg.set(Keys.BATCH_SIZE, 40)
+    for key, value in overrides.items():
+        cfg.set(getattr(Keys, key.upper()), value)
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(
+        wordcount_topology(parallelism, corpus_size=300, config=cfg))
+    handle.wait_until_running()
+    cluster.run_for(seconds)
+    return cluster, handle
+
+
+class TestTupleConservation:
+    """Emitted = routed = executed (+in flight), in every configuration."""
+
+    CONFIG_AXES = [
+        {},
+        {"lazy_deserialization": False, "mempool_enabled": False},
+        {"cache_enabled": False},
+        {"cache_drain_frequency_ms": 2.0},
+        {"acking_enabled": True, "ack_tracking": "counted",
+         "max_spout_pending": 400},
+        {"acking_enabled": True, "ack_tracking": "exact",
+         "max_spout_pending": 200},
+        {"sample_cap": 8},
+    ]
+
+    @pytest.mark.parametrize("overrides", CONFIG_AXES,
+                             ids=lambda o: ",".join(o) or "defaults")
+    def test_no_tuples_invented_or_lost(self, overrides):
+        cluster, handle = run_wordcount(**overrides)
+        # Quiesce: stop emission, drain everything in flight.
+        handle.deactivate()
+        cluster.run_for(1.0)
+        totals = handle.totals()
+        snapshot = handle.snapshot()
+        emitted = snapshot["word"]["emitted"]
+        executed = snapshot["count"]["executed"]
+        assert executed == pytest.approx(emitted, rel=1e-6), \
+            f"emitted {emitted} != executed {executed}"
+        assert handle.sm_totals()["dropped_batches"] == 0
+        if overrides.get("acking_enabled"):
+            acked = totals["acked"] + totals["failed"]
+            assert acked == pytest.approx(emitted, rel=1e-6)
+
+    @pytest.mark.parametrize("overrides", CONFIG_AXES,
+                             ids=lambda o: ",".join(o) or "defaults")
+    def test_determinism_across_runs(self, overrides):
+        def run():
+            _cluster, handle = run_wordcount(seconds=0.4, **overrides)
+            return handle.totals()
+
+        assert run() == run()
+
+
+class TestLittlesLaw:
+    """In the acked closed loop, in-flight ≈ throughput × latency."""
+
+    def test_littles_law_holds(self):
+        cfg = Config()
+        cfg.set(Keys.BATCH_SIZE, 500)
+        cfg.set(Keys.SAMPLE_CAP, 16)
+        cfg.set(Keys.ACKING_ENABLED, True)
+        cfg.set(Keys.ACK_TRACKING, "counted")
+        cfg.set(Keys.MAX_SPOUT_PENDING, 5_000)
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(
+            wordcount_topology(4, corpus_size=300, config=cfg))
+        handle.wait_until_running()
+        cluster.run_for(1.0)  # warmup
+        t0 = cluster.now
+        base = handle.totals()["acked"]
+        lat0 = handle.latency_stats()
+        window0 = (lat0.count, lat0.total)
+        cluster.run_for(2.0)
+        throughput = (handle.totals()["acked"] - base) / (cluster.now - t0)
+        lat1 = handle.latency_stats()
+        latency = (lat1.total - window0[1]) / (lat1.count - window0[0])
+        inflight = sum(inst.pending for inst in
+                       handle._runtime.instances.values() if inst.is_spout)
+        predicted = throughput * latency
+        assert predicted == pytest.approx(inflight, rel=0.35)
+
+    def test_latency_scales_with_pending_cap(self):
+        def latency_at(cap):
+            cfg = Config()
+            cfg.set(Keys.BATCH_SIZE, 500)
+            cfg.set(Keys.SAMPLE_CAP, 16)
+            cfg.set(Keys.ACKING_ENABLED, True)
+            cfg.set(Keys.ACK_TRACKING, "counted")
+            cfg.set(Keys.MAX_SPOUT_PENDING, cap)
+            # Dense containers saturate the SM, so the pending window is
+            # the binding constraint (the Fig. 11 regime).
+            cfg.set(Keys.INSTANCES_PER_CONTAINER, 8)
+            cluster = HeronCluster.local()
+            handle = cluster.submit_topology(
+                wordcount_topology(4, corpus_size=300, config=cfg))
+            handle.wait_until_running()
+            cluster.run_for(2.0)
+            return handle.latency_stats().mean
+
+        low, high = latency_at(2_000), latency_at(40_000)
+        assert high > 3 * low
+
+
+class TestIsolationBetweenTopologies:
+    def test_one_slow_topology_does_not_block_another(self):
+        """Process-level isolation: each topology has its own actors, so
+        an overloaded topology cannot starve a healthy one."""
+        cluster = HeronCluster.on_yarn(machines=8)
+        cfg_fast = Config().set(Keys.BATCH_SIZE, 50)
+        fast = cluster.submit_topology(
+            wordcount_topology(2, corpus_size=300, config=cfg_fast,
+                               name="fast"))
+        cfg_slow = Config().set(Keys.BATCH_SIZE, 50) \
+            .set(Keys.CACHE_DRAIN_FREQUENCY_MS, 1.0) \
+            .set(Keys.MEMPOOL_ENABLED, False) \
+            .set(Keys.LAZY_DESERIALIZATION, False)
+        slow = cluster.submit_topology(
+            wordcount_topology(4, corpus_size=300, config=cfg_slow,
+                               name="slow"))
+        fast.wait_until_running()
+        slow.wait_until_running()
+        cluster.run_for(1.0)
+        fast_alone_rate = fast.totals()["executed"]
+        assert fast_alone_rate > 0
+        # The fast topology's throughput is within normal range despite
+        # the unoptimized neighbour.
+        solo_cluster = HeronCluster.on_yarn(machines=8)
+        solo = solo_cluster.submit_topology(
+            wordcount_topology(2, corpus_size=300, config=cfg_fast,
+                               name="fast"))
+        solo.wait_until_running()
+        solo_cluster.run_for(1.0)
+        assert fast.totals()["executed"] == pytest.approx(
+            solo.totals()["executed"], rel=0.05)
+
+
+class TestConfigSweepProperties:
+    @given(batch=st.sampled_from([10, 50, 200, 1000]),
+           drain=st.sampled_from([2.0, 10.0, 30.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_flow_under_any_batch_and_drain(self, batch, drain):
+        cluster, handle = run_wordcount(
+            seconds=0.4, batch_size=batch,
+            cache_drain_frequency_ms=drain)
+        assert handle.totals()["executed"] > 0
+        assert handle.sm_totals()["dropped_batches"] == 0

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness plumbing and small measured runs."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.experiments.harness import (ExperimentPoint, HDINSIGHT_MACHINE,
+                                       heron_perf_config, machines_for,
+                                       run_heron_wordcount,
+                                       run_storm_wordcount, windows_for)
+
+
+class TestExperimentPoint:
+    def test_unit_conversions(self):
+        point = ExperimentPoint(engine="heron", parallelism=4,
+                                throughput_tps=1_000_000.0,
+                                latency_s=0.025, cores=30.0)
+        assert point.throughput_mtpm == pytest.approx(60.0)
+        assert point.latency_ms == pytest.approx(25.0)
+        assert point.throughput_mtpm_per_core == pytest.approx(2.0)
+
+    def test_zero_cores(self):
+        point = ExperimentPoint("heron", 1, 1.0, 0.0, 0.0)
+        assert point.throughput_mtpm_per_core == 0.0
+
+
+class TestSizing:
+    def test_machines_for_hdinsight(self):
+        # 2*25 = 50 instances, 4 per container -> 13 containers, 5 cpu
+        # each, one per 8-core machine, +TM headroom.
+        assert machines_for(25, 4, HDINSIGHT_MACHINE) == 15
+
+    def test_windows_shrink_with_scale(self):
+        small = windows_for(25, fast=False)
+        large = windows_for(200, fast=False)
+        assert sum(large) < sum(small)
+
+    def test_fast_windows(self):
+        assert windows_for(25, fast=True) == (0.3, 0.5)
+
+
+class TestPerfConfig:
+    def test_defaults(self):
+        cfg = heron_perf_config(acks=True)
+        assert cfg.get(Keys.ACKING_ENABLED) is True
+        assert cfg.get(Keys.ACK_TRACKING) == "counted"
+        assert cfg.get(Keys.MEMPOOL_ENABLED) is True
+        assert cfg.get(Keys.LAZY_DESERIALIZATION) is True
+
+    def test_optimized_toggle(self):
+        cfg = heron_perf_config(acks=False, optimized=False)
+        assert cfg.get(Keys.MEMPOOL_ENABLED) is False
+        assert cfg.get(Keys.LAZY_DESERIALIZATION) is False
+
+    def test_independent_toggles(self):
+        cfg = heron_perf_config(acks=False, mempool=False, lazy=True)
+        assert cfg.get(Keys.MEMPOOL_ENABLED) is False
+        assert cfg.get(Keys.LAZY_DESERIALIZATION) is True
+
+
+class TestMeasuredRuns:
+    """Small end-to-end measurements through the harness itself."""
+
+    def test_heron_point_sane(self):
+        point = run_heron_wordcount(
+            2, acks=True, config=heron_perf_config(acks=True),
+            warmup=0.2, measure=0.4)
+        assert point.engine == "heron"
+        assert point.throughput_tps > 0
+        assert 0 < point.latency_s < 1.0
+        assert point.cores > 0
+        assert point.extra["failed"] == 0
+
+    def test_storm_point_sane(self):
+        point = run_storm_wordcount(
+            2, acks=False, config=heron_perf_config(acks=False),
+            warmup=0.2, measure=0.4)
+        assert point.engine == "storm"
+        assert point.throughput_tps > 0
+        assert point.latency_s == 0.0  # no acks, no latency measured
+
+    def test_measurement_is_deterministic(self):
+        def measure():
+            return run_heron_wordcount(
+                2, acks=False, config=heron_perf_config(acks=False),
+                warmup=0.2, measure=0.3).throughput_tps
+
+        assert measure() == measure()
+
+    def test_optimizations_off_is_slower(self):
+        fast_point = run_heron_wordcount(
+            2, acks=False, config=heron_perf_config(acks=False),
+            warmup=0.2, measure=0.4)
+        slow_point = run_heron_wordcount(
+            2, acks=False, config=heron_perf_config(acks=False,
+                                                    optimized=False),
+            warmup=0.2, measure=0.4)
+        assert fast_point.throughput_tps > 2 * slow_point.throughput_tps

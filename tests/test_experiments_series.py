@@ -1,0 +1,119 @@
+"""Tests for the Figure/Series containers and shape-check helpers."""
+
+import pytest
+
+from repro.experiments.series import (Figure, Series, check_monotonic,
+                                      check_peak_interior,
+                                      check_ratio_band)
+
+
+def make_figure():
+    figure = Figure("Figure X", "test", "x", "y")
+    for x, y in ((1, 10.0), (2, 20.0), (3, 30.0)):
+        figure.add_point("fast", x, y)
+        figure.add_point("slow", x, y / 4)
+    return figure
+
+
+class TestSeries:
+    def test_y_at(self):
+        series = Series("s", [(1, 10.0), (2, 20.0)])
+        assert series.y_at(2) == 20.0
+        with pytest.raises(KeyError):
+            series.y_at(99)
+
+    def test_xs_ys(self):
+        series = Series("s", [(1, 10.0), (2, 20.0)])
+        assert series.xs == [1, 2]
+        assert series.ys == [10.0, 20.0]
+
+    def test_argmax(self):
+        series = Series("s", [(1, 10.0), (2, 50.0), (3, 20.0)])
+        assert series.argmax() == 2
+
+    def test_argmax_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s").argmax()
+
+
+class TestFigure:
+    def test_table_contains_all_points(self):
+        table = make_figure().format_table()
+        assert "Figure X" in table
+        assert "fast" in table and "slow" in table
+        assert "30.00" in table and "7.50" in table
+
+    def test_table_handles_missing_points(self):
+        figure = Figure("F", "t", "x", "y")
+        figure.add_point("a", 1, 1.0)
+        figure.add_point("b", 2, 2.0)
+        table = figure.format_table()
+        assert "-" in table
+
+    def test_csv(self):
+        csv = make_figure().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "x,series,y"
+        assert len(lines) == 7
+
+    def test_notes_rendered(self):
+        figure = make_figure()
+        figure.notes.append("hello note")
+        assert "hello note" in figure.format_table()
+
+
+class TestChecks:
+    def test_ratio_band_pass(self):
+        check = check_ratio_band(make_figure(), "fast", "slow", 3.5, 4.5,
+                                 description="4x")
+        assert check.passed
+
+    def test_ratio_band_fail(self):
+        check = check_ratio_band(make_figure(), "fast", "slow", 10, 20,
+                                 description="10x", slack=0.0)
+        assert not check.passed
+
+    def test_ratio_band_slack(self):
+        check = check_ratio_band(make_figure(), "fast", "slow", 5.0, 6.0,
+                                 description="with slack", slack=0.5)
+        assert check.passed  # 4.0 >= 5.0 * 0.5
+
+    def test_ratio_band_no_points(self):
+        empty = Figure("F", "t", "x", "y")
+        empty.series_for("a")
+        empty.series_for("b")
+        assert not check_ratio_band(empty, "a", "b", 1, 2,
+                                    description="none").passed
+
+    def test_monotonic_increasing(self):
+        assert check_monotonic(Series("s", [(1, 1.0), (2, 2.0), (3, 3.0)]),
+                               increasing=True, description="up").passed
+        assert not check_monotonic(
+            Series("s", [(1, 3.0), (2, 2.0)]), increasing=True,
+            description="down").passed
+
+    def test_monotonic_tolerates_noise(self):
+        series = Series("s", [(1, 100.0), (2, 98.0), (3, 110.0)])
+        assert check_monotonic(series, increasing=True, description="noisy",
+                               tolerance=0.05).passed
+
+    def test_monotonic_decreasing(self):
+        assert check_monotonic(Series("s", [(1, 3.0), (2, 1.0)]),
+                               increasing=False, description="down").passed
+
+    def test_peak_interior_pass(self):
+        series = Series("s", [(1, 10.0), (2, 50.0), (3, 20.0)])
+        assert check_peak_interior(series, description="peak").passed
+
+    def test_peak_at_edge_fails(self):
+        series = Series("s", [(1, 50.0), (2, 20.0), (3, 10.0)])
+        assert not check_peak_interior(series, description="edge").passed
+
+    def test_peak_too_few_points(self):
+        series = Series("s", [(1, 1.0), (2, 2.0)])
+        assert not check_peak_interior(series, description="few").passed
+
+    def test_str_format(self):
+        check = check_monotonic(Series("s", [(1, 1.0), (2, 2.0)]),
+                                increasing=True, description="desc")
+        assert str(check).startswith("[PASS] desc")

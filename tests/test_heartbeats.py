@@ -1,0 +1,49 @@
+"""SM → TM heartbeats: liveness tracking on the control plane."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.wordcount import wordcount_topology
+
+
+def launch(parallelism=3):
+    cfg = Config().set(Keys.BATCH_SIZE, 50)
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(
+        wordcount_topology(parallelism, corpus_size=300, config=cfg))
+    handle.wait_until_running()
+    return cluster, handle
+
+
+class TestHeartbeats:
+    def test_every_sm_heartbeats(self):
+        cluster, handle = launch()
+        cluster.run_for(7.0)
+        tmaster = handle._runtime.tmaster
+        expected = {sm.name for sm in handle._runtime.sms.values()}
+        assert set(tmaster.last_heartbeat) == expected
+
+    def test_heartbeats_are_fresh(self):
+        cluster, handle = launch()
+        cluster.run_for(10.0)
+        tmaster = handle._runtime.tmaster
+        assert tmaster.stale_stmgrs(max_age=5.0) == []
+
+    def test_dead_sm_goes_stale(self):
+        cluster, handle = launch()
+        cluster.run_for(4.0)
+        victim = next(iter(handle._runtime.sms.values()))
+        victim.kill()
+        cluster.run_for(15.0)
+        tmaster = handle._runtime.tmaster
+        assert victim.name in tmaster.stale_stmgrs(max_age=10.0)
+
+    def test_sequences_increase(self):
+        cluster, handle = launch()
+        cluster.run_for(4.0)
+        sm = next(iter(handle._runtime.sms.values()))
+        first = sm._heartbeat_seq
+        cluster.run_for(6.0)
+        assert sm._heartbeat_seq > first

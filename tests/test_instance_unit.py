@@ -1,0 +1,189 @@
+"""Focused Heron Instance behaviour tests."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import TopologyBuilder
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.simulation.costs import CostCategory
+from repro.workloads.wordcount import CountBolt, WordSpout
+
+
+def build_cluster(topology):
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    return cluster, handle
+
+
+def wordcount(parallelism=2, **config_overrides):
+    builder = TopologyBuilder("wc")
+    builder.set_spout("word", WordSpout(500), parallelism)
+    builder.set_bolt("count", CountBolt(), parallelism) \
+        .fields_grouping("word", fields=["word"])
+    builder.set_config(Keys.BATCH_SIZE, 50)
+    for key, value in config_overrides.items():
+        builder.set_config(getattr(Keys, key.upper()), value)
+    return builder.build()
+
+
+class TestUserObjectIsolation:
+    def test_each_task_gets_its_own_user_object(self):
+        cluster, handle = build_cluster(wordcount(parallelism=3))
+        bolts = [inst.user for key, inst in
+                 handle._runtime.instances.items() if key[0] == "count"]
+        assert len({id(bolt) for bolt in bolts}) == 3
+        # And none of them is the spec's original object.
+        original = handle._runtime.topology.bolts["count"].bolt
+        assert all(bolt is not original for bolt in bolts)
+
+    def test_spout_open_called_once(self):
+        opens = []
+
+        class TrackingSpout(Spout):
+            outputs = {"default": ["x"]}
+
+            def open(self, context, collector):
+                opens.append(context.task_id)
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", TrackingSpout(), parallelism=2)
+        builder.set_bolt("b", CountBolt(), parallelism=1) \
+            .shuffle_grouping("s")
+        cluster, handle = build_cluster(builder.build())
+        cluster.run_for(0.2)
+        assert sorted(opens) == [0, 1]
+
+    def test_close_called_on_kill(self):
+        closes = []
+
+        class ClosingBolt(Bolt):
+            def execute(self, tup, collector):
+                pass
+
+            def close(self):
+                closes.append(1)
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout(100), parallelism=1)
+        builder.set_bolt("b", ClosingBolt(), parallelism=2) \
+            .shuffle_grouping("s")
+        cluster, handle = build_cluster(builder.build())
+        cluster.run_for(0.2)
+        handle.kill()
+        assert len(closes) == 2
+
+
+class TestSampledAccounting:
+    def test_sampled_counts_match_full_weight(self):
+        cluster, handle = build_cluster(wordcount(sample_cap=8))
+        cluster.run_for(0.5)
+        totals = handle.totals()
+        # Counted at full weight despite only 8 concrete values/batch.
+        assert totals["executed"] > 1000
+        bolt_counts = sum(
+            sum(inst.user.counts.values())
+            for key, inst in handle._runtime.instances.items()
+            if key[0] == "count")
+        assert bolt_counts == pytest.approx(totals["executed"], rel=0.01)
+
+
+class TestUserCostCategories:
+    def test_custom_category_charged(self):
+        class ExpensiveSpout(Spout):
+            outputs = {"default": ["x"]}
+            user_cost_per_tuple = 5e-6
+            charges_category = CostCategory.FETCH
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", ExpensiveSpout(), parallelism=1)
+        builder.set_bolt("b", CountBolt(), parallelism=1) \
+            .shuffle_grouping("s")
+        builder.set_config(Keys.BATCH_SIZE, 50)
+        cluster, handle = build_cluster(builder.build())
+        cluster.run_for(0.3)
+        assert cluster.ledger.by_category.get(CostCategory.FETCH, 0) > 0
+
+    def test_user_category_for_plain_bolts(self):
+        class WorkingBolt(Bolt):
+            user_cost_per_tuple = 2e-6
+
+            def execute(self, tup, collector):
+                pass
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", WordSpout(100), parallelism=1)
+        builder.set_bolt("b", WorkingBolt(), parallelism=1) \
+            .shuffle_grouping("s")
+        builder.set_config(Keys.BATCH_SIZE, 50)
+        cluster, handle = build_cluster(builder.build())
+        cluster.run_for(0.3)
+        assert cluster.ledger.by_category.get(CostCategory.USER, 0) > 0
+
+
+class TestAckEdgeCases:
+    def test_failed_acks_counted_as_failures(self):
+        """Kill the bolts' container mid-run: outstanding tuples fail via
+        the spout's stall timeout."""
+        cluster, handle = build_cluster(wordcount(
+            acking_enabled=True, ack_tracking="counted",
+            max_spout_pending=200, message_timeout_secs=1.0))
+        cluster.run_for(0.5)
+        # Deactivate so no new tuples are emitted, then kill every bolt.
+        handle.deactivate()
+        for key, inst in list(handle._runtime.instances.items()):
+            if key[0] == "count":
+                inst.kill()
+        cluster.run_for(0.1)
+        # Reactivate: spouts fill their pending window, acks never come.
+        handle.activate()
+        cluster.run_for(3.0)
+        assert handle.totals()["failed"] > 0
+
+    def test_spout_resumes_after_stall_failure(self):
+        cluster, handle = build_cluster(wordcount(
+            acking_enabled=True, ack_tracking="counted",
+            max_spout_pending=200, message_timeout_secs=1.0))
+        cluster.run_for(0.5)
+        for key, inst in list(handle._runtime.instances.items()):
+            if key[0] == "count":
+                inst.kill()
+        cluster.run_for(3.0)
+        before = handle.totals()["emitted"]
+        cluster.run_for(2.0)
+        # Still emitting (window resets after each stall timeout).
+        assert handle.totals()["emitted"] > before
+
+    def test_exact_mode_spout_callbacks_carry_tuple_ids(self):
+        acked_ids = []
+
+        class IdSpout(Spout):
+            outputs = {"default": ["x"]}
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+            def ack(self, tuple_id):
+                acked_ids.append(tuple_id)
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", IdSpout(), parallelism=1)
+        builder.set_bolt("b", CountBolt(), parallelism=1) \
+            .shuffle_grouping("s")
+        builder.set_config(Keys.BATCH_SIZE, 10)
+        builder.set_config(Keys.ACKING_ENABLED, True)
+        builder.set_config(Keys.ACK_TRACKING, "exact")
+        builder.set_config(Keys.MAX_SPOUT_PENDING, 50)
+        cluster, handle = build_cluster(builder.build())
+        cluster.run_for(0.5)
+        assert acked_ids
+        assert all(tuple_id > 0 for tuple_id in acked_ids)
+        assert len(set(acked_ids)) == len(acked_ids)  # no double acks

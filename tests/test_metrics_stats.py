@@ -1,0 +1,136 @@
+"""Tests for weighted streaming statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import WeightedReservoir, WeightedStats
+
+values = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+weights = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+
+
+class TestWeightedStats:
+    def test_empty(self):
+        stats = WeightedStats()
+        assert stats.mean == 0.0
+        assert stats.count == 0.0
+        assert stats.min is None and stats.max is None
+
+    def test_single_value(self):
+        stats = WeightedStats()
+        stats.add(5.0, weight=3.0)
+        assert stats.mean == 5.0
+        assert stats.count == 3.0
+        assert stats.min == stats.max == 5.0
+
+    def test_weighted_mean(self):
+        stats = WeightedStats()
+        stats.add(10.0, weight=1.0)
+        stats.add(20.0, weight=3.0)
+        assert stats.mean == pytest.approx(17.5)
+
+    def test_min_max(self):
+        stats = WeightedStats()
+        for value in (3.0, -1.0, 7.0):
+            stats.add(value)
+        assert stats.min == -1.0
+        assert stats.max == 7.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedStats().add(1.0, weight=0.0)
+
+    def test_merge(self):
+        left, right = WeightedStats(), WeightedStats()
+        left.add(10.0, weight=2.0)
+        right.add(30.0, weight=2.0)
+        left.merge(right)
+        assert left.mean == pytest.approx(20.0)
+        assert left.count == 4.0
+        assert left.min == 10.0 and left.max == 30.0
+
+    def test_merge_empty(self):
+        stats = WeightedStats()
+        stats.add(5.0)
+        stats.merge(WeightedStats())
+        assert stats.mean == 5.0
+
+    def test_snapshot_keys(self):
+        stats = WeightedStats()
+        stats.add(1.0)
+        snap = stats.snapshot()
+        assert set(snap) == {"count", "mean", "min", "max", "p50", "p99"}
+
+    def test_bad_reservoir_size_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedStats(reservoir_size=0)
+
+    @given(st.lists(st.tuples(values, weights), min_size=1, max_size=200))
+    def test_mean_matches_direct_computation(self, pairs):
+        stats = WeightedStats()
+        for value, weight in pairs:
+            stats.add(value, weight)
+        expected = sum(v * w for v, w in pairs) / sum(w for _v, w in pairs)
+        assert stats.mean == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestWeightedReservoir:
+    def test_percentile_exact_small(self):
+        res = WeightedReservoir(size=100)
+        for value in range(1, 11):
+            res.add(float(value))
+        assert res.percentile(0.5) == pytest.approx(5.0, abs=1.0)
+        assert res.percentile(1.0) == 10.0
+        assert res.percentile(0.0) == 1.0
+
+    def test_percentile_empty(self):
+        assert WeightedReservoir().percentile(0.5) == 0.0
+
+    def test_percentile_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir().percentile(1.5)
+
+    def test_compaction_preserves_total_weight(self):
+        res = WeightedReservoir(size=16)
+        for value in range(100):
+            res.add(float(value), weight=2.0)
+        assert res.total_weight == pytest.approx(200.0)
+        assert len(res.samples) < 100
+
+    def test_compaction_keeps_percentiles_reasonable(self):
+        res = WeightedReservoir(size=64)
+        for value in range(1000):
+            res.add(float(value))
+        assert res.percentile(0.5) == pytest.approx(500, rel=0.15)
+        assert res.percentile(0.99) == pytest.approx(990, rel=0.15)
+
+    def test_weighted_percentile(self):
+        res = WeightedReservoir(size=100)
+        res.add(1.0, weight=99.0)
+        res.add(100.0, weight=1.0)
+        assert res.percentile(0.5) == 1.0
+        assert res.percentile(0.999) == 100.0
+
+    def test_merge(self):
+        left, right = WeightedReservoir(), WeightedReservoir()
+        left.add(1.0)
+        right.add(2.0)
+        left.merge(right)
+        assert left.total_weight == 2.0
+
+    @given(st.lists(st.tuples(values, weights), min_size=1, max_size=500))
+    def test_total_weight_conserved(self, pairs):
+        res = WeightedReservoir(size=32)
+        for value, weight in pairs:
+            res.add(value, weight)
+        expected = sum(w for _v, w in pairs)
+        assert res.total_weight == pytest.approx(expected, rel=1e-9)
+
+    @given(st.lists(values, min_size=5, max_size=300))
+    def test_percentiles_within_range(self, data):
+        res = WeightedReservoir(size=32)
+        for value in data:
+            res.add(value)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(data) <= res.percentile(q) <= max(data)

@@ -1,0 +1,108 @@
+"""Tests for the micro-batch (Spark-Streaming-style) baseline."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import TopologyBuilder
+from repro.baselines.microbatch.engine import MicroBatchEngine
+from repro.common.config import Config
+from repro.common.errors import TopologyError
+from repro.workloads.wordcount import wordcount_topology
+
+
+def make_engine(batch_interval=0.2, input_rate=50_000.0, parallelism=2,
+                sample_cap=64):
+    config = Config().set(Keys.SAMPLE_CAP, sample_cap)
+    topology = wordcount_topology(parallelism, corpus_size=1000,
+                                  config=config)
+    return MicroBatchEngine(topology, batch_interval=batch_interval,
+                            input_rate=input_rate, executor_count=4)
+
+
+class TestMicroBatchExecution:
+    def test_records_processed(self):
+        engine = make_engine()
+        result = engine.run(3.0)
+        assert result.records_processed > 0
+        assert result.batches_completed >= 10
+
+    def test_throughput_tracks_input_rate(self):
+        engine = make_engine(input_rate=40_000.0)
+        result = engine.run(5.0)
+        rate = result.records_processed / 5.0
+        assert rate == pytest.approx(40_000.0, rel=0.15)
+
+    def test_user_code_actually_runs(self):
+        engine = make_engine()
+        engine.run(2.0)
+        counts = engine.stage_bolts[0].counts
+        assert len(counts) > 0
+        assert sum(counts.values()) > 0
+
+    def test_latency_floor_is_batch_scale(self):
+        """The Section III-B claim: latency cannot go below ~interval/2."""
+        engine = make_engine(batch_interval=0.5)
+        result = engine.run(5.0)
+        assert result.mean_latency >= 0.25
+
+    def test_latency_scales_with_interval(self):
+        small = make_engine(batch_interval=0.1).run(5.0)
+        large = make_engine(batch_interval=1.0).run(10.0)
+        assert large.mean_latency > small.mean_latency * 3
+
+    def test_stable_at_moderate_rate(self):
+        engine = make_engine(input_rate=30_000.0)
+        result = engine.run(5.0)
+        assert not result.fell_behind
+
+    def test_deterministic(self):
+        first = make_engine().run(2.0)
+        second = make_engine().run(2.0)
+        assert first.records_processed == second.records_processed
+        assert first.mean_latency == second.mean_latency
+
+
+class TestTopologyConstraints:
+    def test_multi_spout_rejected(self):
+        class S(Spout):
+            outputs = {"default": ["x"]}
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        class B(Bolt):
+            def execute(self, tup, collector):
+                pass
+
+        builder = TopologyBuilder("multi")
+        builder.set_spout("a", S())
+        builder.set_spout("b", S())
+        builder.set_bolt("c", B()).shuffle_grouping("a") \
+            .shuffle_grouping("b")
+        with pytest.raises(TopologyError, match="exactly 1 spout"):
+            MicroBatchEngine(builder.build())
+
+    def test_branching_rejected(self):
+        class S(Spout):
+            outputs = {"default": ["x"]}
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        class B(Bolt):
+            def execute(self, tup, collector):
+                pass
+
+        builder = TopologyBuilder("branchy")
+        builder.set_spout("s", S())
+        builder.set_bolt("left", B()).shuffle_grouping("s")
+        builder.set_bolt("right", B()).shuffle_grouping("s")
+        with pytest.raises(TopologyError, match="linear"):
+            MicroBatchEngine(builder.build())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine(batch_interval=0.0)
+        with pytest.raises(ValueError):
+            make_engine(input_rate=-1.0)

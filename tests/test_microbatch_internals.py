@@ -1,0 +1,74 @@
+"""Micro-batch engine internals: partitioning, stage buffers, falling
+behind."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.baselines.microbatch.engine import MicroBatchEngine
+from repro.common.config import Config
+from repro.workloads.wordcount import wordcount_topology
+
+
+def make_engine(**kwargs):
+    config = Config().set(Keys.SAMPLE_CAP, 32)
+    topology = wordcount_topology(2, corpus_size=500, config=config)
+    defaults = dict(batch_interval=0.2, input_rate=40_000.0,
+                    executor_count=4)
+    defaults.update(kwargs)
+    return MicroBatchEngine(topology, **defaults)
+
+
+class TestPartitioning:
+    def test_partitions_conserve_count(self):
+        engine = make_engine()
+        tasks = engine._partition([["a"]] * 8, 1000, 500.0, batch_id=1,
+                                  stage=0)
+        assert sum(t.count for t in tasks) == 1000
+        assert len(tasks) <= len(engine.executors)
+
+    def test_small_batch_single_partition(self):
+        engine = make_engine()
+        tasks = engine._partition([["a"]], 1, 0.5, batch_id=1, stage=0)
+        assert len(tasks) >= 1
+        assert sum(t.count for t in tasks) == 1
+
+    def test_arrival_time_distributed(self):
+        engine = make_engine()
+        tasks = engine._partition([["a"]] * 4, 100, 500.0, batch_id=1,
+                                  stage=0)
+        assert sum(t.arrival_time_sum for t in tasks) == \
+            pytest.approx(500.0)
+
+
+class TestFallingBehind:
+    def test_overload_detected(self):
+        engine = make_engine(input_rate=3_000_000.0, executor_count=1,
+                             batch_interval=0.1)
+        result = engine.run(3.0)
+        assert result.fell_behind
+
+    def test_moderate_load_keeps_up(self):
+        engine = make_engine(input_rate=20_000.0)
+        result = engine.run(3.0)
+        assert not result.fell_behind
+
+
+class TestBatchLifecycle:
+    def test_in_flight_batches_bounded(self):
+        engine = make_engine(input_rate=40_000.0)
+        engine.run(2.05)  # just past a batch boundary
+        # At most the newest batch may still be processing.
+        assert len(engine._batches) <= 1
+        open_ids = set(engine._batches)
+        assert all(batch_id in open_ids
+                   for batch_id, _stage in engine._stage_buffers)
+
+    def test_batches_completed_counts(self):
+        engine = make_engine(batch_interval=0.25)
+        result = engine.run(2.1)
+        assert 6 <= result.batches_completed <= 8
+
+    def test_mean_latency_between_half_and_three_intervals(self):
+        engine = make_engine(batch_interval=0.4, input_rate=20_000.0)
+        result = engine.run(4.0)
+        assert 0.2 <= result.mean_latency <= 1.2

@@ -1,0 +1,153 @@
+"""Multi-stage topology integration: tuple trees, branching, the Fig. 14
+pipeline end-to-end."""
+
+import pytest
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import TopologyBuilder
+from repro.core.heron import HeronCluster
+from repro.common.config import Config
+from repro.workloads.kafka_redis import kafka_redis_topology
+
+
+class NumberSpout(Spout):
+    outputs = {"default": ["n"]}
+
+    def open(self, context, collector):
+        self._next = context.task_id * 1_000_000
+
+    def next_tuple(self, collector):
+        collector.emit([self._next])
+        self._next += 1
+
+
+class SplitBolt(Bolt):
+    """Emits TWO tuples per input (fan-out: tuple trees grow)."""
+
+    outputs = {"default": ["n"]}
+
+    def execute(self, tup, collector):
+        collector.emit([tup[0] * 2])
+        collector.emit([tup[0] * 2 + 1])
+
+
+class SinkBolt(Bolt):
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+
+    def execute(self, tup, collector):
+        self.seen += 1
+
+
+class DroppingBolt(Bolt):
+    """Fails every 5th tuple explicitly."""
+
+    outputs = {"default": ["n"]}
+
+    def __init__(self):
+        super().__init__()
+        self._count = 0
+
+    def execute(self, tup, collector):
+        self._count += 1
+        if self._count % 5 == 0:
+            collector.fail(tup)
+        else:
+            collector.emit([tup[0]])
+
+
+def three_stage(exact=True, middle=SplitBolt):
+    builder = TopologyBuilder("pipeline")
+    builder.set_spout("numbers", NumberSpout(), parallelism=2)
+    builder.set_bolt("middle", middle(), parallelism=2) \
+        .shuffle_grouping("numbers")
+    builder.set_bolt("sink", SinkBolt(), parallelism=2) \
+        .shuffle_grouping("middle")
+    builder.set_config(Keys.BATCH_SIZE, 20)
+    builder.set_config(Keys.ACKING_ENABLED, True)
+    builder.set_config(Keys.ACK_TRACKING, "exact" if exact else "counted")
+    builder.set_config(Keys.MAX_SPOUT_PENDING, 100)
+    return builder.build()
+
+
+class TestExactTupleTrees:
+    def test_fanout_tree_fully_acked(self):
+        """Each root spawns 2 children; the root acks only when the whole
+        tree completes — and every root completes."""
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(three_stage(exact=True))
+        handle.wait_until_running()
+        cluster.run_for(2.0)
+        totals = handle.totals()
+        assert totals["acked"] > 0
+        assert totals["failed"] == 0
+        # Fan-out happened: sink saw ~2x what the middle stage consumed.
+        snapshot = handle.snapshot()
+        assert snapshot["sink"]["executed"] == pytest.approx(
+            2 * snapshot["middle"]["executed"], rel=0.1)
+
+    def test_explicit_fail_propagates_to_spout(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(
+            three_stage(exact=True, middle=DroppingBolt))
+        handle.wait_until_running()
+        cluster.run_for(2.0)
+        totals = handle.totals()
+        assert totals["failed"] > 0
+        assert totals["acked"] > 0
+        # Roughly one fifth of the roots fail.
+        ratio = totals["failed"] / (totals["failed"] + totals["acked"])
+        assert 0.1 < ratio < 0.3
+
+    def test_exact_latency_covers_full_tree(self):
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(three_stage(exact=True))
+        handle.wait_until_running()
+        cluster.run_for(2.0)
+        latency = handle.latency_stats()
+        assert latency.count > 0
+        # Two hops + ack path, each waiting on the 10ms drain cache.
+        assert latency.mean > 0.02
+
+
+class TestKafkaRedisPipeline:
+    def test_end_to_end_flow(self):
+        config = Config()
+        config.set(Keys.SAMPLE_CAP, 16)
+        config.set(Keys.BATCH_SIZE, 200)
+        topology, broker, redis = kafka_redis_topology(
+            events_per_min=3e6, spouts=2, filters=2, aggregators=2,
+            sinks=1, config=config)
+        cluster = HeronCluster.on_yarn(machines=4)
+        handle = cluster.submit_topology(topology)
+        handle.wait_until_running()
+        cluster.run_for(4.0)
+
+        assert broker.total_fetched > 10_000
+        snapshot = handle.snapshot()
+        # Filter passes ~40%.
+        filtered = snapshot["aggregate"]["executed"] / \
+            snapshot["filter"]["executed"]
+        assert filtered == pytest.approx(0.4, abs=0.12)
+        # Aggregation reduces ~25:1 into Redis.
+        assert redis.records_written > 0
+        reduction = snapshot["aggregate"]["executed"] / \
+            redis.records_written
+        assert reduction == pytest.approx(25, rel=0.3)
+        assert len(redis.store) > 0
+        handle.kill()
+
+    def test_fetch_respects_production_rate(self):
+        config = Config().set(Keys.SAMPLE_CAP, 16)
+        topology, broker, redis = kafka_redis_topology(
+            events_per_min=3e6, spouts=2, filters=2, aggregators=2,
+            sinks=1, config=config)
+        cluster = HeronCluster.on_yarn(machines=4)
+        handle = cluster.submit_topology(topology)
+        handle.wait_until_running()
+        cluster.run_for(4.0)
+        # Cannot fetch more than was produced: 3M/min = 50K/s.
+        assert broker.total_fetched <= 50_000 * cluster.now + 1
+        assert broker.total_fetched >= 0.7 * 50_000 * (cluster.now - 1.0)

@@ -1,0 +1,143 @@
+"""Tests for the PackingPlan data model."""
+
+import pytest
+
+from repro.common.errors import PackingError
+from repro.common.resources import Resource
+from repro.packing.plan import (ContainerPlan, InstancePlan, PackingPlan,
+                                PlanDelta)
+
+R1 = Resource(cpu=1, ram=100, disk=10)
+
+
+def container(cid, *instances, headroom=Resource(cpu=1)):
+    need = Resource.total(i.resource for i in instances) + headroom
+    return ContainerPlan(cid, tuple(instances), need)
+
+
+def inst(component, task):
+    return InstancePlan(component, task, R1)
+
+
+def simple_plan():
+    return PackingPlan("wc", [
+        container(1, inst("spout", 0), inst("bolt", 0)),
+        container(2, inst("spout", 1), inst("bolt", 1)),
+    ])
+
+
+class TestValidation:
+    def test_valid_plan(self):
+        plan = simple_plan()
+        assert plan.container_count == 2
+        assert plan.instance_count == 4
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PackingError):
+            PackingPlan("wc", [])
+
+    def test_no_instances_rejected(self):
+        with pytest.raises(PackingError):
+            PackingPlan("wc", [container(1)])
+
+    def test_duplicate_container_id_rejected(self):
+        with pytest.raises(PackingError):
+            PackingPlan("wc", [container(1, inst("s", 0)),
+                               container(1, inst("s", 1))])
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(PackingError):
+            PackingPlan("wc", [container(1, inst("s", 0)),
+                               container(2, inst("s", 0))])
+
+    def test_container_zero_rejected(self):
+        with pytest.raises(PackingError):
+            container(0, inst("s", 0))
+
+    def test_overcommitted_container_rejected(self):
+        with pytest.raises(PackingError):
+            ContainerPlan(1, (inst("s", 0),), Resource(cpu=0.5))
+
+    def test_containers_sorted_by_id(self):
+        plan = PackingPlan("wc", [container(2, inst("s", 1)),
+                                  container(1, inst("s", 0))])
+        assert [c.id for c in plan.containers] == [1, 2]
+
+
+class TestQueries:
+    def test_component_parallelism(self):
+        assert simple_plan().component_parallelism() == \
+            {"spout": 2, "bolt": 2}
+
+    def test_tasks_of(self):
+        assert simple_plan().tasks_of("spout") == [(0, 1), (1, 2)]
+
+    def test_instance_ids(self):
+        ids = simple_plan().instance_ids()
+        assert "container_1_spout_0" in ids
+        assert len(ids) == 4
+
+    def test_container_lookup(self):
+        plan = simple_plan()
+        assert plan.container(2).id == 2
+        with pytest.raises(PackingError):
+            plan.container(99)
+
+    def test_matches_topology(self):
+        plan = simple_plan()
+        assert plan.matches_topology({"spout": 2, "bolt": 2})
+        assert not plan.matches_topology({"spout": 3, "bolt": 2})
+        assert not plan.matches_topology({"spout": 2})
+
+    def test_total_and_max_resource(self):
+        plan = simple_plan()
+        assert plan.total_resource.cpu == pytest.approx(6)  # 2*(2+1 headroom)
+        assert plan.max_container_resource.cpu == pytest.approx(3)
+
+    def test_describe(self):
+        text = simple_plan().describe()
+        assert "container 1" in text
+        assert "spout[0]" in text
+
+
+class TestDiff:
+    def test_no_changes(self):
+        delta = simple_plan().diff(simple_plan())
+        assert delta.is_empty
+
+    def test_added_and_removed(self):
+        old = simple_plan()
+        new = PackingPlan("wc", [
+            container(1, inst("spout", 0), inst("bolt", 0)),
+            container(3, inst("spout", 1), inst("bolt", 1)),
+        ])
+        delta = old.diff(new)
+        assert [c.id for c in delta.added] == [3]
+        assert [c.id for c in delta.removed] == [2]
+        assert delta.changed == ()
+
+    def test_changed_contents(self):
+        old = simple_plan()
+        new = PackingPlan("wc", [
+            container(1, inst("spout", 0), inst("bolt", 0), inst("bolt", 2)),
+            container(2, inst("spout", 1), inst("bolt", 1)),
+        ])
+        delta = old.diff(new)
+        assert [pair[1].id for pair in delta.changed] == [1]
+        assert not delta.added and not delta.removed
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        plan = simple_plan()
+        assert PackingPlan.from_json(plan.to_json()) == plan
+
+    def test_json_stable(self):
+        assert simple_plan().to_json() == simple_plan().to_json()
+
+    def test_equality(self):
+        assert simple_plan() == simple_plan()
+        other = PackingPlan("wc", [container(1, inst("spout", 0),
+                                             inst("bolt", 0)),
+                                   container(2, inst("spout", 1))])
+        assert simple_plan() != other

@@ -1,0 +1,227 @@
+"""Tests for the Resource Manager policies (round-robin, FFD) and repack."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.component import Bolt, Spout
+from repro.api.config_keys import TopologyConfigKeys as TopoKeys
+from repro.api.topology import TopologyBuilder
+from repro.common.config import Config
+from repro.common.errors import PackingError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.packing.base import PackingConfigKeys
+from repro.packing.ffd import FirstFitDecreasingPacking
+from repro.packing.round_robin import RoundRobinPacking
+
+
+class NullSpout(Spout):
+    outputs = {"default": ["x"]}
+
+    def next_tuple(self, collector):
+        pass
+
+
+class NullBolt(Bolt):
+    def execute(self, tup, collector):
+        pass
+
+
+def wordcount(spouts=4, bolts=4, spout_resource=None, bolt_resource=None):
+    builder = TopologyBuilder("wc")
+    builder.set_spout("spout", NullSpout(), parallelism=spouts,
+                      resource=spout_resource)
+    builder.set_bolt("bolt", NullBolt(), parallelism=bolts,
+                     resource=bolt_resource).shuffle_grouping("spout")
+    return builder.build()
+
+
+def make_rm(cls, topology, config=None):
+    manager = cls()
+    manager.initialize(config or Config(), topology)
+    return manager
+
+
+class TestRoundRobinPack:
+    def test_container_count(self):
+        plan = make_rm(RoundRobinPacking, wordcount(4, 4)).pack()
+        assert plan.container_count == math.ceil(8 / 4)
+
+    def test_matches_topology(self):
+        plan = make_rm(RoundRobinPacking, wordcount(5, 3)).pack()
+        assert plan.matches_topology({"spout": 5, "bolt": 3})
+
+    def test_load_balanced(self):
+        plan = make_rm(RoundRobinPacking, wordcount(10, 10)).pack()
+        sizes = [len(c.instances) for c in plan.containers]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_components_mixed_within_containers(self):
+        plan = make_rm(RoundRobinPacking, wordcount(8, 8)).pack()
+        for c in plan.containers:
+            kinds = {i.component for i in c.instances}
+            assert kinds == {"spout", "bolt"}
+
+    def test_homogeneous_containers(self):
+        plan = make_rm(RoundRobinPacking, wordcount(5, 4)).pack()
+        sizes = {c.required for c in plan.containers}
+        assert len(sizes) == 1
+
+    def test_instances_per_container_honored(self):
+        config = Config().set(TopoKeys.INSTANCES_PER_CONTAINER, 2)
+        plan = make_rm(RoundRobinPacking, wordcount(4, 4), config).pack()
+        assert plan.container_count == 4
+        assert all(len(c.instances) <= 2 for c in plan.containers)
+
+    def test_padding_included(self):
+        config = Config().set(TopoKeys.CONTAINER_CPU_PADDING, 2.0)
+        plan = make_rm(RoundRobinPacking, wordcount(1, 1), config).pack()
+        instance_cpu = sum(i.resource.cpu
+                           for i in plan.containers[0].instances)
+        assert plan.containers[0].required.cpu == pytest.approx(
+            instance_cpu + 2.0)
+
+    def test_uninitialized_rejected(self):
+        with pytest.raises(PackingError):
+            RoundRobinPacking().pack()
+
+    @given(spouts=st.integers(1, 40), bolts=st.integers(1, 40),
+           slots=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_always_valid(self, spouts, bolts, slots):
+        config = Config().set(TopoKeys.INSTANCES_PER_CONTAINER, slots)
+        plan = make_rm(RoundRobinPacking, wordcount(spouts, bolts),
+                       config).pack()
+        assert plan.matches_topology({"spout": spouts, "bolt": bolts})
+        assert plan.container_count == math.ceil((spouts + bolts) / slots)
+
+
+class TestFFDPack:
+    def test_minimizes_containers(self):
+        """FFD packs tighter than RR when sizes are skewed."""
+        topology = wordcount(2, 6,
+                             spout_resource=Resource(cpu=4, ram=4 * GB),
+                             bolt_resource=Resource(cpu=1, ram=1 * GB))
+        rr_cfg = Config().set(TopoKeys.INSTANCES_PER_CONTAINER, 2)
+        rr_plan = make_rm(RoundRobinPacking, topology, rr_cfg).pack()
+        ffd_plan = make_rm(FirstFitDecreasingPacking, topology).pack()
+        assert ffd_plan.container_count < rr_plan.container_count
+
+    def test_capacity_respected(self):
+        topology = wordcount(6, 6, spout_resource=Resource(cpu=3, ram=3 * GB),
+                             bolt_resource=Resource(cpu=2, ram=2 * GB))
+        manager = make_rm(FirstFitDecreasingPacking, topology)
+        plan = manager.pack()
+        capacity = manager.bin_capacity()
+        for c in plan.containers:
+            assert c.instance_resource.fits_in(capacity)
+
+    def test_heterogeneous_containers_allowed(self):
+        topology = wordcount(1, 7)
+        plan = make_rm(FirstFitDecreasingPacking, topology).pack()
+        # Last container may be smaller than the full ones.
+        assert len({c.required for c in plan.containers}) >= 1
+
+    def test_oversized_instance_rejected(self):
+        topology = wordcount(1, 1, spout_resource=Resource(cpu=100))
+        with pytest.raises(PackingError, match="bin capacity"):
+            make_rm(FirstFitDecreasingPacking, topology).pack()
+
+    def test_custom_bin_capacity(self):
+        config = Config().set(PackingConfigKeys.FFD_MAX_CONTAINER_CPU, 2.0)
+        plan = make_rm(FirstFitDecreasingPacking, wordcount(2, 2),
+                       config).pack()
+        assert plan.container_count == 2  # 2 cpu bins, 1-cpu instances
+
+    @given(spouts=st.integers(1, 30), bolts=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_always_valid(self, spouts, bolts):
+        plan = make_rm(FirstFitDecreasingPacking,
+                       wordcount(spouts, bolts)).pack()
+        assert plan.matches_topology({"spout": spouts, "bolt": bolts})
+
+
+class TestRepack:
+    @pytest.fixture(params=[RoundRobinPacking, FirstFitDecreasingPacking])
+    def manager(self, request):
+        return make_rm(request.param, wordcount(4, 4))
+
+    def test_scale_up_matches_target(self, manager):
+        plan = manager.pack()
+        scaled = manager.repack(plan, {"bolt": 7})
+        assert scaled.matches_topology({"spout": 4, "bolt": 7})
+
+    def test_scale_up_preserves_existing_placement(self, manager):
+        plan = manager.pack()
+        before = {(i.component, i.task_id): c.id
+                  for c in plan.containers for i in c.instances}
+        scaled = manager.repack(plan, {"bolt": 7})
+        after = {(i.component, i.task_id): c.id
+                 for c in scaled.containers for i in c.instances}
+        for key, container_id in before.items():
+            assert after[key] == container_id, f"{key} moved"
+
+    def test_scale_down(self, manager):
+        plan = manager.pack()
+        scaled = manager.repack(plan, {"bolt": 1})
+        assert scaled.matches_topology({"spout": 4, "bolt": 1})
+
+    def test_scale_down_removes_highest_task_ids(self, manager):
+        plan = manager.pack()
+        scaled = manager.repack(plan, {"bolt": 2})
+        remaining = [t for t, _c in scaled.tasks_of("bolt")]
+        assert remaining == [0, 1]
+
+    def test_scale_to_zero_rejected(self, manager):
+        plan = manager.pack()
+        with pytest.raises(PackingError):
+            manager.repack(plan, {"bolt": 0})
+
+    def test_unknown_component_rejected(self, manager):
+        plan = manager.pack()
+        with pytest.raises(PackingError):
+            manager.repack(plan, {"ghost": 2})
+
+    def test_empty_containers_dropped(self, manager):
+        plan = manager.pack()
+        scaled = manager.repack(plan, {"bolt": 1, "spout": 1})
+        assert all(c.instances for c in scaled.containers)
+        assert scaled.container_count <= plan.container_count
+
+    def test_noop_repack_is_stable(self, manager):
+        plan = manager.pack()
+        scaled = manager.repack(plan, {})
+        assert plan.diff(scaled).is_empty
+
+
+class TestRepackPolicySpecifics:
+    def test_rr_new_instances_fill_free_slots_first(self):
+        config = Config().set(TopoKeys.INSTANCES_PER_CONTAINER, 4)
+        manager = make_rm(RoundRobinPacking, wordcount(3, 2), config)
+        plan = manager.pack()  # 5 instances -> 2 containers (4 + 1)
+        scaled = manager.repack(plan, {"bolt": 5})
+        # 3 new bolts; 3 free slots existed (capacity 8); no new container.
+        assert scaled.container_count == plan.container_count
+
+    def test_rr_spills_to_new_container_when_full(self):
+        config = Config().set(TopoKeys.INSTANCES_PER_CONTAINER, 2)
+        manager = make_rm(RoundRobinPacking, wordcount(2, 2), config)
+        plan = manager.pack()  # 4 instances, 2 slots -> 2 full containers
+        scaled = manager.repack(plan, {"bolt": 3})
+        assert scaled.container_count == 3
+
+    def test_ffd_exploits_free_space(self):
+        topology = wordcount(2, 2, spout_resource=Resource(cpu=3, ram=GB),
+                             bolt_resource=Resource(cpu=1, ram=GB))
+        manager = make_rm(FirstFitDecreasingPacking, topology)
+        plan = manager.pack()
+        # 8-cpu bins hold (3+3+1+1)=8: one container. Add a 1-cpu bolt ->
+        # needs a new bin only because the first is exactly full.
+        scaled = manager.repack(plan, {"bolt": 3})
+        assert scaled.container_count == plan.container_count + 1
+        smaller = manager.repack(plan, {"spout": 1})  # frees 3 cpu
+        rescaled = manager.repack(smaller, {"bolt": 3})
+        assert rescaled.container_count == smaller.container_count

@@ -1,0 +1,150 @@
+"""Tests for partial-key (two-choice) grouping and the SVG renderer."""
+
+import collections
+
+import pytest
+
+from repro.api.grouping import FieldsGrouping, PartialKeyGrouping
+from repro.common.errors import TopologyError
+
+TASKS = list(range(8))
+
+
+def words(values):
+    return [[w] for w in values]
+
+
+class TestPartialKeyGrouping:
+    def test_key_confined_to_two_tasks(self):
+        inst = PartialKeyGrouping(["word"]).create(["word"], TASKS)
+        seen = set()
+        for _ in range(50):
+            routes = inst.split(words(["hot"]), [], 1)
+            seen.add(routes[0][0])
+        assert 1 <= len(seen) <= 2
+
+    def test_skewed_stream_balanced_better_than_fields(self):
+        """90% of tuples share one key: fields grouping melts one task,
+        partial-key splits the hot key across its two candidates."""
+        stream = ["hot"] * 900 + [f"w{i}" for i in range(100)]
+
+        def max_load(grouping):
+            inst = grouping.create(["word"], TASKS)
+            load = collections.Counter()
+            for word in stream:
+                routes = inst.split(words([word]), [], 1)
+                load[routes[0][0]] += 1
+            return max(load.values())
+
+        fields_max = max_load(FieldsGrouping(["word"]))
+        partial_max = max_load(PartialKeyGrouping(["word"]))
+        assert partial_max < fields_max * 0.7
+
+    def test_counts_conserved(self):
+        inst = PartialKeyGrouping(["word"]).create(["word"], TASKS)
+        routes = inst.split(words(["a", "b", "a", "c"]), [], 400)
+        assert sum(r[3] for r in routes) == 400
+
+    def test_needs_concrete_values(self):
+        inst = PartialKeyGrouping(["word"]).create(["word"], TASKS)
+        with pytest.raises(TopologyError):
+            inst.split([], [], 10)
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(TopologyError):
+            PartialKeyGrouping([])
+
+    def test_describe(self):
+        assert "PartialKey" in PartialKeyGrouping(["k"]).describe()
+
+    def test_builder_integration(self):
+        from repro.api.component import Bolt, Spout
+        from repro.api.topology import TopologyBuilder
+
+        class S(Spout):
+            outputs = {"default": ["word"]}
+
+            def next_tuple(self, collector):
+                collector.emit(["x"])
+
+        class B(Bolt):
+            def execute(self, tup, collector):
+                pass
+
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", S())
+        builder.set_bolt("b", B(), parallelism=4) \
+            .partial_key_grouping("s", fields=["word"])
+        topology = builder.build()
+        _name, grouping = topology.downstream("s")[0]
+        assert isinstance(grouping, PartialKeyGrouping)
+
+    def test_end_to_end_flow(self):
+        from repro.api.component import Bolt
+        from repro.api.config_keys import TopologyConfigKeys as Keys
+        from repro.api.topology import TopologyBuilder
+        from repro.core.heron import HeronCluster
+        from repro.workloads.wordcount import WordSpout
+
+        class Counting(Bolt):
+            def __init__(self):
+                super().__init__()
+                self.n = 0
+
+            def execute(self, tup, collector):
+                self.n += 1
+
+        builder = TopologyBuilder("pkg")
+        builder.set_spout("word", WordSpout(50), parallelism=2)
+        builder.set_bolt("count", Counting(), parallelism=4) \
+            .partial_key_grouping("word", fields=["word"])
+        builder.set_config(Keys.BATCH_SIZE, 50)
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        cluster.run_for(0.5)
+        loads = [inst.user.n for key, inst in
+                 handle._runtime.instances.items() if key[0] == "count"]
+        assert all(n > 0 for n in loads)
+        assert max(loads) < 2.5 * min(loads)
+
+
+class TestSvgRenderer:
+    def make_figure(self):
+        from repro.experiments.series import Figure
+        figure = Figure("Figure X", "demo", "x", "y")
+        figure.add_point("a", 1, 10.0)
+        figure.add_point("a", 2, 30.0)
+        figure.add_point("b", 1, 5.0)
+        figure.add_point("b", 2, 8.0)
+        return figure
+
+    def test_renders_valid_svg(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.experiments.svg import render_svg
+        svg = render_svg(self.make_figure())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "Figure X" in svg
+        assert svg.count("polyline") == 2
+
+    def test_empty_figure_rejected(self):
+        from repro.experiments.series import Figure
+        from repro.experiments.svg import render_svg
+        with pytest.raises(ValueError):
+            render_svg(Figure("F", "t", "x", "y"))
+
+    def test_save_svg(self, tmp_path):
+        from repro.experiments.svg import save_svg
+        out = tmp_path / "fig.svg"
+        save_svg(self.make_figure(), out)
+        assert out.read_text().startswith("<svg")
+
+    def test_nice_ticks(self):
+        from repro.experiments.svg import _nice_ticks
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0 and ticks[-1] >= 100
+        assert all(t2 > t1 for t1, t2 in zip(ticks, ticks[1:]))
+        degenerate = _nice_ticks(5, 5)
+        assert len(degenerate) >= 2

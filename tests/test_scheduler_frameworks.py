@@ -1,0 +1,179 @@
+"""Tests for the simulated scheduling frameworks."""
+
+import pytest
+
+from repro.common.errors import SchedulerError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.scheduler.frameworks import (AuroraFramework, LocalFramework,
+                                        YarnFramework)
+from repro.simulation.cluster import Cluster
+from repro.simulation.events import Simulator
+
+CAP = Resource(cpu=32, ram=64 * GB, disk=500 * GB)
+SPEC = Resource(cpu=4, ram=8 * GB)
+OTHER_SPEC = Resource(cpu=2, ram=4 * GB)
+
+
+class RecordingClient:
+    def __init__(self):
+        self.relaunched = []
+        self.lost = []
+
+    def relaunch_container(self, role, container):
+        self.relaunched.append((role, container))
+
+    def container_lost(self, role, spec):
+        self.lost.append((role, spec))
+
+
+def make(framework_cls, machines=2):
+    sim = Simulator()
+    cluster = Cluster.homogeneous(machines, CAP)
+    framework = framework_cls(sim, cluster)
+    return sim, cluster, framework
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        _sim, cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        container = fw.allocate("job", "container-1", SPEC)
+        assert container.running
+        assert cluster.provisioned_cores("job") == 4
+        fw.release("job", "container-1")
+        assert cluster.provisioned_cores("job") == 0
+
+    def test_unknown_job_rejected(self):
+        _sim, _cluster, fw = make(YarnFramework)
+        with pytest.raises(SchedulerError):
+            fw.allocate("ghost", "r", SPEC)
+
+    def test_duplicate_role_rejected(self):
+        _sim, _cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        fw.allocate("job", "r", SPEC)
+        with pytest.raises(SchedulerError):
+            fw.allocate("job", "r", SPEC)
+
+    def test_duplicate_job_rejected(self):
+        _sim, _cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        with pytest.raises(SchedulerError):
+            fw.register_job("job")
+
+    def test_release_unknown_role_rejected(self):
+        _sim, _cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        with pytest.raises(SchedulerError):
+            fw.release("job", "nope")
+
+    def test_kill_job_releases_everything(self):
+        _sim, cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        fw.allocate("job", "a", SPEC)
+        fw.allocate("job", "b", SPEC)
+        fw.kill_job("job")
+        assert cluster.provisioned_cores() == 0
+        with pytest.raises(SchedulerError):
+            fw.job_containers("job")
+
+
+class TestContainerShapes:
+    def test_yarn_allows_heterogeneous(self):
+        _sim, _cluster, fw = make(YarnFramework)
+        fw.register_job("job")
+        fw.allocate("job", "a", SPEC)
+        fw.allocate("job", "b", OTHER_SPEC)  # fine
+
+    def test_aurora_rejects_heterogeneous(self):
+        _sim, _cluster, fw = make(AuroraFramework)
+        fw.register_job("job")
+        fw.allocate("job", "a", SPEC)
+        with pytest.raises(SchedulerError, match="homogeneous"):
+            fw.allocate("job", "b", OTHER_SPEC)
+
+    def test_aurora_allows_homogeneous(self):
+        _sim, _cluster, fw = make(AuroraFramework)
+        fw.register_job("job")
+        fw.allocate("job", "a", SPEC)
+        fw.allocate("job", "b", SPEC)
+
+
+class TestFailureBehaviour:
+    def test_aurora_restarts_failed_container(self):
+        sim, cluster, fw = make(AuroraFramework)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        container = fw.allocate("job", "container-1", SPEC)
+        cluster.fail_container(container)
+        sim.run_for(5.0)
+        assert len(client.relaunched) == 1
+        role, fresh = client.relaunched[0]
+        assert role == "container-1"
+        assert fresh.running and fresh is not container
+        assert not client.lost
+
+    def test_aurora_restart_waits_recovery_delay(self):
+        sim, cluster, fw = make(AuroraFramework)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        container = fw.allocate("job", "c", SPEC)
+        cluster.fail_container(container)
+        sim.run_for(0.5)  # less than the 1s default recovery delay
+        assert client.relaunched == []
+        sim.run_for(1.0)
+        assert len(client.relaunched) == 1
+
+    def test_yarn_notifies_but_does_not_restart(self):
+        sim, cluster, fw = make(YarnFramework)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        container = fw.allocate("job", "container-1", SPEC)
+        cluster.fail_container(container)
+        sim.run_for(5.0)
+        assert client.lost == [("container-1", SPEC)]
+        assert client.relaunched == []
+        assert fw.job_containers("job") == []
+
+    def test_local_does_nothing_on_failure(self):
+        sim, cluster, fw = make(LocalFramework, machines=1)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        container = fw.allocate("job", "c", SPEC)
+        cluster.fail_container(container)
+        sim.run_for(5.0)
+        assert client.lost == [] and client.relaunched == []
+
+    def test_failure_of_foreign_container_ignored(self):
+        sim, cluster, fw = make(YarnFramework)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        foreign = cluster.allocate_container(SPEC, tag="other")
+        cluster.fail_container(foreign)
+        sim.run_for(5.0)
+        assert client.lost == []
+
+    def test_aurora_restart_after_job_kill_is_noop(self):
+        sim, cluster, fw = make(AuroraFramework)
+        client = RecordingClient()
+        fw.register_job("job", client)
+        container = fw.allocate("job", "c", SPEC)
+        cluster.fail_container(container)
+        fw.kill_job("job")
+        sim.run_for(5.0)
+        assert client.relaunched == []
+
+
+class TestLocalFramework:
+    def test_default_single_machine(self):
+        sim = Simulator()
+        fw = LocalFramework(sim)
+        fw.register_job("job")
+        fw.allocate("job", "c", Resource(cpu=100))
+
+    def test_multi_machine_rejected(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(2, CAP)
+        with pytest.raises(SchedulerError):
+            LocalFramework(sim, cluster)

@@ -1,0 +1,228 @@
+"""Tests for the Heron Scheduler implementations over the frameworks."""
+
+import pytest
+
+from repro.common.config import Config
+from repro.common.errors import SchedulerError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.packing.plan import ContainerPlan, InstancePlan, PackingPlan
+from repro.scheduler.base import (KillTopologyRequest,
+                                  RestartTopologyRequest, TMASTER_ROLE,
+                                  UpdateTopologyRequest)
+from repro.scheduler.frameworks import AuroraFramework, YarnFramework
+from repro.scheduler.impls import AuroraScheduler, LocalScheduler, \
+    YarnScheduler
+from repro.simulation.cluster import Cluster
+from repro.simulation.events import Simulator
+
+CAP = Resource(cpu=64, ram=128 * GB, disk=1000 * GB)
+R1 = Resource(cpu=1, ram=1 * GB)
+
+
+def inst(component, task):
+    return InstancePlan(component, task, R1)
+
+
+def plan(name="wc", shape=((1, 2), (2, 2))):
+    """shape: tuple of (container_id, instance_count)."""
+    containers = []
+    task = 0
+    for cid, count in shape:
+        instances = tuple(inst("bolt", task + i) for i in range(count))
+        task += count
+        containers.append(ContainerPlan(
+            cid, instances, Resource(cpu=float(count) + 1, ram=8 * GB)))
+    return PackingPlan(name, containers)
+
+
+def uneven_plan():
+    return PackingPlan("wc", [
+        ContainerPlan(1, (inst("bolt", 0),), Resource(cpu=2, ram=4 * GB)),
+        ContainerPlan(2, (inst("bolt", 1), inst("bolt", 2)),
+                      Resource(cpu=3, ram=6 * GB)),
+    ])
+
+
+class RecordingLauncher:
+    def __init__(self):
+        self.tmasters = []
+        self.launched = []  # (container, plan)
+        self.stopped = []
+
+    def launch_tmaster(self, container):
+        self.tmasters.append(container)
+
+    def launch_container(self, container, container_plan):
+        self.launched.append((container, container_plan))
+
+    def stop_container(self, container_id):
+        self.stopped.append(container_id)
+
+
+def make(scheduler_cls, framework_cls):
+    sim = Simulator()
+    cluster = Cluster.homogeneous(4, CAP)
+    framework = framework_cls(sim, cluster)
+    launcher = RecordingLauncher()
+    scheduler = scheduler_cls()
+    scheduler.initialize(Config(), framework, launcher, "wc")
+    return sim, cluster, framework, launcher, scheduler
+
+
+class TestOnSchedule:
+    def test_allocates_tmaster_plus_plan_containers(self):
+        _sim, _cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                       YarnFramework)
+        scheduler.on_schedule(plan())
+        assert len(launcher.tmasters) == 1
+        assert len(launcher.launched) == 2
+        roles = {jc.role for jc in fw.job_containers("wc")}
+        assert roles == {TMASTER_ROLE, "container-1", "container-2"}
+
+    def test_double_schedule_rejected(self):
+        _sim, _cluster, _fw, _launcher, scheduler = make(YarnScheduler,
+                                                         YarnFramework)
+        scheduler.on_schedule(plan())
+        with pytest.raises(SchedulerError):
+            scheduler.on_schedule(plan())
+
+    def test_uninitialized_rejected(self):
+        with pytest.raises(SchedulerError):
+            YarnScheduler().on_schedule(plan())
+
+    def test_yarn_requests_heterogeneous_sizes(self):
+        _sim, _cluster, fw, _launcher, scheduler = make(YarnScheduler,
+                                                        YarnFramework)
+        scheduler.on_schedule(uneven_plan())
+        specs = {jc.role: jc.spec for jc in fw.job_containers("wc")}
+        assert specs["container-1"].cpu == 2
+        assert specs["container-2"].cpu == 3
+
+    def test_aurora_requests_homogeneous_max(self):
+        _sim, _cluster, fw, _launcher, scheduler = make(AuroraScheduler,
+                                                        AuroraFramework)
+        scheduler.on_schedule(uneven_plan())
+        specs = [jc.spec for jc in fw.job_containers("wc")]
+        assert all(s == Resource(cpu=3, ram=6 * GB) for s in specs)
+        assert len(specs) == 3  # tmaster included, same size
+
+
+class TestKillRestart:
+    def test_on_kill_releases_everything(self):
+        _sim, cluster, _fw, launcher, scheduler = make(YarnScheduler,
+                                                       YarnFramework)
+        scheduler.on_schedule(plan())
+        scheduler.on_kill(KillTopologyRequest("wc"))
+        assert cluster.provisioned_cores() == 0
+        assert sorted(launcher.stopped) == [1, 2]
+        assert scheduler.current_plan is None
+
+    def test_kill_wrong_topology_rejected(self):
+        _sim, _cluster, _fw, _launcher, scheduler = make(YarnScheduler,
+                                                         YarnFramework)
+        scheduler.on_schedule(plan())
+        with pytest.raises(SchedulerError):
+            scheduler.on_kill(KillTopologyRequest("other"))
+
+    def test_restart_single_container(self):
+        _sim, _cluster, _fw, launcher, scheduler = make(YarnScheduler,
+                                                        YarnFramework)
+        scheduler.on_schedule(plan())
+        before = dict(launcher.launched)
+        scheduler.on_restart(RestartTopologyRequest("wc", container_id=1))
+        assert launcher.stopped == [1]
+        assert len(launcher.launched) == 3
+        fresh_container, fresh_plan = launcher.launched[-1]
+        assert fresh_plan.id == 1
+        assert fresh_container not in before
+
+    def test_restart_all_containers(self):
+        _sim, _cluster, _fw, launcher, scheduler = make(YarnScheduler,
+                                                        YarnFramework)
+        scheduler.on_schedule(plan())
+        scheduler.on_restart(RestartTopologyRequest("wc"))
+        assert sorted(launcher.stopped) == [1, 2]
+        assert len(launcher.launched) == 4
+
+    def test_restart_before_schedule_rejected(self):
+        _sim, _cluster, _fw, _launcher, scheduler = make(YarnScheduler,
+                                                         YarnFramework)
+        with pytest.raises(SchedulerError):
+            scheduler.on_restart(RestartTopologyRequest("wc"))
+
+
+class TestOnUpdate:
+    def test_added_container(self):
+        _sim, _cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                       YarnFramework)
+        scheduler.on_schedule(plan(shape=((1, 2), (2, 2))))
+        new_plan = plan(shape=((1, 2), (2, 2), (3, 2)))
+        scheduler.on_update(UpdateTopologyRequest("wc", new_plan))
+        roles = {jc.role for jc in fw.job_containers("wc")}
+        assert "container-3" in roles
+        assert scheduler.current_plan is new_plan
+
+    def test_removed_container(self):
+        _sim, cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                      YarnFramework)
+        scheduler.on_schedule(plan(shape=((1, 2), (2, 2))))
+        new_plan = plan(shape=((1, 2),))
+        scheduler.on_update(UpdateTopologyRequest("wc", new_plan))
+        roles = {jc.role for jc in fw.job_containers("wc")}
+        assert roles == {TMASTER_ROLE, "container-1"}
+        assert 2 in launcher.stopped
+
+    def test_changed_container_bounced(self):
+        _sim, _cluster, _fw, launcher, scheduler = make(YarnScheduler,
+                                                        YarnFramework)
+        scheduler.on_schedule(plan(shape=((1, 2), (2, 2))))
+        new_plan = plan(shape=((1, 3), (2, 2)))
+        scheduler.on_update(UpdateTopologyRequest("wc", new_plan))
+        assert 1 in launcher.stopped
+        relaunched = [p for _c, p in launcher.launched if p.id == 1]
+        assert len(relaunched) == 2  # original + bounce
+        assert len(relaunched[-1].instances) == 3
+
+
+class TestFailureRecovery:
+    def test_stateful_yarn_scheduler_recovers(self):
+        sim, cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                     YarnFramework)
+        scheduler.on_schedule(plan())
+        victim = next(jc.container for jc in fw.job_containers("wc")
+                      if jc.role == "container-1")
+        cluster.fail_container(victim)
+        sim.run_for(5.0)
+        # Scheduler was notified, allocated a replacement, relaunched.
+        roles = {jc.role for jc in fw.job_containers("wc")}
+        assert "container-1" in roles
+        assert len([1 for _c, p in launcher.launched if p.id == 1]) == 2
+
+    def test_stateless_aurora_scheduler_recovers_via_framework(self):
+        sim, cluster, fw, launcher, scheduler = make(AuroraScheduler,
+                                                     AuroraFramework)
+        scheduler.on_schedule(plan())
+        victim = next(jc.container for jc in fw.job_containers("wc")
+                      if jc.role == "container-2")
+        cluster.fail_container(victim)
+        sim.run_for(5.0)
+        roles = {jc.role for jc in fw.job_containers("wc")}
+        assert "container-2" in roles
+        assert len([1 for _c, p in launcher.launched if p.id == 2]) == 2
+
+    def test_tmaster_failure_recovers(self):
+        sim, cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                     YarnFramework)
+        scheduler.on_schedule(plan())
+        victim = next(jc.container for jc in fw.job_containers("wc")
+                      if jc.role == TMASTER_ROLE)
+        cluster.fail_container(victim)
+        sim.run_for(5.0)
+        assert len(launcher.tmasters) == 2
+
+    def test_local_scheduler_shape(self):
+        _sim, _cluster, _fw, _launcher, scheduler = make(LocalScheduler,
+                                                         YarnFramework)
+        scheduler.on_schedule(uneven_plan())
+        assert scheduler.is_stateful

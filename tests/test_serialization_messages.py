@@ -1,0 +1,173 @@
+"""Tests for message schemas, the registry envelope, and lazy views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.serialization.lazy import LazyMessageView
+from repro.serialization.messages import (AckBatch, Heartbeat,
+                                          MessageRegistry, Register,
+                                          StateEntry, TupleBatch,
+                                          decode_message, encode_message,
+                                          peek_destination)
+
+names = st.text(alphabet="abcdefghijklmnop_0123456789", min_size=0,
+                max_size=30)
+id_lists = st.lists(st.integers(min_value=0, max_value=(1 << 50)),
+                    max_size=20)
+
+
+def roundtrip(msg):
+    return decode_message(encode_message(msg))
+
+
+class TestTupleBatch:
+    @given(dest=names, src=names, stream=names, batch_id=st.integers(0, 1 << 40),
+           tuple_ids=id_lists, anchors=id_lists,
+           payload=st.binary(max_size=64), size=st.integers(0, 1 << 30))
+    def test_roundtrip(self, dest, src, stream, batch_id, tuple_ids, anchors,
+                       payload, size):
+        msg = TupleBatch(dest_instance=dest, source_instance=src,
+                         stream=stream, batch_id=batch_id,
+                         tuple_ids=tuple_ids, anchors=anchors,
+                         payload=payload, payload_size=size)
+        out = roundtrip(msg)
+        assert out.dest_instance == dest
+        assert out.source_instance == src
+        assert out.stream == stream
+        assert out.batch_id == batch_id
+        assert out.tuple_ids == tuple_ids
+        assert out.anchors == anchors
+        assert out.payload == payload
+        assert out.payload_size == size
+
+    def test_count_prefers_values(self):
+        msg = TupleBatch(values=["a", "b", "c"], tuple_ids=[1])
+        assert msg.count == 3
+
+    def test_count_falls_back_to_tuple_ids(self):
+        assert TupleBatch(tuple_ids=[1, 2]).count == 2
+
+    def test_values_not_wire_encoded(self):
+        msg = TupleBatch(dest_instance="d", values=["in-memory-only"])
+        assert roundtrip(msg).values == []
+
+    def test_reset_scrubs_everything(self):
+        msg = TupleBatch(dest_instance="d", source_instance="s", stream="x",
+                         batch_id=9, tuple_ids=[1], anchors=[2],
+                         payload=b"p", payload_size=3, values=[1])
+        msg.reset()
+        assert msg == TupleBatch()
+
+
+class TestAckBatch:
+    @given(dest=names, src=names, acked=id_lists, failed=id_lists)
+    def test_roundtrip(self, dest, src, acked, failed):
+        msg = AckBatch(dest_instance=dest, source_instance=src,
+                       acked_ids=acked, failed_ids=failed)
+        out = roundtrip(msg)
+        assert out == msg
+
+    def test_count(self):
+        assert AckBatch(acked_ids=[1, 2], failed_ids=[3]).count == 3
+
+    def test_reset(self):
+        msg = AckBatch(dest_instance="d", acked_ids=[1])
+        msg.reset()
+        assert msg == AckBatch()
+
+
+class TestControlMessages:
+    def test_register_roundtrip(self):
+        msg = Register(kind="stmgr", name="stmgr-3", container_id=3)
+        assert roundtrip(msg) == msg
+
+    def test_heartbeat_roundtrip(self):
+        msg = Heartbeat(sender="instance-1", time=123.456, sequence=9)
+        assert roundtrip(msg) == msg
+
+    def test_state_entry_roundtrip(self):
+        msg = StateEntry(path="/topologies/wc/packingplan", data=b"\x00\x01",
+                         version=4, ephemeral=True)
+        assert roundtrip(msg) == msg
+
+
+class TestRegistry:
+    def test_unknown_type_id_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_message(b"\x7f")  # type id 127 unregistered
+
+    def test_duplicate_registration_rejected(self):
+        registry = MessageRegistry()
+        registry.register(1, TupleBatch)
+        with pytest.raises(SerializationError):
+            registry.register(1, AckBatch)
+
+    def test_unregistered_class_rejected(self):
+        registry = MessageRegistry()
+        with pytest.raises(SerializationError):
+            encode_message(Heartbeat(), registry)
+
+    def test_dispatch_to_correct_class(self):
+        for msg in (TupleBatch(dest_instance="x"), AckBatch(acked_ids=[1]),
+                    Register(kind="k"), Heartbeat(sender="s")):
+            assert type(roundtrip(msg)) is type(msg)
+
+
+class TestLazyDeserialization:
+    def make_raw(self, dest="container_1_count_3"):
+        msg = TupleBatch(dest_instance=dest, source_instance="src",
+                         tuple_ids=list(range(50)), payload=b"x" * 200)
+        return encode_message(msg), msg
+
+    def test_peek_destination(self):
+        raw, _msg = self.make_raw()
+        assert peek_destination(raw) == "container_1_count_3"
+
+    def test_peek_rejects_non_tuple_batch(self):
+        raw = encode_message(Heartbeat(sender="s"))
+        with pytest.raises(SerializationError):
+            peek_destination(raw)
+
+    def test_view_destination_without_materializing(self):
+        raw, _msg = self.make_raw()
+        view = LazyMessageView(raw)
+        assert view.destination() == "container_1_count_3"
+        assert not view.is_materialized
+
+    def test_view_forwards_raw_bytes_unchanged(self):
+        raw, _msg = self.make_raw()
+        view = LazyMessageView(raw)
+        view.destination()
+        assert view.raw == raw
+        assert view.size == len(raw)
+
+    def test_materialize_full_decode(self):
+        raw, msg = self.make_raw()
+        view = LazyMessageView(raw)
+        decoded = view.materialize()
+        assert view.is_materialized
+        assert decoded.tuple_ids == msg.tuple_ids
+        assert decoded.payload == msg.payload
+
+    def test_materialize_memoized(self):
+        raw, _msg = self.make_raw()
+        view = LazyMessageView(raw)
+        assert view.materialize() is view.materialize()
+
+    def test_destination_after_materialize_uses_decoded(self):
+        raw, _msg = self.make_raw()
+        view = LazyMessageView(raw)
+        view.materialize()
+        assert view.destination() == "container_1_count_3"
+
+    def test_materialize_wrong_type_rejected(self):
+        view = LazyMessageView(encode_message(Register(kind="k")))
+        with pytest.raises(TypeError):
+            view.materialize()
+
+    @given(dest=names)
+    def test_peek_matches_full_decode(self, dest):
+        raw = encode_message(TupleBatch(dest_instance=dest))
+        assert peek_destination(raw) == decode_message(raw).dest_instance

@@ -1,0 +1,107 @@
+"""Tests for the object memory pool."""
+
+import pytest
+
+from repro.common.errors import SerializationError
+from repro.serialization.messages import TupleBatch
+from repro.serialization.pool import ObjectPool
+
+
+class TestAcquireRelease:
+    def test_first_acquire_allocates(self):
+        pool = ObjectPool(TupleBatch)
+        obj = pool.acquire()
+        assert isinstance(obj, TupleBatch)
+        assert pool.stats.allocations == 1
+        assert pool.stats.hits == 0
+
+    def test_release_then_acquire_reuses(self):
+        pool = ObjectPool(TupleBatch)
+        obj = pool.acquire()
+        pool.release(obj)
+        again = pool.acquire()
+        assert again is obj
+        assert pool.stats.hits == 1
+        assert pool.stats.allocations == 1
+
+    def test_released_objects_are_scrubbed(self):
+        pool = ObjectPool(TupleBatch)
+        obj = pool.acquire()
+        obj.dest_instance = "stale"
+        obj.tuple_ids = [1, 2, 3]
+        pool.release(obj)
+        again = pool.acquire()
+        assert again.dest_instance == ""
+        assert again.tuple_ids == []
+
+    def test_custom_reset(self):
+        resets = []
+        pool = ObjectPool(list, reset=lambda lst: (lst.clear(),
+                                                   resets.append(1)))
+        obj = pool.acquire()
+        obj.append("x")
+        pool.release(obj)
+        assert pool.acquire() == []
+        assert resets == [1]
+
+    def test_object_without_reset_rejected(self):
+        pool = ObjectPool(object)
+        obj = pool.acquire()
+        with pytest.raises(SerializationError):
+            pool.release(obj)
+
+
+class TestCapacity:
+    def test_overflow_discarded(self):
+        pool = ObjectPool(TupleBatch, capacity=2)
+        objs = [pool.acquire() for _ in range(3)]
+        for obj in objs:
+            pool.release(obj)
+        assert pool.free_count == 2
+        assert pool.stats.discarded == 1
+
+    def test_zero_capacity_never_reuses(self):
+        pool = ObjectPool(TupleBatch, capacity=0)
+        obj = pool.acquire()
+        pool.release(obj)
+        pool.acquire()
+        assert pool.stats.hits == 0
+        assert pool.stats.allocations == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SerializationError):
+            ObjectPool(TupleBatch, capacity=-1)
+
+    def test_preallocate(self):
+        pool = ObjectPool(TupleBatch, capacity=10)
+        pool.preallocate(4)
+        assert pool.free_count == 4
+        pool.acquire()
+        assert pool.stats.hits == 1
+
+    def test_preallocate_bounded_by_capacity(self):
+        pool = ObjectPool(TupleBatch, capacity=3)
+        pool.preallocate(100)
+        assert pool.free_count == 3
+
+
+class TestStats:
+    def test_hit_rate(self):
+        pool = ObjectPool(TupleBatch)
+        first = pool.acquire()
+        pool.release(first)
+        pool.acquire()
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert ObjectPool(TupleBatch).stats.hit_rate == 0.0
+
+    def test_steady_state_reuse_loop(self):
+        """A drain-and-refill loop (the SM pattern) allocates only once."""
+        pool = ObjectPool(TupleBatch, capacity=8)
+        for _ in range(100):
+            obj = pool.acquire()
+            obj.values = ["tuple"] * 10
+            pool.release(obj)
+        assert pool.stats.allocations == 1
+        assert pool.stats.hit_rate == pytest.approx(0.99)

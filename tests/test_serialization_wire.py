@@ -1,0 +1,182 @@
+"""Tests for the varint/TLV wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.serialization.wire import (WireReader, WireType, WireWriter,
+                                      zigzag_decode, zigzag_encode)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,encoded",
+                             [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)])
+    def test_known_values(self, value, encoded):
+        assert zigzag_encode(value) == encoded
+        assert zigzag_decode(encoded) == value
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_encoding_is_nonnegative(self, value):
+        assert zigzag_encode(value) >= 0
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip(self, value):
+        writer = WireWriter()
+        writer.write_varint(value)
+        assert WireReader(writer.getvalue()).read_varint() == value
+
+    def test_small_values_are_one_byte(self):
+        writer = WireWriter()
+        writer.write_varint(127)
+        assert len(writer.getvalue()) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            WireWriter().write_varint(-1)
+
+    def test_truncated_varint_rejected(self):
+        with pytest.raises(SerializationError):
+            WireReader(b"\x80").read_varint()
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(SerializationError):
+            WireReader(b"\xff" * 11 + b"\x00").read_varint()
+
+
+class TestFields:
+    def test_varint_field(self):
+        writer = WireWriter()
+        writer.field_varint(3, 150)
+        reader = WireReader(writer.getvalue())
+        assert reader.read_tag() == (3, WireType.VARINT)
+        assert reader.read_varint() == 150
+
+    def test_signed_field(self):
+        writer = WireWriter()
+        writer.field_signed(1, -42)
+        reader = WireReader(writer.getvalue())
+        reader.read_tag()
+        assert reader.read_signed() == -42
+
+    def test_string_field(self):
+        writer = WireWriter()
+        writer.field_str(2, "héron")
+        reader = WireReader(writer.getvalue())
+        reader.read_tag()
+        assert reader.read_str() == "héron"
+
+    def test_double_field(self):
+        writer = WireWriter()
+        writer.field_double(4, 3.14159)
+        reader = WireReader(writer.getvalue())
+        assert reader.read_tag() == (4, WireType.FIXED64)
+        assert reader.read_double() == 3.14159
+
+    def test_bool_field(self):
+        writer = WireWriter()
+        writer.field_bool(1, True)
+        writer.field_bool(2, False)
+        reader = WireReader(writer.getvalue())
+        reader.read_tag()
+        assert reader.read_varint() == 1
+        reader.read_tag()
+        assert reader.read_varint() == 0
+
+    def test_packed_varints(self):
+        values = [0, 1, 127, 128, 300, 1 << 40]
+        writer = WireWriter()
+        writer.field_packed_varints(9, values)
+        reader = WireReader(writer.getvalue())
+        reader.read_tag()
+        assert reader.read_packed_varints() == values
+
+    def test_packed_varints_empty(self):
+        writer = WireWriter()
+        writer.field_packed_varints(9, [])
+        reader = WireReader(writer.getvalue())
+        reader.read_tag()
+        assert reader.read_packed_varints() == []
+
+    def test_nested_message(self):
+        inner = WireWriter()
+        inner.field_varint(1, 7)
+        outer = WireWriter()
+        outer.field_message(5, inner)
+        reader = WireReader(outer.getvalue())
+        assert reader.read_tag() == (5, WireType.LENGTH)
+        sub = reader.read_message_reader()
+        sub.read_tag()
+        assert sub.read_varint() == 7
+        assert sub.at_end
+
+    def test_field_zero_rejected(self):
+        with pytest.raises(SerializationError):
+            WireWriter().write_tag(0, WireType.VARINT)
+
+    def test_bad_wire_type_rejected(self):
+        with pytest.raises(SerializationError):
+            WireWriter().write_tag(1, 7)
+
+
+class TestSkipping:
+    def test_skip_every_type(self):
+        writer = WireWriter()
+        writer.field_varint(1, 12345)
+        writer.field_double(2, 2.5)
+        writer.field_str(3, "skipped")
+        writer.field_varint(4, 99)
+        reader = WireReader(writer.getvalue())
+        for field, wire_type in reader.fields():
+            if field == 4:
+                assert reader.read_varint() == 99
+                return
+            reader.skip(wire_type)
+        pytest.fail("field 4 not found")
+
+    def test_skip_truncated_rejected(self):
+        writer = WireWriter()
+        writer.field_str(1, "hello")
+        data = writer.getvalue()[:-2]
+        reader = WireReader(data)
+        reader.read_tag()
+        with pytest.raises(SerializationError):
+            reader.skip(WireType.LENGTH)
+
+
+class TestReaderWindow:
+    def test_bad_window_rejected(self):
+        with pytest.raises(SerializationError):
+            WireReader(b"abc", start=2, end=1)
+
+    def test_remaining(self):
+        reader = WireReader(b"\x01\x02\x03")
+        assert reader.remaining == 3
+        reader.read_varint()
+        assert reader.remaining == 2
+
+    def test_truncated_double(self):
+        with pytest.raises(SerializationError):
+            WireReader(b"\x00" * 4).read_double()
+
+    def test_truncated_bytes(self):
+        writer = WireWriter()
+        writer.write_varint(10)  # claims 10 bytes follow
+        with pytest.raises(SerializationError):
+            WireReader(writer.getvalue() + b"ab").read_bytes()
+
+
+class TestWriterReuse:
+    def test_clear_resets_buffer(self):
+        writer = WireWriter()
+        writer.field_varint(1, 1)
+        assert len(writer) > 0
+        writer.clear()
+        assert len(writer) == 0
+        assert writer.getvalue() == b""

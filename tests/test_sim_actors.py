@@ -1,0 +1,233 @@
+"""Tests for the actor model: serialization of service, latency, ledger."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.actors import (Actor, CostLedger, FunctionActor,
+                                     Location)
+from repro.simulation.costs import CostCategory
+from repro.simulation.events import Simulator
+from repro.simulation.network import UniformNetwork
+
+LOC_A = Location(0, 0, 0)
+LOC_B = Location(0, 0, 1)
+
+
+def make_actor(sim, handler, *, latency=0.0, ledger=None, name="a",
+               group="actor", speed=1.0, location=LOC_A):
+    return FunctionActor(sim, name, location, network=UniformNetwork(latency),
+                         handler=handler, ledger=ledger, group=group,
+                         speed=speed)
+
+
+class TestServiceSerialization:
+    def test_one_message_at_a_time(self):
+        """Two messages each costing 1s finish at t=1 and t=2."""
+        sim = Simulator()
+        done = []
+
+        def handler(actor, msg):
+            actor.charge(1.0)
+            done.append((msg, actor.sim.now))
+
+        actor = make_actor(sim, handler)
+        actor.deliver("m1")
+        actor.deliver("m2")
+        # Handler runs at dequeue time; service occupies the actor after.
+        sim.run_until(0.5)
+        assert actor.busy
+        assert actor.inbox_len == 1
+        sim.run_until(1.5)
+        assert len(done) == 2  # second started at t=1
+        sim.run_until(3.0)
+        assert not actor.busy
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        actor = make_actor(sim, lambda a, m: a.charge(0.5))
+        for _ in range(4):
+            actor.deliver("m")
+        sim.run_until(10.0)
+        assert actor.busy_time == pytest.approx(2.0)
+        assert actor.messages_processed == 4
+
+    def test_zero_cost_messages_process_immediately(self):
+        sim = Simulator()
+        seen = []
+        actor = make_actor(sim, lambda a, m: seen.append(m))
+        for i in range(100):
+            actor.deliver(i)
+        assert seen == list(range(100))
+        assert not actor.busy
+
+    def test_speed_scales_service_time(self):
+        sim = Simulator()
+        fast = make_actor(sim, lambda a, m: a.charge(1.0), speed=2.0)
+        fast.deliver("m")
+        sim.run_until(0.6)
+        assert not fast.busy  # 1.0 / 2.0 = 0.5s service
+
+    def test_contention_inflates_service_time(self):
+        sim = Simulator()
+        actor = make_actor(sim, lambda a, m: a.charge(1.0))
+        actor.contention = 3.0
+        actor.deliver("m")
+        sim.run_until(2.9)
+        assert actor.busy
+        sim.run_until(3.1)
+        assert not actor.busy
+
+
+class TestSends:
+    def test_send_inside_handler_released_at_completion(self):
+        sim = Simulator()
+        received_at = []
+
+        sink = make_actor(sim, lambda a, m: received_at.append(sim.now),
+                          name="sink", location=LOC_B)
+
+        def handler(actor, msg):
+            actor.charge(1.0)
+            actor.send(sink, "fwd")
+
+        src = make_actor(sim, handler, name="src")
+        src.deliver("m")
+        sim.run_until(0.5)
+        assert received_at == []  # not yet: src still in service
+        sim.run_until(2.0)
+        assert received_at == [1.0]
+
+    def test_send_outside_handler_goes_immediately(self):
+        sim = Simulator()
+        received_at = []
+        sink = make_actor(sim, lambda a, m: received_at.append(sim.now))
+        src = make_actor(sim, lambda a, m: None, name="src")
+        src.send(sink, "direct")
+        sim.run_until(1.0)
+        assert received_at == [0.0]
+
+    def test_network_latency_applied(self):
+        sim = Simulator()
+        received_at = []
+        sink = make_actor(sim, lambda a, m: received_at.append(sim.now),
+                          latency=0.25)
+        src = make_actor(sim, lambda a, m: None, latency=0.25)
+        src.send(sink, "m")
+        sim.run_until(1.0)
+        assert received_at == [0.25]
+
+    def test_extra_delay_adds_to_latency(self):
+        sim = Simulator()
+        received_at = []
+        sink = make_actor(sim, lambda a, m: received_at.append(sim.now),
+                          latency=0.25)
+        src = make_actor(sim, lambda a, m: None, latency=0.25)
+        src.send(sink, "m", extra_delay=0.5)
+        sim.run_until(1.0)
+        assert received_at == [0.75]
+
+
+class TestLifecycle:
+    def test_killed_actor_drops_messages(self):
+        sim = Simulator()
+        seen = []
+        actor = make_actor(sim, lambda a, m: seen.append(m))
+        actor.kill()
+        actor.deliver("m")
+        sim.run_until(1.0)
+        assert seen == []
+        assert not actor.alive
+
+    def test_kill_cancels_in_flight_service_and_sends(self):
+        sim = Simulator()
+        received = []
+        sink = make_actor(sim, lambda a, m: received.append(m), name="sink")
+
+        def handler(actor, msg):
+            actor.charge(1.0)
+            actor.send(sink, "fwd")
+
+        src = make_actor(sim, handler, name="src")
+        src.deliver("m")
+        sim.run_until(0.5)
+        src.kill()
+        sim.run_until(5.0)
+        assert received == []  # buffered send never flushed
+
+    def test_kill_stops_timers(self):
+        sim = Simulator()
+        ticks = []
+        actor = make_actor(sim, lambda a, m: None)
+        actor.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.5)
+        actor.kill()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_on_killed_hook_runs(self):
+        sim = Simulator()
+
+        class Hooked(Actor):
+            killed = False
+
+            def on_message(self, message):
+                pass
+
+            def on_killed(self):
+                self.killed = True
+
+        actor = Hooked(sim, "h", LOC_A, network=UniformNetwork())
+        actor.kill()
+        assert actor.killed
+
+    def test_invalid_speed_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            make_actor(sim, lambda a, m: None, speed=0.0)
+
+
+class TestLedger:
+    def test_charges_attributed_by_category_and_group(self):
+        sim = Simulator()
+        ledger = CostLedger()
+
+        def handler(actor, msg):
+            actor.charge(0.6, CostCategory.USER)
+            actor.charge(0.4, CostCategory.ENGINE)
+
+        actor = make_actor(sim, handler, ledger=ledger, group="bolt")
+        actor.deliver("m")
+        sim.run_until(5.0)
+        assert ledger.total == pytest.approx(1.0)
+        assert ledger.by_category[CostCategory.USER] == pytest.approx(0.6)
+        assert ledger.by_group["bolt"] == pytest.approx(1.0)
+        assert ledger.fraction(CostCategory.ENGINE) == pytest.approx(0.4)
+
+    def test_breakdown_sums_to_one(self):
+        sim = Simulator()
+        ledger = CostLedger()
+        actor = make_actor(sim, lambda a, m: a.charge(1.0, "x"),
+                           ledger=ledger)
+        actor.deliver("m")
+        sim.run_until(5.0)
+        assert sum(ledger.breakdown().values()) == pytest.approx(1.0)
+
+    def test_empty_ledger_fraction_is_zero(self):
+        assert CostLedger().fraction("anything") == 0.0
+
+    def test_negative_charge_rejected(self):
+        sim = Simulator()
+        actor = make_actor(sim, lambda a, m: a.charge(-1.0))
+        with pytest.raises(SimulationError):
+            actor.deliver("m")
+
+
+class TestQueueBuildup:
+    def test_overloaded_actor_grows_queue(self):
+        """Offered load 2x capacity: queue length grows linearly."""
+        sim = Simulator()
+        actor = make_actor(sim, lambda a, m: a.charge(0.01))
+        sim.every(0.005, lambda: actor.deliver("m"))
+        sim.run_until(2.0)
+        # ~400 arrivals, ~200 served -> queue near 200
+        assert 150 <= actor.inbox_len <= 250

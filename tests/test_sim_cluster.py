@@ -1,0 +1,143 @@
+"""Tests for the simulated cluster substrate."""
+
+import pytest
+
+from repro.common.errors import SchedulerError, SimulationError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.simulation.actors import FunctionActor
+from repro.simulation.cluster import Cluster, ContainerState, Machine
+from repro.simulation.events import Simulator
+from repro.simulation.network import UniformNetwork
+
+CAP = Resource(cpu=8, ram=28 * GB, disk=100 * GB)
+SMALL = Resource(cpu=2, ram=4 * GB, disk=10 * GB)
+
+
+def make_cluster(machines=2):
+    return Cluster.homogeneous(machines, CAP)
+
+
+class TestAllocation:
+    def test_allocate_first_fit(self):
+        cluster = make_cluster()
+        c1 = cluster.allocate_container(SMALL)
+        c2 = cluster.allocate_container(SMALL)
+        assert c1.machine.id == 0 and c2.machine.id == 0
+        assert c1.id != c2.id
+
+    def test_spills_to_next_machine(self):
+        cluster = make_cluster(machines=2)
+        for _ in range(4):  # fills machine 0 (8 cpu / 2 cpu each)
+            cluster.allocate_container(SMALL)
+        c5 = cluster.allocate_container(SMALL)
+        assert c5.machine.id == 1
+
+    def test_allocation_failure(self):
+        cluster = make_cluster(machines=1)
+        with pytest.raises(SchedulerError):
+            cluster.allocate_container(Resource(cpu=100))
+
+    def test_capacity_accounting(self):
+        cluster = make_cluster(machines=1)
+        cluster.allocate_container(SMALL)
+        assert cluster.total_allocated == SMALL
+        assert cluster.machines[0].free.cpu == CAP.cpu - SMALL.cpu
+
+    def test_provisioned_cores_by_tag(self):
+        cluster = make_cluster()
+        cluster.allocate_container(SMALL, tag="topoA")
+        cluster.allocate_container(SMALL, tag="topoA")
+        cluster.allocate_container(SMALL, tag="topoB")
+        assert cluster.provisioned_cores("topoA") == 4
+        assert cluster.provisioned_cores() == 6
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SchedulerError):
+            Cluster([])
+
+    def test_bad_machine_count_rejected(self):
+        with pytest.raises(SchedulerError):
+            Cluster.homogeneous(0, CAP)
+
+
+class TestRelease:
+    def test_release_returns_resources(self):
+        cluster = make_cluster(machines=1)
+        container = cluster.allocate_container(SMALL)
+        cluster.release_container(container)
+        assert cluster.total_allocated.is_zero
+        assert container.state == ContainerState.KILLED
+
+    def test_release_kills_processes(self):
+        sim = Simulator()
+        cluster = make_cluster()
+        container = cluster.allocate_container(SMALL)
+        actor = FunctionActor(sim, "p", container.location(),
+                              network=UniformNetwork(),
+                              handler=lambda a, m: None)
+        container.attach(actor)
+        cluster.release_container(container)
+        assert not actor.alive
+
+    def test_double_release_rejected(self):
+        cluster = make_cluster()
+        container = cluster.allocate_container(SMALL)
+        cluster.release_container(container)
+        with pytest.raises(SchedulerError):
+            cluster.release_container(container)
+
+
+class TestFailure:
+    def test_fail_notifies_observers(self):
+        cluster = make_cluster()
+        failed = []
+        cluster.on_container_failed(failed.append)
+        container = cluster.allocate_container(SMALL)
+        cluster.fail_container(container)
+        assert failed == [container]
+        assert container.state == ContainerState.FAILED
+
+    def test_fail_returns_resources(self):
+        cluster = make_cluster(machines=1)
+        container = cluster.allocate_container(SMALL)
+        cluster.fail_container(container)
+        assert cluster.total_allocated.is_zero
+        # Space is reusable after a failure.
+        cluster.allocate_container(CAP)
+
+    def test_attach_to_dead_container_rejected(self):
+        sim = Simulator()
+        cluster = make_cluster()
+        container = cluster.allocate_container(SMALL)
+        cluster.release_container(container)
+        actor = FunctionActor(sim, "p", None, network=UniformNetwork(),
+                              handler=lambda a, m: None)
+        with pytest.raises(SimulationError):
+            container.attach(actor)
+
+
+class TestLocations:
+    def test_distinct_process_ids(self):
+        cluster = make_cluster()
+        container = cluster.allocate_container(SMALL)
+        loc1 = container.location()
+        loc2 = container.location()
+        assert loc1.process_id != loc2.process_id
+        assert loc1.container_id == loc2.container_id == container.id
+
+    def test_shared_process_location(self):
+        cluster = make_cluster()
+        container = cluster.allocate_container(SMALL)
+        pid = container.new_process_id()
+        loc1 = container.location(shared_process=pid)
+        loc2 = container.location(shared_process=pid)
+        assert loc1.colocated_process(loc2)
+
+    def test_live_containers_filter(self):
+        cluster = make_cluster()
+        kept = cluster.allocate_container(SMALL, tag="keep")
+        dropped = cluster.allocate_container(SMALL, tag="drop")
+        cluster.release_container(dropped)
+        assert cluster.live_containers() == [kept]
+        assert cluster.live_containers("drop") == []

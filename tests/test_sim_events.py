@@ -1,0 +1,180 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, seen.append, "late")
+        sim.schedule(1.0, seen.append, "early")
+        sim.run_until(3.0)
+        assert seen == ["early", "late"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(1.0, seen.append, i)
+        sim.run_until(1.0)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_now_is_event_time_inside_callback(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(1.5, lambda: observed.append(sim.now))
+        sim.run_until(10.0)
+        assert observed == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        seen = []
+        sim.schedule_at(7.0, seen.append, "x")
+        sim.run_until(10.0)
+        assert seen == ["x"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(1.0, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run_until(5.0)
+        assert seen == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run_until(2.0)
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        handle = Simulator().schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+
+class TestRun:
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_run_until_past_is_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        sim.run_for(2.5)
+        assert sim.now == 7.5
+
+    def test_run_leaves_future_events_pending(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, seen.append, "later")
+        sim.run_until(5.0)
+        assert seen == []
+        assert sim.pending_events == 1
+        sim.run_until(10.0)
+        assert seen == ["later"]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_runs_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.now == 1.0
+
+    def test_drain_runs_everything(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(2.0, seen.append, 2)
+        sim.drain()
+        assert seen == [1, 2]
+
+    def test_drain_detects_livelock(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 3
+
+
+class TestRepeating:
+    def test_every_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(1.0, lambda: times.append(sim.now))
+        sim.run_until(3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        times = []
+        timer = sim.every(1.0, lambda: times.append(sim.now))
+        sim.run_until(2.5)
+        timer.stop()
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if len(times) == 2:
+                timer.stop()
+
+        timer = sim.every(1.0, tick)
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_reschedule_changes_interval(self):
+        sim = Simulator()
+        times = []
+        timer = sim.every(1.0, lambda: times.append(sim.now))
+        sim.run_until(1.5)
+        timer.reschedule(0.25)
+        sim.run_until(2.0)
+        assert times == [1.0, 1.75, 2.0]
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)

@@ -1,0 +1,90 @@
+"""Tests for the network latency model and RNG streams."""
+
+import pytest
+
+from repro.simulation.actors import Location
+from repro.simulation.costs import CostModel
+from repro.simulation.network import Network, UniformNetwork
+from repro.simulation.rng import RngRegistry, RngStream
+
+
+class TestNetwork:
+    def setup_method(self):
+        self.costs = CostModel()
+        self.net = Network(self.costs)
+
+    def test_same_process(self):
+        a = Location(0, 0, 0)
+        assert self.net.latency(a, a) == self.costs.net_local_process
+
+    def test_same_container_different_process(self):
+        a, b = Location(0, 0, 0), Location(0, 0, 1)
+        assert self.net.latency(a, b) == self.costs.net_same_container
+
+    def test_same_machine_different_container(self):
+        a, b = Location(0, 0, 0), Location(0, 1, 0)
+        assert self.net.latency(a, b) == self.costs.net_same_machine
+
+    def test_cross_machine(self):
+        a, b = Location(0, 0, 0), Location(1, 0, 0)
+        assert self.net.latency(a, b) == self.costs.net_cross_machine
+
+    def test_distances_are_ordered(self):
+        """Farther apart must never be cheaper."""
+        local = self.net.latency(Location(0, 0, 0), Location(0, 0, 0))
+        container = self.net.latency(Location(0, 0, 0), Location(0, 0, 1))
+        machine = self.net.latency(Location(0, 0, 0), Location(0, 1, 0))
+        cross = self.net.latency(Location(0, 0, 0), Location(1, 0, 0))
+        assert local < container < machine < cross
+
+    def test_uniform_network(self):
+        net = UniformNetwork(0.5)
+        assert net.latency(Location(0, 0, 0), Location(9, 9, 9)) == 0.5
+
+    def test_uniform_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformNetwork(-0.1)
+
+
+class TestRng:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42, "spout")
+        b = RngStream(42, "spout")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        a = RngStream(42, "spout")
+        b = RngStream(42, "bolt")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1, "spout")
+        b = RngStream(2, "spout")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_registry_memoizes(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_jitter_bounds(self):
+        stream = RngStream(0, "jitter")
+        for _ in range(100):
+            value = stream.jitter(10.0, 0.1)
+            assert 9.0 <= value <= 11.0
+
+    def test_jitter_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            RngStream(0, "x").jitter(1.0, -0.5)
+
+    def test_randint_choice_sample_shuffle(self):
+        stream = RngStream(0, "misc")
+        assert 1 <= stream.randint(1, 3) <= 3
+        assert stream.choice([1, 2, 3]) in (1, 2, 3)
+        assert sorted(stream.sample(range(10), 3))[0] >= 0
+        items = list(range(10))
+        stream.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_expovariate_positive(self):
+        stream = RngStream(0, "expo")
+        assert stream.expovariate(2.0) > 0

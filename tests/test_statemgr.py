@@ -1,0 +1,260 @@
+"""Tests for the State Manager module (both implementations)."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.statemgr.base import (WatchEventType, normalize_path,
+                                 parent_paths)
+from repro.statemgr.inmemory import InMemoryStateManager
+from repro.statemgr.localfs import LocalFileSystemStateManager
+from repro.statemgr.paths import TopologyPaths
+
+
+@pytest.fixture(params=["inmemory", "localfs"])
+def statemgr(request, tmp_path):
+    if request.param == "inmemory":
+        return InMemoryStateManager()
+    return LocalFileSystemStateManager(tmp_path / "state")
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize_path("/a//b/c/") == "/a/b/c"
+
+    def test_relative_rejected(self):
+        with pytest.raises(StateError):
+            normalize_path("a/b")
+
+    def test_traversal_rejected(self):
+        with pytest.raises(StateError):
+            normalize_path("/a/../b")
+
+    def test_parent_paths(self):
+        assert parent_paths("/a/b/c") == ["/a", "/a/b"]
+        assert parent_paths("/a") == []
+
+
+class TestTreeOps:
+    def test_create_and_get(self, statemgr):
+        statemgr.create("/topologies/wc/topology", b"blob")
+        data, version = statemgr.get("/topologies/wc/topology")
+        assert data == b"blob"
+        assert version == 0
+
+    def test_create_auto_creates_parents(self, statemgr):
+        statemgr.create("/a/b/c", b"x")
+        assert statemgr.exists("/a")
+        assert statemgr.exists("/a/b")
+
+    def test_create_existing_rejected(self, statemgr):
+        statemgr.create("/a", b"1")
+        with pytest.raises(StateError):
+            statemgr.create("/a", b"2")
+
+    def test_set_bumps_version(self, statemgr):
+        statemgr.create("/a", b"1")
+        assert statemgr.set("/a", b"2") == 1
+        assert statemgr.set("/a", b"3") == 2
+        assert statemgr.get("/a") == (b"3", 2)
+
+    def test_set_missing_rejected(self, statemgr):
+        with pytest.raises(StateError):
+            statemgr.set("/missing", b"x")
+
+    def test_set_with_expected_version(self, statemgr):
+        statemgr.create("/a", b"1")
+        statemgr.set("/a", b"2", expected_version=0)
+        with pytest.raises(StateError):
+            statemgr.set("/a", b"3", expected_version=0)
+
+    def test_put_upserts(self, statemgr):
+        statemgr.put("/a", b"1")
+        statemgr.put("/a", b"2")
+        assert statemgr.get_data("/a") == b"2"
+
+    def test_delete(self, statemgr):
+        statemgr.create("/a", b"1")
+        statemgr.delete("/a")
+        assert not statemgr.exists("/a")
+
+    def test_delete_with_children_needs_recursive(self, statemgr):
+        statemgr.create("/a/b", b"1")
+        with pytest.raises(StateError):
+            statemgr.delete("/a")
+        statemgr.delete("/a", recursive=True)
+        assert not statemgr.exists("/a/b")
+
+    def test_delete_missing_rejected(self, statemgr):
+        with pytest.raises(StateError):
+            statemgr.delete("/missing")
+
+    def test_delete_root_rejected(self, statemgr):
+        with pytest.raises(StateError):
+            statemgr.delete("/")
+
+    def test_children(self, statemgr):
+        statemgr.create("/t/a", b"")
+        statemgr.create("/t/b/deep", b"")
+        assert statemgr.children("/t") == ["a", "b"]
+
+    def test_children_of_missing_rejected(self, statemgr):
+        with pytest.raises(StateError):
+            statemgr.children("/missing")
+
+    def test_get_missing_rejected(self, statemgr):
+        with pytest.raises(StateError):
+            statemgr.get("/missing")
+
+
+class TestWatches:
+    def test_data_watch_fires_on_change(self, statemgr):
+        statemgr.create("/a", b"1")
+        events = []
+        statemgr.watch("/a", events.append)
+        statemgr.set("/a", b"2")
+        assert [e.type for e in events] == [WatchEventType.CHANGED]
+
+    def test_watch_fires_on_create(self, statemgr):
+        events = []
+        statemgr.watch("/new", events.append)
+        statemgr.create("/new", b"x")
+        assert [e.type for e in events] == [WatchEventType.CREATED]
+
+    def test_watch_fires_on_delete(self, statemgr):
+        statemgr.create("/a", b"1")
+        events = []
+        statemgr.watch("/a", events.append)
+        statemgr.delete("/a")
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+
+    def test_watch_is_one_shot(self, statemgr):
+        statemgr.create("/a", b"1")
+        events = []
+        statemgr.watch("/a", events.append)
+        statemgr.set("/a", b"2")
+        statemgr.set("/a", b"3")
+        assert len(events) == 1
+
+    def test_rearming_inside_callback(self, statemgr):
+        statemgr.create("/a", b"1")
+        events = []
+
+        def callback(event):
+            events.append(event)
+            statemgr.watch("/a", callback)
+
+        statemgr.watch("/a", callback)
+        statemgr.set("/a", b"2")
+        statemgr.set("/a", b"3")
+        assert len(events) == 2
+
+    def test_child_watch(self, statemgr):
+        statemgr.create("/dir", b"")
+        events = []
+        statemgr.watch_children("/dir", events.append)
+        statemgr.create("/dir/kid", b"")
+        assert len(events) == 1
+
+    def test_multiple_watchers_all_fire(self, statemgr):
+        statemgr.create("/a", b"1")
+        first, second = [], []
+        statemgr.watch("/a", first.append)
+        statemgr.watch("/a", second.append)
+        statemgr.set("/a", b"2")
+        assert len(first) == len(second) == 1
+
+
+class TestSessions:
+    def test_ephemeral_deleted_on_close(self, statemgr):
+        session = statemgr.session()
+        session.create_ephemeral("/tmaster", b"host:port")
+        assert statemgr.exists("/tmaster")
+        session.close()
+        assert not statemgr.exists("/tmaster")
+
+    def test_ephemeral_delete_fires_watch(self, statemgr):
+        """The TM-death notification mechanism of Section IV-C."""
+        session = statemgr.session()
+        session.create_ephemeral("/tmaster", b"host:port")
+        events = []
+        statemgr.watch("/tmaster", events.append)
+        session.expire()
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+
+    def test_closed_session_cannot_create(self, statemgr):
+        session = statemgr.session()
+        session.close()
+        with pytest.raises(StateError):
+            session.create_ephemeral("/x", b"")
+
+    def test_expire_is_idempotent(self, statemgr):
+        session = statemgr.session()
+        session.create_ephemeral("/x", b"")
+        session.expire()
+        session.expire()
+
+    def test_independent_sessions(self, statemgr):
+        first, second = statemgr.session(), statemgr.session()
+        first.create_ephemeral("/a", b"")
+        second.create_ephemeral("/b", b"")
+        first.close()
+        assert not statemgr.exists("/a")
+        assert statemgr.exists("/b")
+
+    def test_manager_close_expires_sessions(self, statemgr):
+        session = statemgr.session()
+        session.create_ephemeral("/x", b"")
+        statemgr.close()
+        assert not statemgr.exists("/x")
+
+
+class TestLocalFsPersistence:
+    def test_survives_restart(self, tmp_path):
+        root = tmp_path / "state"
+        first = LocalFileSystemStateManager(root)
+        first.create("/topologies/wc/packingplan", b"plan-v1")
+        first.set("/topologies/wc/packingplan", b"plan-v2")
+
+        second = LocalFileSystemStateManager(root)
+        data, version = second.get("/topologies/wc/packingplan")
+        assert data == b"plan-v2"
+        assert version == 1
+        assert second.children("/topologies") == ["wc"]
+
+    def test_ephemerals_do_not_survive_restart(self, tmp_path):
+        root = tmp_path / "state"
+        first = LocalFileSystemStateManager(root)
+        session = first.session()
+        session.create_ephemeral("/tmaster", b"loc")
+
+        second = LocalFileSystemStateManager(root)
+        assert not second.exists("/tmaster")
+
+    def test_delete_persists(self, tmp_path):
+        root = tmp_path / "state"
+        first = LocalFileSystemStateManager(root)
+        first.create("/a/b", b"x")
+        first.delete("/a/b")
+        second = LocalFileSystemStateManager(root)
+        assert not second.exists("/a/b")
+
+
+class TestTopologyPaths:
+    def test_layout(self):
+        paths = TopologyPaths("wc")
+        assert paths.topology == "/topologies/wc/topology"
+        assert paths.packing_plan == "/topologies/wc/packingplan"
+        assert paths.tmaster_location == "/topologies/wc/tmasterlocation"
+        assert paths.scheduler_location == "/topologies/wc/schedulerlocation"
+        assert paths.execution_state == "/topologies/wc/executionstate"
+        assert paths.container(3) == "/topologies/wc/containers/3"
+
+    def test_list_topologies(self, statemgr):
+        assert TopologyPaths.list_topologies(statemgr) == []
+        statemgr.create(TopologyPaths("wc").topology, b"")
+        statemgr.create(TopologyPaths("spam").topology, b"")
+        assert TopologyPaths.list_topologies(statemgr) == ["spam", "wc"]
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyPaths("bad name")

@@ -1,0 +1,130 @@
+"""Storm baseline internals: transfer merging, contention effects,
+flush batching."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.baselines.storm.cluster import StormCluster
+from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
+from repro.baselines.storm.messages import merge_batches
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.messages import DataBatch
+from repro.workloads.wordcount import wordcount_topology
+
+
+def batch(dest, source="word", stream="default", origin=("word", 0),
+          values=None, count=None, ids=None):
+    values = values if values is not None else [["a"]]
+    count = count if count is not None else len(values)
+    return DataBatch(dest=dest, source_component=source, stream=stream,
+                     values=values, count=count, origin=origin,
+                     emit_time_sum=float(count),
+                     tuple_ids=ids or [], anchors=[[] for _ in (ids or [])])
+
+
+class TestMergeBatches:
+    def test_merges_same_destination(self):
+        merged = merge_batches([
+            batch(("count", 0), values=[["a"]]),
+            batch(("count", 0), values=[["b"]]),
+        ])
+        assert len(merged) == 1
+        assert merged[0].count == 2
+        assert merged[0].values == [["a"], ["b"]]
+        assert merged[0].emit_time_sum == 2.0
+
+    def test_does_not_merge_across_destinations(self):
+        merged = merge_batches([batch(("count", 0)), batch(("count", 1))])
+        assert len(merged) == 2
+
+    def test_does_not_merge_across_origins(self):
+        merged = merge_batches([
+            batch(("count", 0), origin=("word", 0)),
+            batch(("count", 0), origin=("word", 1)),
+        ])
+        assert len(merged) == 2
+
+    def test_preserves_ids_and_anchors(self):
+        merged = merge_batches([
+            batch(("count", 0), values=[["a"]], ids=[7]),
+            batch(("count", 0), values=[["b"]], ids=[9]),
+        ])
+        assert merged[0].tuple_ids == [7, 9]
+        assert len(merged[0].anchors) == 2
+
+    def test_empty(self):
+        assert merge_batches([]) == []
+
+
+class TestContentionEffects:
+    def test_crowded_worker_is_slower(self):
+        """Same total executors: 1 crowded worker vs 4 roomy ones."""
+        def throughput(workers):
+            cluster = StormCluster(
+                supervisors=4,
+                supervisor_resource=Resource(cpu=8, ram=28 * GB,
+                                             disk=500 * GB))
+            cfg = Config()
+            cfg.set(Keys.BATCH_SIZE, 200)
+            cfg.set(Keys.SAMPLE_CAP, 16)
+            cfg.set(StormKeys.NUM_WORKERS, workers)
+            handle = cluster.submit_topology(
+                wordcount_topology(8, corpus_size=500, config=cfg))
+            cluster.run_for(1.5)
+            totals = handle.totals()
+            return totals["executed"], handle.contention
+
+        crowded_rate, crowded_contention = throughput(workers=1)
+        spread_rate, spread_contention = throughput(workers=4)
+        assert crowded_contention > spread_contention
+        assert spread_rate > crowded_rate * 1.2
+
+    def test_contention_factor_formula(self):
+        cluster = StormCluster(
+            supervisors=1,
+            supervisor_resource=Resource(cpu=8, ram=28 * GB, disk=500 * GB))
+        cfg = Config().set(StormKeys.NUM_WORKERS, 1)
+        handle = cluster.submit_topology(
+            wordcount_topology(10, corpus_size=100, config=cfg))
+        # 20 executors + 2 threads on 8 cores.
+        expected = 1.0 + cluster.costs.storm_contention_per_excess_thread \
+            * (20 + 2 - 8)
+        assert handle.contention == pytest.approx(expected)
+
+
+class TestTransferBatching:
+    def test_transfer_forwards_across_workers(self):
+        cluster = StormCluster(supervisors=3)
+        cfg = Config()
+        cfg.set(Keys.BATCH_SIZE, 100)
+        cfg.set(StormKeys.NUM_WORKERS, 3)
+        cfg.set(StormKeys.TRANSFER_FLUSH_MS, 2.0)
+        handle = cluster.submit_topology(
+            wordcount_topology(3, corpus_size=500, config=cfg))
+        cluster.run_for(1.0)
+        forwarded = sum(w.transfer.batches_forwarded
+                        for w in handle.workers)
+        assert forwarded > 0
+        assert handle.totals()["executed"] > 0
+
+    def test_slower_flush_means_fewer_bigger_transfers(self):
+        def transfers(flush_ms):
+            cluster = StormCluster(supervisors=2)
+            cfg = Config()
+            cfg.set(Keys.BATCH_SIZE, 100)
+            cfg.set(Keys.SAMPLE_CAP, 8)
+            cfg.set(StormKeys.TRANSFER_FLUSH_MS, flush_ms)
+            handle = cluster.submit_topology(
+                wordcount_topology(4, corpus_size=500, config=cfg))
+            cluster.run_for(1.0)
+            forwarded = sum(w.transfer.batches_forwarded
+                            for w in handle.workers)
+            return forwarded, handle.totals()["executed"]
+
+        fast_fwd, fast_tuples = transfers(1.0)
+        slow_fwd, slow_tuples = transfers(20.0)
+        # Similar tuple volume, far fewer forwarded buffers.
+        assert slow_fwd < fast_fwd
+        assert slow_tuples > 0.3 * fast_tuples

@@ -1,0 +1,144 @@
+"""Focused Stream Manager behaviour tests (via small live topologies)."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.wordcount import wordcount_topology
+
+
+def submit(cluster, parallelism=2, **overrides):
+    cfg = Config()
+    cfg.set(Keys.BATCH_SIZE, 50)
+    for key, value in overrides.items():
+        cfg.set(getattr(Keys, key.upper()), value)
+    topology = wordcount_topology(parallelism, corpus_size=500, config=cfg)
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    return handle
+
+
+class TestMemoryPool:
+    def test_pool_reuses_cache_entries(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster, mempool_enabled=True)
+        cluster.run_for(1.0)
+        stats = handle.pool_stats()
+        assert stats["acquires"] > 100
+        assert stats["hits"] / stats["acquires"] > 0.9
+
+    def test_pool_disabled_never_hits(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster, mempool_enabled=False)
+        cluster.run_for(0.5)
+        assert handle.pool_stats()["acquires"] == 0
+
+    def test_disabling_optimizations_reduces_throughput(self):
+        def throughput(**overrides):
+            cluster = HeronCluster.local()
+            handle = submit(cluster, **overrides)
+            cluster.run_for(1.0)
+            return handle.totals()["executed"]
+
+        optimized = throughput(mempool_enabled=True,
+                               lazy_deserialization=True)
+        unoptimized = throughput(mempool_enabled=False,
+                                 lazy_deserialization=False)
+        assert optimized > unoptimized * 2
+
+
+class TestDrainFrequency:
+    def test_drain_counts_scale_with_frequency(self):
+        def drains(drain_ms):
+            cluster = HeronCluster.local()
+            handle = submit(cluster, cache_drain_frequency_ms=drain_ms)
+            cluster.run_for(1.0)
+            return handle.sm_totals()["drains"]
+
+        fast_drains = drains(2.0)
+        slow_drains = drains(20.0)
+        assert fast_drains > 4 * slow_drains
+
+    def test_sm_counters_populated(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster)
+        cluster.run_for(0.5)
+        totals = handle.sm_totals()
+        assert totals["tuples_routed"] > 0
+        assert totals["batches_in"] > 0
+        assert totals["batches_out"] > 0
+        assert totals["dropped_batches"] == 0
+
+
+class TestCacheDisabled:
+    def test_traffic_flows_without_cache(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster, cache_enabled=False)
+        cluster.run_for(0.5)
+        assert handle.totals()["executed"] > 0
+
+    def test_words_still_counted_correctly(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster, cache_enabled=False, parallelism=3)
+        cluster.run_for(0.5)
+        seen = {}
+        for key, inst in handle._runtime.instances.items():
+            if key[0] != "count":
+                continue
+            for word in inst.user.counts:
+                assert word not in seen
+                seen[word] = key[1]
+        assert seen
+
+    def test_acks_flow_without_cache(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster, cache_enabled=False, acking_enabled=True,
+                        ack_tracking="counted", max_spout_pending=500)
+        cluster.run_for(0.5)
+        assert handle.totals()["acked"] > 0
+
+
+class TestAckUnoptimizedPenalty:
+    def test_unoptimized_acks_cost_more(self):
+        def acked(**overrides):
+            cluster = HeronCluster.local()
+            handle = submit(cluster, acking_enabled=True,
+                            ack_tracking="counted",
+                            max_spout_pending=100_000, **overrides)
+            cluster.run_for(1.0)
+            return handle.totals()["acked"]
+
+        optimized = acked()
+        unoptimized = acked(mempool_enabled=False,
+                            lazy_deserialization=False)
+        assert optimized > unoptimized * 2
+
+
+class TestBackpressureNoAck:
+    def test_backpressure_triggers_under_slow_bolt(self):
+        """A single bolt fed by many spouts must trigger backpressure."""
+        from repro.api.topology import TopologyBuilder
+        from repro.workloads.wordcount import CountBolt, WordSpout
+
+        builder = TopologyBuilder("skewed")
+        builder.set_spout("word", WordSpout(500), parallelism=6)
+        builder.set_bolt("count", CountBolt(), parallelism=1) \
+            .fields_grouping("word", fields=["word"])
+        builder.set_config(Keys.BATCH_SIZE, 50)
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        cluster.run_for(2.0)
+        assert handle.sm_totals()["backpressure_starts"] > 0
+        # Queues stay bounded thanks to the pauses.
+        bolt = handle._runtime.instances[("count", 0)]
+        assert bolt.inbox_len < 2000
+
+    def test_spouts_resume_after_backpressure(self):
+        cluster = HeronCluster.local()
+        handle = submit(cluster)
+        cluster.run_for(1.0)
+        before = handle.totals()["emitted"]
+        cluster.run_for(1.0)
+        assert handle.totals()["emitted"] > before

@@ -1,0 +1,164 @@
+"""Tests for tick tuples and the tumbling-window bolt."""
+
+import pytest
+
+from repro.api import (Bolt, Spout, TopologyBuilder, TumblingWindowBolt,
+                       Window, is_tick)
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.tuples import Batch, Tuple
+from repro.core.heron import HeronCluster
+
+
+class SteadySpout(Spout):
+    outputs = {"default": ["n"]}
+
+    def next_tuple(self, collector):
+        collector.emit([1])
+
+
+class WindowSum(TumblingWindowBolt):
+    """Sums field 0 over 0.5s windows; emits one record per window."""
+
+    window_seconds = 0.5
+    outputs = {"default": ["total", "count"]}
+
+    def __init__(self):
+        super().__init__()
+        self.window_records = []
+
+    def process_window(self, window, collector):
+        total = sum(t[0] for t in window.tuples)
+        self.window_records.append((window.start, window.end,
+                                    window.count))
+        collector.emit([total, window.count])
+
+
+class TickCounter(Bolt):
+    tick_frequency = 0.25
+
+    def __init__(self):
+        super().__init__()
+        self.ticks = 0
+        self.data = 0
+
+    def execute(self, tup, collector):
+        if is_tick(tup):
+            self.ticks += 1
+        else:
+            self.data += 1
+
+
+def launch(bolt, parallelism=1, batch_size=20):
+    builder = TopologyBuilder("windowed")
+    builder.set_spout("src", SteadySpout(), parallelism=1)
+    builder.set_bolt("win", bolt, parallelism=parallelism) \
+        .shuffle_grouping("src")
+    builder.set_config(Keys.BATCH_SIZE, batch_size)
+    cluster = HeronCluster.local()
+    handle = cluster.submit_topology(builder.build())
+    handle.wait_until_running()
+    return cluster, handle
+
+
+class TestTickTuples:
+    def test_ticks_delivered_at_frequency(self):
+        cluster, handle = launch(TickCounter())
+        cluster.run_for(2.0)
+        bolt = handle._runtime.instances[("win", 0)].user
+        assert 6 <= bolt.ticks <= 9  # ~2s / 0.25s, minus startup
+        assert bolt.data > 0
+
+    def test_no_ticks_without_frequency(self):
+        class Plain(Bolt):
+            def __init__(self):
+                super().__init__()
+                self.ticks = 0
+
+            def execute(self, tup, collector):
+                if is_tick(tup):
+                    self.ticks += 1
+
+        cluster, handle = launch(Plain())
+        cluster.run_for(1.0)
+        assert handle._runtime.instances[("win", 0)].user.ticks == 0
+
+    def test_ticks_not_counted_as_executed(self):
+        cluster, handle = launch(TickCounter())
+        cluster.run_for(1.0)
+        snapshot = handle.snapshot()
+        bolt = handle._runtime.instances[("win", 0)].user
+        assert snapshot["win"]["executed"] == bolt.data
+
+
+class TestTumblingWindow:
+    def test_windows_processed_on_schedule(self):
+        cluster, handle = launch(WindowSum())
+        cluster.run_for(2.6)
+        bolt = handle._runtime.instances[("win", 0)].user
+        assert 4 <= bolt.windows_processed <= 6
+
+    def test_windows_partition_the_stream(self):
+        cluster, handle = launch(WindowSum())
+        cluster.run_for(2.6)
+        bolt = handle._runtime.instances[("win", 0)].user
+        records = bolt.window_records
+        # Contiguous, non-overlapping windows.
+        for (s1, e1, _c1), (s2, _e2, _c2) in zip(records, records[1:]):
+            assert e1 == pytest.approx(s2)
+            assert e1 - s1 == pytest.approx(0.5, abs=0.05)
+        # Every tuple landed in exactly one window.
+        windowed = sum(c for _s, _e, c in records)
+        executed = handle.snapshot()["win"]["executed"]
+        assert windowed <= executed
+        assert windowed >= executed * 0.7  # tail still accumulating
+
+    def test_window_emissions_flow_downstream(self):
+        class Downstream(Bolt):
+            def __init__(self):
+                super().__init__()
+                self.received = []
+
+            def execute(self, tup, collector):
+                self.received.append(tuple(tup.values))
+
+        builder = TopologyBuilder("w2")
+        builder.set_spout("src", SteadySpout(), parallelism=1)
+        builder.set_bolt("win", WindowSum(), parallelism=1) \
+            .shuffle_grouping("src")
+        builder.set_bolt("down", Downstream(), parallelism=1) \
+            .shuffle_grouping("win")
+        builder.set_config(Keys.BATCH_SIZE, 20)
+        cluster = HeronCluster.local()
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        cluster.run_for(2.0)
+        down = handle._runtime.instances[("down", 0)].user
+        assert len(down.received) >= 3
+        for total, count in down.received:
+            assert total == count  # every tuple's field is 1
+
+    def test_batch_mode_accumulation(self):
+        bolt = WindowSum()
+        bolt._now = lambda: 1.0
+        collector_calls = []
+        bolt.process_window = lambda w, c: collector_calls.append(w)
+        bolt.execute_batch(Batch(values=[[1], [1]], count=10), None)
+        bolt.execute_batch(Batch(values=[[]], count=1, stream="__tick"),
+                           None)
+        assert len(collector_calls) == 1
+        assert collector_calls[0].count == 10
+
+    def test_invalid_window_rejected(self):
+        class Bad(TumblingWindowBolt):
+            window_seconds = 0.0
+
+        with pytest.raises(ValueError):
+            Bad()
+
+    def test_process_window_required(self):
+        class Incomplete(TumblingWindowBolt):
+            window_seconds = 1.0
+
+        bolt = Incomplete()
+        with pytest.raises(NotImplementedError):
+            bolt.execute(Tuple(values=[], stream="__tick"), None)

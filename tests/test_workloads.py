@@ -1,0 +1,257 @@
+"""Tests for the workloads: corpus, WordCount, Kafka/Redis pipeline."""
+
+import copy
+
+import pytest
+
+from repro.api.component import ComponentContext
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.tuples import Batch
+from repro.common.config import Config
+from repro.workloads.corpus import corpus
+from repro.workloads.external import KafkaBroker, RedisServer
+from repro.workloads.kafka_redis import (AggregateBolt, FilterBolt,
+                                         KafkaSpout, RedisSinkBolt,
+                                         kafka_redis_topology)
+from repro.workloads.wordcount import CountBolt, WordSpout, \
+    wordcount_topology
+
+
+class FakeCollector:
+    def __init__(self):
+        self.values = []
+        self.counts = []
+
+    def emit(self, values, stream="default", anchors=None):
+        self.values.append(values)
+        self.counts.append(1)
+
+    def emit_batch(self, values, count=None, stream="default"):
+        self.values.extend(values)
+        self.counts.append(count if count is not None else len(values))
+
+    def ack(self, tup):
+        pass
+
+    def fail(self, tup):
+        pass
+
+    @property
+    def total(self):
+        return sum(self.counts)
+
+
+def context(config=None, task_id=0, parallelism=2):
+    ctx = ComponentContext("t", "c", task_id, parallelism,
+                           config or Config())
+    return ctx
+
+
+class TestCorpus:
+    def test_size_and_uniqueness(self):
+        words = corpus(10_000)
+        assert len(words) == 10_000
+        assert len(set(words)) == 10_000
+
+    def test_memoized(self):
+        assert corpus(1000) is corpus(1000)
+
+    def test_deterministic(self):
+        assert corpus(100)[:5] == corpus(100)[:5]
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            corpus(0)
+
+
+class TestWordSpout:
+    def test_full_fidelity_batch(self):
+        spout = WordSpout(corpus_size=100)
+        spout.open(context(), FakeCollector())
+        collector = FakeCollector()
+        emitted = spout.next_batch(collector, 50)
+        assert emitted == 50
+        assert len(collector.values) == 50
+        assert collector.total == 50
+
+    def test_sampled_batch(self):
+        config = Config().set(Keys.SAMPLE_CAP, 8)
+        spout = WordSpout(corpus_size=100)
+        spout.open(context(config), FakeCollector())
+        collector = FakeCollector()
+        spout.next_batch(collector, 1000)
+        assert len(collector.values) == 8
+        assert collector.total == 1000
+
+    def test_next_tuple(self):
+        spout = WordSpout(corpus_size=100)
+        spout.open(context(), FakeCollector())
+        collector = FakeCollector()
+        spout.next_tuple(collector)
+        assert len(collector.values) == 1
+
+    def test_different_tasks_different_streams(self):
+        first, second = WordSpout(corpus_size=100), WordSpout(corpus_size=100)
+        first.open(context(task_id=0), FakeCollector())
+        second.open(context(task_id=1), FakeCollector())
+        c1, c2 = FakeCollector(), FakeCollector()
+        first.next_batch(c1, 20)
+        second.next_batch(c2, 20)
+        assert c1.values != c2.values
+
+    def test_ack_fail_counters(self):
+        spout = WordSpout()
+        spout.ack(1)
+        spout.fail(2)
+        assert spout.acks_seen == 1
+        assert spout.fails_seen == 1
+
+
+class TestCountBolt:
+    def test_full_fidelity_counts(self):
+        bolt = CountBolt()
+        batch = Batch(values=[["a"], ["b"], ["a"]], count=3)
+        bolt.execute_batch(batch, FakeCollector())
+        assert bolt.counts["a"] == 2
+        assert bolt.counts["b"] == 1
+
+    def test_weighted_counts(self):
+        bolt = CountBolt()
+        batch = Batch(values=[["a"], ["b"]], count=100)
+        bolt.execute_batch(batch, FakeCollector())
+        assert bolt.counts["a"] == pytest.approx(50.0)
+        assert sum(bolt.counts.values()) == pytest.approx(100.0)
+
+    def test_empty_batch(self):
+        bolt = CountBolt()
+        bolt.execute_batch(Batch(values=[], count=0), FakeCollector())
+        assert not bolt.counts
+
+
+class TestKafkaBroker:
+    def test_token_bucket(self):
+        broker = KafkaBroker(events_per_sec=1000)
+        consumer = broker.assign(0, 1)
+        assert consumer.available(0.0) == 0
+        assert consumer.available(1.0) == 1000
+        values, count = consumer.poll(1.0, 400)
+        assert count == 400
+        assert consumer.available(1.0) == 600
+
+    def test_min_fetch_batches_up(self):
+        broker = KafkaBroker(events_per_sec=10_000)
+        consumer = broker.assign(0, 1)
+        consumer.poll(1.0, 10_000)  # drain, sets last_fetch
+        # Only ~10 events available shortly after: below min_fetch.
+        values, count = consumer.poll(1.001, 1000)
+        assert count == 0
+        # After max_wait, even a small fetch is returned.
+        values, count = consumer.poll(1.001 + consumer.max_wait, 1000)
+        assert count > 0
+
+    def test_consumers_share_rate(self):
+        broker = KafkaBroker(events_per_sec=1000)
+        first = broker.assign(0, 2)
+        second = broker.assign(1, 2)
+        assert first.available(1.0) == 500
+        assert second.available(1.0) == 500
+
+    def test_sampling_cap(self):
+        broker = KafkaBroker(events_per_sec=10_000)
+        consumer = broker.assign(0, 1)
+        values, count = consumer.poll(1.0, 5000, concrete_cap=16)
+        assert count == 5000
+        assert len(values) == 16
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            KafkaBroker(events_per_sec=0)
+        with pytest.raises(ValueError):
+            KafkaBroker(1000).assign(5, 2)
+
+    def test_deepcopy_is_shared(self):
+        broker = KafkaBroker(events_per_sec=1000)
+        assert copy.deepcopy(broker) is broker
+
+
+class TestFilterBolt:
+    def test_selectivity_exact(self):
+        bolt = FilterBolt(selectivity=0.4)
+        collector = FakeCollector()
+        broker = KafkaBroker(events_per_sec=1000)
+        events = [broker.make_event(i) for i in range(1700)]
+        for event in events:
+            from repro.api.tuples import Tuple
+            bolt.execute(Tuple(values=event), collector)
+        observed = bolt.passed / (bolt.passed + bolt.dropped)
+        assert observed == pytest.approx(0.4, abs=0.08)
+
+    def test_batch_mode_weights(self):
+        bolt = FilterBolt(selectivity=0.5)
+        values = [["k", kind, 1] for kind in range(17)]
+        batch = Batch(values=values, count=1700)
+        collector = FakeCollector()
+        bolt.execute_batch(batch, collector)
+        assert bolt.passed + bolt.dropped == 1700
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            FilterBolt(selectivity=0.0)
+
+
+class TestAggregateBolt:
+    def test_emits_every_ratio_inputs(self):
+        bolt = AggregateBolt(ratio=10)
+        collector = FakeCollector()
+        from repro.api.tuples import Tuple
+        for i in range(25):
+            bolt.execute(Tuple(values=[f"k{i % 3}", 0, 1.0]), collector)
+        assert len(collector.values) == 2  # 25 // 10
+
+    def test_weighted_batches(self):
+        bolt = AggregateBolt(ratio=100)
+        collector = FakeCollector()
+        batch = Batch(values=[["k", 0, 1.0]], count=250)
+        bolt.execute_batch(batch, collector)
+        assert len(collector.values) == 2  # 250 // 100
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateBolt(ratio=0)
+
+
+class TestRedisSink:
+    def test_writes_recorded(self):
+        server = RedisServer()
+        bolt = RedisSinkBolt(server)
+        from repro.api.tuples import Tuple
+        bolt.execute(Tuple(values=["key1", 42.0]), FakeCollector())
+        assert server.writes == 1
+        assert server.store["key1"] == 42.0
+
+    def test_batch_writes_weighted(self):
+        server = RedisServer()
+        bolt = RedisSinkBolt(server)
+        batch = Batch(values=[["k1", 1.0], ["k2", 2.0]], count=10)
+        bolt.execute_batch(batch, FakeCollector())
+        assert server.writes == 2
+        assert server.records_written == 10
+
+    def test_deepcopy_is_shared(self):
+        server = RedisServer()
+        assert copy.deepcopy(server) is server
+
+
+class TestTopologyFactories:
+    def test_wordcount_topology(self):
+        topology = wordcount_topology(4)
+        assert topology.parallelism_of("word") == 4
+        assert topology.parallelism_of("count") == 4
+
+    def test_kafka_redis_topology(self):
+        topology, broker, redis = kafka_redis_topology(
+            events_per_min=6e6, spouts=2, filters=2, aggregators=2, sinks=1)
+        assert topology.components() == ["kafka", "filter", "aggregate",
+                                         "sink"]
+        assert broker.events_per_sec == pytest.approx(100_000.0)
+        assert redis.writes == 0
