@@ -1,0 +1,40 @@
+"""Kernel events/sec microbenchmark, tracked in ``BENCH_kernel.json``.
+
+Drives the discrete-event kernel with the WordCount-shaped operation mix
+from :mod:`repro.experiments.perf` and asserts the fast-path kernel
+stays >=2x the pre-fast-path seed recorded as the first entry of
+``BENCH_kernel.json`` (events/sec over CPU time; the event count is
+deterministic, so the ratio is purely kernel wall-time).
+
+``REPRO_BENCH_FAST=1`` shortens the run; short windows understate the
+seed's tombstone bloat, so the fast floor is only "not below baseline".
+"""
+
+import json
+import pathlib
+
+from conftest import fast_mode
+
+from repro.experiments.perf import best_of, kernel_microbench
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / \
+    "BENCH_kernel.json"
+
+
+def test_kernel_speed(benchmark):
+    sim_seconds = 5.0 if fast_mode() else 30.0
+    trials = 1 if fast_mode() else 3
+    result = benchmark.pedantic(
+        lambda: best_of(lambda: kernel_microbench(sim_seconds),
+                        trials=trials),
+        rounds=1, iterations=1)
+    baseline = json.loads(BENCH_PATH.read_text())["entries"][0]
+    base_rate = baseline["kernel_events_per_sec"]
+    rate = result["events_per_sec"]
+    print(f"\nkernel: {rate:,.0f} events/sec over {sim_seconds:g} sim s "
+          f"({result['events']:,.0f} events / {result['cpu_s']:.3f}s CPU); "
+          f"baseline {base_rate:,.0f} -> {rate / base_rate:.2f}x")
+    floor = 1.0 if fast_mode() else 2.0
+    assert rate >= floor * base_rate, (
+        f"kernel regressed: {rate:,.0f} events/sec < {floor}x baseline "
+        f"{base_rate:,.0f}")

@@ -38,10 +38,20 @@ def regenerate(benchmark, module) -> dict:
     """Time one full regeneration of a figure module and print it.
 
     The measured series are also written as CSV under
-    ``benchmarks/results/`` for plotting.
+    ``benchmarks/results/`` for plotting. Modules whose ``run`` takes a
+    ``parallel`` argument honor ``REPRO_PARALLEL=1`` (pooled sweeps; the
+    output is identical to serial by construction).
     """
+    import inspect
+
     fast = fast_mode()
-    figures = benchmark.pedantic(lambda: module.run(fast=fast),
+    kwargs = {"fast": fast}
+    if "parallel" in inspect.signature(module.run).parameters:
+        from repro.experiments.parallel import parallel_enabled
+        kwargs["parallel"] = None  # REPRO_PARALLEL decides
+        if parallel_enabled():
+            print("\n[parallel sweep enabled via REPRO_PARALLEL]")
+    figures = benchmark.pedantic(lambda: module.run(**kwargs),
                                  rounds=1, iterations=1)
     print()
     for key, figure in figures.items():

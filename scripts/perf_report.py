@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Measure kernel events/sec and experiment wall clock; track the trend.
+
+The perf trajectory of the simulator lives in ``BENCH_kernel.json`` at
+the repo root: one entry per tracked revision, oldest (the pre-fast-path
+seed) first. This script re-measures the current tree and compares it
+against that baseline so a perf regression is visible in CI output.
+
+Usage::
+
+    python scripts/perf_report.py                 # full measurement + report
+    python scripts/perf_report.py --smoke         # quick CI regression check
+    python scripts/perf_report.py --update LABEL  # also record an entry
+
+Exit code is non-zero when the current tree is slower than the recorded
+baseline (smoke: kernel only; full: kernel events/sec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.perf import (best_of, kernel_microbench,  # noqa: E402
+                                    wordcount_wallclock)
+
+BENCH_PATH = ROOT / "BENCH_kernel.json"
+
+
+def load_bench() -> dict:
+    return json.loads(BENCH_PATH.read_text())
+
+
+def baseline_entry(data: dict) -> dict:
+    return data["entries"][0]
+
+
+def smoke(data: dict) -> int:
+    """Fast regression check: short kernel run vs recorded baseline."""
+    result = kernel_microbench(3.0)
+    base = baseline_entry(data)["kernel_events_per_sec"]
+    rate = result["events_per_sec"]
+    print(f"kernel smoke (3 sim s): {rate:,.0f} events/sec "
+          f"(baseline {base:,.0f}; ratio {rate / base:.2f}x)")
+    # Short windows understate the gap (the seed's tombstone bloat grows
+    # with run length), so the smoke floor is only "not below baseline".
+    if rate < base:
+        print("FAIL: kernel slower than the pre-fast-path baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+def full(data: dict, trials: int, update_label: str | None) -> int:
+    base = baseline_entry(data)
+    kernel = best_of(lambda: kernel_microbench(), trials=trials)
+    wallclock = best_of(lambda: wordcount_wallclock(), trials=2)
+    ratio = kernel["events_per_sec"] / base["kernel_events_per_sec"]
+    wc_ratio = base["wordcount_p25_cpu_s"] / wallclock["cpu_s"]
+    print(f"kernel microbench : {kernel['events_per_sec']:,.0f} events/sec "
+          f"({kernel['events']:,.0f} events / {kernel['cpu_s']:.3f}s CPU)")
+    print(f"  vs baseline     : {base['kernel_events_per_sec']:,.0f} "
+          f"events/sec -> {ratio:.2f}x")
+    print(f"wordcount p25 run : {wallclock['cpu_s']:.3f}s CPU "
+          f"({wallclock['throughput_mtpm']:,.0f} Mtuples/min simulated)")
+    print(f"  vs baseline     : {base['wordcount_p25_cpu_s']:.3f}s CPU "
+          f"-> {wc_ratio:.2f}x")
+    if update_label:
+        entry = {
+            "label": update_label,
+            "kernel_events_per_sec": round(kernel["events_per_sec"], 1),
+            "kernel_events": int(kernel["events"]),
+            "kernel_cpu_s": round(kernel["cpu_s"], 3),
+            "wordcount_p25_cpu_s": round(wallclock["cpu_s"], 3),
+            "wordcount_p25_throughput_mtpm":
+                round(wallclock["throughput_mtpm"], 1),
+        }
+        entries = [e for e in data["entries"]
+                   if e["label"] != update_label]
+        entries.append(entry)
+        data["entries"] = entries
+        BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded entry {update_label!r} in {BENCH_PATH.name}")
+    if ratio < 1.0:
+        print("FAIL: kernel slower than the pre-fast-path baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick kernel-only regression check (CI)")
+    parser.add_argument("--update", metavar="LABEL",
+                        help="record the measurement as entry LABEL")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="kernel trials (best CPU time wins)")
+    args = parser.parse_args(argv)
+    data = load_bench()
+    if args.smoke:
+        return smoke(data)
+    return full(data, args.trials, args.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

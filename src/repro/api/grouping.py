@@ -67,6 +67,8 @@ def allocate_proportionally(weights: Sequence[float], total: int) -> List[int]:
     raw = [w * total / weight_sum for w in weights]
     floors = [int(r) for r in raw]
     shortfall = total - sum(floors)
+    if shortfall == 0:
+        return floors
     # Hand the remaining units to the largest fractional parts; break ties
     # by index for determinism.
     order = sorted(range(len(raw)), key=lambda i: (-(raw[i] - floors[i]), i))
@@ -102,23 +104,42 @@ class GroupingInstance:
         per_task_values: Dict[int, List[Values]] = {}
         per_task_ids: Dict[int, List[int]] = {}
         ids = tuple_ids if tuple_ids else None
-        for index, value in enumerate(values):
-            task = choose(value)
-            per_task_values.setdefault(task, []).append(value)
-            if ids is not None:
-                per_task_ids.setdefault(task, []).append(ids[index])
+        if ids is None:
+            for value in values:
+                task = choose(value)
+                bucket = per_task_values.get(task)
+                if bucket is None:
+                    per_task_values[task] = [value]
+                else:
+                    bucket.append(value)
+        else:
+            for index, value in enumerate(values):
+                task = choose(value)
+                bucket = per_task_values.get(task)
+                if bucket is None:
+                    per_task_values[task] = [value]
+                    per_task_ids[task] = [ids[index]]
+                else:
+                    bucket.append(value)
+                    per_task_ids[task].append(ids[index])
         if not per_task_values:
             return []
+        if len(per_task_values) == 1:
+            # Single destination: the whole represented count goes there.
+            task, bucket = next(iter(per_task_values.items()))
+            return [(task, bucket, per_task_ids.get(task, []),
+                     max(count, len(bucket)))]
         tasks = sorted(per_task_values)
         shares = allocate_proportionally(
             [len(per_task_values[t]) for t in tasks], count)
         routes = []
         for task, share in zip(tasks, shares):
-            if share == 0 and not per_task_values[task]:
+            bucket = per_task_values[task]
+            if share == 0 and not bucket:
                 continue
-            routes.append((task, per_task_values[task],
-                           per_task_ids.get(task, []),
-                           max(share, len(per_task_values[task]))))
+            if share < len(bucket):
+                share = len(bucket)
+            routes.append((task, bucket, per_task_ids.get(task, []), share))
         return routes
 
 
@@ -154,22 +175,33 @@ class _ShuffleInstance(GroupingInstance):
         routes: List[Route] = []
         # Rotate which tasks receive the remainder so long-run load is even.
         start = self._next
-        self._next = (self._next + remainder) % n
-        extra = {tasks[(start + i) % n] for i in range(remainder)}
-        # Concrete values round-robin too (aligned with ids).
-        per_task_values: Dict[int, List[Values]] = {t: [] for t in tasks}
-        per_task_ids: Dict[int, List[int]] = {t: [] for t in tasks}
+        self._next = (start + remainder) % n
+        # Concrete values round-robin too (aligned with ids); only tasks
+        # that actually receive values get a bucket allocated.
+        per_task_values: Dict[int, List[Values]] = {}
+        per_task_ids: Dict[int, List[int]] = {}
         for index, value in enumerate(values):
             task = tasks[(start + index) % n]
-            per_task_values[task].append(value)
-            if tuple_ids:
-                per_task_ids[task].append(tuple_ids[index])
+            bucket = per_task_values.get(task)
+            if bucket is None:
+                per_task_values[task] = [value]
+                if tuple_ids:
+                    per_task_ids[task] = [tuple_ids[index]]
+            else:
+                bucket.append(value)
+                if tuple_ids:
+                    per_task_ids[task].append(tuple_ids[index])
         for i, task in enumerate(tasks):
-            share = base + (1 if task in extra else 0)
-            share = max(share, len(per_task_values[task]))
-            if share > 0:
-                routes.append((task, per_task_values[task],
-                               per_task_ids[task], share))
+            # Ring positions start..start+remainder-1 get one extra unit.
+            share = base + (1 if (i - start) % n < remainder else 0)
+            bucket = per_task_values.get(task)
+            if bucket is None:
+                if share > 0:
+                    routes.append((task, [], [], share))
+                continue
+            if share < len(bucket):
+                share = len(bucket)
+            routes.append((task, bucket, per_task_ids.get(task, []), share))
         return routes
 
 
@@ -193,13 +225,25 @@ class _FieldsInstance(GroupingInstance):
     def __init__(self, task_ids: Sequence[int], positions: List[int]) -> None:
         super().__init__(task_ids)
         self._positions = positions
+        self._single = positions[0] if len(positions) == 1 else None
+        # key → task memo: stable_hash is pure, and real workloads draw
+        # keys from a bounded vocabulary, so the hash+mod is paid once
+        # per distinct key instead of once per tuple.
+        self._task_memo: Dict[object, int] = {}
 
     def task_for(self, value: Values) -> int:
-        if len(self._positions) == 1:
-            key = value[self._positions[0]]
+        if self._single is not None:
+            key = value[self._single]
         else:
             key = tuple(value[p] for p in self._positions)
-        return self.task_ids[stable_hash(key) % len(self.task_ids)]
+        try:
+            task = self._task_memo.get(key)
+        except TypeError:  # unhashable key (e.g. a list field): no memo
+            return self.task_ids[stable_hash(key) % len(self.task_ids)]
+        if task is None:
+            task = self.task_ids[stable_hash(key) % len(self.task_ids)]
+            self._task_memo[key] = task
+        return task
 
     def split(self, values: List[Values], tuple_ids: List[int],
               count: int) -> List[Route]:
@@ -331,12 +375,22 @@ class _PartialKeyInstance(GroupingInstance):
         super().__init__(task_ids)
         self._positions = positions
         self._load: Dict[int, int] = {task: 0 for task in self.task_ids}
+        self._cand_memo: Dict[object, Tuple[int, int]] = {}
 
     def _candidates(self, value: Values) -> Tuple[int, int]:
         if len(self._positions) == 1:
             key = value[self._positions[0]]
         else:
             key = tuple(value[p] for p in self._positions)
+        try:
+            pair = self._cand_memo.get(key)
+        except TypeError:  # unhashable key: no memo
+            return self._compute_candidates(key)
+        if pair is None:
+            pair = self._cand_memo[key] = self._compute_candidates(key)
+        return pair
+
+    def _compute_candidates(self, key: object) -> Tuple[int, int]:
         n = len(self.task_ids)
         first = stable_hash(key) % n
         second = stable_hash((key, "salt")) % n

@@ -218,17 +218,17 @@ class MicroBatchEngine:
                 topology.name, self.stage_names[stage_index], 0, 1,
                 topology.config), self._source_collector)
 
-        loc = Location(0, 0, 0)
+        loc = Location.of(0, 0, 0)
         self.driver = _Driver(self.sim, location=loc, network=network,
                               ledger=self.ledger, engine=self)
         self.executors = [
-            _ExecutorProcess(self.sim, i, location=Location(0, 0, i + 1),
+            _ExecutorProcess(self.sim, i, location=Location.of(0, 0, i + 1),
                              network=network, ledger=self.ledger,
                              engine=self)
             for i in range(executor_count)
         ]
         self.receiver = _Receiver(self.sim, 0,
-                                  location=Location(0, 0, 99),
+                                  location=Location.of(0, 0, 99),
                                   network=network, ledger=self.ledger,
                                   engine=self)
 

@@ -57,6 +57,7 @@ def _cmd_figures(_args) -> int:
 
 def _cmd_figure(args) -> int:
     import importlib
+    import inspect
 
     figure_id = ALIASES.get(args.id, args.id)
     entry = FIGURES.get(figure_id)
@@ -65,7 +66,14 @@ def _cmd_figure(args) -> int:
               file=sys.stderr)
         return 2
     module = importlib.import_module(entry[0])
-    figures = module.run(fast=args.fast)
+    kwargs = {"fast": args.fast}
+    if "parallel" in inspect.signature(module.run).parameters:
+        # None defers to the REPRO_PARALLEL environment variable.
+        kwargs["parallel"] = True if args.parallel else None
+    elif args.parallel:
+        print(f"note: {figure_id} does not support --parallel yet; "
+              f"running serially", file=sys.stderr)
+    figures = module.run(**kwargs)
     for key, figure in figures.items():
         figure.print()
         if args.csv:
@@ -159,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("id", help="figure id (see 'figures')")
     figure.add_argument("--fast", action="store_true",
                         help="reduced parameters (smoke run)")
+    figure.add_argument("--parallel", action="store_true",
+                        help="fan sweep points across a process pool "
+                             "(deterministic; same output as serial)")
     figure.add_argument("--csv", action="store_true",
                         help="also print CSV data")
     figure.add_argument("--svg", metavar="DIR",

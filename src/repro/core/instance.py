@@ -126,8 +126,8 @@ class InstanceCollector:
 
     @property
     def total_emitted(self) -> int:
-        return sum(self.stream_count(stream) for stream in
-                   set(self.emitted) | set(self.extra_counts))
+        total = sum(len(values) for values in self.emitted.values())
+        return total + sum(self.extra_counts.values())
 
 
 class HeronInstance(Actor):
@@ -373,7 +373,12 @@ class HeronInstance(Actor):
         now = self.sim.now
         batches: List[DataBatch] = []
         total = 0
-        for stream in set(collector.emitted) | set(collector.extra_counts):
+        if collector.extra_counts:
+            streams = set(collector.emitted)
+            streams.update(collector.extra_counts)
+        else:
+            streams = collector.emitted
+        for stream in streams:
             values = collector.emitted.get(stream, [])
             count = len(values) + collector.extra_counts.get(stream, 0)
             if count == 0:

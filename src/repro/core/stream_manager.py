@@ -34,6 +34,7 @@ from repro.core.messages import (AckComplete, AckCounted, DataBatch,
                                  NewPhysicalPlan, PauseSpouts, RegisterStmgr,
                                  RemoteDelivery, ResumeSpouts, XorUpdate)
 from repro.core.pplan import PhysicalPlan
+from repro.serialization.messages import Heartbeat
 from repro.serialization.pool import ObjectPool
 from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostModel
@@ -110,11 +111,36 @@ class StreamManager(Actor):
         self.low_watermark = int(config.get(Keys.BACKPRESSURE_LOW_WATERMARK))
         self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
 
+        # --- precomputed per-batch/per-tuple charge constants ---------------
+        # The Section V-A penalties depend only on the config snapshot, so
+        # the per-message cost arithmetic collapses to one multiply-add.
+        local_tuple = costs.sm_route_per_tuple
+        remote_tuple = 0.0
+        if not self.lazy_deser:
+            local_tuple += (costs.sm_full_deserialize_per_tuple +
+                            costs.sm_reserialize_per_tuple)
+            remote_tuple += costs.sm_full_deserialize_per_tuple
+        batch_fixed = costs.sm_batch_overhead
+        if not self.mempool:
+            local_tuple += costs.sm_alloc_per_tuple
+            remote_tuple += costs.sm_alloc_per_tuple
+            batch_fixed += costs.sm_alloc_per_batch
+        self._local_tuple_cost = local_tuple
+        self._remote_tuple_cost = remote_tuple
+        self._batch_fixed_cost = batch_fixed
+        ack_unit = costs.sm_ack_per_tuple
+        if not self.lazy_deser:
+            ack_unit += costs.sm_ack_deserialize_penalty
+        if not self.mempool:
+            ack_unit += costs.sm_ack_alloc_penalty
+        self._ack_unit = ack_unit
+
         # --- routing state ----------------------------------------------------
         self.pplan: Optional[PhysicalPlan] = None
         self.directory: Dict[int, Actor] = {}
         self.local_instances: Dict[InstanceKey, HeronInstance] = {}
         self._routing_tables: Dict[str, Dict] = {}
+        self._route_fns: Dict[Tuple[str, str], Callable] = {}
 
         # --- the tuple cache ---------------------------------------------------
         self._cache: Dict[_CacheKey, _CacheEntry] = {}
@@ -200,7 +226,6 @@ class StreamManager(Actor):
         tmaster = self.resolve_tmaster()
         if tmaster is None:
             return
-        from repro.serialization.messages import Heartbeat
         self._heartbeat_seq += 1
         self.charge(self.costs.tmaster_per_event)
         self.send(tmaster, Heartbeat(sender=self.name, time=self.sim.now,
@@ -211,7 +236,7 @@ class StreamManager(Actor):
         self.charge(self.costs.tmaster_per_event)
         self.pplan = message.pplan
         self.directory = dict(message.stmgr_directory)
-        self._routing_tables = {}
+        self._install_routes()
         for key, instance in self.local_instances.items():
             self.send(instance, _StartInstance())
 
@@ -223,52 +248,82 @@ class StreamManager(Actor):
             self._routing_tables[component] = tables
         return tables
 
+    def _install_routes(self) -> None:
+        """Precompute per-(component, stream) routing closures.
+
+        Local traffic only ever originates from this container's
+        instances, so every (component, stream) pair this SM will route
+        is known the moment the physical plan lands; the per-batch path
+        becomes one dict lookup + one call. Unknown pairs (e.g. after a
+        plan update) fall back to lazy construction in :meth:`_route`.
+        """
+        self._routing_tables = {}
+        self._route_fns = {}
+        for component in {key[0] for key in self.local_instances}:
+            for stream, edges in self._routes_for(component).items():
+                self._route_fns[(component, stream)] = \
+                    self._make_route_fn(edges)
+
+    def _make_route_fn(self, edges) -> Callable:
+        """Build the per-batch routing closure for one (component, stream)."""
+        cache_insert = self._cache_insert
+        if self.exact_acking:
+            def route_exact(batch: DataBatch) -> int:
+                routed = 0
+                indices = list(range(len(batch.values)))
+                for dest_component, grouping in edges:
+                    for task, values, idxs, count in grouping.split(
+                            batch.values, indices, batch.count):
+                        cache_insert(
+                            (dest_component, task), batch, values, count,
+                            tuple_ids=[batch.tuple_ids[i] for i in idxs],
+                            anchors=[batch.anchors[i] for i in idxs])
+                        routed += count
+                return routed
+            return route_exact
+
+        def route_counted(batch: DataBatch) -> int:
+            routed = 0
+            for dest_component, grouping in edges:
+                for task, values, _ids, count in grouping.split(
+                        batch.values, [], batch.count):
+                    cache_insert((dest_component, task), batch, values, count)
+                    routed += count
+            return routed
+        return route_counted
+
     # -- local instance traffic ------------------------------------------------------
     def _handle_local(self, message: InstanceBatches) -> None:
         if self.pplan is None:
             self.dropped_batches += len(message.batches)
             return
-        costs = self.costs
+        batch_fixed = self._batch_fixed_cost
+        per_tuple = self._local_tuple_cost
+        route_fns = self._route_fns
         for batch in message.batches:
-            count = batch.count
             self.batches_in += 1
-            self.charge(costs.sm_batch_overhead)
-            self.charge(count * costs.sm_route_per_tuple)
-            if not self.lazy_deser:
-                self.charge(count * (costs.sm_full_deserialize_per_tuple +
-                                     costs.sm_reserialize_per_tuple))
-            if not self.mempool:
-                self.charge(count * costs.sm_alloc_per_tuple +
-                            costs.sm_alloc_per_batch)
+            self.charge(batch_fixed + batch.count * per_tuple)
             if self.exact_acking and \
                     self.pplan.is_spout(batch.source_component):
                 self._register_roots(batch)
-            self._route(batch)
+            route = route_fns.get((batch.source_component, batch.stream))
+            if route is None:
+                route = self._lazy_route_fn(batch.source_component,
+                                            batch.stream)
+            self.tuples_routed += route(batch)
         self._absorb_acks(message.acks, message.xor_updates)
+
+    def _lazy_route_fn(self, component: str, stream: str) -> Callable:
+        """Fallback for (component, stream) pairs not precomputed."""
+        edges = self._routes_for(component).get(stream, [])
+        fn = self._make_route_fn(edges)
+        self._route_fns[(component, stream)] = fn
+        return fn
 
     def _register_roots(self, batch: DataBatch) -> None:
         mean_emit = batch.emit_time_sum / batch.count if batch.count else 0.0
         for tuple_id in batch.tuple_ids:
             self.tracker.register(tuple_id, batch.origin, mean_emit)
-
-    def _route(self, batch: DataBatch) -> None:
-        edges = self._routes_for(batch.source_component).get(batch.stream, [])
-        for dest_component, grouping in edges:
-            if self.exact_acking:
-                indices = list(range(len(batch.values)))
-                routes = grouping.split(batch.values, indices, batch.count)
-                for task, values, idxs, count in routes:
-                    self._cache_insert(
-                        (dest_component, task), batch, values, count,
-                        tuple_ids=[batch.tuple_ids[i] for i in idxs],
-                        anchors=[batch.anchors[i] for i in idxs])
-                    self.tuples_routed += count
-            else:
-                routes = grouping.split(batch.values, [], batch.count)
-                for task, values, _ids, count in routes:
-                    self._cache_insert((dest_component, task), batch,
-                                       values, count)
-                    self.tuples_routed += count
 
     def _cache_insert(self, dest: InstanceKey, batch: DataBatch,
                       values: List, count: int,
@@ -332,19 +387,15 @@ class StreamManager(Actor):
     # -- ack absorption ---------------------------------------------------------------
     def _ack_unit_cost(self) -> float:
         """Per-ack-entry SM cost, including the Section V-A penalties
-        when the optimizations are disabled (acks are protobufs too)."""
-        cost = self.costs.sm_ack_per_tuple
-        if not self.lazy_deser:
-            cost += self.costs.sm_ack_deserialize_penalty
-        if not self.mempool:
-            cost += self.costs.sm_ack_alloc_penalty
-        return cost
+        when the optimizations are disabled (acks are protobufs too).
+        Precomputed at construction from the config snapshot."""
+        return self._ack_unit
 
     def _absorb_acks(self, acks: List[AckCounted],
                      xor_updates: List[XorUpdate]) -> None:
         costs = self.costs
         if acks:
-            unit = self._ack_unit_cost()
+            unit = self._ack_unit
             for ack in acks:
                 self.charge(unit * ack.count)
                 self.acks_routed += ack.count
@@ -354,7 +405,7 @@ class StreamManager(Actor):
                 slot[1] += ack.emit_time_sum
         if xor_updates:
             assert self.pplan is not None
-            self.charge(self._ack_unit_cost() * len(xor_updates))
+            self.charge(self._ack_unit * len(xor_updates))
             self.acks_routed += len(xor_updates)
             for update in xor_updates:
                 home = self.pplan.container_of[update.origin]
@@ -380,16 +431,13 @@ class StreamManager(Actor):
     # -- remote traffic -------------------------------------------------------------
     def _handle_remote(self, message: RemoteDelivery) -> None:
         costs = self.costs
+        batch_fixed = self._batch_fixed_cost
+        per_tuple = self._remote_tuple_cost
         for batch in message.batches:
             self.batches_in += 1
             # Lazy path: parse only the destination header and forward the
             # payload as-is; otherwise pay the full decode.
-            self.charge(costs.sm_batch_overhead)
-            if not self.lazy_deser:
-                self.charge(batch.count * costs.sm_full_deserialize_per_tuple)
-            if not self.mempool:
-                self.charge(batch.count * costs.sm_alloc_per_tuple +
-                            costs.sm_alloc_per_batch)
+            self.charge(batch_fixed + batch.count * per_tuple)
             instance = self.local_instances.get(batch.dest)
             if instance is None or not instance.alive:
                 self.dropped_batches += 1
@@ -397,12 +445,12 @@ class StreamManager(Actor):
             self.charge(costs.sm_send_per_batch)
             self.send(instance, batch)
         if message.acks:
-            unit = self._ack_unit_cost()
+            unit = self._ack_unit
             for ack in message.acks:
                 self.charge(unit * ack.count)
                 self._deliver_ack_local(ack)
         if message.xor_updates:
-            self.charge(self._ack_unit_cost() * len(message.xor_updates))
+            self.charge(self._ack_unit * len(message.xor_updates))
             for update in message.xor_updates:
                 self._apply_xor(update)
 

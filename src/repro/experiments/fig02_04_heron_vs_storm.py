@@ -10,10 +10,10 @@ container (4 instances) or one Storm worker per machine.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.harness import (heron_perf_config,
-                                       run_heron_wordcount,
+from repro.experiments.harness import (ExperimentPoint, heron_perf_config,
+                                       measure_sweep, run_heron_wordcount,
                                        run_storm_wordcount)
 from repro.experiments.series import (Figure, ShapeCheck, check_monotonic,
                                       check_ratio_band)
@@ -26,7 +26,32 @@ FAST_PARALLELISMS = [10, 25]
 MAX_PENDING = 10_000
 
 
-def run(fast: bool = False) -> Dict[str, Figure]:
+def measure_point(spec: Tuple[int, float, float]) -> Tuple[
+        ExperimentPoint, ExperimentPoint, ExperimentPoint, ExperimentPoint]:
+    """One sweep point: both engines, with and without acks.
+
+    Module-level (picklable) so serial and pooled sweeps share this exact
+    code path; each call builds fresh clusters/simulators, so results are
+    independent of execution order.
+    """
+    parallelism, warmup, measure = spec
+    ack_cfg = heron_perf_config(acks=True, max_pending=MAX_PENDING)
+    noack_cfg = heron_perf_config(acks=False, max_pending=MAX_PENDING)
+    heron_ack = run_heron_wordcount(parallelism, acks=True, config=ack_cfg,
+                                    warmup=warmup, measure=measure)
+    storm_ack = run_storm_wordcount(parallelism, acks=True, config=ack_cfg,
+                                    warmup=warmup, measure=measure)
+    heron_noack = run_heron_wordcount(parallelism, acks=False,
+                                      config=noack_cfg, warmup=warmup,
+                                      measure=measure)
+    storm_noack = run_storm_wordcount(parallelism, acks=False,
+                                      config=noack_cfg, warmup=warmup,
+                                      measure=measure)
+    return heron_ack, storm_ack, heron_noack, storm_noack
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
     """Returns {"fig2": ..., "fig3": ..., "fig4": ...}."""
     parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
     warmup, measure = (0.3, 0.6) if fast else (0.5, 1.0)
@@ -38,23 +63,10 @@ def run(fast: bool = False) -> Dict[str, Figure]:
     fig4 = Figure("Figure 4", "Throughput without acks (Heron vs Storm)",
                   "spout/bolt parallelism", "million tuples/min")
 
-    for parallelism in parallelisms:
-        ack_cfg = heron_perf_config(acks=True, max_pending=MAX_PENDING)
-        noack_cfg = heron_perf_config(acks=False, max_pending=MAX_PENDING)
-
-        heron_ack = run_heron_wordcount(parallelism, acks=True,
-                                        config=ack_cfg, warmup=warmup,
-                                        measure=measure)
-        storm_ack = run_storm_wordcount(parallelism, acks=True,
-                                        config=ack_cfg, warmup=warmup,
-                                        measure=measure)
-        heron_noack = run_heron_wordcount(parallelism, acks=False,
-                                          config=noack_cfg, warmup=warmup,
-                                          measure=measure)
-        storm_noack = run_storm_wordcount(parallelism, acks=False,
-                                          config=noack_cfg, warmup=warmup,
-                                          measure=measure)
-
+    specs = [(p, warmup, measure) for p in parallelisms]
+    for (parallelism, _w, _m), points in zip(
+            specs, measure_sweep(measure_point, specs, parallel=parallel)):
+        heron_ack, storm_ack, heron_noack, storm_noack = points
         fig2.add_point("Heron", parallelism, heron_ack.throughput_mtpm)
         fig2.add_point("Storm", parallelism, storm_ack.throughput_mtpm)
         fig3.add_point("Heron", parallelism, heron_ack.latency_ms)

@@ -14,9 +14,10 @@ Testbed analogue: dual-Xeon 24-core/72GB machines.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.harness import (DUAL_XEON_MACHINE, heron_perf_config,
+from repro.experiments.harness import (DUAL_XEON_MACHINE, ExperimentPoint,
+                                       heron_perf_config, measure_sweep,
                                        run_heron_wordcount, windows_for)
 from repro.experiments.series import Figure, ShapeCheck, check_ratio_band
 
@@ -31,7 +32,29 @@ WITHOUT = "Without optimizations"
 MAX_PENDING = 12_000
 
 
-def run(fast: bool = False) -> Dict[str, Figure]:
+def measure_point(spec: Tuple[int, bool, float, float]) -> Tuple[
+        ExperimentPoint, ExperimentPoint]:
+    """One sweep point: (no-ack, acked) runs for one optimization setting.
+
+    Module-level (picklable) so serial and pooled sweeps share this exact
+    code path.
+    """
+    parallelism, optimized, warmup, measure = spec
+    noack = run_heron_wordcount(
+        parallelism, acks=False,
+        config=heron_perf_config(acks=False, optimized=optimized,
+                                 max_pending=MAX_PENDING),
+        warmup=warmup, measure=measure, machine=DUAL_XEON_MACHINE)
+    acked = run_heron_wordcount(
+        parallelism, acks=True,
+        config=heron_perf_config(acks=True, optimized=optimized,
+                                 max_pending=MAX_PENDING),
+        warmup=warmup, measure=measure, machine=DUAL_XEON_MACHINE)
+    return noack, acked
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
     """Run the experiment; returns {figure_key: Figure}."""
     parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
 
@@ -46,26 +69,20 @@ def run(fast: bool = False) -> Dict[str, Figure]:
     fig9 = Figure("Figure 9", "End-to-end latency with acks",
                   "spout/bolt parallelism", "latency (ms)")
 
+    specs = []
     for parallelism in parallelisms:
         warmup, measure = windows_for(parallelism, fast)
-        for optimized, label in ((True, WITH), (False, WITHOUT)):
-            noack = run_heron_wordcount(
-                parallelism, acks=False,
-                config=heron_perf_config(acks=False, optimized=optimized,
-                                         max_pending=MAX_PENDING),
-                warmup=warmup, measure=measure, machine=DUAL_XEON_MACHINE)
-            acked = run_heron_wordcount(
-                parallelism, acks=True,
-                config=heron_perf_config(acks=True, optimized=optimized,
-                                         max_pending=MAX_PENDING),
-                warmup=warmup, measure=measure, machine=DUAL_XEON_MACHINE)
-            fig5.add_point(label, parallelism, noack.throughput_mtpm)
-            fig6.add_point(label, parallelism,
-                           noack.throughput_mtpm_per_core)
-            fig7.add_point(label, parallelism, acked.throughput_mtpm)
-            fig8.add_point(label, parallelism,
-                           acked.throughput_mtpm_per_core)
-            fig9.add_point(label, parallelism, acked.latency_ms)
+        for optimized in (True, False):
+            specs.append((parallelism, optimized, warmup, measure))
+
+    for (parallelism, optimized, _w, _m), (noack, acked) in zip(
+            specs, measure_sweep(measure_point, specs, parallel=parallel)):
+        label = WITH if optimized else WITHOUT
+        fig5.add_point(label, parallelism, noack.throughput_mtpm)
+        fig6.add_point(label, parallelism, noack.throughput_mtpm_per_core)
+        fig7.add_point(label, parallelism, acked.throughput_mtpm)
+        fig8.add_point(label, parallelism, acked.throughput_mtpm_per_core)
+        fig9.add_point(label, parallelism, acked.latency_ms)
 
     return {"fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
             "fig9": fig9}

@@ -19,6 +19,7 @@ from repro.common.config import Config
 from repro.common.resources import Resource
 from repro.common.units import GB, MINUTES
 from repro.core.heron import HeronCluster, TopologyHandle
+from repro.experiments.parallel import run_sweep
 from repro.metrics.stats import WeightedStats
 from repro.simulation.costs import CostModel
 from repro.workloads.wordcount import wordcount_topology
@@ -56,6 +57,17 @@ class ExperimentPoint:
     @property
     def throughput_mtpm_per_core(self) -> float:
         return self.throughput_mtpm / self.cores if self.cores else 0.0
+
+
+def measure_sweep(point_fn, specs, *, parallel=None):
+    """Evaluate independent sweep points, serially or across a pool.
+
+    The standard entry point for figure modules: ``point_fn`` must be a
+    module-level function (picklable) and each spec a picklable value.
+    Results come back in spec order and are identical in serial and
+    parallel mode — see :mod:`repro.experiments.parallel`.
+    """
+    return run_sweep(point_fn, specs, parallel=parallel)
 
 
 def windows_for(parallelism: int, fast: bool) -> tuple:

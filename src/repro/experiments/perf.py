@@ -1,0 +1,126 @@
+"""Performance measurement for the simulation kernel and figure runs.
+
+Two measurements, both recorded in ``BENCH_kernel.json`` by
+``scripts/perf_report.py`` so the perf trajectory is tracked PR over PR
+(methodology after Karimov et al., arXiv:1802.08496: fixed workload,
+fixed window, report the best of N trials to reject scheduler noise):
+
+* :func:`kernel_microbench` — events/second through the discrete-event
+  kernel alone, under the operation mix a WordCount figure run induces:
+  short-delay message deliveries, service completions, periodic timers
+  (metrics ticks, cache drains), far-future timeout guards that are
+  cancelled almost immediately (the ack-timeout pattern: cancellation
+  tombstones whose deadline is ~30 simulated seconds away), kill churn
+  (batches of timers stopped together, as container kills do), and a
+  periodic ``pending_events`` introspection poll (progress monitoring).
+  Handlers are no-ops, so the measured cost is the kernel's own:
+  schedule, fire, cancel, re-arm, compact.
+
+* :func:`wordcount_wallclock` — wall-clock seconds to simulate a fixed
+  WordCount window end-to-end (the paper's benchmark topology), i.e.
+  what regenerating a figure point actually costs.
+
+Both use ``time.process_time`` (CPU seconds) so background load on the
+host does not masquerade as a regression.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict
+
+from repro.simulation.events import Simulator
+
+#: Kernel-microbench workload shape (WordCount-run proportions: message
+#: deliveries dominate, with ~1/3 as many timeout guards, a few dozen
+#: periodic timers, and a coarse monitoring poll).
+DELIVERIES_PER_MS = 30
+GUARDS_PER_MS = 10
+GUARD_HORIZON_S = 30.0    # message_timeout: guards are cancelled ~1ms in
+TIMER_COUNT = 64          # drain-like (10ms) and metrics-like (1s) timers
+KILL_CHURN_PERIOD_S = 0.25  # stop/recreate a batch of timers (kill churn)
+KILL_CHURN_TIMERS = 32
+POLL_PERIOD_S = 0.1       # pending_events monitoring poll
+
+
+def kernel_microbench(sim_seconds: float = 30.0) -> Dict[str, float]:
+    """Drive the event kernel with a WordCount-shaped operation mix.
+
+    Returns ``{"events": ..., "cpu_s": ..., "events_per_sec": ...}``.
+    The event *count* is deterministic and identical across kernel
+    implementations (cancelled events never count), so events/sec
+    differences are purely kernel wall-time differences.
+    """
+    sim = Simulator()
+
+    def noop() -> None:
+        pass
+
+    def handler() -> None:
+        pass
+
+    for i in range(TIMER_COUNT):
+        sim.every(0.01 if i % 2 else 1.0, noop)
+
+    guards: deque = deque()
+
+    def driver() -> None:
+        schedule = sim.schedule
+        for _ in range(DELIVERIES_PER_MS):
+            schedule(0.0005, handler)
+        for _ in range(GUARDS_PER_MS):
+            guards.append(schedule(GUARD_HORIZON_S, handler))
+        # Acks arrive ~1ms later: cancel all but the newest guards.
+        while len(guards) > GUARDS_PER_MS:
+            guards.popleft().cancel()
+
+    sim.every(0.001, driver)
+
+    churn_timers = [sim.every(0.01, noop) for _ in range(KILL_CHURN_TIMERS)]
+
+    def kill_churn() -> None:
+        # A container kill stops a batch of actor timers at once; the
+        # replacement's timers start fresh.
+        for timer in churn_timers:
+            timer.stop()
+        churn_timers[:] = [sim.every(0.01, noop)
+                           for _ in range(KILL_CHURN_TIMERS)]
+
+    sim.every(KILL_CHURN_PERIOD_S, kill_churn)
+
+    observed = 0
+
+    def poll() -> None:
+        nonlocal observed
+        observed += sim.pending_events
+
+    sim.every(POLL_PERIOD_S, poll)
+
+    start = time.process_time()
+    sim.run_until(sim_seconds)
+    cpu = time.process_time() - start
+    assert observed > 0
+    return {"events": float(sim.events_processed), "cpu_s": cpu,
+            "events_per_sec": sim.events_processed / cpu if cpu else 0.0}
+
+
+def wordcount_wallclock(parallelism: int = 25, warmup: float = 0.2,
+                        measure: float = 0.5) -> Dict[str, float]:
+    """CPU seconds to simulate a fixed WordCount window end-to-end."""
+    from repro.experiments.harness import (heron_perf_config,
+                                           run_heron_wordcount)
+
+    config = heron_perf_config(acks=True, max_pending=10_000)
+    start = time.process_time()
+    point = run_heron_wordcount(parallelism, acks=True, config=config,
+                                warmup=warmup, measure=measure)
+    cpu = time.process_time() - start
+    return {"cpu_s": cpu, "throughput_mtpm": point.throughput_mtpm,
+            "parallelism": float(parallelism)}
+
+
+def best_of(fn, trials: int = 3):
+    """Run ``fn`` ``trials`` times; return the result with least CPU."""
+    results = [fn() for _ in range(trials)]
+    return min(results, key=lambda r: r["cpu_s"])

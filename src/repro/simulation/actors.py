@@ -29,17 +29,42 @@ class Location:
     executors in a worker JVM); actors sharing only ``container_id`` are
     separate processes in one container (Heron instances and their SM);
     and so on outward.
+
+    Locations are hashed per message on the latency hot path, so the
+    hash is computed once at construction, and :meth:`Location.of`
+    interns instances so equal locations share one object.
     """
 
     machine_id: int
     container_id: int
     process_id: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(
+            (self.machine_id, self.container_id, self.process_id)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    @classmethod
+    def of(cls, machine_id: int, container_id: int,
+           process_id: int) -> "Location":
+        """Interned constructor: equal coordinates → the same object."""
+        key = (machine_id, container_id, process_id)
+        location = _LOCATION_CACHE.get(key)
+        if location is None:
+            location = cls(machine_id, container_id, process_id)
+            _LOCATION_CACHE[key] = location
+        return location
+
     def colocated_process(self, other: "Location") -> bool:
         """Whether both locations are threads of one process."""
         return (self.machine_id == other.machine_id
                 and self.container_id == other.container_id
                 and self.process_id == other.process_id)
+
+
+_LOCATION_CACHE: Dict[Tuple[int, int, int], Location] = {}
 
 
 class CostLedger:
@@ -110,6 +135,14 @@ class Actor:
         if not self.alive:
             return
         self._inbox.append(message)
+        if not self._busy:
+            self._process_loop()
+
+    def deliver_many(self, messages: List[Any]) -> None:
+        """Enqueue several messages at once (one coalesced delivery)."""
+        if not self.alive:
+            return
+        self._inbox.extend(messages)
         if not self._busy:
             self._process_loop()
 
@@ -201,11 +234,32 @@ class Actor:
             self._process_loop()
 
     def _flush_pending(self) -> None:
-        if not self._pending_out:
+        pending = self._pending_out
+        if not pending:
             return
-        pending, self._pending_out = self._pending_out, []
+        self._pending_out = []
+        schedule = self.sim.schedule
+        if len(pending) == 1:
+            dest, message, delay = pending[0]
+            schedule(delay, dest.deliver, message)
+            return
+        # Coalesce sends sharing (destination, delay) into one delivery
+        # event: one heap push per destination instead of one per message.
+        # Relative order per destination is preserved (dict is insertion
+        # ordered), so coalescing is deterministic.
+        groups: Dict[Tuple[int, float], List[Any]] = {}
         for dest, message, delay in pending:
-            self.sim.schedule(delay, dest.deliver, message)
+            key = (id(dest), delay)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [dest, message]
+            else:
+                group.append(message)
+        for (_dest_id, delay), group in groups.items():
+            if len(group) == 2:
+                schedule(delay, group[0].deliver, group[1])
+            else:
+                schedule(delay, group[0].deliver_many, group[1:])
 
 
 class NetworkProtocol:

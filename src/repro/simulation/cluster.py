@@ -50,7 +50,7 @@ class Container:
         """
         pid = shared_process if shared_process is not None \
             else next(self._process_ids)
-        return Location(self.machine.id, self.id, pid)
+        return Location.of(self.machine.id, self.id, pid)
 
     def new_process_id(self) -> int:
         """A fresh process id within this container."""

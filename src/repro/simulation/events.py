@@ -1,41 +1,78 @@
 """The discrete-event loop: a simulated clock plus a pending-event heap.
 
 The :class:`Simulator` is intentionally tiny — it is the "kernel" the whole
-reproduction runs on — and is written for predictable performance: a heap of
-``(time, seq, handle)`` entries, cancellation by tombstone, and no per-event
-allocations beyond the entry tuple.
+reproduction runs on — and is written for predictable performance:
+
+* a heap of ``(time, seq, handle)`` entries with cancellation by
+  tombstone, exactly as before, **plus** an O(1) live-event counter so
+  :attr:`Simulator.pending_events` never scans the heap;
+* automatic heap **compaction**: when tombstones (cancelled or stale
+  entries) outnumber live events the heap is rebuilt in place, so
+  cancel-heavy workloads (kill storms, timer churn) keep memory bounded;
+* **allocation-free repeating timers**: a :class:`RepeatingEvent` re-arms
+  one reusable :class:`EventHandle` per fire instead of constructing a
+  new handle each interval. Handles are sequence-versioned so a stale
+  heap entry left behind by ``cancel``/``reschedule`` can never fire a
+  re-armed handle.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
+#: Compaction policy: rebuild when the heap holds more tombstones than
+#: live events and is big enough for the rebuild to be worth its O(n).
+_COMPACT_MIN_SIZE = 64
+
 
 class EventHandle:
-    """A cancellable reference to one scheduled callback."""
+    """A cancellable reference to one scheduled callback.
 
-    __slots__ = ("fn", "args", "cancelled", "time")
+    A handle is *versioned*: ``seq`` records the heap sequence number of
+    its currently-armed entry. Popped entries whose stored sequence does
+    not match ``handle.seq`` are stale (the handle was cancelled and
+    re-armed since) and are discarded as tombstones.
+    """
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple) -> None:
+    __slots__ = ("fn", "args", "cancelled", "time", "sim", "seq", "in_heap")
+
+    def __init__(self, sim: "Simulator", time: float,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self.sim = sim
         self.time = time
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self.seq = 0
+        self.in_heap = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None  # drop references early
         self.args = ()
+        if self.in_heap:
+            self.in_heap = False
+            sim = self.sim
+            sim._live -= 1
+            sim._maybe_compact()
 
 
 class RepeatingEvent:
-    """A fixed-interval timer created by :meth:`Simulator.every`."""
+    """A fixed-interval timer created by :meth:`Simulator.every`.
 
-    __slots__ = ("_sim", "_interval", "_fn", "_handle", "_stopped")
+    One :class:`EventHandle` is allocated at construction and re-armed
+    after every fire — steady-state firing allocates only the heap entry
+    tuple, never a new handle.
+    """
+
+    __slots__ = ("_sim", "_interval", "_fn", "_handle", "_stopped",
+                 "_in_fire")
 
     def __init__(self, sim: "Simulator", interval: float,
                  fn: Callable[[], Any]) -> None:
@@ -46,14 +83,31 @@ class RepeatingEvent:
         self._interval = interval
         self._fn = fn
         self._stopped = False
+        self._in_fire = False
         self._handle = sim.schedule(interval, self._fire)
 
     def _fire(self) -> None:
         if self._stopped:
             return
-        self._fn()
+        self._in_fire = True
+        try:
+            self._fn()
+        finally:
+            self._in_fire = False
         if not self._stopped:  # fn may have stopped us
-            self._handle = self._sim.schedule(self._interval, self._fire)
+            # _arm inlined: this runs once per fire of every timer.
+            handle = self._handle
+            handle.cancelled = False
+            handle.fn = self._fire
+            self._sim._push(handle, self._interval)
+
+    def _arm(self, delay: float) -> None:
+        """Re-arm the reusable handle ``delay`` seconds from now."""
+        handle = self._handle
+        handle.cancelled = False
+        handle.fn = self._fire
+        handle.args = ()
+        self._sim._push(handle, delay)
 
     def stop(self) -> None:
         """Stop firing (idempotent)."""
@@ -65,14 +119,19 @@ class RepeatingEvent:
         return self._interval
 
     def reschedule(self, interval: float) -> None:
-        """Change the firing interval, starting from now."""
+        """Change the firing interval, starting from now.
+
+        Safe to call from inside the timer's own callback: the in-flight
+        fire simply re-arms at the new interval instead of double-arming.
+        """
         if interval <= 0:
             raise SimulationError(
                 f"repeating interval must be positive, got {interval}")
         self._interval = interval
+        if self._in_fire or self._stopped:
+            return  # _fire (or nobody) will arm; never leave two entries
         self._handle.cancel()
-        if not self._stopped:
-            self._handle = self._sim.schedule(interval, self._fire)
+        self._arm(interval)
 
 
 class Simulator:
@@ -86,18 +145,39 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
+        self._live = 0
         self._events_processed = 0
+        self._compactions = 0
         self._running = False
 
     # -- scheduling -------------------------------------------------------
+    def _push(self, handle: EventHandle, delay: float) -> None:
+        """Arm ``handle`` ``delay`` seconds from now (internal)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        seq = self._seq + 1
+        self._seq = seq
+        handle.time = time = self.now + delay
+        handle.seq = seq
+        handle.in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, seq, handle))
+
     def schedule(self, delay: float, fn: Callable[..., Any],
                  *args: Any) -> EventHandle:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        # _push inlined: this is the hottest allocation site in the whole
+        # simulator (one handle + one heap entry per message delivery).
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        handle = EventHandle(self.now + delay, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (handle.time, self._seq, handle))
+        handle = EventHandle(self, 0.0, fn, args)
+        seq = self._seq + 1
+        self._seq = seq
+        handle.time = time = self.now + delay
+        handle.seq = seq
+        handle.in_heap = True
+        self._live += 1
+        heappush(self._heap, (time, seq, handle))
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any],
@@ -109,16 +189,29 @@ class Simulator:
         """Run ``fn()`` every ``interval`` seconds until stopped."""
         return RepeatingEvent(self, interval, fn)
 
+    # -- heap hygiene ------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when tombstones outnumber live events."""
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_SIZE and len(heap) >= 2 * self._live:
+            # In-place so `run_until`'s local alias stays valid.
+            heap[:] = [entry for entry in heap
+                       if entry[2].in_heap and entry[2].seq == entry[1]]
+            heapify(heap)
+            self._compactions += 1
+
     # -- execution ----------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event; returns False if none remain."""
         while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
+            time, seq, handle = heappop(self._heap)
+            if not handle.in_heap or handle.seq != seq:
+                continue  # tombstone: cancelled, or stale after a re-arm
             if time < self.now - 1e-12:
                 raise SimulationError(
                     f"time went backwards: {time} < {self.now}")
+            handle.in_heap = False
+            self._live -= 1
             self.now = time
             fn, args = handle.fn, handle.args
             handle.fn = None
@@ -138,13 +231,16 @@ class Simulator:
         self._running = True
         try:
             heap = self._heap
+            pop = heappop
             while heap:
-                etime, _seq, handle = heap[0]
+                etime, seq, handle = heap[0]
                 if etime > time:
                     break
-                heapq.heappop(heap)
-                if handle.cancelled:
-                    continue
+                pop(heap)
+                if not handle.in_heap or handle.seq != seq:
+                    continue  # tombstone / stale entry
+                handle.in_heap = False
+                self._live -= 1
                 self.now = etime
                 fn, args = handle.fn, handle.args
                 handle.fn = None
@@ -171,7 +267,18 @@ class Simulator:
     # -- introspection ------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+        """Live (non-cancelled) scheduled events — O(1)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap entries, tombstones included (for tests)."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:

@@ -3,29 +3,60 @@
 Delivery latency depends on how far apart two actors run: same process,
 same container, same machine, or across machines. The constants come from
 :class:`~repro.simulation.costs.CostModel` so ablations can vary them.
+
+``Network.latency`` is pure in ``(src, dst)`` for a fixed cost model and
+is called once per message send, so results are memoized per location
+pair. Locations are interned (:meth:`Location.of`) with precomputed
+hashes, making the memo a two-dict lookup. Swapping :attr:`Network.costs`
+invalidates the memo; :meth:`invalidate_cache` does so explicitly.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from repro.simulation.actors import Location, NetworkProtocol
 from repro.simulation.costs import CostModel
 
 
 class Network(NetworkProtocol):
-    """Prices message delivery between actor locations."""
+    """Prices message delivery between actor locations (memoized)."""
 
     def __init__(self, costs: CostModel) -> None:
-        self.costs = costs
+        self._costs = costs
+        self._memo: Dict[Location, Dict[Location, float]] = {}
+
+    @property
+    def costs(self) -> CostModel:
+        return self._costs
+
+    @costs.setter
+    def costs(self, value: CostModel) -> None:
+        self._costs = value
+        self._memo.clear()
+
+    def invalidate_cache(self) -> None:
+        """Drop all memoized latencies (call after mutating cost data)."""
+        self._memo.clear()
 
     def latency(self, src: Location, dst: Location) -> float:
         """Distance-based delivery latency between locations."""
+        by_dst = self._memo.get(src)
+        if by_dst is None:
+            by_dst = self._memo[src] = {}
+        value = by_dst.get(dst)
+        if value is None:
+            value = by_dst[dst] = self._compute(src, dst)
+        return value
+
+    def _compute(self, src: Location, dst: Location) -> float:
         if src.machine_id != dst.machine_id:
-            return self.costs.net_cross_machine
+            return self._costs.net_cross_machine
         if src.container_id != dst.container_id:
-            return self.costs.net_same_machine
+            return self._costs.net_same_machine
         if src.process_id != dst.process_id:
-            return self.costs.net_same_container
-        return self.costs.net_local_process
+            return self._costs.net_same_container
+        return self._costs.net_local_process
 
 
 class UniformNetwork(NetworkProtocol):

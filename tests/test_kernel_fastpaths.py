@@ -1,0 +1,163 @@
+"""Tests for the kernel fast paths: compaction, O(1) counts, re-arm.
+
+The seed kernel cancelled events by tombstone and left them in the heap
+until their (possibly far-future) deadline, scanned the whole heap for
+``pending_events``, and allocated a fresh handle per timer fire. These
+tests pin the fast-path behaviours: cancel-heavy churn keeps the heap
+bounded, the live count stays exact through every transition, and a
+``RepeatingEvent`` re-arms one handle without racing ``reschedule()`` or
+``stop()``.
+"""
+
+from repro.simulation.actors import Actor, Location
+from repro.simulation.events import Simulator
+from repro.simulation.network import UniformNetwork
+
+
+def _noop() -> None:
+    pass
+
+
+class TestHeapCompaction:
+    def test_cancel_churn_keeps_heap_bounded(self):
+        """The ack-timeout pattern: far-future guards cancelled at once.
+
+        The seed heap would hold all 20K tombstones until t=1000; the
+        compacting kernel keeps physical size within a small multiple of
+        the live count.
+        """
+        sim = Simulator()
+        for _ in range(20_000):
+            sim.schedule(1000.0, _noop).cancel()
+        assert sim.pending_events == 0
+        assert sim.heap_size < 1_000
+        assert sim.compactions > 0
+
+    def test_live_events_survive_compaction(self):
+        sim = Simulator()
+        seen = []
+        keepers = [sim.schedule(1.0 + i * 0.001, seen.append, i)
+                   for i in range(100)]
+        for _ in range(5_000):
+            sim.schedule(500.0, _noop).cancel()
+        assert sim.pending_events == len(keepers)
+        sim.run_until(2.0)
+        assert seen == list(range(100))
+
+    def test_compaction_inside_run_until(self):
+        """Cancelling from a callback mid-run must not lose events."""
+        sim = Simulator()
+        seen = []
+
+        def churn() -> None:
+            for _ in range(2_000):
+                sim.schedule(100.0, _noop).cancel()
+
+        sim.schedule(0.5, churn)
+        sim.schedule(1.0, seen.append, "after-churn")
+        sim.run_until(2.0)
+        assert seen == ["after-churn"]
+        assert sim.heap_size < 500
+
+    def test_pending_events_tracks_every_transition(self):
+        sim = Simulator()
+        assert sim.pending_events == 0
+        handles = [sim.schedule(float(i + 1), _noop) for i in range(10)]
+        assert sim.pending_events == 10
+        handles[0].cancel()
+        handles[0].cancel()  # idempotent: must not double-decrement
+        assert sim.pending_events == 9
+        sim.run_until(5.0)  # fires events at t=2..5
+        assert sim.pending_events == 5
+
+    def test_small_heaps_are_never_compacted(self):
+        """Below the size floor a rebuild costs more than it saves."""
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(10.0, _noop).cancel()
+        assert sim.compactions == 0
+
+
+class TestActorKillChurn:
+    def test_kill_storm_does_not_accumulate_tombstones(self):
+        """Container kill/replace cycles must not grow the heap.
+
+        Every kill cancels the actor's timers and in-flight completion;
+        those tombstones now register compaction pressure instead of
+        lingering until each timer's next deadline.
+        """
+        sim = Simulator()
+        network = UniformNetwork(0.0)
+        for wave in range(300):
+            actors = [Actor(sim, f"a{wave}-{i}", Location.of(0, 0, i),
+                            network=network) for i in range(8)]
+            for actor in actors:
+                actor.every(0.01, _noop)
+                actor.every(1.0, _noop)
+            sim.run_for(0.005)
+            for actor in actors:
+                actor.kill()
+        assert sim.pending_events == 0
+        assert sim.heap_size < 1_000
+
+
+class TestRepeatingRearm:
+    def test_rearm_reuses_one_handle(self):
+        sim = Simulator()
+        fires = []
+        timer = sim.every(0.1, lambda: fires.append(sim.now))
+        handle = timer._handle
+        sim.run_for(5.0)
+        assert len(fires) == 50
+        assert timer._handle is handle  # no per-fire allocation
+        assert sim.heap_size <= 2
+
+    def test_reschedule_inside_callback_no_double_fire(self):
+        sim = Simulator()
+        fires = []
+
+        def fire() -> None:
+            fires.append(sim.now)
+            if len(fires) == 1:
+                timer.reschedule(0.5)
+
+        timer = sim.every(0.1, fire)
+        sim.run_for(2.0)
+        # One fire at 0.1, then every 0.5 from there: 0.6, 1.1, 1.6.
+        assert fires == [0.1, 0.6, 1.1, 1.6]
+
+    def test_stop_then_reschedule_stays_stopped(self):
+        sim = Simulator()
+        fires = []
+        timer = sim.every(0.1, lambda: fires.append(sim.now))
+        sim.run_for(0.25)
+        timer.stop()
+        timer.reschedule(0.05)
+        sim.run_for(1.0)
+        assert fires == [0.1, 0.2]
+        assert sim.pending_events == 0
+
+    def test_stop_inside_callback_cancels_cleanly(self):
+        sim = Simulator()
+        fires = []
+
+        def fire() -> None:
+            fires.append(sim.now)
+            timer.stop()
+
+        timer = sim.every(0.1, fire)
+        sim.run_for(1.0)
+        assert fires == [0.1]
+        assert sim.pending_events == 0
+
+    def test_reschedule_outside_callback_restarts_from_now(self):
+        sim = Simulator()
+        fires = []
+        timer = sim.every(1.0, lambda: fires.append(sim.now))
+        sim.run_for(0.5)
+        timer.reschedule(0.25)
+        sim.run_for(0.5)
+        assert fires == [0.75, 1.0]
+        # The cancelled original arm must not fire at t=1.0 again.
+        sim.run_for(0.1)
+        assert fires == [0.75, 1.0]

@@ -1,0 +1,70 @@
+"""Parallel sweep runner: pooled results must be identical to serial.
+
+Each sweep point builds its own freshly seeded simulator, so results
+cannot depend on execution order; these tests pin that promise all the
+way up to a full figure module (byte-identical CSV output), plus the
+basic ``run_sweep`` contract (ordering, env control, serial fallbacks).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import fig02_04_heron_vs_storm as fig02
+from repro.experiments import parallel
+from repro.experiments.parallel import (default_processes, parallel_enabled,
+                                        run_sweep)
+
+
+def _square(x: int) -> int:
+    return x * x  # module-level: picklable for pool workers
+
+
+class TestRunSweep:
+    def test_results_in_spec_order(self):
+        assert run_sweep(_square, [3, 1, 2], parallel=False) == [9, 1, 4]
+
+    def test_pool_matches_serial(self):
+        serial = run_sweep(_square, range(8), parallel=False)
+        pooled = run_sweep(_square, range(8), parallel=True, processes=2)
+        assert pooled == serial
+
+    def test_single_spec_runs_serial(self):
+        assert run_sweep(_square, [5], parallel=True, processes=4) == [25]
+
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.delenv(parallel.ENV_FLAG, raising=False)
+        assert not parallel_enabled()
+        monkeypatch.setenv(parallel.ENV_FLAG, "0")
+        assert not parallel_enabled()
+        monkeypatch.setenv(parallel.ENV_FLAG, "1")
+        assert parallel_enabled()
+
+    def test_default_processes_capped_by_cores(self):
+        cores = os.cpu_count() or 1
+        assert default_processes(1_000) == cores
+        assert default_processes(1) == 1
+
+
+class TestFigureDeterminism:
+    @pytest.mark.slow
+    def test_fig02_04_pooled_output_byte_identical(self, monkeypatch):
+        """One full figure module: pooled CSV == serial CSV, byte for byte.
+
+        Parallelisms are shrunk so the test stays affordable; the code
+        path (measure_point via measure_sweep/run_sweep) is exactly the
+        one full runs take. ``default_processes`` is forced to 2 so a
+        real pool runs even on single-core CI hosts.
+        """
+        monkeypatch.setattr(fig02, "FAST_PARALLELISMS", [2, 3])
+        monkeypatch.setattr(parallel, "default_processes", lambda n: 2)
+        serial = fig02.run(fast=True, parallel=False)
+        pooled = fig02.run(fast=True, parallel=True)
+        assert set(serial) == set(pooled) == {"fig2", "fig3", "fig4"}
+        for key in serial:
+            assert pooled[key].to_csv() == serial[key].to_csv()
+
+    def test_measure_point_is_picklable(self):
+        import pickle
+
+        pickle.dumps(fig02.measure_point)

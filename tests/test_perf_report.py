@@ -1,0 +1,54 @@
+"""Perf tooling smoke tests: the regression check must stay runnable.
+
+``scripts/perf_report.py --smoke`` is the CI guard against kernel perf
+regressions; these tests keep it invocable (and failing loudly when the
+kernel is slower than the recorded baseline) and pin the property the
+whole events/sec comparison rests on: the microbench event count is
+deterministic, so ratios measure kernel time, not workload drift.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestBenchFile:
+    def test_baseline_entry_is_first_and_complete(self):
+        data = json.loads((ROOT / "BENCH_kernel.json").read_text())
+        baseline = data["entries"][0]
+        assert baseline["label"] == "seed"
+        for key in ("kernel_events_per_sec", "kernel_events",
+                    "kernel_cpu_s", "wordcount_p25_cpu_s"):
+            assert key in baseline
+
+
+class TestPerfReport:
+    @pytest.mark.slow
+    def test_smoke_invocation_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "perf_report.py"),
+             "--smoke"],
+            cwd=ROOT, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+
+class TestMicrobenchDeterminism:
+    @pytest.mark.slow
+    def test_event_count_matches_recorded_baseline_scale(self):
+        """Same op mix, shorter window: counts must be deterministic.
+
+        Two independent runs of the microbench must process the exact
+        same number of events; otherwise events/sec comparisons across
+        revisions would conflate workload drift with kernel speed.
+        """
+        from repro.experiments.perf import kernel_microbench
+
+        a = kernel_microbench(2.0)
+        b = kernel_microbench(2.0)
+        assert a["events"] == b["events"] > 0

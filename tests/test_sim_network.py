@@ -88,3 +88,60 @@ class TestRng:
     def test_expovariate_positive(self):
         stream = RngStream(0, "expo")
         assert stream.expovariate(2.0) > 0
+
+
+class TestLatencyMemo:
+    """Network.latency is memoized per (src, dst); swaps invalidate."""
+
+    def _counting_network(self):
+        net = Network(CostModel())
+        computes = []
+        original = net._compute
+
+        def counted(src, dst):
+            computes.append((src, dst))
+            return original(src, dst)
+
+        net._compute = counted
+        return net, computes
+
+    def test_repeat_lookups_compute_once(self):
+        net, computes = self._counting_network()
+        a, b = Location.of(0, 0, 0), Location.of(1, 0, 0)
+        first = net.latency(a, b)
+        for _ in range(10):
+            assert net.latency(a, b) == first
+        assert len(computes) == 1
+
+    def test_direction_is_its_own_entry(self):
+        net, computes = self._counting_network()
+        a, b = Location.of(0, 0, 0), Location.of(0, 0, 1)
+        assert net.latency(a, b) == net.latency(b, a)
+        assert len(computes) == 2
+
+    def test_costs_swap_invalidates_memo(self):
+        import dataclasses
+
+        net = Network(CostModel())
+        a, b = Location.of(0, 0, 0), Location.of(2, 0, 0)
+        before = net.latency(a, b)
+        net.costs = dataclasses.replace(net.costs,
+                                        net_cross_machine=before * 2)
+        assert net.latency(a, b) == before * 2
+
+    def test_invalidate_cache_recomputes(self):
+        net, computes = self._counting_network()
+        a, b = Location.of(0, 0, 0), Location.of(0, 1, 0)
+        net.latency(a, b)
+        net.invalidate_cache()
+        net.latency(a, b)
+        assert len(computes) == 2
+
+
+class TestLocationInterning:
+    def test_of_returns_same_object(self):
+        assert Location.of(3, 2, 1) is Location.of(3, 2, 1)
+
+    def test_interned_equals_constructed(self):
+        assert Location.of(3, 2, 1) == Location(3, 2, 1)
+        assert hash(Location.of(3, 2, 1)) == hash(Location(3, 2, 1))
