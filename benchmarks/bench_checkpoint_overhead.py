@@ -1,0 +1,15 @@
+"""Regenerates the checkpointing figures: overhead + recovery.
+
+Beyond-paper extension (`repro.checkpoint`): checkpoint-frequency
+overhead on the stateful WordCount, and effectively-once recovery from a
+mid-run container failure.
+"""
+
+from conftest import regenerate
+
+from repro.experiments import checkpoint_overhead as module
+
+
+def test_checkpoint_overhead(benchmark):
+    figures = regenerate(benchmark, module)
+    assert set(figures) == {"ckpt_overhead", "ckpt_recovery"}

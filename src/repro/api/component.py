@@ -75,6 +75,12 @@ class Component:
     #: the engine's dispatch cost). Override for compute-heavy components.
     user_cost_per_tuple: float = 0.0
 
+    #: Stateful components participate in distributed checkpointing: the
+    #: engine calls :meth:`init_state` before ``open``/``prepare`` (and
+    #: again on rollback recovery) and :meth:`snapshot_state` whenever a
+    #: checkpoint barrier passes through the task.
+    stateful: bool = False
+
     def __init__(self) -> None:
         if not self.outputs:
             self.outputs = {DEFAULT_STREAM: []}
@@ -92,6 +98,26 @@ class Component:
 
     def close(self) -> None:
         """Called when the task shuts down."""
+
+    # -- stateful processing (checkpointing subsystem) ----------------------
+    def init_state(self, state: Optional[Any]) -> None:
+        """Install (or reset) this task's managed state.
+
+        ``state`` is whatever a previous :meth:`snapshot_state` returned,
+        or ``None`` for a fresh start. Called before ``open``/``prepare``
+        on launch and again — possibly many times — when the topology
+        rolls back to a committed checkpoint. Stateful components must
+        rebuild *all* managed state from the argument alone.
+        """
+
+    def snapshot_state(self) -> Any:
+        """Return this task's managed state for a checkpoint.
+
+        The returned object is serialized and committed through the State
+        Manager; it must be picklable and self-contained (no references
+        into live engine structures).
+        """
+        return None
 
 
 class Spout(Component):

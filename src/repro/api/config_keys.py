@@ -50,6 +50,23 @@ class TopologyConfigKeys:
                     "(equivalent aggregate behaviour, used for very "
                     "high-rate sweeps).")
 
+    # --- stateful processing / distributed checkpointing -------------------
+    CHECKPOINT_ENABLED = _declare(
+        "topology.stateful.checkpointing.enabled", default=False,
+        value_type=bool,
+        description="Periodically snapshot stateful components via "
+                    "aligned barrier markers (Chandy-Lamport style) and "
+                    "commit global checkpoints through the State Manager; "
+                    "container failures roll the topology back to the "
+                    "last committed checkpoint (effectively-once).")
+
+    CHECKPOINT_INTERVAL_SECS = _declare(
+        "topology.stateful.checkpoint.interval.secs", default=1.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="Seconds between checkpoints injected by the "
+                    "Checkpoint Coordinator (swept by the 'checkpoint' "
+                    "figure to measure overhead vs. interval).")
+
     # --- per-instance resources (consumed by the Resource Manager) --------
     INSTANCE_CPU = _declare(
         "heron.instance.cpu", default=1.0, value_type=float,

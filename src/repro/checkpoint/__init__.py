@@ -1,0 +1,47 @@
+"""Stateful processing + distributed checkpointing (``repro.checkpoint``).
+
+The paper's extensibility thesis — every engine concern behind a small
+pluggable module API — is exactly the surface a checkpointing subsystem
+needs: the State Manager persists committed snapshots, the Topology
+Master's container hosts the coordinator, Stream Managers forward
+barrier markers in stream order, and Heron Instances align barriers and
+snapshot their component state (aligned Chandy-Lamport snapshots, as
+surveyed by Fragkoulis et al. and shipped by Heron's own stateful
+processing).
+
+Pieces:
+
+* :class:`~repro.checkpoint.coordinator.CheckpointCoordinator` — actor
+  colocated with the TM; injects barriers at spouts every
+  ``topology.stateful.checkpoint.interval.secs``, collects per-task
+  snapshots, commits global checkpoints through the State Manager, and
+  drives rollback recovery after container failures;
+* :class:`~repro.checkpoint.snapshot.CheckpointStore` — the State
+  Manager layout + codec for committed snapshots (works against both
+  the inmemory and localfs backends);
+* :mod:`~repro.checkpoint.messages` — the marker/snapshot/restore
+  control messages threaded through SMs and instances.
+"""
+
+from repro.checkpoint.coordinator import CheckpointCoordinator
+from repro.checkpoint.messages import (CheckpointBarrier, InjectBarriers,
+                                       InstanceBarrier, InstanceSnapshot,
+                                       RemoteBarriers, RestoreInstance,
+                                       RestoreRequest, RestoreTopology)
+from repro.checkpoint.snapshot import (CheckpointStore, decode_state,
+                                       encode_state)
+
+__all__ = [
+    "CheckpointBarrier",
+    "CheckpointCoordinator",
+    "CheckpointStore",
+    "InjectBarriers",
+    "InstanceBarrier",
+    "InstanceSnapshot",
+    "RemoteBarriers",
+    "RestoreInstance",
+    "RestoreRequest",
+    "RestoreTopology",
+    "decode_state",
+    "encode_state",
+]

@@ -1,0 +1,214 @@
+"""The Checkpoint Coordinator: global snapshots + rollback recovery.
+
+One coordinator actor runs per checkpointed topology, colocated with the
+Topology Master in container 0 (like Heron's own checkpoint manager it
+is control-plane, not data-plane). Its loop:
+
+1. every ``checkpoint.interval.secs`` it starts checkpoint N by asking
+   every Stream Manager to inject a barrier marker at its local spouts;
+2. markers flow through the data channels (SMs drain their tuple cache
+   before forwarding a marker, so per-channel FIFO holds); each instance
+   aligns its input channels, snapshots its component state and sends the
+   blob here;
+3. when every task of the physical plan has acked barrier N, the global
+   snapshot is committed through the State Manager
+   (:class:`~repro.checkpoint.snapshot.CheckpointStore`) — a new trigger
+   aborts a still-incomplete older checkpoint (markers are monotonic, so
+   laggards just join the newer one);
+4. when the runtime reports a relaunched container, the coordinator
+   waits for the plan to be live everywhere again, bumps the topology's
+   **restore epoch**, and pushes the last committed snapshot to every SM
+   — instances reload state, spouts rewind to their checkpointed offsets
+   and stale in-flight data is dropped by its epoch stamp. That global
+   rollback is what makes the counts effectively-once.
+
+The epoch and committed checkpoints live in the State Manager, so a
+coordinator that dies with its TM container resumes seamlessly after
+relaunch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set
+
+from repro.checkpoint.messages import (InjectBarriers, InstanceKey,
+                                       InstanceSnapshot, RestoreAck,
+                                       RestoreRequest, RestoreTopology)
+from repro.checkpoint.snapshot import CheckpointStore
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel
+from repro.simulation.events import Simulator
+from repro.statemgr.base import StateManager
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.pplan import PhysicalPlan
+
+
+class _CheckpointTick:
+    """Self-timer: trigger the next checkpoint."""
+
+
+@dataclass
+class _PendingCheckpoint:
+    """One in-flight global snapshot."""
+
+    checkpoint_id: int
+    epoch: int
+    expected: Set[InstanceKey]
+    states: Dict[InstanceKey, Optional[bytes]] = field(default_factory=dict)
+    started_at: float = 0.0
+
+
+class CheckpointCoordinator(Actor):
+    """Injects barriers, commits global snapshots, drives rollbacks."""
+
+    #: Retry delay while waiting for a relaunched topology to be live.
+    RESTORE_RETRY_SECS = 0.05
+
+    def __init__(self, sim: Simulator, *, location: Location, network,
+                 ledger: Optional[CostLedger], costs: CostModel,
+                 statemgr: StateManager, pplan: PhysicalPlan,
+                 interval: float,
+                 resolve_stmgrs: Callable[[], Dict[int, Actor]]) -> None:
+        name = pplan.topology.name
+        super().__init__(sim, f"ckptmgr-{name}", location, network=network,
+                         ledger=ledger, group="checkpoint-coordinator")
+        self.costs = costs
+        self.pplan = pplan
+        self.interval = interval
+        self.resolve_stmgrs = resolve_stmgrs
+        self.store = CheckpointStore(statemgr, name)
+
+        self.epoch = 0
+        self._next_id = 0
+        self._pending: Optional[_PendingCheckpoint] = None
+        self._restore_waiting = False
+
+        # --- counters (read by tests/experiments) -------------------------
+        self.checkpoints_triggered = 0
+        self.checkpoints_committed = 0
+        self.checkpoints_aborted = 0
+        self.restores_completed = 0
+        self.restore_acks = 0
+        self.last_committed_id: Optional[int] = None
+        self.last_commit_at: Optional[float] = None
+        self.last_restore_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Load persisted epoch/id continuity and start the trigger timer.
+
+        Called by the runtime after attaching the actor — including after
+        a TM-container relaunch, where the persisted epoch keeps the new
+        coordinator ahead of every live instance's epoch.
+        """
+        self.epoch = self.store.load_epoch()
+        latest = self.store.latest_id()
+        if latest is not None:
+            self.last_committed_id = latest
+            self._next_id = latest
+        self.every(self.interval, lambda: self.deliver(_CheckpointTick()))
+
+    # -- message handling ---------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, _CheckpointTick):
+            self._trigger()
+        elif isinstance(message, InstanceSnapshot):
+            self._on_snapshot(message)
+        elif isinstance(message, RestoreRequest):
+            self._try_restore()
+        elif isinstance(message, RestoreAck):
+            self.charge(self.costs.coordinator_per_event)
+            if message.epoch == self.epoch:
+                self.restore_acks += 1
+
+    # -- checkpoint trigger/commit ------------------------------------------
+    def _expected_keys(self) -> Set[InstanceKey]:
+        return {key for keys in
+                self.pplan.instances_by_container.values() for key in keys}
+
+    def _trigger(self) -> None:
+        if self._restore_waiting or not self._topology_ready():
+            return  # still launching or mid-rollback; skip this tick
+        if self._pending is not None:
+            # The previous checkpoint never completed (e.g. a failure ate
+            # its markers). Abandon it; barrier ids are monotonic, so any
+            # straggling markers are ignored by the instances.
+            self.checkpoints_aborted += 1
+            self._pending = None
+        self._next_id += 1
+        self.checkpoints_triggered += 1
+        self._pending = _PendingCheckpoint(
+            self._next_id, self.epoch, self._expected_keys(),
+            started_at=self.sim.now)
+        stmgrs = self.resolve_stmgrs()
+        self.charge(self.costs.coordinator_per_event * max(1, len(stmgrs)))
+        for _cid, stmgr in sorted(stmgrs.items()):
+            self.send(stmgr, InjectBarriers(self._next_id, self.epoch))
+
+    def _on_snapshot(self, message: InstanceSnapshot) -> None:
+        self.charge(self.costs.coordinator_per_event)
+        pending = self._pending
+        if (pending is None
+                or message.checkpoint_id != pending.checkpoint_id
+                or message.epoch != pending.epoch):
+            return  # a straggler from an aborted checkpoint
+        pending.states[message.key] = message.state
+        if set(pending.states) >= pending.expected:
+            self._commit(pending)
+
+    def _commit(self, pending: _PendingCheckpoint) -> None:
+        self.charge(self.costs.coordinator_per_event
+                    * max(1, len(pending.states)))
+        self.store.commit(pending.checkpoint_id, pending.states,
+                          time=self.sim.now)
+        self.last_committed_id = pending.checkpoint_id
+        self.last_commit_at = self.sim.now
+        self.checkpoints_committed += 1
+        self._pending = None
+
+    # -- rollback recovery ---------------------------------------------------
+    def _topology_ready(self) -> bool:
+        stmgrs = self.resolve_stmgrs()
+        expected = set(self.pplan.container_ids)
+        if not expected <= set(stmgrs):
+            return False
+        return all(stmgrs[cid].alive
+                   and getattr(stmgrs[cid], "pplan", None) is not None
+                   for cid in expected)
+
+    def _try_restore(self) -> None:
+        self.charge(self.costs.coordinator_per_event)
+        if self._pending is not None:
+            # In-flight snapshots predate the failure; abandon them.
+            self.checkpoints_aborted += 1
+            self._pending = None
+        if not self._topology_ready():
+            if not self._restore_waiting:
+                self._restore_waiting = True
+            self.send(self, RestoreRequest(),
+                      extra_delay=self.RESTORE_RETRY_SECS)
+            return
+        self._restore_waiting = False
+        self.epoch += 1
+        self.store.save_epoch(self.epoch)
+        loaded = self.store.load_latest()
+        checkpoint_id, blobs = loaded if loaded is not None else (0, {})
+        stmgrs = self.resolve_stmgrs()
+        self.charge(self.costs.coordinator_per_event * max(1, len(stmgrs)))
+        for cid, stmgr in sorted(stmgrs.items()):
+            keys = self.pplan.instances_by_container.get(cid, [])
+            states = {key: blobs.get(key) for key in keys}
+            self.send(stmgr, RestoreTopology(self.epoch, checkpoint_id,
+                                             states))
+        self.restores_completed += 1
+        self.last_restore_at = self.sim.now
+
+    # -- plan updates (topology scaling) -------------------------------------
+    def update_plan(self, pplan: PhysicalPlan) -> None:
+        """Install a new physical plan (scaling). The in-flight checkpoint
+        is aborted — its expected task set no longer matches."""
+        self.pplan = pplan
+        if self._pending is not None:
+            self.checkpoints_aborted += 1
+            self._pending = None

@@ -1,0 +1,116 @@
+"""Control messages of the checkpointing subsystem.
+
+The barrier protocol rides the same actor channels as data, so ordering
+relative to tuples is exactly the FIFO-per-channel ordering aligned
+snapshots require:
+
+* coordinator → SM: :class:`InjectBarriers` (start checkpoint N);
+* SM → local spout: :class:`CheckpointBarrier` with ``from_task=None``;
+* instance → its SM: :class:`InstanceBarrier` ("I passed barrier N;
+  flush my pre-barrier tuples, then propagate the marker downstream");
+* SM → peer SM: :class:`RemoteBarriers` (markers bound for another
+  container, sent *after* the drained data so per-channel order holds);
+* SM → local bolt: :class:`CheckpointBarrier` with the upstream task as
+  ``from_task`` (one marker per input channel);
+* instance → coordinator: :class:`InstanceSnapshot` (the task's state);
+* runtime → coordinator: :class:`RestoreRequest` (a container came
+  back — roll the topology back);
+* coordinator → SM → instance: :class:`RestoreTopology` /
+  :class:`RestoreInstance` (install epoch + snapshot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: ``(component, task_id)`` — structurally identical to
+#: :data:`repro.core.messages.InstanceKey`, re-declared here so the
+#: checkpoint package never imports ``repro.core`` (which imports us).
+InstanceKey = Tuple[str, int]
+
+
+@dataclass
+class InjectBarriers:
+    """Coordinator → SM: deliver barrier markers to local spouts."""
+
+    checkpoint_id: int
+    epoch: int
+
+
+@dataclass
+class CheckpointBarrier:
+    """SM → instance: a barrier marker on one input channel.
+
+    ``from_task`` identifies the upstream task whose channel the marker
+    closes; ``None`` marks coordinator-injected spout barriers.
+    """
+
+    checkpoint_id: int
+    epoch: int
+    from_task: Optional[InstanceKey] = None
+
+
+@dataclass
+class InstanceBarrier:
+    """Instance → its SM: snapshot taken; forward my marker downstream."""
+
+    checkpoint_id: int
+    epoch: int
+    source: InstanceKey
+
+
+@dataclass
+class RemoteBarriers:
+    """SM → peer SM: markers from one upstream task for remote dests."""
+
+    checkpoint_id: int
+    epoch: int
+    from_task: InstanceKey
+    dests: List[InstanceKey] = field(default_factory=list)
+
+
+@dataclass
+class InstanceSnapshot:
+    """Instance → coordinator: one task's snapshot for checkpoint N.
+
+    ``state`` is the encoded blob, or ``None`` for stateless tasks (they
+    still ack the barrier — global consistency needs every task).
+    """
+
+    checkpoint_id: int
+    epoch: int
+    key: InstanceKey
+    state: Optional[bytes] = None
+
+
+@dataclass
+class RestoreRequest:
+    """Runtime → coordinator: a container was relaunched; roll back."""
+
+
+@dataclass
+class RestoreTopology:
+    """Coordinator → SM: enter ``epoch``; wipe in-flight state; restore
+    each local instance from ``states`` (``None`` blob = initial state)."""
+
+    epoch: int
+    checkpoint_id: int
+    states: Dict[InstanceKey, Optional[bytes]] = field(default_factory=dict)
+
+
+@dataclass
+class RestoreInstance:
+    """SM → instance: install ``epoch`` and this snapshot blob."""
+
+    epoch: int
+    checkpoint_id: int
+    state: Optional[bytes] = None
+
+
+@dataclass
+class RestoreAck:
+    """Instance → coordinator: restore applied (stats/telemetry)."""
+
+    epoch: int
+    key: InstanceKey

@@ -1,0 +1,158 @@
+"""Snapshot codec + the State Manager checkpoint layout.
+
+A committed checkpoint lives under the topology's State Manager tree::
+
+    /topologies/<name>/checkpoints/
+        latest                      -> b"<id>" (newest committed id)
+        epoch                       -> b"<restore epoch>"
+        ckpt-<id>/
+            committed               -> JSON metadata (written last)
+            state/<component>/<task>-> encoded snapshot blob
+
+The ``committed`` marker is written *after* every blob, so a coordinator
+death mid-commit leaves only an uncommitted tree that the next commit of
+the same id simply overwrites — readers only trust trees whose marker
+exists. Works identically against the inmemory and localfs backends
+(blobs are plain ``bytes``; localfs persists them through its
+``StateEntry`` wire encoding).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from repro.checkpoint.messages import InstanceKey
+from repro.statemgr.base import StateManager
+from repro.statemgr.paths import TopologyPaths
+
+
+def encode_state(state: Any) -> bytes:
+    """Serialize one component's snapshot into a portable blob."""
+    return pickle.dumps(state, protocol=4)
+
+
+def decode_state(blob: bytes) -> Any:
+    """Inverse of :func:`encode_state`."""
+    return pickle.loads(blob)
+
+
+class CheckpointStore:
+    """Commit/load/prune checkpoints through a :class:`StateManager`."""
+
+    #: Committed checkpoints retained (the newest plus one fallback).
+    KEEP = 2
+
+    def __init__(self, statemgr: StateManager, topology_name: str) -> None:
+        self.statemgr = statemgr
+        self.paths = TopologyPaths(topology_name)
+
+    # -- epoch persistence -------------------------------------------------
+    def load_epoch(self) -> int:
+        """The topology's restore epoch (0 if never restored)."""
+        path = self.paths.checkpoints_epoch
+        if not self.statemgr.exists(path):
+            return 0
+        return int(self.statemgr.get_data(path).decode("ascii"))
+
+    def save_epoch(self, epoch: int) -> None:
+        """Persist the restore epoch (read back by a relaunched TM)."""
+        self.statemgr.put(self.paths.checkpoints_epoch,
+                          str(epoch).encode("ascii"))
+
+    # -- commit ------------------------------------------------------------
+    def commit(self, checkpoint_id: int,
+               states: Dict[InstanceKey, Optional[bytes]], *,
+               time: float) -> None:
+        """Write one complete global snapshot and mark it committed."""
+        paths, statemgr = self.paths, self.statemgr
+        stateful = 0
+        for (component, task_id), blob in sorted(states.items()):
+            if blob is None:
+                continue  # stateless task: nothing to restore
+            stateful += 1
+            statemgr.put(
+                paths.checkpoint_state(checkpoint_id, component, task_id),
+                blob)
+        metadata = {"id": checkpoint_id, "time": time,
+                    "instances": len(states), "stateful": stateful}
+        statemgr.put(paths.checkpoint_commit(checkpoint_id),
+                     json.dumps(metadata, sort_keys=True).encode("utf-8"))
+        statemgr.put(paths.checkpoints_latest,
+                     str(checkpoint_id).encode("ascii"))
+        self.prune(keep=self.KEEP)
+
+    # -- load --------------------------------------------------------------
+    def committed_ids(self) -> list:
+        """Committed checkpoint ids, oldest first."""
+        root = self.paths.checkpoints
+        if not self.statemgr.exists(root):
+            return []
+        ids = []
+        for child in self.statemgr.children(root):
+            if not child.startswith("ckpt-"):
+                continue
+            checkpoint_id = int(child[len("ckpt-"):])
+            if self.statemgr.exists(
+                    self.paths.checkpoint_commit(checkpoint_id)):
+                ids.append(checkpoint_id)
+        return sorted(ids)
+
+    def latest_id(self) -> Optional[int]:
+        """Newest committed checkpoint id, or None."""
+        path = self.paths.checkpoints_latest
+        if self.statemgr.exists(path):
+            checkpoint_id = int(self.statemgr.get_data(path).decode("ascii"))
+            if self.statemgr.exists(self.paths.checkpoint_commit(
+                    checkpoint_id)):
+                return checkpoint_id
+        # The pointer is advisory; fall back to scanning commit markers.
+        ids = self.committed_ids()
+        return ids[-1] if ids else None
+
+    def load(self, checkpoint_id: int) -> Dict[InstanceKey, bytes]:
+        """Every stateful task blob of one committed checkpoint."""
+        statemgr = self.statemgr
+        state_root = f"{self.paths.checkpoint(checkpoint_id)}/state"
+        blobs: Dict[InstanceKey, bytes] = {}
+        if not statemgr.exists(state_root):
+            return blobs
+        for component in statemgr.children(state_root):
+            component_path = f"{state_root}/{component}"
+            for task in statemgr.children(component_path):
+                blobs[(component, int(task))] = statemgr.get_data(
+                    f"{component_path}/{task}")
+        return blobs
+
+    def load_latest(self) -> Optional[
+            Tuple[int, Dict[InstanceKey, bytes]]]:
+        """(id, blobs) of the newest committed checkpoint, or None."""
+        checkpoint_id = self.latest_id()
+        if checkpoint_id is None:
+            return None
+        return checkpoint_id, self.load(checkpoint_id)
+
+    def metadata(self, checkpoint_id: int) -> Optional[dict]:
+        """The commit metadata of one checkpoint (None if uncommitted)."""
+        path = self.paths.checkpoint_commit(checkpoint_id)
+        if not self.statemgr.exists(path):
+            return None
+        return json.loads(self.statemgr.get_data(path).decode("utf-8"))
+
+    # -- prune -------------------------------------------------------------
+    def prune(self, keep: int = KEEP) -> None:
+        """Drop all but the ``keep`` newest committed checkpoints (and any
+        stale uncommitted trees older than the newest committed one)."""
+        committed = self.committed_ids()
+        if not committed:
+            return
+        survivors = set(committed[-keep:])
+        root = self.paths.checkpoints
+        for child in self.statemgr.children(root):
+            if not child.startswith("ckpt-"):
+                continue
+            checkpoint_id = int(child[len("ckpt-"):])
+            if checkpoint_id in survivors or checkpoint_id > committed[-1]:
+                continue
+            self.statemgr.delete(f"{root}/{child}", recursive=True)

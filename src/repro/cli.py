@@ -39,6 +39,9 @@ FIGURES: Dict[str, tuple] = {
                   "Beyond-paper ablations (pools/lazy/cache)"),
     "autotune": ("repro.experiments.autotuning",
                  "§V-B future work: online auto-tuning"),
+    "checkpoint": ("repro.experiments.checkpoint_overhead",
+                   "repro.checkpoint: overhead + effectively-once "
+                   "recovery"),
 }
 
 #: Aliases: every paper figure number resolves to its runner.

@@ -21,7 +21,10 @@ import itertools
 from typing import Dict, List, Mapping, Optional
 
 from repro.api.config_keys import SCHEMA as TOPOLOGY_SCHEMA
+from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.topology import Topology
+from repro.checkpoint.coordinator import CheckpointCoordinator
+from repro.checkpoint.messages import RestoreRequest
 from repro.common.config import Config
 from repro.common.errors import SchedulerError, TopologyError
 from repro.common.resources import Resource
@@ -229,6 +232,14 @@ class _TopologyRuntime:
         self.retired_latency = WeightedStats()
         self.spout_components = frozenset(topology.spouts)
 
+        # --- checkpointing (repro.checkpoint) ------------------------------
+        self.checkpointing = bool(config.get(Keys.CHECKPOINT_ENABLED))
+        self.coordinator: Optional[CheckpointCoordinator] = None
+        # Containers this runtime has launched at least once: seeing one
+        # again means a relaunch (failure recovery or deliberate restart),
+        # which must roll the topology back to its last checkpoint.
+        self._launched_cids: set = set()
+
     # -- TopologyLauncher ------------------------------------------------------
     def launch_tmaster(self, container: Container) -> None:
         heron = self.heron
@@ -240,6 +251,22 @@ class _TopologyRuntime:
         container.attach(tmaster)
         self.tmaster = tmaster
         tmaster.start()
+        if self.checkpointing:
+            # The coordinator is colocated with the TM (Heron runs its
+            # checkpoint manager in the master container too); a TM
+            # relaunch brings up a fresh one that resumes from the epoch
+            # and checkpoint ids persisted in the State Manager.
+            coordinator = CheckpointCoordinator(
+                heron.sim, location=container.location(),
+                network=heron.network, ledger=heron.ledger,
+                costs=heron.costs, statemgr=heron.statemgr,
+                pplan=self.pplan,
+                interval=float(self.config.get(
+                    Keys.CHECKPOINT_INTERVAL_SECS)),
+                resolve_stmgrs=self._alive_stmgrs)
+            container.attach(coordinator)
+            self.coordinator = coordinator
+            coordinator.start()
 
     def resolve_tmaster(self) -> Optional[TopologyMaster]:
         tmaster = self.tmaster
@@ -247,16 +274,32 @@ class _TopologyRuntime:
             return tmaster
         return None
 
+    def resolve_coordinator(self) -> Optional[CheckpointCoordinator]:
+        coordinator = self.coordinator
+        if coordinator is not None and coordinator.alive:
+            return coordinator
+        return None
+
+    def _alive_stmgrs(self) -> Dict[int, StreamManager]:
+        return {cid: sm for cid, sm in self.sms.items() if sm.alive}
+
     def launch_container(self, container: Container,
                          plan: ContainerPlan) -> None:
         heron = self.heron
         cid = plan.id
+        relaunch = cid in self._launched_cids
+        self._launched_cids.add(cid)
+        if cid in self.container_keys:
+            # Failure recovery relaunches straight over dead bookkeeping;
+            # fold the dead instances' counters before replacing them.
+            self.stop_container(cid)
         sm = StreamManager(
             heron.sim, cid, location=container.location(),
             network=heron.network, ledger=heron.ledger, config=self.config,
             costs=heron.costs, topology_name=self.topology.name,
             resolve_tmaster=self.resolve_tmaster, statemgr=heron.statemgr,
-            tmaster_path=self.paths.tmaster_location)
+            tmaster_path=self.paths.tmaster_location,
+            resolve_coordinator=self.resolve_coordinator)
         container.attach(sm)
         self.sms[cid] = sm
 
@@ -282,12 +325,27 @@ class _TopologyRuntime:
                     inst_plan.component),
                 spout_components=self.spout_components,
                 stream_manager=sm, metrics_manager=mm,
-                instance_index=next(heron._instance_indices))
+                instance_index=next(heron._instance_indices),
+                resolve_coordinator=self.resolve_coordinator)
             container.attach(instance)
             sm.register_local(key, instance)
             self.instances[key] = instance
             keys.append(key)
         self.container_keys[cid] = keys
+        if relaunch and self.checkpointing:
+            heron.sim.schedule(0.0, self._request_restore)
+
+    def _request_restore(self) -> None:
+        """Ask the coordinator to roll the topology back to its last
+        committed checkpoint. Retries while the coordinator's own
+        container is mid-relaunch; gives up if the topology was killed."""
+        if self.heron.topologies.get(self.topology.name) is not self:
+            return
+        coordinator = self.resolve_coordinator()
+        if coordinator is None:
+            self.heron.sim.schedule(0.05, self._request_restore)
+            return
+        self.heron.sim.schedule(0.0, coordinator.deliver, RestoreRequest())
 
     def stop_container(self, container_id: int) -> None:
         """Drop runtime bookkeeping for a container being released.
@@ -326,6 +384,9 @@ class _TopologyRuntime:
         tmaster = self.resolve_tmaster()
         if tmaster is not None:
             tmaster.update_plan(self.pplan)
+        coordinator = self.resolve_coordinator()
+        if coordinator is not None:
+            coordinator.update_plan(self.pplan)
 
 
 class TopologyHandle:
@@ -436,6 +497,24 @@ class TopologyHandle:
             acquires += sm.pool_stats.acquires
             hits += sm.pool_stats.hits
         return {"acquires": acquires, "hits": hits}
+
+    def checkpoint_stats(self) -> Dict[str, float]:
+        """Coordinator counters (zeros when checkpointing is off)."""
+        coordinator = self._runtime.resolve_coordinator()
+        if coordinator is None:
+            return {"triggered": 0, "committed": 0, "aborted": 0,
+                    "restores": 0, "last_committed_id": 0,
+                    "last_restore_at": -1.0}
+        return {
+            "triggered": coordinator.checkpoints_triggered,
+            "committed": coordinator.checkpoints_committed,
+            "aborted": coordinator.checkpoints_aborted,
+            "restores": coordinator.restores_completed,
+            "last_committed_id": coordinator.last_committed_id or 0,
+            "last_restore_at": (
+                coordinator.last_restore_at
+                if coordinator.last_restore_at is not None else -1.0),
+        }
 
     def tmaster_metrics(self) -> Dict[int, dict]:
         """Per-container metric summaries as collected by the Topology

@@ -22,11 +22,15 @@ user code, and (with acking) emit ack traffic back toward the spouts.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
 from repro.api.component import Bolt, ComponentContext, Spout
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.tuples import Batch, Tuple
+from repro.checkpoint.messages import (CheckpointBarrier, InstanceBarrier,
+                                       InstanceSnapshot, RestoreAck,
+                                       RestoreInstance)
+from repro.checkpoint.snapshot import decode_state, encode_state
 from repro.common.config import Config
 from repro.core.acking import CountedTracker
 from repro.core.messages import (AckComplete, AckCounted, DataBatch,
@@ -40,7 +44,17 @@ from repro.simulation.events import Simulator
 
 
 class _StartInstance:
-    """SM → instance: the physical plan is live; spouts may emit."""
+    """SM → instance: the physical plan is live; spouts may emit.
+
+    Carries the instance's upstream task set (every task whose output can
+    reach this instance) so bolts know how many barrier markers one
+    checkpoint's alignment must collect.
+    """
+
+    def __init__(self,
+                 upstream_tasks: Optional[FrozenSet[InstanceKey]] = None
+                 ) -> None:
+        self.upstream_tasks = upstream_tasks
 
 
 class _StallCheck:
@@ -85,7 +99,10 @@ class InstanceCollector:
             if self._instance.is_spout:
                 anchor_list = [(new_id, self._instance.key)]
             else:
-                anchor_list = list(self.current_anchors)
+                # Tuples emitted during one execute() share the input's
+                # anchor list by reference — nothing downstream mutates
+                # anchor lists, so interning avoids a copy per tuple.
+                anchor_list = self.current_anchors
             self.emitted_anchors.setdefault(stream, []).append(anchor_list)
 
     def emit_batch(self, values: List[List[Any]],
@@ -140,7 +157,9 @@ class HeronInstance(Actor):
                  spout_components: frozenset,
                  stream_manager: Optional[Actor] = None,
                  metrics_manager: Optional[Actor] = None,
-                 instance_index: int = 0) -> None:
+                 instance_index: int = 0,
+                 resolve_coordinator: Optional[
+                     Callable[[], Optional[Actor]]] = None) -> None:
         component, task_id = key
         super().__init__(sim, f"{component}[{task_id}]", location,
                          network=network, ledger=ledger, group="instance")
@@ -182,6 +201,19 @@ class HeronInstance(Actor):
         self._id_base = (instance_index + 1) << 40
         self.tracker = CountedTracker(self.message_timeout)
 
+        # --- checkpointing (repro.checkpoint) ------------------------------
+        self.checkpointing = bool(config.get(Keys.CHECKPOINT_ENABLED))
+        self.resolve_coordinator = resolve_coordinator
+        self.epoch = 0
+        self.upstream_tasks: FrozenSet[InstanceKey] = frozenset()
+        self._aligning_id: Optional[int] = None      # barrier being aligned
+        self._barrier_seen: set = set()              # channels already barriered
+        self._barrier_buffer: List[DataBatch] = []   # post-barrier tuples
+        self._epoch_buffer: List[DataBatch] = []     # next-epoch early arrivals
+        self._completed_barrier_id = 0
+        self.checkpoints_taken = 0
+        self.restores_applied = 0
+
         # --- counters (read by the metrics/harness layer) --------------------
         self.emitted_count = 0
         self.executed_count = 0
@@ -213,7 +245,11 @@ class HeronInstance(Actor):
         elif isinstance(message, EmitTick):
             self._emit_once()
         elif isinstance(message, _StartInstance):
-            self._start()
+            self._start(message.upstream_tasks)
+        elif isinstance(message, CheckpointBarrier):
+            self._handle_barrier(message)
+        elif isinstance(message, RestoreInstance):
+            self._handle_restore(message)
         elif isinstance(message, PauseSpouts):
             self._set_backpressure(True)
         elif isinstance(message, ResumeSpouts):
@@ -224,9 +260,14 @@ class HeronInstance(Actor):
             self._report_metrics()
 
     # -- lifecycle --------------------------------------------------------------
-    def _start(self) -> None:
+    def _start(self, upstream_tasks: Optional[
+            FrozenSet[InstanceKey]] = None) -> None:
+        if upstream_tasks is not None:
+            self.upstream_tasks = upstream_tasks
         if not self.opened:
             self.opened = True
+            if getattr(self.user, "stateful", False):
+                self.user.init_state(None)
             if self.is_spout:
                 self.user.open(self.context, self.collector)
             else:
@@ -308,7 +349,8 @@ class HeronInstance(Actor):
         self.deliver(DataBatch(
             dest=self.key, source_component="__system", stream=TICK_STREAM,
             values=[[]], count=1, origin=self.key,
-            emit_time_sum=self.sim.now, tuple_ids=[0], anchors=[[]]))
+            emit_time_sum=self.sim.now, tuple_ids=[0], anchors=[[]],
+            epoch=self.epoch))
 
     # -- bolt execution -------------------------------------------------------------
     def _handle_data(self, batch: DataBatch) -> None:
@@ -316,6 +358,22 @@ class HeronInstance(Actor):
             return  # spouts have no data inputs
         if not self.opened:
             self._start()
+        if self.checkpointing:
+            if batch.epoch != self.epoch:
+                if batch.epoch > self.epoch:
+                    # Restore raced ahead of us; replay after RestoreInstance.
+                    self._epoch_buffer.append(batch)
+                return  # pre-rollback data: drop it
+            if (self._aligning_id is not None
+                    and (batch.source_component, batch.source_task)
+                    in self._barrier_seen):
+                # Post-barrier tuples on an already-barriered channel wait
+                # until alignment completes (aligned-snapshot semantics).
+                self._barrier_buffer.append(batch)
+                return
+        self._process_batch(batch)
+
+    def _process_batch(self, batch: DataBatch) -> None:
         if batch.stream == "__tick":
             self.charge(self.costs.instance_execute_per_tuple)
             self.collector.begin()
@@ -366,6 +424,97 @@ class HeronInstance(Actor):
                 self.collector.acked_tuples.append(tup)
         self.collector.current_anchors = []
 
+    # -- checkpoint barriers (repro.checkpoint) -----------------------------------
+    def _handle_barrier(self, marker: CheckpointBarrier) -> None:
+        if not self.checkpointing or marker.epoch != self.epoch:
+            return
+        if marker.checkpoint_id <= self._completed_barrier_id:
+            return  # duplicate of a checkpoint we already passed
+        if self.is_spout:
+            # Coordinator-injected: snapshot right away and start the
+            # barrier's journey through the data channels.
+            self._complete_checkpoint(marker.checkpoint_id)
+            return
+        if not self.opened:
+            self._start()
+        if self._aligning_id is None \
+                or marker.checkpoint_id > self._aligning_id:
+            # A newer barrier supersedes a half-aligned older checkpoint
+            # (the coordinator aborted it): release its buffered tuples
+            # back into normal processing, then align on the new one.
+            self._abort_alignment()
+            self._aligning_id = marker.checkpoint_id
+        elif marker.checkpoint_id < self._aligning_id:
+            return  # straggler marker of an aborted checkpoint
+        if marker.from_task is not None:
+            self._barrier_seen.add(marker.from_task)
+        if self._barrier_seen >= self.upstream_tasks:
+            self._finish_alignment()
+
+    def _abort_alignment(self) -> None:
+        buffered, self._barrier_buffer = self._barrier_buffer, []
+        self._barrier_seen = set()
+        self._aligning_id = None
+        for batch in buffered:
+            self._process_batch(batch)
+
+    def _finish_alignment(self) -> None:
+        checkpoint_id = self._aligning_id
+        self._aligning_id = None
+        self._barrier_seen = set()
+        assert checkpoint_id is not None
+        self._complete_checkpoint(checkpoint_id)
+        # Tuples held during alignment resume only now, so everything they
+        # cause downstream follows the forwarded marker.
+        buffered, self._barrier_buffer = self._barrier_buffer, []
+        for batch in buffered:
+            self._process_batch(batch)
+
+    def _complete_checkpoint(self, checkpoint_id: int) -> None:
+        self._completed_barrier_id = checkpoint_id
+        blob: Optional[bytes] = None
+        cost = self.costs.instance_snapshot_fixed
+        if getattr(self.user, "stateful", False):
+            blob = encode_state(self.user.snapshot_state())
+            cost += len(blob) * self.costs.instance_snapshot_per_byte
+        self.charge(cost)
+        self.checkpoints_taken += 1
+        coordinator = self.resolve_coordinator() \
+            if self.resolve_coordinator else None
+        if coordinator is not None:
+            self.send(coordinator, InstanceSnapshot(
+                checkpoint_id, self.epoch, self.key, blob))
+        if self.stream_manager is not None:
+            self.send(self.stream_manager, InstanceBarrier(
+                checkpoint_id, self.epoch, self.key))
+
+    def _handle_restore(self, message: RestoreInstance) -> None:
+        if not self.opened:
+            self._start()
+        if message.epoch <= self.epoch:
+            return  # duplicate restore
+        self.epoch = message.epoch
+        self.restores_applied += 1
+        self._aligning_id = None
+        self._barrier_seen = set()
+        self._barrier_buffer = []
+        self.tracker = CountedTracker(self.message_timeout)
+        self.charge(self.costs.instance_restore_fixed)
+        if getattr(self.user, "stateful", False):
+            state = decode_state(message.state) \
+                if message.state is not None else None
+            self.user.init_state(state)
+        coordinator = self.resolve_coordinator() \
+            if self.resolve_coordinator else None
+        if coordinator is not None:
+            self.send(coordinator, RestoreAck(self.epoch, self.key))
+        buffered, self._epoch_buffer = self._epoch_buffer, []
+        for batch in buffered:
+            if batch.epoch == self.epoch:
+                self._process_batch(batch)
+        if self.is_spout:
+            self._wake_emit_loop()
+
     # -- emission flush ----------------------------------------------------------
     def _flush_emissions(self, charge_spout: bool,
                          input_batch: Optional[DataBatch] = None) -> None:
@@ -396,7 +545,8 @@ class HeronInstance(Actor):
                 values=values, count=count, origin=origin,
                 emit_time_sum=emit_time_sum,
                 tuple_ids=collector.emitted_ids.get(stream, []),
-                anchors=collector.emitted_anchors.get(stream, [])))
+                anchors=collector.emitted_anchors.get(stream, []),
+                source_task=self.task_id, epoch=self.epoch))
         acks: List[AckCounted] = []
         xor_updates: List[XorUpdate] = []
         if self.exact_acking:
@@ -441,7 +591,8 @@ class HeronInstance(Actor):
                 self.charge(self.costs.instance_batch_overhead)
         if (batches or acks or xor_updates) and self.stream_manager:
             self.send(self.stream_manager,
-                      InstanceBatches(self.key, batches, acks, xor_updates))
+                      InstanceBatches(self.key, batches, acks, xor_updates,
+                                      epoch=self.epoch))
 
     # -- ack handling ---------------------------------------------------------------
     def _handle_ack(self, ack) -> None:

@@ -43,6 +43,11 @@ class DataBatch:
     emit_time_sum: float
     tuple_ids: List[int] = field(default_factory=list)
     anchors: List[List[Anchor]] = field(default_factory=list)
+    #: Emitting task id — with ``source_component`` it names the channel a
+    #: batch arrived on, which barrier alignment needs (checkpointing).
+    source_task: int = -1
+    #: Restore epoch the batch belongs to (see ``repro.checkpoint``).
+    epoch: int = 0
 
     def reset(self) -> None:
         """Scrub for memory-pool reuse."""
@@ -55,6 +60,8 @@ class DataBatch:
         self.emit_time_sum = 0.0
         self.tuple_ids = []
         self.anchors = []
+        self.source_task = -1
+        self.epoch = 0
 
 
 @dataclass
@@ -66,6 +73,7 @@ class InstanceBatches:
     batches: List[DataBatch]
     acks: List["AckCounted"] = field(default_factory=list)
     xor_updates: List["XorUpdate"] = field(default_factory=list)
+    epoch: int = 0
 
 
 @dataclass
@@ -77,6 +85,7 @@ class RemoteDelivery:
     batches: List[DataBatch]
     acks: List["AckCounted"] = field(default_factory=list)
     xor_updates: List["XorUpdate"] = field(default_factory=list)
+    epoch: int = 0
 
 
 @dataclass

@@ -80,6 +80,38 @@ class PhysicalPlan:
         """Whether ``component`` is a spout."""
         return self.topology.is_spout(component)
 
+    def upstream_tasks(self, component: str) -> frozenset:
+        """Every task key feeding ``component`` (its barrier channels).
+
+        A bolt aligning a checkpoint must collect exactly one marker per
+        upstream *task*, regardless of how many streams connect the two
+        components. Spouts have no upstream channels.
+        """
+        if self.topology.is_spout(component):
+            return frozenset()
+        sources = {inp.component
+                   for inp in self.topology.bolts[component].inputs}
+        return frozenset((source, task) for source in sorted(sources)
+                         for task in self.task_ids[source])
+
+    def downstream_keys(self, component: str) -> List[InstanceKey]:
+        """Every task key fed by ``component``, across all its streams.
+
+        Barrier markers are broadcast: a task passing a barrier sends one
+        marker to *every* downstream task, whatever the grouping, so each
+        receiver can align all of its input channels. Deduplicated (two
+        streams to one bolt still mean one channel) and sorted for
+        deterministic fan-out order.
+        """
+        dests = set()
+        user = self.topology._user_component(component)
+        for stream in user.outputs:
+            for dest, _grouping in self.topology.downstream(component,
+                                                            stream):
+                dests.add(dest)
+        return sorted((dest, task) for dest in dests
+                      for task in self.task_ids[dest])
+
     def spout_keys(self) -> List[InstanceKey]:
         """Every spout task key in the plan."""
         return [(name, task) for name in self.topology.spouts

@@ -26,6 +26,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.checkpoint.messages import (CheckpointBarrier, InjectBarriers,
+                                       InstanceBarrier, RemoteBarriers,
+                                       RestoreInstance, RestoreTopology)
 from repro.common.config import Config
 from repro.core.acking import AckTracker, RootEntry
 from repro.core.instance import HeronInstance, _StartInstance
@@ -59,7 +62,7 @@ class _CacheEntry:
     """Accumulated tuples bound for one destination instance."""
 
     __slots__ = ("values", "tuple_ids", "anchors", "count", "emit_time_sum",
-                 "source_component", "stream", "origin")
+                 "source_component", "source_task", "stream", "origin")
 
     def __init__(self) -> None:
         self.reset()
@@ -71,12 +74,15 @@ class _CacheEntry:
         self.count = 0
         self.emit_time_sum = 0.0
         self.source_component = ""
+        self.source_task = -1
         self.stream = ""
         self.origin: InstanceKey = ("", -1)
 
 
 #: Cache key: destination instance + provenance that must not be merged.
-_CacheKey = Tuple[InstanceKey, str, str, InstanceKey]
+#: ``source_task`` keeps per-upstream-task channels distinct, which the
+#: barrier-alignment FIFO guarantee of ``repro.checkpoint`` relies on.
+_CacheKey = Tuple[InstanceKey, str, int, str, InstanceKey]
 
 
 class StreamManager(Actor):
@@ -86,7 +92,9 @@ class StreamManager(Actor):
                  location: Location, network, ledger: Optional[CostLedger],
                  config: Config, costs: CostModel, topology_name: str,
                  resolve_tmaster: Callable[[], Optional[Actor]],
-                 statemgr=None, tmaster_path: Optional[str] = None) -> None:
+                 statemgr=None, tmaster_path: Optional[str] = None,
+                 resolve_coordinator: Optional[
+                     Callable[[], Optional[Actor]]] = None) -> None:
         super().__init__(sim, f"stmgr-{container_id}", location,
                          network=network, ledger=ledger,
                          group="stream-manager")
@@ -95,6 +103,7 @@ class StreamManager(Actor):
         self.config = config
         self.topology_name = topology_name
         self.resolve_tmaster = resolve_tmaster
+        self.resolve_coordinator = resolve_coordinator
         self.statemgr = statemgr
         self.tmaster_path = tmaster_path
 
@@ -154,6 +163,14 @@ class StreamManager(Actor):
         # --- exact-mode tracking of roots originated in this container ---------
         self.tracker = AckTracker(self._on_tree_complete,
                                   self._on_tree_expire)
+
+        # --- checkpointing (repro.checkpoint) ------------------------------
+        # The SM's restore epoch: data stamped with an older epoch belongs
+        # to a rolled-back run and is dropped at the container boundary.
+        self.checkpointing = bool(config.get(Keys.CHECKPOINT_ENABLED))
+        self.epoch = 0
+        self.barriers_forwarded = 0
+        self.restores = 0
 
         # --- backpressure ---------------------------------------------------------
         self.in_backpressure = False
@@ -217,6 +234,14 @@ class StreamManager(Actor):
             self.tracker.rotate()
         elif isinstance(message, _HeartbeatTick):
             self._send_heartbeat()
+        elif isinstance(message, InjectBarriers):
+            self._handle_inject_barriers(message)
+        elif isinstance(message, InstanceBarrier):
+            self._handle_instance_barrier(message)
+        elif isinstance(message, RemoteBarriers):
+            self._handle_remote_barriers(message)
+        elif isinstance(message, RestoreTopology):
+            self._handle_restore(message)
         elif isinstance(message, RegisterStmgr):
             pass  # SMs never receive these; TMs do
 
@@ -238,7 +263,8 @@ class StreamManager(Actor):
         self.directory = dict(message.stmgr_directory)
         self._install_routes()
         for key, instance in self.local_instances.items():
-            self.send(instance, _StartInstance())
+            self.send(instance,
+                      _StartInstance(self.pplan.upstream_tasks(key[0])))
 
     def _routes_for(self, component: str):
         tables = self._routing_tables.get(component)
@@ -294,7 +320,7 @@ class StreamManager(Actor):
 
     # -- local instance traffic ------------------------------------------------------
     def _handle_local(self, message: InstanceBatches) -> None:
-        if self.pplan is None:
+        if self.pplan is None or message.epoch < self.epoch:
             self.dropped_batches += len(message.batches)
             return
         batch_fixed = self._batch_fixed_cost
@@ -335,13 +361,14 @@ class StreamManager(Actor):
             self._forward_now(dest, batch, values, count,
                               tuple_ids or [], anchors or [])
             return
-        key: _CacheKey = (dest, batch.source_component, batch.stream,
-                          batch.origin)
+        key: _CacheKey = (dest, batch.source_component, batch.source_task,
+                          batch.stream, batch.origin)
         entry = self._cache.get(key)
         if entry is None:
             entry = self._entry_pool.acquire() if self.mempool \
                 else _CacheEntry()
             entry.source_component = batch.source_component
+            entry.source_task = batch.source_task
             entry.stream = batch.stream
             entry.origin = batch.origin
             self._cache[key] = entry
@@ -365,7 +392,8 @@ class StreamManager(Actor):
             origin=batch.origin,
             emit_time_sum=(batch.emit_time_sum * (count / batch.count)
                            if batch.count else 0.0),
-            tuple_ids=tuple_ids, anchors=anchors)
+            tuple_ids=tuple_ids, anchors=anchors,
+            source_task=batch.source_task, epoch=self.epoch)
         self.batches_out += 1
         self.charge(self.costs.sm_send_per_batch)
         home = self.pplan.container_of.get(dest)
@@ -378,7 +406,8 @@ class StreamManager(Actor):
         elif home is not None:
             peer = self.directory.get(home)
             if peer is not None and peer.alive:
-                self.send(peer, RemoteDelivery(self.container_id, [out]))
+                self.send(peer, RemoteDelivery(self.container_id, [out],
+                                               epoch=self.epoch))
             else:
                 self.dropped_batches += 1
         else:
@@ -430,6 +459,9 @@ class StreamManager(Actor):
 
     # -- remote traffic -------------------------------------------------------------
     def _handle_remote(self, message: RemoteDelivery) -> None:
+        if message.epoch < self.epoch:
+            self.dropped_batches += len(message.batches)
+            return
         costs = self.costs
         batch_fixed = self._batch_fixed_cost
         per_tuple = self._remote_tuple_cost
@@ -470,12 +502,13 @@ class StreamManager(Actor):
             self.drains += 1
             self.charge(costs.sm_drain_fixed)
         assert self.pplan is not None or not anything
-        for (dest, _src, _stream, _origin), entry in cache.items():
+        for (dest, _src, _task, _stream, _origin), entry in cache.items():
             batch = DataBatch(
                 dest=dest, source_component=entry.source_component,
                 stream=entry.stream, values=entry.values, count=entry.count,
                 origin=entry.origin, emit_time_sum=entry.emit_time_sum,
-                tuple_ids=entry.tuple_ids, anchors=entry.anchors)
+                tuple_ids=entry.tuple_ids, anchors=entry.anchors,
+                source_task=entry.source_task, epoch=self.epoch)
             self.batches_out += 1
             home = self.pplan.container_of.get(dest)
             if home == self.container_id:
@@ -488,7 +521,8 @@ class StreamManager(Actor):
             elif home is not None:
                 delivery = remote.get(home)
                 if delivery is None:
-                    delivery = RemoteDelivery(self.container_id, [])
+                    delivery = RemoteDelivery(self.container_id, [],
+                                              epoch=self.epoch)
                     remote[home] = delivery
                 delivery.batches.append(batch)
                 self.charge(costs.sm_send_per_batch)
@@ -517,7 +551,8 @@ class StreamManager(Actor):
             elif home is not None:
                 delivery = remote.get(home)
                 if delivery is None:
-                    delivery = RemoteDelivery(self.container_id, [])
+                    delivery = RemoteDelivery(self.container_id, [],
+                                              epoch=self.epoch)
                     remote[home] = delivery
                 delivery.acks.append(ack)
 
@@ -532,7 +567,8 @@ class StreamManager(Actor):
         for home, updates in self._xor_out.items():
             delivery = remote.get(home)
             if delivery is None:
-                delivery = RemoteDelivery(self.container_id, [])
+                delivery = RemoteDelivery(self.container_id, [],
+                                          epoch=self.epoch)
                 remote[home] = delivery
             delivery.xor_updates.extend(updates)
         self._xor_out = {}
@@ -553,6 +589,94 @@ class StreamManager(Actor):
                     emit_time_sum=sum(c.emit_time_sum for c in matching),
                     failed=failed)
                 self.send(instance, merged)
+
+    # -- checkpoint barriers (repro.checkpoint) ------------------------------------
+    def _handle_inject_barriers(self, message: InjectBarriers) -> None:
+        """Coordinator trigger: hand barrier markers to the local spouts."""
+        if message.epoch != self.epoch or self.pplan is None:
+            return
+        for instance in self.local_instances.values():
+            if instance.alive and instance.is_spout:
+                self.charge(self.costs.checkpoint_marker_per_hop)
+                self.send(instance, CheckpointBarrier(
+                    message.checkpoint_id, message.epoch))
+
+    def _handle_instance_barrier(self, message: InstanceBarrier) -> None:
+        """A local instance passed the barrier: flush its pre-barrier
+        tuples out of the cache, then propagate its marker downstream.
+
+        The drain runs in the same handler turn as the marker sends, so
+        ``_flush_pending``'s per-destination ordering guarantees every
+        drained batch reaches each peer SM / local instance *before* the
+        marker — the FIFO property barrier alignment depends on.
+        """
+        if message.epoch != self.epoch or self.pplan is None:
+            return
+        self._drain()
+        source = message.source
+        remote: Dict[int, List[InstanceKey]] = {}
+        for dest in self.pplan.downstream_keys(source[0]):
+            home = self.pplan.container_of.get(dest)
+            if home == self.container_id:
+                instance = self.local_instances.get(dest)
+                if instance is not None and instance.alive:
+                    self.charge(self.costs.checkpoint_marker_per_hop)
+                    self.barriers_forwarded += 1
+                    self.send(instance, CheckpointBarrier(
+                        message.checkpoint_id, message.epoch,
+                        from_task=source))
+            elif home is not None:
+                remote.setdefault(home, []).append(dest)
+        for home, dests in sorted(remote.items()):
+            peer = self.directory.get(home)
+            if peer is not None and peer.alive:
+                self.charge(self.costs.checkpoint_marker_per_hop)
+                self.barriers_forwarded += 1
+                self.send(peer, RemoteBarriers(
+                    message.checkpoint_id, message.epoch, source, dests))
+
+    def _handle_remote_barriers(self, message: RemoteBarriers) -> None:
+        """Markers arriving from a peer SM, bound for local instances.
+
+        No drain here: remote data batches are forwarded to instances
+        directly on arrival, so the channel through this SM is FIFO
+        without flushing anything.
+        """
+        if message.epoch != self.epoch:
+            return
+        for dest in message.dests:
+            instance = self.local_instances.get(dest)
+            if instance is not None and instance.alive:
+                self.charge(self.costs.checkpoint_marker_per_hop)
+                self.barriers_forwarded += 1
+                self.send(instance, CheckpointBarrier(
+                    message.checkpoint_id, message.epoch,
+                    from_task=message.from_task))
+
+    def _handle_restore(self, message: RestoreTopology) -> None:
+        """Rollback: enter the new epoch, wipe every piece of in-flight
+        state (it all belongs to the rolled-back run) and push each local
+        instance its snapshot blob."""
+        if message.epoch <= self.epoch:
+            return  # duplicate / stale restore
+        self.charge(self.costs.tmaster_per_event)
+        self.epoch = message.epoch
+        self.restores += 1
+        if self.mempool:
+            for entry in self._cache.values():
+                self._entry_pool.release(entry)
+        self._cache = {}
+        self._ack_cache = {}
+        self._fail_cache = {}
+        self._xor_out = {}
+        self._completions = {}
+        self.tracker = AckTracker(self._on_tree_complete,
+                                  self._on_tree_expire)
+        for key, instance in self.local_instances.items():
+            if instance.alive:
+                self.send(instance, RestoreInstance(
+                    message.epoch, message.checkpoint_id,
+                    message.states.get(key)))
 
     # -- backpressure --------------------------------------------------------------
     def _queue_pressure(self) -> int:

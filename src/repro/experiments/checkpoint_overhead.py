@@ -1,0 +1,235 @@
+"""Checkpointing figures: overhead sweep + effectively-once recovery.
+
+Two beyond-paper figures for the ``repro.checkpoint`` subsystem (the
+paper lists stateful topologies among the engine extensions its
+modularity is meant to enable; Heron's own stateful-processing release
+is the reference implementation):
+
+* **ckpt_overhead** — steady-state throughput of the stateful WordCount
+  as the checkpoint interval shrinks. x = checkpoints/second (0 = off).
+  Barrier alignment briefly stalls each bolt input channel and every
+  task pays the snapshot cost, so overhead grows with frequency;
+* **ckpt_recovery** — a mid-run container failure with checkpointing on
+  vs off. With the subsystem on, the rollback restores the last
+  committed snapshot and replayable spouts rewind: the final counts are
+  *exactly* the failure-free counts (deviation 0). Off, the failed
+  container's state is simply gone and the counts diverge.
+
+Every sweep point builds its own cluster, so points run serially or in
+a pool (``REPRO_PARALLEL`` / ``--parallel``) with identical results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.experiments.harness import (DUAL_XEON_MACHINE, machines_for,
+                                       measure_sweep)
+from repro.experiments.series import Figure, ShapeCheck
+from repro.workloads.stateful_wordcount import stateful_wordcount_topology
+
+#: Checkpoint intervals swept for the overhead figure (None = disabled).
+FULL_INTERVALS: List[Optional[float]] = [None, 1.0, 0.5, 0.25, 0.1, 0.05]
+FAST_INTERVALS: List[Optional[float]] = [None, 0.5, 0.1]
+
+#: Overhead-run topology size (spouts = bolts = parallelism).
+FULL_PARALLELISM = 8
+FAST_PARALLELISM = 4
+
+#: Recovery-run stream: enough per-task tuples to span the failure and
+#: the rollback, small enough to compare exact final counts.
+RECOVERY_TUPLES_PER_TASK = 3000
+RECOVERY_RATE = 10_000.0
+RECOVERY_PARALLELISM = 2
+RECOVERY_FAIL_AT = 0.15
+RECOVERY_RUN_FOR = 3.5
+
+
+def _overhead_config(interval: Optional[float]) -> Config:
+    cfg = (Config()
+           .set(Keys.ACKING_ENABLED, False)
+           .set(Keys.BATCH_SIZE, 1000)
+           .set(Keys.SAMPLE_CAP, 24)
+           .set(Keys.INSTANCES_PER_CONTAINER, 4))
+    if interval is not None:
+        cfg.set(Keys.CHECKPOINT_ENABLED, True)
+        cfg.set(Keys.CHECKPOINT_INTERVAL_SECS, interval)
+    return cfg
+
+
+def _recovery_config(checkpointing: bool) -> Config:
+    # Full fidelity (no sampling) so final counts are exact and the
+    # clean/recovered runs can be compared word by word.
+    cfg = (Config()
+           .set(Keys.ACKING_ENABLED, False)
+           .set(Keys.BATCH_SIZE, 50)
+           .set(Keys.SAMPLE_CAP, 0)
+           .set(Keys.INSTANCES_PER_CONTAINER, 2))
+    if checkpointing:
+        cfg.set(Keys.CHECKPOINT_ENABLED, True)
+        cfg.set(Keys.CHECKPOINT_INTERVAL_SECS, 0.1)
+    return cfg
+
+
+def measure_point(spec: Tuple) -> Dict:
+    """One sweep point (module-level: picklable for the process pool)."""
+    kind = spec[0]
+    if kind == "overhead":
+        return _measure_overhead(interval=spec[1], fast=spec[2])
+    return _measure_recovery(mode=spec[1])
+
+
+def _measure_overhead(interval: Optional[float], fast: bool) -> Dict:
+    parallelism = FAST_PARALLELISM if fast else FULL_PARALLELISM
+    config = _overhead_config(interval)
+    cluster = HeronCluster.on_yarn(
+        machines=machines_for(parallelism, 4, DUAL_XEON_MACHINE),
+        machine_resource=DUAL_XEON_MACHINE)
+    topology = stateful_wordcount_topology(parallelism, config=config)
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    warmup, measure = (0.3, 0.5) if fast else (0.4, 1.0)
+    cluster.run_for(warmup)
+    start = handle.totals()["executed"]
+    start_time = cluster.now
+    cluster.run_for(measure)
+    window = cluster.now - start_time
+    throughput = (handle.totals()["executed"] - start) / window
+    stats = handle.checkpoint_stats()
+    handle.kill()
+    return {"throughput_tps": throughput,
+            "committed": stats["committed"]}
+
+
+def _measure_recovery(mode: str) -> Dict:
+    """One recovery run: ``clean``, ``ckpt`` (failure, checkpointing on)
+    or ``nockpt`` (failure, checkpointing off)."""
+    checkpointing = mode != "nockpt"
+    cluster = HeronCluster.on_yarn(machines=4)
+    topology = stateful_wordcount_topology(
+        RECOVERY_PARALLELISM, total_tuples=RECOVERY_TUPLES_PER_TASK,
+        rate=RECOVERY_RATE, config=_recovery_config(checkpointing))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    fail_time = -1.0
+    if mode != "clean":
+        cluster.run_for(RECOVERY_FAIL_AT)
+        victims = [jc for jc in
+                   cluster.framework.job_containers(topology.name)
+                   if jc.role != "tmaster"]
+        fail_time = cluster.now
+        cluster.cluster.fail_container(victims[0].container)
+    cluster.run_for(RECOVERY_RUN_FOR)
+    counts: Counter = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    stats = handle.checkpoint_stats()
+    recovery_secs = (stats["last_restore_at"] - fail_time
+                     if stats["last_restore_at"] >= 0 and fail_time >= 0
+                     else -1.0)
+    return {"counts": dict(counts), "recovery_secs": recovery_secs,
+            "restores": stats["restores"]}
+
+
+def _deviation(clean: Dict[str, float], other: Dict[str, float]) -> float:
+    """Total absolute per-word count difference between two runs."""
+    words = set(clean) | set(other)
+    return sum(abs(clean.get(w, 0) - other.get(w, 0)) for w in words)
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    intervals = FAST_INTERVALS if fast else FULL_INTERVALS
+    specs: List[Tuple] = [("overhead", interval, fast)
+                          for interval in intervals]
+    specs += [("recovery", mode, fast)
+              for mode in ("clean", "ckpt", "nockpt")]
+    results = measure_sweep(measure_point, specs, parallel=parallel)
+    overhead_results = results[:len(intervals)]
+    clean, ckpt, nockpt = results[len(intervals):]
+
+    overhead = Figure("ckpt_overhead",
+                      "Checkpointing overhead vs frequency",
+                      "checkpoints/second (0 = disabled)",
+                      "throughput (tuples/s)")
+    baseline = overhead_results[0]["throughput_tps"]
+    for interval, result in zip(intervals, overhead_results):
+        frequency = 0.0 if interval is None else 1.0 / interval
+        tps = result["throughput_tps"]
+        overhead.add_point("throughput", frequency, tps)
+        overhead.add_point("overhead %", frequency,
+                           100.0 * (1.0 - tps / baseline) if baseline
+                           else 0.0)
+    overhead.notes.append(
+        f"baseline (checkpointing off): {baseline:,.0f} tuples/s")
+
+    recovery = Figure("ckpt_recovery",
+                      "Effectively-once recovery from container failure",
+                      "checkpointing (0 = off, 1 = on)",
+                      "final-count deviation (tuples)")
+    recovery.add_point("count deviation vs clean run", 0.0,
+                       _deviation(clean["counts"], nockpt["counts"]))
+    recovery.add_point("count deviation vs clean run", 1.0,
+                       _deviation(clean["counts"], ckpt["counts"]))
+    recovery.add_point("recovery time (s)", 0.0,
+                       max(0.0, nockpt["recovery_secs"]))
+    recovery.add_point("recovery time (s)", 1.0,
+                       max(0.0, ckpt["recovery_secs"]))
+    recovery.notes.append(
+        f"clean-run total: {sum(clean['counts'].values()):,.0f} tuples; "
+        f"restores: on={ckpt['restores']:.0f} off={nockpt['restores']:.0f}")
+
+    return {"ckpt_overhead": overhead, "ckpt_recovery": recovery}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the subsystem's qualitative claims on the figures."""
+    checks: List[ShapeCheck] = []
+    overhead = figures["ckpt_overhead"].series["overhead %"]
+    points = sorted(overhead.points)
+    fastest = points[-1][1]
+    slowest_on = points[1][1] if len(points) > 1 else 0.0
+    checks.append(ShapeCheck(
+        "ckpt_overhead: overhead stays moderate (< 25% at the fastest "
+        "interval)", fastest < 25.0, f"fastest-interval: {fastest:.2f}%"))
+    checks.append(ShapeCheck(
+        "ckpt_overhead: more frequent checkpoints do not cost less",
+        fastest >= slowest_on - 2.0,
+        f"{slowest_on:.2f}% at slowest vs {fastest:.2f}% at fastest"))
+
+    deviation = figures["ckpt_recovery"].series["count deviation vs "
+                                                "clean run"]
+    dev_on, dev_off = deviation.y_at(1.0), deviation.y_at(0.0)
+    checks.append(ShapeCheck(
+        "ckpt_recovery: checkpointing on ⇒ exactly the failure-free "
+        "counts (effectively-once)", dev_on == 0.0,
+        f"deviation: {dev_on:g}"))
+    checks.append(ShapeCheck(
+        "ckpt_recovery: checkpointing off ⇒ state is lost",
+        dev_off > 0.0, f"deviation: {dev_off:g}"))
+    recovery_time = figures["ckpt_recovery"].series["recovery time (s)"]
+    checks.append(ShapeCheck(
+        "ckpt_recovery: rollback completes after the framework "
+        "relaunches the container", recovery_time.y_at(1.0) > 0.0,
+        f"recovery: {recovery_time.y_at(1.0):.2f}s"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -11,10 +11,11 @@ Acks on, WordCount, parallelism ∈ {25, 100, 200} on dual-Xeon machines;
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import (DUAL_XEON_MACHINE, heron_perf_config,
-                                       run_heron_wordcount, windows_for)
+                                       measure_sweep, run_heron_wordcount,
+                                       windows_for)
 from repro.experiments.series import (Figure, ShapeCheck, check_monotonic)
 
 FULL_PARALLELISMS = [25, 100, 200]
@@ -28,7 +29,21 @@ def series_label(parallelism: int) -> str:
     return f"{parallelism} Spouts/{parallelism} Bolts"
 
 
-def run(fast: bool = False) -> Dict[str, Figure]:
+def measure_point(spec: Tuple[int, int, bool]) -> Tuple[float, float]:
+    """One sweep point (module-level: picklable for the process pool)."""
+    parallelism, pending, fast = spec
+    warmup, measure = windows_for(parallelism, fast)
+    point = run_heron_wordcount(
+        parallelism, acks=True,
+        config=heron_perf_config(acks=True, max_pending=pending,
+                                 instances_per_container=8),
+        warmup=warmup, measure=measure,
+        machine=DUAL_XEON_MACHINE)
+    return point.throughput_mtpm, point.latency_ms
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
     """Run the experiment; returns {figure_key: Figure}."""
     parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
     pending_values = FAST_PENDING if fast else FULL_PENDING
@@ -38,18 +53,15 @@ def run(fast: bool = False) -> Dict[str, Figure]:
     fig11 = Figure("Figure 11", "Latency vs max spout pending",
                    "max spout pending (tuples)", "latency (ms)")
 
-    for parallelism in parallelisms:
-        warmup, measure = windows_for(parallelism, fast)
+    specs = [(parallelism, pending, fast)
+             for parallelism in parallelisms
+             for pending in pending_values]
+    results = measure_sweep(measure_point, specs, parallel=parallel)
+    for (parallelism, pending, _fast), (mtpm, latency_ms) in \
+            zip(specs, results):
         label = series_label(parallelism)
-        for pending in pending_values:
-            point = run_heron_wordcount(
-                parallelism, acks=True,
-                config=heron_perf_config(acks=True, max_pending=pending,
-                                         instances_per_container=8),
-                warmup=warmup, measure=measure,
-                machine=DUAL_XEON_MACHINE)
-            fig10.add_point(label, pending, point.throughput_mtpm)
-            fig11.add_point(label, pending, point.latency_ms)
+        fig10.add_point(label, pending, mtpm)
+        fig11.add_point(label, pending, latency_ms)
 
     return {"fig10": fig10, "fig11": fig11}
 

@@ -11,10 +11,11 @@ fixed while the drain interval varies.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.harness import (DUAL_XEON_MACHINE, heron_perf_config,
-                                       run_heron_wordcount, windows_for)
+                                       measure_sweep, run_heron_wordcount,
+                                       windows_for)
 from repro.experiments.series import (Figure, ShapeCheck,
                                       check_peak_interior)
 
@@ -33,7 +34,22 @@ def series_label(parallelism: int) -> str:
     return f"{parallelism} Spouts/{parallelism} Bolts"
 
 
-def run(fast: bool = False) -> Dict[str, Figure]:
+def measure_point(spec: Tuple[int, float, bool]) -> Tuple[float, float]:
+    """One sweep point (module-level: picklable for the process pool)."""
+    parallelism, drain_ms, fast = spec
+    warmup, measure = windows_for(parallelism, fast)
+    point = run_heron_wordcount(
+        parallelism, acks=True,
+        config=heron_perf_config(acks=True, drain_ms=drain_ms,
+                                 max_pending=MAX_PENDING,
+                                 instances_per_container=8),
+        warmup=warmup, measure=measure,
+        machine=DUAL_XEON_MACHINE)
+    return point.throughput_mtpm, point.latency_ms
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
     """Run the experiment; returns {figure_key: Figure}."""
     parallelisms = FAST_PARALLELISMS if fast else FULL_PARALLELISMS
     drains = FAST_DRAINS_MS if fast else FULL_DRAINS_MS
@@ -43,19 +59,15 @@ def run(fast: bool = False) -> Dict[str, Figure]:
     fig13 = Figure("Figure 13", "Latency vs cache drain frequency",
                    "cache drain frequency (ms)", "latency (ms)")
 
-    for parallelism in parallelisms:
-        warmup, measure = windows_for(parallelism, fast)
+    specs = [(parallelism, drain_ms, fast)
+             for parallelism in parallelisms
+             for drain_ms in drains]
+    results = measure_sweep(measure_point, specs, parallel=parallel)
+    for (parallelism, drain_ms, _fast), (mtpm, latency_ms) in \
+            zip(specs, results):
         label = series_label(parallelism)
-        for drain_ms in drains:
-            point = run_heron_wordcount(
-                parallelism, acks=True,
-                config=heron_perf_config(acks=True, drain_ms=drain_ms,
-                                         max_pending=MAX_PENDING,
-                                         instances_per_container=8),
-                warmup=warmup, measure=measure,
-                machine=DUAL_XEON_MACHINE)
-            fig12.add_point(label, drain_ms, point.throughput_mtpm)
-            fig13.add_point(label, drain_ms, point.latency_ms)
+        fig12.add_point(label, drain_ms, mtpm)
+        fig13.add_point(label, drain_ms, latency_ms)
 
     return {"fig12": fig12, "fig13": fig13}
 

@@ -10,17 +10,25 @@ the user logic (21%) and write data to Redis (8%)."
 We run the analogous Kafka→filter→aggregate→Redis topology (simulated
 external services, see ``repro.workloads.kafka_redis``) and read the
 CPU-time attribution straight off the simulation's cost ledger.
+
+The measurement window is split into independent *shards* — each shard
+is a fresh cluster (its own seed) measured for ``duration / shards``
+seconds — so ``REPRO_PARALLEL`` / ``--parallel`` fans the shards across
+a process pool like every sweep-style figure. Fractions are computed
+from the summed per-category CPU totals, and shard results are summed
+in shard order, so serial and pooled runs are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.common.config import Config
 from repro.common.resources import Resource
 from repro.common.units import GB
 from repro.core.heron import HeronCluster
+from repro.experiments.harness import measure_sweep
 from repro.experiments.series import Figure, ShapeCheck
 from repro.simulation.costs import CostCategory
 from repro.workloads.kafka_redis import kafka_redis_topology
@@ -43,8 +51,14 @@ CATEGORY_INDEX = {category: i + 1 for i, category in
                   enumerate(CATEGORY_ORDER)}
 
 
-def run(fast: bool = False) -> Dict[str, Figure]:
-    """Run the experiment; returns {figure_key: Figure}."""
+#: Measurement shards (independent clusters) per profile.
+FULL_SHARDS = 4
+FAST_SHARDS = 2
+
+
+def measure_shard(spec: Tuple[int, int, bool]) -> Dict[str, float]:
+    """One measurement shard (module-level: picklable for the pool)."""
+    shard_index, shards, fast = spec
     events_per_min = 80e6
     if fast:
         scale = dict(spouts=6, filters=6, aggregators=6, sinks=3)
@@ -65,15 +79,30 @@ def run(fast: bool = False) -> Dict[str, Figure]:
     instances = sum(scale.values())
     machines = (instances // 4 + 2) * 5 // 4 // 4 + 3
     cluster = HeronCluster.on_yarn(machines=max(machines, 4),
-                                   machine_resource=machine)
+                                   machine_resource=machine,
+                                   seed=shard_index)
     handle = cluster.submit_topology(topology)
     handle.wait_until_running()
     cluster.run_for(1.0)  # warmup: pipeline fills, aggregation windows turn
     baseline = {cat: cluster.ledger.by_category.get(cat, 0.0)
                 for cat in CATEGORY_ORDER}
-    cluster.run_for(duration)
+    cluster.run_for(duration / shards)
+    result = {cat: cluster.ledger.by_category.get(cat, 0.0) - baseline[cat]
+              for cat in CATEGORY_ORDER}
+    result["fetched"] = float(broker.total_fetched)
+    result["writes"] = float(redis.writes)
+    result["records"] = float(redis.records_written)
+    return result
 
-    totals = {cat: cluster.ledger.by_category.get(cat, 0.0) - baseline[cat]
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    shards = FAST_SHARDS if fast else FULL_SHARDS
+    specs = [(index, shards, fast) for index in range(shards)]
+    shard_results = measure_sweep(measure_shard, specs, parallel=parallel)
+
+    totals = {cat: sum(r[cat] for r in shard_results)
               for cat in CATEGORY_ORDER}
     grand = sum(totals.values())
 
@@ -84,10 +113,13 @@ def run(fast: bool = False) -> Dict[str, Figure]:
         figure.add_point(SERIES, CATEGORY_INDEX[category], fraction)
         figure.add_point(PAPER_SERIES, CATEGORY_INDEX[category],
                          PAPER_BREAKDOWN[category])
+    fetched = int(sum(r["fetched"] for r in shard_results))
+    writes = int(sum(r["writes"] for r in shard_results))
+    records = int(sum(r["records"] for r in shard_results))
     figure.notes.append(
-        f"events fetched: {broker.total_fetched:,}; "
-        f"redis writes: {redis.writes:,} "
-        f"({redis.records_written:,} records)")
+        f"events fetched: {fetched:,}; "
+        f"redis writes: {writes:,} "
+        f"({records:,} records) across {shards} shards")
     return {"fig14": figure}
 
 

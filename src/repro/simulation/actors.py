@@ -123,6 +123,7 @@ class Actor:
         self._busy = False
         self._in_handler = False
         self._charged = 0.0
+        self._charge_groups: Dict[str, float] = {}
         self._pending_out: List[Tuple["Actor", Any, float]] = []
         self._completion: Optional[EventHandle] = None
         self._timers: List[RepeatingEvent] = []
@@ -160,11 +161,21 @@ class Actor:
 
     # -- cost accounting ------------------------------------------------------
     def charge(self, cost: float, category: str = CostCategory.ENGINE) -> None:
-        """Charge ``cost`` seconds of CPU for the message being handled."""
+        """Charge ``cost`` seconds of CPU for the message being handled.
+
+        In-handler charges are accumulated per category and written to
+        the ledger once per message (handlers on hot paths charge many
+        times per message; the ledger sees identical totals either way).
+        """
         if cost < 0:
             raise SimulationError(f"negative cost: {cost}")
         self._charged += cost
-        if self.ledger is not None:
+        if self.ledger is None:
+            return
+        if self._in_handler:
+            groups = self._charge_groups
+            groups[category] = groups.get(category, 0.0) + cost
+        else:
             self.ledger.add(category, self.group, cost)
 
     # -- lifecycle -------------------------------------------------------------
@@ -216,6 +227,11 @@ class Actor:
                 self.on_message(message)
             finally:
                 self._in_handler = False
+                if self._charge_groups:
+                    ledger, group = self.ledger, self.group
+                    for category, cost in self._charge_groups.items():
+                        ledger.add(category, group, cost)
+                    self._charge_groups.clear()
             self.messages_processed += 1
             service = self._charged * self.contention / self.speed
             if service > 0.0:

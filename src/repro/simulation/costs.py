@@ -116,6 +116,24 @@ class CostModel:
     tmaster_per_event: float = 5.0 * MICROS
     """Topology Master: processing one control-plane event."""
 
+    # --- checkpointing (repro.checkpoint) -----------------------------------
+    checkpoint_marker_per_hop: float = 1.0 * MICROS
+    """Stream Manager: routing one barrier marker to one destination."""
+
+    instance_snapshot_fixed: float = 25.0 * MICROS
+    """Instance: fixed cost of taking one state snapshot (barrier
+    handling + snapshot call dispatch)."""
+
+    instance_snapshot_per_byte: float = 0.002 * MICROS
+    """Instance: serializing snapshotted state, per encoded byte."""
+
+    instance_restore_fixed: float = 25.0 * MICROS
+    """Instance: applying one restored snapshot (decode + init_state)."""
+
+    coordinator_per_event: float = 5.0 * MICROS
+    """Checkpoint Coordinator: processing one control-plane event
+    (barrier injection fan-out, snapshot ack, commit bookkeeping)."""
+
     # --- Storm (baseline) ---------------------------------------------------
     storm_user_per_tuple: float = 0.80 * MICROS
     """Executor user-logic dispatch, per tuple (same work as Heron's)."""

@@ -2,6 +2,9 @@
 
 * :mod:`repro.workloads.wordcount` — the WordCount topology used by
   every head-to-head and tuning figure (Figs. 2–13);
+* :mod:`repro.workloads.stateful_wordcount` — the stateful WordCount
+  variant (replayable spouts + checkpointed counts) driving the
+  effectively-once demonstrations of ``repro.checkpoint``;
 * :mod:`repro.workloads.kafka_redis` — the production-style
   Kafka → filter → aggregate → Redis topology of Fig. 14;
 * :mod:`repro.workloads.external` — simulated Kafka broker and Redis
@@ -10,13 +13,19 @@
 """
 
 from repro.workloads.corpus import DEFAULT_CORPUS_SIZE, corpus
+from repro.workloads.stateful_wordcount import (StatefulCountBolt,
+                                                StatefulWordSpout,
+                                                stateful_wordcount_topology)
 from repro.workloads.wordcount import (CountBolt, WordSpout,
                                        wordcount_topology)
 
 __all__ = [
     "CountBolt",
     "DEFAULT_CORPUS_SIZE",
+    "StatefulCountBolt",
+    "StatefulWordSpout",
     "WordSpout",
     "corpus",
+    "stateful_wordcount_topology",
     "wordcount_topology",
 ]

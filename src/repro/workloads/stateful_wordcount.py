@@ -1,0 +1,158 @@
+"""Stateful WordCount: the effectively-once demonstration workload.
+
+Same shape as :mod:`repro.workloads.wordcount` — spouts fields-grouped
+into counting bolts — but both components carry **managed state** through
+the ``init_state``/``snapshot_state`` hooks:
+
+* :class:`StatefulWordSpout` reads a deterministic word stream and keeps
+  its **offset** as state, so a rollback rewinds it to the last committed
+  checkpoint and it re-emits exactly the words whose counts were lost;
+* :class:`StatefulCountBolt` keeps its word counts as state.
+
+Because the word at each offset is a pure function of (task, offset),
+a failure-free run and a run with any number of rollbacks produce *the
+same final counts* when checkpointing is on — which is what the e2e test
+and the ``checkpoint`` figure assert. With checkpointing off the bolts
+restart empty and the spouts restart at offset 0 only on the failed
+container, so counts demonstrably diverge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+from repro.api.component import Bolt, ComponentContext, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import Topology, TopologyBuilder
+from repro.common.config import Config
+from repro.workloads.corpus import DEFAULT_CORPUS_SIZE, corpus
+
+#: Knuth-style multiplicative hash constant for the per-offset word pick.
+_MIX = 2654435761
+
+
+class StatefulWordSpout(Spout):
+    """Replayable source: emits word #offset of a deterministic stream.
+
+    ``total_tuples`` bounds the stream per task (0 = unbounded);
+    ``rate`` throttles emission to ``rate`` tuples/sec of simulated time
+    per task (0 = as fast as the engine allows). Replayability is the
+    source contract effectively-once needs — like a Kafka consumer, the
+    snapshot is just the read offset.
+    """
+
+    outputs = {"default": ["word"]}
+    stateful = True
+
+    def __init__(self, total_tuples: int = 0, *, rate: float = 0.0,
+                 corpus_size: int = DEFAULT_CORPUS_SIZE,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.total_tuples = total_tuples
+        self.rate = rate
+        self.corpus_size = corpus_size
+        self.seed = seed
+        self.offset = 0
+        self._words = None
+        self._salt = 0
+        self._now = None
+        self._sample_cap = 0
+        self.acks_seen = 0
+        self.fails_seen = 0
+
+    # -- managed state -----------------------------------------------------
+    def init_state(self, state: Optional[Any]) -> None:
+        self.offset = int(state["offset"]) if state else 0
+
+    def snapshot_state(self) -> Any:
+        return {"offset": self.offset}
+
+    # -- Spout protocol ----------------------------------------------------
+    def open(self, context: ComponentContext, collector) -> None:
+        self._words = corpus(self.corpus_size)
+        self._salt = (self.seed << 16) ^ (context.task_id * _MIX)
+        self._now = context.now
+        self._sample_cap = int(context.config.get(Keys.SAMPLE_CAP))
+
+    def _word_at(self, offset: int) -> str:
+        assert self._words is not None
+        return self._words[((offset * _MIX) ^ self._salt) % len(self._words)]
+
+    def next_batch(self, collector, max_tuples: int) -> int:
+        assert self._words is not None and self._now is not None
+        target = self.total_tuples
+        if self.rate > 0:
+            paced = int(self._now() * self.rate)
+            target = min(target, paced) if target else paced
+        available = (target - self.offset) if target else max_tuples
+        n = min(max_tuples, available)
+        if n <= 0:
+            return 0  # drained (or pacing): the engine backs off
+        start = self.offset
+        if self._sample_cap and n > self._sample_cap:
+            concrete = self._sample_cap
+        else:
+            concrete = n
+        values = [[self._word_at(start + i)] for i in range(concrete)]
+        collector.emit_batch(values, count=n)
+        self.offset = start + n
+        return n
+
+    def next_tuple(self, collector) -> None:
+        collector.emit([self._word_at(self.offset)])
+        self.offset += 1
+
+    def ack(self, tuple_id: int) -> None:
+        self.acks_seen += 1
+
+    def fail(self, tuple_id: int) -> None:
+        self.fails_seen += 1
+
+
+class StatefulCountBolt(Bolt):
+    """Word counter whose counts are managed (checkpointed) state."""
+
+    outputs = {"default": ["word", "count"]}
+    stateful = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counts: Counter = Counter()
+
+    # -- managed state -----------------------------------------------------
+    def init_state(self, state: Optional[Any]) -> None:
+        self.counts = Counter(state) if state else Counter()
+
+    def snapshot_state(self) -> Any:
+        return dict(self.counts)
+
+    # -- Bolt protocol -----------------------------------------------------
+    def execute(self, tup, collector) -> None:
+        self.counts[tup[0]] += 1
+
+    def execute_batch(self, batch, collector) -> None:
+        if not batch.values:
+            return
+        weight = batch.weight
+        if weight == 1.0:
+            self.counts.update(values[0] for values in batch.values)
+        else:
+            for values in batch.values:
+                self.counts[values[0]] += weight
+
+
+def stateful_wordcount_topology(parallelism: int = 4, *,
+                                total_tuples: int = 0, rate: float = 0.0,
+                                corpus_size: int = DEFAULT_CORPUS_SIZE,
+                                config: Optional[Config] = None,
+                                name: str = "stateful-wordcount"
+                                ) -> Topology:
+    """Stateful WordCount: N replayable spouts → fields-grouped counts."""
+    builder = TopologyBuilder(name)
+    builder.set_spout(
+        "word", StatefulWordSpout(total_tuples, rate=rate,
+                                  corpus_size=corpus_size), parallelism)
+    builder.set_bolt("count", StatefulCountBolt(), parallelism) \
+        .fields_grouping("word", fields=["word"])
+    return builder.build(config)

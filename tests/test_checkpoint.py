@@ -1,0 +1,269 @@
+"""Tests for the checkpointing subsystem (``repro.checkpoint``).
+
+Covers the snapshot codec, the CheckpointStore layout/commit/prune
+semantics on both State Manager backends, the coordinator's steady-state
+bookkeeping, and — the headline guarantee — the end-to-end
+effectively-once test: a stateful WordCount with a mid-run container
+failure finishes with *exactly* the failure-free counts when
+checkpointing is on, and demonstrably loses state when it is off.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.checkpoint import CheckpointStore, decode_state, encode_state
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.statemgr.inmemory import InMemoryStateManager
+from repro.statemgr.localfs import LocalFileSystemStateManager
+from repro.statemgr.paths import TopologyPaths
+from repro.workloads.stateful_wordcount import (StatefulCountBolt,
+                                                StatefulWordSpout,
+                                                stateful_wordcount_topology)
+
+
+@pytest.fixture(params=["inmemory", "localfs"])
+def statemgr(request, tmp_path):
+    if request.param == "inmemory":
+        return InMemoryStateManager()
+    return LocalFileSystemStateManager(tmp_path / "state")
+
+
+class TestSnapshotCodec:
+    def test_roundtrip(self):
+        state = {"offset": 1234, "counts": {"a": 1, "b": 2.5}}
+        assert decode_state(encode_state(state)) == state
+
+    def test_none_state_roundtrips(self):
+        assert decode_state(encode_state(None)) is None
+
+
+class TestCheckpointStore:
+    def test_epoch_defaults_to_zero(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        assert store.load_epoch() == 0
+
+    def test_epoch_persists(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        store.save_epoch(3)
+        assert store.load_epoch() == 3
+        store.save_epoch(4)  # put() upserts
+        assert CheckpointStore(statemgr, "wc").load_epoch() == 4
+
+    def test_commit_and_load(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        blobs = {("count", 1): encode_state({"a": 2}),
+                 ("count", 2): encode_state({"b": 1}),
+                 ("word", 3): encode_state({"offset": 10})}
+        store.commit(1, blobs, time=0.5)
+        assert store.latest_id() == 1
+        assert store.load(1) == blobs
+        assert store.load_latest() == (1, blobs)
+
+    def test_stateless_tasks_store_nothing(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        store.commit(1, {("count", 1): encode_state({}),
+                         ("metrics", 9): None}, time=0.1)
+        assert set(store.load(1)) == {("count", 1)}
+        assert store.metadata(1) == {"id": 1, "time": 0.1,
+                                     "instances": 2, "stateful": 1}
+
+    def test_uncommitted_tree_is_invisible(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        paths = TopologyPaths("wc")
+        # Blobs written but no commit marker: a coordinator death mid-commit.
+        statemgr.put(paths.checkpoint_state(7, "count", 1), b"blob")
+        assert store.latest_id() is None
+        assert store.committed_ids() == []
+        assert store.load_latest() is None
+
+    def test_latest_pointer_fallback_to_scan(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        store.commit(1, {("count", 1): b"x"}, time=0.1)
+        store.commit(2, {("count", 1): b"y"}, time=0.2)
+        # A stale pointer (e.g. written by a dying coordinator) must not
+        # surface an uncommitted id.
+        statemgr.set(TopologyPaths("wc").checkpoints_latest, b"99")
+        assert store.latest_id() == 2
+
+    def test_prune_keeps_newest(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        for checkpoint_id in range(1, 6):
+            store.commit(checkpoint_id, {("count", 1): b"x"},
+                         time=0.1 * checkpoint_id)
+        assert store.committed_ids() == [4, 5]
+        assert store.latest_id() == 5
+        assert store.load(3) == {}  # pruned
+
+    def test_localfs_commit_survives_restart(self, tmp_path):
+        root = tmp_path / "state"
+        store = CheckpointStore(LocalFileSystemStateManager(root), "wc")
+        store.commit(1, {("count", 1): encode_state({"a": 5})}, time=0.1)
+        store.save_epoch(2)
+        reloaded = CheckpointStore(LocalFileSystemStateManager(root), "wc")
+        assert reloaded.load_epoch() == 2
+        checkpoint_id, blobs = reloaded.load_latest()
+        assert checkpoint_id == 1
+        assert decode_state(blobs[("count", 1)]) == {"a": 5}
+
+
+# -- integration: coordinator bookkeeping ---------------------------------
+
+def _checkpointing_config(interval=0.1):
+    return (Config()
+            .set(Keys.ACKING_ENABLED, False)
+            .set(Keys.BATCH_SIZE, 100)
+            .set(Keys.SAMPLE_CAP, 16)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2)
+            .set(Keys.CHECKPOINT_ENABLED, True)
+            .set(Keys.CHECKPOINT_INTERVAL_SECS, interval))
+
+
+class TestCoordinatorBookkeeping:
+    def test_checkpoints_commit_in_steady_state(self):
+        cluster = HeronCluster.on_yarn(machines=4)
+        topology = stateful_wordcount_topology(
+            2, corpus_size=500, config=_checkpointing_config())
+        handle = cluster.submit_topology(topology)
+        handle.wait_until_running()
+        cluster.run_for(1.0)
+        stats = handle.checkpoint_stats()
+        assert stats["committed"] >= 5
+        assert stats["aborted"] == 0
+        assert stats["restores"] == 0
+
+        store = CheckpointStore(cluster.statemgr, topology.name)
+        # Pruned to KEEP; the pointer tracks the newest committed id.
+        assert len(store.committed_ids()) <= CheckpointStore.KEEP
+        assert store.latest_id() == stats["last_committed_id"]
+        # Every stateful task has a blob in the committed snapshot.
+        _, blobs = store.load_latest()
+        assert {component for component, _task in blobs} == {"word", "count"}
+        assert len(blobs) == 4  # 2 spouts + 2 bolts
+        handle.kill()
+
+    def test_stats_zero_when_disabled(self):
+        cluster = HeronCluster.on_yarn(machines=4)
+        config = Config().set(Keys.BATCH_SIZE, 100).set(Keys.SAMPLE_CAP, 16)
+        handle = cluster.submit_topology(stateful_wordcount_topology(
+            2, corpus_size=500, config=config))
+        handle.wait_until_running()
+        cluster.run_for(0.5)
+        stats = handle.checkpoint_stats()
+        assert stats["committed"] == 0
+        assert stats["restores"] == 0
+        handle.kill()
+
+
+# -- end to end: effectively-once -----------------------------------------
+
+TUPLES_PER_TASK = 3000
+RATE = 10_000.0
+PARALLELISM = 2
+FAIL_AT = 0.15
+RUN_FOR = 3.5
+
+
+def _recovery_config(checkpointing):
+    # SAMPLE_CAP 0 = full fidelity, so final counts are exact integers.
+    cfg = (Config()
+           .set(Keys.ACKING_ENABLED, False)
+           .set(Keys.BATCH_SIZE, 50)
+           .set(Keys.SAMPLE_CAP, 0)
+           .set(Keys.INSTANCES_PER_CONTAINER, 2))
+    if checkpointing:
+        cfg.set(Keys.CHECKPOINT_ENABLED, True)
+        cfg.set(Keys.CHECKPOINT_INTERVAL_SECS, 0.1)
+    return cfg
+
+
+def _run_stream(checkpointing, fail):
+    """One bounded stateful-WordCount run; returns (counts, stats)."""
+    cluster = HeronCluster.on_yarn(machines=4)
+    topology = stateful_wordcount_topology(
+        PARALLELISM, total_tuples=TUPLES_PER_TASK, rate=RATE,
+        config=_recovery_config(checkpointing))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    fail_time = -1.0
+    if fail:
+        cluster.run_for(FAIL_AT)
+        victim = next(jc for jc in
+                      cluster.framework.job_containers(topology.name)
+                      if jc.role != "tmaster")
+        fail_time = cluster.now
+        cluster.cluster.fail_container(victim.container)
+    cluster.run_for(RUN_FOR)
+    counts = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    stats = handle.checkpoint_stats()
+    return counts, stats, fail_time
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return _run_stream(checkpointing=True, fail=False)
+
+
+class TestEffectivelyOnce:
+    def test_clean_run_counts_every_tuple_once(self, clean_run):
+        counts, stats, _ = clean_run
+        assert sum(counts.values()) == TUPLES_PER_TASK * PARALLELISM
+        assert stats["restores"] == 0
+
+    def test_failure_with_checkpointing_is_effectively_once(self,
+                                                            clean_run):
+        clean_counts, _, _ = clean_run
+        counts, stats, fail_time = _run_stream(checkpointing=True,
+                                               fail=True)
+        # The rollback happened...
+        assert stats["restores"] == 1
+        assert stats["last_restore_at"] > fail_time
+        # ...and the final counts are *exactly* the failure-free counts:
+        # nothing lost, nothing double-counted.
+        assert counts == clean_counts
+
+    def test_failure_without_checkpointing_loses_state(self, clean_run):
+        clean_counts, _, _ = clean_run
+        counts, stats, _ = _run_stream(checkpointing=False, fail=True)
+        assert stats["restores"] == 0
+        assert counts != clean_counts
+        assert sum(counts.values()) < sum(clean_counts.values())
+
+
+# -- component-level state hooks ------------------------------------------
+
+class TestStatefulComponents:
+    def test_spout_snapshot_is_the_offset(self):
+        spout = StatefulWordSpout()
+        spout.offset = 42
+        assert spout.snapshot_state() == {"offset": 42}
+        spout.init_state({"offset": 7})
+        assert spout.offset == 7
+        spout.init_state(None)
+        assert spout.offset == 0
+
+    def test_bolt_snapshot_is_the_counts(self):
+        bolt = StatefulCountBolt()
+        bolt.counts.update(["a", "a", "b"])
+        assert bolt.snapshot_state() == {"a": 2, "b": 1}
+        bolt.init_state({"c": 3})
+        assert bolt.counts == Counter({"c": 3})
+        bolt.init_state(None)
+        assert bolt.counts == Counter()
+
+    def test_word_at_offset_is_deterministic(self):
+        class _Ctx:
+            task_id = 5
+            now = staticmethod(lambda: 0.0)
+            config = Config().set(Keys.SAMPLE_CAP, 0)
+
+        first, second = StatefulWordSpout(), StatefulWordSpout()
+        first.open(_Ctx(), None)
+        second.open(_Ctx(), None)
+        words = [first._word_at(i) for i in range(50)]
+        assert words == [second._word_at(i) for i in range(50)]

@@ -1,0 +1,130 @@
+"""State Manager semantics under the checkpoint tree.
+
+The checkpointing subsystem leans on specific State Manager behaviours
+along the ``/topologies/<name>/checkpoints`` paths: versioned overwrite
+of the ``latest`` pointer and of re-committed snapshot blobs, one-shot
+watches that must be re-registered after a prune deletes their node, and
+ephemeral sessions whose nodes never outlive a localfs restart even when
+they live next to persistent snapshot state. These are the contracts
+:class:`~repro.checkpoint.snapshot.CheckpointStore` relies on, pinned
+down directly against both backends.
+"""
+
+import pytest
+
+from repro.statemgr.base import WatchEventType
+from repro.statemgr.inmemory import InMemoryStateManager
+from repro.statemgr.localfs import LocalFileSystemStateManager
+from repro.statemgr.paths import TopologyPaths
+
+
+@pytest.fixture(params=["inmemory", "localfs"])
+def statemgr(request, tmp_path):
+    if request.param == "inmemory":
+        return InMemoryStateManager()
+    return LocalFileSystemStateManager(tmp_path / "state")
+
+
+PATHS = TopologyPaths("wc")
+
+
+class TestVersionedOverwrite:
+    def test_latest_pointer_versions_monotonically(self, statemgr):
+        statemgr.put(PATHS.checkpoints_latest, b"1")
+        statemgr.put(PATHS.checkpoints_latest, b"2")
+        statemgr.put(PATHS.checkpoints_latest, b"3")
+        data, version = statemgr.get(PATHS.checkpoints_latest)
+        assert (data, version) == (b"3", 2)
+
+    def test_recommit_overwrites_blob(self, statemgr):
+        # A coordinator death mid-commit leaves a partial tree; the next
+        # commit of the same id must plainly overwrite the blobs.
+        blob_path = PATHS.checkpoint_state(1, "count", 3)
+        statemgr.put(blob_path, b"partial")
+        statemgr.put(blob_path, b"complete")
+        data, version = statemgr.get(blob_path)
+        assert (data, version) == (b"complete", 1)
+
+    def test_localfs_overwrite_persists_version(self, tmp_path):
+        root = tmp_path / "state"
+        first = LocalFileSystemStateManager(root)
+        first.put(PATHS.checkpoints_latest, b"1")
+        first.put(PATHS.checkpoints_latest, b"2")
+        second = LocalFileSystemStateManager(root)
+        assert second.get(PATHS.checkpoints_latest) == (b"2", 1)
+
+
+class TestWatchReRegistration:
+    def test_watch_survives_prune_cycle(self, statemgr):
+        """A watcher on a pruned checkpoint node must re-register to see
+        the node's next life (ZooKeeper one-shot semantics)."""
+        commit = PATHS.checkpoint_commit(1)
+        statemgr.put(commit, b"meta")
+        events = []
+        statemgr.watch(commit, events.append)
+        statemgr.delete(PATHS.checkpoint(1), recursive=True)
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+        # The fired watch is gone: a re-create is silent...
+        statemgr.put(commit, b"meta-2")
+        assert len(events) == 1
+        # ...until the watcher re-registers.
+        statemgr.watch(commit, events.append)
+        statemgr.set(commit, b"meta-3")
+        assert [e.type for e in events] == [WatchEventType.DELETED,
+                                            WatchEventType.CHANGED]
+
+    def test_recursive_delete_fires_descendant_watches(self, statemgr):
+        """Pruning ckpt-N (recursive) notifies watchers of its blobs."""
+        blob = PATHS.checkpoint_state(1, "count", 0)
+        statemgr.put(PATHS.checkpoint_commit(1), b"meta")
+        statemgr.put(blob, b"state")
+        events = []
+        statemgr.watch(blob, events.append)
+        statemgr.delete(PATHS.checkpoint(1), recursive=True)
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+
+    def test_child_watch_sees_new_checkpoint(self, statemgr):
+        statemgr.put(PATHS.checkpoints_epoch, b"0")  # materialize the root
+        events = []
+        statemgr.watch_children(PATHS.checkpoints, events.append)
+        statemgr.put(f"{PATHS.checkpoints}/ckpt-1", b"")
+        assert len(events) == 1
+
+
+class TestEphemeralsNextToSnapshots:
+    def test_session_expiry_spares_snapshot_state(self, statemgr):
+        """TM death drops its ephemeral location but never checkpoints."""
+        statemgr.put(PATHS.checkpoint_commit(4), b"meta")
+        statemgr.put(PATHS.checkpoints_latest, b"4")
+        session = statemgr.session()
+        session.create_ephemeral(PATHS.tmaster_location, b"host:1")
+        session.expire()
+        assert not statemgr.exists(PATHS.tmaster_location)
+        assert statemgr.get_data(PATHS.checkpoints_latest) == b"4"
+        assert statemgr.exists(PATHS.checkpoint_commit(4))
+
+    def test_localfs_restart_drops_ephemeral_keeps_snapshots(self,
+                                                             tmp_path):
+        root = tmp_path / "state"
+        first = LocalFileSystemStateManager(root)
+        first.put(PATHS.checkpoint_state(2, "word", 1), b"offset-blob")
+        first.put(PATHS.checkpoint_commit(2), b"meta")
+        session = first.session()
+        session.create_ephemeral(PATHS.tmaster_location, b"host:1")
+
+        # Process death: no clean close; a fresh manager re-reads disk.
+        second = LocalFileSystemStateManager(root)
+        assert not second.exists(PATHS.tmaster_location)
+        assert second.get_data(
+            PATHS.checkpoint_state(2, "word", 1)) == b"offset-blob"
+        assert second.children(PATHS.checkpoint(2)) == ["committed",
+                                                        "state"]
+
+    def test_new_session_can_reclaim_ephemeral_path(self, statemgr):
+        """A relaunched TM re-registers at the same location node."""
+        first = statemgr.session()
+        first.create_ephemeral(PATHS.tmaster_location, b"host:1")
+        first.expire()
+        second = statemgr.session()
+        second.create_ephemeral(PATHS.tmaster_location, b"host:2")
+        assert statemgr.get_data(PATHS.tmaster_location) == b"host:2"
