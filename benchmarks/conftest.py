@@ -15,8 +15,6 @@ import os
 import pathlib
 import re
 
-import pytest
-
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Run the determinism lint (repro.analysis.lint) from a checkout.
+
+Equivalent to ``heron-sim lint``; this wrapper just makes ``src/``
+importable so the lint runs without installing the package::
+
+    python scripts/lint.py [paths...]      # defaults to src
+    python scripts/lint.py --list-rules
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

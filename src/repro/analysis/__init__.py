@@ -1,0 +1,49 @@
+"""Correctness tooling: the determinism lint and the simulation sanitizer.
+
+Every figure this reproduction regenerates rests on one contract: the
+discrete-event simulator is *bit-for-bit deterministic*. The parallel
+sweep runner pins "serial == pooled" and the checkpoint tests pin
+"failure run == clean run" — both only hold while three rules do:
+
+1. all randomness flows through seeded
+   :class:`~repro.simulation.rng.RngStream` objects (never the global
+   ``random`` module, never ``os.urandom``);
+2. all time is simulated time (:attr:`Simulator.now`), never the wall
+   clock;
+3. no observable behaviour depends on hash/tie order (set iteration,
+   equal-timestamp event races).
+
+This package enforces that contract twice over:
+
+* :mod:`repro.analysis.lint` — a static AST pass (``heron-sim lint``,
+  ``scripts/lint.py``) with repo-specific rules D001–D005 that catches
+  wall-clock leaks, unseeded randomness, nondeterministic iteration
+  feeding the scheduler, mutable default arguments on components, and
+  float equality on simulated time;
+* :mod:`repro.analysis.sanitize` — an opt-in instrumented kernel mode
+  (``REPRO_SANITIZE=1`` or ``Simulator(sanitize=True)``), the race
+  detector analogue for the event kernel: it verifies heap/clock
+  invariants after every pop, stamps and checks per-channel FIFO
+  sequence numbers through the Stream Manager, asserts checkpoint
+  barrier alignment, and probes simultaneity hazards by state-digest
+  comparison across tie-order permutations.
+"""
+
+from repro.analysis.lint import (LintRule, Violation, lint_paths,
+                                 lint_source, rules_table)
+from repro.analysis.sanitize import (ChannelFifoChecker, KernelSanitizer,
+                                     SanitizerViolation, TieProbeResult,
+                                     run_tie_probe)
+
+__all__ = [
+    "ChannelFifoChecker",
+    "KernelSanitizer",
+    "LintRule",
+    "SanitizerViolation",
+    "TieProbeResult",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "rules_table",
+    "run_tie_probe",
+]

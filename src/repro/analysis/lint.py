@@ -1,0 +1,450 @@
+"""The determinism lint: repo-specific static rules D001–D005.
+
+The simulator's correctness contract (see :mod:`repro.analysis`) can be
+broken by a one-line edit — a stray ``time.time()`` in a cost handler, a
+``random.choice`` in a workload, a ``for task in set(...)`` feeding
+``schedule()``. Each rule here targets one such class of regression:
+
+========  ==============================================================
+D001      wall-clock reads (``time.time``/``datetime.now``/
+          ``perf_counter`` …) — simulation code must use
+          ``Simulator.now``
+D002      global or unseeded randomness (module-level ``random.*``,
+          ``os.urandom``, ``random.Random()`` with no seed) — must use
+          ``repro.simulation.rng.RngStream``
+D003      iteration over bare ``set``s / ``dict.keys()`` that feeds
+          ``schedule()``/``send()``/``emit()`` — hash order is not
+          deterministic across processes (``PYTHONHASHSEED``), so tie
+          order must come from ``sorted(...)`` or insertion order
+D004      mutable default arguments on ``Component``/``Actor``
+          subclasses — shared across deep-copied task instances
+D005      float equality (``==``/``!=``) on simulated time — timestamps
+          are derived floats; compare with tolerances or orderings
+========  ==============================================================
+
+Any finding can be suppressed on its line with ``# lint: allow[D00x]``
+(plus a justifying comment), or for a whole file with
+``# lint: allow-file[D00x]`` — used by measurement-harness modules whose
+*job* is reading the wall clock.
+
+Run as ``heron-sim lint [paths…]``, ``python scripts/lint.py`` or
+``python -m repro.analysis.lint``. Exit status is 0 when clean, 1 when
+violations were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+__all__ = ["LintRule", "RULES", "Violation", "lint_paths", "lint_source",
+           "main", "rules_table"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One lint rule: stable code, short title, and the contract it guards."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+RULES: Dict[str, LintRule] = {rule.code: rule for rule in (
+    LintRule(
+        "D001", "no wall-clock reads in simulation code",
+        "simulated components must derive time from Simulator.now; a "
+        "wall-clock read makes results machine- and load-dependent"),
+    LintRule(
+        "D002", "no global or unseeded randomness",
+        "all randomness must flow through seeded RngStream objects (or an "
+        "explicitly seeded random.Random); the global random module is "
+        "shared mutable state that breaks run-to-run reproducibility"),
+    LintRule(
+        "D003", "no set/dict.keys() iteration feeding the scheduler",
+        "set iteration order depends on PYTHONHASHSEED, which differs "
+        "between the serial runner and pooled sweep workers; events "
+        "scheduled from such a loop tie at equal timestamps in "
+        "process-dependent order"),
+    LintRule(
+        "D004", "no mutable default arguments on components/actors",
+        "component objects are deep-copied per task; a mutable default "
+        "evaluated once at def time is silently shared across every "
+        "instance created before the copy"),
+    LintRule(
+        "D005", "no float equality on simulated time",
+        "timestamps are sums of float intervals; == / != on them is "
+        "representation-dependent — compare with tolerances or orderings"),
+)}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as compiler-style ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
+               f"{self.message}"
+
+
+# -- pragmas -----------------------------------------------------------------
+
+_LINE_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9,\s]+)\]")
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*allow-file\[([A-Z0-9,\s]+)\]")
+
+
+def _parse_pragmas(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level allowed rule codes."""
+    per_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _FILE_PRAGMA.search(text)
+        if match:
+            file_level.update(c.strip() for c in match.group(1).split(","))
+            continue
+        match = _LINE_PRAGMA.search(text)
+        if match:
+            per_line[lineno] = {c.strip() for c in match.group(1).split(",")}
+    return per_line, file_level
+
+
+# -- rule implementation -----------------------------------------------------
+
+#: Canonical dotted names whose *call* reads the wall clock (D001).
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "os.times",
+})
+
+#: Module-level functions of ``random`` that use the shared global RNG
+#: (D002). ``random.Random`` is handled separately (seeded vs unseeded).
+_GLOBAL_RANDOM_PREFIXES = ("random.", "numpy.random.")
+_OTHER_ENTROPY_CALLS = frozenset({"os.urandom", "secrets.token_bytes",
+                                  "secrets.randbelow", "uuid.uuid4",
+                                  "uuid.uuid1"})
+
+#: Calls that hand events/messages to the kernel or the data plane (D003).
+_SCHEDULING_CALLS = frozenset({
+    "schedule", "schedule_at", "every", "send", "deliver", "deliver_many",
+    "emit", "emit_batch", "broadcast",
+})
+
+#: Base classes whose subclasses the mutable-default rule covers (D004).
+_COMPONENT_BASES = frozenset({
+    "Component", "Spout", "Bolt", "Actor", "FunctionActor",
+    "HeronInstance", "StreamManager",
+})
+
+#: Constructors whose call produces a fresh mutable object (D004).
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray",
+                                "Counter", "defaultdict", "deque",
+                                "OrderedDict"})
+
+#: Terminal names treated as simulated-time expressions (D005).
+_TIME_NAME = re.compile(r"^(now|time|etime|timestamp)$|_time$|_at$")
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor implementing every rule."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+        #: local alias -> canonical dotted name (from imports).
+        self.aliases: Dict[str, str] = {}
+        self._class_stack: List[bool] = []  # is-component-subclass flags
+
+    # -- helpers -------------------------------------------------------------
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(Violation(
+            self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0) + 1, code, message))
+
+    def _canonical(self, dotted: str) -> str:
+        """Resolve the leading alias of a dotted chain through imports."""
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    # -- imports (feed the alias map; flag global-random imports) -----------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.partition(".")[0]] = \
+                alias.name if alias.asname else alias.name.partition(".")[0]
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                if module == "random":
+                    self._flag(node, "D002",
+                               "star-import of the global random module; "
+                               "use repro.simulation.rng.RngStream")
+                continue
+            self.aliases[alias.asname or alias.name] = \
+                f"{module}.{alias.name}" if module else alias.name
+            if module == "random" and alias.name not in ("Random",):
+                self._flag(
+                    node, "D002",
+                    f"'from random import {alias.name}' binds the shared "
+                    f"global RNG; use repro.simulation.rng.RngStream")
+        self.generic_visit(node)
+
+    # -- calls: D001, D002 ---------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            canonical = self._canonical(dotted)
+            if canonical in _WALL_CLOCK_CALLS:
+                self._flag(node, "D001",
+                           f"wall-clock read '{canonical}()'; simulation "
+                           f"code must use Simulator.now")
+            elif canonical == "random.Random":
+                if not node.args and not node.keywords:
+                    self._flag(node, "D002",
+                               "unseeded random.Random() (seeds from the "
+                               "OS); derive a seed or use RngStream")
+            elif canonical in ("random.SystemRandom",) \
+                    or canonical in _OTHER_ENTROPY_CALLS:
+                self._flag(node, "D002",
+                           f"'{canonical}()' draws OS entropy; use "
+                           f"repro.simulation.rng.RngStream")
+            elif canonical.startswith(_GLOBAL_RANDOM_PREFIXES):
+                self._flag(node, "D002",
+                           f"global-RNG call '{canonical}()'; use "
+                           f"repro.simulation.rng.RngStream")
+        self.generic_visit(node)
+
+    # -- loops: D003 ---------------------------------------------------------
+    def _unordered_iterable(self, node: ast.expr) -> Optional[str]:
+        """Describe ``node`` if its iteration order is hash-dependent."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return f"{func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr == "keys" \
+                    and not node.args:
+                return ".keys()"
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # Set algebra (a | b, a - b, …) yields a new unordered set.
+            left = self._unordered_iterable(node.left)
+            right = self._unordered_iterable(node.right)
+            if left or right:
+                return "a set expression"
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        described = self._unordered_iterable(node.iter)
+        if described is not None:
+            for child in ast.walk(ast.Module(body=node.body,
+                                             type_ignores=[])):
+                if not isinstance(child, ast.Call):
+                    continue
+                func = child.func
+                name = func.attr if isinstance(func, ast.Attribute) else \
+                    func.id if isinstance(func, ast.Name) else None
+                if name in _SCHEDULING_CALLS:
+                    self._flag(
+                        node, "D003",
+                        f"iterating {described} while calling '{name}()': "
+                        f"hash order decides event tie order; wrap the "
+                        f"iterable in sorted(...)")
+                    break
+        self.generic_visit(node)
+
+    # -- classes/functions: D004 ---------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_component = False
+        for base in node.bases:
+            dotted = _dotted(base)
+            if dotted is not None and \
+                    dotted.rpartition(".")[2] in _COMPONENT_BASES:
+                is_component = True
+        self._class_stack.append(is_component)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_stack.pop()
+
+    def _check_defaults(self, node: Union[ast.FunctionDef,
+                                          ast.AsyncFunctionDef]) -> None:
+        if not (self._class_stack and self._class_stack[-1]):
+            return
+        defaults: List[Optional[ast.expr]] = [*node.args.defaults,
+                                              *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if not mutable and isinstance(default, ast.Call):
+                dotted = _dotted(default.func)
+                mutable = dotted is not None and \
+                    dotted.rpartition(".")[2] in _MUTABLE_FACTORIES
+            if mutable:
+                self._flag(default, "D004",
+                           f"mutable default argument on component method "
+                           f"'{node.name}'; default to None and create "
+                           f"the object inside the body")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        # Nested defs are not component methods; hide the class context.
+        self._class_stack.append(False)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._class_stack.append(False)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_stack.pop()
+
+    # -- comparisons: D005 ---------------------------------------------------
+    def _time_like(self, node: ast.expr) -> Optional[str]:
+        """The terminal name of ``node`` if it reads as simulated time."""
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        return name if _TIME_NAME.search(name) else None
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        comparands = [node.left, *node.comparators]
+        ops_eq = [op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))]
+        if ops_eq:
+            skip = any(isinstance(c, ast.Constant)
+                       and (c.value is None or isinstance(c.value, str))
+                       for c in comparands)
+            if not skip:
+                for comparand in comparands:
+                    name = self._time_like(comparand)
+                    if name is not None:
+                        self._flag(
+                            node, "D005",
+                            f"float equality on simulated time "
+                            f"('{name}'); use ordering comparisons or an "
+                            f"explicit tolerance")
+                        break
+        self.generic_visit(node)
+
+
+# -- driver ------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one source text; returns surviving (un-pragma'd) violations."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, (exc.offset or 0),
+                          "E999", f"syntax error: {exc.msg}")]
+    per_line, file_level = _parse_pragmas(source)
+    visitor = _RuleVisitor(path)
+    visitor.visit(tree)
+    survivors = []
+    for violation in visitor.violations:
+        if violation.code in file_level:
+            continue
+        if violation.code in per_line.get(violation.line, ()):
+            continue
+        survivors.append(violation)
+    return survivors
+
+
+def _iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Violation]:
+    """Lint files and directory trees; directories are walked for *.py."""
+    violations: List[Violation] = []
+    for file_path in _iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, str(file_path)))
+    return violations
+
+
+def rules_table() -> str:
+    """The D001–D005 rule table as rendered by ``--list-rules``."""
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.code}  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also reachable as ``heron-sim lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="heron-sim lint",
+        description="Determinism lint for the simulator's correctness "
+                    "contract (rules D001-D005).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(rules_table())
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

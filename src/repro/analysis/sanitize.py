@@ -1,0 +1,299 @@
+"""The simulation sanitizer: dynamic enforcement of kernel correctness.
+
+Opt-in instrumentation for the discrete-event kernel — the race-detector
+analogue for simulated time. Enable it with ``REPRO_SANITIZE=1`` in the
+environment or ``Simulator(sanitize=True)``; the default (off) path pays
+one ``is None`` check per event and nothing else.
+
+What it checks, while the simulation runs:
+
+* **kernel invariants** after every pop — the simulated clock never goes
+  backwards, the O(1) live-event counter stays within the physical heap
+  bounds, and (every ``scan_interval`` pops, plus after every heap
+  compaction) a full scan confirms the counter equals the number of
+  genuinely live heap entries and that compaction left no tombstone
+  behind;
+* **actor-model invariants** — no handler re-enters its own message
+  loop and no service completion fires on an idle actor (see
+  :mod:`repro.simulation.actors`);
+* **per-channel FIFO** — Stream Managers stamp every
+  :class:`~repro.core.messages.DataBatch` with a per-channel sequence
+  number at its origin container and the receiving instance asserts
+  arrival order, pinning the transport guarantee that barrier alignment
+  (and the paper's at-least-once story) is built on;
+* **barrier alignment** — a data batch from an already-barriered channel
+  must never be processed between barrier arrival and the snapshot; the
+  checkpoint coordinator additionally asserts that snapshots only come
+  from expected tasks and that committed checkpoint ids are monotonic;
+* **simultaneity hazards** — :func:`run_tie_probe` executes the same
+  scenario twice, once with FIFO and once with LIFO ordering *within
+  equal-timestamp tie groups only*, and compares observable-state
+  digests: a difference means some handler pair relies on tie order the
+  kernel never promised.
+
+Violations raise :class:`SanitizerViolation` immediately (fail-fast, like
+a sanitizer should) and are also recorded on the
+:class:`KernelSanitizer` so post-mortem code can read
+:meth:`KernelSanitizer.report`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable, List,
+                    Optional, Tuple)
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.simulation.events import Simulator
+
+__all__ = ["ChannelFifoChecker", "KernelSanitizer", "SanitizerViolation",
+           "TieProbeResult", "digest_state", "run_tie_probe"]
+
+
+class SanitizerViolation(SimulationError):
+    """An invariant of the simulator's correctness contract was broken."""
+
+
+#: Bits reserved for the per-channel sequence; the stamping process's
+#: incarnation number lives above them, so a relaunched Stream Manager
+#: (fresh counters) starts a new generation instead of appearing to
+#: rewind the channel.
+GENERATION_SHIFT = 40
+_SEQ_MASK = (1 << GENERATION_SHIFT) - 1
+
+
+class ChannelFifoChecker:
+    """Per-channel monotonic sequence numbers (transport FIFO).
+
+    A *channel* is any hashable identity — the Stream Manager uses
+    ``(source_component, source_task, stream, dest_key)``. :meth:`stamp`
+    assigns the next sequence number at the sending side;
+    :meth:`observe` asserts strictly increasing arrival at the receiving
+    side, within one stamping generation (see :data:`GENERATION_SHIFT`).
+    """
+
+    def __init__(self, sanitizer: "KernelSanitizer") -> None:
+        self._sanitizer = sanitizer
+        self._next: Dict[Hashable, int] = {}
+        self._seen: Dict[Hashable, int] = {}
+        self.stamped = 0
+        self.observed = 0
+
+    def stamp(self, channel: Hashable, *, generation: int = 0) -> int:
+        """Assign the next sequence number for ``channel``."""
+        seq = self._next.get(channel, 0) + 1
+        self._next[channel] = seq
+        self.stamped += 1
+        return (generation << GENERATION_SHIFT) | seq
+
+    def observe(self, channel: Hashable, stamped: int) -> None:
+        """Assert ``stamped`` arrives in order on ``channel``."""
+        self.observed += 1
+        last = self._seen.get(channel)
+        if last is not None and \
+                (stamped >> GENERATION_SHIFT) == (last >> GENERATION_SHIFT) \
+                and stamped <= last:
+            self._sanitizer.fail(
+                f"FIFO violation on channel {channel!r}: batch seq "
+                f"{stamped & _SEQ_MASK} arrived after seq "
+                f"{last & _SEQ_MASK}")
+        self._seen[channel] = stamped
+
+    def reset_channels(self) -> None:
+        """Forget all sequence state (topology rollback/new epoch)."""
+        self._next.clear()
+        self._seen.clear()
+
+
+class KernelSanitizer:
+    """Instrumentation attached to one :class:`Simulator` as
+    ``sim.sanitizer`` when sanitize mode is on."""
+
+    def __init__(self, *, tie_order: str = "fifo",
+                 scan_interval: int = 1000) -> None:
+        if tie_order not in ("fifo", "lifo"):
+            raise ValueError(f"tie_order must be fifo|lifo: {tie_order!r}")
+        if scan_interval < 1:
+            raise ValueError(f"scan_interval must be >= 1: {scan_interval}")
+        self.tie_order = tie_order
+        self.scan_interval = scan_interval
+        self.fifo = ChannelFifoChecker(self)
+
+        self.violations: List[str] = []
+        self.pops = 0
+        self.full_scans = 0
+        self.tie_events = 0
+        self.tie_groups = 0
+        self.max_tie_group = 0
+        self.barrier_checks = 0
+        self._last_time = float("-inf")
+        self._tie_len = 0
+
+        self._trace_limit = 0
+        self.trace: List[Tuple[float, int, str]] = []
+
+    # -- failure path --------------------------------------------------------
+    def fail(self, message: str) -> None:
+        """Record a violation and raise (fail-fast)."""
+        self.violations.append(message)
+        raise SanitizerViolation(f"sanitizer: {message}")
+
+    # -- kernel hooks --------------------------------------------------------
+    def on_pop(self, sim: "Simulator", time: float, seq: int,
+               fn: Optional[Callable[..., Any]]) -> None:
+        """Invariant checks after the kernel pops a live event."""
+        self.pops += 1
+        if time < self._last_time:
+            self.fail(f"clock went backwards: popped t={time} after "
+                      f"t={self._last_time}")
+        # Bitwise-equal timestamps ARE the definition of a tie group, so
+        # exact float equality is intended here.
+        if time == self._last_time:  # lint: allow[D005]
+            self.tie_events += 1
+            if self._tie_len == 1:
+                self.tie_groups += 1
+                self._tie_len = 2
+            else:
+                self._tie_len += 1
+            if self._tie_len > self.max_tie_group:
+                self.max_tie_group = self._tie_len
+        else:
+            self._tie_len = 1
+            self._last_time = time
+        live = sim._live
+        heap_len = len(sim._heap)
+        if live < 0:
+            self.fail(f"live-event counter went negative: {live}")
+        if live > heap_len:
+            self.fail(f"live-event counter {live} exceeds physical heap "
+                      f"size {heap_len} (tombstone accounting broken)")
+        if self.pops % self.scan_interval == 0:
+            self.verify_heap(sim)
+        if self._trace_limit and len(self.trace) < self._trace_limit:
+            qualname = getattr(fn, "__qualname__", repr(fn))
+            self.trace.append((time, abs(seq), qualname))
+
+    def verify_heap(self, sim: "Simulator") -> int:
+        """Full O(n) scan: counter == live entries; returns live count."""
+        self.full_scans += 1
+        live = 0
+        for entry_time, entry_seq, handle in sim._heap:
+            if handle.in_heap and handle.seq == entry_seq:
+                live += 1
+                if handle.cancelled:
+                    self.fail(f"cancelled handle still marked in_heap at "
+                              f"t={entry_time}")
+        if live != sim._live:
+            self.fail(f"live-event counter {sim._live} != {live} live "
+                      f"heap entries (of {len(sim._heap)} physical)")
+        return live
+
+    def on_compact(self, sim: "Simulator") -> None:
+        """After compaction the heap must hold exactly the live events."""
+        live = self.verify_heap(sim)
+        if live != len(sim._heap):
+            self.fail(f"compaction left {len(sim._heap) - live} tombstones "
+                      f"in a heap of {len(sim._heap)}")
+
+    # -- checkpoint hooks ----------------------------------------------------
+    def on_aligned_channel_data(self, instance_name: str,
+                                channel: Hashable,
+                                checkpoint_id: int) -> None:
+        """A batch from an aligned channel reached user code: forbidden."""
+        self.fail(f"{instance_name}: data batch from channel {channel!r} "
+                  f"processed during alignment of checkpoint "
+                  f"{checkpoint_id} (aligned-snapshot invariant)")
+
+    def check_alignment(self, *, instance_name: str, aligning: bool,
+                        channel: Hashable, barriered: bool,
+                        checkpoint_id: int) -> None:
+        """Called by the instance on every batch that reaches user code."""
+        self.barrier_checks += 1
+        if aligning and barriered:
+            self.on_aligned_channel_data(instance_name, channel,
+                                         checkpoint_id)
+
+    # -- trace (seeded-RNG audit support) -----------------------------------
+    def enable_trace(self, limit: int) -> None:
+        """Record the first ``limit`` pops as (time, seq, callback) rows."""
+        self._trace_limit = limit
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """Counters summarizing what the sanitizer saw."""
+        return {
+            "pops": self.pops,
+            "full_scans": self.full_scans,
+            "tie_events": self.tie_events,
+            "tie_groups": self.tie_groups,
+            "max_tie_group": self.max_tie_group,
+            "fifo_stamped": self.fifo.stamped,
+            "fifo_observed": self.fifo.observed,
+            "barrier_checks": self.barrier_checks,
+            "violations": list(self.violations),
+        }
+
+
+# -- state digests and the tie-order probe -----------------------------------
+
+def _canonical(value: Any) -> Any:
+    """A hash-stable canonical form: dicts/sets ordered, floats exact."""
+    if isinstance(value, dict):
+        return tuple(sorted((repr(_canonical(k)), _canonical(v))
+                            for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(v)) for v in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, float):
+        return value.hex()
+    return value
+
+
+def digest_state(value: Any) -> str:
+    """A stable SHA-256 digest of (nested) observable state."""
+    return hashlib.sha256(repr(_canonical(value)).encode()).hexdigest()
+
+
+@dataclass
+class TieProbeResult:
+    """Outcome of a FIFO-vs-LIFO tie-order probe."""
+
+    fifo_digest: str
+    lifo_digest: str
+    fifo_report: Dict[str, Any] = field(default_factory=dict)
+    lifo_report: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hazard(self) -> bool:
+        """True when tie order changed observable state."""
+        return self.fifo_digest != self.lifo_digest
+
+
+def run_tie_probe(factory: Callable[["Simulator"], Callable[[], Any]], *,
+                  duration: float) -> TieProbeResult:
+    """Detect simultaneity hazards by permuting tie-group execution order.
+
+    ``factory(sim)`` builds the scenario on the provided simulator and
+    returns a zero-argument callable producing the observable state to
+    digest. The scenario runs twice — identical except that events with
+    *equal timestamps* execute in scheduling order (fifo) vs reverse
+    scheduling order (lifo). Any digest difference is order-dependence
+    the kernel never guaranteed, i.e. a simultaneity hazard.
+    """
+    from repro.simulation.events import Simulator
+
+    digests: Dict[str, str] = {}
+    reports: Dict[str, Dict[str, Any]] = {}
+    for order in ("fifo", "lifo"):
+        sim = Simulator(sanitize=True, tie_order=order)
+        observe = factory(sim)
+        sim.run_until(duration)
+        digests[order] = digest_state(observe())
+        reports[order] = sim.sanitizer.report() \
+            if sim.sanitizer is not None else {}
+    return TieProbeResult(digests["fifo"], digests["lifo"],
+                          reports["fifo"], reports["lifo"])

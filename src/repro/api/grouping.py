@@ -23,7 +23,7 @@ Provided groupings (matching Storm/Heron semantics):
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.api.tuples import Values, fields_index
 from repro.common.errors import TopologyError

@@ -13,8 +13,8 @@ reconciles the physical placement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.api.component import Bolt, Spout
 from repro.api.grouping import (AllGrouping, CustomGrouping, FieldsGrouping,

@@ -18,7 +18,7 @@ Subclass and override :meth:`process_window`::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List
+from typing import List
 
 from repro.api.component import Bolt, Collector, ComponentContext, is_tick
 from repro.api.tuples import Batch, Tuple

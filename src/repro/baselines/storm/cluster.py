@@ -25,7 +25,7 @@ from repro.common.config import Config
 from repro.common.errors import SchedulerError, TopologyError
 from repro.common.resources import Resource
 from repro.common.units import GB
-from repro.core.messages import (DataBatch, InstanceKey, PauseSpouts,
+from repro.core.messages import (InstanceKey, PauseSpouts,
                                  ResumeSpouts)
 from repro.metrics.stats import WeightedStats
 from repro.simulation.actors import Actor, CostLedger, Location

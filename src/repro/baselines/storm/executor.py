@@ -16,7 +16,7 @@ from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.grouping import GroupingInstance, stable_hash
 from repro.api.tuples import Batch, Tuple as ApiTuple
 from repro.baselines.storm.messages import (AckPacket, RemoteBatch,
-                                             TransferOut, WorkerDelivery)
+                                             TransferOut)
 from repro.common.config import Config
 from repro.core.acking import AckTracker, CountedTracker, RootEntry
 from repro.core.instance import InstanceCollector

@@ -153,11 +153,23 @@ class CheckpointCoordinator(Actor):
                 or message.checkpoint_id != pending.checkpoint_id
                 or message.epoch != pending.epoch):
             return  # a straggler from an aborted checkpoint
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None and message.key not in pending.expected:
+            sanitizer.fail(
+                f"checkpoint {pending.checkpoint_id}: snapshot from "
+                f"unexpected task {message.key!r} (not in the physical "
+                f"plan's task set)")
         pending.states[message.key] = message.state
         if set(pending.states) >= pending.expected:
             self._commit(pending)
 
     def _commit(self, pending: _PendingCheckpoint) -> None:
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None and self.last_committed_id is not None \
+                and pending.checkpoint_id <= self.last_committed_id:
+            sanitizer.fail(
+                f"checkpoint commit ids must be monotonic: committing "
+                f"{pending.checkpoint_id} after {self.last_committed_id}")
         self.charge(self.costs.coordinator_per_event
                     * max(1, len(pending.states)))
         self.store.commit(pending.checkpoint_id, pending.states,

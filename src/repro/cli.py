@@ -153,6 +153,15 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the heron-sim argument parser."""
     parser = argparse.ArgumentParser(
@@ -181,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("demo", help="run a small WordCount end to end") \
         .set_defaults(func=_cmd_demo)
+
+    lint = sub.add_parser(
+        "lint", help="determinism lint (rules D001-D005)",
+        description="Statically enforce the simulator's determinism "
+                    "contract; see repro.analysis.lint.")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     submit = sub.add_parser("submit", help="run WordCount with knobs")
     submit.add_argument("--parallelism", type=int, default=4)

@@ -16,7 +16,7 @@ messages that are routed back to it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.messages import InstanceKey
 

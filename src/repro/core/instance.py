@@ -214,6 +214,9 @@ class HeronInstance(Actor):
         self.checkpoints_taken = 0
         self.restores_applied = 0
 
+        # --- sanitize mode (repro.analysis.sanitize) -----------------------
+        self._sanitizer = sim.sanitizer
+
         # --- counters (read by the metrics/harness layer) --------------------
         self.emitted_count = 0
         self.executed_count = 0
@@ -356,6 +359,12 @@ class HeronInstance(Actor):
     def _handle_data(self, batch: DataBatch) -> None:
         if self.is_spout:
             return  # spouts have no data inputs
+        if self._sanitizer is not None and batch.sani_seq != -1:
+            # Transport FIFO: arrival order per (task, stream) channel
+            # must match the origin SM's stamping order.
+            self._sanitizer.fifo.observe(
+                (batch.source_component, batch.source_task, batch.stream,
+                 self.key), batch.sani_seq)
         if not self.opened:
             self._start()
         if self.checkpointing:
@@ -374,6 +383,17 @@ class HeronInstance(Actor):
         self._process_batch(batch)
 
     def _process_batch(self, batch: DataBatch) -> None:
+        if self._sanitizer is not None and self.checkpointing:
+            # Aligned-snapshot invariant: no batch from an
+            # already-barriered channel may reach user code while the
+            # alignment for that checkpoint is still in progress.
+            channel = (batch.source_component, batch.source_task)
+            self._sanitizer.check_alignment(
+                instance_name=self.name,
+                aligning=self._aligning_id is not None,
+                channel=channel,
+                barriered=channel in self._barrier_seen,
+                checkpoint_id=self._aligning_id or 0)
         if batch.stream == "__tick":
             self.charge(self.costs.instance_execute_per_tuple)
             self.collector.begin()

@@ -48,6 +48,10 @@ class DataBatch:
     source_task: int = -1
     #: Restore epoch the batch belongs to (see ``repro.checkpoint``).
     epoch: int = 0
+    #: Per-channel FIFO sequence number, stamped by the origin Stream
+    #: Manager in sanitize mode only (see ``repro.analysis.sanitize``);
+    #: -1 means unstamped.
+    sani_seq: int = -1
 
     def reset(self) -> None:
         """Scrub for memory-pool reuse."""
@@ -62,6 +66,7 @@ class DataBatch:
         self.anchors = []
         self.source_task = -1
         self.epoch = 0
+        self.sani_seq = -1
 
 
 @dataclass

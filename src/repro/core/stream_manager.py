@@ -22,7 +22,7 @@ paper evaluates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api.config_keys import TopologyConfigKeys as Keys
@@ -56,6 +56,13 @@ class _HeartbeatTick:
 
 class _RotateTick:
     """Self-timer: advance the exact-mode ack timeout wheel."""
+
+
+#: Sanitize mode: each StreamManager incarnation gets a distinct FIFO
+#: stamping generation, so counters restarting after a container
+#: relaunch are not mistaken for a channel rewind. Creation order is
+#: deterministic, so stamps are identical across identical runs.
+_SANI_INCARNATIONS = itertools.count(1)
 
 
 class _CacheEntry:
@@ -174,6 +181,11 @@ class StreamManager(Actor):
 
         # --- backpressure ---------------------------------------------------------
         self.in_backpressure = False
+
+        # --- sanitize mode (repro.analysis.sanitize) -----------------------
+        self._sanitizer = sim.sanitizer
+        self._sani_generation = next(_SANI_INCARNATIONS) \
+            if self._sanitizer is not None else 0
 
         # --- counters ----------------------------------------------------------
         self.tuples_routed = 0
@@ -394,6 +406,10 @@ class StreamManager(Actor):
                            if batch.count else 0.0),
             tuple_ids=tuple_ids, anchors=anchors,
             source_task=batch.source_task, epoch=self.epoch)
+        if self._sanitizer is not None:
+            out.sani_seq = self._sanitizer.fifo.stamp(
+                (out.source_component, out.source_task, out.stream, dest),
+                generation=self._sani_generation)
         self.batches_out += 1
         self.charge(self.costs.sm_send_per_batch)
         home = self.pplan.container_of.get(dest)
@@ -509,6 +525,11 @@ class StreamManager(Actor):
                 origin=entry.origin, emit_time_sum=entry.emit_time_sum,
                 tuple_ids=entry.tuple_ids, anchors=entry.anchors,
                 source_task=entry.source_task, epoch=self.epoch)
+            if self._sanitizer is not None:
+                batch.sani_seq = self._sanitizer.fifo.stamp(
+                    (batch.source_component, batch.source_task,
+                     batch.stream, dest),
+                    generation=self._sani_generation)
             self.batches_out += 1
             home = self.pplan.container_of.get(dest)
             if home == self.container_id:

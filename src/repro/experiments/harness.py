@@ -18,7 +18,7 @@ from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
 from repro.common.config import Config
 from repro.common.resources import Resource
 from repro.common.units import GB, MINUTES
-from repro.core.heron import HeronCluster, TopologyHandle
+from repro.core.heron import HeronCluster
 from repro.experiments.parallel import run_sweep
 from repro.metrics.stats import WeightedStats
 from repro.simulation.costs import CostModel

@@ -26,6 +26,11 @@ host does not masquerade as a regression.
 
 from __future__ import annotations
 
+# lint: allow-file[D001] — this module is the wall-clock measurement
+# harness itself: it times how much real CPU a simulation costs, so
+# time.process_time here is the point, not a determinism leak. Nothing
+# in this file runs inside the simulated world.
+
 import time
 from collections import deque
 from typing import Dict

@@ -12,7 +12,7 @@ paper draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol
+from typing import Optional, Protocol
 
 from repro.common.config import Config
 from repro.common.errors import SchedulerError

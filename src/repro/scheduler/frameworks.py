@@ -19,7 +19,7 @@ exactly along the two axes Section IV-B describes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol
 
 from repro.common.errors import SchedulerError
 from repro.common.resources import Resource

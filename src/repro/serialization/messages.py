@@ -12,7 +12,7 @@ Field numbers are part of the protocol and must not be renumbered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, List, Type
 
 from repro.common.errors import SerializationError
 from repro.serialization.wire import WireReader, WireWriter, WireType

@@ -120,6 +120,7 @@ class Actor:
         self.alive = True
 
         self._inbox: Deque[Any] = deque()
+        self._sanitizer = sim.sanitizer
         self._busy = False
         self._in_handler = False
         self._charged = 0.0
@@ -219,6 +220,15 @@ class Actor:
     # -- internals -------------------------------------------------------------
     def _process_loop(self) -> None:
         """Process messages until one costs time or the inbox drains."""
+        if self._sanitizer is not None and self._in_handler:
+            # Handlers run with _busy still False, so a handler calling
+            # deliver() synchronously (instead of send()) would recurse
+            # into this loop and process a message mid-handler — the
+            # actor-model analogue of a data race.
+            self._sanitizer.fail(
+                f"actor {self.name!r}: re-entrant message processing "
+                f"(deliver() called from inside its own handler; use "
+                f"send())")
         while self._inbox and self.alive:
             message = self._inbox.popleft()
             self._charged = 0.0
@@ -243,6 +253,13 @@ class Actor:
         # inbox empty (or dead): idle
 
     def _complete(self) -> None:
+        if self._sanitizer is not None and not self._busy:
+            # Only a stale heap entry can fire a completion on an idle
+            # actor — the sequence-versioned handles exist to prevent
+            # exactly this.
+            self._sanitizer.fail(
+                f"actor {self.name!r}: service completion fired while "
+                f"idle (stale event handle)")
         self._completion = None
         self._busy = False
         self._flush_pending()

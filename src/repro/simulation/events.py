@@ -18,10 +18,14 @@ reproduction runs on — and is written for predictable performance:
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.sanitize import KernelSanitizer
 
 #: Compaction policy: rebuild when the heap holds more tombstones than
 #: live events and is big enough for the rebuild to be worth its O(n).
@@ -141,7 +145,8 @@ class Simulator:
     :meth:`step`; callbacks run with ``sim.now`` set to their scheduled time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, sanitize: Optional[bool] = None,
+                 tie_order: str = "fifo") -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
@@ -149,14 +154,35 @@ class Simulator:
         self._events_processed = 0
         self._compactions = 0
         self._running = False
+        # Sanitize mode (repro.analysis.sanitize): None defers to the
+        # REPRO_SANITIZE environment variable so whole experiment runs
+        # can be instrumented without threading a flag through every
+        # cluster constructor. Off (the default) costs one `is None`
+        # check per event.
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "0") \
+                not in ("", "0")
+        self.sanitizer: Optional["KernelSanitizer"] = None
+        #: +1 orders equal-timestamp events by scheduling order (the
+        #: kernel's contract); -1 (sanitizer tie probe) reverses order
+        #: *within tie groups only*, leaving cross-time order intact.
+        self._seq_sign = 1
+        if sanitize:
+            from repro.analysis.sanitize import KernelSanitizer
+            self.sanitizer = KernelSanitizer(tie_order=tie_order)
+            if tie_order == "lifo":
+                self._seq_sign = -1
+        elif tie_order != "fifo":
+            raise SimulationError(
+                "tie_order probes require sanitize mode")
 
     # -- scheduling -------------------------------------------------------
     def _push(self, handle: EventHandle, delay: float) -> None:
         """Arm ``handle`` ``delay`` seconds from now (internal)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        seq = self._seq + 1
-        self._seq = seq
+        seq = (self._seq + 1) * self._seq_sign
+        self._seq += 1
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -171,8 +197,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         handle = EventHandle(self, 0.0, fn, args)
-        seq = self._seq + 1
-        self._seq = seq
+        seq = (self._seq + 1) * self._seq_sign
+        self._seq += 1
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -199,6 +225,8 @@ class Simulator:
                        if entry[2].in_heap and entry[2].seq == entry[1]]
             heapify(heap)
             self._compactions += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_compact(self)
 
     # -- execution ----------------------------------------------------------
     def step(self) -> bool:
@@ -216,6 +244,8 @@ class Simulator:
             fn, args = handle.fn, handle.args
             handle.fn = None
             handle.args = ()
+            if self.sanitizer is not None:
+                self.sanitizer.on_pop(self, time, seq, fn)
             fn(*args)  # type: ignore[misc]
             self._events_processed += 1
             return True
@@ -232,6 +262,7 @@ class Simulator:
         try:
             heap = self._heap
             pop = heappop
+            sani = self.sanitizer
             while heap:
                 etime, seq, handle = heap[0]
                 if etime > time:
@@ -245,6 +276,8 @@ class Simulator:
                 fn, args = handle.fn, handle.args
                 handle.fn = None
                 handle.args = ()
+                if sani is not None:
+                    sani.on_pop(self, etime, seq, fn)
                 fn(*args)  # type: ignore[misc]
                 self._events_processed += 1
         finally:

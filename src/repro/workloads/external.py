@@ -15,7 +15,7 @@ bounded write rate.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.simulation.rng import RngStream
 

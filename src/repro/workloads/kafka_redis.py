@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.api.component import Bolt, ComponentContext, Spout
 from repro.api.config_keys import TopologyConfigKeys as Keys
-from repro.api.topology import Topology, TopologyBuilder
+from repro.api.topology import TopologyBuilder
 from repro.common.config import Config
 from repro.simulation.costs import CostCategory
 from repro.workloads.external import KafkaBroker, KafkaConsumer, RedisServer

@@ -1,0 +1,7 @@
+"""D001 negative fixture: simulated time only."""
+
+
+def stamp_events(sim):
+    started = sim.now
+    sim.schedule(1.0, lambda: None)
+    return started

@@ -1,0 +1,8 @@
+"""D002 negative fixture: seeded streams only."""
+
+import random
+
+
+def draw(stream, seed):
+    seeded = random.Random(seed)
+    return stream.random(), seeded.random()

@@ -1,0 +1,19 @@
+"""D003 negative fixture: ordered iteration feeding the scheduler."""
+
+
+def broadcast(sim, peers):
+    for peer in sorted(set(peers)):
+        sim.schedule(0.0, peer.deliver, "ping")
+
+
+def flush(routing_table, stream_manager):
+    for dest, route in routing_table.items():
+        stream_manager.send(dest, route)
+
+
+def tally(words):
+    # Set iteration NOT feeding the scheduler is allowed.
+    total = 0
+    for word in set(words):
+        total += len(word)
+    return total

@@ -1,0 +1,15 @@
+"""D004 negative fixture: None defaults, mutables created in the body."""
+
+from repro.api.component import Spout
+
+
+class GoodSpout(Spout):
+    def __init__(self, words=None):
+        super().__init__()
+        self.words = list(words) if words is not None else []
+
+
+def helper(values=[]):
+    # Mutable default on a plain function (not a component) is out of
+    # scope for D004.
+    return values

@@ -1,0 +1,14 @@
+"""D005 negative fixture: orderings and tolerances on simulated time."""
+
+
+def is_due(sim, deadline_time):
+    return sim.now >= deadline_time
+
+
+def close_enough(etime, start_time):
+    return abs(etime - start_time) < 1e-9
+
+
+def named_fine(count, expected_count):
+    # Equality on non-time values is allowed.
+    return count == expected_count

@@ -1,0 +1,13 @@
+"""Pragma fixture: every violation below is explicitly suppressed."""
+
+# lint: allow-file[D005] fixture: demonstrates file-level suppression
+
+import time
+
+
+def measure():
+    return time.perf_counter()  # lint: allow[D001] fixture: timing harness
+
+
+def check(sim, deadline_time):
+    return sim.now == deadline_time  # suppressed by the file-level pragma

@@ -1,0 +1,161 @@
+"""Tests for the determinism lint (repro.analysis.lint, rules D001-D005).
+
+Each rule has a positive fixture (``*_bad.pyviol`` — the extension keeps
+deliberate violations out of tree-wide lint walks) and a negative one
+(``*_ok.py``). The tests pass fixtures to the linter by explicit path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (RULES, lint_paths, lint_source, main,
+                                 rules_table)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO = Path(__file__).parent.parent
+
+
+def _codes(violations):
+    return [v.code for v in violations]
+
+
+# -- per-rule fixture round-trips --------------------------------------------
+
+@pytest.mark.parametrize("rule, bad_count", [
+    ("D001", 3), ("D002", 3), ("D003", 2), ("D004", 3), ("D005", 2),
+])
+def test_bad_fixture_flags_exactly_its_rule(rule, bad_count):
+    bad = FIXTURES / f"{rule.lower()}_bad.pyviol"
+    violations = lint_paths([bad])
+    assert _codes(violations) == [rule] * bad_count
+    # Findings carry real positions and render as path:line:col: CODE msg.
+    for violation in violations:
+        assert violation.line > 0 and violation.col > 0
+        assert violation.format().startswith(f"{bad}:")
+        assert f" {rule} " in violation.format()
+
+
+@pytest.mark.parametrize("rule", ["D001", "D002", "D003", "D004", "D005"])
+def test_ok_fixture_is_clean(rule):
+    ok = FIXTURES / f"{rule.lower()}_ok.py"
+    assert lint_paths([ok]) == []
+
+
+# -- targeted rule behaviour -------------------------------------------------
+
+def test_d001_resolves_import_aliases():
+    source = (
+        "import time as t\n"
+        "from datetime import datetime as dt\n"
+        "a = t.monotonic()\n"
+        "b = dt.utcnow()\n"
+    )
+    assert _codes(lint_source(source)) == ["D001", "D001"]
+
+
+def test_d002_seeded_random_is_allowed_unseeded_is_not():
+    assert lint_source("import random\nr = random.Random(42)\n") == []
+    assert _codes(lint_source("import random\nr = random.Random()\n")) \
+        == ["D002"]
+    assert _codes(lint_source("from random import choice\n")) == ["D002"]
+
+
+def test_d003_requires_scheduling_call_in_body():
+    looping = "for x in set(xs):\n    total += x\n"
+    assert lint_source(looping) == []
+    scheduling = "for x in set(xs):\n    sim.schedule(0.0, x)\n"
+    assert _codes(lint_source(scheduling)) == ["D003"]
+    set_algebra = "for x in set(a) | b:\n    sm.send(x, 'm')\n"
+    assert _codes(lint_source(set_algebra)) == ["D003"]
+    # Plain `a | b` is ambiguous (ints, dict merge) and is not flagged.
+    assert lint_source("for x in a | b:\n    sm.send(x, 'm')\n") == []
+
+
+def test_d004_only_fires_inside_component_subclasses():
+    plain = "class C:\n    def f(self, x=[]):\n        pass\n"
+    assert lint_source(plain) == []
+    component = "class C(Bolt):\n    def f(self, x=[]):\n        pass\n"
+    assert _codes(lint_source(component)) == ["D004"]
+    # Nested helper defs are not component methods.
+    nested = ("class C(Bolt):\n"
+              "    def f(self):\n"
+              "        def helper(x=[]):\n"
+              "            return x\n"
+              "        return helper\n")
+    assert lint_source(nested) == []
+
+
+def test_d005_skips_none_and_string_comparands():
+    assert lint_source("if start_time is None: pass\n") == []
+    assert lint_source("if start_time == None: pass\n") == []
+    assert lint_source("if mode == 'time': pass\n") == []
+    assert _codes(lint_source("if etime == 3.0: pass\n")) == ["D005"]
+
+
+# -- pragmas -----------------------------------------------------------------
+
+def test_pragma_fixture_fully_suppressed():
+    assert lint_paths([FIXTURES / "pragmas.py"]) == []
+
+
+def test_line_pragma_suppresses_only_its_line_and_code():
+    source = (
+        "import time\n"
+        "a = time.time()  # lint: allow[D001] harness\n"
+        "b = time.time()\n"
+    )
+    violations = lint_source(source)
+    assert _codes(violations) == ["D001"]
+    assert violations[0].line == 3
+
+
+def test_line_pragma_wrong_code_does_not_suppress():
+    source = "import time\na = time.time()  # lint: allow[D002]\n"
+    assert _codes(lint_source(source)) == ["D001"]
+
+
+def test_file_pragma_suppresses_everywhere():
+    source = (
+        "# lint: allow-file[D001] measurement module\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_syntax_error_reports_e999():
+    violations = lint_source("def broken(:\n", path="bad.py")
+    assert _codes(violations) == ["E999"]
+    assert violations[0].path == "bad.py"
+
+
+# -- driver / CLI ------------------------------------------------------------
+
+def test_repo_source_tree_is_lint_clean():
+    # Satellite guarantee: the shipped tree passes its own lint.
+    assert lint_paths([REPO / "src", REPO / "tests"]) == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nx = time.time()\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr()
+    assert "D001" in out.out
+    assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+    assert rules_table() in out

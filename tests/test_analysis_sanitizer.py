@@ -1,0 +1,306 @@
+"""Tests for the dynamic simulation sanitizer (repro.analysis.sanitize)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitize import (ChannelFifoChecker, KernelSanitizer,
+                                     SanitizerViolation, digest_state,
+                                     run_tie_probe)
+from repro.common.errors import SimulationError
+from repro.core.heron import HeronCluster
+from repro.simulation.events import Simulator
+from repro.workloads.wordcount import wordcount_topology
+
+
+# -- opt-in mechanics --------------------------------------------------------
+
+class TestOptIn:
+    def test_default_simulator_has_no_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert Simulator().sanitizer is None
+
+    def test_explicit_flag_enables(self):
+        sim = Simulator(sanitize=True)
+        assert isinstance(sim.sanitizer, KernelSanitizer)
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Simulator().sanitizer is not None
+
+    def test_explicit_false_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Simulator(sanitize=False).sanitizer is None
+
+    def test_lifo_requires_sanitize_mode(self):
+        with pytest.raises(SimulationError):
+            Simulator(tie_order="lifo")
+
+    def test_bad_tie_order_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSanitizer(tie_order="random")
+
+
+# -- simultaneity hazards (tie-order probe) ----------------------------------
+
+class TestTieProbe:
+    def test_order_dependent_handlers_are_flagged(self):
+        """Two same-timestamp handlers on one cell: double then increment.
+        fifo gives (1*2)+1 = 3, lifo gives (1+1)*2 = 4 — a hazard."""
+        def factory(sim):
+            cell = {"v": 1}
+
+            def double():
+                cell["v"] *= 2
+
+            def increment():
+                cell["v"] += 1
+
+            sim.schedule(1.0, double)
+            sim.schedule(1.0, increment)
+            return lambda: cell
+
+        result = run_tie_probe(factory, duration=2.0)
+        assert result.hazard
+        assert result.fifo_digest != result.lifo_digest
+        assert result.fifo_report["tie_events"] >= 1
+
+    def test_commutative_handlers_are_clean(self):
+        def factory(sim):
+            cell = {"v": 1}
+            sim.schedule(1.0, lambda: cell.__setitem__("v", cell["v"] + 1))
+            sim.schedule(1.0, lambda: cell.__setitem__("v", cell["v"] + 1))
+            return lambda: cell
+
+        result = run_tie_probe(factory, duration=2.0)
+        assert not result.hazard
+
+    def test_lifo_only_permutes_within_tie_groups(self):
+        """Cross-time ordering is untouched by the lifo probe."""
+        sim = Simulator(sanitize=True, tie_order="lifo")
+        order = []
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(2.0, lambda: order.append("later-scheduled"))
+        sim.run_until(3.0)
+        assert order == ["early", "later-scheduled", "late"]
+
+    def test_digest_state_is_order_insensitive_for_sets_and_dicts(self):
+        assert digest_state({"a": 1, "b": 2}) == digest_state({"b": 2,
+                                                               "a": 1})
+        assert digest_state({1, 2, 3}) == digest_state({3, 1, 2})
+        assert digest_state([1, 2]) != digest_state([2, 1])
+        assert digest_state(0.1 + 0.2) != digest_state(0.3)
+
+
+# -- kernel invariants -------------------------------------------------------
+
+class TestKernelInvariants:
+    def test_clean_run_is_silent(self):
+        sim = Simulator(sanitize=True)
+        sim.sanitizer.scan_interval = 1  # scan after every pop
+        done = []
+        for i in range(50):
+            sim.schedule(0.1 * i, done.append, i)
+        handle = sim.schedule(1.0, done.append, -1)
+        handle.cancel()
+        sim.run_until(10.0)
+        assert len(done) == 50
+        report = sim.sanitizer.report()
+        assert report["violations"] == []
+        assert report["full_scans"] >= 50
+
+    def test_inflated_live_counter_detected(self):
+        sim = Simulator(sanitize=True)
+        sim.sanitizer.scan_interval = 1
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim._live += 2  # corrupt the O(1) counter
+        with pytest.raises(SanitizerViolation, match="live-event counter"):
+            sim.run_until(3.0)
+        assert sim.sanitizer.report()["violations"]
+
+    def test_negative_live_counter_detected(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(1.0, lambda: None)
+        sim._live = 0  # next pop decrements it to -1
+        with pytest.raises(SanitizerViolation, match="negative"):
+            sim.run_until(2.0)
+
+    def test_cancelled_but_in_heap_detected(self):
+        sim = Simulator(sanitize=True)
+        sim.sanitizer.scan_interval = 1
+        sim.schedule(1.0, lambda: None)
+        victim = sim.schedule(2.0, lambda: None)
+        # Corrupt the handle directly, bypassing cancel()'s bookkeeping.
+        victim.cancelled = True
+        victim.fn = None
+        victim.args = ()
+        with pytest.raises(SanitizerViolation, match="cancelled"):
+            sim.run_until(3.0)
+
+    def test_clock_backwards_detected(self):
+        sim = Simulator(sanitize=True)
+        sani = sim.sanitizer
+        sani.on_pop(sim, 5.0, 1, None)
+        with pytest.raises(SanitizerViolation, match="backwards"):
+            sani.on_pop(sim, 4.0, 2, None)
+
+    def test_compaction_verified(self):
+        """Cancel-heavy load triggers compaction; the post-compaction scan
+        must pass (no tombstones left, counter exact)."""
+        sim = Simulator(sanitize=True)
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(300)]
+        for handle in handles[:250]:
+            handle.cancel()
+        assert sim._compactions >= 1
+        sim.run_until(11.0)
+        assert sim.sanitizer.report()["violations"] == []
+
+
+# -- actor-model invariants --------------------------------------------------
+
+class TestActorInvariants:
+    def _actor(self, sim, handler):
+        from repro.simulation.actors import (FunctionActor, Location,
+                                             NetworkProtocol)
+
+        class ZeroNet(NetworkProtocol):
+            def latency(self, src, dst):
+                return 0.0
+
+        return FunctionActor(sim, "a0", Location.of(0, 0, 0),
+                             network=ZeroNet(), handler=handler)
+
+    def test_reentrant_delivery_detected(self):
+        sim = Simulator(sanitize=True)
+        calls = []
+
+        def handler(actor, message):
+            calls.append(message)
+            if message == "first":
+                actor.deliver("again")  # synchronous re-entry: forbidden
+
+        actor = self._actor(sim, handler)
+        sim.schedule(0.0, actor.deliver, "first")
+        with pytest.raises(SanitizerViolation, match="re-entrant"):
+            sim.run_until(1.0)
+
+    def test_buffered_send_is_clean(self):
+        sim = Simulator(sanitize=True)
+        calls = []
+
+        def handler(actor, message):
+            calls.append(message)
+            if message == "first":
+                actor.send(actor, "again")  # buffered: the correct way
+
+        actor = self._actor(sim, handler)
+        sim.schedule(0.0, actor.deliver, "first")
+        sim.run_until(1.0)
+        assert calls == ["first", "again"]
+        assert sim.sanitizer.report()["violations"] == []
+
+    def test_spurious_completion_detected(self):
+        sim = Simulator(sanitize=True)
+        actor = self._actor(sim, lambda a, m: None)
+        with pytest.raises(SanitizerViolation, match="stale"):
+            actor._complete()  # idle actor: only a stale handle fires this
+
+
+# -- per-channel FIFO --------------------------------------------------------
+
+class TestChannelFifo:
+    def _checker(self):
+        return ChannelFifoChecker(KernelSanitizer())
+
+    def test_in_order_is_clean(self):
+        checker = self._checker()
+        for _ in range(5):
+            checker.observe("ch", checker.stamp("ch"))
+        assert checker.stamped == 5 and checker.observed == 5
+
+    def test_out_of_order_fails(self):
+        checker = self._checker()
+        first = checker.stamp("ch")
+        second = checker.stamp("ch")
+        checker.observe("ch", second)
+        with pytest.raises(SanitizerViolation, match="FIFO violation"):
+            checker.observe("ch", first)
+
+    def test_duplicate_fails(self):
+        checker = self._checker()
+        stamped = checker.stamp("ch")
+        checker.observe("ch", stamped)
+        with pytest.raises(SanitizerViolation, match="FIFO violation"):
+            checker.observe("ch", stamped)
+
+    def test_channels_are_independent(self):
+        checker = self._checker()
+        a1 = checker.stamp("a")
+        b1 = checker.stamp("b")
+        checker.observe("b", b1)
+        checker.observe("a", a1)  # no cross-channel ordering claim
+
+    def test_new_generation_resets_ordering(self):
+        """A relaunched Stream Manager starts fresh counters under a new
+        incarnation; that must not read as a channel rewind."""
+        checker = self._checker()
+        checker.observe("ch", checker.stamp("ch", generation=1))
+        checker._next.clear()  # the relaunch: counters restart at 1
+        checker.observe("ch", checker.stamp("ch", generation=2))
+
+    def test_reset_channels_forgets_state(self):
+        checker = self._checker()
+        stamped = checker.stamp("ch")
+        checker.observe("ch", stamped)
+        checker.reset_channels()
+        checker.observe("ch", checker.stamp("ch"))  # seq 1 again: fine
+
+
+# -- barrier alignment -------------------------------------------------------
+
+class TestAlignment:
+    def test_aligned_channel_data_is_a_violation(self):
+        sani = KernelSanitizer()
+        sani.check_alignment(instance_name="count-0", aligning=False,
+                             channel=("word", 0), barriered=False,
+                             checkpoint_id=1)
+        sani.check_alignment(instance_name="count-0", aligning=True,
+                             channel=("word", 1), barriered=False,
+                             checkpoint_id=1)
+        with pytest.raises(SanitizerViolation, match="alignment"):
+            sani.check_alignment(instance_name="count-0", aligning=True,
+                                 channel=("word", 0), barriered=True,
+                                 checkpoint_id=1)
+        assert sani.barrier_checks == 3
+
+
+# -- end-to-end: the real topology under sanitize ----------------------------
+
+class TestEndToEnd:
+    def test_wordcount_clean_under_sanitize(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cluster = HeronCluster.local(seed=7)
+        assert cluster.sim.sanitizer is not None
+        handle = cluster.submit_topology(
+            wordcount_topology(2, corpus_size=500))
+        handle.wait_until_running()
+        cluster.run_for(1.0)
+        report = cluster.sim.sanitizer.report()
+        assert report["violations"] == []
+        assert report["pops"] > 100
+        assert report["fifo_stamped"] > 0
+        assert report["fifo_observed"] > 0
+        assert handle.totals()["emitted"] > 0
+
+    def test_trace_records_pops(self):
+        sim = Simulator(sanitize=True)
+        sim.sanitizer.enable_trace(3)
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until(10.0)
+        trace = sim.sanitizer.trace
+        assert len(trace) == 3
+        assert [row[0] for row in trace] == [0.0, 1.0, 2.0]
+        assert all(row[1] > 0 for row in trace)  # abs(seq)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.api.component import Bolt, Spout
 from repro.api.config_keys import TopologyConfigKeys as Keys
-from repro.api.grouping import FieldsGrouping, ShuffleGrouping
+from repro.api.grouping import FieldsGrouping
 from repro.api.topology import TopologyBuilder
 from repro.common.config import Config
 from repro.common.errors import TopologyError

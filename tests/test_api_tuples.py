@@ -3,7 +3,7 @@
 import pytest
 
 from repro.api.component import Bolt, Spout
-from repro.api.tuples import Batch, Tuple, Values, fields_index
+from repro.api.tuples import Batch, Tuple, fields_index
 
 
 class TestTuple:

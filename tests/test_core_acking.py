@@ -47,7 +47,7 @@ class TestRotatingMap:
         rmap.put(1, RootEntry(1, SPOUT, 0.0))
         rmap.put(1, RootEntry(1, SPOUT, 5.0))
         assert len(rmap) == 1
-        assert rmap.get(1).emit_time == 5.0
+        assert rmap.get(1).emit_time == 5.0  # lint: allow[D005] exact by construction
 
     def test_too_few_buckets_rejected(self):
         with pytest.raises(ValueError):

@@ -1,7 +1,5 @@
 """SM → TM heartbeats: liveness tracking on the control plane."""
 
-import pytest
-
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.common.config import Config
 from repro.core.heron import HeronCluster

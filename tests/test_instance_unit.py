@@ -5,7 +5,6 @@ import pytest
 from repro.api.component import Bolt, Spout
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.topology import TopologyBuilder
-from repro.common.config import Config
 from repro.core.heron import HeronCluster
 from repro.simulation.costs import CostCategory
 from repro.workloads.wordcount import CountBolt, WordSpout

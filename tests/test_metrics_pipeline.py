@@ -1,7 +1,5 @@
 """The control-plane metrics path: instance → Metrics Manager → TM."""
 
-import pytest
-
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.common.config import Config
 from repro.core.heron import HeronCluster

@@ -4,8 +4,7 @@ import pytest
 
 from repro.common.errors import PackingError
 from repro.common.resources import Resource
-from repro.packing.plan import (ContainerPlan, InstancePlan, PackingPlan,
-                                PlanDelta)
+from repro.packing.plan import ContainerPlan, InstancePlan, PackingPlan
 
 R1 = Resource(cpu=1, ram=100, disk=10)
 

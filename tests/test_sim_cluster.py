@@ -6,7 +6,7 @@ from repro.common.errors import SchedulerError, SimulationError
 from repro.common.resources import Resource
 from repro.common.units import GB
 from repro.simulation.actors import FunctionActor
-from repro.simulation.cluster import Cluster, ContainerState, Machine
+from repro.simulation.cluster import Cluster, ContainerState
 from repro.simulation.events import Simulator
 from repro.simulation.network import UniformNetwork
 

@@ -74,7 +74,7 @@ class TestRun:
     def test_run_until_advances_clock_even_without_events(self):
         sim = Simulator()
         sim.run_until(42.0)
-        assert sim.now == 42.0
+        assert sim.now == 42.0  # lint: allow[D005] exact by construction
 
     def test_run_until_past_is_rejected(self):
         sim = Simulator()
@@ -86,7 +86,7 @@ class TestRun:
         sim = Simulator()
         sim.run_until(5.0)
         sim.run_for(2.5)
-        assert sim.now == 7.5
+        assert sim.now == 7.5  # lint: allow[D005] exact by construction
 
     def test_run_leaves_future_events_pending(self):
         sim = Simulator()
@@ -108,7 +108,7 @@ class TestRun:
         sim.schedule(2.0, seen.append, "b")
         assert sim.step() is True
         assert seen == ["a"]
-        assert sim.now == 1.0
+        assert sim.now == 1.0  # lint: allow[D005] exact by construction
 
     def test_drain_runs_everything(self):
         sim = Simulator()

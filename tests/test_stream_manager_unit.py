@@ -1,7 +1,5 @@
 """Focused Stream Manager behaviour tests (via small live topologies)."""
 
-import pytest
-
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.common.config import Config
 from repro.core.heron import HeronCluster

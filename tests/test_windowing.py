@@ -3,7 +3,7 @@
 import pytest
 
 from repro.api import (Bolt, Spout, TopologyBuilder, TumblingWindowBolt,
-                       Window, is_tick)
+                       is_tick)
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.tuples import Batch, Tuple
 from repro.core.heron import HeronCluster

@@ -11,7 +11,7 @@ from repro.common.config import Config
 from repro.workloads.corpus import corpus
 from repro.workloads.external import KafkaBroker, RedisServer
 from repro.workloads.kafka_redis import (AggregateBolt, FilterBolt,
-                                         KafkaSpout, RedisSinkBolt,
+                                         RedisSinkBolt,
                                          kafka_redis_topology)
 from repro.workloads.wordcount import CountBolt, WordSpout, \
     wordcount_topology
