@@ -148,3 +148,67 @@ class TopologyConfigKeys:
         "heron.streammgr.backpressure.low.watermark", default=40,
         value_type=int, validator=lambda v: v >= 0,
         description="Queue length below which backpressure is released.")
+
+    BACKPRESSURE_LEASE_SECS = _declare(
+        "heron.streammgr.backpressure.lease.secs", default=2.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="Lifetime of a peer-initiated spout pause. The "
+                    "initiating SM re-broadcasts PauseSpouts while it is "
+                    "still backpressured; if renewals stop arriving "
+                    "(lost ResumeSpouts, dead initiator) peers resume "
+                    "their spouts when the lease expires instead of "
+                    "wedging forever.")
+
+    # --- fault tolerance / chaos (repro.chaos) -----------------------------
+    RELIABLE_DELIVERY = _declare(
+        "heron.streammgr.reliable.delivery", default=True, value_type=bool,
+        description="Sequence/ack/retransmit inter-container SM channels "
+                    "so data, barrier markers and backpressure broadcasts "
+                    "survive a lossy network (see DESIGN.md fault model). "
+                    "Disable to expose raw message loss.")
+
+    RETRANSMIT_TIMEOUT_SECS = _declare(
+        "heron.streammgr.retransmit.timeout.secs", default=0.05,
+        value_type=float, validator=lambda v: v > 0,
+        description="Base retransmit timeout (RTO) of the reliable SM "
+                    "channel; doubles per silent retry up to the backoff "
+                    "cap and resets on ack progress.")
+
+    RETRANSMIT_BACKOFF_CAP_SECS = _declare(
+        "heron.streammgr.retransmit.backoff.cap.secs", default=1.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="Upper bound on the exponentially backed-off RTO.")
+
+    RETRANSMIT_JITTER = _declare(
+        "heron.streammgr.retransmit.jitter", default=0.2,
+        value_type=float, validator=lambda v: 0 <= v < 1,
+        description="Fractional jitter applied to backed-off RTOs "
+                    "(drawn from the cluster's seeded RNG stream, so "
+                    "retries stay deterministic per seed).")
+
+    HEARTBEAT_INTERVAL_SECS = _declare(
+        "topology.heartbeat.interval.secs", default=3.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Seconds between SM liveness heartbeats to the TM.")
+
+    FAILURE_DETECTION_ENABLED = _declare(
+        "topology.failure.detection.enabled", default=True,
+        value_type=bool,
+        description="The TM acts on heartbeat silence: after the miss "
+                    "window it declares the SM dead, rebroadcasts the "
+                    "plan to survivors and asks the scheduler to "
+                    "relaunch the container.")
+
+    FAILURE_MISS_THRESHOLD = _declare(
+        "topology.failure.detection.miss.threshold", default=3,
+        value_type=int, validator=lambda v: v >= 1,
+        description="Consecutive heartbeat intervals an SM may stay "
+                    "silent before the TM suspects it (miss window = "
+                    "threshold x heartbeat interval).")
+
+    STATEMGR_RETRY_ATTEMPTS = _declare(
+        "heron.statemgr.retry.attempts", default=5, value_type=int,
+        validator=lambda v: v >= 0,
+        description="Bounded retries (with backoff) for State Manager "
+                    "operations on the control plane, so a transient "
+                    "statemgr outage does not kill a topology.")

@@ -1,0 +1,27 @@
+"""Deterministic chaos engineering for the simulated Heron cluster.
+
+``repro.chaos`` injects faults *underneath* the engine — message drops,
+latency spikes, network partitions, straggler containers, flaky State
+Managers — driven entirely by a declarative :class:`FaultPlan` and the
+cluster's seeded RNG streams, so every chaos run is reproducible from
+its seed and safe under ``REPRO_SANITIZE=1``.
+
+The package deliberately imports nothing from ``repro.core``: the engine
+depends on chaos primitives (:class:`BackoffPolicy`), never the other
+way around.
+"""
+
+from repro.chaos.flaky import FlakyStateManager
+from repro.chaos.network import FaultyNetwork
+from repro.chaos.plan import FaultPlan, LinkFaults, Partition, Straggler
+from repro.chaos.policy import BackoffPolicy
+
+__all__ = [
+    "BackoffPolicy",
+    "FaultPlan",
+    "FaultyNetwork",
+    "FlakyStateManager",
+    "LinkFaults",
+    "Partition",
+    "Straggler",
+]

@@ -1,0 +1,69 @@
+"""A State Manager that fails on purpose.
+
+:class:`FlakyStateManager` is the in-memory State Manager with seeded
+fault injection on its read/write primitives: a per-operation failure
+probability plus optional hard outage windows during which *every*
+operation raises :class:`~repro.common.errors.StateError`. It exists to
+exercise the engine's bounded retry-with-backoff paths (TM liveness
+advertisement, checkpoint commits) without touching a disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.common.errors import StateError
+from repro.simulation.rng import RngStream
+from repro.statemgr.base import StateManager, StateSession
+
+
+class FlakyStateManager(StateManager):
+    """In-memory State Manager with deterministic fault injection.
+
+    ``fail_rate`` draws one seeded coin per create/set/get; ``outages``
+    are ``(start, end)`` simulated-time windows (requires ``now``) during
+    which those operations always fail. Deletes and existence checks stay
+    reliable so session expiry can always clean up ephemerals.
+    """
+
+    def __init__(self, *, rng: RngStream, fail_rate: float = 0.0,
+                 outages: Sequence[Tuple[float, float]] = (),
+                 now: Optional[Callable[[], float]] = None) -> None:
+        super().__init__()
+        if not 0.0 <= fail_rate < 1.0:
+            raise StateError(f"fail_rate must be in [0, 1): {fail_rate}")
+        if outages and now is None:
+            raise StateError("outage windows need a `now` clock")
+        self._rng = rng
+        self.fail_rate = fail_rate
+        self.outages = tuple(outages)
+        self._now = now
+        self.injected_failures = 0
+
+    def _maybe_fail(self, op: str, path: str) -> None:
+        if self._now is not None:
+            now = self._now()
+            for start, end in self.outages:
+                if start <= now < end:
+                    self.injected_failures += 1
+                    raise StateError(
+                        f"injected statemgr outage during {op} {path!r}")
+        if self.fail_rate > 0.0 and self._rng.random() < self.fail_rate:
+            self.injected_failures += 1
+            raise StateError(
+                f"injected statemgr fault during {op} {path!r}")
+
+    # -- faulted primitives -------------------------------------------------
+    def get(self, path: str) -> Tuple[bytes, int]:
+        self._maybe_fail("get", path)
+        return super().get(path)
+
+    def set(self, path: str, data: bytes,
+            expected_version: Optional[int] = None) -> int:
+        self._maybe_fail("set", path)
+        return super().set(path, data, expected_version)
+
+    def _create(self, path: str, data: bytes, ephemeral: bool,
+                session: Optional[StateSession]) -> None:
+        self._maybe_fail("create", path)
+        super()._create(path, data, ephemeral, session)

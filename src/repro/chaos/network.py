@@ -1,0 +1,95 @@
+"""Fault-injecting wrapper around the simulation network.
+
+:class:`FaultyNetwork` sits between actors and the real latency model,
+perturbing only *cross-container* messages (an actor's self-timers and
+intra-container SM↔instance traffic stay reliable — processes do not
+lose messages to themselves over localhost). Returning ``None`` from
+``latency`` tells :meth:`repro.simulation.actors.Actor.send` to drop the
+message on the floor, exactly like a lossy datacenter link.
+
+All randomness is drawn from one seeded ``RngStream`` in a fixed order
+per message (partition check, drop draw, straggler scan, spike draw,
+jitter draw), so a given seed + :class:`FaultPlan` replays the identical
+fault sequence run after run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.plan import FaultPlan, Partition, Straggler
+from repro.simulation.actors import Location, NetworkProtocol
+from repro.simulation.rng import RngStream
+
+
+class FaultyNetwork(NetworkProtocol):
+    """Interpret a :class:`FaultPlan` over an inner network model."""
+
+    def __init__(self, inner: NetworkProtocol, *, plan: FaultPlan,
+                 now: Callable[[], float], rng: RngStream) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._now = now
+        self._rng = rng
+        self._partitions: List[Partition] = list(plan.partitions)
+        self._stragglers: List[Straggler] = list(plan.stragglers)
+        self.drops = 0
+        self.partition_drops = 0
+        self.spikes = 0
+        self.straggler_hits = 0
+
+    # -- runtime mutation ---------------------------------------------------
+    # Concrete machine/container ids are only known after submission, so
+    # tests and experiments add targeted windows once the topology is up.
+    def add_partition(self, partition: Partition) -> None:
+        """Install one more partition window at runtime."""
+        self._partitions.append(partition)
+
+    def add_straggler(self, straggler: Straggler) -> None:
+        """Install one more straggler window at runtime."""
+        self._stragglers.append(straggler)
+
+    # -- NetworkProtocol ----------------------------------------------------
+    def latency(self, src: Location, dst: Location) -> Optional[float]:
+        if (src.machine_id == dst.machine_id
+                and src.container_id == dst.container_id):
+            return self.inner.latency(src, dst)
+        now = self._now()
+        for partition in self._partitions:
+            if partition.active(now) and partition.separates(
+                    src.machine_id, dst.machine_id):
+                self.partition_drops += 1
+                return None
+        link = self.plan.link
+        if link.drop_rate > 0.0 and self._rng.random() < link.drop_rate:
+            self.drops += 1
+            return None
+        base = self.inner.latency(src, dst)
+        if base is None:
+            return None
+        for straggler in self._stragglers:
+            if straggler.active(now) and straggler.applies(
+                    src.container_id, dst.container_id):
+                self.straggler_hits += 1
+                base *= straggler.slowdown
+        if link.spike_rate > 0.0 and self._rng.random() < link.spike_rate:
+            self.spikes += 1
+            base += link.spike_latency
+        if link.jitter > 0.0:
+            base = self._rng.jitter(base, link.jitter)
+        return base
+
+    # -- metrics ------------------------------------------------------------
+    def partition_seconds(self) -> float:
+        """Total partition window time installed so far."""
+        return sum(partition.duration for partition in self._partitions)
+
+    def stats(self) -> Dict[str, float]:
+        """Injected-fault counters (all floats, experiment-friendly)."""
+        return {
+            "drops": float(self.drops),
+            "partition_drops": float(self.partition_drops),
+            "spikes": float(self.spikes),
+            "straggler_hits": float(self.straggler_hits),
+            "partition_seconds": self.partition_seconds(),
+        }

@@ -1,0 +1,121 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is pure data: which links misbehave and how, which
+machine sets partition when, which containers straggle. The plan itself
+draws no randomness — :class:`~repro.chaos.network.FaultyNetwork`
+interprets it against a seeded ``RngStream``, which is what keeps chaos
+runs deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.common.errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-message faults applied to every cross-container link.
+
+    ``drop_rate`` silently loses messages; ``spike_rate`` adds
+    ``spike_latency`` seconds to the occasional message; ``jitter``
+    perturbs delivery latency by up to that fraction either way.
+    """
+
+    drop_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_latency: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.drop_rate < 1.0,
+                 f"drop_rate must be in [0, 1): {self.drop_rate}")
+        _require(0.0 <= self.spike_rate < 1.0,
+                 f"spike_rate must be in [0, 1): {self.spike_rate}")
+        _require(self.spike_latency >= 0.0,
+                 f"spike_latency must be >= 0: {self.spike_latency}")
+        _require(0.0 <= self.jitter < 1.0,
+                 f"jitter must be in [0, 1): {self.jitter}")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition isolating a set of machines for a window.
+
+    While active, no message crosses between the named machines and the
+    rest of the cluster (both directions); traffic within each side is
+    untouched.
+    """
+
+    start: float
+    duration: float
+    machines: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0,
+                 f"partition start must be >= 0: {self.start}")
+        _require(self.duration > 0.0,
+                 f"partition duration must be > 0: {self.duration}")
+        _require(bool(self.machines), "partition needs at least one machine")
+
+    def active(self, now: float) -> bool:
+        """Whether the partition window covers sim time ``now``."""
+        return self.start <= now < self.start + self.duration
+
+    def separates(self, machine_a: int, machine_b: int) -> bool:
+        """Whether the cut falls between these two machines."""
+        return (machine_a in self.machines) != (machine_b in self.machines)
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A set of containers whose network I/O slows down for a window.
+
+    Every message to or from a straggling container has its latency
+    multiplied by ``slowdown`` (the container is reachable, just slow —
+    the classic gray failure).
+    """
+
+    start: float
+    duration: float
+    slowdown: float
+    containers: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0.0,
+                 f"straggler start must be >= 0: {self.start}")
+        _require(self.duration > 0.0,
+                 f"straggler duration must be > 0: {self.duration}")
+        _require(self.slowdown >= 1.0,
+                 f"straggler slowdown must be >= 1: {self.slowdown}")
+        _require(bool(self.containers),
+                 "straggler needs at least one container")
+
+    def active(self, now: float) -> bool:
+        """Whether the straggler window covers sim time ``now``."""
+        return self.start <= now < self.start + self.duration
+
+    def applies(self, src_container: int, dst_container: int) -> bool:
+        """Whether either endpoint of a message is straggling."""
+        return (src_container in self.containers
+                or dst_container in self.containers)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a chaos run injects, as one immutable value."""
+
+    link: LinkFaults = LinkFaults()
+    partitions: Tuple[Partition, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+
+    def partition_seconds(self) -> float:
+        """Total scheduled partition time (overlaps counted once each)."""
+        return sum(partition.duration for partition in self.partitions)

@@ -1,0 +1,40 @@
+"""Retry/backoff policy shared by the engine's control-plane retries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.simulation.rng import RngStream
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with optional seeded jitter.
+
+    Attempt ``n`` (0-based) waits ``min(cap, base * factor**n)`` seconds,
+    jittered by ``jitter`` fraction when an ``RngStream`` is supplied —
+    jitter comes from the simulation's seeded RNG, never from global
+    randomness, so retry schedules are deterministic per seed.
+    """
+
+    base: float = 0.1
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.factor < 1 or self.cap < self.base:
+            raise ConfigError(
+                f"invalid backoff: base={self.base} factor={self.factor} "
+                f"cap={self.cap}")
+        if not 0 <= self.jitter < 1:
+            raise ConfigError(f"jitter must be in [0, 1): {self.jitter}")
+
+    def delay(self, attempt: int, rng: Optional[RngStream] = None) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        delay = min(self.cap, self.base * self.factor ** max(0, attempt))
+        if rng is not None and self.jitter > 0.0:
+            delay = rng.jitter(delay, self.jitter)
+        return delay

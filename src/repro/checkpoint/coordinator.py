@@ -30,7 +30,8 @@ relaunch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Optional, Set,
+                    Tuple)
 
 from repro.checkpoint.messages import (InjectBarriers, InstanceKey,
                                        InstanceSnapshot, RestoreAck,
@@ -50,6 +51,17 @@ class _CheckpointTick:
 
 
 @dataclass
+class _RestoreRecheck:
+    """Self-timer: re-send ``RestoreTopology`` if acks are missing.
+
+    A lossy network (see :mod:`repro.chaos`) can eat a restore push; SMs
+    already ignore restores for epochs they have reached, so re-sending
+    is idempotent."""
+
+    epoch: int
+
+
+@dataclass
 class _PendingCheckpoint:
     """One in-flight global snapshot."""
 
@@ -65,6 +77,11 @@ class CheckpointCoordinator(Actor):
 
     #: Retry delay while waiting for a relaunched topology to be live.
     RESTORE_RETRY_SECS = 0.05
+    #: Delay before re-sending a restore whose acks have not all arrived.
+    RESTORE_RESEND_SECS = 0.5
+    #: Re-send budget per restore epoch (a lost ack alone is harmless, so
+    #: the loop must terminate even if acks never come back).
+    RESTORE_MAX_RESENDS = 10
 
     def __init__(self, sim: Simulator, *, location: Location, network,
                  ledger: Optional[CostLedger], costs: CostModel,
@@ -84,6 +101,10 @@ class CheckpointCoordinator(Actor):
         self._next_id = 0
         self._pending: Optional[_PendingCheckpoint] = None
         self._restore_waiting = False
+        self._awaiting: Set[InstanceKey] = set()
+        self._last_restore: Optional[
+            Tuple[int, Dict[InstanceKey, Optional[bytes]]]] = None
+        self._resends_left = 0
 
         # --- counters (read by tests/experiments) -------------------------
         self.checkpoints_triggered = 0
@@ -91,6 +112,7 @@ class CheckpointCoordinator(Actor):
         self.checkpoints_aborted = 0
         self.restores_completed = 0
         self.restore_acks = 0
+        self.restore_resends = 0
         self.last_committed_id: Optional[int] = None
         self.last_commit_at: Optional[float] = None
         self.last_restore_at: Optional[float] = None
@@ -121,6 +143,9 @@ class CheckpointCoordinator(Actor):
             self.charge(self.costs.coordinator_per_event)
             if message.epoch == self.epoch:
                 self.restore_acks += 1
+                self._awaiting.discard(message.key)
+        elif isinstance(message, _RestoreRecheck):
+            self._handle_restore_recheck(message)
 
     # -- checkpoint trigger/commit ------------------------------------------
     def _expected_keys(self) -> Set[InstanceKey]:
@@ -215,6 +240,42 @@ class CheckpointCoordinator(Actor):
                                              states))
         self.restores_completed += 1
         self.last_restore_at = self.sim.now
+        self._awaiting = set(self._expected_keys())
+        self._last_restore = (checkpoint_id, blobs)
+        self._resends_left = self.RESTORE_MAX_RESENDS
+        self.send(self, _RestoreRecheck(self.epoch),
+                  extra_delay=self.RESTORE_RESEND_SECS)
+
+    def _handle_restore_recheck(self, message: _RestoreRecheck) -> None:
+        """Re-push the restore to containers with unacked tasks.
+
+        Each ``RestoreTopology`` re-send is dropped by SMs already at the
+        epoch, so only the copies that a faulty network actually ate take
+        effect. The budget bounds the loop: a lost *ack* leaves the
+        instance correctly restored, so giving up is safe.
+        """
+        if (message.epoch != self.epoch or not self._awaiting
+                or self._last_restore is None):
+            return
+        if self._resends_left <= 0:
+            return
+        self._resends_left -= 1
+        checkpoint_id, blobs = self._last_restore
+        stmgrs = self.resolve_stmgrs()
+        resent = 0
+        for cid, stmgr in sorted(stmgrs.items()):
+            keys = self.pplan.instances_by_container.get(cid, [])
+            if not any(key in self._awaiting for key in keys):
+                continue
+            states = {key: blobs.get(key) for key in keys}
+            self.charge(self.costs.coordinator_per_event)
+            self.send(stmgr, RestoreTopology(self.epoch, checkpoint_id,
+                                             states))
+            resent += 1
+        if resent:
+            self.restore_resends += resent
+        self.send(self, _RestoreRecheck(self.epoch),
+                  extra_delay=self.RESTORE_RESEND_SECS)
 
     # -- plan updates (topology scaling) -------------------------------------
     def update_plan(self, pplan: PhysicalPlan) -> None:

@@ -42,6 +42,9 @@ FIGURES: Dict[str, tuple] = {
     "checkpoint": ("repro.experiments.checkpoint_overhead",
                    "repro.checkpoint: overhead + effectively-once "
                    "recovery"),
+    "chaos": ("repro.experiments.chaos_faults",
+              "repro.chaos: reliability under loss + partition "
+              "recovery"),
 }
 
 #: Aliases: every paper figure number resolves to its runner.

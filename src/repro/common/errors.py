@@ -40,3 +40,10 @@ class SchedulerError(ReproError):
 class StateError(ReproError):
     """State-manager failures: missing nodes, session expiry, conflicting
     ephemeral owners, ...."""
+
+
+class HeronError(SchedulerError):
+    """Engine-runtime failures: a topology that never reached running,
+    containers that never registered, a control plane that gave up.
+    Subclasses :class:`SchedulerError` so callers that already catch
+    scheduling failures keep working."""

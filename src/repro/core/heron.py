@@ -23,10 +23,12 @@ from typing import Dict, List, Mapping, Optional
 from repro.api.config_keys import SCHEMA as TOPOLOGY_SCHEMA
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.topology import Topology
+from repro.chaos.network import FaultyNetwork
+from repro.chaos.plan import FaultPlan
 from repro.checkpoint.coordinator import CheckpointCoordinator
 from repro.checkpoint.messages import RestoreRequest
 from repro.common.config import Config
-from repro.common.errors import SchedulerError, TopologyError
+from repro.common.errors import HeronError, SchedulerError, TopologyError
 from repro.common.resources import Resource
 from repro.common.units import GB
 from repro.core.instance import HeronInstance
@@ -64,47 +66,65 @@ class HeronCluster:
     def __init__(self, *, framework: SchedulingFramework,
                  statemgr: Optional[StateManager] = None,
                  costs: Optional[CostModel] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.framework = framework
         self.sim: Simulator = framework.sim
         self.cluster: Cluster = framework.cluster
         self.costs = costs or DEFAULT_COST_MODEL
-        self.network = Network(self.costs)
+        self.rng = RngRegistry(seed)
+        base_network = Network(self.costs)
+        self.chaos: Optional[FaultyNetwork] = None
+        if fault_plan is not None:
+            self.chaos = FaultyNetwork(
+                base_network, plan=fault_plan,
+                now=lambda: self.sim.now,
+                rng=self.rng.stream("chaos.network"))
+        self.network = self.chaos if self.chaos is not None else base_network
         self.ledger = CostLedger()
         self.statemgr = statemgr or InMemoryStateManager()
-        self.rng = RngRegistry(seed)
         self.topologies: Dict[str, _TopologyRuntime] = {}
         self._instance_indices = itertools.count()
 
     # -- convenience constructors ---------------------------------------------
     @classmethod
-    def local(cls, costs: Optional[CostModel] = None,
-              seed: int = 0) -> "HeronCluster":
+    def local(cls, costs: Optional[CostModel] = None, seed: int = 0,
+              fault_plan: Optional[FaultPlan] = None) -> "HeronCluster":
         """Single-machine local mode (LocalFramework + LocalScheduler)."""
         sim = Simulator()
-        return cls(framework=LocalFramework(sim), costs=costs, seed=seed)
+        return cls(framework=LocalFramework(sim), costs=costs, seed=seed,
+                   fault_plan=fault_plan)
 
     @classmethod
     def on_aurora(cls, machines: int = 16,
                   machine_resource: Resource = Resource(
                       cpu=24, ram=72 * GB, disk=1000 * GB),
                   costs: Optional[CostModel] = None,
-                  seed: int = 0) -> "HeronCluster":
+                  seed: int = 0,
+                  fault_plan: Optional[FaultPlan] = None) -> "HeronCluster":
         sim = Simulator()
         cluster = Cluster.homogeneous(machines, machine_resource)
         return cls(framework=AuroraFramework(sim, cluster), costs=costs,
-                   seed=seed)
+                   seed=seed, fault_plan=fault_plan)
 
     @classmethod
     def on_yarn(cls, machines: int = 16,
                 machine_resource: Resource = Resource(
                     cpu=24, ram=72 * GB, disk=1000 * GB),
                 costs: Optional[CostModel] = None,
-                seed: int = 0) -> "HeronCluster":
+                seed: int = 0,
+                fault_plan: Optional[FaultPlan] = None) -> "HeronCluster":
         sim = Simulator()
         cluster = Cluster.homogeneous(machines, machine_resource)
         return cls(framework=YarnFramework(sim, cluster), costs=costs,
-                   seed=seed)
+                   seed=seed, fault_plan=fault_plan)
+
+    def chaos_stats(self) -> Dict[str, float]:
+        """Fault-injection counters (all zero without a FaultPlan)."""
+        if self.chaos is None:
+            return {"drops": 0.0, "partition_drops": 0.0, "spikes": 0.0,
+                    "straggler_hits": 0.0, "partition_seconds": 0.0}
+        return self.chaos.stats()
 
     # -- time ---------------------------------------------------------------------
     @property
@@ -247,7 +267,9 @@ class _TopologyRuntime:
             heron.sim, location=container.location(), network=heron.network,
             ledger=heron.ledger, costs=heron.costs, pplan=self.pplan,
             statemgr=heron.statemgr,
-            tmaster_path=self.paths.tmaster_location)
+            tmaster_path=self.paths.tmaster_location,
+            config=self.config, request_relaunch=self.request_relaunch,
+            rng=heron.rng.stream("control.backoff"))
         container.attach(tmaster)
         self.tmaster = tmaster
         tmaster.start()
@@ -299,7 +321,8 @@ class _TopologyRuntime:
             costs=heron.costs, topology_name=self.topology.name,
             resolve_tmaster=self.resolve_tmaster, statemgr=heron.statemgr,
             tmaster_path=self.paths.tmaster_location,
-            resolve_coordinator=self.resolve_coordinator)
+            resolve_coordinator=self.resolve_coordinator,
+            rng=heron.rng.stream(f"chaos.backoff.{cid}"))
         container.attach(sm)
         self.sms[cid] = sm
 
@@ -334,6 +357,22 @@ class _TopologyRuntime:
         self.container_keys[cid] = keys
         if relaunch and self.checkpointing:
             heron.sim.schedule(0.0, self._request_restore)
+
+    def request_relaunch(self, container_id: int) -> None:
+        """TM failure detection asked for a container relaunch; run the
+        scheduler action outside the TM's handler turn."""
+        self.heron.sim.schedule(0.0, self._relaunch, container_id)
+
+    def _relaunch(self, container_id: int) -> None:
+        if self.heron.topologies.get(self.topology.name) is not self:
+            return  # topology was killed meanwhile
+        try:
+            self.heron.restart_topology(self.topology.name, container_id)
+        except SchedulerError:
+            # The framework may already be mid-recovery for this
+            # container (hard kill racing slow detection); the relaunch
+            # it performs supersedes ours.
+            pass
 
     def _request_restore(self) -> None:
         """Ask the coordinator to roll the topology back to its last
@@ -430,9 +469,22 @@ class TopologyHandle:
                     and all(sm.pplan is not None for sm in sms)):
                 return
             self._heron.run_for(0.01)
-        raise SchedulerError(
+        tmaster = self._runtime.tmaster
+        expected = sorted(self._runtime.pplan.container_ids)
+        registered = set()
+        if tmaster is not None and tmaster.alive:
+            registered = {cid for cid, sm in tmaster.registrations.items()
+                          if sm.alive}
+        unregistered = [cid for cid in expected if cid not in registered]
+        planless = sorted(cid for cid, sm in self._runtime.sms.items()
+                          if sm.pplan is None)
+        detail = (f"unregistered containers {unregistered}; "
+                  f"containers without a physical plan {planless}")
+        if tmaster is None or not tmaster.alive:
+            detail += "; no live Topology Master"
+        raise HeronError(
             f"topology {self.name!r} did not reach running within "
-            f"{timeout}s")
+            f"{timeout}s: {detail}")
 
     # -- metrics ---------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:
@@ -472,11 +524,30 @@ class TopologyHandle:
         """Aggregated Stream Manager counters across containers."""
         totals = {"tuples_routed": 0.0, "acks_routed": 0.0, "drains": 0.0,
                   "batches_in": 0.0, "batches_out": 0.0,
-                  "dropped_batches": 0.0, "backpressure_starts": 0.0}
+                  "dropped_batches": 0.0, "backpressure_starts": 0.0,
+                  "retransmits": 0.0}
         for sm in self._runtime.sms.values():
             for key in totals:
                 totals[key] += getattr(sm, key.replace("-", "_"))
         return totals
+
+    def failure_stats(self) -> Dict[str, float]:
+        """Fault-tolerance counters: TM failure detection plus the SM
+        reliable-channel link layer (see ``repro.chaos``)."""
+        stats = {"suspected_failures": 0.0, "relaunches_requested": 0.0,
+                 "retransmits": 0.0, "reliable_dups": 0.0,
+                 "stale_reregisters": 0.0, "lease_expiries": 0.0}
+        tmaster = self._runtime.tmaster
+        if tmaster is not None:
+            stats["suspected_failures"] = float(tmaster.suspected_failures)
+            stats["relaunches_requested"] = \
+                float(tmaster.relaunches_requested)
+        for sm in self._runtime.sms.values():
+            stats["retransmits"] += sm.retransmits
+            stats["reliable_dups"] += sm.reliable_dups
+            stats["stale_reregisters"] += sm.stale_reregisters
+            stats["lease_expiries"] += sm.lease_expiries
+        return stats
 
     @property
     def packing_plan(self) -> PackingPlan:

@@ -146,6 +146,34 @@ class ResumeSpouts:
 
 
 @dataclass
+class ReliableData:
+    """SM → SM: one sequenced payload on a reliable channel.
+
+    ``payload`` is a regular inter-container message (RemoteDelivery,
+    RemoteBarriers, Pause/ResumeSpouts). ``link`` is the sender's channel
+    incarnation, ``(sm incarnation, reset count)`` compared
+    lexicographically: receivers restart their expected sequence when a
+    newer link appears (peer relaunch or plan change) and ignore
+    stragglers from older ones, so a relaunch is never mistaken for a
+    sequence rewind.
+    """
+
+    from_container: int
+    link: Tuple[int, int]
+    seq: int
+    payload: Any
+
+
+@dataclass
+class ReliableAck:
+    """SM → SM: cumulative ack — everything up to ``seq`` arrived."""
+
+    from_container: int
+    link: Tuple[int, int]
+    seq: int
+
+
+@dataclass
 class RegisterStmgr:
     """SM → TM: container registration (carries the SM actor ref)."""
 

@@ -26,6 +26,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos.policy import BackoffPolicy
 from repro.checkpoint.messages import (CheckpointBarrier, InjectBarriers,
                                        InstanceBarrier, RemoteBarriers,
                                        RestoreInstance, RestoreTopology)
@@ -35,13 +36,15 @@ from repro.core.instance import HeronInstance, _StartInstance
 from repro.core.messages import (AckComplete, AckCounted, DataBatch,
                                  InstanceBatches, InstanceKey,
                                  NewPhysicalPlan, PauseSpouts, RegisterStmgr,
-                                 RemoteDelivery, ResumeSpouts, XorUpdate)
+                                 ReliableAck, ReliableData, RemoteDelivery,
+                                 ResumeSpouts, XorUpdate)
 from repro.core.pplan import PhysicalPlan
 from repro.serialization.messages import Heartbeat
 from repro.serialization.pool import ObjectPool
 from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostModel
 from repro.simulation.events import Simulator
+from repro.simulation.rng import RngStream
 
 MILLIS = 1e-3
 
@@ -58,11 +61,65 @@ class _RotateTick:
     """Self-timer: advance the exact-mode ack timeout wheel."""
 
 
+class _RetransTick:
+    """Self-timer: check reliable channels for retransmit timeouts."""
+
+
+class _RegisterRetry:
+    """Self-timer: re-register with the TM until a physical plan lands."""
+
+
+class _LeaseTick:
+    """Self-timer: expire stale peer-initiated backpressure leases."""
+
+
+class _RenewTick:
+    """Self-timer: renew our own backpressure lease on peers."""
+
+
 #: Sanitize mode: each StreamManager incarnation gets a distinct FIFO
 #: stamping generation, so counters restarting after a container
 #: relaunch are not mistaken for a channel rewind. Creation order is
 #: deterministic, so stamps are identical across identical runs.
 _SANI_INCARNATIONS = itertools.count(1)
+
+#: Reliable-channel link ids: each SM incarnation gets a fresh id so a
+#: relaunched sender is never mistaken for a rewind of its predecessor's
+#: sequence space. Creation order is deterministic per run; only the
+#: relative order of link ids within one run is ever compared.
+_LINK_INCARNATIONS = itertools.count(1)
+
+
+class _OutChannel:
+    """Sender half of one reliable SM→SM link (go-back-N)."""
+
+    __slots__ = ("link", "peer", "next_seq", "unacked", "rto",
+                 "oldest_sent_at", "last_progress")
+
+    def __init__(self, link: Tuple[int, int], peer: Actor, rto: float,
+                 now: float) -> None:
+        self.link = link
+        self.peer = peer
+        self.next_seq = 0
+        #: seq → payload; insertion-ordered, so iteration is seq order.
+        self.unacked: Dict[int, Any] = {}
+        self.rto = rto
+        #: When the current head-of-line payload was last (re)sent — the
+        #: retransmit clock. Keyed off the *oldest* unacked send, not the
+        #: newest, so a continuously-draining channel still times out.
+        self.oldest_sent_at = now
+        self.last_progress = now
+
+
+class _InChannel:
+    """Receiver half of one reliable SM→SM link (in-order reassembly)."""
+
+    __slots__ = ("link", "expected", "buffer")
+
+    def __init__(self, link: Tuple[int, int]) -> None:
+        self.link = link
+        self.expected = 0
+        self.buffer: Dict[int, Any] = {}
 
 
 class _CacheEntry:
@@ -101,7 +158,8 @@ class StreamManager(Actor):
                  resolve_tmaster: Callable[[], Optional[Actor]],
                  statemgr=None, tmaster_path: Optional[str] = None,
                  resolve_coordinator: Optional[
-                     Callable[[], Optional[Actor]]] = None) -> None:
+                     Callable[[], Optional[Actor]]] = None,
+                 rng: Optional[RngStream] = None) -> None:
         super().__init__(sim, f"stmgr-{container_id}", location,
                          network=network, ledger=ledger,
                          group="stream-manager")
@@ -113,6 +171,7 @@ class StreamManager(Actor):
         self.resolve_coordinator = resolve_coordinator
         self.statemgr = statemgr
         self.tmaster_path = tmaster_path
+        self.rng = rng
 
         # --- config snapshot ---------------------------------------------
         self.lazy_deser = bool(config.get(Keys.LAZY_DESERIALIZATION))
@@ -126,6 +185,18 @@ class StreamManager(Actor):
         self.high_watermark = int(config.get(Keys.BACKPRESSURE_HIGH_WATERMARK))
         self.low_watermark = int(config.get(Keys.BACKPRESSURE_LOW_WATERMARK))
         self.message_timeout = float(config.get(Keys.MESSAGE_TIMEOUT_SECS))
+        self.reliable = bool(config.get(Keys.RELIABLE_DELIVERY))
+        self.rto_base = float(config.get(Keys.RETRANSMIT_TIMEOUT_SECS))
+        self.rto_cap = float(config.get(Keys.RETRANSMIT_BACKOFF_CAP_SECS))
+        self.rto_jitter = float(config.get(Keys.RETRANSMIT_JITTER))
+        self.heartbeat_interval = \
+            float(config.get(Keys.HEARTBEAT_INTERVAL_SECS))
+        self.backpressure_lease = \
+            float(config.get(Keys.BACKPRESSURE_LEASE_SECS))
+        #: A channel with unacked data but no ack progress for this long
+        #: means our directory (or the peer's) is stale — re-register so
+        #: the TM rebroadcasts a fresh plan.
+        self.stale_peer_secs = max(4.0 * self.rto_cap, 2.0)
 
         # --- precomputed per-batch/per-tuple charge constants ---------------
         # The Section V-A penalties depend only on the config snapshot, so
@@ -181,6 +252,25 @@ class StreamManager(Actor):
 
         # --- backpressure ---------------------------------------------------------
         self.in_backpressure = False
+        #: Peer-initiated pause leases: initiator container → expiry time.
+        #: Spouts stay paused while any lease is live; a lost ResumeSpouts
+        #: or dead initiator only wedges them until its lease runs out.
+        self._pause_leases: Dict[int, float] = {}
+        self._peers_paused = False
+        self._tm_paused = False
+        self._lease_armed = False
+        self._renew_armed = False
+
+        # --- reliable inter-container channels (repro.chaos) ---------------
+        self.link_id = next(_LINK_INCARNATIONS)
+        self._link_resets = 0
+        self._out_channels: Dict[int, _OutChannel] = {}
+        self._in_channels: Dict[int, _InChannel] = {}
+        self._retrans_armed = False
+        self._register_attempts = 0
+        self._register_policy = BackoffPolicy(base=0.5, cap=4.0,
+                                              jitter=self.rto_jitter)
+        self._last_reregister = -1.0e9
 
         # --- sanitize mode (repro.analysis.sanitize) -----------------------
         self._sanitizer = sim.sanitizer
@@ -195,15 +285,21 @@ class StreamManager(Actor):
         self.drains = 0
         self.dropped_batches = 0
         self.backpressure_starts = 0
+        self.retransmits = 0
+        self.reliable_dups = 0
+        self.stale_reregisters = 0
+        self.lease_expiries = 0
 
         self._drain_timer = self.every(self.drain_interval,
                                        lambda: self.deliver(_DrainTick()))
         self._heartbeat_seq = 0
-        self.every(3.0, lambda: self.deliver(_HeartbeatTick()))
+        self.every(self.heartbeat_interval,
+                   lambda: self.deliver(_HeartbeatTick()))
         if self.exact_acking:
             self.every(self.message_timeout / 2,
                        lambda: self.deliver(_RotateTick()))
         self._register_with_tmaster()
+        self._arm_register_retry()
         if statemgr is not None and tmaster_path is not None:
             self._arm_tmaster_watch()
 
@@ -217,6 +313,24 @@ class StreamManager(Actor):
         tmaster = self.resolve_tmaster()
         if tmaster is not None:
             self.send(tmaster, RegisterStmgr(self.container_id, self))
+
+    def _arm_register_retry(self) -> None:
+        """Schedule a registration re-check with capped exponential
+        backoff. Retries are unbounded while no plan has landed — a
+        relaunched SM may come up mid-partition and must keep trying
+        until the network heals."""
+        delay = self._register_policy.delay(self._register_attempts,
+                                            self.rng)
+        self.send(self, _RegisterRetry(), extra_delay=delay)
+
+    def _handle_register_retry(self) -> None:
+        if self.pplan is not None:
+            self._register_attempts = 0
+            return
+        self._register_attempts += 1
+        self.charge(self.costs.tmaster_per_event)
+        self._register_with_tmaster()
+        self._arm_register_retry()
 
     def _arm_tmaster_watch(self) -> None:
         """Re-register whenever the TM location (re)appears — the State
@@ -242,6 +356,18 @@ class StreamManager(Actor):
             self._handle_new_plan(message)
         elif isinstance(message, (PauseSpouts, ResumeSpouts)):
             self._handle_pause_resume(message)
+        elif isinstance(message, ReliableData):
+            self._handle_reliable_data(message)
+        elif isinstance(message, ReliableAck):
+            self._handle_reliable_ack(message)
+        elif isinstance(message, _RetransTick):
+            self._check_retransmits()
+        elif isinstance(message, _RegisterRetry):
+            self._handle_register_retry()
+        elif isinstance(message, _LeaseTick):
+            self._check_leases()
+        elif isinstance(message, _RenewTick):
+            self._renew_lease()
         elif isinstance(message, _RotateTick):
             self.tracker.rotate()
         elif isinstance(message, _HeartbeatTick):
@@ -273,6 +399,7 @@ class StreamManager(Actor):
         self.charge(self.costs.tmaster_per_event)
         self.pplan = message.pplan
         self.directory = dict(message.stmgr_directory)
+        self._sync_channels()
         self._install_routes()
         for key, instance in self.local_instances.items():
             self.send(instance,
@@ -420,12 +547,8 @@ class StreamManager(Actor):
             else:
                 self.dropped_batches += 1
         elif home is not None:
-            peer = self.directory.get(home)
-            if peer is not None and peer.alive:
-                self.send(peer, RemoteDelivery(self.container_id, [out],
-                                               epoch=self.epoch))
-            else:
-                self.dropped_batches += 1
+            self._send_remote(home, RemoteDelivery(self.container_id, [out],
+                                                   epoch=self.epoch))
         else:
             self.dropped_batches += 1
 
@@ -507,6 +630,158 @@ class StreamManager(Actor):
         if instance is not None and instance.alive:
             self.send(instance, ack)
 
+    # -- reliable inter-container channels (repro.chaos) -----------------------
+    def _send_remote(self, home: int, payload: Any) -> None:
+        """Ship one SM→SM payload, sequenced through the reliable channel
+        when enabled. Payloads bound for dead or unknown peers are
+        dropped and counted — recovering *that* data is the checkpoint
+        layer's job, not the link layer's."""
+        peer = self.directory.get(home)
+        if peer is None or not peer.alive:
+            self._count_lost(payload)
+            return
+        if not self.reliable:
+            self.send(peer, payload)
+            return
+        channel = self._out_channels.get(home)
+        if channel is None or channel.peer is not peer:
+            channel = self._reset_out_channel(home, peer)
+        seq = channel.next_seq
+        channel.next_seq = seq + 1
+        if not channel.unacked:
+            channel.oldest_sent_at = self.sim.now
+        channel.unacked[seq] = payload
+        self.send(peer, ReliableData(self.container_id, channel.link, seq,
+                                     payload))
+        self._arm_retransmit()
+
+    def _count_lost(self, payload: Any) -> None:
+        if isinstance(payload, RemoteDelivery):
+            self.dropped_batches += len(payload.batches)
+
+    def _reset_out_channel(self, home: int, peer: Actor) -> _OutChannel:
+        old = self._out_channels.get(home)
+        if old is not None:
+            for payload in old.unacked.values():
+                self._count_lost(payload)
+        self._link_resets += 1
+        channel = _OutChannel((self.link_id, self._link_resets), peer,
+                              self.rto_base, self.sim.now)
+        self._out_channels[home] = channel
+        return channel
+
+    def _sync_channels(self) -> None:
+        """A new plan landed: reset channels whose peer changed and drop
+        channels to containers that left the directory."""
+        for home in sorted(self._out_channels):
+            channel = self._out_channels[home]
+            peer = self.directory.get(home)
+            if peer is None:
+                for payload in channel.unacked.values():
+                    self._count_lost(payload)
+                del self._out_channels[home]
+            elif peer is not channel.peer:
+                self._reset_out_channel(home, peer)
+
+    def _arm_retransmit(self) -> None:
+        if self._retrans_armed:
+            return
+        self._retrans_armed = True
+        self.send(self, _RetransTick(), extra_delay=self.rto_base / 2)
+
+    def _check_retransmits(self) -> None:
+        self._retrans_armed = False
+        now = self.sim.now
+        pending = False
+        for home in sorted(self._out_channels):
+            channel = self._out_channels[home]
+            if not channel.unacked:
+                continue
+            pending = True
+            if now - channel.oldest_sent_at < channel.rto:
+                continue
+            peer = self.directory.get(home)
+            if peer is not None and peer.alive and peer is channel.peer:
+                # Go-back-N: resend every unacked payload, in seq order.
+                for seq, payload in channel.unacked.items():
+                    self.retransmits += 1
+                    self.charge(self.costs.sm_send_per_batch)
+                    self.send(peer, ReliableData(self.container_id,
+                                                 channel.link, seq, payload))
+            channel.oldest_sent_at = now
+            backoff = min(self.rto_cap, channel.rto * 2.0)
+            if self.rng is not None and self.rto_jitter > 0.0:
+                backoff = self.rng.jitter(backoff, self.rto_jitter)
+            channel.rto = backoff
+            if now - channel.last_progress > self.stale_peer_secs:
+                channel.last_progress = now  # rate-limit per channel
+                self._maybe_reregister_stale(now)
+        if pending:
+            self._arm_retransmit()
+
+    def _maybe_reregister_stale(self, now: float) -> None:
+        if now - self._last_reregister < 1.0:
+            return
+        self._last_reregister = now
+        self.stale_reregisters += 1
+        self.charge(self.costs.tmaster_per_event)
+        self._register_with_tmaster()
+
+    def _handle_reliable_data(self, message: ReliableData) -> None:
+        self.charge(self.costs.sm_batch_overhead)
+        channel = self._in_channels.get(message.from_container)
+        if channel is None or message.link > channel.link:
+            channel = _InChannel(message.link)
+            self._in_channels[message.from_container] = channel
+        elif message.link < channel.link:
+            return  # straggler from a dead sender incarnation
+        if message.seq < channel.expected:
+            self.reliable_dups += 1
+        elif message.seq == channel.expected:
+            channel.expected += 1
+            self._apply_reliable(message.payload)
+            while channel.expected in channel.buffer:
+                payload = channel.buffer.pop(channel.expected)
+                channel.expected += 1
+                self._apply_reliable(payload)
+        elif message.seq in channel.buffer:
+            self.reliable_dups += 1
+        else:
+            channel.buffer[message.seq] = message.payload
+        self._send_reliable_ack(message.from_container, channel)
+
+    def _apply_reliable(self, payload: Any) -> None:
+        if isinstance(payload, RemoteDelivery):
+            self._handle_remote(payload)
+        elif isinstance(payload, RemoteBarriers):
+            self._handle_remote_barriers(payload)
+        elif isinstance(payload, (PauseSpouts, ResumeSpouts)):
+            self._handle_pause_resume(payload)
+
+    def _send_reliable_ack(self, home: int, channel: _InChannel) -> None:
+        peer = self.directory.get(home)
+        if peer is None or not peer.alive:
+            return  # sender retransmits until a fresh plan connects us
+        self.send(peer, ReliableAck(self.container_id, channel.link,
+                                    channel.expected - 1))
+
+    def _handle_reliable_ack(self, message: ReliableAck) -> None:
+        channel = self._out_channels.get(message.from_container)
+        if channel is None or message.link != channel.link:
+            return
+        progressed = False
+        unacked = channel.unacked
+        while unacked:
+            head = next(iter(unacked))
+            if head > message.seq:
+                break
+            del unacked[head]
+            progressed = True
+        if progressed:
+            channel.rto = self.rto_base
+            channel.last_progress = self.sim.now
+            channel.oldest_sent_at = self.sim.now
+
     # -- drain --------------------------------------------------------------------
     def _drain(self) -> None:
         costs = self.costs
@@ -554,11 +829,7 @@ class StreamManager(Actor):
 
         self._drain_acks(remote)
         for home, delivery in remote.items():
-            peer = self.directory.get(home)
-            if peer is not None and peer.alive:
-                self.send(peer, delivery)
-            else:
-                self.dropped_batches += len(delivery.batches)
+            self._send_remote(home, delivery)
         self._check_backpressure()
 
     def _drain_acks(self, remote: Dict[int, RemoteDelivery]) -> None:
@@ -653,7 +924,7 @@ class StreamManager(Actor):
             if peer is not None and peer.alive:
                 self.charge(self.costs.checkpoint_marker_per_hop)
                 self.barriers_forwarded += 1
-                self.send(peer, RemoteBarriers(
+                self._send_remote(home, RemoteBarriers(
                     message.checkpoint_id, message.epoch, source, dests))
 
     def _handle_remote_barriers(self, message: RemoteBarriers) -> None:
@@ -718,22 +989,85 @@ class StreamManager(Actor):
             self.in_backpressure = True
             self.backpressure_starts += 1
             self._broadcast(PauseSpouts(self.container_id))
+            self._arm_lease_renewal()
         elif self.in_backpressure and depth < self.low_watermark:
             self.in_backpressure = False
             self._broadcast(ResumeSpouts(self.container_id))
 
     def _broadcast(self, message: Any) -> None:
         self._handle_pause_resume(message)
-        for cid, peer in self.directory.items():
-            if cid != self.container_id and peer.alive:
-                self.send(peer, message)
+        for cid in sorted(self.directory):
+            if cid != self.container_id:
+                self._send_remote(cid, message)
 
     def _handle_pause_resume(self, message: Any) -> None:
         pause = isinstance(message, PauseSpouts)
+        initiator = message.initiator_container
+        if initiator == 0:
+            # TM activation control (deactivate/activate): permanent,
+            # lease-less, and independent of peer backpressure.
+            self._tm_paused = pause
+            self._forward_spout_gate(pause)
+            return
+        if pause:
+            self._pause_leases[initiator] = \
+                self.sim.now + self.backpressure_lease
+            self._arm_lease_check()
+            if not self._peers_paused:
+                self._peers_paused = True
+                self._forward_spout_gate(True)
+        else:
+            self._pause_leases.pop(initiator, None)
+            if self._peers_paused and not self._pause_leases:
+                self._peers_paused = False
+                if not self._tm_paused:
+                    self._forward_spout_gate(False)
+
+    def _forward_spout_gate(self, pause: bool) -> None:
         for key, instance in self.local_instances.items():
             if instance.alive and instance.is_spout:
                 self.send(instance,
                           PauseSpouts(0) if pause else ResumeSpouts(0))
+
+    def _arm_lease_check(self) -> None:
+        if self._lease_armed:
+            return
+        self._lease_armed = True
+        self.send(self, _LeaseTick(),
+                  extra_delay=self.backpressure_lease / 2)
+
+    def _check_leases(self) -> None:
+        """Expire stale leases: if the initiator died (or its resume got
+        lost) its renewals stop, and spouts resume here instead of
+        wedging forever."""
+        self._lease_armed = False
+        if not self._pause_leases:
+            return
+        now = self.sim.now
+        for cid in [c for c, expiry in self._pause_leases.items()
+                    if expiry <= now]:
+            del self._pause_leases[cid]
+            self.lease_expiries += 1
+        if self._pause_leases:
+            self._arm_lease_check()
+        elif self._peers_paused:
+            self._peers_paused = False
+            if not self._tm_paused:
+                self._forward_spout_gate(False)
+
+    def _arm_lease_renewal(self) -> None:
+        if self._renew_armed:
+            return
+        self._renew_armed = True
+        self.send(self, _RenewTick(),
+                  extra_delay=self.backpressure_lease / 3)
+
+    def _renew_lease(self) -> None:
+        self._renew_armed = False
+        if not self.in_backpressure:
+            return
+        self._broadcast(PauseSpouts(self.container_id))
+        self._arm_lease_renewal()
 
     # -- runtime tuning (the paper's future-work hook) -------------------------------
     def set_drain_interval(self, interval: float) -> None:

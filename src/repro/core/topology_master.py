@@ -17,8 +17,12 @@ responsible for managing the topology throughout its existence"
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos.policy import BackoffPolicy
+from repro.common.config import Config
+from repro.common.errors import StateError
 from repro.core.messages import (ActivateTopology, DeactivateTopology,
                                  MetricsSummary, NewPhysicalPlan,
                                  PauseSpouts, RegisterStmgr, ResumeSpouts)
@@ -27,7 +31,12 @@ from repro.core.pplan import PhysicalPlan
 from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostModel
 from repro.simulation.events import Simulator
+from repro.simulation.rng import RngStream
 from repro.statemgr.base import StateManager, StateSession
+
+
+class _FailureCheck:
+    """Self-timer: scan SM heartbeats for miss-window violations."""
 
 
 class TopologyMaster(Actor):
@@ -36,7 +45,9 @@ class TopologyMaster(Actor):
     def __init__(self, sim: Simulator, *, location: Location, network,
                  ledger: Optional[CostLedger], costs: CostModel,
                  pplan: PhysicalPlan, statemgr: StateManager,
-                 tmaster_path: str) -> None:
+                 tmaster_path: str, config: Optional[Config] = None,
+                 request_relaunch: Optional[Callable[[int], None]] = None,
+                 rng: Optional[RngStream] = None) -> None:
         super().__init__(sim, f"tmaster-{pplan.topology.name}", location,
                          network=network, ledger=ledger,
                          group="topology-master")
@@ -51,6 +62,31 @@ class TopologyMaster(Actor):
         self.activated = True
         self.session: Optional[StateSession] = None
 
+        # --- failure detection (repro.chaos) -------------------------------
+        self.request_relaunch = request_relaunch
+        self.rng = rng
+        if config is not None:
+            self.heartbeat_interval = \
+                float(config.get(Keys.HEARTBEAT_INTERVAL_SECS))
+            self.detection_enabled = \
+                bool(config.get(Keys.FAILURE_DETECTION_ENABLED))
+            self.miss_threshold = int(config.get(Keys.FAILURE_MISS_THRESHOLD))
+            self.statemgr_attempts = \
+                int(config.get(Keys.STATEMGR_RETRY_ATTEMPTS))
+        else:
+            self.heartbeat_interval = 3.0
+            self.detection_enabled = False
+            self.miss_threshold = 3
+            self.statemgr_attempts = 5
+        self._stmgr_cids: Dict[str, int] = {}
+        self._backoff = BackoffPolicy(base=0.1, cap=2.0)
+        self.suspected_failures = 0
+        self.relaunches_requested = 0
+        self.statemgr_retries = 0
+        if self.detection_enabled and request_relaunch is not None:
+            self.every(self.heartbeat_interval,
+                       lambda: self.deliver(_FailureCheck()))
+
     def start(self) -> None:
         """Advertise our location via an ephemeral node (dies with us).
 
@@ -58,13 +94,28 @@ class TopologyMaster(Actor):
         so that watch callbacks triggered by the node creation resolve to
         this instance.
         """
+        self.session = self.statemgr.session()
+        self._advertise(0)
+
+    def _advertise(self, attempt: int) -> None:
+        """Create the ephemeral location node, retrying a bounded number
+        of times with backoff if the State Manager is flaking — a
+        transient statemgr outage must not kill the topology."""
+        if not self.alive or self.session is None:
+            return
         statemgr, tmaster_path = self.statemgr, self.tmaster_path
-        self.session = statemgr.session()
-        if statemgr.exists(tmaster_path):
-            # A previous TM's node lingering would be a split-brain bug.
-            statemgr.delete(tmaster_path)
-        self.session.create_ephemeral(tmaster_path,
-                                      self.name.encode("utf-8"))
+        try:
+            if statemgr.exists(tmaster_path):
+                # A previous TM's node lingering would be a split-brain bug.
+                statemgr.delete(tmaster_path)
+            self.session.create_ephemeral(tmaster_path,
+                                          self.name.encode("utf-8"))
+        except StateError:
+            if attempt >= self.statemgr_attempts:
+                raise
+            self.statemgr_retries += 1
+            delay = self._backoff.delay(attempt, self.rng)
+            self.sim.schedule(delay, self._advertise, attempt + 1)
 
     # -- message handling ----------------------------------------------------
     def on_message(self, message: Any) -> None:
@@ -79,10 +130,18 @@ class TopologyMaster(Actor):
         elif isinstance(message, (ActivateTopology, DeactivateTopology)):
             self._handle_activation(
                 isinstance(message, ActivateTopology))
+        elif isinstance(message, _FailureCheck):
+            self._check_failures()
 
     def _handle_register(self, message: RegisterStmgr) -> None:
         self.charge(self.costs.tmaster_per_event)
         self.registrations[message.container_id] = message.stmgr
+        name = getattr(message.stmgr, "name", None)
+        if name is not None:
+            self._stmgr_cids[name] = message.container_id
+            # Seed liveness at registration: an SM silenced by a
+            # partition before its first heartbeat is still detectable.
+            self.last_heartbeat.setdefault(name, self.sim.now)
         expected = set(self.pplan.container_ids)
         registered = {cid for cid, sm in self.registrations.items()
                       if sm.alive}
@@ -111,6 +170,35 @@ class TopologyMaster(Actor):
         cutoff = self.sim.now - max_age
         return sorted(name for name, seen in self.last_heartbeat.items()
                       if seen < cutoff)
+
+    def _check_failures(self) -> None:
+        """Active failure detection: an SM silent past the miss window is
+        declared dead — drop it from the directory, rebroadcast the plan
+        to survivors, and ask the scheduler to relaunch its container.
+
+        This catches *silent* failures (partitions, hung processes) that
+        never trip the cluster's hard-kill recovery path; an SM that is
+        merely slow re-registers after its relaunch and rejoins.
+        """
+        if not self.detection_enabled or self.request_relaunch is None:
+            return
+        window = self.miss_threshold * self.heartbeat_interval
+        cutoff = self.sim.now - window
+        for name in sorted(self.last_heartbeat):
+            if self.last_heartbeat[name] >= cutoff:
+                continue
+            cid = self._stmgr_cids.get(name)
+            stmgr = self.registrations.get(cid) if cid is not None else None
+            del self.last_heartbeat[name]
+            self._stmgr_cids.pop(name, None)
+            if cid is None or stmgr is None:
+                continue  # already replaced through another path
+            self.charge(self.costs.tmaster_per_event)
+            self.suspected_failures += 1
+            del self.registrations[cid]
+            self._broadcast_plan()
+            self.relaunches_requested += 1
+            self.request_relaunch(cid)
 
     # -- plan updates (topology scaling) ------------------------------------------
     def update_plan(self, pplan: PhysicalPlan) -> None:

@@ -1,0 +1,277 @@
+"""Chaos figures: reliability under message loss + partition recovery.
+
+Two beyond-paper figures for the ``repro.chaos`` subsystem (the paper's
+extensibility argument is exactly what lets a fault-injection layer slot
+in under the engine without touching the topology API):
+
+* **chaos_drops** — acked WordCount throughput and p99 latency as the
+  network drop rate grows. The reliable SM↔SM channels retransmit what
+  the network eats, so the acked stream keeps flowing at a modest
+  throughput cost; the retransmit counter shows the link layer earning
+  its keep. A companion series with reliability disabled shows the
+  tuples that silently vanish without it;
+* **chaos_partition** — a machine-silencing network partition mid-run.
+  Heartbeat-driven failure detection declares the silent SM dead,
+  relaunches its container, and (with checkpointing on) the rollback
+  restores effectively-once counts: final deviation 0 vs the clean run.
+  With checkpointing off the partitioned container's state is gone.
+
+Every sweep point builds its own cluster, so points run serially or in
+a pool (``REPRO_PARALLEL`` / ``--parallel``) with identical results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos import FaultPlan, LinkFaults, Partition
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.heron import HeronCluster
+from repro.experiments.harness import (DUAL_XEON_MACHINE, machines_for,
+                                       measure_sweep)
+from repro.experiments.series import Figure, ShapeCheck
+from repro.workloads.stateful_wordcount import stateful_wordcount_topology
+from repro.workloads.wordcount import wordcount_topology
+
+#: Per-message drop probabilities swept for the drops figure.
+FULL_DROP_RATES: List[float] = [0.0, 0.005, 0.01, 0.02, 0.05]
+FAST_DROP_RATES: List[float] = [0.0, 0.01, 0.05]
+
+#: Drop-sweep topology size (spouts = bolts = parallelism).
+FULL_PARALLELISM = 6
+FAST_PARALLELISM = 3
+
+#: One seed for every point: chaos runs replay exactly per seed.
+SEED = 11
+
+#: Partition-run stream: bounded so final counts compare exactly.
+PARTITION_TUPLES_PER_TASK = 3000
+PARTITION_RATE = 10_000.0
+PARTITION_PARALLELISM = 2
+PARTITION_AT = 0.3
+PARTITION_SECS = 1.0
+PARTITION_RUN_FOR = 5.0
+#: Tight failure detection so the miss window fits inside the run.
+PARTITION_HEARTBEAT = 0.1
+
+
+def _drops_config(reliable: bool) -> Config:
+    return (Config()
+            .set(Keys.ACKING_ENABLED, True)
+            .set(Keys.ACK_TRACKING, "counted")
+            .set(Keys.BATCH_SIZE, 1000)
+            .set(Keys.SAMPLE_CAP, 24)
+            .set(Keys.INSTANCES_PER_CONTAINER, 4)
+            .set(Keys.RELIABLE_DELIVERY, reliable)
+            .set(Keys.FAILURE_DETECTION_ENABLED, False))
+
+
+def _partition_config(checkpointing: bool) -> Config:
+    cfg = (Config()
+           .set(Keys.ACKING_ENABLED, False)
+           .set(Keys.BATCH_SIZE, 50)
+           .set(Keys.SAMPLE_CAP, 0)
+           .set(Keys.INSTANCES_PER_CONTAINER, 2)
+           .set(Keys.HEARTBEAT_INTERVAL_SECS, PARTITION_HEARTBEAT))
+    if checkpointing:
+        cfg.set(Keys.CHECKPOINT_ENABLED, True)
+        cfg.set(Keys.CHECKPOINT_INTERVAL_SECS, 0.1)
+    return cfg
+
+
+def measure_point(spec: Tuple) -> Dict:
+    """One sweep point (module-level: picklable for the process pool)."""
+    kind = spec[0]
+    if kind == "drops":
+        return _measure_drops(drop_rate=spec[1], reliable=spec[2],
+                              fast=spec[3])
+    return _measure_partition(mode=spec[1])
+
+
+def _measure_drops(drop_rate: float, reliable: bool, fast: bool) -> Dict:
+    parallelism = FAST_PARALLELISM if fast else FULL_PARALLELISM
+    plan = FaultPlan(link=LinkFaults(drop_rate=drop_rate))
+    cluster = HeronCluster.on_yarn(
+        machines=machines_for(parallelism, 4, DUAL_XEON_MACHINE),
+        machine_resource=DUAL_XEON_MACHINE, seed=SEED, fault_plan=plan)
+    topology = wordcount_topology(parallelism, corpus_size=45_000,
+                                  config=_drops_config(reliable))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    warmup, measure = (0.3, 0.5) if fast else (0.4, 0.8)
+    cluster.run_for(warmup)
+    start = handle.totals()["acked"]
+    start_time = cluster.now
+    cluster.run_for(measure)
+    window = cluster.now - start_time
+    throughput = (handle.totals()["acked"] - start) / window
+    sm_totals = handle.sm_totals()
+    result = {"throughput_tps": throughput,
+              "p99_ms": handle.latency_stats().percentile(0.99) * 1e3,
+              "retransmits": sm_totals["retransmits"],
+              "dropped_batches": sm_totals["dropped_batches"],
+              "network_drops": cluster.chaos_stats()["drops"]}
+    handle.kill()
+    return result
+
+
+def _measure_partition(mode: str) -> Dict:
+    """One partition run: ``clean`` (no fault), ``ckpt`` (partition,
+    checkpointing on) or ``nockpt`` (partition, checkpointing off)."""
+    checkpointing = mode != "nockpt"
+    plan = FaultPlan()  # partitions are installed once ids are known
+    # Small machines: one container per machine, so the partition can
+    # isolate exactly one SM and never the TM.
+    cluster = HeronCluster.on_yarn(
+        machines=6, machine_resource=Resource(cpu=4, ram=8 * GB,
+                                              disk=100 * GB),
+        seed=SEED, fault_plan=plan)
+    topology = stateful_wordcount_topology(
+        PARTITION_PARALLELISM, total_tuples=PARTITION_TUPLES_PER_TASK,
+        rate=PARTITION_RATE, config=_partition_config(checkpointing))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    fail_time = -1.0
+    if mode != "clean":
+        runtime = handle._runtime
+        tm_machine = runtime.tmaster.location.machine_id
+        victim = next(sm.location.machine_id
+                      for sm in runtime.sms.values()
+                      if sm.location.machine_id != tm_machine)
+        fail_time = cluster.now + PARTITION_AT
+        assert cluster.chaos is not None
+        cluster.chaos.add_partition(Partition(
+            start=fail_time, duration=PARTITION_SECS,
+            machines=frozenset({victim})))
+    cluster.run_for(PARTITION_RUN_FOR)
+    counts: Counter = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    stats = handle.checkpoint_stats()
+    failure_stats = handle.failure_stats()
+    recovery_secs = (stats["last_restore_at"] - fail_time
+                     if stats["last_restore_at"] >= 0 and fail_time >= 0
+                     else -1.0)
+    return {"counts": dict(counts), "recovery_secs": recovery_secs,
+            "suspected_failures": failure_stats["suspected_failures"],
+            "relaunches": failure_stats["relaunches_requested"],
+            "partition_seconds": cluster.chaos_stats()["partition_seconds"]}
+
+
+def _deviation(clean: Dict[str, float], other: Dict[str, float]) -> float:
+    """Total absolute per-word count difference between two runs."""
+    words = set(clean) | set(other)
+    return sum(abs(clean.get(w, 0) - other.get(w, 0)) for w in words)
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    drop_rates = FAST_DROP_RATES if fast else FULL_DROP_RATES
+    specs: List[Tuple] = [("drops", rate, True, fast)
+                          for rate in drop_rates]
+    specs += [("drops", drop_rates[-1], False, fast)]
+    specs += [("partition", mode) for mode in ("clean", "ckpt", "nockpt")]
+    results = measure_sweep(measure_point, specs, parallel=parallel)
+    reliable_results = results[:len(drop_rates)]
+    unreliable = results[len(drop_rates)]
+    clean, ckpt, nockpt = results[len(drop_rates) + 1:]
+
+    drops = Figure("chaos_drops",
+                   "Reliable delivery under network message loss",
+                   "drop rate (%)", "throughput (tuples/s)")
+    for rate, result in zip(drop_rates, reliable_results):
+        pct = 100.0 * rate
+        drops.add_point("acked throughput", pct, result["throughput_tps"])
+        drops.add_point("p99 latency (ms)", pct, result["p99_ms"])
+        drops.add_point("retransmits", pct, result["retransmits"])
+    drops.notes.append(
+        f"at {100.0 * drop_rates[-1]:g}% drop rate the network ate "
+        f"{reliable_results[-1]['network_drops']:,.0f} messages; "
+        f"{reliable_results[-1]['retransmits']:,.0f} retransmits "
+        f"repaired the stream")
+    drops.notes.append(
+        f"reliability disabled at {100.0 * drop_rates[-1]:g}%: "
+        f"{unreliable['throughput_tps']:,.0f} tuples/s acked vs "
+        f"{reliable_results[-1]['throughput_tps']:,.0f} with the "
+        f"reliable channels")
+
+    partition = Figure("chaos_partition",
+                       "Partition recovery via failure detection",
+                       "checkpointing (0 = off, 1 = on)",
+                       "final-count deviation (tuples)")
+    partition.add_point("count deviation vs clean run", 0.0,
+                        _deviation(clean["counts"], nockpt["counts"]))
+    partition.add_point("count deviation vs clean run", 1.0,
+                        _deviation(clean["counts"], ckpt["counts"]))
+    partition.add_point("recovery time (s)", 0.0,
+                        max(0.0, nockpt["recovery_secs"]))
+    partition.add_point("recovery time (s)", 1.0,
+                        max(0.0, ckpt["recovery_secs"]))
+    partition.add_point("suspected failures", 1.0,
+                        ckpt["suspected_failures"])
+    partition.notes.append(
+        f"partition window: {ckpt['partition_seconds']:g}s; TM suspected "
+        f"{ckpt['suspected_failures']:.0f} SM(s), requested "
+        f"{ckpt['relaunches']:.0f} relaunch(es)")
+
+    return {"chaos_drops": drops, "chaos_partition": partition}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the subsystem's qualitative claims on the figures."""
+    checks: List[ShapeCheck] = []
+    drops = figures["chaos_drops"]
+    throughput = sorted(drops.series["acked throughput"].points)
+    lossless, lossiest = throughput[0][1], throughput[-1][1]
+    checks.append(ShapeCheck(
+        "chaos_drops: the acked stream survives the lossiest link "
+        "(> 60% of lossless throughput)", lossiest > 0.6 * lossless,
+        f"{lossiest:,.0f} vs {lossless:,.0f} tuples/s"))
+    retransmits = sorted(drops.series["retransmits"].points)
+    checks.append(ShapeCheck(
+        "chaos_drops: no retransmits on a clean network",
+        retransmits[0][1] == 0.0, f"at 0%: {retransmits[0][1]:g}"))
+    checks.append(ShapeCheck(
+        "chaos_drops: drops trigger retransmits",
+        retransmits[-1][1] > 0.0, f"at max: {retransmits[-1][1]:g}"))
+
+    partition = figures["chaos_partition"]
+    deviation = partition.series["count deviation vs clean run"]
+    dev_on, dev_off = deviation.y_at(1.0), deviation.y_at(0.0)
+    checks.append(ShapeCheck(
+        "chaos_partition: checkpointing on ⇒ exactly the failure-free "
+        "counts despite the partition", dev_on == 0.0,
+        f"deviation: {dev_on:g}"))
+    checks.append(ShapeCheck(
+        "chaos_partition: checkpointing off ⇒ the partitioned "
+        "container's state is lost", dev_off > 0.0,
+        f"deviation: {dev_off:g}"))
+    checks.append(ShapeCheck(
+        "chaos_partition: heartbeat detection suspected the silent SM",
+        partition.series["suspected failures"].y_at(1.0) >= 1.0,
+        f"suspected: {partition.series['suspected failures'].y_at(1.0):g}"))
+    recovery = partition.series["recovery time (s)"]
+    checks.append(ShapeCheck(
+        "chaos_partition: rollback completes after the relaunch",
+        recovery.y_at(1.0) > 0.0, f"recovery: {recovery.y_at(1.0):.2f}s"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

@@ -153,8 +153,16 @@ class Actor:
 
         Inside a handler the send is buffered and released at service
         completion; outside (timers, external drivers) it goes immediately.
+
+        The network model may return ``None`` — the message is dropped
+        (fault injection; see :class:`repro.chaos.FaultyNetwork`).
+        Reliability is the sender's problem, exactly as on a real
+        network.
         """
-        delay = self.network.latency(self.location, dest.location) + extra_delay
+        delay = self.network.latency(self.location, dest.location)
+        if delay is None:
+            return
+        delay += extra_delay
         if self._in_handler:
             self._pending_out.append((dest, message, delay))
         else:
@@ -298,8 +306,10 @@ class Actor:
 class NetworkProtocol:
     """Structural protocol for what actors need from a network model."""
 
-    def latency(self, src: Location, dst: Location) -> float:  # pragma: no cover
-        """Delivery latency between two locations."""
+    def latency(self, src: Location,
+                dst: Location) -> Optional[float]:  # pragma: no cover
+        """Delivery latency between two locations, or ``None`` when the
+        network drops the message entirely."""
         raise NotImplementedError
 
 

@@ -8,8 +8,15 @@ storage where the root of the tree is supplied by the Heron
 administrator."
 
 Nodes map to files under the supplied root directory; each file holds a
-wire-encoded :class:`~repro.serialization.messages.StateEntry` so the
-on-disk format is the same protocol family the rest of the engine speaks.
+4-byte big-endian CRC32 followed by a wire-encoded
+:class:`~repro.serialization.messages.StateEntry`, so the on-disk format
+is the same protocol family the rest of the engine speaks — plus a
+checksum that catches truncated or bit-flipped files. A file that fails
+the checksum (or fails to decode) is *skipped* on load and recorded in
+:attr:`LocalFileSystemStateManager.corrupt_files` rather than taking the
+whole tree down: higher layers (e.g. checkpoint rollback) fall back to
+an older replica of the data.
+
 Ephemeral nodes are *not* persisted across restarts (matching ZooKeeper:
 an ephemeral cannot outlive its session, and a restart kills the session).
 """
@@ -17,14 +24,17 @@ an ephemeral cannot outlive its session, and a restart kills the session).
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
+from typing import List, Optional
 
-from repro.common.errors import StateError
+from repro.common.errors import ReproError
 from repro.serialization.messages import StateEntry, decode_message, \
     encode_message
 from repro.statemgr.base import StateManager, _Node, normalize_path
 
 _SUFFIX = ".node"
+_CRC_BYTES = 4
 
 
 class LocalFileSystemStateManager(StateManager):
@@ -34,6 +44,8 @@ class LocalFileSystemStateManager(StateManager):
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Files that failed checksum/decode on the last :meth:`_load`.
+        self.corrupt_files: List[Path] = []
         self._load()
 
     # -- path mapping ----------------------------------------------------
@@ -47,12 +59,36 @@ class LocalFileSystemStateManager(StateManager):
         return "/" + relative[:-len(_SUFFIX)]
 
     # -- startup recovery ---------------------------------------------------
+    def _read_entry(self, file: Path) -> Optional[StateEntry]:
+        """Decode one checked state file; None if truncated/corrupted."""
+        raw = file.read_bytes()
+        if len(raw) < _CRC_BYTES:
+            return None  # truncated before the checksum completed
+        expected = int.from_bytes(raw[:_CRC_BYTES], "big")
+        payload = raw[_CRC_BYTES:]
+        if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+            return None
+        try:
+            entry = decode_message(payload)
+        except (ReproError, ValueError):
+            return None
+        if not isinstance(entry, StateEntry):
+            return None
+        return entry
+
     def _load(self) -> None:
-        """Rebuild the in-memory tree from disk, dropping stale ephemerals."""
+        """Rebuild the in-memory tree from disk, dropping stale ephemerals.
+
+        Corrupt files are skipped (and listed in :attr:`corrupt_files`),
+        not fatal: one bad node must not make the whole tree — and every
+        checkpoint in it — unreachable.
+        """
+        self.corrupt_files = []
         for file in sorted(self.root.rglob("*" + _SUFFIX)):
-            entry = decode_message(file.read_bytes())
-            if not isinstance(entry, StateEntry):
-                raise StateError(f"corrupt state file: {file}")
+            entry = self._read_entry(file)
+            if entry is None:
+                self.corrupt_files.append(file)
+                continue
             if entry.ephemeral:
                 # The owning session died with the previous process.
                 file.unlink()
@@ -66,7 +102,9 @@ class LocalFileSystemStateManager(StateManager):
                            ephemeral=node.ephemeral)
         file = self._file_for(path)
         file.parent.mkdir(parents=True, exist_ok=True)
-        file.write_bytes(encode_message(entry))
+        payload = encode_message(entry)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        file.write_bytes(crc.to_bytes(_CRC_BYTES, "big") + payload)
 
     def _persist_create(self, path: str, node: _Node) -> None:
         self._write(path, node)

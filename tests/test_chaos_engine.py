@@ -1,0 +1,327 @@
+"""Unit tests for ``repro.chaos``: fault plans, the faulty network,
+backoff policy, the flaky State Manager, and the control-plane retry
+paths they exercise (TM advertise retry, backpressure leases,
+corrupt-snapshot fallback)."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos import (BackoffPolicy, FaultPlan, FaultyNetwork,
+                         FlakyStateManager, LinkFaults, Partition,
+                         Straggler)
+from repro.checkpoint import CheckpointStore, encode_state
+from repro.common.config import Config
+from repro.common.errors import ConfigError, StateError
+from repro.core.heron import HeronCluster
+from repro.core.topology_master import TopologyMaster
+from repro.simulation.actors import Location
+from repro.simulation.costs import DEFAULT_COST_MODEL
+from repro.simulation.events import Simulator
+from repro.simulation.network import Network
+from repro.simulation.rng import RngStream
+from repro.statemgr.localfs import LocalFileSystemStateManager
+from repro.statemgr.paths import TopologyPaths
+
+
+class TestFaultPlanValidation:
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            LinkFaults(drop_rate=1.0)
+        with pytest.raises(ConfigError):
+            LinkFaults(drop_rate=-0.1)
+
+    def test_partition_needs_machines(self):
+        with pytest.raises(ConfigError):
+            Partition(start=0.0, duration=1.0, machines=frozenset())
+
+    def test_straggler_slowdown_at_least_one(self):
+        with pytest.raises(ConfigError):
+            Straggler(start=0.0, duration=1.0, slowdown=0.5,
+                      containers=frozenset({1}))
+
+    def test_partition_window(self):
+        partition = Partition(start=1.0, duration=2.0,
+                              machines=frozenset({3}))
+        assert not partition.active(0.5)
+        assert partition.active(1.0)
+        assert partition.active(2.9)
+        assert not partition.active(3.0)
+        assert partition.separates(3, 4)
+        assert not partition.separates(4, 5)
+        assert not partition.separates(3, 3)
+
+
+def _locations():
+    return (Location.of(0, 1, 0), Location.of(1, 2, 0))
+
+
+def _faulty(plan, now=0.0, seed=7):
+    inner = Network(DEFAULT_COST_MODEL)
+    return FaultyNetwork(inner, plan=plan, now=lambda: now,
+                         rng=RngStream(seed, "chaos.network"))
+
+
+class TestFaultyNetwork:
+    def test_clean_plan_is_transparent(self):
+        src, dst = _locations()
+        inner = Network(DEFAULT_COST_MODEL)
+        net = FaultyNetwork(inner, plan=FaultPlan(), now=lambda: 0.0,
+                            rng=RngStream(7, "chaos.network"))
+        assert net.latency(src, dst) == inner.latency(src, dst)
+        assert net.stats()["drops"] == 0.0
+
+    def test_drop_rate_drops_messages(self):
+        src, dst = _locations()
+        net = _faulty(FaultPlan(link=LinkFaults(drop_rate=0.5)))
+        outcomes = [net.latency(src, dst) for _ in range(200)]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert 0 < dropped < 200
+        assert net.drops == dropped
+
+    def test_same_seed_same_fault_sequence(self):
+        src, dst = _locations()
+        plan = FaultPlan(link=LinkFaults(drop_rate=0.3, spike_rate=0.2,
+                                         spike_latency=0.01, jitter=0.1))
+        seq_a = [_faulty(plan, seed=5).latency(src, dst)
+                 for _ in range(1)]  # fresh nets: only first draw matters
+        net_a, net_b = _faulty(plan, seed=5), _faulty(plan, seed=5)
+        a = [net_a.latency(src, dst) for _ in range(300)]
+        b = [net_b.latency(src, dst) for _ in range(300)]
+        assert a == b
+        assert net_a.stats() == net_b.stats()
+        assert seq_a[0] == a[0]
+
+    def test_different_seeds_diverge(self):
+        src, dst = _locations()
+        plan = FaultPlan(link=LinkFaults(drop_rate=0.3, jitter=0.2))
+        a = [_faulty(plan, seed=1).latency(src, dst) for _ in range(1)]
+        net_a, net_b = _faulty(plan, seed=1), _faulty(plan, seed=2)
+        assert [net_a.latency(src, dst) for _ in range(100)] != \
+               [net_b.latency(src, dst) for _ in range(100)]
+        assert a  # seed-1 sequence is itself reproducible above
+
+    def test_partition_blocks_cross_machine_only(self):
+        src, dst = _locations()
+        plan = FaultPlan(partitions=(Partition(
+            start=0.0, duration=5.0, machines=frozenset({0})),))
+        net = _faulty(plan, now=1.0)
+        assert net.latency(src, dst) is None
+        assert net.partition_drops == 1
+        # Same machine, different containers: unaffected by the cut.
+        assert net.latency(Location.of(0, 1, 0),
+                           Location.of(0, 3, 0)) is not None
+
+    def test_partition_expires(self):
+        src, dst = _locations()
+        plan = FaultPlan(partitions=(Partition(
+            start=0.0, duration=5.0, machines=frozenset({0})),))
+        net = _faulty(plan, now=6.0)
+        assert net.latency(src, dst) is not None
+
+    def test_straggler_inflates_latency(self):
+        src, dst = _locations()
+        plan = FaultPlan(stragglers=(Straggler(
+            start=0.0, duration=5.0, slowdown=10.0,
+            containers=frozenset({1})),))
+        net = _faulty(plan, now=1.0)
+        base = Network(DEFAULT_COST_MODEL).latency(src, dst)
+        assert net.latency(src, dst) == pytest.approx(10.0 * base)
+        assert net.straggler_hits == 1
+
+    def test_intra_container_traffic_immune(self):
+        plan = FaultPlan(link=LinkFaults(drop_rate=0.99))
+        net = _faulty(plan)
+        same = Location.of(0, 1, 0), Location.of(0, 1, 1)
+        for _ in range(50):
+            assert net.latency(*same) is not None
+        assert net.drops == 0
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_to_cap(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(50) == pytest.approx(0.5)
+
+    def test_jitter_stays_bounded(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, jitter=0.25)
+        rng = RngStream(9, "backoff")
+        for attempt in range(8):
+            ideal = min(1.0, 0.1 * 2.0 ** attempt)
+            delay = policy.delay(attempt, rng)
+            assert 0.75 * ideal <= delay <= 1.25 * ideal
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(base=1.0, cap=0.5)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(jitter=1.0)
+
+
+class TestFlakyStateManager:
+    def test_outage_window_fails_then_recovers(self):
+        now = [0.0]
+        flaky = FlakyStateManager(rng=RngStream(3, "flaky"),
+                                  outages=((1.0, 2.0),),
+                                  now=lambda: now[0])
+        flaky.put("/a", b"x")  # before the outage: fine
+        now[0] = 1.5
+        with pytest.raises(StateError):
+            flaky.get_data("/a")
+        assert flaky.injected_failures == 1
+        now[0] = 2.5
+        assert flaky.get_data("/a") == b"x"
+
+    def test_fail_rate_is_seeded(self):
+        def failures(seed):
+            flaky = FlakyStateManager(rng=RngStream(seed, "flaky"),
+                                      fail_rate=0.5)
+            count = 0
+            for i in range(50):
+                try:
+                    flaky.put(f"/n{i}", b"x")
+                except StateError:
+                    count += 1
+            return count
+
+        assert failures(5) == failures(5)
+        assert 0 < failures(5) < 50
+
+    def test_tmaster_advertise_retries_through_outage(self):
+        cluster = HeronCluster.local()
+        from repro.workloads.wordcount import wordcount_topology
+        handle = cluster.submit_topology(
+            wordcount_topology(2, corpus_size=300))
+        handle.wait_until_running()
+        start = cluster.now
+        flaky = FlakyStateManager(rng=RngStream(3, "flaky"),
+                                  outages=((start, start + 0.4),),
+                                  now=lambda: cluster.sim.now)
+        tm = TopologyMaster(
+            cluster.sim, location=Location.of(0, 99, 0),
+            network=cluster.network, ledger=None, costs=cluster.costs,
+            pplan=handle._runtime.pplan, statemgr=flaky,
+            tmaster_path="/test/tmaster", rng=RngStream(4, "backoff"))
+        tm.start()  # first attempt lands inside the outage
+        cluster.run_for(2.0)
+        assert tm.statemgr_retries >= 1
+        assert flaky.injected_failures >= 1
+        assert flaky.get_data("/test/tmaster") == tm.name.encode("utf-8")
+
+    def test_tmaster_advertise_gives_up_eventually(self):
+        cluster = HeronCluster.local()
+        from repro.workloads.wordcount import wordcount_topology
+        handle = cluster.submit_topology(
+            wordcount_topology(2, corpus_size=300))
+        handle.wait_until_running()
+        flaky = FlakyStateManager(rng=RngStream(3, "flaky"),
+                                  outages=((0.0, 1e9),),
+                                  now=lambda: cluster.sim.now)
+        tm = TopologyMaster(
+            cluster.sim, location=Location.of(0, 99, 0),
+            network=cluster.network, ledger=None, costs=cluster.costs,
+            pplan=handle._runtime.pplan, statemgr=flaky,
+            tmaster_path="/test/tmaster", rng=RngStream(4, "backoff"))
+        tm.start()
+        with pytest.raises(StateError):
+            cluster.run_for(30.0)
+        assert tm.statemgr_retries == tm.statemgr_attempts
+
+
+class TestBackpressureLease:
+    def _skewed_cluster(self):
+        from repro.api.topology import TopologyBuilder
+        from repro.workloads.wordcount import CountBolt, WordSpout
+
+        builder = TopologyBuilder("skewed")
+        builder.set_spout("word", WordSpout(500), parallelism=6)
+        builder.set_bolt("count", CountBolt(), parallelism=1) \
+            .fields_grouping("word", fields=["word"])
+        builder.set_config(Keys.BATCH_SIZE, 50)
+        builder.set_config(Keys.INSTANCES_PER_CONTAINER, 2)
+        builder.set_config(Keys.FAILURE_DETECTION_ENABLED, False)
+        cluster = HeronCluster.on_yarn(machines=6)
+        handle = cluster.submit_topology(builder.build())
+        handle.wait_until_running()
+        return cluster, handle
+
+    def test_lease_expires_when_initiator_dies(self):
+        """Regression: an SM that dies mid-backpressure must not leave
+        every spout paused forever — the pause lease expires and the
+        survivors resume."""
+        cluster, handle = self._skewed_cluster()
+        deadline = cluster.now + 10.0
+        initiator = None
+        while cluster.now < deadline and initiator is None:
+            cluster.run_for(0.25)
+            for sm in handle._runtime.sms.values():
+                if sm.in_backpressure:
+                    initiator = sm
+                    break
+        assert initiator is not None, "backpressure never triggered"
+        initiator.kill()  # silent death: no Resume is ever broadcast
+        lease = float(Keys.BACKPRESSURE_LEASE_SECS.default)
+        cluster.run_for(2.0 * lease + 1.0)
+        stats = handle.failure_stats()
+        assert stats["lease_expiries"] >= 1
+        before = handle.totals()["emitted"]
+        cluster.run_for(1.0)
+        assert handle.totals()["emitted"] > before, \
+            "spouts still paused after the initiator died"
+
+
+class TestCorruptSnapshotFallback:
+    def _store_with_two_checkpoints(self, statemgr):
+        store = CheckpointStore(statemgr, "wc")
+        store.commit(1, {("count", 1): encode_state({"a": 1})}, time=0.1)
+        store.commit(2, {("count", 1): encode_state({"a": 2})}, time=0.2)
+        return store
+
+    def test_verify_detects_corruption(self, tmp_path):
+        statemgr = LocalFileSystemStateManager(tmp_path / "state")
+        store = self._store_with_two_checkpoints(statemgr)
+        assert store.verify(2)
+        path = TopologyPaths("wc").checkpoint_state(2, "count", 1)
+        statemgr.set(path, b"garbage")
+        assert not store.verify(2)
+        assert store.verify(1)
+
+    def test_rollback_falls_back_to_previous_checkpoint(self, tmp_path):
+        statemgr = LocalFileSystemStateManager(tmp_path / "state")
+        store = self._store_with_two_checkpoints(statemgr)
+        path = TopologyPaths("wc").checkpoint_state(2, "count", 1)
+        statemgr.set(path, b"garbage")
+        assert store.latest_valid_id() == 1
+        checkpoint_id, blobs = store.load_latest()
+        assert checkpoint_id == 1
+        assert blobs[("count", 1)] == encode_state({"a": 1})
+
+    def test_missing_blob_fails_verification(self, tmp_path):
+        statemgr = LocalFileSystemStateManager(tmp_path / "state")
+        store = self._store_with_two_checkpoints(statemgr)
+        statemgr.delete(TopologyPaths("wc").checkpoint_state(2, "count", 1))
+        assert store.latest_valid_id() == 1
+
+    def test_truncated_file_skipped_on_reload(self, tmp_path):
+        root = tmp_path / "state"
+        statemgr = LocalFileSystemStateManager(root)
+        store = self._store_with_two_checkpoints(statemgr)
+        assert store.latest_valid_id() == 2
+        # Truncate the newest blob on disk mid-write (power loss).
+        target = TopologyPaths("wc").checkpoint_state(2, "count", 1)
+        file = statemgr._file_for(target)
+        file.write_bytes(file.read_bytes()[:5])
+        reloaded = LocalFileSystemStateManager(root)
+        assert file in reloaded.corrupt_files
+        restore = CheckpointStore(reloaded, "wc")
+        assert restore.latest_valid_id() == 1
+        checkpoint_id, blobs = restore.load_latest()
+        assert checkpoint_id == 1
+        assert blobs[("count", 1)] == encode_state({"a": 1})

@@ -1,0 +1,136 @@
+"""End-to-end reliability under injected faults.
+
+The headline guarantees of the chaos PR, pinned as tests:
+
+* on a network dropping 1% of cross-container messages, an acked
+  WordCount finishes with *exactly* the lossless run's counts — the
+  reliable SM channels retransmit everything the network eats;
+* with reliable delivery disabled, the same network measurably loses
+  tuples (the counter-factual that proves the channels do something);
+* a silently-partitioned Stream Manager is declared dead by the TM's
+  heartbeat miss window and its container is relaunched, without the
+  cluster substrate ever reporting a failure.
+"""
+
+from collections import Counter
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos import FaultPlan, LinkFaults, Partition
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.heron import HeronCluster
+from repro.workloads.stateful_wordcount import stateful_wordcount_topology
+from repro.workloads.wordcount import wordcount_topology
+
+SEED = 13
+TUPLES_PER_TASK = 2000
+RATE = 10_000.0
+
+
+def _bounded_config() -> Config:
+    # Full fidelity: every tuple carries its values, so final per-word
+    # counts are exact and two runs can be compared word by word.
+    return (Config()
+            .set(Keys.ACKING_ENABLED, True)
+            .set(Keys.ACK_TRACKING, "counted")
+            .set(Keys.BATCH_SIZE, 50)
+            .set(Keys.SAMPLE_CAP, 0)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2))
+
+
+def _run_bounded(fault_plan=None, reliable=True):
+    cfg = _bounded_config().set(Keys.RELIABLE_DELIVERY, reliable)
+    cluster = HeronCluster.on_yarn(machines=4, seed=SEED,
+                                   fault_plan=fault_plan)
+    topology = stateful_wordcount_topology(
+        2, total_tuples=TUPLES_PER_TASK, rate=RATE, config=cfg)
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    cluster.run_for(3.0)  # emission takes 0.2s; leave retransmit slack
+    counts: Counter = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    return {"totals": handle.totals(), "counts": dict(counts),
+            "failure_stats": handle.failure_stats(),
+            "chaos_stats": cluster.chaos_stats()}
+
+
+class TestReliableDeliveryUnderLoss:
+    def test_one_percent_drop_loses_nothing(self):
+        lossless = _run_bounded()
+        lossy = _run_bounded(FaultPlan(link=LinkFaults(drop_rate=0.01)))
+        assert lossy["chaos_stats"]["drops"] > 0, \
+            "fault injection never fired"
+        assert lossy["failure_stats"]["retransmits"] > 0, \
+            "drops were never repaired"
+        assert lossy["counts"] == lossless["counts"]
+        assert lossy["totals"]["executed"] == \
+            lossless["totals"]["executed"]
+        assert lossy["totals"]["acked"] == lossless["totals"]["acked"]
+
+    def test_reliability_disabled_loses_tuples(self):
+        lossless = _run_bounded()
+        lossy = _run_bounded(FaultPlan(link=LinkFaults(drop_rate=0.02)),
+                             reliable=False)
+        assert lossy["chaos_stats"]["drops"] > 0
+        assert lossy["failure_stats"]["retransmits"] == 0
+        assert lossy["totals"]["executed"] < \
+            lossless["totals"]["executed"], \
+            "unreliable delivery should have lost tuples"
+
+    def test_lossless_run_never_retransmits(self):
+        lossless = _run_bounded()
+        assert lossless["failure_stats"]["retransmits"] == 0
+        assert lossless["totals"]["executed"] == \
+            2 * TUPLES_PER_TASK
+
+
+class TestPartitionDetection:
+    def test_partitioned_sm_is_relaunched(self):
+        """A partition silences one SM without killing anything: only the
+        TM's heartbeat miss window can notice. It must declare the SM
+        dead, relaunch the container, and traffic must resume after the
+        partition heals."""
+        cfg = (Config()
+               .set(Keys.BATCH_SIZE, 100)
+               .set(Keys.SAMPLE_CAP, 16)
+               .set(Keys.HEARTBEAT_INTERVAL_SECS, 0.2))
+        # Small machines: one container each, so the partition isolates
+        # exactly one SM and never the TM.
+        cluster = HeronCluster.on_yarn(
+            machines=6, machine_resource=Resource(cpu=6, ram=16 * GB,
+                                                  disk=100 * GB),
+            seed=SEED, fault_plan=FaultPlan())
+        handle = cluster.submit_topology(
+            wordcount_topology(3, corpus_size=500, config=cfg))
+        handle.wait_until_running()
+        cluster.run_for(0.5)
+
+        runtime = handle._runtime
+        tm_machine = runtime.tmaster.location.machine_id
+        victim_cid, victim = next(
+            (cid, sm) for cid, sm in sorted(runtime.sms.items())
+            if sm.location.machine_id != tm_machine)
+        assert cluster.chaos is not None
+        partition_start = cluster.now + 0.1
+        cluster.chaos.add_partition(Partition(
+            start=partition_start, duration=3.0,
+            machines=frozenset({victim.location.machine_id})))
+
+        # Detection window: 3 misses x 0.2s; well inside the partition.
+        cluster.run_for(2.0)
+        tmaster = runtime.tmaster
+        assert tmaster.suspected_failures >= 1
+        assert tmaster.relaunches_requested >= 1
+
+        # Heal, let the relaunched SM register, and verify traffic.
+        cluster.run_for(6.0)
+        replacement = runtime.sms[victim_cid]
+        assert replacement.alive
+        assert replacement is not victim
+        before = handle.totals()["executed"]
+        cluster.run_for(1.0)
+        assert handle.totals()["executed"] > before, \
+            "no traffic after partition recovery"

@@ -64,11 +64,15 @@ class TestCheckpointStore:
 
     def test_stateless_tasks_store_nothing(self, statemgr):
         store = CheckpointStore(statemgr, "wc")
-        store.commit(1, {("count", 1): encode_state({}),
+        blob = encode_state({})
+        store.commit(1, {("count", 1): blob,
                          ("metrics", 9): None}, time=0.1)
         assert set(store.load(1)) == {("count", 1)}
-        assert store.metadata(1) == {"id": 1, "time": 0.1,
-                                     "instances": 2, "stateful": 1}
+        metadata = store.metadata(1)
+        assert metadata == {"id": 1, "time": 0.1,
+                            "instances": 2, "stateful": 1,
+                            "crc": metadata["crc"]}
+        assert set(metadata["crc"]) == {"count/1"}
 
     def test_uncommitted_tree_is_invisible(self, statemgr):
         store = CheckpointStore(statemgr, "wc")

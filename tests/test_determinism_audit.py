@@ -44,6 +44,27 @@ def _run_stateful_wordcount(seed):
     return cluster.sim.sanitizer.trace, handle.totals()
 
 
+def _run_chaos_wordcount(seed):
+    from repro.api.config_keys import TopologyConfigKeys as Keys
+    from repro.chaos import FaultPlan, LinkFaults
+    from repro.common.config import Config
+    from repro.workloads.wordcount import wordcount_topology
+    plan = FaultPlan(link=LinkFaults(drop_rate=0.02, spike_rate=0.05,
+                                     spike_latency=0.005))
+    # Multiple machines => real SM↔SM traffic for the faults to chew on.
+    cluster = HeronCluster.on_yarn(machines=4, seed=seed, fault_plan=plan)
+    cluster.sim.sanitizer.enable_trace(TRACE_LIMIT)
+    cfg = (Config().set(Keys.BATCH_SIZE, 100)
+                   .set(Keys.INSTANCES_PER_CONTAINER, 2))
+    handle = cluster.submit_topology(
+        wordcount_topology(2, corpus_size=500, config=cfg))
+    handle.wait_until_running()
+    cluster.run_for(1.0)
+    return cluster.sim.sanitizer.trace, (handle.totals(),
+                                         cluster.chaos_stats(),
+                                         handle.failure_stats())
+
+
 def _run_kafka_redis(seed):
     from repro.workloads.kafka_redis import kafka_redis_topology
     topology, _broker, redis = kafka_redis_topology(
@@ -60,6 +81,7 @@ WORKLOADS = {
     "wordcount": _run_wordcount,
     "stateful_wordcount": _run_stateful_wordcount,
     "kafka_redis": _run_kafka_redis,
+    "chaos_wordcount": _run_chaos_wordcount,
 }
 
 
@@ -90,3 +112,14 @@ def test_different_seeds_diverge(monkeypatch):
 
     assert words(1) != words(2)
     assert outcome_a["emitted"] > 0 and outcome_b["emitted"] > 0
+
+
+def test_chaos_seeds_diverge(monkeypatch):
+    """Different seeds must draw different fault sequences (the chaos
+    RNG rides the same registry as everything else)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    _trace_a, outcome_a = _run_chaos_wordcount(seed=1)
+    _trace_b, outcome_b = _run_chaos_wordcount(seed=2)
+    chaos_a, chaos_b = outcome_a[1], outcome_b[1]
+    assert chaos_a["drops"] > 0 and chaos_b["drops"] > 0
+    assert chaos_a != chaos_b

@@ -6,8 +6,9 @@ from repro.core.heron import HeronCluster
 from repro.workloads.wordcount import wordcount_topology
 
 
-def launch(parallelism=3):
-    cfg = Config().set(Keys.BATCH_SIZE, 50)
+def launch(parallelism=3, detection=True):
+    cfg = Config().set(Keys.BATCH_SIZE, 50) \
+                  .set(Keys.FAILURE_DETECTION_ENABLED, detection)
     cluster = HeronCluster.local()
     handle = cluster.submit_topology(
         wordcount_topology(parallelism, corpus_size=300, config=cfg))
@@ -30,13 +31,31 @@ class TestHeartbeats:
         assert tmaster.stale_stmgrs(max_age=5.0) == []
 
     def test_dead_sm_goes_stale(self):
-        cluster, handle = launch()
+        # Detection off: the passive stale list keeps the entry around
+        # for external monitors instead of acting on it.
+        cluster, handle = launch(detection=False)
         cluster.run_for(4.0)
         victim = next(iter(handle._runtime.sms.values()))
         victim.kill()
         cluster.run_for(15.0)
         tmaster = handle._runtime.tmaster
         assert victim.name in tmaster.stale_stmgrs(max_age=10.0)
+
+    def test_detection_relaunches_dead_sm(self):
+        # Detection on (the default): the TM declares the silent SM dead
+        # after the miss window and asks the runtime for a relaunch.
+        cluster, handle = launch()
+        cluster.run_for(4.0)
+        runtime = handle._runtime
+        victim_cid, victim = next(iter(runtime.sms.items()))
+        victim.kill()
+        cluster.run_for(15.0)
+        tmaster = runtime.tmaster
+        assert tmaster.suspected_failures >= 1
+        assert tmaster.relaunches_requested >= 1
+        replacement = runtime.sms[victim_cid]
+        assert replacement is not victim and replacement.alive
+        assert victim.name not in tmaster.stale_stmgrs(max_age=10.0)
 
     def test_sequences_increase(self):
         cluster, handle = launch()
