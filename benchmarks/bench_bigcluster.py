@@ -1,0 +1,31 @@
+"""Big-cluster stress benchmark: heap vs calendar event kernel.
+
+Scales the Fig. 14 production topology to hundreds of machines and
+thousands of instances, then measures each kernel in its own
+subprocess (``REPRO_KERNEL`` env) so the per-process ``ru_maxrss``
+high-water marks are comparable. Asserts the scenario's shape checks:
+identical deterministic event counts across kernels (a scale-sized
+differential test), calendar beating heap on wall clock, and no memory
+blow-up from the calendar's bucket day-array.
+
+``REPRO_BENCH_FAST=1`` runs the reduced profile (CI smoke).
+"""
+
+from conftest import fast_mode
+
+from repro.experiments import bigcluster
+
+
+def test_bigcluster_stress(benchmark):
+    fast = fast_mode()
+    figures = benchmark.pedantic(lambda: bigcluster.run(fast=fast),
+                                 rounds=1, iterations=1)
+    print()
+    for figure in figures.values():
+        figure.print()
+    checks = bigcluster.check_shapes(figures)
+    for check in checks:
+        print(check)
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "shape checks failed: " + \
+        "; ".join(str(c) for c in failed)

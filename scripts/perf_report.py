@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -30,6 +31,32 @@ from repro.experiments.perf import (best_of, kernel_microbench,  # noqa: E402
                                     wordcount_wallclock)
 
 BENCH_PATH = ROOT / "BENCH_kernel.json"
+
+
+def current_commit() -> str:
+    """Short hash of HEAD; every recorded entry carries its commit."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure_bigcluster(fast: bool = False) -> dict:
+    """Heap-vs-calendar numbers from the big-cluster stress scenario.
+
+    Row schema (per kernel): events, events_per_sec, wall_s, cpu_s,
+    peak_rss_mb, machines, instances.
+    """
+    from repro.experiments.bigcluster import measure_kernels
+    rows = {}
+    for row in measure_kernels(fast=fast):
+        kernel = row.pop("kernel")
+        rows[kernel] = {
+            key: (round(value, 3) if isinstance(value, float) else value)
+            for key, value in row.items()}
+    return rows
 
 
 def load_bench() -> dict:
@@ -56,7 +83,8 @@ def smoke(data: dict) -> int:
     return 0
 
 
-def full(data: dict, trials: int, update_label: str | None) -> int:
+def full(data: dict, trials: int, update_label: str | None,
+         bigcluster: bool = False) -> int:
     base = baseline_entry(data)
     kernel = best_of(lambda: kernel_microbench(), trials=trials)
     wallclock = best_of(lambda: wordcount_wallclock(), trials=2)
@@ -70,9 +98,18 @@ def full(data: dict, trials: int, update_label: str | None) -> int:
           f"({wallclock['throughput_mtpm']:,.0f} Mtuples/min simulated)")
     print(f"  vs baseline     : {base['wordcount_p25_cpu_s']:.3f}s CPU "
           f"-> {wc_ratio:.2f}x")
+    big = None
+    if bigcluster:
+        big = measure_bigcluster()
+        for name, row in big.items():
+            print(f"bigcluster {name:<8}: "
+                  f"{row['events_per_sec']:,.0f} events/sec, "
+                  f"{row['wall_s']:.2f}s wall, "
+                  f"{row['peak_rss_mb']:.0f}MB peak RSS")
     if update_label:
         entry = {
             "label": update_label,
+            "commit": current_commit(),
             "kernel_events_per_sec": round(kernel["events_per_sec"], 1),
             "kernel_events": int(kernel["events"]),
             "kernel_cpu_s": round(kernel["cpu_s"], 3),
@@ -80,6 +117,8 @@ def full(data: dict, trials: int, update_label: str | None) -> int:
             "wordcount_p25_throughput_mtpm":
                 round(wallclock["throughput_mtpm"], 1),
         }
+        if big is not None:
+            entry["bigcluster"] = big
         entries = [e for e in data["entries"]
                    if e["label"] != update_label]
         entries.append(entry)
@@ -101,11 +140,14 @@ def main(argv=None) -> int:
                         help="record the measurement as entry LABEL")
     parser.add_argument("--trials", type=int, default=3,
                         help="kernel trials (best CPU time wins)")
+    parser.add_argument("--bigcluster", action="store_true",
+                        help="also run the big-cluster stress scenario "
+                             "(heap vs calendar; slow)")
     args = parser.parse_args(argv)
     data = load_bench()
     if args.smoke:
         return smoke(data)
-    return full(data, args.trials, args.update)
+    return full(data, args.trials, args.update, bigcluster=args.bigcluster)
 
 
 if __name__ == "__main__":

@@ -8,11 +8,18 @@ one ``is None`` check per event and nothing else.
 What it checks, while the simulation runs:
 
 * **kernel invariants** after every pop — the simulated clock never goes
-  backwards, the O(1) live-event counter stays within the physical heap
-  bounds, and (every ``scan_interval`` pops, plus after every heap
+  backwards, the O(1) live-event counter stays within the physical queue
+  bounds, and (every ``scan_interval`` pops, plus after every
   compaction) a full scan confirms the counter equals the number of
-  genuinely live heap entries and that compaction left no tombstone
-  behind;
+  genuinely live entries and that compaction left no tombstone behind.
+  The scan dispatches on the selected kernel: for the binary heap it
+  walks ``sim._heap``; for the calendar queue
+  (:mod:`repro.simulation.calqueue`) it additionally validates bucket
+  placement (every bucketed entry's timestamp falls inside its bucket's
+  window, nothing lingers at or before the open bucket), incursion
+  confinement (live incursion entries precede the open bucket's end),
+  and ladder spill accounting (live overflow entries lie at or past the
+  day's end, and the physical-size counter matches the structures);
 * **actor-model invariants** — no handler re-enters its own message
   loop and no service completion fires on an idle actor (see
   :mod:`repro.simulation.actors`);
@@ -164,36 +171,105 @@ class KernelSanitizer:
             self._tie_len = 1
             self._last_time = time
         live = sim._live
-        heap_len = len(sim._heap)
+        phys = sim.heap_size
         if live < 0:
             self.fail(f"live-event counter went negative: {live}")
-        if live > heap_len:
-            self.fail(f"live-event counter {live} exceeds physical heap "
-                      f"size {heap_len} (tombstone accounting broken)")
+        if live > phys:
+            self.fail(f"live-event counter {live} exceeds physical queue "
+                      f"size {phys} (tombstone accounting broken)")
         if self.pops % self.scan_interval == 0:
-            self.verify_heap(sim)
+            self.verify_queue(sim)
         if self._trace_limit and len(self.trace) < self._trace_limit:
             qualname = getattr(fn, "__qualname__", repr(fn))
             self.trace.append((time, abs(seq), qualname))
 
-    def verify_heap(self, sim: "Simulator") -> int:
-        """Full O(n) scan: counter == live entries; returns live count."""
-        self.full_scans += 1
+    def verify_queue(self, sim: "Simulator") -> int:
+        """Full O(n) scan of whichever kernel backs ``sim``."""
+        if sim.kernel == "calendar":
+            return self.verify_calendar(sim)
+        return self.verify_heap(sim)
+
+    def _scan_entries(self, sim: "Simulator", entries: Any,
+                      where: str) -> int:
+        """Count live entries in one store, checking handle consistency."""
         live = 0
-        for entry_time, entry_seq, handle in sim._heap:
+        for entry_time, entry_seq, handle in entries:
             if handle.in_heap and handle.seq == entry_seq:
                 live += 1
                 if handle.cancelled:
                     self.fail(f"cancelled handle still marked in_heap at "
-                              f"t={entry_time}")
+                              f"t={entry_time} ({where})")
+        return live
+
+    def verify_heap(self, sim: "Simulator") -> int:
+        """Full O(n) scan: counter == live entries; returns live count."""
+        self.full_scans += 1
+        live = self._scan_entries(sim, sim._heap, "heap")
         if live != sim._live:
             self.fail(f"live-event counter {sim._live} != {live} live "
                       f"heap entries (of {len(sim._heap)} physical)")
         return live
 
+    def verify_calendar(self, sim: Any) -> int:
+        """Full scan of the calendar queue's structures + its invariants:
+        bucket placement, incursion confinement, ladder spill accounting,
+        and the live/physical counters."""
+        self.full_scans += 1
+        day_start = sim._day_start
+        width = sim._width
+        open_idx = sim._open_idx
+        live = self._scan_entries(sim, sim._sorted[sim._cursor:],
+                                  "open bucket")
+        live += self._scan_entries(sim, sim._incursion, "incursion heap")
+        for entry_time, entry_seq, handle in sim._incursion:
+            if handle.in_heap and handle.seq == entry_seq \
+                    and entry_time >= sim._open_end:
+                self.fail(f"incursion entry at t={entry_time} is not "
+                          f"before the open bucket end {sim._open_end}")
+        for idx, bucket in enumerate(sim._buckets):
+            if not bucket:
+                continue
+            if idx <= open_idx:
+                self.fail(f"bucket {idx} at or before the open bucket "
+                          f"{open_idx} still holds {len(bucket)} entries")
+            live += self._scan_entries(sim, bucket, f"bucket {idx}")
+            low = day_start + idx * width
+            high = day_start + (idx + 1) * width
+            for entry_time, _entry_seq, _handle in bucket:
+                if not low <= entry_time < high:
+                    self.fail(
+                        f"bucket {idx} [{low}, {high}) holds an entry at "
+                        f"t={entry_time} (bucket placement broken)")
+        live += self._scan_entries(sim, sim._overflow, "overflow ladder")
+        day_end = sim._day_end
+        for entry_time, entry_seq, handle in sim._overflow:
+            if handle.in_heap and handle.seq == entry_seq \
+                    and entry_time < day_end:
+                self.fail(f"overflow ladder holds an entry at "
+                          f"t={entry_time} before day end {day_end} "
+                          f"(spill accounting broken)")
+        phys = (len(sim._sorted) - sim._cursor) + len(sim._incursion) \
+            + len(sim._overflow) + sum(len(b) for b in sim._buckets)
+        if phys != sim._size:
+            self.fail(f"physical-size counter {sim._size} != {phys} "
+                      f"entries across the calendar structures")
+        if live != sim._live:
+            self.fail(f"live-event counter {sim._live} != {live} live "
+                      f"calendar entries (of {phys} physical)")
+        return live
+
     def on_compact(self, sim: "Simulator") -> None:
-        """After compaction the heap must hold exactly the live events."""
-        live = self.verify_heap(sim)
+        """After compaction only live events (plus, for the calendar, the
+        open sorted run's lazily-skipped tombstones) may remain."""
+        live = self.verify_queue(sim)
+        if sim.kernel == "calendar":
+            # Everything outside the open sorted run was filtered.
+            allowed = len(sim._sorted) - sim._cursor
+            if sim._size - live > allowed:
+                self.fail(f"compaction left {sim._size - live} tombstones "
+                          f"(> {allowed} allowed in the open run) of "
+                          f"{sim._size} physical entries")
+            return
         if live != len(sim._heap):
             self.fail(f"compaction left {len(sim._heap) - live} tombstones "
                       f"in a heap of {len(sim._heap)}")

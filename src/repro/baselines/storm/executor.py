@@ -26,7 +26,7 @@ from repro.core.messages import (AckComplete, AckCounted, DataBatch,
 from repro.metrics.stats import WeightedStats
 from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostCategory, CostModel
-from repro.simulation.events import Simulator
+from repro.simulation.events import EventHandle, Simulator
 
 ACKER_COMPONENT = "__acker"
 
@@ -40,7 +40,11 @@ class _StallCheck:
 
 
 class _SendFlush:
-    """Self-timer: flush the executor's send buffer (disruptor batching)."""
+    """Self-timer: flush the executor's send buffer (disruptor batching).
+
+    Armed on demand as a one-shot when the first item is buffered, and
+    pre-empted entirely by a synchronous flush once a full batch is
+    buffered — an idle executor schedules no kernel events at all."""
 
 
 class StormExecutor(Actor):
@@ -99,10 +103,13 @@ class StormExecutor(Actor):
         self.latency = WeightedStats()
 
         # Send buffers: Storm's disruptor batches outgoing tuples per
-        # destination and flushes on a timer.
+        # destination, flushing synchronously once a full batch has
+        # accumulated and otherwise on a demand-armed one-shot timer.
         self._out_data: Dict[Tuple, DataBatch] = {}
         self._out_acks: Dict[InstanceKey, AckPacket] = {}
-        self.every(flush_interval, lambda: self.deliver(_SendFlush()))
+        self.flush_interval = flush_interval
+        self._buffered = 0
+        self._flush_timer: Optional[EventHandle] = None
 
         if self.is_spout and self.acking:
             self.every(self.message_timeout / 2,
@@ -153,6 +160,9 @@ class StormExecutor(Actor):
             self._wake_emit_loop()
 
     def on_killed(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
         if self.opened:
             self.user.close()
 
@@ -307,7 +317,12 @@ class StormExecutor(Actor):
 
     def _dispatch(self, dest: InstanceKey, payload: Any) -> None:
         """Queue a batch/packet for another executor via the send buffer
-        (intra-JVM and inter-worker alike: Storm batches both)."""
+        (intra-JVM and inter-worker alike: Storm batches both).
+
+        A full batch flushes synchronously — still inside the current
+        handler, so the Actor layer coalesces everything bound for one
+        destination into a single delivery event (no kernel event per
+        tuple hop). A partial batch arms the one-shot flush timer."""
         if isinstance(payload, DataBatch):
             key = (payload.dest, payload.source_component, payload.stream,
                    payload.origin)
@@ -320,6 +335,7 @@ class StormExecutor(Actor):
                 into.emit_time_sum += payload.emit_time_sum
                 into.tuple_ids.extend(payload.tuple_ids)
                 into.anchors.extend(payload.anchors)
+            self._buffered += payload.count
         else:
             into = self._out_acks.get(dest)
             if into is None:
@@ -328,10 +344,25 @@ class StormExecutor(Actor):
                 into.inits.extend(payload.inits)
                 into.xors.extend(payload.xors)
                 into.counted.extend(payload.counted)
+            self._buffered += (len(payload.inits) + len(payload.xors) +
+                               len(payload.counted))
+        if self._buffered >= self.batch_size:
+            self._flush_send_buffers()
+        elif self._flush_timer is None:
+            self._flush_timer = self.sim.schedule(
+                self.flush_interval, self._fire_flush)
+
+    def _fire_flush(self) -> None:
+        self._flush_timer = None
+        self.deliver(_SendFlush())
 
     def _flush_send_buffers(self) -> None:
         """Deliver buffered output: intra-JVM queues directly, remote
         payloads serialized (executor thread!) and handed to transfer."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        self._buffered = 0
         if not self._out_data and not self._out_acks:
             return
         costs = self.costs
@@ -483,7 +514,10 @@ class AckerExecutor(Actor):
         self._out: Dict[InstanceKey, List[float]] = {}   # acked count, ets
         self._fail_out: Dict[InstanceKey, List[float]] = {}
         self.acks_processed = 0
-        self.every(flush_interval, self._flush)
+        # Ack replies flush on a demand-armed one-shot (idle ackers
+        # schedule nothing); the timeout-wheel rotation stays periodic.
+        self.flush_interval = flush_interval
+        self._flush_timer: Optional[EventHandle] = None
         self.every(self.message_timeout / 2,
                    lambda: self.deliver(_Rotate()))
 
@@ -514,16 +548,34 @@ class AckerExecutor(Actor):
             slot = self._out.setdefault(ack.origin, [0.0, 0.0])
             slot[0] += ack.count
             slot[1] += ack.emit_time_sum
+            self._arm_flush()
 
     def _on_complete(self, entry: RootEntry) -> None:
         slot = self._out.setdefault(entry.spout, [0.0, 0.0])
         slot[0] += 1
         slot[1] += entry.emit_time
+        self._arm_flush()
 
     def _on_expire(self, entry: RootEntry) -> None:
         slot = self._fail_out.setdefault(entry.spout, [0.0, 0.0])
         slot[0] += 1
         slot[1] += entry.emit_time
+        self._arm_flush()
+
+    def _arm_flush(self) -> None:
+        if self._flush_timer is None:
+            self._flush_timer = self.sim.schedule(
+                self.flush_interval, self._fire_flush)
+
+    def _fire_flush(self) -> None:
+        self._flush_timer = None
+        if self.alive:
+            self._flush()
+
+    def on_killed(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
 
     def _flush(self) -> None:
         remote_items = []

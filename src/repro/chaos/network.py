@@ -56,7 +56,7 @@ class FaultyNetwork(NetworkProtocol):
             return self.inner.latency(src, dst)
         now = self._now()
         for partition in self._partitions:
-            if partition.active(now) and partition.separates(
+            if partition.active(now) and partition.drops(
                     src.machine_id, dst.machine_id):
                 self.partition_drops += 1
                 return None

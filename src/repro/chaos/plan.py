@@ -49,14 +49,26 @@ class LinkFaults:
 class Partition:
     """A network partition isolating a set of machines for a window.
 
-    While active, no message crosses between the named machines and the
-    rest of the cluster (both directions); traffic within each side is
-    untouched.
+    While active, traffic within each side is untouched and traffic
+    across the cut is lost according to ``direction``:
+
+    * ``"both"`` (default) — no message crosses in either direction,
+      the classic full partition;
+    * ``"inbound"`` — messages *into* the named machines are lost while
+      their own outbound traffic still flows;
+    * ``"outbound"`` — messages *from* the named machines are lost
+      while the rest of the cluster can still reach them.
+
+    The one-way modes model asymmetric failures (half-open links, a
+    firewall rule applied on one side, unidirectional NIC faults): A→B
+    can be dead while B→A stays alive, which is precisely the case that
+    breaks naive ack-based protocols.
     """
 
     start: float
     duration: float
     machines: FrozenSet[int]
+    direction: str = "both"
 
     def __post_init__(self) -> None:
         _require(self.start >= 0.0,
@@ -64,14 +76,30 @@ class Partition:
         _require(self.duration > 0.0,
                  f"partition duration must be > 0: {self.duration}")
         _require(bool(self.machines), "partition needs at least one machine")
+        _require(self.direction in ("both", "inbound", "outbound"),
+                 f"partition direction must be both|inbound|outbound: "
+                 f"{self.direction}")
 
     def active(self, now: float) -> bool:
         """Whether the partition window covers sim time ``now``."""
         return self.start <= now < self.start + self.duration
 
     def separates(self, machine_a: int, machine_b: int) -> bool:
-        """Whether the cut falls between these two machines."""
+        """Whether the cut falls between these two machines
+        (direction-agnostic: true for either crossing)."""
         return (machine_a in self.machines) != (machine_b in self.machines)
+
+    def drops(self, src_machine: int, dst_machine: int) -> bool:
+        """Whether a ``src → dst`` message is lost to this cut."""
+        src_in = src_machine in self.machines
+        dst_in = dst_machine in self.machines
+        if src_in == dst_in:
+            return False  # same side: untouched
+        if self.direction == "both":
+            return True
+        if self.direction == "inbound":
+            return dst_in
+        return src_in  # outbound
 
 
 @dataclass(frozen=True)

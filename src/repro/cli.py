@@ -45,6 +45,8 @@ FIGURES: Dict[str, tuple] = {
     "chaos": ("repro.experiments.chaos_faults",
               "repro.chaos: reliability under loss + partition "
               "recovery"),
+    "bigcluster": ("repro.experiments.bigcluster",
+                   "Big-cluster stress: heap vs calendar event kernel"),
 }
 
 #: Aliases: every paper figure number resolves to its runner.

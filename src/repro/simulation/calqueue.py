@@ -1,0 +1,498 @@
+"""The calendar-queue kernel: O(1) schedule/pop for clustered timestamps.
+
+A drop-in scheduler for :class:`repro.simulation.events.Simulator`
+(selected with ``REPRO_KERNEL=calendar`` or ``Simulator(kernel=
+"calendar")``; it is the default kernel). The binary heap pays
+O(log n) per schedule and per pop, and its cost is dominated by exactly
+the operations a streaming simulation hammers: short-delay message
+deliveries, timer re-arms, and far-future timeout guards that are
+cancelled almost immediately. The calendar queue makes all three O(1):
+
+* **day array** — ``NUM_BUCKETS`` buckets of ``width`` simulated
+  seconds each, covering ``[day_start, day_end)``. A near-future event
+  is appended (O(1), no comparisons) to the bucket its timestamp falls
+  in. Buckets are drained in order; a bucket is sorted once — in C, via
+  ``list.sort`` — when the clock reaches it. Bucket boundaries are
+  precomputed per day (``_bounds``) so push-side routing and drain-side
+  windows agree bit-exactly.
+* **incursion heap** — events scheduled *into the already-open bucket*
+  (zero/short delays landing before the bucket boundary) go to a small
+  binary heap that is merged with the sorted run at pop time. Bucket
+  widths adapt so typical delays span several buckets, keeping this
+  heap nearly empty.
+* **overflow ladder** — events past ``day_end`` (the ~30 s ack-timeout
+  guards) are appended to an unsorted ladder list and are not touched
+  again until the day wraps. Guards that were cancelled in the meantime
+  are dropped wholesale during the wrap — they are never sorted, sifted,
+  or compacted individually, which is where the heap burned its time.
+
+When the day is fully drained the queue **rebuilds**: live ladder events
+are redistributed into a fresh day anchored at the next event, and the
+bucket width adapts to the observed event density (see
+:meth:`CalendarSimulator._rebuild`) so occupancy stays near
+``TARGET_PER_BUCKET`` events per bucket across load swings.
+
+Tombstones clean themselves in two tiers. An entry's timestamp decides
+its structure — ``time >= day_end`` is the ladder, anything nearer lives
+in the day — so a cancellation knows which side it hit without a scan.
+Near-future tombstones are discarded when the clock reaches their bucket
+(bounded by one day span); ladder tombstones are counted and swept in
+O(ladder) when they outnumber its live half. A full sweep on the heap
+kernel's ``2x live`` hysteresis remains as the backstop, keeping
+``pending_events`` O(1) and memory amortized-bounded exactly as before.
+
+Pop order is exactly the heap kernel's ``(time, seq)`` order — ties
+break by scheduling sequence — so event traces are byte-identical
+across kernels (pinned by the differential tests and the determinism
+audit).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import (_COMPACT_MIN_SIZE, EventHandle,
+                                     Simulator)
+
+#: Buckets per day. Fixed: width (not bucket count) adapts to density.
+NUM_BUCKETS = 512
+
+#: Starting bucket width in simulated seconds. 0.25 ms spans a typical
+#: actor-to-actor delivery delay with a few buckets to spare.
+INITIAL_WIDTH = 0.25e-3
+
+#: Width adaptation aims for this many events per bucket.
+TARGET_PER_BUCKET = 8.0
+
+#: Width bounds (simulated seconds) and the maximum adaptation step per
+#: rebuild, keeping the day span stable under bursty load.
+WIDTH_MIN = 1e-7
+WIDTH_MAX = 0.25
+WIDTH_MAX_STEP = 4.0
+
+#: Sweep the overflow ladder once this many cancelled entries sit in it
+#: (and they are at least half of it) — O(ladder), no day-array touch.
+LADDER_SWEEP_MIN_DEAD = 64
+
+_Entry = Tuple[float, int, EventHandle]
+
+
+class CalendarSimulator(Simulator):
+    """:class:`Simulator` backed by a calendar (ladder) queue.
+
+    The queue state lives directly on the instance — the pop loop in
+    :meth:`run_until` is the hottest code in the repository and method
+    dispatch per event would dominate the win.
+    """
+
+    kernel = "calendar"
+
+    __slots__ = ("_buckets", "_incursion", "_overflow", "_ladder_dead",
+                 "_size", "_compact_floor", "_rebuilds", "_day_base",
+                 "_day_start", "_width", "_inv_width", "_bounds",
+                 "_day_end", "_open_idx", "_open_end", "_sorted",
+                 "_cursor")
+
+    def __init__(self, *, sanitize: Optional[bool] = None,
+                 tie_order: str = "fifo",
+                 kernel: Optional[str] = None) -> None:
+        super().__init__(sanitize=sanitize, tie_order=tie_order,
+                         kernel=kernel)
+        self._buckets: List[List[_Entry]] = [[] for _ in range(NUM_BUCKETS)]
+        #: Events landing at/before the open bucket's end while it
+        #: drains (zero/short delays) — merged with _sorted at pop time.
+        self._incursion: List[_Entry] = []
+        #: Far-future events (time >= day_end): the overflow ladder.
+        self._overflow: List[_Entry] = []
+        #: Cancelled entries known to sit in the ladder (cancellation
+        #: routes on handle.time, mirroring push-side routing).
+        self._ladder_dead: int = 0
+        #: Physical entries across all structures, tombstones included.
+        self._size: int = 0
+        #: Full-sweep hysteresis: next physical size worth an O(n) sweep.
+        self._compact_floor: int = _COMPACT_MIN_SIZE
+        self._rebuilds: int = 0
+        # Day-window state (_day_start, _width, _inv_width, _bounds,
+        # _day_end, _open_idx, _open_end, _sorted, _cursor):
+        self._set_day(0.0, INITIAL_WIDTH)
+
+    # -- scheduling --------------------------------------------------------
+    def _route(self, entry: _Entry, time: float) -> None:
+        """Place one armed entry in the structure its timestamp selects."""
+        if time < self._open_end:
+            heappush(self._incursion, entry)
+        elif time < self._day_end:
+            bounds = self._bounds
+            idx = int((time - self._day_start) * self._inv_width)
+            # The multiply is a hint; settle boundary rounding against
+            # the precomputed bounds routing and draining both use.
+            while idx < NUM_BUCKETS and time >= bounds[idx + 1]:
+                idx += 1
+            while idx > 0 and time < bounds[idx]:
+                idx -= 1
+            if idx <= self._open_idx:
+                heappush(self._incursion, entry)
+            else:
+                self._buckets[idx].append(entry)
+        else:
+            self._overflow.append(entry)
+        self._size += 1
+
+    def _push(self, handle: EventHandle, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        seq = (self._seq + 1) * self._seq_sign
+        self._seq += 1
+        handle.time = time = self.now + delay
+        handle.seq = seq
+        handle.in_heap = True
+        self._live += 1
+        self._route((time, seq, handle), time)
+
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        # Handle construction and _route are inlined: this is the
+        # hottest allocation site in the whole simulator (one handle +
+        # one bucket append per delivery), and skipping the __init__
+        # call frame is worth ~2% of total run time by itself.
+        handle: EventHandle = EventHandle.__new__(EventHandle)
+        handle.sim = self
+        handle.fn = fn
+        handle.args = args
+        handle.cancelled = False
+        seq = self._seq + 1
+        self._seq = seq
+        if self._seq_sign < 0:
+            seq = -seq
+        handle.time = time = self.now + delay
+        handle.seq = seq
+        handle.in_heap = True
+        self._live += 1
+        if time < self._open_end:
+            heappush(self._incursion, (time, seq, handle))
+        elif time < self._day_end:
+            bounds = self._bounds
+            idx = int((time - self._day_start) * self._inv_width)
+            while idx < NUM_BUCKETS and time >= bounds[idx + 1]:
+                idx += 1
+            while idx > 0 and time < bounds[idx]:
+                idx -= 1
+            if idx <= self._open_idx:
+                heappush(self._incursion, (time, seq, handle))
+            else:
+                self._buckets[idx].append((time, seq, handle))
+        else:
+            self._overflow.append((time, seq, handle))
+        self._size += 1
+        return handle
+
+    # -- day motion --------------------------------------------------------
+    def _set_day(self, start: float, width: float) -> None:
+        """Install a fresh day window: [start, start + NUM_BUCKETS*width).
+
+        ``bounds[i] == start + i*width`` for ``i`` in 0..NUM_BUCKETS is
+        precomputed here; routing, draining and the sanitizer all read
+        the same float values, so no boundary is ever recomputed with a
+        subtly different expression.
+        """
+        self._day_start: float = start
+        self._width: float = width
+        self._inv_width: float = 1.0 / width
+        bounds = [start + i * width for i in range(NUM_BUCKETS + 1)]
+        self._bounds: List[float] = bounds
+        self._day_end: float = bounds[NUM_BUCKETS]
+        #: Index of the bucket currently being drained; -1 before the
+        #: first advance of a day. _open_end == bounds[_open_idx + 1];
+        #: the push-side comparison against it is what keeps zero/short
+        #: delays out of already-sorted buckets.
+        self._open_idx: int = -1
+        self._open_end: float = start
+        #: The open bucket's entries, sorted; _cursor indexes the next.
+        self._sorted: List[_Entry] = []
+        self._cursor: int = 0
+        #: Fired events are counted per day as an _events_processed
+        #: delta — no per-pop counter store in the hot loop.
+        self._day_base: int = self._events_processed
+
+    def _advance(self, limit: float) -> bool:
+        """Open the next non-empty bucket whose window starts <= limit.
+
+        Returns False — leaving routing state consistent — once every
+        event still queued is known to lie after ``limit`` (or the queue
+        is empty). Only called with the open bucket and incursion heap
+        fully drained.
+        """
+        while True:
+            bounds = self._bounds
+            buckets = self._buckets
+            idx = self._open_idx
+            while True:
+                idx += 1
+                if idx >= NUM_BUCKETS:
+                    break
+                start = bounds[idx]
+                if start > limit:
+                    # Park just before this bucket; pushes into the
+                    # skipped empty region must still route ahead.
+                    self._open_idx = idx - 1
+                    self._open_end = start
+                    self._sorted = []
+                    self._cursor = 0
+                    return False
+                bucket = buckets[idx]
+                if bucket:
+                    bucket.sort()
+                    buckets[idx] = []
+                    self._sorted = bucket
+                    self._cursor = 0
+                    self._open_idx = idx
+                    self._open_end = bounds[idx + 1]
+                    return True
+            if not self._rebuild():
+                return False
+            if self._day_start > limit:
+                return False
+
+    def _rebuild(self) -> bool:
+        """Wrap the day: drop dead ladder entries, redistribute live
+        ones into a fresh day anchored at the next event, adapt width.
+
+        Returns False when nothing remains queued (the day is re-anchored
+        at the current clock so future pushes route normally).
+        """
+        overflow = self._overflow
+        live = [entry for entry in overflow
+                if entry[2].in_heap and entry[2].seq == entry[1]]
+        self._overflow = []
+        self._ladder_dead = 0
+        self._size -= len(overflow) - len(live)
+        self._rebuilds += 1
+
+        # Bucket-width adaptation: size buckets so the *drained* day's
+        # event rate lands TARGET_PER_BUCKET events in each, damped to
+        # one 4x step per rebuild and clamped to [WIDTH_MIN, WIDTH_MAX].
+        day_span = self._day_end - self._day_start
+        pops = self._events_processed - self._day_base
+        if pops > 0 and day_span > 0:
+            ideal = TARGET_PER_BUCKET * day_span / pops
+        else:
+            ideal = self._width * WIDTH_MAX_STEP  # idle day: widen
+        width = min(max(ideal, self._width / WIDTH_MAX_STEP),
+                    self._width * WIDTH_MAX_STEP)
+        width = min(max(width, WIDTH_MIN), WIDTH_MAX)
+
+        if not live:
+            self._set_day(self.now, width)
+            return False
+        # Anchor the new day at the earliest queued event so idle gaps
+        # (e.g. nothing but 30s-out guards) cost one rebuild, not many.
+        start = min(live, key=lambda entry: entry[0])[0]
+        self._set_day(start, width)
+        self._size -= len(live)  # _route re-counts them
+        for entry in live:
+            self._route(entry, entry[0])
+        return True
+
+    # -- compaction --------------------------------------------------------
+    def _on_cancel(self, handle: EventHandle) -> None:
+        """An armed handle was cancelled. Its timestamp decides which
+        structure holds the tombstone: ``time >= day_end`` is the ladder
+        (count it — those persist until swept); anything nearer lives in
+        the day and self-cleans when its bucket drains."""
+        if handle.time >= self._day_end:
+            self._ladder_dead += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Two-tier tombstone hygiene, amortized O(1) per cancellation.
+
+        Cancellations route on ``handle.time`` exactly like pushes: a
+        dead entry at/past ``day_end`` sits in the ladder, so the common
+        cancel-heavy pattern (timeout guards) is handled by an
+        O(ladder) sweep that never touches the day array. Anything
+        nearer self-cleans when its bucket drains, with the heap
+        kernel's full-sweep hysteresis kept as the backstop.
+        """
+        if self._ladder_dead >= LADDER_SWEEP_MIN_DEAD and \
+                2 * self._ladder_dead >= len(self._overflow):
+            self._sweep_ladder()
+        elif self._size >= self._compact_floor \
+                and self._size >= 2 * self._live:
+            self._compact()
+
+    def _sweep_ladder(self) -> None:
+        """Drop the overflow ladder's tombstones (in place)."""
+        overflow = self._overflow
+        before = len(overflow)
+        overflow[:] = [entry for entry in overflow
+                       if entry[2].in_heap and entry[2].seq == entry[1]]
+        self._size -= before - len(overflow)
+        self._ladder_dead = 0
+        self._compactions += 1
+        if self.sanitizer is not None:
+            self.sanitizer.verify_queue(self)
+
+    def _compact(self) -> None:
+        """Full sweep: drop every dead entry except the open sorted
+        run's (bounded by one bucket; skipped lazily at pop). All
+        filters are in place so aliases held by a running ``run_until``
+        stay valid."""
+        size = 0
+        for bucket in self._buckets:
+            if bucket:
+                bucket[:] = [entry for entry in bucket
+                             if entry[2].in_heap and entry[2].seq == entry[1]]
+                size += len(bucket)
+        overflow = self._overflow
+        if overflow:
+            overflow[:] = [entry for entry in overflow
+                           if entry[2].in_heap and entry[2].seq == entry[1]]
+            size += len(overflow)
+        self._ladder_dead = 0
+        incursion = self._incursion
+        if incursion:
+            incursion[:] = [entry for entry in incursion
+                            if entry[2].in_heap and entry[2].seq == entry[1]]
+            heapify(incursion)
+            size += len(incursion)
+        self._size = size + (len(self._sorted) - self._cursor)
+        self._compactions += 1
+        self._compact_floor = max(_COMPACT_MIN_SIZE, 2 * self._size)
+        if self.sanitizer is not None:
+            self.sanitizer.on_compact(self)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event; returns False if none remain."""
+        incursion = self._incursion
+        while True:
+            srun = self._sorted
+            cursor = self._cursor
+            if cursor < len(srun):
+                entry = srun[cursor]
+                if incursion and incursion[0] < entry:
+                    entry = heappop(incursion)
+                else:
+                    self._cursor = cursor + 1
+            elif incursion:
+                entry = heappop(incursion)
+            else:
+                if not self._advance(float("inf")):
+                    return False
+                continue
+            self._size -= 1
+            time, seq, handle = entry
+            if not handle.in_heap or handle.seq != seq:
+                continue  # tombstone: cancelled, or stale after a re-arm
+            if time < self.now - 1e-12:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self.now}")
+            handle.in_heap = False
+            self._live -= 1
+            self.now = time
+            fn, args = handle.fn, handle.args
+            handle.fn = None
+            handle.args = ()
+            if self.sanitizer is not None:
+                self.sanitizer.on_pop(self, time, seq, fn)
+            fn(*args)  # type: ignore[misc]
+            self._events_processed += 1
+            return True
+
+    def run_until(self, time: float) -> None:
+        """Advance the clock to ``time``, running every event before it."""
+        if time < self.now:
+            raise SimulationError(
+                f"run_until target {time} is before now {self.now}")
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            incursion = self._incursion
+            sani = self.sanitizer
+            while True:
+                srun = self._sorted
+                cursor = self._cursor
+                length = len(srun)
+                # Drain the open bucket, merging incursions. Callbacks
+                # may push into `incursion` (in place) but never into
+                # `srun`; compaction from a callback only touches the
+                # other structures, so `length` is loop-invariant.
+                while True:
+                    if cursor < length:
+                        entry = srun[cursor]
+                        if incursion and incursion[0] < entry:
+                            entry = incursion[0]
+                            from_run = False
+                        else:
+                            from_run = True
+                    elif incursion:
+                        entry = incursion[0]
+                        from_run = False
+                    else:
+                        break  # bucket drained: advance the day
+                    etime = entry[0]
+                    if etime > time:
+                        # Global minimum is past the target: done.
+                        self._cursor = cursor
+                        self.now = time
+                        return
+                    if from_run:
+                        cursor += 1
+                    else:
+                        heappop(incursion)
+                    self._size -= 1
+                    handle = entry[2]
+                    seq = entry[1]
+                    if not handle.in_heap or handle.seq != seq:
+                        continue  # tombstone / stale entry
+                    handle.in_heap = False
+                    self._live -= 1
+                    self.now = etime
+                    fn, args = handle.fn, handle.args
+                    handle.fn = None
+                    handle.args = ()
+                    self._cursor = cursor  # publish: fn may compact
+                    if sani is not None:
+                        sani.on_pop(self, etime, seq, fn)
+                    fn(*args)  # type: ignore[misc]
+                    self._events_processed += 1
+                self._cursor = cursor
+                if not self._advance(time):
+                    break
+        finally:
+            self._running = False
+        self.now = time
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def heap_size(self) -> int:
+        """Physical entries across all structures, tombstones included."""
+        return self._size
+
+    @property
+    def rebuilds(self) -> int:
+        """How many times the day has wrapped (ladder redistributions)."""
+        return self._rebuilds
+
+    def queue_layout(self) -> Dict[str, float]:
+        """Structure occupancy snapshot (sanitizer + tests + tuning)."""
+        return {
+            "width": self._width,
+            "day_start": self._day_start,
+            "day_end": self._day_end,
+            "open_idx": float(self._open_idx),
+            "open_end": self._open_end,
+            "sorted_pending": float(len(self._sorted) - self._cursor),
+            "incursion": float(len(self._incursion)),
+            "bucketed": float(sum(len(b) for b in self._buckets)),
+            "overflow": float(len(self._overflow)),
+            "ladder_dead": float(self._ladder_dead),
+            "size": float(self._size),
+            "rebuilds": float(self._rebuilds),
+        }

@@ -14,6 +14,14 @@ reproduction runs on — and is written for predictable performance:
   new handle each interval. Handles are sequence-versioned so a stale
   heap entry left behind by ``cancel``/``reschedule`` can never fire a
   re-armed handle.
+
+Two kernels implement this contract: the binary heap in this module and
+the calendar queue in :mod:`repro.simulation.calqueue` (O(1) schedule/
+pop for the simulator's heavily clustered timestamps). ``Simulator(...)``
+returns whichever the ``REPRO_KERNEL`` environment variable (or the
+``kernel=`` argument) selects — ``calendar`` is the default; ``heap``
+keeps the reference implementation. Both pop events in exactly the same
+``(time, seq)`` order, so traces are byte-identical across kernels.
 """
 
 from __future__ import annotations
@@ -30,6 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: Compaction policy: rebuild when the heap holds more tombstones than
 #: live events and is big enough for the rebuild to be worth its O(n).
 _COMPACT_MIN_SIZE = 64
+
+#: Kernel selected when neither ``kernel=`` nor ``REPRO_KERNEL`` says
+#: otherwise. The calendar queue is the default; ``heap`` remains the
+#: reference implementation the differential tests compare against.
+DEFAULT_KERNEL = "calendar"
+
+_KERNELS = ("heap", "calendar")
 
 
 class EventHandle:
@@ -64,7 +79,7 @@ class EventHandle:
             self.in_heap = False
             sim = self.sim
             sim._live -= 1
-            sim._maybe_compact()
+            sim._on_cancel(self)
 
 
 class RepeatingEvent:
@@ -143,10 +158,41 @@ class Simulator:
 
     Time only moves inside :meth:`run_for` / :meth:`run_until` /
     :meth:`step`; callbacks run with ``sim.now`` set to their scheduled time.
+
+    Constructing ``Simulator(...)`` dispatches on the selected kernel:
+    with ``kernel="calendar"`` (or ``REPRO_KERNEL=calendar``, the
+    default) the instance is a
+    :class:`repro.simulation.calqueue.CalendarSimulator`; ``heap`` gives
+    this class's binary-heap scheduler. Event order and every public
+    attribute are identical either way.
     """
 
+    #: Which scheduler backs this class; the sanitizer dispatches its
+    #: full-scan invariant checks on this.
+    kernel: str = "heap"
+
+    # Slotted: the event loop touches these attributes millions of
+    # times per simulated run; skipping the instance dict is measurable.
+    __slots__ = ("now", "_heap", "_seq", "_live", "_events_processed",
+                 "_compactions", "_running", "sanitizer", "_seq_sign")
+
+    def __new__(cls, **kwargs: Any) -> "Simulator":
+        if cls is Simulator:
+            kernel = kwargs.get("kernel") \
+                or os.environ.get("REPRO_KERNEL") or DEFAULT_KERNEL
+            if kernel not in _KERNELS:
+                raise SimulationError(
+                    f"unknown kernel {kernel!r} (REPRO_KERNEL must be one "
+                    f"of {'|'.join(_KERNELS)})")
+            if kernel == "calendar":
+                from repro.simulation.calqueue import CalendarSimulator
+                return super().__new__(CalendarSimulator)
+        return super().__new__(cls)
+
     def __init__(self, *, sanitize: Optional[bool] = None,
-                 tie_order: str = "fifo") -> None:
+                 tie_order: str = "fifo",
+                 kernel: Optional[str] = None) -> None:
+        del kernel  # consumed by __new__; accepted here for symmetry
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
@@ -216,6 +262,13 @@ class Simulator:
         return RepeatingEvent(self, interval, fn)
 
     # -- heap hygiene ------------------------------------------------------
+    def _on_cancel(self, handle: EventHandle) -> None:
+        """Kernel hook: ``handle`` was cancelled while armed. The heap
+        only re-checks its compaction trigger; the calendar kernel also
+        uses ``handle.time`` to attribute the tombstone to a structure."""
+        del handle
+        self._maybe_compact()
+
     def _maybe_compact(self) -> None:
         """Rebuild the heap when tombstones outnumber live events."""
         heap = self._heap

@@ -32,7 +32,10 @@ class TestOptIn:
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         assert Simulator(sanitize=False).sanitizer is None
 
-    def test_lifo_requires_sanitize_mode(self):
+    def test_lifo_requires_sanitize_mode(self, monkeypatch):
+        # Pin the premise: with REPRO_SANITIZE=1 in the environment the
+        # sanitizer would be on and lifo legitimately allowed.
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
         with pytest.raises(SimulationError):
             Simulator(tie_order="lifo")
 

@@ -39,14 +39,19 @@ def _bounded_config() -> Config:
             .set(Keys.INSTANCES_PER_CONTAINER, 2))
 
 
-def _run_bounded(fault_plan=None, reliable=True):
+def _run_bounded(fault_plan=None, reliable=True, post_start=None,
+                 machine_resource=None):
     cfg = _bounded_config().set(Keys.RELIABLE_DELIVERY, reliable)
+    kwargs = {} if machine_resource is None else \
+        {"machine_resource": machine_resource}
     cluster = HeronCluster.on_yarn(machines=4, seed=SEED,
-                                   fault_plan=fault_plan)
+                                   fault_plan=fault_plan, **kwargs)
     topology = stateful_wordcount_topology(
         2, total_tuples=TUPLES_PER_TASK, rate=RATE, config=cfg)
     handle = cluster.submit_topology(topology)
     handle.wait_until_running()
+    if post_start is not None:
+        post_start(cluster, handle)
     cluster.run_for(3.0)  # emission takes 0.2s; leave retransmit slack
     counts: Counter = Counter()
     for (component, _task), inst in handle._runtime.instances.items():
@@ -85,6 +90,58 @@ class TestReliableDeliveryUnderLoss:
         assert lossless["failure_stats"]["retransmits"] == 0
         assert lossless["totals"]["executed"] == \
             2 * TUPLES_PER_TASK
+
+
+class TestAsymmetricPartition:
+    """One-way cuts: A→B dead while B→A alive (half-open links)."""
+
+    def test_drops_is_directional(self):
+        cut = Partition(start=0.0, duration=1.0,
+                        machines=frozenset({1}), direction="inbound")
+        assert cut.drops(0, 1)          # into the set: dead
+        assert not cut.drops(1, 0)      # out of the set: alive
+        assert not cut.drops(0, 2)      # neither side named: untouched
+        out = Partition(start=0.0, duration=1.0,
+                        machines=frozenset({1}), direction="outbound")
+        assert out.drops(1, 0)
+        assert not out.drops(0, 1)
+        both = Partition(start=0.0, duration=1.0,
+                         machines=frozenset({1}))
+        assert both.drops(0, 1) and both.drops(1, 0)
+        assert not both.drops(1, 1)     # same side, even inside the set
+
+    def test_one_way_cut_still_converges(self):
+        """An inbound-only cut eats data batches while the victim's own
+        acks/heartbeats still flow — the case that fools ack-based
+        liveness. The reliable SM channels must retransmit everything
+        once the window closes, converging to the lossless counts."""
+        # Small machines: one container each, so SM↔SM traffic really
+        # crosses machine boundaries for the cut to intercept.
+        small = Resource(cpu=6, ram=16 * GB, disk=100 * GB)
+        lossless = _run_bounded(machine_resource=small)
+
+        def cut_one_way(cluster, handle):
+            # Victim: some SM's machine other than the TM's, so its
+            # inbound data dies while its heartbeats keep the TM happy.
+            runtime = handle._runtime
+            tm_machine = runtime.tmaster.location.machine_id
+            victim = next(sm for _cid, sm in sorted(runtime.sms.items())
+                          if sm.location.machine_id != tm_machine)
+            cluster.chaos.add_partition(Partition(
+                start=cluster.now + 0.01, duration=0.4,
+                machines=frozenset({victim.location.machine_id}),
+                direction="inbound"))
+
+        wounded = _run_bounded(FaultPlan(), post_start=cut_one_way,
+                               machine_resource=small)
+        assert wounded["chaos_stats"]["partition_drops"] > 0, \
+            "the one-way cut never intercepted a message"
+        assert wounded["failure_stats"]["retransmits"] > 0, \
+            "losses were never repaired"
+        assert wounded["counts"] == lossless["counts"]
+        assert wounded["totals"]["executed"] == \
+            lossless["totals"]["executed"]
+        assert wounded["totals"]["acked"] == lossless["totals"]["acked"]
 
 
 class TestPartitionDetection:
