@@ -31,6 +31,7 @@ from repro.experiments.perf import (best_of, kernel_microbench,  # noqa: E402
                                     wordcount_wallclock)
 
 BENCH_PATH = ROOT / "BENCH_kernel.json"
+PLACEMENT_BENCH_PATH = ROOT / "BENCH_placement.json"
 
 
 def current_commit() -> str:
@@ -57,6 +58,49 @@ def measure_bigcluster(fast: bool = False) -> dict:
             key: (round(value, 3) if isinstance(value, float) else value)
             for key, value in row.items()}
     return rows
+
+
+def placement_report(fast: bool, update_label: str | None) -> int:
+    """Per-policy placement rows (RR/FFD/R-Storm on the racked cluster).
+
+    Each recorded entry in ``BENCH_placement.json`` carries the commit
+    hash and one row per policy: throughput (tuples/sec), mean latency
+    (ms), cross-rack message share and throughput per provisioned core.
+    The exit code only reflects the experiment's own shape checks —
+    placement quality is a correctness property here, not a trend race.
+    """
+    from repro.experiments.placement import POLICIES, measure_policy
+    rows = {}
+    for policy in POLICIES:
+        point = measure_policy((policy, fast, 0))
+        rows[policy] = {
+            "throughput_tps": round(point["throughput_tps"], 1),
+            "latency_ms": round(point["latency_ms"], 3),
+            "cross_rack_share": round(point["cross_rack_share"], 4),
+            "tput_per_core": round(point["tput_per_core"], 1),
+            "cores": point["cores"],
+        }
+        print(f"{policy:<16}: {rows[policy]['throughput_tps']:>10,.0f} tps, "
+              f"{rows[policy]['latency_ms']:.2f}ms, "
+              f"cross-rack {rows[policy]['cross_rack_share']:.1%}, "
+              f"{rows[policy]['tput_per_core']:,.0f} tps/core")
+    if update_label:
+        data = (json.loads(PLACEMENT_BENCH_PATH.read_text())
+                if PLACEMENT_BENCH_PATH.exists() else {"entries": []})
+        entry = {"label": update_label, "commit": current_commit(),
+                 "fast": fast, "policies": rows}
+        data["entries"] = [e for e in data["entries"]
+                           if e["label"] != update_label] + [entry]
+        PLACEMENT_BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded entry {update_label!r} "
+              f"in {PLACEMENT_BENCH_PATH.name}")
+    rstorm = rows["R-Storm"]
+    worst_share = max(row["cross_rack_share"] for row in rows.values())
+    if rstorm["cross_rack_share"] >= worst_share and worst_share > 0:
+        print("FAIL: R-Storm no longer improves cross-rack share")
+        return 1
+    print("OK")
+    return 0
 
 
 def load_bench() -> dict:
@@ -143,7 +187,16 @@ def main(argv=None) -> int:
     parser.add_argument("--bigcluster", action="store_true",
                         help="also run the big-cluster stress scenario "
                              "(heap vs calendar; slow)")
+    parser.add_argument("--placement", action="store_true",
+                        help="per-policy placement rows (RR/FFD/R-Storm) "
+                             "into BENCH_placement.json")
+    parser.add_argument("--full", action="store_true",
+                        help="with --placement: full-size profile "
+                             "(default is the fast profile)")
     args = parser.parse_args(argv)
+    if args.placement:
+        return placement_report(fast=not args.full,
+                                update_label=args.update)
     data = load_bench()
     if args.smoke:
         return smoke(data)

@@ -21,6 +21,8 @@ from repro.baselines.storm.executor import (ACKER_COMPONENT, AckerExecutor,
 from repro.baselines.storm.messages import (AckPacket, RemoteBatch,
                                              TransferOut, WorkerDelivery,
                                              merge_batches)
+from repro.chaos.network import FaultyNetwork
+from repro.chaos.plan import FaultPlan
 from repro.common.config import Config
 from repro.common.errors import SchedulerError, TopologyError
 from repro.common.resources import Resource
@@ -28,11 +30,13 @@ from repro.common.units import GB
 from repro.core.messages import (InstanceKey, PauseSpouts,
                                  ResumeSpouts)
 from repro.metrics.stats import WeightedStats
-from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.actors import (Actor, CostLedger, Location,
+                                     NetworkProtocol)
 from repro.simulation.cluster import Cluster, Container
 from repro.simulation.costs import CostModel, DEFAULT_COST_MODEL
 from repro.simulation.events import Simulator
 from repro.simulation.network import Network
+from repro.simulation.rng import RngRegistry
 
 MILLIS = 1e-3
 
@@ -163,12 +167,26 @@ class StormCluster:
     def __init__(self, supervisors: int = 4,
                  supervisor_resource: Resource = DEFAULT_SUPERVISOR,
                  costs: Optional[CostModel] = None, *,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 seed: int = 0) -> None:
         self.sim = sim or Simulator()
         self.costs = costs or DEFAULT_COST_MODEL
-        self.network = Network(self.costs)
-        self.ledger = CostLedger()
+        base_network = Network(self.costs)
         self.cluster = Cluster.homogeneous(supervisors, supervisor_resource)
+        base_network.bind_cluster(self.cluster)
+        # Chaos applies to the baseline too: the same FaultPlan language
+        # perturbs Storm's inter-worker links, so engine comparisons can
+        # run under identical injected faults.
+        self.chaos: Optional[FaultyNetwork] = None
+        if fault_plan is not None:
+            self.chaos = FaultyNetwork(
+                base_network, plan=fault_plan,
+                now=lambda: self.sim.now,
+                rng=RngRegistry(seed).stream("chaos.network"))
+        self.network: NetworkProtocol = \
+            self.chaos if self.chaos is not None else base_network
+        self.ledger = CostLedger()
         # Pre-acquire every slot now — Storm's static resource model.
         self.free_slots: List[Container] = [
             self.cluster.allocate_container(supervisor_resource, tag="storm")
@@ -184,6 +202,13 @@ class StormCluster:
     def run_for(self, seconds: float) -> None:
         """Advance simulated time."""
         self.sim.run_for(seconds)
+
+    def chaos_stats(self) -> Dict[str, float]:
+        """Fault-injection counters (all zero without a FaultPlan)."""
+        if self.chaos is None:
+            return {"drops": 0.0, "partition_drops": 0.0, "spikes": 0.0,
+                    "straggler_hits": 0.0, "partition_seconds": 0.0}
+        return self.chaos.stats()
 
     # -- submission (scheduling + resource management, fused) ------------------
     def submit_topology(self, topology: Topology,

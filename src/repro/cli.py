@@ -47,6 +47,8 @@ FIGURES: Dict[str, tuple] = {
               "recovery"),
     "bigcluster": ("repro.experiments.bigcluster",
                    "Big-cluster stress: heap vs calendar event kernel"),
+    "placement": ("repro.experiments.placement",
+                  "R-Storm placement vs RR/FFD on a racked cluster"),
 }
 
 #: Aliases: every paper figure number resolves to its runner.
@@ -126,7 +128,8 @@ def _cmd_submit(args) -> int:
     from repro.api.config_keys import TopologyConfigKeys as Keys
     from repro.common.config import Config
     from repro.core import HeronCluster
-    from repro.packing import FirstFitDecreasingPacking, RoundRobinPacking
+    from repro.packing import (FirstFitDecreasingPacking, RoundRobinPacking,
+                               RStormPacking)
     from repro.workloads import wordcount_topology
 
     config = Config()
@@ -140,6 +143,7 @@ def _cmd_submit(args) -> int:
         HeronCluster.on_aurora(machines=max(4, args.parallelism)) \
         if args.framework == "aurora" else HeronCluster.local()
     packing = FirstFitDecreasingPacking() if args.packing == "ffd" \
+        else RStormPacking() if args.packing == "rstorm" \
         else RoundRobinPacking()
     topology = wordcount_topology(args.parallelism, config=config)
     handle = cluster.submit_topology(topology, resource_manager=packing)
@@ -214,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seconds", type=float, default=1.0)
     submit.add_argument("--framework", choices=["local", "yarn", "aurora"],
                         default="local")
-    submit.add_argument("--packing", choices=["rr", "ffd"], default="rr")
+    submit.add_argument("--packing", choices=["rr", "ffd", "rstorm"],
+                        default="rr")
     submit.set_defaults(func=_cmd_submit)
     return parser
 

@@ -74,6 +74,9 @@ class HeronCluster:
         self.costs = costs or DEFAULT_COST_MODEL
         self.rng = RngRegistry(seed)
         base_network = Network(self.costs)
+        # Rack-aware latency tiers + memo invalidation on rack moves.
+        base_network.bind_cluster(self.cluster)
+        self.base_network = base_network
         self.chaos: Optional[FaultyNetwork] = None
         if fault_plan is not None:
             self.chaos = FaultyNetwork(
@@ -101,9 +104,14 @@ class HeronCluster:
                       cpu=24, ram=72 * GB, disk=1000 * GB),
                   costs: Optional[CostModel] = None,
                   seed: int = 0,
-                  fault_plan: Optional[FaultPlan] = None) -> "HeronCluster":
+                  fault_plan: Optional[FaultPlan] = None,
+                  cluster: Optional[Cluster] = None) -> "HeronCluster":
+        """Aurora-style deployment; pass ``cluster`` (e.g.
+        :meth:`Cluster.racked`) to override the flat homogeneous default.
+        """
         sim = Simulator()
-        cluster = Cluster.homogeneous(machines, machine_resource)
+        if cluster is None:
+            cluster = Cluster.homogeneous(machines, machine_resource)
         return cls(framework=AuroraFramework(sim, cluster), costs=costs,
                    seed=seed, fault_plan=fault_plan)
 
@@ -113,9 +121,14 @@ class HeronCluster:
                     cpu=24, ram=72 * GB, disk=1000 * GB),
                 costs: Optional[CostModel] = None,
                 seed: int = 0,
-                fault_plan: Optional[FaultPlan] = None) -> "HeronCluster":
+                fault_plan: Optional[FaultPlan] = None,
+                cluster: Optional[Cluster] = None) -> "HeronCluster":
+        """YARN-style deployment; pass ``cluster`` (e.g.
+        :meth:`Cluster.racked`) to override the flat homogeneous default.
+        """
         sim = Simulator()
-        cluster = Cluster.homogeneous(machines, machine_resource)
+        if cluster is None:
+            cluster = Cluster.homogeneous(machines, machine_resource)
         return cls(framework=YarnFramework(sim, cluster), costs=costs,
                    seed=seed, fault_plan=fault_plan)
 
@@ -158,6 +171,8 @@ class HeronCluster:
 
         manager = resource_manager or RoundRobinPacking()
         manager.initialize(merged, topology)
+        # Placement-aware policies (R-Storm) need the machine/rack map.
+        manager.bind_cluster(self.cluster)
         plan = manager.pack()
 
         paths = TopologyPaths(topology.name)

@@ -6,9 +6,13 @@ a topology in a pay-as-you-go environment can choose a Bin Packing
 algorithm that produces a packing plan with the minimum number of
 containers."
 
-We pack a heterogeneous topology with both built-in policies and report
+We pack a heterogeneous topology with the built-in policies and report
 container count, total provisioned CPU (the pay-as-you-go cost proxy),
-and the load-balance spread (max/min container CPU utilization).
+and the load-balance spread (max/min container CPU utilization). The
+R-Storm resource-aware policy (see :mod:`repro.packing.rstorm`) packs as
+densely as bin packing while additionally co-locating communicating
+instances; here we check its cost-side behaviour only — the
+placement-quality experiment lives in :mod:`repro.experiments.placement`.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.common.units import GB
 from repro.experiments.series import Figure, ShapeCheck
 from repro.packing.ffd import FirstFitDecreasingPacking
 from repro.packing.round_robin import RoundRobinPacking
+from repro.packing.rstorm import RStormPacking
 
 
 class _Spout(Spout):
@@ -66,7 +71,8 @@ def run(fast: bool = False) -> Dict[str, Figure]:
         topology = heterogeneous_topology(scale)
         for policy_name, policy in (("Round Robin", RoundRobinPacking()),
                                     ("FFD Bin Packing",
-                                     FirstFitDecreasingPacking())):
+                                     FirstFitDecreasingPacking()),
+                                    ("R-Storm", RStormPacking())):
             policy.initialize(Config(), topology)
             plan = policy.pack()
             containers.add_point(policy_name, scale, plan.container_count)
@@ -93,6 +99,17 @@ def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
             f"scale {scale:g}: FFD provisions no more CPU than RR",
             ffd_cost <= rr_cost + 1e-9,
             f"FFD {ffd_cost:g} vs RR {rr_cost:g}"))
+        rr_count = figures["containers"].series["Round Robin"].y_at(scale)
+        rstorm_count = figures["containers"].series["R-Storm"].y_at(scale)
+        checks.append(ShapeCheck(
+            f"scale {scale:g}: R-Storm uses no more containers than RR",
+            rstorm_count <= rr_count,
+            f"R-Storm {rstorm_count:g} vs RR {rr_count:g}"))
+        rstorm_cost = figures["cost"].series["R-Storm"].y_at(scale)
+        checks.append(ShapeCheck(
+            f"scale {scale:g}: R-Storm provisions no more CPU than RR",
+            rstorm_cost <= rr_cost + 1e-9,
+            f"R-Storm {rstorm_cost:g} vs RR {rr_cost:g}"))
     rr_spread = figures["balance"].series["Round Robin"].ys
     ffd_spread = figures["balance"].series["FFD Bin Packing"].ys
     checks.append(ShapeCheck(

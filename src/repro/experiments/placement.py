@@ -1,0 +1,299 @@
+"""Placement-policy comparison on a racked cluster (R-Storm vs baselines).
+
+R-Storm (Peng et al., PAPERS.md) reports 30-47% throughput gains from
+placing communicating tasks close together. This experiment measures
+that effect end to end in the reproduction: a multi-stage topology of
+*disjoint sharded pipelines* (each shard is its own
+ingest → filter → aggregate → sink chain, in the spirit of the paper's
+Fig. 14 production topology and Karimov et al.'s multi-stage
+benchmarking methodology) runs on a racked cluster under three packing
+policies — Round Robin, FFD bin packing, and
+:class:`~repro.packing.rstorm.RStormPacking` — and we report
+
+* end-to-end throughput (acked tuples/sec) and its per-provisioned-core
+  ratio,
+* mean end-to-end (ack) latency, and
+* the cross-rack share of all delivered messages (from the network
+  model's per-tier counters).
+
+Why this topology discriminates: shards never talk to each other, so a
+placement-aware policy can put each shard's tasks in one container on
+one machine, while Round Robin interleaves shards across containers and
+FFD (sorting by decreasing RAM) groups containers *stage-pure*, forcing
+every pipeline edge across containers. The run is latency-bound by
+design — acking with a small ``MAX_SPOUT_PENDING`` window and the SM
+tuple cache disabled — so message RTT (and therefore placement) sets
+throughput, exactly the regime R-Storm targets.
+
+Everything is deterministic per seed: the same policy measured twice
+must produce byte-identical numbers, which the shape checks assert by
+replaying one point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.component import Bolt, Collector, Spout
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.api.topology import Topology, TopologyBuilder
+from repro.common.config import Config
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.core.heron import HeronCluster
+from repro.experiments.harness import _LatencyWindow, measure_sweep
+from repro.experiments.series import Figure, ShapeCheck
+from repro.packing.base import PackingConfigKeys
+from repro.packing.ffd import FirstFitDecreasingPacking
+from repro.packing.round_robin import RoundRobinPacking
+from repro.packing.rstorm import RStormPacking
+from repro.simulation.cluster import Cluster
+
+#: Policy labels in table order.
+ROUND_ROBIN = "Round Robin"
+FFD = "FFD Bin Packing"
+RSTORM = "R-Storm"
+POLICIES = (ROUND_ROBIN, FFD, RSTORM)
+
+#: Racked cluster shape: racks x machines-per-rack.
+RACKS = 3
+MACHINE = Resource(cpu=8, ram=32 * GB, disk=500 * GB)
+
+#: Per-shard stage parallelism and resources. Distinct RAM per stage
+#: makes FFD's decreasing sort stage-pure (the interesting adversary).
+STAGES = (
+    ("ingest", 2, Resource(cpu=1.0, ram=int(1.00 * GB))),
+    ("filter", 2, Resource(cpu=1.0, ram=int(0.75 * GB))),
+    ("agg", 1, Resource(cpu=1.0, ram=int(0.50 * GB))),
+    ("sink", 1, Resource(cpu=1.0, ram=int(0.25 * GB))),
+)
+
+
+class _ShardSpout(Spout):
+    """Emits sequentially-keyed tuples as fast as acking allows."""
+
+    outputs = {"default": ["key"]}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = 0
+
+    def next_batch(self, collector: Collector, max_tuples: int) -> int:
+        for _ in range(max_tuples):
+            collector.emit([self._counter & 63])
+            self._counter += 1
+        return max_tuples
+
+
+class _ForwardBolt(Bolt):
+    """Pass-through stage: re-emits every input (anchored by the engine)."""
+
+    outputs = {"default": ["key"]}
+
+    def execute(self, tup, collector: Collector) -> None:
+        collector.emit([tup[0]])
+
+    def execute_batch(self, batch, collector: Collector) -> None:
+        if batch.values:
+            collector.emit_batch(list(batch.values), count=batch.count)
+
+
+class _SinkBolt(Bolt):
+    """Terminal stage: consumes tuples (completing their ack trees)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.seen = 0
+
+    def execute(self, tup, collector: Collector) -> None:
+        self.seen += 1
+
+    def execute_batch(self, batch, collector: Collector) -> None:
+        self.seen += batch.count
+
+
+def sharded_pipeline_topology(shards: int,
+                              config: Optional[Config] = None) -> Topology:
+    """``shards`` disjoint ingest→filter→aggregate→sink pipelines."""
+    builder = TopologyBuilder("placement")
+    for shard in range(shards):
+        ingest, filt, agg, sink = (f"{stage}{shard}"
+                                   for stage, _p, _r in STAGES)
+        builder.set_spout(ingest, _ShardSpout(), parallelism=STAGES[0][1],
+                          resource=STAGES[0][2])
+        builder.set_bolt(filt, _ForwardBolt(), parallelism=STAGES[1][1],
+                         resource=STAGES[1][2]) \
+            .shuffle_grouping(ingest)
+        builder.set_bolt(agg, _ForwardBolt(), parallelism=STAGES[2][1],
+                         resource=STAGES[2][2]) \
+            .fields_grouping(filt, ["key"])
+        builder.set_bolt(sink, _SinkBolt(), parallelism=STAGES[3][1],
+                         resource=STAGES[3][2]) \
+            .shuffle_grouping(agg)
+    return builder.build(config)
+
+
+def placement_config() -> Config:
+    """The latency-bound measurement configuration (see module docs)."""
+    config = Config()
+    config.set(Keys.ACKING_ENABLED, True)
+    config.set(Keys.ACK_TRACKING, "counted")
+    config.set(Keys.MAX_SPOUT_PENDING, 50)
+    # No SM tuple cache: per-hop latency is the network tier, not the
+    # drain interval, so placement is what moves the numbers.
+    config.set(Keys.CACHE_ENABLED, False)
+    config.set(Keys.BATCH_SIZE, 100)
+    config.set(Keys.SAMPLE_CAP, 8)
+    config.set(Keys.INSTANCES_PER_CONTAINER, 4)
+    # One shard (6 cpu) per bin for the heterogeneous bin packers; with
+    # 1.0 cpu padding a container then exactly fits an 8-core machine.
+    config.set(PackingConfigKeys.FFD_MAX_CONTAINER_CPU, 6.0)
+    config.set(PackingConfigKeys.RSTORM_MAX_CONTAINER_CPU, 6.0)
+    return config
+
+
+def _policy(name: str):
+    """Fresh ResourceManager for a policy label."""
+    return {ROUND_ROBIN: RoundRobinPacking,
+            FFD: FirstFitDecreasingPacking,
+            RSTORM: RStormPacking}[name]()
+
+
+def measure_policy(spec: Tuple[str, bool, int]) -> Dict[str, float]:
+    """One (policy, profile, replica) measurement — picklable for the
+    process pool; the replica index only labels determinism replays."""
+    policy_name, fast, _replica = spec
+    shards = 3 if fast else 6
+    machines_per_rack = 2 if fast else 4
+    warmup, measure = (0.3, 0.5) if fast else (0.5, 1.0)
+
+    topology = sharded_pipeline_topology(shards, placement_config())
+    racked = Cluster.racked(RACKS, machines_per_rack, MACHINE)
+    cluster = HeronCluster.on_yarn(cluster=racked, seed=0)
+    handle = cluster.submit_topology(topology,
+                                     resource_manager=_policy(policy_name))
+    handle.wait_until_running()
+    cluster.run_for(warmup)
+
+    start_totals = handle.totals()
+    start_tiers = dict(cluster.base_network.tier_counts())
+    latency_window = _LatencyWindow(handle.latency_stats())
+    start_time = cluster.now
+    cluster.run_for(measure)
+
+    window = cluster.now - start_time
+    end_totals = handle.totals()
+    tiers = {tier: count - start_tiers[tier] for tier, count in
+             cluster.base_network.tier_counts().items()}
+    total_messages = sum(tiers.values())
+    throughput = (end_totals["acked"] - start_totals["acked"]) / window
+    latency = latency_window.mean_since(handle.latency_stats())
+    cores = handle.provisioned_cores()
+    handle.kill()
+    return {
+        "throughput_tps": throughput,
+        "latency_ms": latency * 1e3,
+        "cross_rack_share":
+            tiers["cross_rack"] / total_messages if total_messages else 0.0,
+        "cross_rack_messages": float(tiers["cross_rack"]),
+        "total_messages": float(total_messages),
+        "cores": cores,
+        "tput_per_core": throughput / cores if cores else 0.0,
+    }
+
+
+#: The replayed policy for the byte-identical determinism check.
+REPLAYED = RSTORM
+
+
+def run(fast: bool = False,
+        parallel: Optional[bool] = None) -> Dict[str, Figure]:
+    """Run the experiment; returns {figure_key: Figure}."""
+    specs = [(policy, fast, 0) for policy in POLICIES]
+    specs.append((REPLAYED, fast, 1))  # same seed: must replay identically
+    results = measure_sweep(measure_policy, specs, parallel=parallel)
+    by_policy = dict(zip(POLICIES, results[:len(POLICIES)]))
+    replay = results[-1]
+
+    shards = 3 if fast else 6
+    tput = Figure("placement (throughput)",
+                  "End-to-end throughput by placement policy",
+                  "pipeline shards", "acked tuples/sec")
+    latency = Figure("placement (latency)",
+                     "Mean end-to-end latency by placement policy",
+                     "pipeline shards", "latency (ms)")
+    crossrack = Figure("placement (cross-rack)",
+                       "Cross-rack share of delivered messages",
+                       "pipeline shards", "cross-rack message share")
+    per_core = Figure("placement (per-core)",
+                      "Throughput per provisioned core",
+                      "pipeline shards", "acked tuples/sec/core")
+    for policy in POLICIES:
+        row = by_policy[policy]
+        tput.add_point(policy, shards, row["throughput_tps"])
+        latency.add_point(policy, shards, row["latency_ms"])
+        crossrack.add_point(policy, shards, row["cross_rack_share"])
+        per_core.add_point(policy, shards, row["tput_per_core"])
+    for figure in (tput, latency, crossrack, per_core):
+        figure.notes.append(
+            f"{RACKS} racks x {(2 if fast else 4)} machines "
+            f"({MACHINE.cpu:g} cores each), {shards} disjoint pipelines, "
+            f"acking on, max-spout-pending 50, SM cache off")
+    replay_matches = replay == by_policy[REPLAYED]
+    crossrack.notes.append(
+        f"determinism replay ({REPLAYED}): "
+        f"{'byte-identical' if replay_matches else 'MISMATCH'}")
+    crossrack.notes.append(
+        "replay_match=1.0" if replay_matches else "replay_match=0.0")
+    return {"throughput": tput, "latency": latency,
+            "crossrack": crossrack, "per_core": per_core}
+
+
+def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
+    """Verify the R-Storm placement claims on the measured figures."""
+    checks: List[ShapeCheck] = []
+    shards = figures["crossrack"].series[RSTORM].xs[0]
+
+    def value(figure_key: str, policy: str) -> float:
+        return figures[figure_key].series[policy].y_at(shards)
+
+    for baseline in (ROUND_ROBIN, FFD):
+        rstorm_share = value("crossrack", RSTORM)
+        base_share = value("crossrack", baseline)
+        checks.append(ShapeCheck(
+            f"R-Storm cuts cross-rack message share vs {baseline}",
+            rstorm_share < base_share,
+            f"R-Storm {rstorm_share:.1%} vs {baseline} {base_share:.1%}"))
+        rstorm_pc = value("per_core", RSTORM)
+        base_pc = value("per_core", baseline)
+        checks.append(ShapeCheck(
+            f"R-Storm throughput/core no worse than {baseline}",
+            rstorm_pc >= base_pc * (1.0 - 1e-9),
+            f"R-Storm {rstorm_pc:,.0f} vs {baseline} {base_pc:,.0f} "
+            f"tuples/sec/core"))
+        rstorm_lat = value("latency", RSTORM)
+        base_lat = value("latency", baseline)
+        checks.append(ShapeCheck(
+            f"R-Storm end-to-end latency no worse than {baseline}",
+            rstorm_lat <= base_lat * (1.0 + 1e-9),
+            f"R-Storm {rstorm_lat:.2f}ms vs {baseline} {base_lat:.2f}ms"))
+    replay_ok = any("replay_match=1.0" in note
+                    for note in figures["crossrack"].notes)
+    checks.append(ShapeCheck(
+        "same-seed replay is byte-identical", replay_ok,
+        "replayed point equals original exactly"))
+    return checks
+
+
+def main(fast: bool = False) -> None:
+    """Run, print tables, and print shape-check results."""
+    figures = run(fast=fast)
+    for figure in figures.values():
+        figure.print()
+    for check in check_shapes(figures):
+        print(check)
+
+
+if __name__ == "__main__":
+    import sys
+    main(fast="--fast" in sys.argv)

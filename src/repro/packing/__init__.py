@@ -15,7 +15,11 @@ Provided policies:
   total cost of running a topology in a pay-as-you-go environment can
   choose a Bin Packing algorithm that produces a packing plan with the
   minimum number of containers" — heterogeneous containers, FFD bin
-  packing.
+  packing;
+* :class:`RStormPacking` — R-Storm-style (Peng et al.) resource-aware
+  placement: co-locates heavy-traffic task pairs same-container >
+  same-machine > same-rack and emits machine/rack preferences the
+  scheduler forwards to the cluster.
 
 Any object implementing :class:`ResourceManager` plugs in; the
 ``repack`` implementations follow the paper's stated goals: "minimize
@@ -29,6 +33,8 @@ from repro.packing.ffd import FirstFitDecreasingPacking
 from repro.packing.plan import (ContainerPlan, InstancePlan, PackingPlan,
                                 PlanDelta)
 from repro.packing.round_robin import RoundRobinPacking
+from repro.packing.rstorm import RStormPacking
+from repro.packing.traffic import TrafficGraph
 
 __all__ = [
     "ContainerPlan",
@@ -39,4 +45,6 @@ __all__ = [
     "PlanDelta",
     "ResourceManager",
     "RoundRobinPacking",
+    "RStormPacking",
+    "TrafficGraph",
 ]

@@ -12,7 +12,7 @@ The API mirrors the paper's Section IV-A listing::
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 from repro.api.config_keys import TopologyConfigKeys as TopoKeys
 from repro.api.topology import Topology
@@ -22,10 +22,13 @@ from repro.common.resources import Resource
 from repro.common.units import GB
 from repro.packing.plan import InstancePlan, PackingPlan
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.simulation.cluster import Cluster
+
 SCHEMA = ConfigSchema("packing")
 
 
-def _declare(*args, **kwargs) -> ConfigKey:
+def _declare(*args: Any, **kwargs: Any) -> ConfigKey:
     return SCHEMA.declare(ConfigKey(*args, **kwargs))
 
 
@@ -48,6 +51,22 @@ class PackingConfigKeys:
         validator=lambda v: v > 0,
         description="Bin capacity (disk bytes) for FFD bin packing.")
 
+    RSTORM_MAX_CONTAINER_CPU = _declare(
+        "packing.rstorm.max.container.cpu", default=8.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Bin capacity (cores) for R-Storm placement-aware "
+                    "packing, before SM/MM padding.")
+
+    RSTORM_MAX_CONTAINER_RAM = _declare(
+        "packing.rstorm.max.container.ram", default=8 * GB, value_type=int,
+        validator=lambda v: v > 0,
+        description="Bin capacity (RAM bytes) for R-Storm packing.")
+
+    RSTORM_MAX_CONTAINER_DISK = _declare(
+        "packing.rstorm.max.container.disk", default=32 * GB, value_type=int,
+        validator=lambda v: v > 0,
+        description="Bin capacity (disk bytes) for R-Storm packing.")
+
 
 class ResourceManager:
     """Base class for packing policies (the module's plug-in point)."""
@@ -55,12 +74,19 @@ class ResourceManager:
     def __init__(self) -> None:
         self.config: Optional[Config] = None
         self.topology: Optional[Topology] = None
+        self.cluster: Optional["Cluster"] = None
 
     # -- the paper's four methods -------------------------------------------
     def initialize(self, config: Config, topology: Topology) -> None:
         """Bind this (on-demand, short-lived) manager to one topology."""
         self.config = topology.config.with_overrides(config)
         self.topology = topology
+
+    def bind_cluster(self, cluster: "Cluster") -> None:
+        """Offer the target cluster's topology (machines, racks) to the
+        policy. Placement-oblivious policies ignore it; placement-aware
+        ones (R-Storm) use it to emit machine/rack preferences."""
+        self.cluster = cluster
 
     def pack(self) -> PackingPlan:
         """Produce the initial packing plan."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.errors import PackingError
 from repro.common.ids import instance_id
@@ -34,11 +34,22 @@ class InstancePlan:
 
 @dataclass(frozen=True)
 class ContainerPlan:
-    """One container: its id, instances, and required capacity."""
+    """One container: its id, instances, required capacity, and optional
+    placement preferences.
+
+    ``preferred_machine``/``preferred_rack`` are *hints* produced by
+    placement-aware packing policies (``repro.packing.rstorm``); the
+    scheduler forwards them to the cluster, which falls back to first-fit
+    when the preferred spot is full. Placement-only differences do not
+    count as plan changes (:meth:`PackingPlan.diff`) — a moved hint must
+    never bounce a running container.
+    """
 
     id: int
     instances: Tuple[InstancePlan, ...]
     required: Resource
+    preferred_machine: Optional[int] = None
+    preferred_rack: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.id < 1:
@@ -166,7 +177,12 @@ class PackingPlan:
 
     # -- diffing -----------------------------------------------------------
     def diff(self, newer: "PackingPlan") -> PlanDelta:
-        """What the Scheduler must do to move from ``self`` to ``newer``."""
+        """What the Scheduler must do to move from ``self`` to ``newer``.
+
+        Only membership and sizing count as changes; placement-preference
+        differences are ignored so re-derived hints never restart a
+        container that kept its instances.
+        """
         old = {c.id: c for c in self.containers}
         new = {c.id: c for c in newer.containers}
         added = tuple(new[i] for i in sorted(new.keys() - old.keys()))
@@ -180,23 +196,25 @@ class PackingPlan:
     # -- serialization (for the State Manager) ---------------------------------
     def to_json(self) -> bytes:
         """Serialize for State Manager storage."""
-        doc = {
-            "topology": self.topology_name,
-            "containers": [
-                {
-                    "id": c.id,
-                    "required": [c.required.cpu, c.required.ram,
-                                 c.required.disk],
-                    "instances": [
-                        {"component": i.component, "task": i.task_id,
-                         "resource": [i.resource.cpu, i.resource.ram,
-                                      i.resource.disk]}
-                        for i in c.instances
-                    ],
-                }
-                for c in self.containers
-            ],
-        }
+        containers = []
+        for c in self.containers:
+            cdoc: Dict[str, object] = {
+                "id": c.id,
+                "required": [c.required.cpu, c.required.ram,
+                             c.required.disk],
+                "instances": [
+                    {"component": i.component, "task": i.task_id,
+                     "resource": [i.resource.cpu, i.resource.ram,
+                                  i.resource.disk]}
+                    for i in c.instances
+                ],
+            }
+            if c.preferred_machine is not None:
+                cdoc["preferred_machine"] = c.preferred_machine
+            if c.preferred_rack is not None:
+                cdoc["preferred_rack"] = c.preferred_rack
+            containers.append(cdoc)
+        doc = {"topology": self.topology_name, "containers": containers}
         return json.dumps(doc, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -208,8 +226,10 @@ class PackingPlan:
                 InstancePlan(idoc["component"], idoc["task"],
                              Resource(*idoc["resource"]))
                 for idoc in cdoc["instances"])
-            containers.append(ContainerPlan(cdoc["id"], instances,
-                                            Resource(*cdoc["required"])))
+            containers.append(ContainerPlan(
+                cdoc["id"], instances, Resource(*cdoc["required"]),
+                preferred_machine=cdoc.get("preferred_machine"),
+                preferred_rack=cdoc.get("preferred_rack")))
         return cls(doc["topology"], containers)
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,148 @@
+"""The topology's pairwise communication graph, for placement policies.
+
+R-Storm-style placement (``repro.packing.rstorm``) needs to know *which
+tasks talk to which, and how much* before anything runs. This module
+derives that statically from the logical plan: component emit rates
+propagate down the (acyclic) DAG assuming unit spout rates and
+pass-through bolts, and each edge's grouping type decides how a
+component-level rate fans out over task pairs:
+
+* shuffle / fields / none / partial-key / custom — uniform: every
+  (src task, dst task) pair carries ``rate(src) / (p_src * p_dst)``;
+* all (broadcast) — every dst task receives each src task's full output:
+  ``rate(src) / p_src`` per pair;
+* global — everything lands on the lowest dst task id.
+
+Weights are relative, not calibrated tuples/sec: placement only compares
+them. The graph is undirected (message cost is symmetric in the
+simulator's latency model) and deterministic — iteration orders follow
+the topology's declared component order and ascending task ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.api.grouping import AllGrouping, GlobalGrouping
+from repro.api.topology import Topology
+
+#: A task is one instance of a component.
+Task = Tuple[str, int]
+
+
+class TrafficGraph:
+    """Undirected, weighted task-communication graph for one topology."""
+
+    def __init__(self, topology: Topology,
+                 parallelism: Optional[Mapping[str, int]] = None) -> None:
+        self._order: List[str] = topology.components()
+        self._position: Dict[str, int] = {
+            name: index for index, name in enumerate(self._order)}
+        self._parallelism: Dict[str, int] = {
+            name: topology.parallelism_of(name) for name in self._order}
+        if parallelism:
+            for name, count in parallelism.items():
+                if name not in self._parallelism:
+                    continue
+                self._parallelism[name] = count
+        self._adjacency: Dict[Task, Dict[Task, float]] = {}
+        self._rates = self._component_rates(topology)
+        self._build(topology)
+
+    # -- construction --------------------------------------------------------
+    def _component_rates(self, topology: Topology) -> Dict[str, float]:
+        """Relative output rate per component (unit spout rates,
+        pass-through bolts), resolved in DAG order."""
+        rates: Dict[str, float] = {
+            name: float(self._parallelism[name])
+            for name in topology.spouts}
+        pending = [name for name in self._order if name not in rates]
+        while pending:
+            progressed = False
+            still_pending: List[str] = []
+            for name in pending:
+                inputs = topology.bolts[name].inputs
+                if all(spec.component in rates for spec in inputs):
+                    rates[name] = sum(
+                        rates[spec.component] for spec in inputs)
+                    progressed = True
+                else:
+                    still_pending.append(name)
+            pending = still_pending
+            if not progressed:  # pragma: no cover - Topology is acyclic
+                raise ValueError(f"cycle among components {pending}")
+        return rates
+
+    def _build(self, topology: Topology) -> None:
+        for task in self.tasks():
+            self._adjacency[task] = {}
+        for bolt_name in self._order:
+            if topology.is_spout(bolt_name):
+                continue
+            for spec in topology.bolts[bolt_name].inputs:
+                self._add_edge_weights(spec.component, bolt_name,
+                                       spec.grouping)
+
+    def _add_edge_weights(self, src: str, dst: str,
+                          grouping: object) -> None:
+        p_src = self._parallelism[src]
+        p_dst = self._parallelism[dst]
+        per_src_task = self._rates[src] / p_src
+        for src_task in range(p_src):
+            a = (src, src_task)
+            if isinstance(grouping, AllGrouping):
+                for dst_task in range(p_dst):
+                    self._accumulate(a, (dst, dst_task), per_src_task)
+            elif isinstance(grouping, GlobalGrouping):
+                self._accumulate(a, (dst, 0), per_src_task)
+            else:
+                share = per_src_task / p_dst
+                for dst_task in range(p_dst):
+                    self._accumulate(a, (dst, dst_task), share)
+
+    def _accumulate(self, a: Task, b: Task, weight: float) -> None:
+        self._adjacency[a][b] = self._adjacency[a].get(b, 0.0) + weight
+        self._adjacency[b][a] = self._adjacency[b].get(a, 0.0) + weight
+
+    # -- queries -------------------------------------------------------------
+    def tasks(self) -> List[Task]:
+        """Every task, components in declared order, task ids ascending."""
+        return [(name, task) for name in self._order
+                for task in range(self._parallelism[name])]
+
+    def weight(self, a: Task, b: Task) -> float:
+        """Communication weight between two tasks (0.0 if they never
+        exchange messages)."""
+        return self._adjacency.get(a, {}).get(b, 0.0)
+
+    def partners(self, task: Task) -> List[Tuple[Task, float]]:
+        """``(partner, weight)`` pairs of one task, heaviest first,
+        ties broken by the partner's (component position, task id)."""
+        neighbours = self._adjacency.get(task, {})
+        return sorted(
+            neighbours.items(),
+            key=lambda item: (-item[1], self._position[item[0][0]],
+                              item[0][1]))
+
+    def total_weight(self, task: Task) -> float:
+        """Sum of a task's edge weights (its total traffic)."""
+        return sum(self._adjacency.get(task, {}).values())
+
+    def tasks_by_traffic(self) -> List[Task]:
+        """Tasks ordered heaviest-communicating first (R-Storm's
+        placement order), deterministic tie-break by declared component
+        position then task id."""
+        return sorted(
+            self.tasks(),
+            key=lambda task: (-self.total_weight(task),
+                              self._position[task[0]], task[1]))
+
+    def edges(self) -> List[Tuple[Task, Task, float]]:
+        """Every undirected edge once, deterministic order."""
+        result: List[Tuple[Task, Task, float]] = []
+        position = self._position
+        for a in self.tasks():
+            for b, weight in self._adjacency.get(a, {}).items():
+                if (position[a[0]], a[1]) < (position[b[0]], b[1]):
+                    result.append((a, b, weight))
+        return result

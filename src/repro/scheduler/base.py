@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.common.config import Config
-from repro.common.errors import SchedulerError
+from repro.common.errors import PackingError, SchedulerError
 from repro.common.resources import Resource
 from repro.packing.plan import ContainerPlan, PackingPlan
 from repro.scheduler.frameworks import SchedulingFramework
@@ -201,11 +201,28 @@ class Scheduler:
         launcher.launch_container(container, plan.container(cid))
 
     def container_lost(self, role: str, spec: Resource) -> None:
-        """Stateful recovery: request a replacement and relaunch."""
+        """Stateful recovery: request a replacement and relaunch.
+
+        The replacement re-requests the plan's placement preference for
+        that role, so a recovered container lands near its traffic
+        partners again whenever there is room.
+        """
         if not self.is_stateful:
             return
         framework = self._require_wiring()[0]
-        replacement = framework.allocate(self._job, role, spec)
+        preferred_machine = preferred_rack = None
+        cid = role_container_id(role)
+        if cid is not None and self.current_plan is not None:
+            try:
+                container_plan = self.current_plan.container(cid)
+            except PackingError:
+                container_plan = None
+            if container_plan is not None:
+                preferred_machine = container_plan.preferred_machine
+                preferred_rack = container_plan.preferred_rack
+        replacement = framework.allocate(
+            self._job, role, spec, preferred_machine=preferred_machine,
+            preferred_rack=preferred_rack)
         self.relaunch_container(role, replacement)
 
     # -- internals ------------------------------------------------------------
@@ -219,7 +236,9 @@ class Scheduler:
         framework, launcher = self._require_wiring()
         spec = self.container_spec(container_plan, plan)
         container = framework.allocate(
-            self._job, container_role(container_plan.id), spec)
+            self._job, container_role(container_plan.id), spec,
+            preferred_machine=container_plan.preferred_machine,
+            preferred_rack=container_plan.preferred_rack)
         launcher.launch_container(container, container_plan)
 
     def _require_wiring(self):

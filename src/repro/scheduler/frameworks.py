@@ -42,11 +42,17 @@ class FrameworkClient(Protocol):
 
 @dataclass
 class JobContainer:
-    """One allocated container of a job, identified by its role string."""
+    """One allocated container of a job, identified by its role string.
+
+    Placement preferences are remembered so framework-side restarts
+    (Aurora) re-request the same spot after a failure.
+    """
 
     role: str
     spec: Resource
     container: Container
+    preferred_machine: Optional[int] = None
+    preferred_rack: Optional[int] = None
 
 
 @dataclass
@@ -91,17 +97,27 @@ class SchedulingFramework:
         self.jobs[job_name] = job
         return job
 
-    def allocate(self, job_name: str, role: str,
-                 spec: Resource) -> Container:
-        """Allocate one container for ``role`` within a job."""
+    def allocate(self, job_name: str, role: str, spec: Resource, *,
+                 preferred_machine: Optional[int] = None,
+                 preferred_rack: Optional[int] = None) -> Container:
+        """Allocate one container for ``role`` within a job.
+
+        Placement preferences (from placement-aware packing policies)
+        are forwarded to the cluster rather than discarded; the cluster
+        treats them as soft hints with a first-fit fallback.
+        """
         job = self._job(job_name)
         if role in job.containers:
             raise SchedulerError(
                 f"job {job_name!r} already has a container for {role!r}")
         if not self.heterogeneous:
             self._check_homogeneous(job, spec)
-        container = self.cluster.allocate_container(spec, tag=job_name)
-        job.containers[role] = JobContainer(role, spec, container)
+        container = self.cluster.allocate_container(
+            spec, tag=job_name, preferred_machine=preferred_machine,
+            preferred_rack=preferred_rack)
+        job.containers[role] = JobContainer(
+            role, spec, container, preferred_machine=preferred_machine,
+            preferred_rack=preferred_rack)
         return container
 
     def release(self, job_name: str, role: str) -> None:
@@ -144,8 +160,13 @@ class SchedulingFramework:
     def _framework_restart(self, job: FrameworkJob, jc: JobContainer) -> None:
         if job.name not in self.jobs or jc.role in job.containers:
             return  # job killed, or role re-filled, while we waited
-        container = self.cluster.allocate_container(jc.spec, tag=job.name)
-        job.containers[jc.role] = JobContainer(jc.role, jc.spec, container)
+        container = self.cluster.allocate_container(
+            jc.spec, tag=job.name, preferred_machine=jc.preferred_machine,
+            preferred_rack=jc.preferred_rack)
+        job.containers[jc.role] = JobContainer(
+            jc.role, jc.spec, container,
+            preferred_machine=jc.preferred_machine,
+            preferred_rack=jc.preferred_rack)
         if job.client is not None:
             job.client.relaunch_container(jc.role, container)
 

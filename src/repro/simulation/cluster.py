@@ -1,18 +1,30 @@
-"""The simulated cluster: machines, containers, and their lifecycle.
+"""The simulated cluster: machines, racks, containers, and their lifecycle.
 
 This stands in for the paper's physical testbeds. A :class:`Cluster` owns a
-set of homogeneous or heterogeneous :class:`Machine` objects; scheduling
-frameworks (``repro.scheduler.frameworks``) allocate :class:`Container`
-slices out of machines and launch engine processes (actors) inside them.
+set of homogeneous or heterogeneous :class:`Machine` objects — each living
+in a rack — and scheduling frameworks (``repro.scheduler.frameworks``)
+allocate :class:`Container` slices out of machines and launch engine
+processes (actors) inside them.
 
 Containers provide the resource-isolation boundary the paper leans on:
 per-container core counts feed the throughput-per-core figures, and
 container kill/failure drives the scheduler-recovery behaviours of §IV-B.
+
+Placement is a first-class axis: :meth:`Cluster.allocate` takes a
+:class:`PlacementRequest` carrying optional machine/rack preferences
+(produced by placement-aware packing policies such as
+``repro.packing.rstorm``) and resolves them deterministically —
+preferred machine, then preferred rack in machine-id order, then
+first-fit over all machines. The rack map feeds the network model's
+``net_same_rack``/``net_cross_rack`` latency tiers; observers registered
+via :meth:`Cluster.on_rack_change` are told when rack assignments move
+so memoized latencies can be invalidated.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import SchedulerError, SimulationError
@@ -80,11 +92,13 @@ class Container:
 
 
 class Machine:
-    """One physical machine with a fixed resource capacity."""
+    """One physical machine with a fixed resource capacity, in a rack."""
 
-    def __init__(self, machine_id: int, capacity: Resource) -> None:
+    def __init__(self, machine_id: int, capacity: Resource,
+                 rack_id: int = 0) -> None:
         self.id = machine_id
         self.capacity = capacity
+        self.rack_id = rack_id
         self.allocated = Resource.zero()
         self.containers: Dict[int, Container] = {}
 
@@ -111,49 +125,155 @@ class Machine:
         self.allocated = self.allocated - container.resource
 
 
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One container allocation with optional placement preferences.
+
+    Preferences are *hints*, not hard constraints: the cluster falls back
+    to first-fit when the preferred machine (or rack) has no room. Hard
+    failures only happen when no machine at all can host the container.
+    """
+
+    resource: Resource
+    tag: Optional[str] = None
+    preferred_machine: Optional[int] = None
+    preferred_rack: Optional[int] = None
+
+
 class Cluster:
-    """A set of machines plus container allocation/release/failure.
+    """A set of racked machines plus container allocation/release/failure.
 
     ``on_container_failed`` observers let scheduling frameworks react to
     injected failures (the stateless-scheduler path) or surface them to a
-    monitoring Heron scheduler (the stateful path).
+    monitoring Heron scheduler (the stateful path); ``on_rack_change``
+    observers let the network model invalidate memoized latencies when a
+    machine moves racks.
     """
 
     def __init__(self, machines: List[Machine]) -> None:
         if not machines:
             raise SchedulerError("a cluster needs at least one machine")
         self.machines = machines
+        self._machines_by_id: Dict[int, Machine] = {m.id: m for m in machines}
+        if len(self._machines_by_id) != len(machines):
+            raise SchedulerError("duplicate machine ids in cluster")
         self._container_ids = itertools.count(1)
         self.containers: Dict[int, Container] = {}
         self._failure_observers: List[Callable[[Container], None]] = []
+        self._rack_observers: List[Callable[[], None]] = []
 
     @classmethod
     def homogeneous(cls, machine_count: int, capacity: Resource) -> "Cluster":
-        """A cluster of ``machine_count`` identical machines."""
+        """A single-rack cluster of ``machine_count`` identical machines."""
         if machine_count <= 0:
             raise SchedulerError(
                 f"machine_count must be positive: {machine_count}")
         return cls([Machine(i, capacity) for i in range(machine_count)])
 
-    # -- allocation ---------------------------------------------------------
-    def allocate_container(self, resource: Resource,
-                           tag: Optional[str] = None) -> Container:
-        """First-fit allocate a container across machines.
+    @classmethod
+    def racked(cls, racks: int, machines_per_rack: int,
+               capacity: Resource) -> "Cluster":
+        """A rack topology: ``racks`` racks of identical machines.
 
-        Machines are scanned in id order for determinism; raises
-        :class:`SchedulerError` when nothing fits.
+        Machine ids are dense and rack-major (machine ``r * mpr + i``
+        lives in rack ``r``), so id-ordered first-fit fills one rack
+        before spilling into the next.
         """
+        if racks <= 0 or machines_per_rack <= 0:
+            raise SchedulerError(
+                f"racks and machines_per_rack must be positive: "
+                f"{racks}x{machines_per_rack}")
+        machines = [
+            Machine(rack * machines_per_rack + i, capacity, rack_id=rack)
+            for rack in range(racks) for i in range(machines_per_rack)
+        ]
+        return cls(machines)
+
+    # -- rack topology ------------------------------------------------------
+    def machine(self, machine_id: int) -> Machine:
+        """Look up one machine by id."""
+        machine = self._machines_by_id.get(machine_id)
+        if machine is None:
+            raise SchedulerError(f"no machine {machine_id} in cluster")
+        return machine
+
+    def rack_of(self, machine_id: int) -> int:
+        """The rack hosting ``machine_id`` (used by the network model)."""
+        return self.machine(machine_id).rack_id
+
+    def rack_ids(self) -> List[int]:
+        """All rack ids, sorted."""
+        return sorted({m.rack_id for m in self.machines})
+
+    def machines_in_rack(self, rack_id: int) -> List[Machine]:
+        """The machines of one rack, in machine-id order."""
+        return [m for m in self.machines if m.rack_id == rack_id]
+
+    def set_rack(self, machine_id: int, rack_id: int) -> None:
+        """Move a machine to another rack (topology reconfiguration).
+
+        Notifies ``on_rack_change`` observers so memoized rack-dependent
+        state (network latencies) is invalidated.
+        """
+        machine = self.machine(machine_id)
+        if machine.rack_id == rack_id:
+            return
+        machine.rack_id = rack_id
+        for observer in list(self._rack_observers):
+            observer()
+
+    def on_rack_change(self, observer: Callable[[], None]) -> None:
+        """Register an observer for rack reassignments."""
+        self._rack_observers.append(observer)
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(self, request: PlacementRequest) -> Container:
+        """Allocate a container, honoring placement preferences.
+
+        Candidate order (deterministic, ties broken by machine id):
+
+        1. the preferred machine, if named and it fits;
+        2. machines of the preferred rack, in id order;
+        3. every machine, in id order (first-fit fallback).
+
+        Raises :class:`SchedulerError` only when *no* machine fits.
+        """
+        resource = request.resource
+        machine = self._place(request)
+        if machine is None:
+            raise SchedulerError(
+                f"no machine can fit a container of {resource}; "
+                f"free={[str(m.free) for m in self.machines]}")
+        container = Container(next(self._container_ids), machine, resource)
+        container.tag = request.tag
+        machine._allocate(container)
+        self.containers[container.id] = container
+        return container
+
+    def _place(self, request: PlacementRequest) -> Optional[Machine]:
+        resource = request.resource
+        if request.preferred_machine is not None:
+            preferred = self._machines_by_id.get(request.preferred_machine)
+            if preferred is not None and preferred.can_fit(resource):
+                return preferred
+        if request.preferred_rack is not None:
+            for machine in self.machines:
+                if machine.rack_id == request.preferred_rack \
+                        and machine.can_fit(resource):
+                    return machine
         for machine in self.machines:
             if machine.can_fit(resource):
-                container = Container(next(self._container_ids), machine,
-                                      resource)
-                container.tag = tag
-                machine._allocate(container)
-                self.containers[container.id] = container
-                return container
-        raise SchedulerError(
-            f"no machine can fit a container of {resource}; "
-            f"free={[str(m.free) for m in self.machines]}")
+                return machine
+        return None
+
+    def allocate_container(self, resource: Resource,
+                           tag: Optional[str] = None, *,
+                           preferred_machine: Optional[int] = None,
+                           preferred_rack: Optional[int] = None) -> Container:
+        """Allocate a container (convenience over :meth:`allocate`)."""
+        return self.allocate(PlacementRequest(
+            resource, tag, preferred_machine=preferred_machine,
+            preferred_rack=preferred_rack))
 
     def release_container(self, container: Container) -> None:
         """Kill a container's processes and return its resources."""

@@ -182,7 +182,17 @@ class CostModel:
     """Delivery latency between containers on one machine."""
 
     net_cross_machine: float = 350.0 * MICROS
-    """Delivery latency across machines (data-center RTT share)."""
+    """Delivery latency across machines when no rack map is bound
+    (flat data-center RTT share; also the legacy single-tier value)."""
+
+    net_same_rack: float = 350.0 * MICROS
+    """Delivery latency across machines within one rack (top-of-rack
+    switch hop). Defaults to ``net_cross_machine`` so binding a
+    single-rack cluster changes nothing."""
+
+    net_cross_rack: float = 500.0 * MICROS
+    """Delivery latency across racks (aggregation/spine hops on top of
+    the ToR hop) — the tier R-Storm placement tries to avoid."""
 
     def with_overrides(self, **kwargs: float) -> "CostModel":
         """Return a copy with some constants replaced (used by ablations)."""

@@ -1,22 +1,50 @@
 """The network latency model.
 
 Delivery latency depends on how far apart two actors run: same process,
-same container, same machine, or across machines. The constants come from
-:class:`~repro.simulation.costs.CostModel` so ablations can vary them.
+same container, same machine, same rack, or across racks. The constants
+come from :class:`~repro.simulation.costs.CostModel` so ablations can
+vary them.
+
+Rack awareness is opt-in: :meth:`Network.bind_cluster` wires in a
+cluster's rack map, after which cross-machine messages are priced as
+``net_same_rack`` or ``net_cross_rack``; an unbound network prices all
+cross-machine traffic at the flat ``net_cross_machine``. Binding
+registers an ``on_rack_change`` observer so reconfiguring the rack
+topology invalidates memoized latencies instead of serving stale tiers.
 
 ``Network.latency`` is pure in ``(src, dst)`` for a fixed cost model and
-is called once per message send, so results are memoized per location
-pair. Locations are interned (:meth:`Location.of`) with precomputed
-hashes, making the memo a two-dict lookup. Swapping :attr:`Network.costs`
+rack map, and is called once per message send, so results are memoized
+per location pair together with the tier they resolved to — which also
+gives per-tier message counters (:meth:`tier_counts`) that the placement
+experiments use to report the inter-rack traffic share. Locations are
+interned (:meth:`Location.of`) with precomputed hashes, making the memo
+a two-dict lookup. Swapping :attr:`Network.costs` or rebinding a cluster
 invalidates the memo; :meth:`invalidate_cache` does so explicitly.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.simulation.actors import Location, NetworkProtocol
 from repro.simulation.costs import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.simulation.cluster import Cluster
+
+#: Distance tiers, nearest first. ``cross_machine`` is the unbound
+#: (rack-less) pricing for inter-machine traffic; bound networks resolve
+#: it to ``same_rack`` or ``cross_rack`` instead.
+TIER_NAMES: Tuple[str, ...] = ("local_process", "same_container",
+                               "same_machine", "cross_machine",
+                               "same_rack", "cross_rack")
+
+_LOCAL_PROCESS = 0
+_SAME_CONTAINER = 1
+_SAME_MACHINE = 2
+_CROSS_MACHINE = 3
+_SAME_RACK = 4
+_CROSS_RACK = 5
 
 
 class Network(NetworkProtocol):
@@ -24,10 +52,13 @@ class Network(NetworkProtocol):
 
     def __init__(self, costs: CostModel) -> None:
         self._costs = costs
-        self._memo: Dict[Location, Dict[Location, float]] = {}
+        self._memo: Dict[Location, Dict[Location, Tuple[float, int]]] = {}
+        self._rack_of: Optional[Callable[[int], int]] = None
+        self.tier_messages: List[int] = [0] * len(TIER_NAMES)
 
     @property
     def costs(self) -> CostModel:
+        """The cost model pricing each distance tier."""
         return self._costs
 
     @costs.setter
@@ -35,8 +66,19 @@ class Network(NetworkProtocol):
         self._costs = value
         self._memo.clear()
 
+    def bind_cluster(self, cluster: "Cluster") -> None:
+        """Adopt ``cluster``'s rack map for cross-machine pricing.
+
+        Drops memoized latencies from any previous binding and subscribes
+        to rack reassignments so the memo never serves a stale tier.
+        """
+        self._rack_of = cluster.rack_of
+        cluster.on_rack_change(self.invalidate_cache)
+        self.invalidate_cache()
+
     def invalidate_cache(self) -> None:
-        """Drop all memoized latencies (call after mutating cost data)."""
+        """Drop all memoized latencies (call after mutating cost data
+        or rack assignments)."""
         self._memo.clear()
 
     def latency(self, src: Location, dst: Location) -> float:
@@ -44,19 +86,40 @@ class Network(NetworkProtocol):
         by_dst = self._memo.get(src)
         if by_dst is None:
             by_dst = self._memo[src] = {}
-        value = by_dst.get(dst)
-        if value is None:
-            value = by_dst[dst] = self._compute(src, dst)
-        return value
+        entry = by_dst.get(dst)
+        if entry is None:
+            entry = by_dst[dst] = self._compute(src, dst)
+        self.tier_messages[entry[1]] += 1
+        return entry[0]
 
-    def _compute(self, src: Location, dst: Location) -> float:
+    def _compute(self, src: Location, dst: Location) -> Tuple[float, int]:
         if src.machine_id != dst.machine_id:
-            return self._costs.net_cross_machine
+            if self._rack_of is None:
+                return self._costs.net_cross_machine, _CROSS_MACHINE
+            if self._rack_of(src.machine_id) == self._rack_of(dst.machine_id):
+                return self._costs.net_same_rack, _SAME_RACK
+            return self._costs.net_cross_rack, _CROSS_RACK
         if src.container_id != dst.container_id:
-            return self._costs.net_same_machine
+            return self._costs.net_same_machine, _SAME_MACHINE
         if src.process_id != dst.process_id:
-            return self._costs.net_same_container
-        return self._costs.net_local_process
+            return self._costs.net_same_container, _SAME_CONTAINER
+        return self._costs.net_local_process, _LOCAL_PROCESS
+
+    # -- tier accounting -----------------------------------------------------
+    def tier_counts(self) -> Dict[str, int]:
+        """Messages delivered per distance tier since the last reset."""
+        return dict(zip(TIER_NAMES, self.tier_messages))
+
+    def reset_tier_counts(self) -> None:
+        """Zero the per-tier message counters (start of a measurement)."""
+        self.tier_messages = [0] * len(TIER_NAMES)
+
+    def cross_rack_share(self) -> float:
+        """Fraction of cross-machine messages that crossed racks."""
+        cross = self.tier_messages[_CROSS_RACK]
+        inter_machine = (self.tier_messages[_CROSS_MACHINE]
+                         + self.tier_messages[_SAME_RACK] + cross)
+        return cross / inter_machine if inter_machine else 0.0
 
 
 class UniformNetwork(NetworkProtocol):

@@ -1,0 +1,123 @@
+"""Tests for the static task-communication graph (repro.packing.traffic)."""
+
+from repro.api.component import Bolt, Spout
+from repro.api.topology import TopologyBuilder
+from repro.packing.traffic import TrafficGraph
+
+
+class _Spout(Spout):
+    outputs = {"default": ["key"]}
+
+    def next_tuple(self, collector):
+        collector.emit(["x"])
+
+
+class _Bolt(Bolt):
+    outputs = {"default": ["key"]}
+
+    def execute(self, tup, collector):
+        pass
+
+
+def linear_topology(grouping="shuffle", p_src=2, p_dst=3):
+    builder = TopologyBuilder("linear")
+    builder.set_spout("src", _Spout(), parallelism=p_src)
+    declarer = builder.set_bolt("dst", _Bolt(), parallelism=p_dst)
+    if grouping == "shuffle":
+        declarer.shuffle_grouping("src")
+    elif grouping == "fields":
+        declarer.fields_grouping("src", ["key"])
+    elif grouping == "all":
+        declarer.all_grouping("src")
+    elif grouping == "global":
+        declarer.global_grouping("src")
+    return builder.build()
+
+
+class TestEdgeWeights:
+    def test_shuffle_is_uniform_over_pairs(self):
+        graph = TrafficGraph(linear_topology("shuffle"))
+        # rate(src) = 2 spread over 2*3 pairs.
+        for src_task in range(2):
+            for dst_task in range(3):
+                assert graph.weight(("src", src_task),
+                                    ("dst", dst_task)) == 2 / 6
+
+    def test_fields_matches_shuffle_statically(self):
+        shuffle = TrafficGraph(linear_topology("shuffle"))
+        fields = TrafficGraph(linear_topology("fields"))
+        assert shuffle.edges() == fields.edges()
+
+    def test_all_grouping_broadcasts(self):
+        graph = TrafficGraph(linear_topology("all"))
+        # Every dst task receives each src task's full output (rate 1).
+        assert graph.weight(("src", 0), ("dst", 2)) == 1.0
+        assert graph.total_weight(("dst", 0)) == 2.0
+
+    def test_global_grouping_lands_on_task_zero(self):
+        graph = TrafficGraph(linear_topology("global"))
+        assert graph.weight(("src", 0), ("dst", 0)) == 1.0
+        assert graph.weight(("src", 0), ("dst", 1)) == 0.0
+
+    def test_graph_is_symmetric(self):
+        graph = TrafficGraph(linear_topology())
+        a, b = ("src", 0), ("dst", 1)
+        assert graph.weight(a, b) == graph.weight(b, a) > 0
+
+    def test_unconnected_tasks_have_zero_weight(self):
+        graph = TrafficGraph(linear_topology())
+        assert graph.weight(("src", 0), ("src", 1)) == 0.0
+
+
+class TestRatePropagation:
+    def _chain(self):
+        builder = TopologyBuilder("chain")
+        builder.set_spout("a", _Spout(), parallelism=4)
+        builder.set_bolt("b", _Bolt(), parallelism=2) \
+            .shuffle_grouping("a")
+        builder.set_bolt("c", _Bolt(), parallelism=1) \
+            .shuffle_grouping("b")
+        return builder.build()
+
+    def test_rates_flow_down_the_dag(self):
+        graph = TrafficGraph(self._chain())
+        # b's aggregate input (4) becomes its output into c.
+        assert graph.total_weight(("c", 0)) == 4.0
+
+    def test_fan_in_sums_inputs(self):
+        builder = TopologyBuilder("fanin")
+        builder.set_spout("a", _Spout(), parallelism=2)
+        builder.set_spout("b", _Spout(), parallelism=3)
+        builder.set_bolt("join", _Bolt(), parallelism=1) \
+            .shuffle_grouping("a").shuffle_grouping("b")
+        graph = TrafficGraph(builder.build())
+        assert graph.total_weight(("join", 0)) == 5.0
+
+
+class TestQueries:
+    def test_tasks_follow_declared_order(self):
+        graph = TrafficGraph(linear_topology(p_src=2, p_dst=2))
+        assert graph.tasks() == [("src", 0), ("src", 1),
+                                 ("dst", 0), ("dst", 1)]
+
+    def test_partners_heaviest_first(self):
+        graph = TrafficGraph(linear_topology("global", p_src=1, p_dst=2))
+        partners = graph.partners(("src", 0))
+        assert partners[0] == (("dst", 0), 1.0)
+
+    def test_tasks_by_traffic_is_deterministic(self):
+        a = TrafficGraph(linear_topology())
+        b = TrafficGraph(linear_topology())
+        assert a.tasks_by_traffic() == b.tasks_by_traffic()
+
+    def test_edges_list_each_pair_once(self):
+        graph = TrafficGraph(linear_topology(p_src=2, p_dst=2))
+        edges = graph.edges()
+        assert len(edges) == 4
+        assert all(weight > 0 for _, _, weight in edges)
+
+    def test_parallelism_override(self):
+        graph = TrafficGraph(linear_topology(p_src=2, p_dst=3),
+                             parallelism={"dst": 5})
+        assert len([t for t in graph.tasks() if t[0] == "dst"]) == 5
+        assert graph.weight(("src", 0), ("dst", 4)) == 2 / 10

@@ -1,0 +1,60 @@
+"""Tests for the placement experiment (repro.experiments.placement)."""
+
+import pytest
+
+from repro.experiments import placement
+from repro.experiments.placement import (POLICIES, RSTORM,
+                                         measure_policy, placement_config,
+                                         sharded_pipeline_topology)
+from repro.packing.rstorm import RStormPacking
+from repro.simulation.cluster import Cluster
+
+
+class TestTopologyShape:
+    def test_shards_are_disjoint(self):
+        topology = sharded_pipeline_topology(2)
+        for bolt_name, spec in topology.bolts.items():
+            shard = bolt_name[-1]
+            for input_spec in spec.inputs:
+                assert input_spec.component.endswith(shard)
+
+    def test_stage_chain_per_shard(self):
+        topology = sharded_pipeline_topology(3)
+        assert len(topology.spouts) == 3
+        assert len(topology.bolts) == 9  # filter + agg + sink per shard
+
+    def test_total_cpu_matches_stage_table(self):
+        topology = sharded_pipeline_topology(2)
+        # 6 one-core instances per shard.
+        assert topology.total_instances == 12
+
+
+class TestPackingArithmetic:
+    def test_rstorm_packs_one_shard_per_container(self):
+        topology = sharded_pipeline_topology(3, placement_config())
+        policy = RStormPacking()
+        policy.initialize(placement_config(), topology)
+        policy.bind_cluster(Cluster.racked(placement.RACKS, 2,
+                                           placement.MACHINE))
+        plan = policy.pack()
+        assert plan.container_count == 3
+        for container in plan.containers:
+            shards = {i.component[-1] for i in container.instances}
+            assert len(shards) == 1
+            # 6 cpu contents + 1 padding fits an 8-core machine.
+            assert container.required.cpu <= placement.MACHINE.cpu
+
+
+@pytest.mark.slow
+class TestMeasurement:
+    def test_same_seed_point_is_byte_identical(self):
+        first = measure_policy((RSTORM, True, 0))
+        second = measure_policy((RSTORM, True, 1))
+        assert first == second
+
+    def test_policies_produce_valid_rows(self):
+        row = measure_policy((POLICIES[0], True, 0))
+        assert row["throughput_tps"] > 0
+        assert 0.0 <= row["cross_rack_share"] <= 1.0
+        assert row["total_messages"] > 0
+        assert row["cores"] > 0

@@ -1,0 +1,187 @@
+"""Tests for the rack-aware cluster fabric and network latency tiers."""
+
+import pytest
+
+from repro.common.errors import SchedulerError
+from repro.common.resources import Resource
+from repro.common.units import GB
+from repro.simulation.actors import Location
+from repro.simulation.cluster import Cluster, Machine, PlacementRequest
+from repro.simulation.costs import CostModel
+from repro.simulation.network import TIER_NAMES, Network
+
+CAP = Resource(cpu=8, ram=28 * GB, disk=100 * GB)
+SMALL = Resource(cpu=2, ram=4 * GB, disk=10 * GB)
+
+
+def racked(racks=2, per_rack=2):
+    return Cluster.racked(racks, per_rack, CAP)
+
+
+class TestRackTopology:
+    def test_rack_major_machine_ids(self):
+        cluster = racked(racks=3, per_rack=2)
+        assert [m.id for m in cluster.machines] == list(range(6))
+        assert cluster.rack_of(0) == 0
+        assert cluster.rack_of(1) == 0
+        assert cluster.rack_of(2) == 1
+        assert cluster.rack_of(5) == 2
+
+    def test_rack_ids_sorted(self):
+        assert racked(racks=3).rack_ids() == [0, 1, 2]
+
+    def test_machines_in_rack(self):
+        cluster = racked(racks=2, per_rack=3)
+        assert [m.id for m in cluster.machines_in_rack(1)] == [3, 4, 5]
+
+    def test_homogeneous_is_single_rack(self):
+        cluster = Cluster.homogeneous(4, CAP)
+        assert cluster.rack_ids() == [0]
+
+    def test_racked_validates_counts(self):
+        with pytest.raises(SchedulerError):
+            Cluster.racked(0, 2, CAP)
+        with pytest.raises(SchedulerError):
+            Cluster.racked(2, 0, CAP)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SchedulerError):
+            racked().machine(99)
+
+    def test_duplicate_machine_ids_rejected(self):
+        with pytest.raises(SchedulerError):
+            Cluster([Machine(0, CAP), Machine(0, CAP)])
+
+    def test_set_rack_moves_machine(self):
+        cluster = racked()
+        cluster.set_rack(0, 1)
+        assert cluster.rack_of(0) == 1
+        assert [m.id for m in cluster.machines_in_rack(1)] == [0, 2, 3]
+
+    def test_set_rack_notifies_observers(self):
+        cluster = racked()
+        calls = []
+        cluster.on_rack_change(lambda: calls.append(1))
+        cluster.set_rack(0, 1)
+        assert calls == [1]
+
+    def test_set_rack_same_rack_is_noop(self):
+        cluster = racked()
+        calls = []
+        cluster.on_rack_change(lambda: calls.append(1))
+        cluster.set_rack(0, 0)
+        assert calls == []
+
+
+class TestPlacementRequests:
+    def test_preferred_machine_honored(self):
+        cluster = racked()
+        container = cluster.allocate_container(SMALL, preferred_machine=3)
+        assert container.machine.id == 3
+
+    def test_full_preferred_machine_falls_back_to_rack(self):
+        cluster = racked()
+        cluster.allocate_container(CAP, preferred_machine=2)  # fill 2
+        container = cluster.allocate_container(
+            SMALL, preferred_machine=2, preferred_rack=1)
+        assert container.machine.id == 3  # rack 1's other machine
+
+    def test_preferred_rack_fills_in_id_order(self):
+        cluster = racked()
+        a = cluster.allocate_container(SMALL, preferred_rack=1)
+        b = cluster.allocate_container(SMALL, preferred_rack=1)
+        assert a.machine.id == 2 and b.machine.id == 2
+
+    def test_full_rack_falls_back_to_first_fit(self):
+        cluster = racked()
+        cluster.allocate_container(CAP, preferred_rack=1)
+        cluster.allocate_container(CAP, preferred_rack=1)
+        spilled = cluster.allocate_container(SMALL, preferred_rack=1)
+        assert spilled.machine.id == 0
+
+    def test_unknown_preferred_machine_is_soft(self):
+        cluster = racked()
+        container = cluster.allocate_container(SMALL, preferred_machine=42)
+        assert container.machine.id == 0
+
+    def test_no_fit_anywhere_raises(self):
+        cluster = racked()
+        with pytest.raises(SchedulerError):
+            cluster.allocate(PlacementRequest(Resource(cpu=100),
+                                              preferred_rack=0))
+
+    def test_request_tag_applied(self):
+        cluster = racked()
+        container = cluster.allocate(PlacementRequest(SMALL, tag="topo"))
+        assert container.tag == "topo"
+
+
+class TestNetworkRackTiers:
+    def setup_method(self):
+        self.costs = CostModel()
+        self.cluster = racked(racks=2, per_rack=2)
+        self.net = Network(self.costs)
+        self.net.bind_cluster(self.cluster)
+
+    def test_same_rack_tier(self):
+        a, b = Location.of(0, 0, 0), Location.of(1, 1, 0)
+        assert self.net.latency(a, b) == self.costs.net_same_rack
+
+    def test_cross_rack_tier(self):
+        a, b = Location.of(0, 0, 0), Location.of(2, 1, 0)
+        assert self.net.latency(a, b) == self.costs.net_cross_rack
+
+    def test_unbound_network_prices_cross_machine(self):
+        net = Network(self.costs)
+        a, b = Location.of(0, 0, 0), Location.of(2, 1, 0)
+        assert net.latency(a, b) == self.costs.net_cross_machine
+
+    def test_tiers_are_ordered(self):
+        same_machine = self.net.latency(Location.of(0, 0, 0),
+                                        Location.of(0, 1, 0))
+        same_rack = self.net.latency(Location.of(0, 0, 0),
+                                     Location.of(1, 0, 0))
+        cross_rack = self.net.latency(Location.of(0, 0, 0),
+                                      Location.of(2, 0, 0))
+        assert same_machine < same_rack <= cross_rack
+
+    def test_tier_counters(self):
+        self.net.latency(Location.of(0, 0, 0), Location.of(1, 0, 0))
+        self.net.latency(Location.of(0, 0, 0), Location.of(2, 0, 0))
+        self.net.latency(Location.of(0, 0, 0), Location.of(2, 0, 0))
+        counts = self.net.tier_counts()
+        assert counts["same_rack"] == 1
+        assert counts["cross_rack"] == 2
+        assert self.net.cross_rack_share() == pytest.approx(2 / 3)
+
+    def test_reset_tier_counts(self):
+        self.net.latency(Location.of(0, 0, 0), Location.of(2, 0, 0))
+        self.net.reset_tier_counts()
+        assert sum(self.net.tier_counts().values()) == 0
+        assert self.net.cross_rack_share() == 0.0
+
+    def test_tier_names_cover_all_tiers(self):
+        assert len(TIER_NAMES) == 6
+        assert set(self.net.tier_counts()) == set(TIER_NAMES)
+
+
+class TestRackChangeInvalidation:
+    """Regression: memoized latencies must not survive rack rebinding."""
+
+    def test_set_rack_invalidates_memo(self):
+        costs = CostModel()
+        cluster = Cluster.racked(2, 2, CAP)
+        net = Network(costs)
+        net.bind_cluster(cluster)
+        a, b = Location.of(0, 0, 0), Location.of(1, 0, 0)
+        assert net.latency(a, b) == costs.net_same_rack  # memoized
+        cluster.set_rack(1, 1)
+        assert net.latency(a, b) == costs.net_cross_rack
+
+    def test_bind_cluster_invalidates_memo(self):
+        costs = CostModel()
+        net = Network(costs)
+        a, b = Location.of(0, 0, 0), Location.of(2, 0, 0)
+        assert net.latency(a, b) == costs.net_cross_machine  # unbound
+        net.bind_cluster(Cluster.racked(2, 2, CAP))
+        assert net.latency(a, b) == costs.net_cross_rack

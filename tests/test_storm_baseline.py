@@ -5,6 +5,7 @@ import pytest
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.baselines.storm.cluster import StormCluster
 from repro.baselines.storm.config_keys import StormConfigKeys as StormKeys
+from repro.chaos import FaultPlan, LinkFaults
 from repro.common.config import Config
 from repro.common.errors import SchedulerError, TopologyError
 from repro.workloads.wordcount import wordcount_topology
@@ -131,6 +132,39 @@ class TestStormAcking:
         for key, executor in handle.executors.items():
             if key[0] == "word":
                 assert executor.pending <= 100
+
+
+class TestStormChaos:
+    """The chaos engine wraps the Storm baseline's network too, so
+    Heron-vs-Storm comparisons can run under identical fault plans."""
+
+    LOSSY = FaultPlan(link=LinkFaults(drop_rate=0.2))
+
+    def _run(self, fault_plan=None, seed=0):
+        cluster = StormCluster(supervisors=2, fault_plan=fault_plan,
+                               seed=seed)
+        handle = submit(cluster, num_workers=2)
+        cluster.run_for(1.0)
+        return handle.totals(), cluster.chaos_stats()
+
+    def test_clean_cluster_reports_zero_faults(self):
+        _totals, stats = self._run()
+        assert stats["drops"] == 0.0
+
+    def test_drops_perturb_throughput(self):
+        clean, _ = self._run()
+        lossy, stats = self._run(self.LOSSY)
+        assert stats["drops"] > 0
+        assert lossy["executed"] < clean["executed"]
+
+    def test_same_seed_is_deterministic(self):
+        assert self._run(self.LOSSY, seed=7) == self._run(self.LOSSY,
+                                                          seed=7)
+
+    def test_different_seeds_diverge(self):
+        _, stats_a = self._run(self.LOSSY, seed=1)
+        _, stats_b = self._run(self.LOSSY, seed=2)
+        assert stats_a != stats_b
 
 
 class TestSharedJvmContention:
