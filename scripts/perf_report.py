@@ -32,6 +32,7 @@ from repro.experiments.perf import (best_of, kernel_microbench,  # noqa: E402
 
 BENCH_PATH = ROOT / "BENCH_kernel.json"
 PLACEMENT_BENCH_PATH = ROOT / "BENCH_placement.json"
+ELASTIC_BENCH_PATH = ROOT / "BENCH_elastic.json"
 
 
 def current_commit() -> str:
@@ -98,6 +99,62 @@ def placement_report(fast: bool, update_label: str | None) -> int:
     worst_share = max(row["cross_rack_share"] for row in rows.values())
     if rstorm["cross_rack_share"] >= worst_share and worst_share > 0:
         print("FAIL: R-Storm no longer improves cross-rack share")
+        return 1
+    print("OK")
+    return 0
+
+
+def elastic_report(fast: bool, update_label: str | None) -> int:
+    """Autoscaled vs fixed-overprovisioned rows from the elastic sweep.
+
+    Each recorded entry in ``BENCH_elastic.json`` carries the commit
+    hash and one row per mode: tuples counted, rescale counts, peak
+    parallelism, provisioned core-seconds and whether the autoscaled
+    run's final counts matched the fixed run byte for byte. The exit
+    code reflects the elasticity correctness bar (identical counts, up
+    AND down rescales), not a perf trend.
+    """
+    from repro.experiments.elastic import measure_run
+    rows = {}
+    for mode in ("auto", "fixed"):
+        point = measure_run((mode, fast))
+        rows[mode] = {
+            "total_counted": point["total_counted"],
+            "offered_total": point["offered_total"],
+            "rescales_up": int(point["rescales_up"]),
+            "rescales_down": int(point["rescales_down"]),
+            "peak_parallelism": max(
+                [row["parallelism"] for row in point["history"]],
+                default=point["final_parallelism"]),
+            "final_parallelism": point["final_parallelism"],
+            "core_seconds": round(point["core_seconds"], 1),
+            "restores": int(point["restores"]),
+        }
+        rows[mode]["_counts"] = point["counts"]
+    identical = rows["auto"].pop("_counts") == rows["fixed"].pop("_counts")
+    rows["counts_identical"] = identical
+    for mode in ("auto", "fixed"):
+        row = rows[mode]
+        print(f"{mode:<6}: {row['total_counted']:>10,.0f} tuples counted, "
+              f"{row['rescales_up']} up / {row['rescales_down']} down, "
+              f"peak parallelism {row['peak_parallelism']:g}, "
+              f"{row['core_seconds']:,.0f} core-secs")
+    print(f"final counts identical: {identical}")
+    if update_label:
+        data = (json.loads(ELASTIC_BENCH_PATH.read_text())
+                if ELASTIC_BENCH_PATH.exists() else {"entries": []})
+        entry = {"label": update_label, "commit": current_commit(),
+                 "fast": fast, "runs": rows}
+        data["entries"] = [e for e in data["entries"]
+                           if e["label"] != update_label] + [entry]
+        ELASTIC_BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded entry {update_label!r} "
+              f"in {ELASTIC_BENCH_PATH.name}")
+    if not identical:
+        print("FAIL: autoscaled counts diverged from the fixed run")
+        return 1
+    if not (rows["auto"]["rescales_up"] and rows["auto"]["rescales_down"]):
+        print("FAIL: the autoscaler did not rescale both directions")
         return 1
     print("OK")
     return 0
@@ -190,13 +247,19 @@ def main(argv=None) -> int:
     parser.add_argument("--placement", action="store_true",
                         help="per-policy placement rows (RR/FFD/R-Storm) "
                              "into BENCH_placement.json")
+    parser.add_argument("--elastic", action="store_true",
+                        help="autoscaled vs fixed elastic-WordCount rows "
+                             "into BENCH_elastic.json")
     parser.add_argument("--full", action="store_true",
-                        help="with --placement: full-size profile "
-                             "(default is the fast profile)")
+                        help="with --placement/--elastic: full-size "
+                             "profile (default is the fast profile)")
     args = parser.parse_args(argv)
     if args.placement:
         return placement_report(fast=not args.full,
                                 update_label=args.update)
+    if args.elastic:
+        return elastic_report(fast=not args.full,
+                              update_label=args.update)
     data = load_bench()
     if args.smoke:
         return smoke(data)

@@ -81,6 +81,16 @@ class Component:
     #: checkpoint barrier passes through the task.
     stateful: bool = False
 
+    #: Key-grouped state (elastic scaling, ``repro.autoscale``): when
+    #: set > 0, :meth:`snapshot_state` must return a ``{group_id: state}``
+    #: dict keyed by virtual key group (``group_of(key, key_groups)``)
+    #: and :meth:`init_state` must accept one. The checkpoint layer then
+    #: re-partitions snapshots across a parallelism change by moving
+    #: whole groups (:func:`repro.checkpoint.repartition.restore_into`);
+    #: components with ``key_groups == 0`` keep monolithic state and can
+    #: only restore into the same shape.
+    key_groups: int = 0
+
     def __init__(self) -> None:
         if not self.outputs:
             self.outputs = {DEFAULT_STREAM: []}

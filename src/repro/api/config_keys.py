@@ -100,6 +100,21 @@ class TopologyConfigKeys:
         validator=lambda v: v >= 0,
         description="Extra RAM per container for SM/MM.")
 
+    # --- Metrics pipeline --------------------------------------------------
+    METRICS_REPORT_INTERVAL_SECS = _declare(
+        "heron.metrics.report.interval.secs", default=1.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="Seconds between each process's MetricSample reports "
+                    "to its container's Metrics Manager.")
+
+    METRICS_FORWARD_INTERVAL_SECS = _declare(
+        "heron.metrics.forward.interval.secs", default=5.0,
+        value_type=float, validator=lambda v: v > 0,
+        description="Seconds between Metrics Manager summary forwards to "
+                    "the Topology Master. Autoscaled topologies lower "
+                    "both metrics intervals to at most the autoscale "
+                    "interval so the controller sees fresh signals.")
+
     # --- Stream Manager (Section V) ----------------------------------------
     CACHE_ENABLED = _declare(
         "heron.streammgr.cache.enabled", default=True, value_type=bool,

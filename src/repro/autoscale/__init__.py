@@ -1,0 +1,54 @@
+"""Elastic scaling subsystem: key-group state + backpressure autoscaler.
+
+Closes the elasticity loop the ROADMAP calls for (STRETCH-style
+shared-nothing elasticity, PAPERS.md):
+
+* :mod:`repro.autoscale.keygroups` — virtual key-group partitioning:
+  keys hash into a fixed number of groups, groups are range-assigned to
+  tasks, and snapshots split/merge along group boundaries so state
+  survives a parallelism change.
+* :mod:`repro.autoscale.policy` — pluggable scaling policies
+  (threshold + hysteresis + cooldown; headroom target).
+* :mod:`repro.autoscale.controller` — the :class:`ScalingController`
+  actor colocated with the TopologyMaster that turns queue-depth and
+  backpressure signals into orchestrated live rescales
+  (checkpoint → repack → restore).
+* :mod:`repro.autoscale.config_keys` — the ``autoscale.*`` config schema.
+"""
+
+from repro.autoscale.config_keys import SCHEMA, AutoscaleConfigKeys
+from repro.autoscale.controller import ScalingController
+from repro.autoscale.keygroups import (
+    DEFAULT_KEY_GROUPS,
+    KeyGroupGrouping,
+    group_of,
+    group_range,
+    merge_groups,
+    owner_index,
+    split_groups,
+)
+from repro.autoscale.policy import (
+    HeadroomPolicy,
+    ScalingPolicy,
+    ScalingSignals,
+    ThresholdPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AutoscaleConfigKeys",
+    "DEFAULT_KEY_GROUPS",
+    "HeadroomPolicy",
+    "KeyGroupGrouping",
+    "SCHEMA",
+    "ScalingController",
+    "ScalingPolicy",
+    "ScalingSignals",
+    "ThresholdPolicy",
+    "group_of",
+    "group_range",
+    "make_policy",
+    "merge_groups",
+    "owner_index",
+    "split_groups",
+]

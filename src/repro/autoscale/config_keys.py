@@ -1,0 +1,96 @@
+"""Configuration keys for the elastic scaling subsystem."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import ConfigKey, ConfigSchema
+
+SCHEMA = ConfigSchema("autoscale")
+
+
+def _declare(*args: Any, **kwargs: Any) -> ConfigKey:
+    return SCHEMA.declare(ConfigKey(*args, **kwargs))
+
+
+class AutoscaleConfigKeys:
+    """Knobs consumed by the :class:`~repro.autoscale.ScalingController`."""
+
+    AUTOSCALE_ENABLED = _declare(
+        "autoscale.enabled", default=False, value_type=bool,
+        description="Run a ScalingController next to the TopologyMaster "
+                    "that watches queue-depth/backpressure signals and "
+                    "drives live rescales (checkpoint -> repack -> "
+                    "restore). Requires checkpointing for stateful "
+                    "components to survive the parallelism change.")
+
+    AUTOSCALE_INTERVAL_SECS = _declare(
+        "autoscale.interval.secs", default=1.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Seconds between controller evaluations of the "
+                    "scaling policy.")
+
+    AUTOSCALE_POLICY = _declare(
+        "autoscale.policy", default="threshold", value_type=str,
+        validator=lambda v: v in ("threshold", "headroom"),
+        description="Which scaling policy decides parallelism: "
+                    "'threshold' (queue-depth watermarks + hysteresis) "
+                    "or 'headroom' (target per-instance utilization).")
+
+    AUTOSCALE_COMPONENTS = _declare(
+        "autoscale.components", default="", value_type=str,
+        description="Comma-separated component names the controller may "
+                    "rescale. Empty means every bolt whose incoming "
+                    "groupings are all key-group partitioned (the only "
+                    "components whose state survives a shape change).")
+
+    COOLDOWN_SECS = _declare(
+        "autoscale.cooldown.secs", default=5.0, value_type=float,
+        validator=lambda v: v >= 0,
+        description="Minimum seconds between rescales of the same "
+                    "component; absorbs the restore transient so one "
+                    "burst cannot trigger a scale-up/scale-down "
+                    "oscillation.")
+
+    HYSTERESIS_TICKS = _declare(
+        "autoscale.hysteresis.ticks", default=2, value_type=int,
+        validator=lambda v: v >= 1,
+        description="Consecutive controller ticks a signal must stay "
+                    "beyond a watermark before the policy acts on it.")
+
+    QUEUE_HIGH_WATERMARK = _declare(
+        "autoscale.queue.high.watermark", default=60.0, value_type=float,
+        validator=lambda v: v > 0,
+        description="Mean per-instance queue depth above which the "
+                    "threshold policy proposes a scale-up.")
+
+    QUEUE_LOW_WATERMARK = _declare(
+        "autoscale.queue.low.watermark", default=5.0, value_type=float,
+        validator=lambda v: v >= 0,
+        description="Mean per-instance queue depth below which the "
+                    "threshold policy proposes a scale-down (must stay "
+                    "well under the high watermark).")
+
+    SCALE_FACTOR = _declare(
+        "autoscale.scale.factor", default=2.0, value_type=float,
+        validator=lambda v: v > 1.0,
+        description="Multiplier applied on scale-up (and divided out on "
+                    "scale-down) by the threshold policy.")
+
+    MIN_PARALLELISM = _declare(
+        "autoscale.min.parallelism", default=1, value_type=int,
+        validator=lambda v: v >= 1,
+        description="Floor on any component's autoscaled parallelism.")
+
+    MAX_PARALLELISM = _declare(
+        "autoscale.max.parallelism", default=16, value_type=int,
+        validator=lambda v: v >= 1,
+        description="Ceiling on any component's autoscaled parallelism "
+                    "(also bounded by the key-group count).")
+
+    TARGET_HEADROOM = _declare(
+        "autoscale.target.headroom", default=0.3, value_type=float,
+        validator=lambda v: 0 < v < 1,
+        description="The headroom policy sizes parallelism so measured "
+                    "per-instance load sits at (1 - headroom) of the "
+                    "per-instance processing rate.")

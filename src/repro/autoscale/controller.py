@@ -1,0 +1,190 @@
+"""The ScalingController: closes the loop from metrics to rescales.
+
+One controller actor runs per autoscaled topology, colocated with the
+TopologyMaster in container 0 (control plane, like the checkpoint
+coordinator). Every ``autoscale.interval.secs`` it:
+
+1. reads the per-component aggregates the Metrics Managers forwarded to
+   the TM (queue depths, emitted/executed counters) and the TM-side
+   backpressure view;
+2. derives :class:`~repro.autoscale.policy.ScalingSignals` per eligible
+   component — arrival rate from the upstream components' emitted
+   deltas, executed rate and mean per-instance queue depth from the
+   component's own counters;
+3. asks the configured :class:`~repro.autoscale.policy.ScalingPolicy`
+   for a target parallelism and, when it answers, hands the change to
+   the runtime's rescale hook, which drives the orchestrated
+   checkpoint → repack → restore sequence
+   (:meth:`_TopologyRuntime.apply_rescale`).
+
+Eligibility: only components whose user code declares key-grouped state
+(``key_groups > 0``) are rescaled by default — they are the only ones
+whose state survives a shape change through
+:func:`repro.checkpoint.repartition.restore_into`. The
+``autoscale.components`` config key narrows (or overrides) the set.
+
+The controller keeps a ``history`` of every tick's signals and a
+``rescales`` log — the ``elastic`` figure and the e2e tests read both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.autoscale.config_keys import AutoscaleConfigKeys as Keys
+from repro.autoscale.policy import ScalingSignals, make_policy
+from repro.common.config import Config
+from repro.simulation.actors import Actor, CostLedger, Location
+from repro.simulation.costs import CostModel
+from repro.simulation.events import Simulator
+
+
+class _ScaleTick:
+    """Self-timer: evaluate the scaling policy."""
+
+
+def _component_key_groups(topology: Any, component: str) -> int:
+    """Key-group count declared by a component's user code (0 = none)."""
+    spec = topology.component(component)
+    user = spec.spout if getattr(spec, "spout", None) is not None \
+        else spec.bolt
+    return int(getattr(user, "key_groups", 0) or 0)
+
+
+class ScalingController(Actor):
+    """Turns backpressure/queue-depth signals into live rescales."""
+
+    def __init__(self, sim: Simulator, *, location: Location, network: Any,
+                 ledger: Optional[CostLedger], costs: CostModel,
+                 config: Config, pplan: Any,
+                 read_component_metrics: Callable[[], Dict[str, Dict[str, float]]],
+                 sample_backpressure: Callable[[], bool],
+                 request_rescale: Callable[[Dict[str, int]], None]) -> None:
+        name = pplan.topology.name
+        super().__init__(sim, f"autoscaler-{name}", location,
+                         network=network, ledger=ledger,
+                         group="scaling-controller")
+        self.costs = costs
+        self.config = config
+        self.pplan = pplan
+        self.read_component_metrics = read_component_metrics
+        self.sample_backpressure = sample_backpressure
+        self.request_rescale = request_rescale
+
+        self.interval = float(config.get(Keys.AUTOSCALE_INTERVAL_SECS))
+        self.policy = make_policy(str(config.get(Keys.AUTOSCALE_POLICY)),
+                                  config)
+        self.eligible: List[str] = self._eligible_components(config, pplan)
+        self._upstream: Dict[str, List[str]] = {
+            component: self._upstream_of(component)
+            for component in self.eligible}
+
+        # Cumulative-counter baselines for rate derivation.
+        self._last_counters: Dict[str, Dict[str, float]] = {}
+        self._last_tick_at: Optional[float] = None
+        #: True while a requested rescale has not yet landed in a new
+        #: physical plan (update_plan flips it back).
+        self.rescale_in_flight = False
+
+        # --- observability (figure + tests) --------------------------------
+        self.history: List[Dict[str, Any]] = []
+        self.rescales: List[Dict[str, Any]] = []
+        self.rescales_up = 0
+        self.rescales_down = 0
+        self.ticks = 0
+
+    def start(self) -> None:
+        """Arm the evaluation timer (called after attach, like the TM)."""
+        self.every(self.interval, lambda: self.deliver(_ScaleTick()))
+
+    # -- wiring ---------------------------------------------------------------
+    def _eligible_components(self, config: Config,
+                             pplan: Any) -> List[str]:
+        configured = str(config.get(Keys.AUTOSCALE_COMPONENTS)).strip()
+        topology = pplan.topology
+        if configured:
+            return [name.strip() for name in configured.split(",")
+                    if name.strip()]
+        return [name for name in topology.components()
+                if not topology.is_spout(name)
+                and _component_key_groups(topology, name) > 0]
+
+    def _upstream_of(self, component: str) -> List[str]:
+        topology = self.pplan.topology
+        spec = topology.component(component, missing_ok=True)
+        if spec is None or not hasattr(spec, "inputs"):
+            return []
+        return sorted({inp.component for inp in spec.inputs})
+
+    def update_plan(self, pplan: Any) -> None:
+        """A new physical plan is live: the requested rescale landed."""
+        self.pplan = pplan
+        self.rescale_in_flight = False
+
+    # -- message handling -----------------------------------------------------
+    def on_message(self, message: Any) -> None:
+        if isinstance(message, _ScaleTick):
+            self._tick()
+
+    # -- the control loop -----------------------------------------------------
+    def _rate(self, component: str, counters: Dict[str, float],
+              metric: str, dt: float) -> float:
+        """Delta-derived rate from a cumulative counter; clamped at zero
+        because restores/bounces reset instance counters."""
+        last = self._last_counters.get(component, {}).get(metric, 0.0)
+        current = counters.get(metric, 0.0)
+        if dt <= 0:
+            return 0.0
+        return max(0.0, (current - last) / dt)
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        self.charge(self.costs.tmaster_per_event)
+        now = self.sim.now
+        dt = (now - self._last_tick_at) \
+            if self._last_tick_at is not None else 0.0
+        metrics = self.read_component_metrics()
+        backpressured = bool(self.sample_backpressure())
+        for component in self.eligible:
+            task_ids = self.pplan.task_ids.get(component, [])
+            parallelism = len(task_ids)
+            if parallelism == 0:
+                continue
+            counters = metrics.get(component, {})
+            instances = max(1.0, counters.get("instances", parallelism))
+            depth = counters.get("queue_depth", 0.0) / instances
+            executed_rate = self._rate(component, counters, "executed", dt)
+            arrival = 0.0
+            for upstream in self._upstream[component]:
+                arrival += self._rate(
+                    upstream, metrics.get(upstream, {}), "emitted", dt)
+            signals = ScalingSignals(
+                component=component, parallelism=parallelism,
+                queue_depth=depth, arrival_rate=arrival,
+                executed_rate=executed_rate,
+                in_backpressure=backpressured, time=now)
+            self.history.append({
+                "time": now, "component": component,
+                "parallelism": float(parallelism),
+                "queue_depth": depth, "arrival_rate": arrival,
+                "executed_rate": executed_rate,
+                "backpressure": 1.0 if backpressured else 0.0})
+            if self.rescale_in_flight:
+                continue  # one orchestrated rescale at a time
+            target = self.policy.decide(signals)
+            if target is None or target == parallelism:
+                continue
+            self.policy.record_rescale(component, now)
+            self.rescale_in_flight = True
+            if target > parallelism:
+                self.rescales_up += 1
+            else:
+                self.rescales_down += 1
+            self.rescales.append({
+                "time": now, "component": component,
+                "from": float(parallelism), "to": float(target)})
+            self.charge(self.costs.tmaster_per_event)
+            self.request_rescale({component: target})
+        self._last_counters = {name: dict(values)
+                               for name, values in metrics.items()}
+        self._last_tick_at = now

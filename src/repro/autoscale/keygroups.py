@@ -1,0 +1,189 @@
+"""Virtual key-group partitioning: the unit of state elasticity.
+
+STRETCH-style shared-nothing elasticity (PAPERS.md) decouples *keys*
+from *tasks* through a fixed number of virtual key groups per component:
+
+* every key hashes into one of ``num_groups`` groups
+  (:func:`group_of`), and
+* every group is owned by exactly one task, with groups assigned to
+  tasks in contiguous ranges (:func:`group_range` /
+  :func:`owner_index`).
+
+Because the key→group mapping never changes, a parallelism change only
+moves whole groups between tasks: a snapshot taken at parallelism *p*
+merges its per-task group dicts into one global ``{group: state}`` map
+(:func:`merge_groups`) and re-splits it for parallelism *q*
+(:func:`split_groups`) without touching any key. The checkpoint layer
+(:mod:`repro.checkpoint.repartition`) rides exactly this round trip.
+
+The range convention is the classic ``ceil`` split (same as Flink's
+key-group ranges): task *i* of *p* owns groups
+``[ceil(i*G/p), ceil((i+1)*G/p))``, and the owner of group *g* is
+``g*p // G`` — the two formulas are exact inverses, which
+``tests/test_keygroups.py`` pins property-style.
+
+:class:`KeyGroupGrouping` is the routing half: a drop-in stream
+grouping that sends each tuple to the task owning its key's group, so
+routing and state placement stay consistent across rescales (a plain
+``FieldsGrouping`` hashes ``key % p``, which does *not* commute with
+range reassignment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.api.grouping import (Grouping, GroupingInstance, Route,
+                                allocate_proportionally, stable_hash)
+from repro.api.tuples import Values, fields_index
+from repro.common.errors import TopologyError
+
+#: Default number of virtual key groups per component. Far above any
+#: realistic parallelism (so ranges stay balanced) yet small enough that
+#: per-group snapshot overhead is negligible.
+DEFAULT_KEY_GROUPS = 128
+
+
+def group_of(key: object, num_groups: int) -> int:
+    """The virtual key group a key belongs to. Pure and stable: this
+    mapping must never depend on parallelism."""
+    return stable_hash(key) % num_groups
+
+
+def group_range(num_groups: int, parallelism: int, index: int) -> range:
+    """The contiguous group range owned by task ``index`` of
+    ``parallelism`` (half-open, possibly empty when p > G)."""
+    if parallelism <= 0:
+        raise ValueError(f"parallelism must be positive: {parallelism}")
+    if not 0 <= index < parallelism:
+        raise ValueError(f"task index {index} out of range for "
+                         f"parallelism {parallelism}")
+    start = -(-(index * num_groups) // parallelism)
+    end = -(-((index + 1) * num_groups) // parallelism)
+    return range(start, end)
+
+
+def owner_index(group: int, num_groups: int, parallelism: int) -> int:
+    """The task index (0-based) owning ``group`` — the exact inverse of
+    :func:`group_range`."""
+    if not 0 <= group < num_groups:
+        raise ValueError(f"group {group} out of range [0, {num_groups})")
+    return group * parallelism // num_groups
+
+
+def merge_groups(per_task: Mapping[int, Mapping[int, Any]]) -> Dict[int, Any]:
+    """Merge per-task ``{group: state}`` dicts into one global map.
+
+    ``per_task`` maps task ids to the group dicts their snapshots
+    returned. Groups must be disjoint across tasks (each group has one
+    owner); a duplicate means the snapshot was taken under two
+    conflicting assignments and is rejected loudly.
+    """
+    merged: Dict[int, Any] = {}
+    for task in sorted(per_task):
+        for group, state in per_task[task].items():
+            if group in merged:
+                raise ValueError(
+                    f"key group {group} appears in more than one task's "
+                    f"snapshot (task {task} and an earlier one)")
+            merged[group] = state
+    return merged
+
+
+def split_groups(global_groups: Mapping[int, Any], num_groups: int,
+                 parallelism: int) -> List[Dict[int, Any]]:
+    """Partition a global ``{group: state}`` map into per-task dicts for
+    a (possibly different) parallelism, by contiguous group ranges."""
+    parts: List[Dict[int, Any]] = [{} for _ in range(parallelism)]
+    for group in sorted(global_groups):
+        parts[owner_index(group, num_groups, parallelism)][group] = (
+            global_groups[group])
+    return parts
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+class _KeyGroupInstance(GroupingInstance):
+    """Route each tuple to the task owning its key's group."""
+
+    def __init__(self, task_ids: Sequence[int], positions: List[int],
+                 num_groups: int) -> None:
+        # Contiguous ranges are defined over task *indices*; sorting the
+        # ids makes index i the i-th lowest task, matching how
+        # split_groups hands out state after a repack (which keeps task
+        # ids contiguous 0..p-1).
+        super().__init__(sorted(task_ids))
+        self._positions = positions
+        self._single = positions[0] if len(positions) == 1 else None
+        self._num_groups = num_groups
+        self._task_memo: Dict[object, int] = {}
+
+    def task_for(self, value: Values) -> int:
+        if self._single is not None:
+            key = value[self._single]
+        else:
+            key = tuple(value[p] for p in self._positions)
+        try:
+            task = self._task_memo.get(key)
+        except TypeError:  # unhashable key: no memo
+            return self._route(key)
+        if task is None:
+            task = self._task_memo[key] = self._route(key)
+        return task
+
+    def _route(self, key: object) -> int:
+        group = group_of(key, self._num_groups)
+        return self.task_ids[
+            owner_index(group, self._num_groups, len(self.task_ids))]
+
+    def split(self, values: List[Values], tuple_ids: List[int],
+              count: int) -> List[Route]:
+        if not values:
+            # Nothing concrete to hash: spread the represented count by
+            # range width (exact when the batch is full fidelity anyway).
+            if count <= 0:
+                return []
+            widths = [float(len(group_range(self._num_groups,
+                                            len(self.task_ids), i)))
+                      for i in range(len(self.task_ids))]
+            if sum(widths) <= 0:
+                widths = [1.0] * len(self.task_ids)
+            shares = allocate_proportionally(widths, count)
+            return [(task, [], [], share)
+                    for task, share in zip(self.task_ids, shares) if share]
+        return self._split_by_choice(values, tuple_ids, count, self.task_for)
+
+
+class KeyGroupGrouping(Grouping):
+    """Key-group partitioning: same key → same group → owning task.
+
+    Unlike :class:`~repro.api.grouping.FieldsGrouping` (``hash % p``),
+    the key→group half never changes with parallelism, so re-routing
+    after a rescale lands every key exactly where
+    :func:`split_groups` placed its state.
+    """
+
+    def __init__(self, fields: Sequence[str],
+                 num_groups: int = DEFAULT_KEY_GROUPS) -> None:
+        if not fields:
+            raise TopologyError("key-group grouping needs at least one field")
+        if num_groups <= 0:
+            raise TopologyError(
+                f"key-group grouping needs a positive group count: "
+                f"{num_groups}")
+        self.fields = list(fields)
+        self.num_groups = num_groups
+
+    def create(self, source_fields: Sequence[str],
+               task_ids: Sequence[int]) -> GroupingInstance:
+        if len(task_ids) > self.num_groups:
+            raise TopologyError(
+                f"parallelism {len(task_ids)} exceeds the key-group count "
+                f"{self.num_groups}; some tasks would own no keys")
+        positions = fields_index(source_fields, self.fields)
+        return _KeyGroupInstance(task_ids, positions, self.num_groups)
+
+    def describe(self) -> str:
+        return f"KeyGroupGrouping({self.fields}, groups={self.num_groups})"

@@ -1,0 +1,188 @@
+"""Pluggable scaling policies: signals in, target parallelism out.
+
+A policy is a pure-ish decision object the
+:class:`~repro.autoscale.controller.ScalingController` consults once per
+tick with one component's observed :class:`ScalingSignals`. It answers
+``None`` ("leave it") or a target parallelism. All smoothing state
+(hysteresis streaks, cooldown clocks, rate EMAs) lives inside the
+policy, keyed by component, so the controller stays a thin actor.
+
+Two policies ship:
+
+* :class:`ThresholdPolicy` — classic reactive control: scale up by a
+  factor when mean per-instance queue depth stays above the high
+  watermark (or the component is backpressured) for ``hysteresis``
+  consecutive ticks; scale down when it stays below the low watermark.
+  A per-component cooldown absorbs the restore transient after each
+  rescale so the loop cannot oscillate.
+* :class:`HeadroomPolicy` — model-based: estimate the per-instance
+  service rate from ticks where the component was saturated, then size
+  parallelism so the measured arrival rate lands at
+  ``(1 - headroom)`` of capacity (Karimov et al.'s sustainable-
+  throughput framing, PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.autoscale.config_keys import AutoscaleConfigKeys as Keys
+from repro.common.config import Config
+
+
+@dataclass
+class ScalingSignals:
+    """One component's observed load at one controller tick."""
+
+    component: str
+    parallelism: int
+    #: Mean per-instance pending queue depth (tuples).
+    queue_depth: float
+    #: Tuples/sec arriving from upstream components since the last tick.
+    arrival_rate: float
+    #: Tuples/sec this component executed since the last tick.
+    executed_rate: float
+    #: True when any instance of the component reported growing queues
+    #: while the topology was in backpressure.
+    in_backpressure: bool = False
+    #: Simulated time of the observation.
+    time: float = 0.0
+
+
+@dataclass
+class _ComponentTrack:
+    """Per-component smoothing state shared by the policies."""
+
+    high_streak: int = 0
+    low_streak: int = 0
+    last_rescale: float = field(default=-math.inf)
+    service_rate: float = 0.0  # EMA of per-instance executed rate
+
+
+class ScalingPolicy:
+    """Base policy: bounds, cooldown and hysteresis bookkeeping."""
+
+    def __init__(self, config: Config) -> None:
+        self.min_parallelism: int = config.get(Keys.MIN_PARALLELISM)
+        self.max_parallelism: int = config.get(Keys.MAX_PARALLELISM)
+        self.cooldown: float = config.get(Keys.COOLDOWN_SECS)
+        self.hysteresis: int = config.get(Keys.HYSTERESIS_TICKS)
+        self._tracks: Dict[str, _ComponentTrack] = {}
+
+    def describe(self) -> str:
+        """Short name for logs and figure notes."""
+        return type(self).__name__
+
+    # -- shared bookkeeping --------------------------------------------------
+    def _track(self, component: str) -> _ComponentTrack:
+        track = self._tracks.get(component)
+        if track is None:
+            track = self._tracks[component] = _ComponentTrack()
+        return track
+
+    def _clamp(self, parallelism: int) -> int:
+        return max(self.min_parallelism,
+                   min(self.max_parallelism, parallelism))
+
+    def _in_cooldown(self, track: _ComponentTrack, now: float) -> bool:
+        return now - track.last_rescale < self.cooldown
+
+    def record_rescale(self, component: str, time: float) -> None:
+        """The controller reports every applied rescale back here so the
+        cooldown clock starts and streaks reset."""
+        track = self._track(component)
+        track.last_rescale = time
+        track.high_streak = 0
+        track.low_streak = 0
+
+    # -- the decision --------------------------------------------------------
+    def decide(self, signals: ScalingSignals) -> Optional[int]:
+        """Target parallelism for the component, or ``None`` to hold."""
+        raise NotImplementedError
+
+
+class ThresholdPolicy(ScalingPolicy):
+    """Watermark + hysteresis + cooldown reactive scaling."""
+
+    def __init__(self, config: Config) -> None:
+        super().__init__(config)
+        self.high_watermark: float = config.get(Keys.QUEUE_HIGH_WATERMARK)
+        self.low_watermark: float = config.get(Keys.QUEUE_LOW_WATERMARK)
+        self.factor: float = config.get(Keys.SCALE_FACTOR)
+
+    def decide(self, signals: ScalingSignals) -> Optional[int]:
+        track = self._track(signals.component)
+        pressured = (signals.queue_depth > self.high_watermark
+                     or signals.in_backpressure)
+        idle = signals.queue_depth < self.low_watermark
+        track.high_streak = track.high_streak + 1 if pressured else 0
+        track.low_streak = track.low_streak + 1 if idle else 0
+        if self._in_cooldown(track, signals.time):
+            return None
+        p = signals.parallelism
+        if track.high_streak >= self.hysteresis:
+            target = self._clamp(math.ceil(p * self.factor))
+            return target if target != p else None
+        if track.low_streak >= self.hysteresis:
+            target = self._clamp(math.ceil(p / self.factor))
+            return target if target < p else None
+        return None
+
+
+class HeadroomPolicy(ScalingPolicy):
+    """Size parallelism for a target utilization headroom.
+
+    Per-instance capacity is only observable when the component is
+    saturated (queues pending), so the estimate is an EMA over
+    saturated ticks; until the first saturated tick the policy holds.
+    """
+
+    #: EMA smoothing for the service-rate estimate.
+    ALPHA = 0.5
+    #: Queue depth that counts as "saturated" for capacity estimation.
+    SATURATION_DEPTH = 1.0
+
+    def __init__(self, config: Config) -> None:
+        super().__init__(config)
+        self.headroom: float = config.get(Keys.TARGET_HEADROOM)
+        self.low_watermark: float = config.get(Keys.QUEUE_LOW_WATERMARK)
+
+    def decide(self, signals: ScalingSignals) -> Optional[int]:
+        track = self._track(signals.component)
+        p = signals.parallelism
+        if signals.queue_depth >= self.SATURATION_DEPTH and p > 0:
+            observed = signals.executed_rate / p
+            if observed > 0:
+                if track.service_rate <= 0:
+                    track.service_rate = observed
+                else:
+                    track.service_rate += self.ALPHA * (
+                        observed - track.service_rate)
+        if track.service_rate <= 0:
+            return None  # capacity unknown until first saturation
+        usable = track.service_rate * (1.0 - self.headroom)
+        required = self._clamp(
+            max(1, math.ceil(signals.arrival_rate / usable)))
+        over = required > p or signals.in_backpressure
+        under = (required < p
+                 and signals.queue_depth < self.low_watermark)
+        track.high_streak = track.high_streak + 1 if over else 0
+        track.low_streak = track.low_streak + 1 if under else 0
+        if self._in_cooldown(track, signals.time):
+            return None
+        if track.high_streak >= self.hysteresis and required != p:
+            return self._clamp(max(required, p + 1))
+        if track.low_streak >= self.hysteresis and required < p:
+            return required
+        return None
+
+
+def make_policy(name: str, config: Config) -> ScalingPolicy:
+    """Instantiate the configured policy (``autoscale.policy``)."""
+    if name == "threshold":
+        return ThresholdPolicy(config)
+    if name == "headroom":
+        return HeadroomPolicy(config)
+    raise ValueError(f"unknown autoscale policy {name!r}")

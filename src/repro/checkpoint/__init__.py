@@ -20,7 +20,10 @@ Pieces:
   Manager layout + codec for committed snapshots (works against both
   the inmemory and localfs backends);
 * :mod:`~repro.checkpoint.messages` — the marker/snapshot/restore
-  control messages threaded through SMs and instances.
+  control messages threaded through SMs and instances;
+* :mod:`~repro.checkpoint.repartition` — key-group snapshot
+  re-partitioning so a restore can land in a *different* packing plan
+  (elastic rescales, ``repro.autoscale``).
 """
 
 from repro.checkpoint.coordinator import CheckpointCoordinator
@@ -28,6 +31,7 @@ from repro.checkpoint.messages import (CheckpointBarrier, InjectBarriers,
                                        InstanceBarrier, InstanceSnapshot,
                                        RemoteBarriers, RestoreInstance,
                                        RestoreRequest, RestoreTopology)
+from repro.checkpoint.repartition import component_key_groups, restore_into
 from repro.checkpoint.snapshot import (CheckpointStore, decode_state,
                                        encode_state)
 
@@ -42,6 +46,8 @@ __all__ = [
     "RestoreInstance",
     "RestoreRequest",
     "RestoreTopology",
+    "component_key_groups",
     "decode_state",
     "encode_state",
+    "restore_into",
 ]

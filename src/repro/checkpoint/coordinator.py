@@ -36,6 +36,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Optional, Set,
 from repro.checkpoint.messages import (InjectBarriers, InstanceKey,
                                        InstanceSnapshot, RestoreAck,
                                        RestoreRequest, RestoreTopology)
+from repro.checkpoint.repartition import restore_into
 from repro.checkpoint.snapshot import CheckpointStore
 from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostModel
@@ -216,6 +217,12 @@ class CheckpointCoordinator(Actor):
 
     def _try_restore(self) -> None:
         self.charge(self.costs.coordinator_per_event)
+        if self.last_restore_at == self.sim.now:  # lint: allow[D005]
+            # Coalesce duplicate same-instant requests: a live rescale
+            # bounces changed containers (each relaunch schedules its own
+            # restore) *and* requests one explicitly — one rollback
+            # covers them all.
+            return
         if self._pending is not None:
             # In-flight snapshots predate the failure; abandon them.
             self.checkpoints_aborted += 1
@@ -231,6 +238,9 @@ class CheckpointCoordinator(Actor):
         self.store.save_epoch(self.epoch)
         loaded = self.store.load_latest()
         checkpoint_id, blobs = loaded if loaded is not None else (0, {})
+        # Re-partition key-grouped state if the snapshot was taken under a
+        # different packing plan (elastic rescale); identity otherwise.
+        blobs = restore_into(blobs, self.pplan)
         stmgrs = self.resolve_stmgrs()
         self.charge(self.costs.coordinator_per_event * max(1, len(stmgrs)))
         for cid, stmgr in sorted(stmgrs.items()):

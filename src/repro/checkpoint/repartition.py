@@ -1,0 +1,87 @@
+"""Snapshot re-partitioning: restore a checkpoint into a *different* plan.
+
+Same-shape rollback (PR 2) hands every task back exactly the blob it
+snapshotted. A live rescale breaks that 1:1 mapping: the committed
+global snapshot was taken at parallelism *p* but must restore into a
+plan with parallelism *q*. :func:`restore_into` bridges the gap using
+the key-group convention of :mod:`repro.autoscale.keygroups`:
+
+* a component whose user code declares ``key_groups = G`` snapshots its
+  state as a ``{group_id: state}`` dict. Re-partitioning decodes every
+  task's dict, merges them into one global group map, re-splits it into
+  contiguous ranges for the *new* task list, and re-encodes — no key is
+  ever touched, only whole groups move;
+* a component with monolithic state (``key_groups == 0``) passes
+  through per task id: tasks present in both shapes keep their blob,
+  removed tasks' blobs are dropped, added tasks start fresh. (The
+  autoscaler therefore only rescales key-grouped components; spouts
+  keep their per-task offsets because their parallelism is untouched.)
+
+The :class:`~repro.checkpoint.coordinator.CheckpointCoordinator` calls
+this on every restore, so the plain failure-recovery path and the
+rescale path share one code path — when shapes match, re-partitioning
+is the identity on every blob.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.autoscale.keygroups import merge_groups, split_groups
+from repro.checkpoint.messages import InstanceKey
+from repro.checkpoint.snapshot import decode_state, encode_state
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.pplan import PhysicalPlan
+
+
+def component_key_groups(topology, component: str) -> int:
+    """The key-group count a component's user code declares (0 = its
+    state is monolithic and cannot survive a shape change)."""
+    spec = topology.component(component)
+    user = spec.spout if getattr(spec, "spout", None) is not None \
+        else spec.bolt
+    return int(getattr(user, "key_groups", 0) or 0)
+
+
+def restore_into(blobs: Dict[InstanceKey, Optional[bytes]],
+                 pplan: "PhysicalPlan"
+                 ) -> Dict[InstanceKey, Optional[bytes]]:
+    """Re-partition a committed snapshot's blobs into ``pplan``'s shape.
+
+    ``blobs`` is what :meth:`CheckpointStore.load_latest` returned (one
+    blob per task that had state at commit time). The result maps the
+    *new* plan's task keys to blobs; tasks without an entry restore
+    fresh (``None`` state).
+    """
+    by_component: Dict[str, Dict[int, Optional[bytes]]] = {}
+    for (component, task_id), blob in blobs.items():
+        by_component.setdefault(component, {})[task_id] = blob
+
+    out: Dict[InstanceKey, Optional[bytes]] = {}
+    for component, task_blobs in sorted(by_component.items()):
+        new_ids: List[int] = sorted(pplan.task_ids.get(component, []))
+        if not new_ids:
+            continue  # component no longer in the plan
+        old_ids = sorted(task_blobs)
+        groups = component_key_groups(pplan.topology, component)
+        if groups <= 0 or old_ids == new_ids:
+            # Monolithic state, or an unchanged shape: identity per task.
+            new_set = set(new_ids)
+            for task_id in old_ids:
+                if task_id in new_set:
+                    out[(component, task_id)] = task_blobs[task_id]
+            continue
+        # Key-grouped state across a shape change: merge + re-split.
+        per_task: Dict[int, Dict[int, object]] = {}
+        for task_id in old_ids:
+            blob = task_blobs[task_id]
+            if blob is None:
+                continue
+            state = decode_state(blob)
+            per_task[task_id] = dict(state) if state else {}
+        merged = merge_groups(per_task)
+        parts = split_groups(merged, groups, len(new_ids))
+        for index, task_id in enumerate(new_ids):
+            out[(component, task_id)] = encode_state(parts[index])
+    return out

@@ -49,6 +49,8 @@ FIGURES: Dict[str, tuple] = {
                    "Big-cluster stress: heap vs calendar event kernel"),
     "placement": ("repro.experiments.placement",
                   "R-Storm placement vs RR/FFD on a racked cluster"),
+    "elastic": ("repro.experiments.elastic",
+                "repro.autoscale: live rescaling under a diurnal sweep"),
 }
 
 #: Aliases: every paper figure number resolves to its runner.

@@ -23,6 +23,9 @@ from typing import Dict, List, Mapping, Optional
 from repro.api.config_keys import SCHEMA as TOPOLOGY_SCHEMA
 from repro.api.config_keys import TopologyConfigKeys as Keys
 from repro.api.topology import Topology
+from repro.autoscale.config_keys import SCHEMA as AUTOSCALE_SCHEMA
+from repro.autoscale.config_keys import AutoscaleConfigKeys
+from repro.autoscale.controller import ScalingController
 from repro.chaos.network import FaultyNetwork
 from repro.chaos.plan import FaultPlan
 from repro.checkpoint.coordinator import CheckpointCoordinator
@@ -168,6 +171,7 @@ class HeronCluster:
             merged.update(config)
         TOPOLOGY_SCHEMA.validate(merged)
         PACKING_SCHEMA.validate(merged)
+        AUTOSCALE_SCHEMA.validate(merged)
 
         manager = resource_manager or RoundRobinPacking()
         manager.initialize(merged, topology)
@@ -270,6 +274,10 @@ class _TopologyRuntime:
         # --- checkpointing (repro.checkpoint) ------------------------------
         self.checkpointing = bool(config.get(Keys.CHECKPOINT_ENABLED))
         self.coordinator: Optional[CheckpointCoordinator] = None
+        # --- elastic scaling (repro.autoscale) -----------------------------
+        self.autoscaling = bool(
+            config.get(AutoscaleConfigKeys.AUTOSCALE_ENABLED))
+        self.controller: Optional[ScalingController] = None
         # Containers this runtime has launched at least once: seeing one
         # again means a relaunch (failure recovery or deliberate restart),
         # which must roll the topology back to its last checkpoint.
@@ -304,6 +312,19 @@ class _TopologyRuntime:
             container.attach(coordinator)
             self.coordinator = coordinator
             coordinator.start()
+        if self.autoscaling:
+            # The ScalingController is control-plane too: it rides in the
+            # master container and reads the TM's metric aggregates.
+            controller = ScalingController(
+                heron.sim, location=container.location(),
+                network=heron.network, ledger=heron.ledger,
+                costs=heron.costs, config=self.config, pplan=self.pplan,
+                read_component_metrics=self._component_metrics,
+                sample_backpressure=self._any_backpressure,
+                request_rescale=self.request_rescale)
+            container.attach(controller)
+            self.controller = controller
+            controller.start()
 
     def resolve_tmaster(self) -> Optional[TopologyMaster]:
         tmaster = self.tmaster
@@ -319,6 +340,19 @@ class _TopologyRuntime:
 
     def _alive_stmgrs(self) -> Dict[int, StreamManager]:
         return {cid: sm for cid, sm in self.sms.items() if sm.alive}
+
+    def _component_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-component metric sums from the current TM (autoscaler feed)."""
+        tmaster = self.resolve_tmaster()
+        if tmaster is None:
+            return {}
+        return tmaster.component_totals()
+
+    def _any_backpressure(self) -> bool:
+        """True while any Stream Manager holds the topology in
+        backpressure (the autoscaler's saturation signal)."""
+        return any(sm.in_backpressure for sm in self.sms.values()
+                   if sm.alive)
 
     def launch_container(self, container: Container,
                          plan: ContainerPlan) -> None:
@@ -344,7 +378,9 @@ class _TopologyRuntime:
         mm = MetricsManager(
             heron.sim, cid, location=container.location(),
             network=heron.network, ledger=heron.ledger, costs=heron.costs,
-            resolve_tmaster=self.resolve_tmaster)
+            resolve_tmaster=self.resolve_tmaster,
+            forward_interval=float(self.config.get(
+                Keys.METRICS_FORWARD_INTERVAL_SECS)))
         container.attach(mm)
         self.mms[cid] = mm
 
@@ -425,8 +461,22 @@ class _TopologyRuntime:
             self.retired_latency.merge(instance.latency)
 
     # -- scaling ----------------------------------------------------------------
+    def _feed_measured_traffic(self) -> None:
+        """Hand the packing policy the topology's *measured* per-component
+        emit totals so a placement-aware repack (R-Storm) re-optimizes on
+        observed traffic instead of the static unit-rate model."""
+        tmaster = self.resolve_tmaster()
+        if tmaster is None:
+            return
+        rates = {component: row.get("emitted", 0.0)
+                 for component, row in tmaster.component_totals().items()
+                 if row.get("emitted", 0.0) > 0.0}
+        if rates:
+            self.manager.set_measured_traffic(rates)
+
     def apply_scaling(self, parallelism_changes: Mapping[str, int]) -> None:
         new_topology = self.topology.with_parallelism(parallelism_changes)
+        self._feed_measured_traffic()
         new_plan = self.manager.repack(self.packing_plan,
                                        parallelism_changes)
         self.topology = new_topology
@@ -441,6 +491,36 @@ class _TopologyRuntime:
         coordinator = self.resolve_coordinator()
         if coordinator is not None:
             coordinator.update_plan(self.pplan)
+        controller = self.controller
+        if controller is not None and controller.alive:
+            controller.update_plan(self.pplan)
+
+    def request_rescale(self, parallelism_changes: Mapping[str, int]) -> None:
+        """The ScalingController asked for a live rescale; run it outside
+        the controller's own handler turn."""
+        self.heron.sim.schedule(0.0, self._rescale,
+                                dict(parallelism_changes))
+
+    def _rescale(self, parallelism_changes: Dict[str, int]) -> None:
+        if self.heron.topologies.get(self.topology.name) is not self:
+            return  # topology was killed meanwhile
+        self.apply_rescale(parallelism_changes)
+
+    def apply_rescale(self, parallelism_changes: Mapping[str, int]) -> None:
+        """One orchestrated live rescale: repack + relaunch, then roll the
+        whole topology back to its last committed checkpoint under the new
+        shape. ``restore_into`` re-partitions key-grouped state across the
+        parallelism change and the spouts rewind to their checkpointed
+        offsets, so counts stay effectively-once across the rescale —
+        progress since that checkpoint is simply replayed.
+        """
+        self.apply_scaling(parallelism_changes)
+        if self.checkpointing:
+            # Changed containers are bounced by the scheduler (each
+            # relaunch schedules its own restore request); this explicit
+            # request covers the case where only *fresh* containers were
+            # added. The coordinator coalesces same-instant duplicates.
+            self.heron.sim.schedule(0.0, self._request_restore)
 
 
 class TopologyHandle:
@@ -464,6 +544,11 @@ class TopologyHandle:
     def scale(self, parallelism_changes: Mapping[str, int]) -> None:
         """Change component parallelism at runtime (repack + onUpdate)."""
         self._heron.update_topology(self.name, parallelism_changes)
+
+    def rescale(self, parallelism_changes: Mapping[str, int]) -> None:
+        """Live rescale with state: scale, then restore key-grouped state
+        into the new shape (the autoscaler's orchestration, manually)."""
+        self._runtime.apply_rescale(dict(parallelism_changes))
 
     def activate(self) -> None:
         """Resume spout emission."""
@@ -601,6 +686,26 @@ class TopologyHandle:
                 coordinator.last_restore_at
                 if coordinator.last_restore_at is not None else -1.0),
         }
+
+    @property
+    def autoscaler(self) -> Optional[ScalingController]:
+        """The live ScalingController (None when autoscaling is off) —
+        its ``history``/``rescales`` logs feed the elastic figure."""
+        controller = self._runtime.controller
+        if controller is not None and controller.alive:
+            return controller
+        return None
+
+    def autoscaler_stats(self) -> Dict[str, float]:
+        """Controller counters (zeros when autoscaling is off)."""
+        controller = self.autoscaler
+        if controller is None:
+            return {"ticks": 0.0, "rescales_up": 0.0, "rescales_down": 0.0,
+                    "rescales": 0.0}
+        return {"ticks": float(controller.ticks),
+                "rescales_up": float(controller.rescales_up),
+                "rescales_down": float(controller.rescales_down),
+                "rescales": float(len(controller.rescales))}
 
     def tmaster_metrics(self) -> Dict[int, dict]:
         """Per-container metric summaries as collected by the Topology

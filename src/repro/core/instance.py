@@ -278,7 +278,9 @@ class HeronInstance(Actor):
                 tick = getattr(self.user, "tick_frequency", None)
                 if tick:
                     self.every(tick, self._deliver_tick)
-            self.every(1.0, lambda: self.deliver(_MetricsTick()))
+            self.every(float(self.config.get(
+                Keys.METRICS_REPORT_INTERVAL_SECS)),
+                lambda: self.deliver(_MetricsTick()))
         if self.is_spout and not self.active:
             self.active = True
             self._wake_emit_loop()
@@ -649,6 +651,9 @@ class HeronInstance(Actor):
                 "executed": self.executed_count,
                 "acked": self.acked_count,
                 "failed": self.failed_count,
+                # Instantaneous pending-queue depth: the load signal the
+                # autoscaler (repro.autoscale) scales on.
+                "queue_depth": self.inbox_len,
             }))
 
 

@@ -209,7 +209,14 @@ class MetricSample:
 
 @dataclass
 class MetricsSummary:
-    """Metrics Manager → TM: per-container aggregate."""
+    """Metrics Manager → TM: per-container aggregate.
+
+    ``components`` breaks the same counters down per component (summed
+    over the container's local instances of each one, plus an
+    ``instances`` reporting count) — the signal feed of the autoscaler
+    (``repro.autoscale``) and of measured-traffic repacking.
+    """
 
     container_id: int
     metrics: dict
+    components: dict = field(default_factory=dict)

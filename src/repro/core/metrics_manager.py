@@ -57,7 +57,8 @@ class MetricsManager(Actor):
             return
         self.charge(self.costs.metrics_per_sample * len(self.latest))
         self.send(tmaster, MetricsSummary(self.container_id,
-                                          self.container_totals()))
+                                          self.container_totals(),
+                                          self.component_metrics()))
         self.summaries_sent += 1
 
     def container_totals(self) -> Dict[str, float]:
@@ -68,3 +69,24 @@ class MetricsManager(Actor):
                 if isinstance(value, (int, float)):
                     totals[key] = totals.get(key, 0.0) + value
         return totals
+
+    def component_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-component sums over this container's local instances.
+
+        Instance sources report as ``component[task]``; non-instance
+        sources (no bracket) are left out. Each row carries an extra
+        ``instances`` count so consumers can compute per-instance means
+        (e.g. mean queue depth, the autoscaler's primary signal).
+        """
+        per_component: Dict[str, Dict[str, float]] = {}
+        for source, metrics in self.latest.items():
+            bracket = source.find("[")
+            if bracket <= 0 or not source.endswith("]"):
+                continue
+            component = source[:bracket]
+            row = per_component.setdefault(component, {"instances": 0.0})
+            row["instances"] += 1.0
+            for key, value in metrics.items():
+                if isinstance(value, (int, float)):
+                    row[key] = row.get(key, 0.0) + value
+        return per_component

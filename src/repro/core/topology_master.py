@@ -57,6 +57,8 @@ class TopologyMaster(Actor):
         self.tmaster_path = tmaster_path
         self.registrations: Dict[int, Actor] = {}
         self.container_metrics: Dict[int, dict] = {}
+        #: Per-container, per-component metric sums (autoscaler feed).
+        self.component_metrics: Dict[int, dict] = {}
         self.last_heartbeat: Dict[str, float] = {}
         self.plan_broadcasts = 0
         self.activated = True
@@ -124,6 +126,8 @@ class TopologyMaster(Actor):
         elif isinstance(message, MetricsSummary):
             self.charge(self.costs.tmaster_per_event)
             self.container_metrics[message.container_id] = message.metrics
+            self.component_metrics[message.container_id] = \
+                message.components
         elif isinstance(message, Heartbeat):
             self.charge(self.costs.tmaster_per_event)
             self.last_heartbeat[message.sender] = message.time
@@ -163,6 +167,18 @@ class TopologyMaster(Actor):
         for sm in self.registrations.values():
             if sm.alive:
                 self.send(sm, message_cls(0))
+
+    def component_totals(self) -> Dict[str, Dict[str, float]]:
+        """Topology-wide per-component metric sums across containers —
+        what the ScalingController (``repro.autoscale``) reads each
+        tick. Also the measured-traffic source for repacking."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for rows in self.component_metrics.values():
+            for component, metrics in rows.items():
+                row = totals.setdefault(component, {})
+                for key, value in metrics.items():
+                    row[key] = row.get(key, 0.0) + value
+        return totals
 
     def stale_stmgrs(self, max_age: float = 10.0) -> list:
         """SM names whose last heartbeat is older than ``max_age``
@@ -214,6 +230,14 @@ class TopologyMaster(Actor):
         self.registrations = {cid: sm for cid, sm in
                               self.registrations.items()
                               if cid in valid and sm.alive}
+        # Metrics of removed/bounced containers are stale the moment the
+        # new plan lands; keeping them would skew autoscaler signals.
+        self.container_metrics = {cid: row for cid, row in
+                                  self.container_metrics.items()
+                                  if cid in valid}
+        self.component_metrics = {cid: row for cid, row in
+                                  self.component_metrics.items()
+                                  if cid in valid}
         if set(self.registrations) >= valid:
             self._broadcast_plan()
 

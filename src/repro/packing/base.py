@@ -75,6 +75,7 @@ class ResourceManager:
         self.config: Optional[Config] = None
         self.topology: Optional[Topology] = None
         self.cluster: Optional["Cluster"] = None
+        self.measured_traffic: Dict[str, float] = {}
 
     # -- the paper's four methods -------------------------------------------
     def initialize(self, config: Config, topology: Topology) -> None:
@@ -87,6 +88,16 @@ class ResourceManager:
         policy. Placement-oblivious policies ignore it; placement-aware
         ones (R-Storm) use it to emit machine/rack preferences."""
         self.cluster = cluster
+
+    def set_measured_traffic(self, rates: Mapping[str, float]) -> None:
+        """Offer measured per-component output totals (from the metrics
+        pipeline) ahead of a repack. Traffic-aware policies feed them into
+        their :class:`~repro.packing.traffic.TrafficGraph` instead of the
+        static unit-rate model; others ignore them. Values are relative
+        weights — cumulative emit counters work as-is."""
+        self.measured_traffic = {name: float(rate)
+                                 for name, rate in rates.items()
+                                 if rate > 0.0}
 
     def pack(self) -> PackingPlan:
         """Produce the initial packing plan."""

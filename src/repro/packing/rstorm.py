@@ -62,7 +62,8 @@ class RStormPacking(ResourceManager):
     # -- the ResourceManager interface --------------------------------------
     def pack(self) -> PackingPlan:
         topology = self._require_initialized()
-        graph = TrafficGraph(topology)
+        graph = TrafficGraph(topology,
+                             measured_rates=self.measured_traffic)
         state = _PlacementState(self)
         for task in self._traversal_order(graph, graph.tasks()):
             state.place(task, graph,
@@ -75,7 +76,8 @@ class RStormPacking(ResourceManager):
         topology = self._require_initialized()
         self.check_changes(current_plan, parallelism_changes)
         counts = rp.target_counts(current_plan, parallelism_changes)
-        graph = TrafficGraph(topology, counts)
+        graph = TrafficGraph(topology, counts,
+                             measured_rates=self.measured_traffic)
         state = _PlacementState(self, current_plan)
         assignments = rp.current_assignments(current_plan)
         rp.apply_removals(assignments, counts)

@@ -34,7 +34,9 @@ class TrafficGraph:
     """Undirected, weighted task-communication graph for one topology."""
 
     def __init__(self, topology: Topology,
-                 parallelism: Optional[Mapping[str, int]] = None) -> None:
+                 parallelism: Optional[Mapping[str, int]] = None,
+                 measured_rates: Optional[Mapping[str, float]] = None
+                 ) -> None:
         self._order: List[str] = topology.components()
         self._position: Dict[str, int] = {
             name: index for index, name in enumerate(self._order)}
@@ -46,15 +48,27 @@ class TrafficGraph:
                     continue
                 self._parallelism[name] = count
         self._adjacency: Dict[Task, Dict[Task, float]] = {}
-        self._rates = self._component_rates(topology)
+        # Observed output rates from the metrics pipeline override the
+        # static model where available — an online repack weighs edges
+        # by what the topology actually emitted. Components without a
+        # measurement inherit propagated (possibly measured) input
+        # rates, so partial coverage still shifts the whole DAG.
+        measured: Dict[str, float] = {
+            name: float(rate)
+            for name, rate in (measured_rates or {}).items()
+            if rate > 0.0}
+        self._rates = self._component_rates(topology, measured)
         self._build(topology)
 
     # -- construction --------------------------------------------------------
-    def _component_rates(self, topology: Topology) -> Dict[str, float]:
+    def _component_rates(self, topology: Topology,
+                         measured: Mapping[str, float]
+                         ) -> Dict[str, float]:
         """Relative output rate per component (unit spout rates,
-        pass-through bolts), resolved in DAG order."""
+        pass-through bolts, measured overrides), resolved in DAG
+        order."""
         rates: Dict[str, float] = {
-            name: float(self._parallelism[name])
+            name: measured.get(name, float(self._parallelism[name]))
             for name in topology.spouts}
         pending = [name for name in self._order if name not in rates]
         while pending:
@@ -63,8 +77,8 @@ class TrafficGraph:
             for name in pending:
                 inputs = topology.bolts[name].inputs
                 if all(spec.component in rates for spec in inputs):
-                    rates[name] = sum(
-                        rates[spec.component] for spec in inputs)
+                    rates[name] = measured.get(name, sum(
+                        rates[spec.component] for spec in inputs))
                     progressed = True
                 else:
                     still_pending.append(name)

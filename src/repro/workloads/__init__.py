@@ -5,6 +5,11 @@
 * :mod:`repro.workloads.stateful_wordcount` — the stateful WordCount
   variant (replayable spouts + checkpointed counts) driving the
   effectively-once demonstrations of ``repro.checkpoint``;
+* :mod:`repro.workloads.elastic` — schedule-paced spouts and
+  key-group-partitioned counters for the live-rescale demonstrations of
+  ``repro.autoscale``;
+* :mod:`repro.workloads.hotkey` — Zipf-skewed keys through partial-key
+  grouping (hot-key stress + chaos recovery scenario);
 * :mod:`repro.workloads.kafka_redis` — the production-style
   Kafka → filter → aggregate → Redis topology of Fig. 14;
 * :mod:`repro.workloads.external` — simulated Kafka broker and Redis
@@ -13,6 +18,10 @@
 """
 
 from repro.workloads.corpus import DEFAULT_CORPUS_SIZE, corpus
+from repro.workloads.elastic import (DIURNAL_SCHEDULE, KeyGroupCountBolt,
+                                     ScheduledWordSpout,
+                                     elastic_wordcount_topology)
+from repro.workloads.hotkey import ZipfWordSpout, hotkey_topology
 from repro.workloads.stateful_wordcount import (StatefulCountBolt,
                                                 StatefulWordSpout,
                                                 stateful_wordcount_topology)
@@ -22,10 +31,16 @@ from repro.workloads.wordcount import (CountBolt, WordSpout,
 __all__ = [
     "CountBolt",
     "DEFAULT_CORPUS_SIZE",
+    "DIURNAL_SCHEDULE",
+    "KeyGroupCountBolt",
+    "ScheduledWordSpout",
     "StatefulCountBolt",
     "StatefulWordSpout",
     "WordSpout",
+    "ZipfWordSpout",
     "corpus",
+    "elastic_wordcount_topology",
+    "hotkey_topology",
     "stateful_wordcount_topology",
     "wordcount_topology",
 ]

@@ -1,0 +1,144 @@
+"""Elastic WordCount: the autoscaler's demonstration workload.
+
+Stateful WordCount reshaped for live rescaling (``repro.autoscale``):
+
+* :class:`ScheduledWordSpout` paces emission along a piecewise-constant
+  **load schedule** — the diurnal-style curve that sweeps offered load
+  up ~10x and back down in the ``elastic`` figure. The spout stays
+  replayable (offset state), so effectively-once holds across every
+  rescale-triggered rollback;
+* :class:`KeyGroupCountBolt` keeps its word counts **per virtual key
+  group**, the unit :func:`repro.checkpoint.repartition.restore_into`
+  moves between tasks when parallelism changes;
+* :func:`elastic_wordcount_topology` wires them with a
+  :class:`~repro.autoscale.keygroups.KeyGroupGrouping` on the word edge,
+  so routing and state placement agree before and after every rescale.
+
+Because the word at each offset is a pure function of (task, offset)
+and the schedule is a pure function of time, an autoscaled run and a
+fixed-overprovisioned run must converge to byte-identical final counts
+— the acceptance bar of the e2e elasticity test.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.topology import Topology, TopologyBuilder
+from repro.autoscale.keygroups import (DEFAULT_KEY_GROUPS, KeyGroupGrouping,
+                                       group_of)
+from repro.common.config import Config
+from repro.workloads.corpus import DEFAULT_CORPUS_SIZE
+from repro.workloads.stateful_wordcount import (StatefulCountBolt,
+                                                StatefulWordSpout)
+
+#: One (start_time, tuples_per_sec) step of a load schedule.
+LoadStep = Tuple[float, float]
+
+#: The default diurnal-style sweep: up ~10x, hold, back down.
+DIURNAL_SCHEDULE: List[LoadStep] = [
+    (0.0, 2_000.0),
+    (2.0, 20_000.0),
+    (6.0, 2_000.0),
+]
+
+
+class ScheduledWordSpout(StatefulWordSpout):
+    """Replayable spout paced by a piecewise-constant load schedule.
+
+    ``schedule`` is a list of ``(start_time, rate)`` steps in ascending
+    start order; the emission budget at time *t* is the integral of the
+    step function up to *t* — deterministic, so a rollback re-emits
+    exactly the same stream.
+    """
+
+    def __init__(self, schedule: Sequence[LoadStep], *,
+                 total_tuples: int = 0,
+                 corpus_size: int = DEFAULT_CORPUS_SIZE,
+                 seed: int = 0) -> None:
+        super().__init__(total_tuples, rate=0.0, corpus_size=corpus_size,
+                         seed=seed)
+        if not schedule:
+            raise ValueError("load schedule must have at least one step")
+        steps = sorted((float(start), float(rate))
+                       for start, rate in schedule)
+        if steps[0][0] != 0.0:
+            steps.insert(0, (0.0, 0.0))
+        self.schedule: List[LoadStep] = steps
+        self._starts = [start for start, _rate in steps]
+        # Cumulative budget at each step boundary, so _paced_target is
+        # O(log steps) per call.
+        self._cumulative: List[float] = [0.0]
+        for (start, rate), (next_start, _r) in zip(steps[:-1], steps[1:]):
+            self._cumulative.append(
+                self._cumulative[-1] + rate * (next_start - start))
+
+    def rate_at(self, now: float) -> float:
+        """Offered load (tuples/sec per task) at simulated time ``now``."""
+        index = bisect_right(self._starts, now) - 1
+        return self.schedule[max(0, index)][1]
+
+    def _paced_target(self, now: float) -> Optional[int]:
+        index = bisect_right(self._starts, now) - 1
+        start, rate = self.schedule[max(0, index)]
+        return int(self._cumulative[max(0, index)] + rate * (now - start))
+
+
+class KeyGroupCountBolt(StatefulCountBolt):
+    """Word counter whose state is partitioned by virtual key group.
+
+    Same counting logic as :class:`StatefulCountBolt`; only the snapshot
+    shape changes: ``{group_id: {word: count}}`` instead of one flat
+    dict, which is what lets the checkpoint layer re-partition it across
+    a parallelism change without ever splitting a key.
+    """
+
+    def __init__(self, num_groups: int = DEFAULT_KEY_GROUPS,
+                 cost_per_tuple: float = 0.0) -> None:
+        super().__init__()
+        self.key_groups = num_groups
+        # Declared user-logic cost bounds per-instance capacity at
+        # ~1/cost tuples/sec — what makes offered load actually saturate
+        # instances so the autoscaler has something to react to.
+        self.user_cost_per_tuple = cost_per_tuple
+
+    def init_state(self, state: Optional[Any]) -> None:
+        self.counts = Counter()
+        if state:
+            for group_counts in state.values():
+                for word, count in group_counts.items():
+                    self.counts[word] += count
+
+    def snapshot_state(self) -> Any:
+        groups: Dict[int, Dict[str, float]] = {}
+        for word, count in self.counts.items():
+            group = group_of(word, self.key_groups)
+            groups.setdefault(group, {})[word] = count
+        return groups
+
+
+def elastic_wordcount_topology(spouts: int = 2, counts: int = 2, *,
+                               schedule: Optional[Sequence[LoadStep]] = None,
+                               total_tuples: int = 0,
+                               num_groups: int = DEFAULT_KEY_GROUPS,
+                               count_cost_per_tuple: float = 0.0,
+                               corpus_size: int = DEFAULT_CORPUS_SIZE,
+                               config: Optional[Config] = None,
+                               name: str = "elastic-wordcount") -> Topology:
+    """Schedule-paced spouts → key-group-partitioned stateful counts.
+
+    ``counts`` is only the *initial* bolt parallelism — the autoscaler
+    (or :meth:`TopologyHandle.rescale`) reshapes it live.
+    """
+    builder = TopologyBuilder(name)
+    builder.set_spout(
+        "word", ScheduledWordSpout(schedule or DIURNAL_SCHEDULE,
+                                   total_tuples=total_tuples,
+                                   corpus_size=corpus_size), spouts)
+    builder.set_bolt(
+        "count", KeyGroupCountBolt(num_groups, count_cost_per_tuple),
+        counts) \
+        .grouping("word", KeyGroupGrouping(["word"], num_groups))
+    return builder.build(config)

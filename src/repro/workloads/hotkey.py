@@ -1,0 +1,110 @@
+"""Hot-key stress: Zipf-skewed keys through partial-key grouping.
+
+Real streams are skewed — a few keys dominate (trending hashtags, hot
+users). This workload stresses exactly that:
+
+* :class:`ZipfWordSpout` draws words from a Zipf(``skew``) distribution
+  over the corpus via a deterministic inverse-CDF: the variate at each
+  offset is a pure function of (task, offset, seed), so the stream is
+  replayable and a rollback re-emits it exactly — the source contract
+  effectively-once needs;
+* :func:`hotkey_topology` routes it through **partial-key grouping**
+  (Nasir et al.'s two-choice routing, see
+  :class:`~repro.api.grouping.PartialKeyGrouping`), which splits each
+  key over two candidate tasks so the hottest key cannot pin a single
+  instance, into stateful counters.
+
+It doubles as a chaos recovery scenario: the counters checkpoint their
+(hot, skewed) counts, so a run with fault injection plus rollbacks must
+converge to the same final counts as a clean run —
+``tests/test_hotkey_workload.py`` pins that, and the key-group variant
+feeds the elastic figure's skewed-load arm.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import List, Optional
+
+from repro.api.component import ComponentContext
+from repro.api.topology import Topology, TopologyBuilder
+from repro.common.config import Config
+from repro.workloads.corpus import corpus
+from repro.workloads.stateful_wordcount import (_MIX, StatefulCountBolt,
+                                                StatefulWordSpout)
+
+#: Default corpus slice for the skewed draw — small enough that the
+#: inverse-CDF table builds instantly, large enough for a heavy tail.
+DEFAULT_HOTKEY_CORPUS = 10_000
+
+#: Default Zipf exponent; > 1 concentrates mass on the head (the
+#: canonical "hot key" regime).
+DEFAULT_SKEW = 1.2
+
+
+class ZipfWordSpout(StatefulWordSpout):
+    """Replayable spout with Zipf(``skew``)-distributed word picks.
+
+    Rank *r* (0-based) of the corpus carries probability proportional to
+    ``1 / (r + 1) ** skew``; the word at each offset comes from
+    inverting the CDF at a deterministic per-offset uniform variate. The
+    managed state stays the read offset, inherited unchanged.
+    """
+
+    def __init__(self, total_tuples: int = 0, *, rate: float = 0.0,
+                 skew: float = DEFAULT_SKEW,
+                 corpus_size: int = DEFAULT_HOTKEY_CORPUS,
+                 seed: int = 0) -> None:
+        super().__init__(total_tuples, rate=rate, corpus_size=corpus_size,
+                         seed=seed)
+        if skew <= 0:
+            raise ValueError(f"zipf skew must be positive: {skew}")
+        self.skew = skew
+        self._cdf: List[float] = []
+
+    def open(self, context: ComponentContext, collector) -> None:
+        super().open(context, collector)
+        weights = [1.0 / math.pow(rank + 1, self.skew)
+                   for rank in range(self.corpus_size)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cdf.append(acc / total)
+        self._cdf = cdf
+
+    def _word_at(self, offset: int) -> str:
+        assert self._words is not None and self._cdf
+        # A 32-bit mixed hash of the offset as the uniform variate —
+        # pure, seeded, and independent of parallelism.
+        bits = ((offset * _MIX) ^ self._salt) & 0xFFFFFFFF
+        u = (bits + 0.5) / 4294967296.0
+        rank = bisect_right(self._cdf, u)
+        return self._words[min(rank, len(self._words) - 1)]
+
+    def hot_word(self) -> str:
+        """The head of the distribution (rank 0) — what the stress
+        checks look for."""
+        return corpus(self.corpus_size)[0]
+
+
+def hotkey_topology(parallelism: int = 4, *, total_tuples: int = 0,
+                    rate: float = 0.0, skew: float = DEFAULT_SKEW,
+                    corpus_size: int = DEFAULT_HOTKEY_CORPUS,
+                    config: Optional[Config] = None,
+                    name: str = "hotkey") -> Topology:
+    """Zipf spouts → partial-key-grouped stateful counters.
+
+    Partial-key grouping splits every key over two candidate tasks, so
+    per-word totals are the sum over instances — the price of not
+    letting the hot key saturate one counter.
+    """
+    builder = TopologyBuilder(name)
+    builder.set_spout(
+        "word", ZipfWordSpout(total_tuples, rate=rate, skew=skew,
+                              corpus_size=corpus_size), parallelism)
+    builder.set_bolt("count", StatefulCountBolt(), parallelism) \
+        .partial_key_grouping("word", fields=["word"])
+    return builder.build(config)

@@ -79,11 +79,18 @@ class StatefulWordSpout(Spout):
         assert self._words is not None
         return self._words[((offset * _MIX) ^ self._salt) % len(self._words)]
 
+    def _paced_target(self, now: float) -> Optional[int]:
+        """Cumulative emission budget at simulated time ``now`` (None =
+        unpaced). Subclasses override for time-varying load curves."""
+        if self.rate > 0:
+            return int(now * self.rate)
+        return None
+
     def next_batch(self, collector, max_tuples: int) -> int:
         assert self._words is not None and self._now is not None
         target = self.total_tuples
-        if self.rate > 0:
-            paced = int(self._now() * self.rate)
+        paced = self._paced_target(self._now())
+        if paced is not None:
             target = min(target, paced) if target else paced
         available = (target - self.offset) if target else max_tuples
         n = min(max_tuples, available)

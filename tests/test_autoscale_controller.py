@@ -1,0 +1,181 @@
+"""Scaling policies (unit) and the ScalingController loop (integration)."""
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.autoscale import (AutoscaleConfigKeys as AKeys, HeadroomPolicy,
+                             ScalingSignals, ThresholdPolicy, make_policy)
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.elastic import elastic_wordcount_topology
+
+
+def _policy_config(**overrides):
+    cfg = (Config()
+           .set(AKeys.COOLDOWN_SECS, 5.0)
+           .set(AKeys.HYSTERESIS_TICKS, 2)
+           .set(AKeys.QUEUE_HIGH_WATERMARK, 60.0)
+           .set(AKeys.QUEUE_LOW_WATERMARK, 5.0)
+           .set(AKeys.MIN_PARALLELISM, 1)
+           .set(AKeys.MAX_PARALLELISM, 16))
+    for key, value in overrides.items():
+        cfg.set(getattr(AKeys, key), value)
+    return cfg
+
+
+def _signals(time, *, parallelism=2, depth=0.0, arrival=0.0,
+             executed=0.0, backpressure=False):
+    return ScalingSignals(
+        component="count", parallelism=parallelism, queue_depth=depth,
+        arrival_rate=arrival, executed_rate=executed,
+        in_backpressure=backpressure, time=time)
+
+
+class TestThresholdPolicy:
+    def test_scales_up_only_after_hysteresis_streak(self):
+        policy = ThresholdPolicy(_policy_config())
+        assert policy.decide(_signals(1.0, depth=100.0)) is None
+        assert policy.decide(_signals(2.0, depth=100.0)) == 4
+
+    def test_streak_resets_on_a_calm_tick(self):
+        policy = ThresholdPolicy(_policy_config())
+        assert policy.decide(_signals(1.0, depth=100.0)) is None
+        assert policy.decide(_signals(2.0, depth=30.0)) is None
+        assert policy.decide(_signals(3.0, depth=100.0)) is None
+
+    def test_backpressure_counts_as_pressure(self):
+        policy = ThresholdPolicy(_policy_config())
+        policy.decide(_signals(1.0, backpressure=True))
+        assert policy.decide(_signals(2.0, backpressure=True)) == 4
+
+    def test_scales_down_below_low_watermark(self):
+        policy = ThresholdPolicy(_policy_config())
+        policy.decide(_signals(1.0, parallelism=8, depth=0.0))
+        assert policy.decide(_signals(2.0, parallelism=8, depth=0.0)) == 4
+
+    def test_cooldown_blocks_back_to_back_rescales(self):
+        policy = ThresholdPolicy(_policy_config())
+        policy.decide(_signals(1.0, depth=100.0))
+        assert policy.decide(_signals(2.0, depth=100.0)) == 4
+        policy.record_rescale("count", 2.0)
+        policy.decide(_signals(3.0, parallelism=4, depth=100.0))
+        assert policy.decide(
+            _signals(4.0, parallelism=4, depth=100.0)) is None
+        # After the cooldown window the pressure streak acts again.
+        policy.decide(_signals(7.5, parallelism=4, depth=100.0))
+        assert policy.decide(
+            _signals(8.0, parallelism=4, depth=100.0)) == 8
+
+    def test_clamped_at_max_and_min(self):
+        policy = ThresholdPolicy(_policy_config(MAX_PARALLELISM=4,
+                                                MIN_PARALLELISM=2))
+        policy.decide(_signals(1.0, parallelism=4, depth=100.0))
+        assert policy.decide(
+            _signals(2.0, parallelism=4, depth=100.0)) is None
+        policy.decide(_signals(3.0, parallelism=2, depth=0.0))
+        assert policy.decide(
+            _signals(4.0, parallelism=2, depth=0.0)) is None
+
+
+class TestHeadroomPolicy:
+    def test_holds_until_capacity_observed(self):
+        policy = HeadroomPolicy(_policy_config())
+        # Never saturated: no service-rate estimate, no decision.
+        assert policy.decide(
+            _signals(1.0, arrival=1e6, executed=100.0)) is None
+        assert policy.decide(
+            _signals(2.0, arrival=1e6, executed=100.0)) is None
+
+    def test_sizes_to_arrival_over_usable_capacity(self):
+        policy = HeadroomPolicy(_policy_config(TARGET_HEADROOM=0.5))
+        # Saturated ticks: 2 instances executing 200/s => 100/s each;
+        # usable per instance = 50/s. Arrival 500/s => need 10.
+        policy.decide(_signals(1.0, depth=10.0, arrival=500.0,
+                               executed=200.0))
+        target = policy.decide(_signals(2.0, depth=10.0, arrival=500.0,
+                                        executed=200.0))
+        assert target == 10
+
+    def test_scales_down_when_idle_and_oversized(self):
+        policy = HeadroomPolicy(_policy_config(TARGET_HEADROOM=0.5))
+        for t in (1.0, 2.0):
+            policy.decide(_signals(t, parallelism=8, depth=10.0,
+                                   arrival=100.0, executed=800.0))
+        # Capacity known (100/s each, usable 50/s); arrival 100/s only
+        # needs 2 of the 8 instances once queues are empty.
+        policy.decide(_signals(3.0, parallelism=8, depth=0.0,
+                               arrival=100.0, executed=100.0))
+        target = policy.decide(_signals(4.0, parallelism=8, depth=0.0,
+                                        arrival=100.0, executed=100.0))
+        assert target == 2
+
+
+class TestMakePolicy:
+    def test_known_policies(self):
+        assert isinstance(make_policy("threshold", _policy_config()),
+                          ThresholdPolicy)
+        assert isinstance(make_policy("headroom", _policy_config()),
+                          HeadroomPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("magic", _policy_config())
+
+
+def _autoscaled_config():
+    return (Config()
+            .set(Keys.ACKING_ENABLED, False)
+            .set(Keys.BATCH_SIZE, 50)
+            .set(Keys.SAMPLE_CAP, 0)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2)
+            .set(Keys.CHECKPOINT_ENABLED, True)
+            .set(Keys.CHECKPOINT_INTERVAL_SECS, 0.2)
+            .set(Keys.METRICS_REPORT_INTERVAL_SECS, 0.25)
+            .set(Keys.METRICS_FORWARD_INTERVAL_SECS, 0.25)
+            .set(AKeys.AUTOSCALE_ENABLED, True)
+            .set(AKeys.AUTOSCALE_INTERVAL_SECS, 0.5)
+            .set(AKeys.COOLDOWN_SECS, 2.0)
+            .set(AKeys.QUEUE_HIGH_WATERMARK, 40.0)
+            .set(AKeys.QUEUE_LOW_WATERMARK, 2.0)
+            .set(AKeys.MIN_PARALLELISM, 2)
+            .set(AKeys.MAX_PARALLELISM, 8))
+
+
+class TestControllerIntegration:
+    def test_controller_closes_the_loop(self):
+        """A saturating ramp makes the controller observe pressure and
+        apply a live scale-up through the runtime."""
+        topology = elastic_wordcount_topology(
+            2, 2, schedule=[(0.0, 1_000.0), (1.0, 10_000.0)],
+            total_tuples=20_000, count_cost_per_tuple=2e-4,
+            config=_autoscaled_config())
+        cluster = HeronCluster.on_yarn(machines=6, seed=11)
+        handle = cluster.submit_topology(topology)
+        handle.wait_until_running()
+        cluster.run_for(5.0)
+
+        controller = handle.autoscaler
+        assert controller is not None
+        assert controller.ticks > 0
+        rows = [r for r in controller.history if r["component"] == "count"]
+        assert rows, "controller never observed the count component"
+        for row in rows:
+            assert set(row) == {"time", "component", "parallelism",
+                                "queue_depth", "arrival_rate",
+                                "executed_rate", "backpressure"}
+        assert controller.rescales_up >= 1
+        assert len(handle.physical_plan.task_ids["count"]) > 2
+        stats = handle.autoscaler_stats()
+        assert stats["rescales"] == len(controller.rescales)
+        handle.kill()
+
+    def test_autoscaler_off_by_default(self):
+        topology = elastic_wordcount_topology(
+            1, 2, schedule=[(0.0, 500.0)], total_tuples=500)
+        cluster = HeronCluster.on_yarn(machines=4, seed=3)
+        handle = cluster.submit_topology(topology)
+        handle.wait_until_running()
+        cluster.run_for(1.0)
+        assert handle.autoscaler is None
+        assert handle.autoscaler_stats()["ticks"] == 0.0
+        handle.kill()

@@ -1,0 +1,139 @@
+"""E2E elasticity: live rescales preserve effectively-once counts.
+
+The acceptance bar of the ``repro.autoscale`` subsystem: a stateful
+WordCount whose ``count`` bolt is rescaled 2 → 6 → 3 mid-run — under a
+1% chaos message-drop plan — must finish with final word counts
+byte-identical to the same bounded stream run at a fixed shape. Each
+rescale is a full checkpoint → repack → key-group re-partition →
+restore round trip, and the chaos drops force the reliable channels and
+rollback machinery to do real work along the way.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.autoscale import AutoscaleConfigKeys as AKeys
+from repro.chaos import FaultPlan, LinkFaults
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.elastic import elastic_wordcount_topology
+
+SEED = 23
+TOTAL_TUPLES = 3_000  # per spout task; bounded so the stream drains
+RATE = 5_000.0
+
+
+def _config():
+    return (Config()
+            .set(Keys.ACKING_ENABLED, False)
+            .set(Keys.BATCH_SIZE, 50)
+            .set(Keys.SAMPLE_CAP, 0)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2)
+            .set(Keys.CHECKPOINT_ENABLED, True)
+            .set(Keys.CHECKPOINT_INTERVAL_SECS, 0.1))
+
+
+def _counts(handle) -> Counter:
+    counts = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    return counts
+
+
+def _run(rescales, *, counts=2, drop_rate=0.0, run_secs=3.0):
+    """One bounded run; ``rescales`` is [(time, target_parallelism)]."""
+    plan = FaultPlan(link=LinkFaults(drop_rate=drop_rate)) \
+        if drop_rate else None
+    cluster = HeronCluster.on_yarn(machines=4, seed=SEED,
+                                   fault_plan=plan)
+    topology = elastic_wordcount_topology(
+        2, counts, schedule=[(0.0, RATE)], total_tuples=TOTAL_TUPLES,
+        config=_config())
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    now = 0.0
+    for at, target in sorted(rescales):
+        cluster.run_for(at - now)
+        handle.rescale({"count": target})
+        now = at
+    cluster.run_for(run_secs - now)
+    result = (_counts(handle),
+              sorted(handle.physical_plan.task_ids["count"]),
+              handle.checkpoint_stats())
+    handle.kill()
+    return result
+
+
+@pytest.fixture(scope="module")
+def fixed_run():
+    """The reference: same bounded stream, never rescaled."""
+    return _run([], counts=2)
+
+
+class TestLiveRescale:
+    def test_scale_up_then_down_preserves_counts(self, fixed_run):
+        counts, tasks, stats = _run([(0.4, 6), (1.2, 3)])
+        assert tasks == [0, 1, 2]
+        assert stats["restores"] >= 2
+        assert counts == fixed_run[0]
+        assert sum(counts.values()) == 2 * TOTAL_TUPLES
+
+    def test_rescale_under_chaos_drops_is_effectively_once(self,
+                                                           fixed_run):
+        """1% message drops during both rescales: the reliable channels
+        retransmit and the rollbacks replay; counts still match."""
+        counts, tasks, stats = _run([(0.4, 6), (1.2, 3)],
+                                    drop_rate=0.01, run_secs=4.0)
+        assert tasks == [0, 1, 2]
+        assert stats["restores"] >= 2
+        assert counts == fixed_run[0]
+
+    def test_scale_down_to_one_task_merges_all_groups(self, fixed_run):
+        counts, tasks, _stats = _run([(0.5, 1)])
+        assert tasks == [0]
+        assert counts == fixed_run[0]
+
+
+class TestAutoscaledEndToEnd:
+    def test_autoscaled_run_matches_fixed_counts_under_chaos(self):
+        """The full loop — controller-driven scale-up AND scale-down
+        under 1% drops — converges to the fixed run's exact counts."""
+        schedule = [(0.0, 1_000.0), (1.0, 8_000.0), (4.0, 1_000.0)]
+        total = 22_000
+        base = (_config()
+                .set(Keys.CHECKPOINT_INTERVAL_SECS, 0.2)
+                .set(Keys.METRICS_REPORT_INTERVAL_SECS, 0.25)
+                .set(Keys.METRICS_FORWARD_INTERVAL_SECS, 0.25))
+        auto_cfg = (base.copy()
+                    .set(AKeys.AUTOSCALE_ENABLED, True)
+                    .set(AKeys.AUTOSCALE_INTERVAL_SECS, 0.5)
+                    .set(AKeys.COOLDOWN_SECS, 2.0)
+                    .set(AKeys.QUEUE_HIGH_WATERMARK, 40.0)
+                    .set(AKeys.QUEUE_LOW_WATERMARK, 2.0)
+                    .set(AKeys.MIN_PARALLELISM, 2)
+                    .set(AKeys.MAX_PARALLELISM, 8))
+        plan = FaultPlan(link=LinkFaults(drop_rate=0.01))
+
+        results = {}
+        for mode, cfg, counts in [("auto", auto_cfg, 2),
+                                  ("fixed", base, 8)]:
+            cluster = HeronCluster.on_yarn(machines=6, seed=SEED,
+                                           fault_plan=plan)
+            topology = elastic_wordcount_topology(
+                2, counts, schedule=schedule, total_tuples=total,
+                count_cost_per_tuple=2e-4, config=cfg)
+            handle = cluster.submit_topology(topology)
+            handle.wait_until_running()
+            cluster.run_for(9.0)
+            results[mode] = (_counts(handle), handle.autoscaler_stats())
+            handle.kill()
+
+        auto_counts, auto_stats = results["auto"]
+        fixed_counts, _ = results["fixed"]
+        assert auto_stats["rescales_up"] >= 1
+        assert auto_stats["rescales_down"] >= 1
+        assert sum(auto_counts.values()) == 2 * total
+        assert auto_counts == fixed_counts

@@ -1,0 +1,135 @@
+"""Hot-key stress workload: Zipf skew shape + chaos recovery scenario."""
+
+from collections import Counter
+
+import pytest
+
+from repro.api.config_keys import TopologyConfigKeys as Keys
+from repro.chaos import FaultPlan, LinkFaults
+from repro.common.config import Config
+from repro.core.heron import HeronCluster
+from repro.workloads.hotkey import (DEFAULT_HOTKEY_CORPUS, ZipfWordSpout,
+                                    hotkey_topology)
+
+
+def _draw(spout_cls=ZipfWordSpout, n=5_000, **kwargs):
+    spout = spout_cls(total_tuples=n, **kwargs)
+    spout.open(_FakeContext(), None)
+    return Counter(spout._word_at(i) for i in range(n))
+
+
+class _FakeContext:
+    """Just enough ComponentContext for open(): task 0, t=0, defaults."""
+
+    component = "word"
+    task_id = 0
+    parallelism = 1
+    config = Config()
+
+    @staticmethod
+    def now():
+        return 0.0
+
+
+class TestZipfShape:
+    def test_head_dominates(self):
+        spout = ZipfWordSpout(total_tuples=1)
+        counts = _draw()
+        hot = spout.hot_word()
+        assert counts[hot] == max(counts.values())
+        # Zipf(1.2) over 10k ranks puts >20% of all mass on rank 0.
+        assert counts[hot] / sum(counts.values()) > 0.2
+
+    def test_higher_skew_concentrates_more(self):
+        mild = _draw(skew=0.8)
+        heavy = _draw(skew=2.0)
+        top_mild = max(mild.values()) / sum(mild.values())
+        top_heavy = max(heavy.values()) / sum(heavy.values())
+        assert top_heavy > top_mild
+
+    def test_stream_is_deterministic_per_seed(self):
+        assert _draw(seed=4) == _draw(seed=4)
+        assert _draw(seed=4) != _draw(seed=5)
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfWordSpout(skew=0.0)
+
+    def test_long_tail_still_sampled(self):
+        counts = _draw(n=20_000)
+        assert len(counts) > 100  # not everything collapses to the head
+
+
+def _recovery_config():
+    return (Config()
+            .set(Keys.ACKING_ENABLED, False)
+            .set(Keys.BATCH_SIZE, 50)
+            .set(Keys.SAMPLE_CAP, 0)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2)
+            .set(Keys.CHECKPOINT_ENABLED, True)
+            .set(Keys.CHECKPOINT_INTERVAL_SECS, 0.1))
+
+
+TUPLES_PER_TASK = 2_000
+PARALLELISM = 2
+SEED = 31
+
+
+def _run_hotkey(*, fail=False, drop_rate=0.0):
+    plan = FaultPlan(link=LinkFaults(drop_rate=drop_rate)) \
+        if drop_rate else None
+    cluster = HeronCluster.on_yarn(machines=4, seed=SEED,
+                                   fault_plan=plan)
+    topology = hotkey_topology(PARALLELISM,
+                               total_tuples=TUPLES_PER_TASK,
+                               rate=5_000.0, config=_recovery_config())
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    if fail:
+        cluster.run_for(0.25)
+        victim = next(jc for jc in
+                      cluster.framework.job_containers(topology.name)
+                      if jc.role != "tmaster")
+        cluster.cluster.fail_container(victim.container)
+    cluster.run_for(4.0)
+    counts = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    stats = handle.checkpoint_stats()
+    handle.kill()
+    return counts, stats
+
+
+@pytest.fixture(scope="module")
+def clean_hotkey_run():
+    return _run_hotkey()
+
+
+class TestHotkeyRecoveryScenario:
+    """The chaos recovery scenario: skewed state survives faults."""
+
+    def test_clean_run_counts_every_tuple_once(self, clean_hotkey_run):
+        counts, stats = clean_hotkey_run
+        assert sum(counts.values()) == TUPLES_PER_TASK * PARALLELISM
+        assert stats["restores"] == 0
+
+    def test_hot_key_spreads_over_partial_key_grouping(self,
+                                                       clean_hotkey_run):
+        counts, _ = clean_hotkey_run
+        hot = ZipfWordSpout(total_tuples=1).hot_word()
+        assert counts[hot] / sum(counts.values()) > 0.2
+
+    def test_container_failure_recovers_exact_skewed_counts(
+            self, clean_hotkey_run):
+        clean_counts, _ = clean_hotkey_run
+        counts, stats = _run_hotkey(fail=True)
+        assert stats["restores"] >= 1
+        assert counts == clean_counts
+
+    def test_chaos_drops_plus_failure_still_effectively_once(
+            self, clean_hotkey_run):
+        clean_counts, _ = clean_hotkey_run
+        counts, stats = _run_hotkey(fail=True, drop_rate=0.01)
+        assert stats["restores"] >= 1
+        assert counts == clean_counts

@@ -1,0 +1,134 @@
+"""Key-group partitioning: formulas, round-trips, routing."""
+
+import pytest
+
+from repro.autoscale import (DEFAULT_KEY_GROUPS, KeyGroupGrouping, group_of,
+                             group_range, merge_groups, owner_index,
+                             split_groups)
+from repro.common.errors import TopologyError
+
+
+class TestFormulas:
+    def test_group_of_is_stable_and_in_range(self):
+        for key in ["word", 17, ("a", 2), "café"]:
+            group = group_of(key, 128)
+            assert group == group_of(key, 128)
+            assert 0 <= group < 128
+
+    def test_ranges_partition_the_group_space(self):
+        for num_groups in (1, 7, 128, 1000):
+            for parallelism in range(1, 10):
+                covered = []
+                for index in range(parallelism):
+                    covered.extend(group_range(num_groups, parallelism,
+                                               index))
+                assert covered == list(range(num_groups))
+
+    def test_owner_index_inverts_group_range(self):
+        """Every group lands in the range of exactly its owner."""
+        for num_groups in (1, 7, 128):
+            for parallelism in range(1, 10):
+                for group in range(num_groups):
+                    owner = owner_index(group, num_groups, parallelism)
+                    assert group in group_range(num_groups, parallelism,
+                                                owner)
+
+    def test_ranges_are_contiguous_and_monotone(self):
+        prev_hi = 0
+        for index in range(5):
+            owned = group_range(128, 5, index)
+            assert owned.start == prev_hi
+            prev_hi = owned.stop
+        assert prev_hi == 128
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            group_range(128, 0, 0)
+        with pytest.raises(ValueError):
+            group_range(128, 4, 4)
+        with pytest.raises(ValueError):
+            owner_index(128, 128, 4)
+
+
+class TestMergeSplit:
+    def test_split_of_merge_preserves_every_key_value(self):
+        """The property behind every rescale: merge then re-split loses
+        nothing, duplicates nothing, and respects group ownership."""
+        num_groups = DEFAULT_KEY_GROUPS
+        words = [f"word-{i}" for i in range(500)]
+        for old_p, new_p in [(2, 6), (6, 3), (3, 1), (1, 8), (4, 4)]:
+            per_task = {}
+            for index in range(old_p):
+                owned = group_range(num_groups, old_p, index)
+                state = {}
+                for word in words:
+                    group = group_of(word, num_groups)
+                    if group in owned:
+                        state.setdefault(group, {})[word] = len(word)
+                per_task[index] = state
+            merged = merge_groups(per_task)
+            parts = split_groups(merged, num_groups, new_p)
+            assert len(parts) == new_p
+            seen = {}
+            for index, part in enumerate(parts):
+                owned = group_range(num_groups, new_p, index)
+                for group, kv in part.items():
+                    assert group in owned
+                    for word, value in kv.items():
+                        assert word not in seen
+                        seen[word] = value
+            assert seen == {word: len(word) for word in words}
+
+    def test_merge_rejects_duplicate_groups(self):
+        with pytest.raises(ValueError):
+            merge_groups({1: {3: {"a": 1}}, 2: {3: {"b": 2}}})
+
+    def test_split_to_one_task_is_the_merge(self):
+        merged = {0: {"a": 1}, 64: {"b": 2}, 127: {"c": 3}}
+        (only,) = split_groups(merged, 128, 1)
+        assert only == merged
+
+
+class TestGrouping:
+    def _routes(self, grouping, task_ids, words):
+        instance = grouping.create(["word"], task_ids)
+        return {word: instance.task_for([word]) for word in words}
+
+    def test_routing_agrees_with_state_ownership(self):
+        """A key must be routed to the task that owns its key group —
+        the invariant that makes rescaled state land where the tuples
+        go."""
+        grouping = KeyGroupGrouping(["word"], 128)
+        task_ids = [11, 5, 9]  # deliberately unsorted
+        routes = self._routes(grouping, task_ids,
+                              [f"w{i}" for i in range(300)])
+        ordered = sorted(task_ids)
+        for word, task in routes.items():
+            group = group_of(word, 128)
+            owner = owner_index(group, 128, len(ordered))
+            assert task == ordered[owner]
+
+    def test_same_key_same_task(self):
+        grouping = KeyGroupGrouping(["word"], 128)
+        words = ["x", "y", "z"]
+        assert self._routes(grouping, [1, 2, 3], words) == \
+            self._routes(grouping, [1, 2, 3], words)
+
+    def test_split_spreads_represented_count_without_values(self):
+        """Sampled batches (no concrete values) spread the count by
+        range width so totals stay exact in aggregate."""
+        instance = KeyGroupGrouping(["word"], 128).create(["word"],
+                                                          [0, 1, 2])
+        routes = instance.split([], [], 90)
+        assert sum(route[3] for route in routes) == 90
+
+    def test_more_tasks_than_groups_rejected(self):
+        grouping = KeyGroupGrouping(["word"], 4)
+        with pytest.raises(TopologyError):
+            grouping.create(["word"], [1, 2, 3, 4, 5])
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(TopologyError):
+            KeyGroupGrouping([])
+        with pytest.raises(TopologyError):
+            KeyGroupGrouping(["word"], 0)

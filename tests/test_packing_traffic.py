@@ -121,3 +121,51 @@ class TestQueries:
                              parallelism={"dst": 5})
         assert len([t for t in graph.tasks() if t[0] == "dst"]) == 5
         assert graph.weight(("src", 0), ("dst", 4)) == 2 / 10
+
+
+class TestMeasuredRates:
+    """Measured per-component rates override static unit-rate traffic."""
+
+    def test_measured_rates_rescale_edge_weights(self):
+        static = TrafficGraph(linear_topology("shuffle"))
+        measured = TrafficGraph(linear_topology("shuffle"),
+                                measured_rates={"src": 12.0})
+        # 12 tuples/s spread over 2*3 pairs instead of the static 2.
+        assert measured.weight(("src", 0), ("dst", 0)) == 12.0 / 6
+        assert static.weight(("src", 0), ("dst", 0)) == 2.0 / 6
+
+    def test_measured_rates_propagate_downstream(self):
+        builder = TopologyBuilder("chain")
+        builder.set_spout("a", _Spout(), parallelism=2)
+        builder.set_bolt("b", _Bolt(), parallelism=2) \
+            .shuffle_grouping("a")
+        builder.set_bolt("c", _Bolt(), parallelism=1) \
+            .shuffle_grouping("b")
+        graph = TrafficGraph(builder.build(),
+                             measured_rates={"a": 10.0})
+        # b inherits a's measured 10/s and forwards it into c.
+        assert graph.total_weight(("c", 0)) == 10.0
+
+    def test_measured_rate_on_intermediate_overrides_propagation(self):
+        builder = TopologyBuilder("chain")
+        builder.set_spout("a", _Spout(), parallelism=2)
+        builder.set_bolt("b", _Bolt(), parallelism=2) \
+            .shuffle_grouping("a")
+        builder.set_bolt("c", _Bolt(), parallelism=1) \
+            .shuffle_grouping("b")
+        graph = TrafficGraph(builder.build(),
+                             measured_rates={"a": 10.0, "b": 4.0})
+        # b emits a measured 4/s (e.g. a filtering bolt), not its input.
+        assert graph.total_weight(("c", 0)) == 4.0
+
+    def test_nonpositive_and_unknown_rates_ignored(self):
+        graph = TrafficGraph(linear_topology("shuffle"),
+                             measured_rates={"src": 0.0, "ghost": 9.0})
+        assert graph.weight(("src", 0), ("dst", 0)) == 2.0 / 6
+
+    def test_resource_manager_stores_positive_rates_only(self):
+        from repro.packing.rstorm import RStormPacking
+        manager = RStormPacking()
+        manager.set_measured_traffic({"src": 5.0, "dst": 0.0,
+                                      "neg": -1.0})
+        assert manager.measured_traffic == {"src": 5.0}

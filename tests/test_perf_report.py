@@ -52,3 +52,34 @@ class TestMicrobenchDeterminism:
         a = kernel_microbench(2.0)
         b = kernel_microbench(2.0)
         assert a["events"] == b["events"] > 0
+
+
+class TestElasticReport:
+    def test_elastic_flag_is_wired(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "perf_report.py"),
+             "--help"],
+            cwd=ROOT, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        assert "--elastic" in proc.stdout
+        assert "BENCH_elastic" in proc.stdout
+
+    @pytest.mark.slow
+    def test_elastic_report_records_entry(self, tmp_path, monkeypatch):
+        """The --elastic path: runs both modes, checks the elasticity
+        bar, and records a BENCH_elastic.json entry."""
+        sys.path.insert(0, str(ROOT / "scripts"))
+        try:
+            import perf_report
+        finally:
+            sys.path.pop(0)
+        bench = tmp_path / "BENCH_elastic.json"
+        monkeypatch.setattr(perf_report, "ELASTIC_BENCH_PATH", bench)
+        assert perf_report.elastic_report(fast=True,
+                                          update_label="test") == 0
+        data = json.loads(bench.read_text())
+        (entry,) = data["entries"]
+        assert entry["label"] == "test"
+        assert entry["runs"]["counts_identical"] is True
+        assert entry["runs"]["auto"]["rescales_up"] >= 1
+        assert entry["runs"]["auto"]["rescales_down"] >= 1
