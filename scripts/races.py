@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Run the tie-race detector (repro.analysis.races) from a checkout.
+
+Equivalent to ``heron-sim races``; this wrapper just makes ``src/``
+importable so the detector runs without installing the package::
+
+    python scripts/races.py wordcount --kernel both
+    python scripts/races.py racy --explore
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis.races import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

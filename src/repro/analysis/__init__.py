@@ -1,4 +1,4 @@
-"""Correctness tooling: the determinism lint and the simulation sanitizer.
+"""Correctness tooling: lint, sanitizer, and the tie-race detector.
 
 Every figure this reproduction regenerates rests on one contract: the
 discrete-event simulator is *bit-for-bit deterministic*. The parallel
@@ -13,37 +13,64 @@ sweep runner pins "serial == pooled" and the checkpoint tests pin
 3. no observable behaviour depends on hash/tie order (set iteration,
    equal-timestamp event races).
 
-This package enforces that contract twice over:
+This package enforces that contract several ways:
 
 * :mod:`repro.analysis.lint` — a static AST pass (``heron-sim lint``,
-  ``scripts/lint.py``) with repo-specific rules D001–D005 that catches
+  ``scripts/lint.py``) with repo-specific rules D001–D007 that catches
   wall-clock leaks, unseeded randomness, nondeterministic iteration
-  feeding the scheduler, mutable default arguments on components, and
-  float equality on simulated time;
+  feeding the scheduler, mutable default arguments on components,
+  float equality on simulated time, stateful components without a
+  ``key_groups`` declaration, and unsorted dict iteration inside
+  checkpoint snapshots (shared rule/pragma plumbing lives in
+  :mod:`repro.analysis.rules`);
 * :mod:`repro.analysis.sanitize` — an opt-in instrumented kernel mode
-  (``REPRO_SANITIZE=1`` or ``Simulator(sanitize=True)``), the race
-  detector analogue for the event kernel: it verifies heap/clock
-  invariants after every pop, stamps and checks per-channel FIFO
-  sequence numbers through the Stream Manager, asserts checkpoint
+  (``REPRO_SANITIZE=1`` or ``Simulator(sanitize=True)``): it verifies
+  heap/clock invariants after every pop, stamps and checks per-channel
+  FIFO sequence numbers through the Stream Manager, asserts checkpoint
   barrier alignment, and probes simultaneity hazards by state-digest
-  comparison across tie-order permutations.
+  comparison across tie-order permutations;
+* :mod:`repro.analysis.races` — the precise follow-up to that
+  wholesale probe (``heron-sim races``): a causal tracer records the
+  happens-before edges the engine actually guarantees, a static effect
+  analysis (:mod:`repro.analysis.effects`) classifies every handler's
+  state footprint, and causally-unordered tied arrivals whose
+  footprints fail to commute are reported with source locations (rule
+  R001) — optionally *confirmed* by the DPOR-lite schedule explorer,
+  which replays the minimal reordering and diffs state digests.
 """
 
-from repro.analysis.lint import (LintRule, Violation, lint_paths,
-                                 lint_source, rules_table)
+from repro.analysis.effects import (Conflict, EffectIndex, FieldEffect,
+                                    conflicts, merge_footprints)
+from repro.analysis.lint import lint_paths, lint_source, rules_table
+from repro.analysis.races import (CausalTracer, ExplorationResult,
+                                  RaceFinding, RaceReport, attach_tracer,
+                                  explore, run_races)
+from repro.analysis.rules import LintRule, Violation
 from repro.analysis.sanitize import (ChannelFifoChecker, KernelSanitizer,
                                      SanitizerViolation, TieProbeResult,
                                      run_tie_probe)
 
 __all__ = [
+    "CausalTracer",
     "ChannelFifoChecker",
+    "Conflict",
+    "EffectIndex",
+    "ExplorationResult",
+    "FieldEffect",
     "KernelSanitizer",
     "LintRule",
+    "RaceFinding",
+    "RaceReport",
     "SanitizerViolation",
     "TieProbeResult",
     "Violation",
+    "attach_tracer",
+    "conflicts",
+    "explore",
     "lint_paths",
     "lint_source",
+    "merge_footprints",
     "rules_table",
+    "run_races",
     "run_tie_probe",
 ]

@@ -1,0 +1,350 @@
+"""Static state-footprint analysis of component handlers.
+
+The race detector (:mod:`repro.analysis.races`) needs to know, for every
+user handler a delivery can invoke, *which instance fields it touches and
+how*. This module extracts that footprint from source with an AST pass in
+the :mod:`repro.analysis.lint` style — no execution, no instrumentation
+of user code.
+
+Each ``self.<field>`` access in a handler is classified into one of three
+effect kinds, ordered by strength:
+
+``'r'`` (read)
+    The field's value is observed but not changed.
+``'c'`` (commutative write)
+    An order-insensitive accumulation: ``self.f += x``,
+    ``self.f[k] += x``, ``Counter.update``, ``set.add`` — any
+    interleaving of two such updates yields the same state.
+``'w'`` (order-sensitive write)
+    Plain assignment, keyed assignment, or a mutating method whose
+    result depends on call order (``append``, ``pop``, ...).
+
+Two footprints **conflict** on a field when at least one side is an
+order-sensitive ``'w'`` — ``(r, r)``, ``(r, c)`` and ``(c, c)`` pairs
+commute and are pruned, which is what keeps the stock WordCount bolts
+race-clean (their ``counts[word] += n`` updates commute).
+
+Accesses through a subscript (``self.counts[word]``) are additionally
+flagged *keyed*: the footprint touches one key group rather than the
+whole value. Keyed accesses still conflict when one side writes (we
+cannot prove the keys differ statically), but the flag is surfaced in
+findings so a reader can judge.
+
+Resolution follows Python semantics: a handler name is looked up along
+the class MRO to its defining class, and ``self._helper(...)`` calls are
+folded in by fixpoint (resolved against the *concrete* class, so an
+overridden helper contributes the override's footprint). Classes whose
+source is unavailable (C builtins) yield ``None`` — callers treat that
+as "unknown, don't flag".
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+__all__ = [
+    "EFFECT_READ",
+    "EFFECT_COMMUTE",
+    "EFFECT_WRITE",
+    "Conflict",
+    "EffectIndex",
+    "FieldEffect",
+    "Footprint",
+    "conflicts",
+    "merge_footprints",
+]
+
+EFFECT_READ = "r"
+EFFECT_COMMUTE = "c"
+EFFECT_WRITE = "w"
+
+#: Strength order for merging: a later, stronger access dominates.
+_STRENGTH = {EFFECT_READ: 0, EFFECT_COMMUTE: 1, EFFECT_WRITE: 2}
+
+#: AugAssign operators whose repeated application commutes (the updates
+#: ``f op= a; f op= b`` reach the same value in either order).
+_COMMUTATIVE_OPS = (ast.Add, ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor,
+                    ast.Mult)
+
+#: Mutating methods that commute across calls (Counter/set/dict union
+#: semantics): ``c.update(a); c.update(b)`` is order-insensitive.
+_COMMUTATIVE_METHODS = frozenset({"update", "add"})
+
+#: Mutating methods whose effect is order-sensitive.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "pop", "popitem",
+    "popleft", "remove", "discard", "clear", "setdefault", "sort",
+    "reverse", "subtract",
+})
+
+
+@dataclass(frozen=True)
+class FieldEffect:
+    """How one handler touches one ``self.<field>``."""
+
+    field: str
+    kind: str          #: 'r' | 'c' | 'w'
+    keyed: bool        #: True when every access goes through a subscript
+    path: str          #: source file of the strongest access
+    line: int          #: 1-based line of the strongest access
+
+    def merge(self, other: "FieldEffect") -> "FieldEffect":
+        """Combine two accesses to the same field: strongest kind wins,
+        keyed only if *all* accesses are keyed."""
+        keyed = self.keyed and other.keyed
+        strongest = self if _STRENGTH[self.kind] >= _STRENGTH[other.kind] \
+            else other
+        return replace(strongest, keyed=keyed)
+
+
+#: A handler's full footprint: field name -> strongest effect.
+Footprint = Dict[str, FieldEffect]
+
+
+def merge_footprints(*prints: Footprint) -> Footprint:
+    """Union footprints (e.g. of every handler one delivery invokes)."""
+    merged: Footprint = {}
+    for fp in prints:
+        for field, effect in fp.items():
+            prior = merged.get(field)
+            merged[field] = effect if prior is None else prior.merge(effect)
+    return merged
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A field two footprints race on (at least one order-sensitive)."""
+
+    field: str
+    a: FieldEffect
+    b: FieldEffect
+
+    @property
+    def keyed(self) -> bool:
+        return self.a.keyed and self.b.keyed
+
+
+def conflicts(a: Optional[Footprint], b: Optional[Footprint]) \
+        -> List[Conflict]:
+    """Fields where the two footprints fail to commute.
+
+    ``None`` means "footprint unknown" (unavailable source) and is
+    treated as non-conflicting — the detector prunes rather than
+    spamming unverifiable findings.
+    """
+    if a is None or b is None:
+        return []
+    found: List[Conflict] = []
+    for field in sorted(set(a) & set(b)):
+        ea, eb = a[field], b[field]
+        if EFFECT_WRITE in (ea.kind, eb.kind):
+            found.append(Conflict(field, ea, eb))
+    return found
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Collect one method body's direct field effects and helper calls."""
+
+    def __init__(self, path: str, line_offset: int) -> None:
+        self.path = path
+        self.line_offset = line_offset
+        self.effects: Footprint = {}
+        self.helper_calls: Set[str] = set()
+        # Attribute nodes already consumed by a stronger classification
+        # (assignment target, mutator receiver): skip on the Load pass.
+        self._consumed: Set[int] = set()
+
+    # -- helpers -----------------------------------------------------------
+    def _self_field(self, node: ast.AST) -> Optional[Tuple[str, bool]]:
+        """``(field, keyed)`` when ``node`` is ``self.f`` or ``self.f[k]``."""
+        keyed = False
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            keyed = True
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr, keyed
+        return None
+
+    def _record(self, node: ast.AST, field: str, kind: str,
+                keyed: bool) -> None:
+        line = getattr(node, "lineno", 1) + self.line_offset
+        effect = FieldEffect(field, kind, keyed, self.path, line)
+        prior = self.effects.get(field)
+        self.effects[field] = effect if prior is None \
+            else prior.merge(effect)
+
+    def _consume(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                self._consumed.add(id(sub))
+                break
+
+    # -- assignments -------------------------------------------------------
+    def _visit_store_target(self, target: ast.AST, node: ast.AST) -> None:
+        hit = self._self_field(target)
+        if hit is not None:
+            field, keyed = hit
+            self._record(node, field, EFFECT_WRITE, keyed)
+            self._consume(target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_store_target(elt, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_store_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._visit_store_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        hit = self._self_field(node.target)
+        if hit is not None:
+            field, keyed = hit
+            kind = EFFECT_COMMUTE \
+                if isinstance(node.op, _COMMUTATIVE_OPS) else EFFECT_WRITE
+            self._record(node, field, kind, keyed)
+            self._consume(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            hit = self._self_field(target)
+            if hit is not None:
+                self._record(node, hit[0], EFFECT_WRITE, hit[1])
+                self._consume(target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_store_target(node.target, node)
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                # self.helper(...) -- folded in by the fixpoint; the
+                # method-name attribute itself is not a state read.
+                self.helper_calls.add(func.attr)
+                self._consumed.add(id(func))
+            else:
+                hit = self._self_field(receiver)
+                if hit is not None:
+                    field, keyed = hit
+                    if func.attr in _COMMUTATIVE_METHODS:
+                        self._record(node, field, EFFECT_COMMUTE, keyed)
+                        self._consume(receiver)
+                    elif func.attr in _MUTATOR_METHODS:
+                        self._record(node, field, EFFECT_WRITE, keyed)
+                        self._consume(receiver)
+                    # Any other method is treated as an accessor (read);
+                    # the Load pass below records it.
+        self.generic_visit(node)
+
+    # -- reads -------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if id(node) not in self._consumed \
+                and isinstance(node.ctx, ast.Load) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            self._record(node, node.attr, EFFECT_READ, False)
+        self.generic_visit(node)
+
+
+class EffectIndex:
+    """Memoized per-class handler footprints.
+
+    One index is shared by a whole race-analysis run; both the AST of
+    each class and the fixpoint-resolved per-handler footprints are
+    cached, so tracing thousands of deliveries costs one parse per
+    component class.
+    """
+
+    def __init__(self) -> None:
+        self._methods: Dict[type, Optional[
+            Dict[str, Tuple[Footprint, Set[str]]]]] = {}
+        self._resolved: Dict[Tuple[type, str], Optional[Footprint]] = {}
+
+    # -- per-class AST pass ------------------------------------------------
+    def _class_methods(self, cls: type) \
+            -> Optional[Dict[str, Tuple[Footprint, Set[str]]]]:
+        """``{method: (direct_footprint, helper_calls)}`` for one class
+        body (no inheritance), or None when source is unavailable."""
+        if cls in self._methods:
+            return self._methods[cls]
+        result: Optional[Dict[str, Tuple[Footprint, Set[str]]]]
+        try:
+            source = inspect.getsource(cls)
+            path = inspect.getsourcefile(cls) or "<unknown>"
+            _lines, start = inspect.getsourcelines(cls)
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError):
+            self._methods[cls] = None
+            return None
+        result = {}
+        class_node = tree.body[0]
+        if isinstance(class_node, ast.ClassDef):
+            for item in class_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visitor = _MethodVisitor(path, start - 1)
+                    for stmt in item.body:
+                        visitor.visit(stmt)
+                    result[item.name] = (visitor.effects,
+                                         visitor.helper_calls)
+        self._methods[cls] = result
+        return result
+
+    # -- MRO + fixpoint resolution -----------------------------------------
+    def footprint(self, cls: Type[object], method: str) \
+            -> Optional[Footprint]:
+        """Full footprint of ``cls().method`` including helpers, or None
+        when any contributing body's source is unavailable."""
+        return self._resolve(cls, method, frozenset())
+
+    def _resolve(self, cls: type, method: str,
+                 visiting: frozenset) -> Optional[Footprint]:
+        key = (cls, method)
+        if key in self._resolved:
+            return self._resolved[key]
+        if (cls, method) in visiting:
+            return {}  # recursion: contributes nothing new to the fixpoint
+        defining = self._defining_class(cls, method)
+        if defining is None:
+            self._resolved[key] = None
+            return None
+        table = self._class_methods(defining)
+        if table is None or method not in table:
+            self._resolved[key] = None
+            return None
+        direct, helpers = table[method]
+        total = dict(direct)
+        for helper in sorted(helpers):
+            sub = self._resolve(cls, helper,
+                                visiting | {(cls, method)})
+            if sub is None:
+                # A helper we cannot see: the footprint is incomplete,
+                # but keep what we did resolve rather than discarding —
+                # partial information still prunes commuting pairs.
+                continue
+            total = merge_footprints(total, sub)
+        self._resolved[key] = total
+        return total
+
+    @staticmethod
+    def _defining_class(cls: type, method: str) -> Optional[type]:
+        for base in cls.__mro__:
+            if base is object:
+                continue
+            if method in base.__dict__:
+                return base
+        return None

@@ -1,4 +1,4 @@
-"""The determinism lint: repo-specific static rules D001–D005.
+"""The determinism lint: repo-specific static rules D001–D007.
 
 The simulator's correctness contract (see :mod:`repro.analysis`) can be
 broken by a one-line edit — a stray ``time.time()`` in a cost handler, a
@@ -20,12 +20,22 @@ D004      mutable default arguments on ``Component``/``Actor``
           subclasses — shared across deep-copied task instances
 D005      float equality (``==``/``!=``) on simulated time — timestamps
           are derived floats; compare with tolerances or orderings
+D006      stateful components that snapshot without declaring
+          ``key_groups`` — rescale re-partitioning silently degrades to
+          monolithic state; declare ``key_groups = 0`` to make that
+          deliberate
+D007      unsorted ``dict.items()``/``.keys()``/``.values()`` iteration
+          inside ``snapshot_state`` — snapshot bytes (and any digest of
+          them) inherit schedule-dependent insertion order; wrap in
+          ``sorted(...)``
 ========  ==============================================================
 
 Any finding can be suppressed on its line with ``# lint: allow[D00x]``
 (plus a justifying comment), or for a whole file with
 ``# lint: allow-file[D00x]`` — used by measurement-harness modules whose
-*job* is reading the wall clock.
+*job* is reading the wall clock. The pragma grammar (and the
+rule/violation dataclasses) live in :mod:`repro.analysis.rules`, shared
+with the race reporter's ``R00x`` family.
 
 Run as ``heron-sim lint [paths…]``, ``python scripts/lint.py`` or
 ``python -m repro.analysis.lint``. Exit status is 0 when clean, 1 when
@@ -38,21 +48,14 @@ import argparse
 import ast
 import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.analysis.rules import (LintRule, Violation, dotted,
+                                  filter_pragmas)
 
 __all__ = ["LintRule", "RULES", "Violation", "lint_paths", "lint_source",
            "main", "rules_table"]
-
-
-@dataclass(frozen=True)
-class LintRule:
-    """One lint rule: stable code, short title, and the contract it guards."""
-
-    code: str
-    title: str
-    rationale: str
 
 
 RULES: Dict[str, LintRule] = {rule.code: rule for rule in (
@@ -80,44 +83,18 @@ RULES: Dict[str, LintRule] = {rule.code: rule for rule in (
         "D005", "no float equality on simulated time",
         "timestamps are sums of float intervals; == / != on them is "
         "representation-dependent — compare with tolerances or orderings"),
+    LintRule(
+        "D006", "stateful snapshots must declare key_groups",
+        "a stateful component that snapshots without declaring key_groups "
+        "silently opts out of rescale re-partitioning; key_groups = 0 "
+        "documents deliberately monolithic state"),
+    LintRule(
+        "D007", "no unsorted dict iteration inside snapshot_state",
+        "dict insertion order inside user state is schedule-dependent; a "
+        "snapshot (or digest) built by iterating .items()/.keys()/"
+        ".values() bakes that order into checkpoint bytes — wrap the "
+        "iteration in sorted(...)"),
 )}
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding, formatted ``path:line:col: CODE message``."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def format(self) -> str:
-        """Render as compiler-style ``path:line:col: CODE message``."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
-               f"{self.message}"
-
-
-# -- pragmas -----------------------------------------------------------------
-
-_LINE_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9,\s]+)\]")
-_FILE_PRAGMA = re.compile(r"#\s*lint:\s*allow-file\[([A-Z0-9,\s]+)\]")
-
-
-def _parse_pragmas(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
-    """Per-line and file-level allowed rule codes."""
-    per_line: Dict[int, Set[str]] = {}
-    file_level: Set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _FILE_PRAGMA.search(text)
-        if match:
-            file_level.update(c.strip() for c in match.group(1).split(","))
-            continue
-        match = _LINE_PRAGMA.search(text)
-        if match:
-            per_line[lineno] = {c.strip() for c in match.group(1).split(",")}
-    return per_line, file_level
 
 
 # -- rule implementation -----------------------------------------------------
@@ -158,17 +135,15 @@ _MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray",
 #: Terminal names treated as simulated-time expressions (D005).
 _TIME_NAME = re.compile(r"^(now|time|etime|timestamp)$|_time$|_at$")
 
+#: Dict views whose iteration order is insertion order (D007).
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
 
-def _dotted(node: ast.expr) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
+#: Call sinks whose result does not depend on iteration order (D007):
+#: feeding a view into these is fine without sorted().
+_ORDER_INSENSITIVE_SINKS = frozenset({
+    "sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+    "Counter",
+})
 
 
 class _RuleVisitor(ast.NodeVisitor):
@@ -187,12 +162,12 @@ class _RuleVisitor(ast.NodeVisitor):
             self.path, getattr(node, "lineno", 0),
             getattr(node, "col_offset", 0) + 1, code, message))
 
-    def _canonical(self, dotted: str) -> str:
+    def _canonical(self, dotted_name: str) -> str:
         """Resolve the leading alias of a dotted chain through imports."""
-        head, _, rest = dotted.partition(".")
+        head, _, rest = dotted_name.partition(".")
         target = self.aliases.get(head)
         if target is None:
-            return dotted
+            return dotted_name
         return f"{target}.{rest}" if rest else target
 
     # -- imports (feed the alias map; flag global-random imports) -----------
@@ -222,9 +197,9 @@ class _RuleVisitor(ast.NodeVisitor):
 
     # -- calls: D001, D002 ---------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
-        dotted = _dotted(node.func)
-        if dotted is not None:
-            canonical = self._canonical(dotted)
+        dotted_name = dotted(node.func)
+        if dotted_name is not None:
+            canonical = self._canonical(dotted_name)
             if canonical in _WALL_CLOCK_CALLS:
                 self._flag(node, "D001",
                            f"wall-clock read '{canonical}()'; simulation "
@@ -285,14 +260,68 @@ class _RuleVisitor(ast.NodeVisitor):
                     break
         self.generic_visit(node)
 
-    # -- classes/functions: D004 ---------------------------------------------
+    # -- classes/functions: D004, D006 ---------------------------------------
+    @staticmethod
+    def _assigned_names(stmt: ast.stmt) -> List[str]:
+        """Plain names bound by a class-body Assign/AnnAssign statement."""
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        return [t.id for t in targets if isinstance(t, ast.Name)]
+
+    def _check_key_groups(self, node: ast.ClassDef) -> None:
+        """D006: stateful + snapshot_state without a key_groups declaration.
+
+        AST-local on purpose: only classes that *textually* declare
+        ``stateful = True`` and define ``snapshot_state`` in the same
+        body are covered (inheritance is invisible to a file-level
+        pass). ``key_groups`` counts whether declared as a class
+        attribute or assigned as ``self.key_groups = ...`` in a method.
+        """
+        declares_stateful = False
+        defines_snapshot = False
+        declares_key_groups = False
+        for stmt in node.body:
+            names = self._assigned_names(stmt)
+            if "key_groups" in names:
+                declares_key_groups = True
+            if "stateful" in names:
+                value = stmt.value if isinstance(
+                    stmt, (ast.Assign, ast.AnnAssign)) else None
+                if isinstance(value, ast.Constant) and value.value is True:
+                    declares_stateful = True
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "snapshot_state":
+                    defines_snapshot = True
+                for child in ast.walk(stmt):
+                    if isinstance(child, (ast.Assign, ast.AnnAssign,
+                                          ast.AugAssign)):
+                        target_list = child.targets if isinstance(
+                            child, ast.Assign) else [child.target]
+                        for target in target_list:
+                            if isinstance(target, ast.Attribute) \
+                                    and target.attr == "key_groups" \
+                                    and isinstance(target.value, ast.Name) \
+                                    and target.value.id == "self":
+                                declares_key_groups = True
+        if declares_stateful and defines_snapshot and not declares_key_groups:
+            self._flag(
+                node, "D006",
+                f"stateful component '{node.name}' snapshots state but "
+                f"never declares key_groups; rescale re-partitioning will "
+                f"silently treat its state as monolithic — declare "
+                f"'key_groups = 0' (deliberate) or a group count")
+
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         is_component = False
         for base in node.bases:
-            dotted = _dotted(base)
-            if dotted is not None and \
-                    dotted.rpartition(".")[2] in _COMPONENT_BASES:
+            dotted_name = dotted(base)
+            if dotted_name is not None and \
+                    dotted_name.rpartition(".")[2] in _COMPONENT_BASES:
                 is_component = True
+        self._check_key_groups(node)
         self._class_stack.append(is_component)
         try:
             self.generic_visit(node)
@@ -312,17 +341,48 @@ class _RuleVisitor(ast.NodeVisitor):
                                            ast.ListComp, ast.DictComp,
                                            ast.SetComp))
             if not mutable and isinstance(default, ast.Call):
-                dotted = _dotted(default.func)
-                mutable = dotted is not None and \
-                    dotted.rpartition(".")[2] in _MUTABLE_FACTORIES
+                dotted_name = dotted(default.func)
+                mutable = dotted_name is not None and \
+                    dotted_name.rpartition(".")[2] in _MUTABLE_FACTORIES
             if mutable:
                 self._flag(default, "D004",
                            f"mutable default argument on component method "
                            f"'{node.name}'; default to None and create "
                            f"the object inside the body")
 
+    # -- snapshot bodies: D007 -----------------------------------------------
+    def _check_snapshot_iteration(self, node: Union[
+            ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        """D007: unsorted dict-view iteration inside ``snapshot_state``."""
+        if node.name != "snapshot_state":
+            return
+        # Dict-view calls appearing directly inside an order-insensitive
+        # sink (sorted, sum, len, …) are fine; collect them first.
+        sunk: set = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            name = func.id if isinstance(func, ast.Name) else None
+            if name in _ORDER_INSENSITIVE_SINKS:
+                for arg in child.args:
+                    sunk.add(id(arg))
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call) or id(child) in sunk:
+                continue
+            func = child.func
+            if isinstance(func, ast.Attribute) and not child.args \
+                    and func.attr in _DICT_VIEWS:
+                self._flag(
+                    child, "D007",
+                    f"snapshot_state iterates '.{func.attr}()' unsorted; "
+                    f"dict insertion order is schedule-dependent, so the "
+                    f"snapshot bytes inherit the event schedule — wrap "
+                    f"the iteration in sorted(...)")
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_snapshot_iteration(node)
         # Nested defs are not component methods; hide the class context.
         self._class_stack.append(False)
         try:
@@ -332,6 +392,7 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_snapshot_iteration(node)
         self._class_stack.append(False)
         try:
             self.generic_visit(node)
@@ -378,17 +439,9 @@ def lint_source(source: str, path: str = "<string>") -> List[Violation]:
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, (exc.offset or 0),
                           "E999", f"syntax error: {exc.msg}")]
-    per_line, file_level = _parse_pragmas(source)
     visitor = _RuleVisitor(path)
     visitor.visit(tree)
-    survivors = []
-    for violation in visitor.violations:
-        if violation.code in file_level:
-            continue
-        if violation.code in per_line.get(violation.line, ()):
-            continue
-        survivors.append(violation)
-    return survivors
+    return filter_pragmas(visitor.violations, source)
 
 
 def _iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
@@ -411,7 +464,7 @@ def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Violation]:
 
 
 def rules_table() -> str:
-    """The D001–D005 rule table as rendered by ``--list-rules``."""
+    """The D001–D007 rule table as rendered by ``--list-rules``."""
     lines = []
     for rule in RULES.values():
         lines.append(f"{rule.code}  {rule.title}")
@@ -424,7 +477,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="heron-sim lint",
         description="Determinism lint for the simulator's correctness "
-                    "contract (rules D001-D005).")
+                    "contract (rules D001-D007).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",

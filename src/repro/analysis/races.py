@@ -1,0 +1,799 @@
+"""Happens-before race detection over kernel tie groups.
+
+Both kernels guarantee a *total* pop order — ``(time, seq)`` — so every
+run is deterministic. But determinism is not order-independence: two
+events with bitwise-equal timestamps (a **tie group**) execute in
+scheduling order only because the kernel says so, and user state that
+depends on that order is a simultaneity hazard — the class of bug the
+sanitizer's FIFO/LIFO probe (:func:`repro.analysis.sanitize.run_tie_probe`)
+detects only wholesale. This module finds the *specific* racing pairs,
+with source locations, and can replay the minimal reordering that
+exposes each one.
+
+The pipeline:
+
+1. :class:`CausalTracer` hooks both kernels (via
+   :func:`attach_tracer`) and records, per tie group, the
+   happens-before edges the engine actually guarantees:
+
+   * **spawn** — an event armed while another event was executing is
+     ordered after it (``EventHandle.cause``, stamped by the kernel);
+   * **transport FIFO** — two deliveries on the same Stream-Manager
+     channel are ordered by the channel's sanitizer stamp
+     (``DataBatch.sani_seq``).
+
+   Per-actor *receive* order is deliberately **not** an edge: which of
+   two same-time arrivals a busy actor dequeues first is exactly the
+   nondeterminism under test.
+
+   Because no happens-before path moves backward in simulated time,
+   causality between equal-time events flows only through equal-time
+   events — so reachability is computed per tie group with integer
+   bitmasks instead of global vector clocks.
+
+2. Causally-unordered pairs of *arrival events* at the same Heron
+   Instance are resolved to the user handlers they invoke
+   (:meth:`HeronInstance.user_handlers_for`) and their static state
+   footprints (:mod:`repro.analysis.effects`). Pairs whose footprints
+   commute — the WordCount bolts' ``counts[word] += n`` — are pruned;
+   pairs that conflict on a field become :class:`RaceFinding`\\ s
+   (rule **R001**, suppressible with ``# lint: allow[R001]`` on the
+   conflicting access).
+
+3. The DPOR-lite **explorer** (:func:`explore`, ``heron-sim races
+   --explore``) replays the scenario demoting one side of a finding
+   within its tie groups (``TIE_CLASS_SHIFT`` seq bias — ties only,
+   everything else byte-identical) and diffs observable-state digests,
+   upgrading "potential race" to **confirmed divergence**.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from repro.analysis.effects import (Conflict, EffectIndex, Footprint,
+                                    conflicts, merge_footprints)
+from repro.analysis.rules import LintRule, Violation, parse_pragmas
+from repro.analysis.sanitize import digest_state
+from repro.core.instance import HeronInstance
+from repro.core.messages import DataBatch
+from repro.simulation.events import EventHandle, Simulator
+
+__all__ = [
+    "RACE_RULES",
+    "CausalTracer",
+    "ExplorationResult",
+    "RaceFinding",
+    "RaceReport",
+    "SCENARIOS",
+    "Scenario",
+    "attach_tracer",
+    "explore",
+    "main",
+    "run_races",
+]
+
+#: Race rules share the lint pragma grammar: ``# lint: allow[R001]`` on
+#: either conflicting access suppresses the finding.
+RACE_RULES: Dict[str, LintRule] = {
+    "R001": LintRule(
+        "R001", "order-sensitive handler race on tied events",
+        "Two causally-unordered events with bitwise-equal timestamps "
+        "invoke handlers whose state footprints do not commute; which "
+        "runs first is a kernel tie-break, not an engine guarantee."),
+}
+
+_ARRIVAL_METHODS = frozenset({"deliver", "deliver_many"})
+
+#: Trace-row cap for the cross-kernel parity digest.
+_TRACE_ROW_LIMIT = 50_000
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SideInfo:
+    """One side of a racing pair: a single arrival event."""
+
+    eid: int                            #: kernel sequence number (abs)
+    actor: str                          #: e.g. ``count[0]``
+    instance_key: Tuple[str, int]
+    messages: Tuple[str, ...]           #: message type names
+    #: ``(source_component, source_task, stream)`` per DataBatch carried.
+    channels: Tuple[Tuple[str, int, str], ...]
+    handlers: Tuple[str, ...]           #: user methods the delivery invokes
+
+    def describe(self) -> str:
+        """One-line human rendering: event, payload, channel, handler."""
+        what = "+".join(self.messages) or "message"
+        via = ""
+        if self.channels:
+            src = sorted({f"{c}[{t}]/{s}" for c, t, s in self.channels})
+            via = f" from {', '.join(src)}"
+        handlers = "/".join(self.handlers) or "?"
+        return f"event #{self.eid}: {what}{via} -> {self.actor}.{handlers}"
+
+    @property
+    def signature(self) -> Tuple[Any, ...]:
+        """Run-stable identity (no eid): what the explorer demotes."""
+        return (self.instance_key, tuple(sorted(self.messages)),
+                tuple(sorted(self.channels)))
+
+
+@dataclass
+class RaceFinding:
+    """A causally-unordered, non-commuting pair of tied arrivals."""
+
+    time: float
+    actor: str
+    conflict: Conflict
+    a: SideInfo
+    b: SideInfo
+    count: int = 1                      #: occurrences of this signature
+    confirmed: Optional[bool] = None    #: explorer verdict (None = not run)
+    digests: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> Tuple[Any, ...]:
+        """Dedup key across tie groups of the same run."""
+        return (self.conflict.field, self.conflict.a.kind,
+                self.conflict.b.kind,
+                tuple(sorted((self.a.signature, self.b.signature))))
+
+    def violation(self) -> Violation:
+        """Render as a lint-style ``Violation`` at the conflicting access."""
+        c = self.conflict
+        status = {True: " [CONFIRMED divergence]",
+                  False: " [not reproduced by explorer]",
+                  None: ""}[self.confirmed]
+        return Violation(
+            c.a.path, c.a.line, 0, "R001",
+            f"field {c.field!r} raced by tied events at t={self.time:g} "
+            f"({c.a.kind}/{c.b.kind}, x{self.count}){status}")
+
+    def format(self) -> str:
+        """Multi-line report: both sides, locations, minimal reordering."""
+        c = self.conflict
+        lines = [
+            f"R001 potential race on {self.actor} field {c.field!r} "
+            f"at t={self.time:g} (seen x{self.count})",
+            f"  A: {self.a.describe()}",
+            f"     {c.a.kind}-access at {c.a.path}:{c.a.line}"
+            f"{' (keyed)' if c.a.keyed else ''}",
+            f"  B: {self.b.describe()}",
+            f"     {c.b.kind}-access at {c.b.path}:{c.b.line}"
+            f"{' (keyed)' if c.b.keyed else ''}",
+            f"  minimal reordering: run event #{self.b.eid} before "
+            f"#{self.a.eid} (same tie group; no HB path orders them)",
+        ]
+        if self.confirmed is True:
+            lines.append("  explorer: CONFIRMED — reordering diverges "
+                         "observable state")
+            for name, digest in sorted(self.digests.items()):
+                lines.append(f"    {name}: {digest[:16]}")
+        elif self.confirmed is False:
+            lines.append("  explorer: not reproduced (digests identical "
+                         "under both demotions)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Event:
+    """One popped kernel event, as buffered within its tie group."""
+
+    eid: int
+    cause: Optional[int]
+    qualname: str
+    arrival: Optional[Tuple[HeronInstance, Tuple[Any, ...]]]
+    channels: Tuple[Tuple[Any, int], ...]   #: (channel key, sani_seq)
+
+
+class CausalTracer:
+    """Streaming happens-before analysis, one tie group at a time.
+
+    Attach with :func:`attach_tracer`; the kernel then stamps
+    ``EventHandle.cause`` at arm time and the sanitizer forwards every
+    pop to :meth:`on_event`. Call :meth:`finalize` after the run to
+    flush the last group.
+    """
+
+    def __init__(self, effects: Optional[EffectIndex] = None, *,
+                 max_findings: int = 100,
+                 trace_rows: bool = False) -> None:
+        self.effects = effects or EffectIndex()
+        self.max_findings = max_findings
+        #: eid of the event currently executing (kernel reads this to
+        #: stamp ``EventHandle.cause`` on everything armed inside it).
+        self.current: Optional[int] = None
+        #: Optional seq classifier consulted at arm time (explorer).
+        self.tie_class: Optional[
+            Callable[[Any, Tuple[Any, ...]], int]] = None
+        self._group_time: Optional[float] = None
+        self._group: List[_Event] = []
+        self._findings: Dict[Tuple[Any, ...], RaceFinding] = {}
+        self._footprints: Dict[Tuple[type, Tuple[str, ...]],
+                               Optional[Footprint]] = {}
+        self.stats: Counter = Counter()
+        #: Tie-group hot spots: time -> arrival events inside multi-event
+        #: tie groups. Where the schedule actually has slack — the
+        #: seeding signal for ``heron-sim chaos-search``.
+        self.hotspots: Counter = Counter()
+        self._trace_rows: Optional[List[Tuple[str, int, str]]] = \
+            [] if trace_rows else None
+
+    # -- kernel hook -------------------------------------------------------
+    def on_event(self, time: float, seq: int, fn: Any,
+                 args: Tuple[Any, ...],
+                 handle: Optional[EventHandle]) -> None:
+        """Called by the sanitizer for every pop, in execution order."""
+        # Bitwise time equality IS the tie-group definition here.
+        if time != self._group_time:  # lint: allow[D005]
+            self._flush()
+            self._group_time = time
+        eid = abs(seq)
+        self.current = eid
+        self.stats["events"] += 1
+        cause = handle.cause if handle is not None else None
+        qualname = getattr(fn, "__qualname__", repr(fn))
+        arrival: Optional[Tuple[HeronInstance, Tuple[Any, ...]]] = None
+        channels: Tuple[Tuple[Any, int], ...] = ()
+        target = getattr(fn, "__self__", None)
+        if isinstance(target, HeronInstance) \
+                and getattr(fn, "__name__", "") in _ARRIVAL_METHODS:
+            messages = _delivery_messages(fn, args)
+            arrival = (target, messages)
+            channels = tuple(
+                ((m.source_component, m.source_task, m.stream,
+                  target.key), m.sani_seq)
+                for m in messages
+                if isinstance(m, DataBatch) and m.sani_seq != -1)
+            self.stats["arrival_events"] += 1
+        self._group.append(_Event(eid, cause, qualname, arrival, channels))
+        rows = self._trace_rows
+        if rows is not None and len(rows) < _TRACE_ROW_LIMIT:
+            rows.append((float.hex(time), eid, qualname))
+
+    # -- group analysis ----------------------------------------------------
+    def _flush(self) -> None:
+        group, self._group = self._group, []
+        n = len(group)
+        if n < 2:
+            return
+        self.stats["tie_groups"] += 1
+        self.stats["tie_group_events"] += n
+        index = {e.eid: i for i, e in enumerate(group)}
+        preds: List[List[int]] = [[] for _ in range(n)]
+        last_on_channel: Dict[Any, Tuple[int, int]] = {}
+        for i, event in enumerate(group):
+            if event.cause is not None:
+                j = index.get(event.cause)
+                if j is not None and j < i:
+                    preds[i].append(j)
+            for channel, stamp in event.channels:
+                prior = last_on_channel.get(channel)
+                if prior is not None and prior[1] <= stamp:
+                    preds[i].append(prior[0])
+                last_on_channel[channel] = (i, stamp)
+        reach = [0] * n
+        for i in range(n):
+            r = 1 << i
+            for p in preds[i]:
+                r |= reach[p]
+            reach[i] = r
+        arrivals = [i for i, e in enumerate(group) if e.arrival is not None]
+        if arrivals:
+            self.hotspots[self._group_time or 0.0] += len(arrivals)
+        for ai in range(len(arrivals)):
+            i = arrivals[ai]
+            for bj in range(ai + 1, len(arrivals)):
+                j = arrivals[bj]
+                ea, eb = group[i], group[j]
+                assert ea.arrival is not None and eb.arrival is not None
+                if ea.arrival[0] is not eb.arrival[0]:
+                    continue  # different actors: no shared state
+                if (reach[j] >> i) & 1:
+                    continue  # HB-ordered: spawn or FIFO path exists
+                self._unordered_pair(ea, eb)
+
+    def _unordered_pair(self, ea: _Event, eb: _Event) -> None:
+        assert ea.arrival is not None and eb.arrival is not None
+        instance = ea.arrival[0]
+        self.stats["unordered_pairs"] += 1
+        fa = self._arrival_footprint(instance, ea.arrival[1])
+        fb = self._arrival_footprint(instance, eb.arrival[1])
+        clashes = conflicts(fa, fb)
+        if not clashes:
+            self.stats["commuting_pruned"] += 1
+            return
+        time = self._group_time or 0.0
+        for clash in clashes:
+            side_a = _side_info(ea, instance)
+            side_b = _side_info(eb, instance)
+            finding = RaceFinding(time, instance.name, clash,
+                                  side_a, side_b)
+            prior = self._findings.get(finding.signature)
+            if prior is not None:
+                prior.count += 1
+            elif len(self._findings) < self.max_findings:
+                self._findings[finding.signature] = finding
+            else:
+                self.stats["findings_dropped"] += 1
+
+    def _arrival_footprint(self, instance: HeronInstance,
+                           messages: Tuple[Any, ...]) \
+            -> Optional[Footprint]:
+        """Union footprint of every user handler this delivery invokes.
+
+        ``None`` (unknown) only when a message maps to a handler whose
+        source is unavailable; an empty delivery footprint is ``{}``.
+        """
+        handlers = tuple(sorted({
+            name for message in messages
+            for name in instance.user_handlers_for(message)}))
+        cls = type(instance.user)
+        key = (cls, handlers)
+        if key not in self._footprints:
+            prints: List[Footprint] = []
+            unknown = False
+            for name in handlers:
+                fp = self.effects.footprint(cls, name)
+                if fp is None:
+                    unknown = True
+                    break
+                prints.append(fp)
+            self._footprints[key] = None if unknown \
+                else merge_footprints(*prints)
+        return self._footprints[key]
+
+    # -- results -----------------------------------------------------------
+    def finalize(self) -> None:
+        """Flush the trailing tie group (call once, after the run)."""
+        self._flush()
+        self._group_time = None
+        self.current = None
+
+    def findings(self, *, with_suppressed: bool = False) \
+            -> List[RaceFinding]:
+        """Findings in first-seen order, pragma-suppressed ones dropped."""
+        found = list(self._findings.values())
+        if with_suppressed:
+            return found
+        kept = [f for f in found if not _suppressed(f)]
+        self.stats["suppressed"] = len(found) - len(kept)
+        return kept
+
+    def trace_digest(self) -> str:
+        """Digest of the causal trace rows (cross-kernel parity)."""
+        if self._trace_rows is None:
+            raise ValueError("tracer built without trace_rows=True")
+        return digest_state(self._trace_rows)
+
+    def hot_times(self, limit: int = 8) -> List[float]:
+        """Times with the most tied arrivals, busiest first."""
+        return [t for t, _n in self.hotspots.most_common(limit)]
+
+
+def _delivery_messages(fn: Any, args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    if not args:
+        return ()
+    if fn.__name__ == "deliver_many":
+        return tuple(args[0])
+    return (args[0],)
+
+
+def _side_info(event: _Event, instance: HeronInstance) -> SideInfo:
+    assert event.arrival is not None
+    messages = event.arrival[1]
+    return SideInfo(
+        eid=event.eid,
+        actor=instance.name,
+        instance_key=instance.key,
+        messages=tuple(type(m).__name__ for m in messages),
+        channels=tuple((m.source_component, m.source_task, m.stream)
+                       for m in messages
+                       if isinstance(m, DataBatch)),
+        handlers=tuple(sorted({
+            name for m in messages
+            for name in instance.user_handlers_for(m)})))
+
+
+_PRAGMA_CACHE: Dict[str, Tuple[Dict[int, Any], Any]] = {}
+
+
+def _suppressed(finding: RaceFinding) -> bool:
+    """True when either conflicting access carries ``allow[R001]``."""
+    for effect in (finding.conflict.a, finding.conflict.b):
+        try:
+            if effect.path not in _PRAGMA_CACHE:
+                with open(effect.path, encoding="utf-8") as handle:
+                    _PRAGMA_CACHE[effect.path] = parse_pragmas(handle.read())
+            line_pragmas, file_pragmas = _PRAGMA_CACHE[effect.path]
+        except OSError:
+            continue
+        if "R001" in file_pragmas \
+                or "R001" in line_pragmas.get(effect.line, ()):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# kernel attachment
+# ---------------------------------------------------------------------------
+
+def attach_tracer(sim: Simulator, tracer: CausalTracer, *,
+                  classify: Optional[
+                      Callable[[Any, Tuple[Any, ...]], int]] = None) -> None:
+    """Wire a tracer into a sanitizing simulator.
+
+    The sanitizer forwards every pop to the tracer and the kernel stamps
+    ``EventHandle.cause`` from ``tracer.current``. ``classify`` (the
+    explorer's tie-class demotion) requires FIFO tie order: under LIFO
+    the seq sign flips and a demoted class would collide with undemoted
+    seqs, so the combination is rejected.
+    """
+    sanitizer = getattr(sim, "sanitizer", None)
+    if sanitizer is None:
+        raise ValueError(
+            "causal tracing needs a sanitizing kernel — construct the "
+            "Simulator with sanitize=True (or REPRO_SANITIZE=1)")
+    if classify is not None:
+        if getattr(sim, "_seq_sign", 1) < 0:
+            raise ValueError(
+                "tie-class exploration requires FIFO tie order "
+                "(tie_order='fifo')")
+        tracer.tie_class = classify
+    sanitizer.tracer = tracer
+    sim._trace = tracer
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+#: ``build(sim, fast)`` constructs the workload on the given simulator
+#: and returns a zero-argument observable-state callable (the
+#: :func:`repro.analysis.sanitize.run_tie_probe` contract).
+BuildFn = Callable[[Simulator, bool], Callable[[], Any]]
+
+_OBSERVABLE_TYPES = (int, float, str, bool, bytes, tuple, list, dict,
+                     set, frozenset)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, self-contained workload for ``heron-sim races``."""
+
+    name: str
+    description: str
+    build: BuildFn
+    duration: float
+    fast_duration: float
+
+
+def observable_user_state(instance: HeronInstance) -> Any:
+    """One instance's order-observable state.
+
+    Stateful components expose exactly their managed snapshot; others
+    expose public fields of canonical value types (objects with
+    address-bearing reprs — RNGs, callables — would make the digest
+    unstable across identical runs and are excluded).
+    """
+    user = instance.user
+    if getattr(user, "stateful", False):
+        return user.snapshot_state()
+    return {name: value for name, value in user.__dict__.items()
+            if not name.startswith("_")
+            and isinstance(value, _OBSERVABLE_TYPES)}
+
+
+def _cluster_observer(cluster: Any) -> Callable[[], Any]:
+    def observe() -> Any:
+        return {
+            f"{topo_name}/{instance.name}":
+                observable_user_state(instance)
+            for topo_name, runtime in sorted(cluster.topologies.items())
+            for _key, instance in sorted(runtime.instances.items())}
+    return observe
+
+
+def _build_wordcount(sim: Simulator, fast: bool) -> Callable[[], Any]:
+    from repro.core.heron import HeronCluster
+    from repro.scheduler.frameworks import LocalFramework
+    from repro.workloads.wordcount import wordcount_topology
+
+    cluster = HeronCluster(framework=LocalFramework(sim))
+    cluster.submit_topology(wordcount_topology(
+        2, corpus_size=200 if fast else 2_000))
+    return _cluster_observer(cluster)
+
+
+def _inject_tied_arrivals(sim: Simulator, cluster: Any, topo_name: str,
+                          *, times: Sequence[float]) -> None:
+    """Arm simultaneous cross-source deliveries into the ``sink`` task.
+
+    The engine's Stream Managers serialize forwarding, so two sources'
+    batches reach an instance at *different* times on the happy path —
+    the fixture manufactures the tie the detector is for: at each time
+    in ``times``, two deliveries (one per source task) are armed with
+    the same timestamp from the same driver event, so they share a
+    spawn cause but have no happens-before path between each other.
+    """
+    def inject() -> None:
+        runtime = cluster.topologies[topo_name]
+        sink = next(instance
+                    for key, instance in sorted(runtime.instances.items())
+                    if key[0] == "sink")
+        for task in (0, 1):
+            batch = DataBatch(
+                dest=sink.key, source_component="src", stream="default",
+                values=[[f"tied-t{task}@{sim.now:g}"]], count=1,
+                origin=("src", task), emit_time_sum=0.0,
+                source_task=task, epoch=sink.epoch)
+            sim.schedule(1e-6, sink.deliver, batch)
+
+    for time in times:
+        sim.schedule(time, inject)
+
+
+#: Injection instants for the fixture scenarios; all later than the
+#: capped spouts' drain point, so the tied pair is the last state write.
+_INJECT_TIMES = (0.35, 0.45, 0.55)
+
+
+def _build_fixture(sim: Simulator, *, commuting: bool) \
+        -> Callable[[], Any]:
+    from repro.core.heron import HeronCluster
+    from repro.scheduler.frameworks import LocalFramework
+    from repro.workloads.racy import racy_topology
+
+    cluster = HeronCluster(framework=LocalFramework(sim))
+    topology = racy_topology(commuting=commuting)
+    cluster.submit_topology(topology)
+    _inject_tied_arrivals(sim, cluster, topology.name,
+                          times=_INJECT_TIMES)
+    return _cluster_observer(cluster)
+
+
+def _build_racy(sim: Simulator, fast: bool) -> Callable[[], Any]:
+    return _build_fixture(sim, commuting=False)
+
+
+def _build_commuting(sim: Simulator, fast: bool) -> Callable[[], Any]:
+    return _build_fixture(sim, commuting=True)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "wordcount": Scenario(
+        "wordcount", "the paper's benchmark: 2 spouts -> 2 count bolts "
+        "(expected race-clean: counting commutes)",
+        _build_wordcount, 3.0, 1.0),
+    "racy": Scenario(
+        "racy", "two-source topology with an order-sensitive bolt "
+        "(expected: R001, explorer-confirmable)",
+        _build_racy, 2.0, 0.6),
+    "commuting": Scenario(
+        "commuting", "same shape as 'racy' with a commuting bolt "
+        "(expected race-clean)",
+        _build_commuting, 2.0, 0.6),
+}
+
+
+# ---------------------------------------------------------------------------
+# driver + explorer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RaceReport:
+    """Everything one ``run_races`` invocation learned."""
+
+    scenario: str
+    kernel: str
+    duration: float
+    findings: List[RaceFinding]
+    digest: str                       #: observable-state digest
+    trace_digest: str                 #: causal-trace digest (parity)
+    stats: Dict[str, int]
+    hot_times: List[float]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _run_once(scenario: Scenario, *, kernel: Optional[str],
+              duration: float, fast: bool,
+              classify: Optional[Callable[[Any, Tuple[Any, ...]], int]],
+              effects: Optional[EffectIndex] = None,
+              trace_rows: bool = False) -> Tuple[CausalTracer, str]:
+    kwargs: Dict[str, Any] = {"sanitize": True, "tie_order": "fifo"}
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    sim = Simulator(**kwargs)
+    tracer = CausalTracer(effects, trace_rows=trace_rows)
+    observe = scenario.build(sim, fast)
+    attach_tracer(sim, tracer, classify=classify)
+    sim.run_until(duration)
+    tracer.finalize()
+    return tracer, digest_state(observe())
+
+
+def run_races(scenario_name: str, *, kernel: Optional[str] = None,
+              duration: Optional[float] = None,
+              fast: bool = False) -> RaceReport:
+    """Trace one scenario and report potential tie races."""
+    scenario = SCENARIOS[scenario_name]
+    run_for = duration if duration is not None \
+        else (scenario.fast_duration if fast else scenario.duration)
+    tracer, digest = _run_once(scenario, kernel=kernel, duration=run_for,
+                               fast=fast, classify=None, trace_rows=True)
+    return RaceReport(
+        scenario=scenario_name,
+        kernel=kernel or Simulator().kernel,
+        duration=run_for,
+        findings=tracer.findings(),
+        digest=digest,
+        trace_digest=tracer.trace_digest(),
+        stats=dict(tracer.stats),
+        hot_times=tracer.hot_times())
+
+
+@dataclass
+class ExplorationResult:
+    """Digest diff of demoting each side of one finding."""
+
+    baseline: str
+    demoted_a: str
+    demoted_b: str
+
+    @property
+    def confirmed(self) -> bool:
+        return self.demoted_a != self.baseline \
+            or self.demoted_b != self.baseline
+
+
+def _side_classifier(side: SideInfo) \
+        -> Callable[[Any, Tuple[Any, ...]], int]:
+    """Arm-time matcher: demote (class 1) deliveries matching ``side``."""
+    want_key = side.instance_key
+    want_channels = set(side.channels)
+    want_types = set(side.messages)
+
+    def classify(fn: Any, args: Tuple[Any, ...]) -> int:
+        if getattr(fn, "__name__", "") not in _ARRIVAL_METHODS:
+            return 0
+        target = getattr(fn, "__self__", None)
+        if not isinstance(target, HeronInstance) or target.key != want_key:
+            return 0
+        for message in _delivery_messages(fn, args):
+            if isinstance(message, DataBatch):
+                channel = (message.source_component, message.source_task,
+                           message.stream)
+                if channel in want_channels:
+                    return 1
+            elif type(message).__name__ in want_types:
+                return 1
+        return 0
+
+    return classify
+
+
+def explore(scenario_name: str, finding: RaceFinding, *,
+            kernel: Optional[str] = None,
+            duration: Optional[float] = None,
+            fast: bool = False,
+            baseline: Optional[str] = None) -> ExplorationResult:
+    """Replay the scenario demoting each side of ``finding`` in turn.
+
+    A demotion biases only intra-tie-group order (seq gains
+    ``1 << TIE_CLASS_SHIFT``), so any digest change against the
+    baseline is order-dependence of *this* pair's schedule — the
+    finding's verdict is written back (``confirmed``/``digests``).
+    """
+    scenario = SCENARIOS[scenario_name]
+    run_for = duration if duration is not None \
+        else (scenario.fast_duration if fast else scenario.duration)
+    if baseline is None:
+        _t, baseline = _run_once(scenario, kernel=kernel, duration=run_for,
+                                 fast=fast, classify=None)
+    digests: Dict[str, str] = {"baseline": baseline}
+    for label, side in (("demote-A", finding.a), ("demote-B", finding.b)):
+        _t, digest = _run_once(scenario, kernel=kernel, duration=run_for,
+                               fast=fast,
+                               classify=_side_classifier(side))
+        digests[label] = digest
+    result = ExplorationResult(baseline, digests["demote-A"],
+                               digests["demote-B"])
+    finding.confirmed = result.confirmed
+    finding.digests = digests
+    return result
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _kernels(choice: str) -> Sequence[Optional[str]]:
+    if choice == "both":
+        return ("calendar", "heap")
+    if choice == "default":
+        return (None,)
+    return (choice,)
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """``heron-sim races`` — trace, detect, optionally explore.
+
+    Exit status: 0 clean, 1 findings (or cross-kernel trace mismatch),
+    2 usage error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="heron-sim races",
+        description="Happens-before race detection over kernel tie "
+                    "groups, with DPOR-lite schedule exploration.")
+    parser.add_argument("scenario", nargs="?", default="wordcount",
+                        choices=sorted(SCENARIOS),
+                        help="workload to trace (default: wordcount)")
+    parser.add_argument("--explore", action="store_true",
+                        help="replay each finding with one side demoted "
+                             "and diff observable-state digests")
+    parser.add_argument("--kernel", default="default",
+                        choices=["default", "calendar", "heap", "both"],
+                        help="kernel(s) to run under; 'both' also checks "
+                             "causal-trace parity")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (default: per scenario)")
+    parser.add_argument("--fast", action="store_true",
+                        help="short smoke run (CI)")
+    parser.add_argument("--max-explore", type=int, default=4,
+                        help="explore at most this many findings")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    reports: List[RaceReport] = []
+    for kernel in _kernels(args.kernel):
+        report = run_races(args.scenario, kernel=kernel,
+                           duration=args.duration, fast=args.fast)
+        reports.append(report)
+        print(f"== scenario {report.scenario!r} on kernel "
+              f"{report.kernel} ({report.duration:g}s simulated) ==")
+        stats = report.stats
+        print(f"   {stats.get('events', 0)} events, "
+              f"{stats.get('tie_groups', 0)} tie groups, "
+              f"{stats.get('unordered_pairs', 0)} unordered arrival "
+              f"pairs, {stats.get('commuting_pruned', 0)} pruned as "
+              f"commuting, {stats.get('suppressed', 0)} suppressed")
+        if args.explore and report.findings:
+            for finding in report.findings[:args.max_explore]:
+                explore(args.scenario, finding, kernel=kernel,
+                        duration=args.duration, fast=args.fast,
+                        baseline=report.digest)
+        for finding in report.findings:
+            print(finding.format())
+        if not report.findings:
+            print("   race-clean: every tied arrival pair is "
+                  "HB-ordered or commutes")
+    failed = any(r.findings for r in reports)
+    if len(reports) == 2:
+        if reports[0].trace_digest != reports[1].trace_digest:
+            print("FAIL: causal traces differ across kernels "
+                  f"({reports[0].trace_digest[:16]} vs "
+                  f"{reports[1].trace_digest[:16]})")
+            failed = True
+        else:
+            print(f"cross-kernel parity: causal traces identical "
+                  f"({reports[0].trace_digest[:16]})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Shared rule/pragma plumbing for the static analyses.
+
+Both the determinism lint (:mod:`repro.analysis.lint`, rules ``D00x``)
+and the race reporter (:mod:`repro.analysis.races`, rules ``R00x``)
+produce findings anchored to source locations and honor the same
+suppression pragmas::
+
+    risky_line()            # lint: allow[D003]  -- justification
+    # lint: allow-file[D005]
+
+This module holds the pieces they share — the rule/violation dataclasses,
+the pragma grammar, and small AST helpers — so a pragma means the same
+thing to every analysis and new rule families don't re-implement the
+suppression logic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LintRule", "Violation", "dotted", "filter_pragmas",
+           "parse_pragmas"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One lint rule: stable code, short title, and the contract it guards."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as compiler-style ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
+               f"{self.message}"
+
+
+# -- pragmas -----------------------------------------------------------------
+
+_LINE_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9,\s]+)\]")
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*allow-file\[([A-Z0-9,\s]+)\]")
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level allowed rule codes."""
+    per_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _FILE_PRAGMA.search(text)
+        if match:
+            file_level.update(c.strip() for c in match.group(1).split(","))
+            continue
+        match = _LINE_PRAGMA.search(text)
+        if match:
+            per_line[lineno] = {c.strip() for c in match.group(1).split(",")}
+    return per_line, file_level
+
+
+def filter_pragmas(violations: Sequence[Violation],
+                   source: str) -> List[Violation]:
+    """Drop violations suppressed by ``source``'s pragmas."""
+    per_line, file_level = parse_pragmas(source)
+    survivors = []
+    for violation in violations:
+        if violation.code in file_level:
+            continue
+        if violation.code in per_line.get(violation.line, ()):
+            continue
+        survivors.append(violation)
+    return survivors
+
+
+# -- AST helpers -------------------------------------------------------------
+
+def dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -54,7 +54,8 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable, List,
 from repro.common.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.simulation.events import Simulator
+    from repro.analysis.races import CausalTracer
+    from repro.simulation.events import EventHandle, Simulator
 
 __all__ = ["ChannelFifoChecker", "KernelSanitizer", "SanitizerViolation",
            "TieProbeResult", "digest_state", "run_tie_probe"]
@@ -142,6 +143,11 @@ class KernelSanitizer:
         self._trace_limit = 0
         self.trace: List[Tuple[float, int, str]] = []
 
+        #: Causal tracer (repro.analysis.races), attached via
+        #: races.attach_tracer(); fed every pop with callback + args so
+        #: it can resolve delivery targets and happens-before edges.
+        self.tracer: Optional["CausalTracer"] = None
+
     # -- failure path --------------------------------------------------------
     def fail(self, message: str) -> None:
         """Record a violation and raise (fail-fast)."""
@@ -150,7 +156,9 @@ class KernelSanitizer:
 
     # -- kernel hooks --------------------------------------------------------
     def on_pop(self, sim: "Simulator", time: float, seq: int,
-               fn: Optional[Callable[..., Any]]) -> None:
+               fn: Optional[Callable[..., Any]],
+               args: Tuple[Any, ...] = (),
+               handle: Optional["EventHandle"] = None) -> None:
         """Invariant checks after the kernel pops a live event."""
         self.pops += 1
         if time < self._last_time:
@@ -182,6 +190,8 @@ class KernelSanitizer:
         if self._trace_limit and len(self.trace) < self._trace_limit:
             qualname = getattr(fn, "__qualname__", repr(fn))
             self.trace.append((time, abs(seq), qualname))
+        if self.tracer is not None:
+            self.tracer.on_event(time, seq, fn, args, handle)
 
     def verify_queue(self, sim: "Simulator") -> int:
         """Full O(n) scan of whichever kernel backs ``sim``."""

@@ -15,13 +15,21 @@ from repro.chaos.flaky import FlakyStateManager
 from repro.chaos.network import FaultyNetwork
 from repro.chaos.plan import FaultPlan, LinkFaults, Partition, Straggler
 from repro.chaos.policy import BackoffPolicy
+from repro.chaos.search import (ChaosSearchResult, ChaosTrial,
+                                measure_partition_at, search,
+                                trace_hot_times)
 
 __all__ = [
     "BackoffPolicy",
+    "ChaosSearchResult",
+    "ChaosTrial",
     "FaultPlan",
     "FaultyNetwork",
     "FlakyStateManager",
     "LinkFaults",
     "Partition",
     "Straggler",
+    "measure_partition_at",
+    "search",
+    "trace_hot_times",
 ]

@@ -1,0 +1,256 @@
+"""Chaos-schedule search: find the fault timing that hurts the most.
+
+The chaos figures (:mod:`repro.experiments.chaos_faults`) inject a
+partition at one hand-picked instant. That demonstrates recovery, but it
+answers the wrong question for hardening: *of all the moments a machine
+could drop off the network, which one maximizes damage?* This module
+closes that ROADMAP debt item with a greedy search over
+:class:`~repro.chaos.plan.Partition` start times, scored by recovery
+time (``last_restore_at - fail_time`` — how long effectively-once takes
+to re-establish).
+
+Candidate seeding comes from the race tracer
+(:mod:`repro.analysis.races`): a short traced baseline run records which
+instants have the densest *tied arrival* activity — tie groups are
+where the schedule has slack, so faults landing there interleave with
+the most concurrent in-flight work. The tracer's hot times plus a
+uniform grid form round zero; each refinement round then brackets the
+incumbent with halved steps.
+
+Everything stays deterministic: the workload is the bounded stateful
+WordCount, one seed, and every trial builds a fresh cluster — the
+search is reproducible end to end (the point of a *simulated* chaos
+monkey).
+
+Layering note: like the rest of ``repro.chaos``, this module keeps the
+package importable without ``repro.core`` — engine and workload imports
+happen inside the measurement functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.chaos.plan import FaultPlan, Partition
+
+__all__ = [
+    "ChaosSearchResult",
+    "ChaosTrial",
+    "main",
+    "measure_partition_at",
+    "search",
+    "trace_hot_times",
+]
+
+#: One seed for every trial: chaos runs replay exactly per seed.
+SEED = 11
+
+#: Bounded stream per spout task, so every trial drains and the final
+#: recovery measurement is not racing an endless source.
+TUPLES_PER_TASK = 3_000
+FAST_TUPLES_PER_TASK = 1_200
+SPOUT_RATE = 10_000.0
+PARALLELISM = 2
+PARTITION_SECS = 1.0
+RUN_FOR = 5.0
+FAST_RUN_FOR = 3.5
+HEARTBEAT = 0.1
+CHECKPOINT_INTERVAL = 0.1
+
+#: Round-zero uniform grid of partition starts (seconds after the
+#: topology reports running), merged with the tracer's hot times.
+GRID = (0.2, 0.4, 0.6, 0.8)
+
+#: Candidate de-duplication resolution (seconds).
+_RESOLUTION = 0.01
+
+
+@dataclass(frozen=True)
+class ChaosTrial:
+    """One measured fault timing."""
+
+    start: float            #: partition start (secs after running)
+    recovery_secs: float    #: last restore - fail time (-1: no restore)
+    relaunches: float
+    suspected_failures: float
+
+    @property
+    def score(self) -> float:
+        """Maximization objective; unrecovered runs rank last."""
+        return self.recovery_secs
+
+
+@dataclass
+class ChaosSearchResult:
+    """Every trial of one search, worst timing first."""
+
+    trials: List[ChaosTrial] = field(default_factory=list)
+    seeds: Tuple[float, ...] = ()        #: tracer-derived candidates
+
+    @property
+    def best(self) -> ChaosTrial:
+        return max(self.trials, key=lambda t: t.score)
+
+    def format(self) -> str:
+        """Render trials ranked by score plus the worst-case summary."""
+        lines = [f"{len(self.trials)} trials "
+                 f"(tracer seeds: "
+                 f"{', '.join(f'{s:g}' for s in self.seeds) or 'none'})"]
+        for trial in sorted(self.trials, key=lambda t: -t.score):
+            lines.append(
+                f"  partition at +{trial.start:6.3f}s -> recovery "
+                f"{trial.recovery_secs:6.3f}s, "
+                f"{trial.relaunches:g} relaunches, "
+                f"{trial.suspected_failures:g} suspected failures")
+        best = self.best
+        lines.append(f"worst-case timing: +{best.start:g}s "
+                     f"(recovery {best.recovery_secs:g}s)")
+        return "\n".join(lines)
+
+
+def _config(fast: bool):
+    from repro.api.config_keys import TopologyConfigKeys as Keys
+    from repro.common.config import Config
+    return (Config()
+            .set(Keys.ACKING_ENABLED, False)
+            .set(Keys.BATCH_SIZE, 50)
+            .set(Keys.SAMPLE_CAP, 0)
+            .set(Keys.INSTANCES_PER_CONTAINER, 2)
+            .set(Keys.HEARTBEAT_INTERVAL_SECS, HEARTBEAT)
+            .set(Keys.CHECKPOINT_ENABLED, True)
+            .set(Keys.CHECKPOINT_INTERVAL_SECS, CHECKPOINT_INTERVAL))
+
+
+def _build_cluster(fast: bool, fault_plan: Optional[FaultPlan] = None,
+                   sim=None):
+    """The fixed search substrate: 6 small machines, one container per
+    machine (a partition isolates exactly one SM, never the TM)."""
+    from repro.common.resources import Resource
+    from repro.common.units import GB
+    from repro.core.heron import HeronCluster
+    from repro.scheduler.frameworks import YarnFramework
+    from repro.simulation.cluster import Cluster
+    from repro.workloads.stateful_wordcount import \
+        stateful_wordcount_topology
+
+    machine = Resource(cpu=4, ram=8 * GB, disk=100 * GB)
+    if sim is None:
+        from repro.simulation.events import Simulator
+        sim = Simulator()
+    framework = YarnFramework(sim, Cluster.homogeneous(6, machine))
+    cluster = HeronCluster(framework=framework, seed=SEED,
+                           fault_plan=fault_plan)
+    topology = stateful_wordcount_topology(
+        PARALLELISM,
+        total_tuples=FAST_TUPLES_PER_TASK if fast else TUPLES_PER_TASK,
+        rate=SPOUT_RATE, config=_config(fast))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    return cluster, handle
+
+
+def trace_hot_times(fast: bool = False, limit: int = 4) -> List[float]:
+    """Tied-arrival hot spots of a fault-free traced baseline run.
+
+    Returns instants (relative to topology running) bucketed to
+    ``_RESOLUTION``; empty when the workload exhibits no multi-event
+    tie groups with arrivals — callers fall back to the uniform grid.
+    """
+    from repro.analysis.races import CausalTracer, attach_tracer
+    from repro.simulation.events import Simulator
+
+    sim = Simulator(sanitize=True, tie_order="fifo")
+    cluster, handle = _build_cluster(fast, sim=sim)
+    running_at = cluster.sim.now
+    tracer = CausalTracer()
+    attach_tracer(sim, tracer)
+    cluster.run_for(FAST_RUN_FOR if fast else RUN_FOR)
+    tracer.finalize()
+    handle.kill()
+    buckets = sorted({round((t - running_at) / _RESOLUTION)
+                      for t in tracer.hot_times(limit * 4)
+                      if t > running_at})
+    return [b * _RESOLUTION for b in buckets if b > 0][:limit]
+
+
+def measure_partition_at(start: float, *, fast: bool = False) -> ChaosTrial:
+    """Partition one non-TM machine ``start`` secs after running."""
+    plan = FaultPlan()  # the partition is installed once ids are known
+    cluster, handle = _build_cluster(fast, fault_plan=plan)
+    runtime = handle._runtime
+    tm_machine = runtime.tmaster.location.machine_id
+    victim = next(sm.location.machine_id for sm in runtime.sms.values()
+                  if sm.location.machine_id != tm_machine)
+    fail_time = cluster.sim.now + start
+    assert cluster.chaos is not None
+    cluster.chaos.add_partition(Partition(
+        start=fail_time, duration=PARTITION_SECS,
+        machines=frozenset({victim})))
+    cluster.run_for(FAST_RUN_FOR if fast else RUN_FOR)
+    stats = handle.checkpoint_stats()
+    failures = handle.failure_stats()
+    recovery = (stats["last_restore_at"] - fail_time
+                if stats["last_restore_at"] >= 0 else -1.0)
+    handle.kill()
+    return ChaosTrial(start=start, recovery_secs=recovery,
+                      relaunches=failures["relaunches_requested"],
+                      suspected_failures=failures["suspected_failures"])
+
+
+def search(*, rounds: int = 2, fast: bool = False,
+           grid: Iterable[float] = GRID) -> ChaosSearchResult:
+    """Greedy refinement over partition start times.
+
+    Round zero evaluates the tracer's hot times plus ``grid``; each
+    later round brackets the incumbent best at half the previous
+    spacing. Greedy is the right tool here: recovery time responds to
+    where the fault lands relative to checkpoint/heartbeat cadence, a
+    locally smooth landscape with a few plateaus.
+    """
+    seeds = tuple(trace_hot_times(fast))
+    result = ChaosSearchResult(seeds=seeds)
+    measured: Dict[int, ChaosTrial] = {}
+
+    def measure(start: float) -> None:
+        bucket = round(start / _RESOLUTION)
+        if start <= 0 or bucket in measured:
+            return
+        trial = measure_partition_at(bucket * _RESOLUTION, fast=fast)
+        measured[bucket] = trial
+        result.trials.append(trial)
+
+    candidates = sorted(set(seeds) | set(grid))
+    for start in candidates:
+        measure(start)
+    step = (max(candidates) - min(candidates)) / max(
+        1, len(candidates) - 1) / 2 if len(candidates) > 1 else 0.1
+    for _round in range(rounds):
+        incumbent = result.best.start
+        measure(incumbent - step)
+        measure(incumbent + step)
+        step /= 2
+    return result
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """``heron-sim chaos-search`` — adversarial fault-timing search."""
+    parser = argparse.ArgumentParser(
+        prog="heron-sim chaos-search",
+        description="Greedy search over FaultPlan partition timings "
+                    "maximizing recovery time, seeded by the race "
+                    "tracer's tie hot spots.")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="greedy refinement rounds (default 2)")
+    parser.add_argument("--fast", action="store_true",
+                        help="short smoke run (CI)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    result = search(rounds=args.rounds, fast=args.fast)
+    print(result.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,9 @@ Subcommands::
     heron-sim figure fig2 [--fast]     # regenerate one paper figure
     heron-sim figures                  # list reproducible figures
     heron-sim submit --parallelism 4   # run WordCount with knobs
+    heron-sim lint [paths...]          # determinism lint (D001-D007)
+    heron-sim races racy --explore     # happens-before race detection
+    heron-sim chaos-search --fast      # adversarial fault timing search
 
 This is a thin convenience layer over ``repro.experiments`` and
 ``repro.core``; everything it does is available as a library call.
@@ -173,6 +176,29 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_races(args) -> int:
+    from repro.analysis.races import main as races_main
+
+    argv = [args.scenario, "--kernel", args.kernel,
+            "--max-explore", str(args.max_explore)]
+    if args.explore:
+        argv.append("--explore")
+    if args.fast:
+        argv.append("--fast")
+    if args.duration is not None:
+        argv.extend(["--duration", str(args.duration)])
+    return races_main(argv)
+
+
+def _cmd_chaos_search(args) -> int:
+    from repro.chaos.search import main as search_main
+
+    argv = ["--rounds", str(args.rounds)]
+    if args.fast:
+        argv.append("--fast")
+    return search_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the heron-sim argument parser."""
     parser = argparse.ArgumentParser(
@@ -203,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(func=_cmd_demo)
 
     lint = sub.add_parser(
-        "lint", help="determinism lint (rules D001-D005)",
+        "lint", help="determinism lint (rules D001-D007)",
         description="Statically enforce the simulator's determinism "
                     "contract; see repro.analysis.lint.")
     lint.add_argument("paths", nargs="*", default=["src"],
@@ -211,6 +237,41 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    races = sub.add_parser(
+        "races", help="happens-before race detection over tie groups",
+        description="Trace happens-before edges, flag causally-"
+                    "unordered tied arrivals with non-commuting "
+                    "handler footprints, optionally explore the "
+                    "reorderings; see repro.analysis.races.")
+    races.add_argument("scenario", nargs="?", default="wordcount",
+                       help="scenario name (wordcount, racy, commuting)")
+    races.add_argument("--explore", action="store_true",
+                       help="replay findings with one side demoted and "
+                            "diff state digests (DPOR-lite)")
+    races.add_argument("--kernel", default="default",
+                       choices=["default", "calendar", "heap", "both"],
+                       help="kernel(s); 'both' also checks causal-trace "
+                            "parity")
+    races.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (default: per scenario)")
+    races.add_argument("--fast", action="store_true",
+                       help="short smoke run (CI)")
+    races.add_argument("--max-explore", type=int, default=4,
+                       help="explore at most this many findings")
+    races.set_defaults(func=_cmd_races)
+
+    chaos_search = sub.add_parser(
+        "chaos-search",
+        help="adversarial search over fault-plan timings",
+        description="Greedy search for the partition start time that "
+                    "maximizes recovery time, seeded by the race "
+                    "tracer's tie hot spots; see repro.chaos.search.")
+    chaos_search.add_argument("--rounds", type=int, default=2,
+                              help="greedy refinement rounds")
+    chaos_search.add_argument("--fast", action="store_true",
+                              help="short smoke run (CI)")
+    chaos_search.set_defaults(func=_cmd_chaos_search)
 
     submit = sub.add_parser("submit", help="run WordCount with knobs")
     submit.add_argument("--parallelism", type=int, default=4)

@@ -262,6 +262,43 @@ class HeronInstance(Actor):
         elif isinstance(message, _MetricsTick):
             self._report_metrics()
 
+    def user_handlers_for(self, message: Any) -> List[str]:
+        """User-component methods whose state ``message`` can touch.
+
+        The race detector (:mod:`repro.analysis.races`) resolves every
+        delivery event through this table, which must mirror
+        :meth:`on_message` dispatch: a ``DataBatch`` runs the execute
+        path, an ``EmitTick`` the emit loop, acks the ack callbacks, and
+        checkpoint traffic the snapshot/restore hooks. Engine-internal
+        control messages (start, stall checks, metrics ticks,
+        backpressure) touch no user state and resolve to ``[]``.
+        """
+        if isinstance(message, DataBatch):
+            if self.is_spout:
+                return []
+            if self.exact_acking or type(self.user).execute_batch \
+                    is Bolt.execute_batch:
+                return ["execute"]
+            return ["execute_batch"]
+        if isinstance(message, (AckComplete, AckCounted)):
+            if not self.is_spout:
+                return []
+            return ["fail"] if getattr(message, "failed", False) \
+                else ["ack"]
+        if isinstance(message, EmitTick):
+            if not self.is_spout:
+                return []
+            if type(self.user).next_batch is Spout.next_batch:
+                return ["next_tuple"]
+            return ["next_batch"]
+        if isinstance(message, CheckpointBarrier):
+            return ["snapshot_state"] \
+                if getattr(self.user, "stateful", False) else []
+        if isinstance(message, RestoreInstance):
+            return ["init_state"] \
+                if getattr(self.user, "stateful", False) else []
+        return []
+
     # -- lifecycle --------------------------------------------------------------
     def _start(self, upstream_tasks: Optional[
             FrozenSet[InstanceKey]] = None) -> None:

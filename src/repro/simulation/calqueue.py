@@ -53,8 +53,8 @@ from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
-from repro.simulation.events import (_COMPACT_MIN_SIZE, EventHandle,
-                                     Simulator)
+from repro.simulation.events import (_COMPACT_MIN_SIZE, TIE_CLASS_SHIFT,
+                                     EventHandle, Simulator)
 
 #: Buckets per day. Fixed: width (not bucket count) adapts to density.
 NUM_BUCKETS = 512
@@ -145,6 +145,14 @@ class CalendarSimulator(Simulator):
             raise SimulationError(f"cannot schedule in the past: {delay}")
         seq = (self._seq + 1) * self._seq_sign
         self._seq += 1
+        trace = self._trace
+        if trace is not None:
+            handle.cause = trace.current
+            tie_class = trace.tie_class
+            if tie_class is not None:
+                bump = tie_class(handle.fn, handle.args)
+                if bump:
+                    seq += bump << TIE_CLASS_SHIFT
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -169,6 +177,16 @@ class CalendarSimulator(Simulator):
         self._seq = seq
         if self._seq_sign < 0:
             seq = -seq
+        trace = self._trace
+        if trace is None:
+            handle.cause = None
+        else:
+            handle.cause = trace.current
+            tie_class = trace.tie_class
+            if tie_class is not None:
+                bump = tie_class(fn, args)
+                if bump:
+                    seq += bump << TIE_CLASS_SHIFT
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -399,9 +417,14 @@ class CalendarSimulator(Simulator):
             handle.fn = None
             handle.args = ()
             if self.sanitizer is not None:
-                self.sanitizer.on_pop(self, time, seq, fn)
+                self.sanitizer.on_pop(self, time, seq, fn, args, handle)
             fn(*args)  # type: ignore[misc]
             self._events_processed += 1
+            trace = self._trace
+            if trace is not None:
+                # Scheduling between steps is the driver's, not this
+                # event's: don't attribute spawn edges to it.
+                trace.current = None
             return True
 
     def run_until(self, time: float) -> None:
@@ -459,7 +482,7 @@ class CalendarSimulator(Simulator):
                     handle.args = ()
                     self._cursor = cursor  # publish: fn may compact
                     if sani is not None:
-                        sani.on_pop(self, etime, seq, fn)
+                        sani.on_pop(self, etime, seq, fn, args, handle)
                     fn(*args)  # type: ignore[misc]
                     self._events_processed += 1
                 self._cursor = cursor
@@ -467,6 +490,8 @@ class CalendarSimulator(Simulator):
                     break
         finally:
             self._running = False
+            if self._trace is not None:
+                self._trace.current = None
         self.now = time
 
     # -- introspection -----------------------------------------------------

@@ -46,6 +46,14 @@ DEFAULT_KERNEL = "calendar"
 
 _KERNELS = ("heap", "calendar")
 
+#: Sequence-number bit where the schedule explorer's tie-class demotion
+#: lives (repro.analysis.races): events a tie classifier assigns class
+#: ``c > 0`` get ``c << TIE_CLASS_SHIFT`` added to their sequence number
+#: at arm time, moving them after class-0 events *within their tie group
+#: only* — time order, uniqueness and the tombstone seq check are all
+#: preserved because base sequence numbers stay far below this bit.
+TIE_CLASS_SHIFT = 42
+
 
 class EventHandle:
     """A cancellable reference to one scheduled callback.
@@ -54,9 +62,15 @@ class EventHandle:
     its currently-armed entry. Popped entries whose stored sequence does
     not match ``handle.seq`` are stale (the handle was cancelled and
     re-armed since) and are discarded as tombstones.
+
+    ``cause`` is written only when a causal tracer is attached
+    (:mod:`repro.analysis.races`): the event id that was executing when
+    this handle was (re-)armed, i.e. the spawn edge of the
+    happens-before relation. It stays ``None`` on the default path.
     """
 
-    __slots__ = ("fn", "args", "cancelled", "time", "sim", "seq", "in_heap")
+    __slots__ = ("fn", "args", "cancelled", "time", "sim", "seq", "in_heap",
+                 "cause")
 
     def __init__(self, sim: "Simulator", time: float,
                  fn: Callable[..., Any], args: tuple) -> None:
@@ -67,6 +81,7 @@ class EventHandle:
         self.cancelled = False
         self.seq = 0
         self.in_heap = False
+        self.cause: Optional[int] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
@@ -174,7 +189,8 @@ class Simulator:
     # Slotted: the event loop touches these attributes millions of
     # times per simulated run; skipping the instance dict is measurable.
     __slots__ = ("now", "_heap", "_seq", "_live", "_events_processed",
-                 "_compactions", "_running", "sanitizer", "_seq_sign")
+                 "_compactions", "_running", "sanitizer", "_seq_sign",
+                 "_trace")
 
     def __new__(cls, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
@@ -213,6 +229,10 @@ class Simulator:
         #: kernel's contract); -1 (sanitizer tie probe) reverses order
         #: *within tie groups only*, leaving cross-time order intact.
         self._seq_sign = 1
+        #: Causal tracer (repro.analysis.races), attached via
+        #: attach_tracer() in sanitize mode only. The default path pays
+        #: one `is None` check per schedule and nothing else.
+        self._trace: Optional[Any] = None
         if sanitize:
             from repro.analysis.sanitize import KernelSanitizer
             self.sanitizer = KernelSanitizer(tie_order=tie_order)
@@ -229,6 +249,14 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         seq = (self._seq + 1) * self._seq_sign
         self._seq += 1
+        trace = self._trace
+        if trace is not None:
+            handle.cause = trace.current
+            tie_class = trace.tie_class
+            if tie_class is not None:
+                bump = tie_class(handle.fn, handle.args)
+                if bump:
+                    seq += bump << TIE_CLASS_SHIFT
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -245,6 +273,14 @@ class Simulator:
         handle = EventHandle(self, 0.0, fn, args)
         seq = (self._seq + 1) * self._seq_sign
         self._seq += 1
+        trace = self._trace
+        if trace is not None:
+            handle.cause = trace.current
+            tie_class = trace.tie_class
+            if tie_class is not None:
+                bump = tie_class(fn, args)
+                if bump:
+                    seq += bump << TIE_CLASS_SHIFT
         handle.time = time = self.now + delay
         handle.seq = seq
         handle.in_heap = True
@@ -298,9 +334,14 @@ class Simulator:
             handle.fn = None
             handle.args = ()
             if self.sanitizer is not None:
-                self.sanitizer.on_pop(self, time, seq, fn)
+                self.sanitizer.on_pop(self, time, seq, fn, args, handle)
             fn(*args)  # type: ignore[misc]
             self._events_processed += 1
+            trace = self._trace
+            if trace is not None:
+                # Scheduling between steps is the driver's, not this
+                # event's: don't attribute spawn edges to it.
+                trace.current = None
             return True
         return False
 
@@ -330,11 +371,13 @@ class Simulator:
                 handle.fn = None
                 handle.args = ()
                 if sani is not None:
-                    sani.on_pop(self, etime, seq, fn)
+                    sani.on_pop(self, etime, seq, fn, args, handle)
                 fn(*args)  # type: ignore[misc]
                 self._events_processed += 1
         finally:
             self._running = False
+            if self._trace is not None:
+                self._trace.current = None
         self.now = time
 
     def run_for(self, duration: float) -> None:

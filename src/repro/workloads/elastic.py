@@ -113,7 +113,7 @@ class KeyGroupCountBolt(StatefulCountBolt):
 
     def snapshot_state(self) -> Any:
         groups: Dict[int, Dict[str, float]] = {}
-        for word, count in self.counts.items():
+        for word, count in sorted(self.counts.items()):
             group = group_of(word, self.key_groups)
             groups.setdefault(group, {})[word] = count
         return groups

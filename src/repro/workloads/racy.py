@@ -1,0 +1,118 @@
+"""Deliberately order-sensitive workload — the race detector's fixture.
+
+Two deterministic spout tasks feed one sink bolt. The tuples the two
+tasks emit at any instant carry distinct tags, so whenever their
+deliveries land in the same kernel tie group the sink observes a true
+scheduling choice. Two sink variants make the detector's discrimination
+observable:
+
+* :class:`LastWordBolt` keeps the **last** word seen — a plain
+  order-sensitive write (``'w'``), so tied two-source arrivals are a
+  real race: :mod:`repro.analysis.races` must flag it (R001) and the
+  schedule explorer must confirm divergence;
+* :class:`MergeCountBolt` only **accumulates** counts — a commutative
+  footprint (``'c'``), so the very same arrival schedule is race-free
+  and the detector must stay silent.
+
+This module is a correctness fixture, not a benchmark; it exists so the
+``racy``/``commuting`` scenarios of ``heron-sim races`` (and the tests)
+exercise both verdicts on an otherwise identical topology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.api.component import Bolt, ComponentContext, Spout
+from repro.api.topology import Topology, TopologyBuilder
+from repro.common.config import Config
+
+#: Per-call emission cap: keeps event volume small so short traced runs
+#: stay cheap while still producing plenty of cross-source ties.
+_BATCH = 4
+
+
+class TaggedWordSpout(Spout):
+    """Emits ``t<task>w<offset>`` — unique per (task, offset), so any
+    reordering of two tasks' tuples is visible in downstream state.
+
+    ``total_tuples`` bounds the stream per task so the topology drains
+    early; the race scenarios then inject their tied deliveries into a
+    quiescent sink, where a reordering is the *final* state change.
+    """
+
+    outputs = {"default": ["word"]}
+
+    def __init__(self, total_tuples: int = 120) -> None:
+        super().__init__()
+        self.total_tuples = total_tuples
+        self.offset = 0
+        self._tag = ""
+
+    def open(self, context: ComponentContext, collector) -> None:
+        self._tag = f"t{context.task_id}"
+
+    def next_batch(self, collector, max_tuples: int) -> int:
+        n = min(max_tuples, _BATCH, self.total_tuples - self.offset)
+        if n <= 0:
+            return 0  # drained: the engine backs off
+        start = self.offset
+        collector.emit_batch(
+            [[f"{self._tag}w{start + i}"] for i in range(n)], count=n)
+        self.offset = start + n
+        return n
+
+    def next_tuple(self, collector) -> None:
+        if self.offset >= self.total_tuples:
+            return
+        collector.emit([f"{self._tag}w{self.offset}"])
+        self.offset += 1
+
+
+class LastWordBolt(Bolt):
+    """Order-sensitive on purpose: remembers the last word it saw.
+
+    ``last_word`` is a plain overwrite — when two tied deliveries from
+    different spout tasks are causally unordered, which word survives
+    is a kernel tie-break. This is the R001 the detector must find.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.last_word = ""
+        self.seen = 0
+
+    def execute(self, tup, collector) -> None:
+        self.last_word = tup[0]
+        self.seen += 1
+
+
+class MergeCountBolt(Bolt):
+    """Commuting twin of :class:`LastWordBolt`: counting only.
+
+    Same arrival schedule, but every update is an accumulation —
+    reordering tied deliveries cannot change final state, and the
+    detector must prune the pair.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counts: Counter = Counter()
+        self.seen = 0
+
+    def execute(self, tup, collector) -> None:
+        self.counts[tup[0]] += 1
+        self.seen += 1
+
+
+def racy_topology(*, commuting: bool = False, spouts: int = 2,
+                  config: Optional[Config] = None,
+                  name: Optional[str] = None) -> Topology:
+    """``spouts`` tagged sources shuffled into one sink task."""
+    builder = TopologyBuilder(
+        name or ("commuting-fixture" if commuting else "racy-fixture"))
+    builder.set_spout("src", TaggedWordSpout(), spouts)
+    sink: Bolt = MergeCountBolt() if commuting else LastWordBolt()
+    builder.set_bolt("sink", sink, 1).shuffle_grouping("src")
+    return builder.build(config)

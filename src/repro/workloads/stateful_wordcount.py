@@ -44,6 +44,8 @@ class StatefulWordSpout(Spout):
 
     outputs = {"default": ["word"]}
     stateful = True
+    #: Offsets are per-task, not keyed: monolithic state is deliberate.
+    key_groups = 0
 
     def __init__(self, total_tuples: int = 0, *, rate: float = 0.0,
                  corpus_size: int = DEFAULT_CORPUS_SIZE,
@@ -122,6 +124,8 @@ class StatefulCountBolt(Bolt):
 
     outputs = {"default": ["word", "count"]}
     stateful = True
+    #: Monolithic counts by default; KeyGroupCountBolt partitions them.
+    key_groups = 0
 
     def __init__(self) -> None:
         super().__init__()

@@ -1,0 +1,38 @@
+"""D006 negatives: key_groups declared, or rule preconditions absent."""
+
+
+class ClassAttrDeclared:
+    stateful = True
+    key_groups = 0  # deliberate monolithic state
+
+    def snapshot_state(self):
+        return dict(self.counts)
+
+
+class InitDeclared:
+    stateful = True
+
+    def __init__(self, groups):
+        self.key_groups = groups
+
+    def snapshot_state(self):
+        return dict(self.counts)
+
+
+class NotStateful:
+    # snapshot_state without stateful = True: not checkpointed.
+    def snapshot_state(self):
+        return None
+
+
+class StatefulWithoutSnapshot:
+    # stateful flag alone (snapshot inherited elsewhere): out of scope
+    # for a file-local pass.
+    stateful = True
+
+
+class StatefulFalse:
+    stateful = False
+
+    def snapshot_state(self):
+        return None

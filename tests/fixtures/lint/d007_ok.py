@@ -1,0 +1,20 @@
+"""D007 negatives: sorted or order-insensitive snapshot iteration."""
+
+
+class SortedItems:
+    def snapshot_state(self):
+        return {word: count for word, count in sorted(self.counts.items())}
+
+
+class OrderInsensitiveSinks:
+    def snapshot_state(self):
+        return {"total": sum(self.counts.values()),
+                "distinct": len(self.counts.keys()),
+                "words": set(self.counts.keys())}
+
+
+class OutsideSnapshot:
+    def rebuild(self):
+        # Iteration order only feeds in-memory state, not snapshot bytes.
+        for word, count in self.counts.items():
+            self.index[word] = count

@@ -1,4 +1,4 @@
-"""Tests for the determinism lint (repro.analysis.lint, rules D001-D005).
+"""Tests for the determinism lint (repro.analysis.lint, rules D001-D007).
 
 Each rule has a positive fixture (``*_bad.pyviol`` — the extension keeps
 deliberate violations out of tree-wide lint walks) and a negative one
@@ -26,6 +26,7 @@ def _codes(violations):
 
 @pytest.mark.parametrize("rule, bad_count", [
     ("D001", 3), ("D002", 3), ("D003", 2), ("D004", 3), ("D005", 2),
+    ("D006", 2), ("D007", 2),
 ])
 def test_bad_fixture_flags_exactly_its_rule(rule, bad_count):
     bad = FIXTURES / f"{rule.lower()}_bad.pyviol"
@@ -38,7 +39,8 @@ def test_bad_fixture_flags_exactly_its_rule(rule, bad_count):
         assert f" {rule} " in violation.format()
 
 
-@pytest.mark.parametrize("rule", ["D001", "D002", "D003", "D004", "D005"])
+@pytest.mark.parametrize("rule", ["D001", "D002", "D003", "D004", "D005",
+                                  "D006", "D007"])
 def test_ok_fixture_is_clean(rule):
     ok = FIXTURES / f"{rule.lower()}_ok.py"
     assert lint_paths([ok]) == []
@@ -93,6 +95,40 @@ def test_d005_skips_none_and_string_comparands():
     assert lint_source("if start_time == None: pass\n") == []
     assert lint_source("if mode == 'time': pass\n") == []
     assert _codes(lint_source("if etime == 3.0: pass\n")) == ["D005"]
+
+
+def test_d006_needs_stateful_and_snapshot_in_same_body():
+    bad = ("class C:\n"
+           "    stateful = True\n"
+           "    def snapshot_state(self):\n"
+           "        return {}\n")
+    assert _codes(lint_source(bad)) == ["D006"]
+    # Declaring key_groups anywhere in the class satisfies the rule.
+    class_attr = bad.replace("stateful = True",
+                             "stateful = True\n    key_groups = 4")
+    assert lint_source(class_attr) == []
+    in_method = ("class C:\n"
+                 "    stateful = True\n"
+                 "    def __init__(self):\n"
+                 "        self.key_groups = 0\n"
+                 "    def snapshot_state(self):\n"
+                 "        return {}\n")
+    assert lint_source(in_method) == []
+
+
+def test_d007_only_flags_bare_views_inside_snapshot_state():
+    bad = ("class C:\n"
+           "    def snapshot_state(self):\n"
+           "        return list(v for v in self.counts.values())\n")
+    assert _codes(lint_source(bad)) == ["D007"]
+    sunk = ("class C:\n"
+            "    def snapshot_state(self):\n"
+            "        return sorted(self.counts.items())\n")
+    assert lint_source(sunk) == []
+    elsewhere = ("class C:\n"
+                 "    def rebuild(self):\n"
+                 "        return list(self.counts.items())\n")
+    assert lint_source(elsewhere) == []
 
 
 # -- pragmas -----------------------------------------------------------------
