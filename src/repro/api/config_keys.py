@@ -221,6 +221,15 @@ class TopologyConfigKeys:
                     "silent before the TM suspects it (miss window = "
                     "threshold x heartbeat interval).")
 
+    TMASTER_FAILOVER_DELAY_SECS = _declare(
+        "topology.tmaster.failover.delay.secs", default=0.5,
+        value_type=float, validator=lambda v: v >= 0,
+        description="Grace period between the tmasterlocation ephemeral "
+                    "node vanishing and the engine relaunching the "
+                    "Topology Master in a fresh container; gives a "
+                    "framework-side restart (Aurora) a chance to win "
+                    "the recovery race first.")
+
     STATEMGR_RETRY_ATTEMPTS = _declare(
         "heron.statemgr.retry.attempts", default=5, value_type=int,
         validator=lambda v: v >= 0,

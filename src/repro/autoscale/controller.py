@@ -97,6 +97,27 @@ class ScalingController(Actor):
         """Arm the evaluation timer (called after attach, like the TM)."""
         self.every(self.interval, lambda: self.deliver(_ScaleTick()))
 
+    def inherit(self, previous: "ScalingController") -> None:
+        """Adopt a replaced controller's control state (TM failover).
+
+        The policy object carries per-component cooldown timestamps —
+        sharing it keeps the rescale cadence intact across the master
+        change instead of re-opening a just-used cooldown window. Rate
+        baselines, the in-flight flag, logs and counters come along so
+        ``autoscaler_stats()`` and the elastic figure see one continuous
+        controller rather than a reset at the failover boundary.
+        """
+        self.policy = previous.policy
+        self._last_counters = {name: dict(values) for name, values
+                               in previous._last_counters.items()}
+        self._last_tick_at = previous._last_tick_at
+        self.rescale_in_flight = previous.rescale_in_flight
+        self.history = list(previous.history)
+        self.rescales = list(previous.rescales)
+        self.rescales_up = previous.rescales_up
+        self.rescales_down = previous.rescales_down
+        self.ticks = previous.ticks
+
     # -- wiring ---------------------------------------------------------------
     def _eligible_components(self, config: Config,
                              pplan: Any) -> List[str]:

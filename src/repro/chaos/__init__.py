@@ -12,12 +12,14 @@ way around.
 """
 
 from repro.chaos.flaky import FlakyStateManager
+from repro.chaos.injector import MasterFaultInjector
 from repro.chaos.network import FaultyNetwork
-from repro.chaos.plan import FaultPlan, LinkFaults, Partition, Straggler
+from repro.chaos.plan import (FaultPlan, LinkFaults, MasterFault, Partition,
+                              Straggler)
 from repro.chaos.policy import BackoffPolicy
 from repro.chaos.search import (ChaosSearchResult, ChaosTrial,
-                                measure_partition_at, search,
-                                trace_hot_times)
+                                measure_partition_at, measure_tmaster_kill_at,
+                                search, trace_hot_times)
 
 __all__ = [
     "BackoffPolicy",
@@ -27,9 +29,12 @@ __all__ = [
     "FaultyNetwork",
     "FlakyStateManager",
     "LinkFaults",
+    "MasterFault",
+    "MasterFaultInjector",
     "Partition",
     "Straggler",
     "measure_partition_at",
+    "measure_tmaster_kill_at",
     "search",
     "trace_hot_times",
 ]

@@ -1,0 +1,81 @@
+"""Control-plane fault injection: aim faults at the Topology Master.
+
+:class:`MasterFaultInjector` turns declarative
+:class:`~repro.chaos.plan.MasterFault` entries into engine actions at
+their scheduled instants. The injector itself knows nothing about the
+engine — the runtime hands it one hook per fault kind (kill the TM
+process, fail its machine, partition its machine, expire its State
+Manager session) and ``schedule``/``now`` callables from the simulation
+kernel, which keeps ``repro.chaos`` importable without ``repro.core``
+(the package's layering rule).
+
+A hook returns ``True`` when the fault landed and ``False`` when there
+was nothing to hit (e.g. the TM is already dead, or the run has no
+chaos network to install a partition into); both outcomes are counted
+so tests and the chaos-search scorer can tell planned faults from
+delivered ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.chaos.plan import MASTER_FAULT_KINDS, MasterFault
+from repro.common.errors import ConfigError
+
+__all__ = ["MasterFaultInjector"]
+
+#: A fault-kind hook: perform the fault, report whether it landed.
+FaultHook = Callable[[MasterFault], bool]
+
+
+class MasterFaultInjector:
+    """Fires :class:`MasterFault` entries through engine-supplied hooks.
+
+    ``schedule(delay, fn)`` must run ``fn`` after ``delay`` simulated
+    seconds; ``now()`` must return current simulation time. ``hooks``
+    maps every fault kind in
+    :data:`~repro.chaos.plan.MASTER_FAULT_KINDS` to its action.
+    """
+
+    def __init__(self, *, schedule: Callable[[float, Callable[[], None]],
+                                             object],
+                 now: Callable[[], float],
+                 hooks: Mapping[str, FaultHook]) -> None:
+        missing = [kind for kind in MASTER_FAULT_KINDS if kind not in hooks]
+        if missing:
+            raise ConfigError(
+                f"master fault hooks missing for: {', '.join(missing)}")
+        self._schedule = schedule
+        self._now = now
+        self._hooks = dict(hooks)
+        self.injected: Dict[str, int] = {k: 0 for k in MASTER_FAULT_KINDS}
+        self.missed: Dict[str, int] = {k: 0 for k in MASTER_FAULT_KINDS}
+        self.armed: List[MasterFault] = []
+
+    def arm(self, fault: MasterFault) -> None:
+        """Schedule ``fault`` for its absolute time ``fault.at``
+        (immediately if that instant has already passed)."""
+        self.armed.append(fault)
+        delay = max(0.0, fault.at - self._now())
+        self._schedule(delay, lambda: self.inject(fault))
+
+    def inject(self, fault: MasterFault) -> bool:
+        """Fire ``fault`` now; returns whether it found a victim."""
+        landed = self._hooks[fault.kind](fault)
+        if landed:
+            self.injected[fault.kind] += 1
+        else:
+            self.missed[fault.kind] += 1
+        return landed
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for experiment CSVs and assertions."""
+        out: Dict[str, float] = {
+            "armed": float(len(self.armed)),
+            "injected": float(sum(self.injected.values())),
+            "missed": float(sum(self.missed.values())),
+        }
+        for kind in MASTER_FAULT_KINDS:
+            out[f"injected[{kind}]"] = float(self.injected[kind])
+        return out

@@ -136,6 +136,42 @@ class Straggler:
                 or dst_container in self.containers)
 
 
+#: Legal :class:`MasterFault` kinds, in documentation order.
+MASTER_FAULT_KINDS = (
+    "kill-process",       # kill the TM actor itself
+    "kill-machine",       # fail every container on the TM's machine
+    "partition-machine",  # partition the TM's machine for ``duration``
+    "expire-session",     # expire the TM's State Manager session
+)
+
+
+@dataclass(frozen=True)
+class MasterFault:
+    """A control-plane fault aimed at a topology's Topology Master.
+
+    Unlike :class:`Partition`/:class:`Straggler` (which name machines or
+    containers), a master fault targets *whichever* machine/process hosts
+    the TM when the fault fires — the injector resolves the victim at
+    fire time, so plans stay placement-agnostic.
+
+    ``at`` is absolute simulation time. ``duration`` only matters for
+    ``partition-machine`` (the partition window).
+    """
+
+    at: float
+    kind: str
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0.0,
+                 f"master fault time must be >= 0: {self.at}")
+        _require(self.kind in MASTER_FAULT_KINDS,
+                 f"master fault kind must be one of "
+                 f"{'|'.join(MASTER_FAULT_KINDS)}: {self.kind}")
+        _require(self.duration > 0.0,
+                 f"master fault duration must be > 0: {self.duration}")
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Everything a chaos run injects, as one immutable value."""
@@ -143,6 +179,7 @@ class FaultPlan:
     link: LinkFaults = LinkFaults()
     partitions: Tuple[Partition, ...] = ()
     stragglers: Tuple[Straggler, ...] = ()
+    master_faults: Tuple[MasterFault, ...] = ()
 
     def partition_seconds(self) -> float:
         """Total scheduled partition time (overlaps counted once each)."""

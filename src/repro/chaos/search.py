@@ -34,13 +34,14 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.chaos.plan import FaultPlan, Partition
+from repro.chaos.plan import FaultPlan, MasterFault, Partition
 
 __all__ = [
     "ChaosSearchResult",
     "ChaosTrial",
     "main",
     "measure_partition_at",
+    "measure_tmaster_kill_at",
     "search",
     "trace_hot_times",
 ]
@@ -101,7 +102,7 @@ class ChaosSearchResult:
                  f"{', '.join(f'{s:g}' for s in self.seeds) or 'none'})"]
         for trial in sorted(self.trials, key=lambda t: -t.score):
             lines.append(
-                f"  partition at +{trial.start:6.3f}s -> recovery "
+                f"  fault at +{trial.start:6.3f}s -> recovery "
                 f"{trial.recovery_secs:6.3f}s, "
                 f"{trial.relaunches:g} relaunches, "
                 f"{trial.suspected_failures:g} suspected failures")
@@ -200,16 +201,54 @@ def measure_partition_at(start: float, *, fast: bool = False) -> ChaosTrial:
                       suspected_failures=failures["suspected_failures"])
 
 
+def measure_tmaster_kill_at(start: float, *,
+                            fast: bool = False) -> ChaosTrial:
+    """Kill the TM process ``start`` secs after running.
+
+    Recovery here is the **control-plane outage**: fault time → the
+    replacement master's first plan broadcast (data flow never needs a
+    checkpoint rollback for a pure master kill, so the partition
+    metric's ``last_restore_at`` would read nothing).
+    """
+    cluster, handle = _build_cluster(fast, fault_plan=FaultPlan())
+    fail_time = cluster.sim.now + start
+    handle.inject_master_fault(MasterFault(at=fail_time,
+                                           kind="kill-process"))
+    cluster.run_for(FAST_RUN_FOR if fast else RUN_FOR)
+    failures = handle.failure_stats()
+    tmaster = handle._runtime.tmaster
+    recovery = -1.0
+    if (failures["tm_failovers"] > 0 and tmaster is not None
+            and tmaster.alive and tmaster.first_broadcast_at is not None
+            and tmaster.first_broadcast_at >= fail_time):
+        recovery = tmaster.first_broadcast_at - fail_time
+    handle.kill()
+    return ChaosTrial(start=start, recovery_secs=recovery,
+                      relaunches=failures["relaunches_requested"],
+                      suspected_failures=failures["suspected_failures"])
+
+
+#: Fault vocabulary of the search: name → measurement function.
+FAULT_MODES = {
+    "partition": measure_partition_at,
+    "tm-kill": measure_tmaster_kill_at,
+}
+
+
 def search(*, rounds: int = 2, fast: bool = False,
-           grid: Iterable[float] = GRID) -> ChaosSearchResult:
-    """Greedy refinement over partition start times.
+           grid: Iterable[float] = GRID,
+           fault: str = "partition") -> ChaosSearchResult:
+    """Greedy refinement over fault start times.
 
     Round zero evaluates the tracer's hot times plus ``grid``; each
     later round brackets the incumbent best at half the previous
     spacing. Greedy is the right tool here: recovery time responds to
     where the fault lands relative to checkpoint/heartbeat cadence, a
-    locally smooth landscape with a few plateaus.
+    locally smooth landscape with a few plateaus. ``fault`` picks the
+    vocabulary entry (:data:`FAULT_MODES`): machine partitions scored
+    by rollback recovery, or TM kills scored by control-plane outage.
     """
+    measure_fn = FAULT_MODES[fault]
     seeds = tuple(trace_hot_times(fast))
     result = ChaosSearchResult(seeds=seeds)
     measured: Dict[int, ChaosTrial] = {}
@@ -218,7 +257,7 @@ def search(*, rounds: int = 2, fast: bool = False,
         bucket = round(start / _RESOLUTION)
         if start <= 0 or bucket in measured:
             return
-        trial = measure_partition_at(bucket * _RESOLUTION, fast=fast)
+        trial = measure_fn(bucket * _RESOLUTION, fast=fast)
         measured[bucket] = trial
         result.trials.append(trial)
 
@@ -246,8 +285,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                         help="greedy refinement rounds (default 2)")
     parser.add_argument("--fast", action="store_true",
                         help="short smoke run (CI)")
+    parser.add_argument("--fault", choices=sorted(FAULT_MODES),
+                        default="partition",
+                        help="fault vocabulary: machine partition "
+                             "(rollback recovery) or tm-kill "
+                             "(control-plane outage; default partition)")
     args = parser.parse_args(list(argv) if argv is not None else None)
-    result = search(rounds=args.rounds, fast=args.fast)
+    result = search(rounds=args.rounds, fast=args.fast, fault=args.fault)
     print(result.format())
     return 0
 

@@ -118,6 +118,23 @@ class CheckpointCoordinator(Actor):
         self.last_commit_at: Optional[float] = None
         self.last_restore_at: Optional[float] = None
 
+    def adopt_counters(self, previous: "CheckpointCoordinator") -> None:
+        """Carry a replaced coordinator's counters forward (TM failover).
+
+        Correctness state (epoch, committed ids) is reloaded from the
+        State Manager by :meth:`start`; this only keeps the *statistics*
+        cumulative so ``checkpoint_stats()`` reports the topology's
+        history, not just the newest master's slice of it.
+        """
+        self.checkpoints_triggered = previous.checkpoints_triggered
+        self.checkpoints_committed = previous.checkpoints_committed
+        self.checkpoints_aborted = previous.checkpoints_aborted
+        self.restores_completed = previous.restores_completed
+        self.restore_acks = previous.restore_acks
+        self.restore_resends = previous.restore_resends
+        self.last_commit_at = previous.last_commit_at
+        self.last_restore_at = previous.last_restore_at
+
     def start(self) -> None:
         """Load persisted epoch/id continuity and start the trigger timer.
 

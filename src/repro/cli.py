@@ -193,7 +193,7 @@ def _cmd_races(args) -> int:
 def _cmd_chaos_search(args) -> int:
     from repro.chaos.search import main as search_main
 
-    argv = ["--rounds", str(args.rounds)]
+    argv = ["--rounds", str(args.rounds), "--fault", args.fault]
     if args.fast:
         argv.append("--fast")
     return search_main(argv)
@@ -264,13 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_search = sub.add_parser(
         "chaos-search",
         help="adversarial search over fault-plan timings",
-        description="Greedy search for the partition start time that "
+        description="Greedy search for the fault start time that "
                     "maximizes recovery time, seeded by the race "
                     "tracer's tie hot spots; see repro.chaos.search.")
     chaos_search.add_argument("--rounds", type=int, default=2,
                               help="greedy refinement rounds")
     chaos_search.add_argument("--fast", action="store_true",
                               help="short smoke run (CI)")
+    chaos_search.add_argument("--fault", default="partition",
+                              choices=["partition", "tm-kill"],
+                              help="fault vocabulary: machine partition "
+                                   "(rollback recovery) or tm-kill "
+                                   "(control-plane outage)")
     chaos_search.set_defaults(func=_cmd_chaos_search)
 
     submit = sub.add_parser("submit", help="run WordCount with knobs")

@@ -26,8 +26,10 @@ from repro.api.topology import Topology
 from repro.autoscale.config_keys import SCHEMA as AUTOSCALE_SCHEMA
 from repro.autoscale.config_keys import AutoscaleConfigKeys
 from repro.autoscale.controller import ScalingController
+from repro.chaos.injector import MasterFaultInjector
 from repro.chaos.network import FaultyNetwork
-from repro.chaos.plan import FaultPlan
+from repro.chaos.plan import FaultPlan, MasterFault, Partition
+from repro.chaos.policy import BackoffPolicy
 from repro.checkpoint.coordinator import CheckpointCoordinator
 from repro.checkpoint.messages import RestoreRequest
 from repro.common.config import Config
@@ -58,7 +60,7 @@ from repro.simulation.costs import CostModel, DEFAULT_COST_MODEL
 from repro.simulation.events import Simulator
 from repro.simulation.network import Network
 from repro.simulation.rng import RngRegistry
-from repro.statemgr.base import StateManager
+from repro.statemgr.base import StateManager, WatchEventType
 from repro.statemgr.inmemory import InMemoryStateManager
 from repro.statemgr.paths import TopologyPaths
 
@@ -76,6 +78,7 @@ class HeronCluster:
         self.cluster: Cluster = framework.cluster
         self.costs = costs or DEFAULT_COST_MODEL
         self.rng = RngRegistry(seed)
+        self.fault_plan = fault_plan
         base_network = Network(self.costs)
         # Rack-aware latency tiers + memo invalidation on rack moves.
         base_network.bind_cluster(self.cluster)
@@ -183,6 +186,9 @@ class HeronCluster:
         self.statemgr.put(paths.topology, topology.describe().encode())
         self.statemgr.put(paths.packing_plan, plan.to_json())
         self.statemgr.put(paths.execution_state, b"RUNNING")
+        # Seed the master-epoch fencing node before the first TM starts;
+        # every TM (initial or failover) claims the next epoch from it.
+        self.statemgr.put(paths.master_epoch, b"0")
 
         runtime = _TopologyRuntime(self, topology, merged, manager, plan)
         sched = scheduler or self._default_scheduler()
@@ -192,6 +198,9 @@ class HeronCluster:
         sched.on_schedule(plan)
         self.statemgr.put(paths.scheduler_location,
                           type(sched).__name__.encode())
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.master_faults:
+                runtime.fault_injector.arm(fault)
         return TopologyHandle(self, runtime)
 
     def _default_scheduler(self) -> Scheduler:
@@ -283,14 +292,41 @@ class _TopologyRuntime:
         # which must roll the topology back to its last checkpoint.
         self._launched_cids: set = set()
 
+        # --- TM failover (DESIGN.md §14) -----------------------------------
+        #: Bumped on every TM launch; a pending failover whose generation
+        #: is stale stands down (another path already recovered).
+        self.master_gen = 0
+        self.tm_failovers = 0
+        self.failover_failures = 0
+        self.last_failover_at = -1.0
+        self.failover_delay = float(
+            config.get(Keys.TMASTER_FAILOVER_DELAY_SECS))
+        self._tm_watch_armed = False
+        #: Control-plane chaos: resolves TM-targeting faults against
+        #: whatever process/machine hosts the master at fire time.
+        self.fault_injector = MasterFaultInjector(
+            schedule=heron.sim.schedule,
+            now=lambda: heron.sim.now,
+            hooks={
+                "kill-process": self._fault_kill_master,
+                "kill-machine": self._fault_kill_master_machine,
+                "partition-machine": self._fault_partition_master,
+                "expire-session": self._fault_expire_master_session,
+            })
+
     # -- TopologyLauncher ------------------------------------------------------
     def launch_tmaster(self, container: Container) -> None:
         heron = self.heron
+        self.master_gen += 1
+        old_coordinator = self.coordinator
+        old_controller = self.controller
         tmaster = TopologyMaster(
             heron.sim, location=container.location(), network=heron.network,
             ledger=heron.ledger, costs=heron.costs, pplan=self.pplan,
             statemgr=heron.statemgr,
             tmaster_path=self.paths.tmaster_location,
+            epoch_path=self.paths.master_epoch,
+            execution_state_path=self.paths.execution_state,
             config=self.config, request_relaunch=self.request_relaunch,
             rng=heron.rng.stream("control.backoff"))
         container.attach(tmaster)
@@ -300,7 +336,9 @@ class _TopologyRuntime:
             # The coordinator is colocated with the TM (Heron runs its
             # checkpoint manager in the master container too); a TM
             # relaunch brings up a fresh one that resumes from the epoch
-            # and checkpoint ids persisted in the State Manager.
+            # and checkpoint ids persisted in the State Manager and
+            # carries its predecessor's counters forward so
+            # ``checkpoint_stats()`` stays cumulative across failover.
             coordinator = CheckpointCoordinator(
                 heron.sim, location=container.location(),
                 network=heron.network, ledger=heron.ledger,
@@ -310,11 +348,15 @@ class _TopologyRuntime:
                     Keys.CHECKPOINT_INTERVAL_SECS)),
                 resolve_stmgrs=self._alive_stmgrs)
             container.attach(coordinator)
+            if old_coordinator is not None:
+                coordinator.adopt_counters(old_coordinator)
             self.coordinator = coordinator
             coordinator.start()
         if self.autoscaling:
             # The ScalingController is control-plane too: it rides in the
-            # master container and reads the TM's metric aggregates.
+            # master container and reads the TM's metric aggregates. A
+            # failover successor inherits cooldown state, rate baselines
+            # and history so the rescale cadence survives the master.
             controller = ScalingController(
                 heron.sim, location=container.location(),
                 network=heron.network, ledger=heron.ledger,
@@ -323,8 +365,86 @@ class _TopologyRuntime:
                 sample_backpressure=self._any_backpressure,
                 request_rescale=self.request_rescale)
             container.attach(controller)
+            if old_controller is not None:
+                controller.inherit(old_controller)
             self.controller = controller
             controller.start()
+        if not self._tm_watch_armed:
+            self._tm_watch_armed = True
+            self._arm_tmaster_watch()
+
+    # -- TM failover (DESIGN.md §14) -------------------------------------------
+    def _arm_tmaster_watch(self) -> None:
+        """Perpetual watch on the TM's ephemeral location node: a DELETED
+        event means the master's session is gone (process death, machine
+        death, or session expiry) and schedules a failover after a grace
+        period, giving framework-side recovery a chance to win the race."""
+
+        def on_event(event) -> None:
+            if self.heron.topologies.get(self.topology.name) is not self:
+                return  # topology killed: stop re-arming
+            self._arm_tmaster_watch()
+            if event.type == WatchEventType.DELETED:
+                self.heron.sim.schedule(self.failover_delay,
+                                        self._tm_failover, self.master_gen)
+
+        self.heron.statemgr.watch(self.paths.tmaster_location, on_event)
+
+    def _tm_failover(self, gen: int) -> None:
+        """Relaunch the TM unless another recovery path beat us to it."""
+        if self.heron.topologies.get(self.topology.name) is not self:
+            return  # topology killed while the grace period ran
+        if gen != self.master_gen:
+            return  # a newer master already launched (framework restart)
+        try:
+            self.scheduler.on_restart_tmaster()
+            self.tm_failovers += 1
+            self.last_failover_at = self.heron.sim.now
+        except SchedulerError:
+            # No capacity right now (e.g. the master's machine died and
+            # the survivors are full) — retry after another grace period.
+            # Same generation: a successful launch through any path bumps
+            # it, which stands this retry down.
+            self.failover_failures += 1
+            self.heron.sim.schedule(self.failover_delay,
+                                    self._tm_failover, gen)
+
+    # -- control-plane chaos hooks (repro.chaos.injector) ----------------------
+    def _fault_kill_master(self, fault: MasterFault) -> bool:
+        tmaster = self.resolve_tmaster()
+        if tmaster is None:
+            return False
+        tmaster.kill()
+        return True
+
+    def _fault_kill_master_machine(self, fault: MasterFault) -> bool:
+        tmaster = self.resolve_tmaster()
+        if tmaster is None:
+            return False
+        machine_id = tmaster.location.machine_id
+        victims = sorted((c for c in self.heron.cluster.live_containers()
+                          if c.machine.id == machine_id),
+                         key=lambda c: c.id)
+        for container in victims:
+            self.heron.cluster.fail_container(container)
+        return bool(victims)
+
+    def _fault_partition_master(self, fault: MasterFault) -> bool:
+        tmaster = self.resolve_tmaster()
+        if tmaster is None or self.heron.chaos is None:
+            return False
+        self.heron.chaos.add_partition(Partition(
+            start=self.heron.sim.now, duration=fault.duration,
+            machines=frozenset({tmaster.location.machine_id})))
+        return True
+
+    def _fault_expire_master_session(self, fault: MasterFault) -> bool:
+        tmaster = self.resolve_tmaster()
+        if tmaster is None or tmaster.session is None \
+                or not tmaster.session.alive:
+            return False
+        tmaster.session.expire()
+        return True
 
     def resolve_tmaster(self) -> Optional[TopologyMaster]:
         tmaster = self.tmaster
@@ -558,9 +678,21 @@ class TopologyHandle:
         """Pause spout emission."""
         self._heron.deactivate(self.name)
 
+    #: Poll backoff for :meth:`wait_until_running` — starts fine-grained
+    #: for fast startup detection, backs off while waiting out a TM
+    #: failover window (a dead master is not an error until the
+    #: deadline; its replacement re-broadcasts the plan).
+    _RUNNING_POLL = BackoffPolicy(base=0.01, cap=0.25, jitter=0.0)
+
     def wait_until_running(self, timeout: float = 10.0) -> None:
-        """Advance time until the physical plan is live everywhere."""
+        """Advance time until the physical plan is live everywhere.
+
+        Survives a TM failover window: the master is re-read every poll
+        (picking up a failover replacement), with bounded-backoff waits
+        in between, and only the deadline makes a dead master fatal.
+        """
         deadline = self._heron.now + timeout
+        attempt = 0
         while self._heron.now < deadline:
             tmaster = self._runtime.tmaster
             sms = self._runtime.sms.values()
@@ -568,7 +700,10 @@ class TopologyHandle:
                     and tmaster.plan_broadcasts > 0
                     and all(sm.pplan is not None for sm in sms)):
                 return
-            self._heron.run_for(0.01)
+            step = min(self._RUNNING_POLL.delay(attempt),
+                       deadline - self._heron.now)
+            attempt += 1
+            self._heron.run_for(step)
         tmaster = self._runtime.tmaster
         expected = sorted(self._runtime.pplan.container_ids)
         registered = set()
@@ -632,22 +767,41 @@ class TopologyHandle:
         return totals
 
     def failure_stats(self) -> Dict[str, float]:
-        """Fault-tolerance counters: TM failure detection plus the SM
-        reliable-channel link layer (see ``repro.chaos``)."""
+        """Fault-tolerance counters: TM failure detection and failover
+        plus the SM reliable-channel link layer (see ``repro.chaos``)."""
         stats = {"suspected_failures": 0.0, "relaunches_requested": 0.0,
                  "retransmits": 0.0, "reliable_dups": 0.0,
-                 "stale_reregisters": 0.0, "lease_expiries": 0.0}
+                 "stale_reregisters": 0.0, "lease_expiries": 0.0,
+                 "tm_failovers": float(self._runtime.tm_failovers),
+                 "last_failover_at": self._runtime.last_failover_at,
+                 "master_epoch": 0.0, "fenced_drops": 0.0,
+                 "fenced_writes": 0.0, "tm_pause_expiries": 0.0}
         tmaster = self._runtime.tmaster
         if tmaster is not None:
             stats["suspected_failures"] = float(tmaster.suspected_failures)
             stats["relaunches_requested"] = \
                 float(tmaster.relaunches_requested)
+            stats["master_epoch"] = float(tmaster.master_epoch)
+            stats["fenced_writes"] = float(tmaster.fenced_writes)
         for sm in self._runtime.sms.values():
             stats["retransmits"] += sm.retransmits
             stats["reliable_dups"] += sm.reliable_dups
             stats["stale_reregisters"] += sm.stale_reregisters
             stats["lease_expiries"] += sm.lease_expiries
+            stats["fenced_drops"] += sm.fenced_drops
+            stats["tm_pause_expiries"] += sm.tm_pause_expiries
         return stats
+
+    def inject_master_fault(self, fault: "MasterFault") -> None:
+        """Arm one TM-targeting chaos fault (fires at ``fault.at``,
+        immediately if that instant has passed). The victim process or
+        machine is resolved when the fault fires, so callers need not
+        know the master's placement in advance."""
+        self._runtime.fault_injector.arm(fault)
+
+    def master_fault_stats(self) -> Dict[str, float]:
+        """Armed/injected/missed counters of the control-plane injector."""
+        return self._runtime.fault_injector.stats()
 
     @property
     def packing_plan(self) -> PackingPlan:
@@ -675,13 +829,16 @@ class TopologyHandle:
         if coordinator is None:
             return {"triggered": 0, "committed": 0, "aborted": 0,
                     "restores": 0, "last_committed_id": 0,
-                    "last_restore_at": -1.0}
+                    "last_commit_at": -1.0, "last_restore_at": -1.0}
         return {
             "triggered": coordinator.checkpoints_triggered,
             "committed": coordinator.checkpoints_committed,
             "aborted": coordinator.checkpoints_aborted,
             "restores": coordinator.restores_completed,
             "last_committed_id": coordinator.last_committed_id or 0,
+            "last_commit_at": (
+                coordinator.last_commit_at
+                if coordinator.last_commit_at is not None else -1.0),
             "last_restore_at": (
                 coordinator.last_restore_at
                 if coordinator.last_restore_at is not None else -1.0),

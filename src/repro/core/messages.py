@@ -133,16 +133,24 @@ class EmitTick:
 
 @dataclass
 class PauseSpouts:
-    """Backpressure start: pause local spouts (SM → instances, TM-wide)."""
+    """Backpressure start: pause local spouts (SM → instances, TM-wide).
+
+    ``master_epoch`` fences topology-wide pauses from the TM
+    (``initiator_container == 0``): a Stream Manager drops the message
+    when the epoch is older than the newest master it has heard from.
+    Peer-initiated pauses and SM → instance forwards leave it 0.
+    """
 
     initiator_container: int
+    master_epoch: int = 0
 
 
 @dataclass
 class ResumeSpouts:
-    """Backpressure end."""
+    """Backpressure end. ``master_epoch`` as in :class:`PauseSpouts`."""
 
     initiator_container: int
+    master_epoch: int = 0
 
 
 @dataclass
@@ -183,10 +191,15 @@ class RegisterStmgr:
 
 @dataclass
 class NewPhysicalPlan:
-    """TM → SMs: the physical plan plus the SM directory."""
+    """TM → SMs: the physical plan plus the SM directory.
+
+    ``master_epoch`` is the sending TM's fencing token; Stream Managers
+    reject plans from a master older than the newest one seen.
+    """
 
     pplan: Any  # PhysicalPlan
     stmgr_directory: dict  # container_id -> SM actor
+    master_epoch: int = 0
 
 
 @dataclass

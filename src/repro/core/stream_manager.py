@@ -45,6 +45,7 @@ from repro.simulation.actors import Actor, CostLedger, Location
 from repro.simulation.costs import CostModel
 from repro.simulation.events import Simulator
 from repro.simulation.rng import RngStream
+from repro.statemgr.base import WatchEventType
 
 MILLIS = 1e-3
 
@@ -260,6 +261,10 @@ class StreamManager(Actor):
         self._tm_paused = False
         self._lease_armed = False
         self._renew_armed = False
+        #: Newest master epoch heard from a TM (fencing, DESIGN.md §14):
+        #: TM-originated control messages carrying an older epoch are
+        #: leftovers from a fenced (replaced) master and are dropped.
+        self.master_epoch = 0
 
         # --- reliable inter-container channels (repro.chaos) ---------------
         self.link_id = next(_LINK_INCARNATIONS)
@@ -289,6 +294,8 @@ class StreamManager(Actor):
         self.reliable_dups = 0
         self.stale_reregisters = 0
         self.lease_expiries = 0
+        self.fenced_drops = 0
+        self.tm_pause_expiries = 0
 
         self._drain_timer = self.every(self.drain_interval,
                                        lambda: self.deliver(_DrainTick()))
@@ -334,15 +341,30 @@ class StreamManager(Actor):
 
     def _arm_tmaster_watch(self) -> None:
         """Re-register whenever the TM location (re)appears — the State
-        Manager watch mechanics of Section IV-C."""
+        Manager watch mechanics of Section IV-C. A DELETED event means
+        the master died (its ephemeral node went with its session): any
+        topology-wide pause it held is expired here, because a dead
+        master can never send the matching resume — its successor
+        re-asserts a *durable* pause after it rebuilds (DESIGN.md §14).
+        """
 
         def on_event(event) -> None:
             if not self.alive:
                 return
             self._arm_tmaster_watch()
+            if event.type == WatchEventType.DELETED:
+                self._expire_tm_pause()
             self._register_with_tmaster()
 
         self.statemgr.watch(self.tmaster_path, on_event)
+
+    def _expire_tm_pause(self) -> None:
+        if not self._tm_paused:
+            return
+        self._tm_paused = False
+        self.tm_pause_expiries += 1
+        if not self._peers_paused:
+            self._forward_spout_gate(False)
 
     # -- message handling --------------------------------------------------------
     def on_message(self, message: Any) -> None:
@@ -397,6 +419,10 @@ class StreamManager(Actor):
     # -- physical plan -------------------------------------------------------------
     def _handle_new_plan(self, message: NewPhysicalPlan) -> None:
         self.charge(self.costs.tmaster_per_event)
+        if message.master_epoch < self.master_epoch:
+            self.fenced_drops += 1  # leftover from a fenced master
+            return
+        self.master_epoch = message.master_epoch
         self.pplan = message.pplan
         self.directory = dict(message.stmgr_directory)
         self._sync_channels()
@@ -1005,7 +1031,13 @@ class StreamManager(Actor):
         initiator = message.initiator_container
         if initiator == 0:
             # TM activation control (deactivate/activate): permanent,
-            # lease-less, and independent of peer backpressure.
+            # lease-less, and independent of peer backpressure. Fenced:
+            # a replaced master's leftover pause/resume must not flip
+            # the gate its successor owns.
+            if message.master_epoch < self.master_epoch:
+                self.fenced_drops += 1
+                return
+            self.master_epoch = max(self.master_epoch, message.master_epoch)
             self._tm_paused = pause
             self._forward_spout_gate(pause)
             return

@@ -13,6 +13,16 @@ responsible for managing the topology throughout its existence"
   re-registers after recovery);
 * receives per-container metrics summaries from the Metrics Managers;
 * fans out activate/deactivate commands.
+
+Failover (DESIGN.md §14): the TM is recoverable. Before advertising, a
+starting master claims the topology's **master epoch** — an optimistic-
+version ``set`` on the ``masterepoch`` node, the fencing write: a stale
+master's claim loses the version race and raises. Every control message
+the TM sends (plan broadcasts, topology-wide pause/resume) is stamped
+with its epoch so Stream Managers reject leftovers from a fenced
+master. Activation state is persisted to the ``executionstate`` node so
+a recovered master re-asserts a durable pause that died with its
+predecessor.
 """
 
 from __future__ import annotations
@@ -45,7 +55,9 @@ class TopologyMaster(Actor):
     def __init__(self, sim: Simulator, *, location: Location, network,
                  ledger: Optional[CostLedger], costs: CostModel,
                  pplan: PhysicalPlan, statemgr: StateManager,
-                 tmaster_path: str, config: Optional[Config] = None,
+                 tmaster_path: str, epoch_path: Optional[str] = None,
+                 execution_state_path: Optional[str] = None,
+                 config: Optional[Config] = None,
                  request_relaunch: Optional[Callable[[int], None]] = None,
                  rng: Optional[RngStream] = None) -> None:
         super().__init__(sim, f"tmaster-{pplan.topology.name}", location,
@@ -55,6 +67,14 @@ class TopologyMaster(Actor):
         self.pplan = pplan
         self.statemgr = statemgr
         self.tmaster_path = tmaster_path
+        self.epoch_path = epoch_path
+        self.execution_state_path = execution_state_path
+        #: Fencing token; claimed in :meth:`start` when an ``epoch_path``
+        #: is configured, otherwise fixed at 1 (single-master setups).
+        self.master_epoch = 0 if epoch_path is not None else 1
+        self._epoch_claimed = epoch_path is None
+        self.fenced_writes = 0
+        self.first_broadcast_at: Optional[float] = None
         self.registrations: Dict[int, Actor] = {}
         self.container_metrics: Dict[int, dict] = {}
         #: Per-container, per-component metric sums (autoscaler feed).
@@ -90,7 +110,7 @@ class TopologyMaster(Actor):
                        lambda: self.deliver(_FailureCheck()))
 
     def start(self) -> None:
-        """Advertise our location via an ephemeral node (dies with us).
+        """Claim the master epoch, then advertise our location.
 
         Called by the runtime *after* it has recorded this TM as current,
         so that watch callbacks triggered by the node creation resolve to
@@ -100,17 +120,24 @@ class TopologyMaster(Actor):
         self._advertise(0)
 
     def _advertise(self, attempt: int) -> None:
-        """Create the ephemeral location node, retrying a bounded number
-        of times with backoff if the State Manager is flaking — a
-        transient statemgr outage must not kill the topology."""
-        if not self.alive or self.session is None:
+        """Bootstrap through the State Manager, retrying a bounded number
+        of times with backoff if it is flaking — a transient statemgr
+        outage must not kill the topology. Three steps, each idempotent
+        across retries: claim the next master epoch (the fencing write),
+        reload durable activation state, and create the ephemeral
+        location node. The create fails while a dead predecessor's
+        session still holds the node — ZooKeeper semantics — so this
+        also waits out session expiry instead of force-deleting, which
+        would invite split-brain.
+        """
+        if not self.alive or self.session is None or not self.session.alive:
             return
-        statemgr, tmaster_path = self.statemgr, self.tmaster_path
         try:
-            if statemgr.exists(tmaster_path):
-                # A previous TM's node lingering would be a split-brain bug.
-                statemgr.delete(tmaster_path)
-            self.session.create_ephemeral(tmaster_path,
+            if not self._epoch_claimed:
+                epoch, version = self._read_epoch()
+                self._write_epoch(epoch + 1, version)
+            self._load_activation()
+            self.session.create_ephemeral(self.tmaster_path,
                                           self.name.encode("utf-8"))
         except StateError:
             if attempt >= self.statemgr_attempts:
@@ -118,6 +145,64 @@ class TopologyMaster(Actor):
             self.statemgr_retries += 1
             delay = self._backoff.delay(attempt, self.rng)
             self.sim.schedule(delay, self._advertise, attempt + 1)
+
+    # -- master epoch (fencing) ----------------------------------------------
+    def _read_epoch(self) -> "tuple[int, int]":
+        """Current ``(epoch, node version)`` — the read half of the
+        read-modify-write claim."""
+        assert self.epoch_path is not None
+        if not self.statemgr.exists(self.epoch_path):
+            self.statemgr.create(self.epoch_path, b"0")
+        data, version = self.statemgr.get(self.epoch_path)
+        return int(data.decode("utf-8")), version
+
+    def _write_epoch(self, epoch: int, expected_version: int) -> None:
+        """Claim ``epoch`` iff nobody claimed since our read.
+
+        This is THE fencing write: ``set`` with ``expected_version``
+        loses (raises ``StateError``) when a newer master raced us —
+        counted in ``fenced_writes`` for observability.
+        """
+        assert self.epoch_path is not None
+        try:
+            self.statemgr.set(self.epoch_path, str(epoch).encode("utf-8"),
+                              expected_version=expected_version)
+        except StateError:
+            self.fenced_writes += 1
+            raise
+        self.master_epoch = epoch
+        self._epoch_claimed = True
+
+    def _load_activation(self) -> None:
+        """Adopt the durable RUNNING/PAUSED record (TM rebuild source #1:
+        a pause must survive the master that issued it)."""
+        path = self.execution_state_path
+        if path is None or not self.statemgr.exists(path):
+            return
+        self.activated = self.statemgr.get_data(path) != b"PAUSED"
+
+    def _persist_activation(self, attempt: int = 0) -> None:
+        """Durably record RUNNING/PAUSED, fenced by the master epoch: a
+        stale master must not clobber its successor's record."""
+        path = self.execution_state_path
+        if path is None or not self.alive:
+            return
+        try:
+            if self.epoch_path is not None and self.statemgr.exists(
+                    self.epoch_path):
+                current = int(self.statemgr.get_data(
+                    self.epoch_path).decode("utf-8"))
+                if current != self.master_epoch:
+                    self.fenced_writes += 1
+                    return
+            self.statemgr.put(
+                path, b"RUNNING" if self.activated else b"PAUSED")
+        except StateError:
+            if attempt >= self.statemgr_attempts:
+                return  # activation is also re-asserted on broadcast
+            self.statemgr_retries += 1
+            delay = self._backoff.delay(attempt, self.rng)
+            self.sim.schedule(delay, self._persist_activation, attempt + 1)
 
     # -- message handling ----------------------------------------------------
     def on_message(self, message: Any) -> None:
@@ -154,19 +239,29 @@ class TopologyMaster(Actor):
 
     def _broadcast_plan(self) -> None:
         self.plan_broadcasts += 1
+        if self.first_broadcast_at is None:
+            self.first_broadcast_at = self.sim.now
         directory = {cid: sm for cid, sm in self.registrations.items()
                      if sm.alive}
         self.charge(self.costs.tmaster_per_event * len(directory))
         for sm in directory.values():
-            self.send(sm, NewPhysicalPlan(self.pplan, directory))
+            self.send(sm, NewPhysicalPlan(self.pplan, directory,
+                                          master_epoch=self.master_epoch))
+        if not self.activated:
+            # Re-assert a durable pause: SMs expire a dead master's pause
+            # when its location node vanishes, so a recovered master must
+            # restate it (idempotent for SMs already paused).
+            for sm in directory.values():
+                self.send(sm, PauseSpouts(0, master_epoch=self.master_epoch))
 
     def _handle_activation(self, activate: bool) -> None:
         self.charge(self.costs.tmaster_per_event)
         self.activated = activate
+        self._persist_activation()
         message_cls = ResumeSpouts if activate else PauseSpouts
         for sm in self.registrations.values():
             if sm.alive:
-                self.send(sm, message_cls(0))
+                self.send(sm, message_cls(0, master_epoch=self.master_epoch))
 
     def component_totals(self) -> Dict[str, Dict[str, float]]:
         """Topology-wide per-component metric sums across containers —

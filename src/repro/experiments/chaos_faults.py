@@ -14,7 +14,13 @@ in under the engine without touching the topology API):
   Heartbeat-driven failure detection declares the silent SM dead,
   relaunches its container, and (with checkpointing on) the rollback
   restores effectively-once counts: final deviation 0 vs the clean run.
-  With checkpointing off the partitioned container's state is gone.
+  With checkpointing off the partitioned container's state is gone;
+* **chaos_tmkill** — the Topology Master process is killed mid-run.
+  The engine notices the vanished ``tmasterlocation`` ephemeral node,
+  relaunches the master in a fresh container under a higher fencing
+  epoch, and the replacement rebuilds from durable state: final counts
+  deviate by 0 from the clean run and the control-plane outage (kill →
+  successor's first plan broadcast) is reported.
 
 Every sweep point builds its own cluster, so points run serially or in
 a pool (``REPRO_PARALLEL`` / ``--parallel``) with identical results.
@@ -26,7 +32,7 @@ from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.config_keys import TopologyConfigKeys as Keys
-from repro.chaos import FaultPlan, LinkFaults, Partition
+from repro.chaos import FaultPlan, LinkFaults, MasterFault, Partition
 from repro.common.config import Config
 from repro.common.resources import Resource
 from repro.common.units import GB
@@ -89,6 +95,8 @@ def measure_point(spec: Tuple) -> Dict:
     if kind == "drops":
         return _measure_drops(drop_rate=spec[1], reliable=spec[2],
                               fast=spec[3])
+    if kind == "tmkill":
+        return _measure_tmkill()
     return _measure_partition(mode=spec[1])
 
 
@@ -163,6 +171,46 @@ def _measure_partition(mode: str) -> Dict:
             "partition_seconds": cluster.chaos_stats()["partition_seconds"]}
 
 
+def _measure_tmkill() -> Dict:
+    """Kill the TM process mid-run on the partition substrate.
+
+    Same cluster/workload/config as the ``clean`` partition mode, so
+    the final counts are directly comparable; the fault targets the
+    control plane only (a pure master kill never tears down data-plane
+    containers, hence no checkpoint rollback — the interesting outputs
+    are the failover, the fencing epoch, and the control-plane outage).
+    """
+    cluster = HeronCluster.on_yarn(
+        machines=6, machine_resource=Resource(cpu=4, ram=8 * GB,
+                                              disk=100 * GB),
+        seed=SEED, fault_plan=FaultPlan())
+    topology = stateful_wordcount_topology(
+        PARTITION_PARALLELISM, total_tuples=PARTITION_TUPLES_PER_TASK,
+        rate=PARTITION_RATE, config=_partition_config(True))
+    handle = cluster.submit_topology(topology)
+    handle.wait_until_running()
+    fail_time = cluster.now + PARTITION_AT
+    handle.inject_master_fault(MasterFault(at=fail_time,
+                                           kind="kill-process"))
+    cluster.run_for(PARTITION_RUN_FOR)
+    counts: Counter = Counter()
+    for (component, _task), inst in handle._runtime.instances.items():
+        if component == "count":
+            counts.update(inst.user.counts)
+    failure_stats = handle.failure_stats()
+    tmaster = handle._runtime.tmaster
+    outage = -1.0
+    if (tmaster is not None and tmaster.alive
+            and tmaster.first_broadcast_at is not None
+            and tmaster.first_broadcast_at >= fail_time):
+        outage = tmaster.first_broadcast_at - fail_time
+    return {"counts": dict(counts),
+            "tm_failovers": failure_stats["tm_failovers"],
+            "master_epoch": failure_stats["master_epoch"],
+            "checkpoints_committed": handle.checkpoint_stats()["committed"],
+            "outage_secs": outage}
+
+
 def _deviation(clean: Dict[str, float], other: Dict[str, float]) -> float:
     """Total absolute per-word count difference between two runs."""
     words = set(clean) | set(other)
@@ -177,10 +225,12 @@ def run(fast: bool = False,
                           for rate in drop_rates]
     specs += [("drops", drop_rates[-1], False, fast)]
     specs += [("partition", mode) for mode in ("clean", "ckpt", "nockpt")]
+    specs += [("tmkill",)]
     results = measure_sweep(measure_point, specs, parallel=parallel)
     reliable_results = results[:len(drop_rates)]
     unreliable = results[len(drop_rates)]
-    clean, ckpt, nockpt = results[len(drop_rates) + 1:]
+    clean, ckpt, nockpt = results[len(drop_rates) + 1:len(drop_rates) + 4]
+    tmkill = results[len(drop_rates) + 4]
 
     drops = Figure("chaos_drops",
                    "Reliable delivery under network message loss",
@@ -220,7 +270,24 @@ def run(fast: bool = False,
         f"{ckpt['suspected_failures']:.0f} SM(s), requested "
         f"{ckpt['relaunches']:.0f} relaunch(es)")
 
-    return {"chaos_drops": drops, "chaos_partition": partition}
+    tmkill_fig = Figure("chaos_tmkill",
+                        "Topology Master failover with epoch fencing",
+                        "metric index", "value")
+    tmkill_fig.add_point("count deviation vs clean run", 0.0,
+                         _deviation(clean["counts"], tmkill["counts"]))
+    tmkill_fig.add_point("tm failovers", 0.0, tmkill["tm_failovers"])
+    tmkill_fig.add_point("master epoch", 0.0, tmkill["master_epoch"])
+    tmkill_fig.add_point("control-plane outage (s)", 0.0,
+                         max(0.0, tmkill["outage_secs"]))
+    tmkill_fig.notes.append(
+        f"TM killed at +{PARTITION_AT:g}s: {tmkill['tm_failovers']:.0f} "
+        f"failover(s), successor epoch {tmkill['master_epoch']:.0f}, "
+        f"outage {max(0.0, tmkill['outage_secs']):.2f}s, "
+        f"{tmkill['checkpoints_committed']:.0f} checkpoints committed "
+        f"across the master change")
+
+    return {"chaos_drops": drops, "chaos_partition": partition,
+            "chaos_tmkill": tmkill_fig}
 
 
 def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
@@ -260,6 +327,24 @@ def check_shapes(figures: Dict[str, Figure]) -> List[ShapeCheck]:
     checks.append(ShapeCheck(
         "chaos_partition: rollback completes after the relaunch",
         recovery.y_at(1.0) > 0.0, f"recovery: {recovery.y_at(1.0):.2f}s"))
+
+    tmkill = figures["chaos_tmkill"]
+    dev = tmkill.series["count deviation vs clean run"].y_at(0.0)
+    checks.append(ShapeCheck(
+        "chaos_tmkill: killing the master loses no data",
+        dev == 0.0, f"deviation: {dev:g}"))
+    failovers = tmkill.series["tm failovers"].y_at(0.0)
+    checks.append(ShapeCheck(
+        "chaos_tmkill: the engine relaunched the master",
+        failovers >= 1.0, f"failovers: {failovers:g}"))
+    epoch = tmkill.series["master epoch"].y_at(0.0)
+    checks.append(ShapeCheck(
+        "chaos_tmkill: the successor fenced the old master (epoch 2)",
+        epoch == 2.0, f"epoch: {epoch:g}"))
+    outage = tmkill.series["control-plane outage (s)"].y_at(0.0)
+    checks.append(ShapeCheck(
+        "chaos_tmkill: control-plane outage is bounded and non-zero",
+        0.0 < outage < PARTITION_RUN_FOR, f"outage: {outage:.2f}s"))
     return checks
 
 

@@ -163,6 +163,24 @@ class Scheduler:
             self._allocate_and_launch(added, new_plan)
         self.current_plan = new_plan
 
+    def on_restart_tmaster(self) -> None:
+        """Relaunch the Topology Master in a fresh container (failover).
+
+        Driven by the runtime's ``tmasterlocation`` watch when the TM's
+        ephemeral node vanishes (DESIGN.md §14). The old container — it
+        may still be running with a fenced master, e.g. after a State
+        Manager session expiry — is released first, which kills any
+        leftover control-plane processes; after a hard machine failure
+        the role is already gone and there is nothing to release.
+        """
+        framework, launcher = self._require_wiring()
+        plan = self._require_plan()
+        if framework.has_container(self._job, TMASTER_ROLE):
+            framework.release(self._job, TMASTER_ROLE)
+        container = framework.allocate(self._job, TMASTER_ROLE,
+                                       self.tmaster_spec(plan))
+        launcher.launch_tmaster(container)
+
     def close(self) -> None:
         """Release framework/launcher references."""
         self.framework = None
@@ -210,6 +228,11 @@ class Scheduler:
         if not self.is_stateful:
             return
         framework = self._require_wiring()[0]
+        if framework.has_container(self._job, role):
+            # Another recovery path (the engine's TM-failover watch, or
+            # an explicit restart) re-filled the role while this
+            # notification was in flight; allocating again would raise.
+            return
         preferred_machine = preferred_rack = None
         cid = role_container_id(role)
         if cid is not None and self.current_plan is not None:

@@ -143,6 +143,16 @@ class SchedulingFramework:
         """The job's currently allocated containers."""
         return list(self._job(job_name).containers.values())
 
+    def has_container(self, job_name: str, role: str) -> bool:
+        """Whether ``role`` currently holds an allocated container.
+
+        Recovery paths race (framework restart vs engine-side TM
+        failover); callers use this to stand down when another path
+        already re-filled the role.
+        """
+        job = self.jobs.get(job_name)
+        return job is not None and role in job.containers
+
     # -- failure handling ---------------------------------------------------
     def _handle_cluster_failure(self, container: Container) -> None:
         located = self._locate(container)

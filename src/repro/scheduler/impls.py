@@ -14,6 +14,14 @@ mirroring Section IV-B:
   **heterogeneous** container sizes straight through;
 * :class:`LocalScheduler` — stateful (nobody else would recover) over
   the single-machine local framework.
+
+Topology Master recovery (DESIGN.md §14) works on all three: the
+engine's ``tmasterlocation`` watch calls
+:meth:`~repro.scheduler.base.Scheduler.on_restart_tmaster` regardless
+of framework. On Aurora the framework's own restart may win the race
+instead (both paths stand down when the role is already re-filled); on
+YARN the ``container_lost`` notification does the same; in local mode
+the watch is the only recovery path.
 """
 
 from __future__ import annotations

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chaos.search import (GRID, ChaosSearchResult, ChaosTrial,
-                                measure_partition_at, search,
+from repro.chaos.search import (FAULT_MODES, GRID, ChaosSearchResult,
+                                ChaosTrial, measure_partition_at,
+                                measure_tmaster_kill_at, search,
                                 trace_hot_times)
 
 
@@ -18,6 +19,21 @@ def test_partition_trial_recovers_deterministically():
     # Same timing, fresh cluster: chaos runs replay exactly per seed.
     second = measure_partition_at(0.3, fast=True)
     assert second == first
+
+
+def test_fault_vocabulary_covers_tm_kills():
+    assert FAULT_MODES == {"partition": measure_partition_at,
+                           "tm-kill": measure_tmaster_kill_at}
+
+
+def test_tmaster_kill_trial_measures_control_plane_outage():
+    trial = measure_tmaster_kill_at(0.3, fast=True)
+    # The engine relaunched the master; recovery is the control-plane
+    # outage (kill -> successor's first plan broadcast), bounded by
+    # failover delay + startup, and replays exactly per seed.
+    assert trial.recovery_secs > 0
+    second = measure_tmaster_kill_at(0.3, fast=True)
+    assert second == trial
 
 
 def test_trace_hot_times_are_positive_offsets():

@@ -226,3 +226,58 @@ class TestFailureRecovery:
                                                          YarnFramework)
         scheduler.on_schedule(uneven_plan())
         assert scheduler.is_stateful
+
+
+class TestRestartTmaster:
+    """The engine-driven TM failover entry point (DESIGN.md §14)."""
+
+    def test_releases_old_role_and_relaunches(self):
+        _sim, _cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                       YarnFramework)
+        scheduler.on_schedule(plan())
+        old = next(jc.container for jc in fw.job_containers("wc")
+                   if jc.role == TMASTER_ROLE)
+        scheduler.on_restart_tmaster()
+        new = next(jc.container for jc in fw.job_containers("wc")
+                   if jc.role == TMASTER_ROLE)
+        assert new is not old
+        assert launcher.tmasters == [old, new]
+        # Exactly one TMASTER_ROLE container exists afterwards.
+        roles = [jc.role for jc in fw.job_containers("wc")]
+        assert roles.count(TMASTER_ROLE) == 1
+
+    def test_relaunches_even_when_role_already_gone(self):
+        """A machine kill takes the TM container with it: the role is
+        empty by the time the failover path runs, which must allocate
+        rather than release."""
+        sim, cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                     YarnFramework)
+        scheduler.on_schedule(plan())
+        victim = next(jc.container for jc in fw.job_containers("wc")
+                      if jc.role == TMASTER_ROLE)
+        fw.release("wc", TMASTER_ROLE)
+        assert not fw.has_container("wc", TMASTER_ROLE)
+        scheduler.on_restart_tmaster()
+        assert fw.has_container("wc", TMASTER_ROLE)
+        assert len(launcher.tmasters) == 2
+        assert launcher.tmasters[-1] is not victim
+
+    def test_requires_schedule_first(self):
+        _sim, _cluster, _fw, _launcher, scheduler = make(YarnScheduler,
+                                                         YarnFramework)
+        with pytest.raises(SchedulerError):
+            scheduler.on_restart_tmaster()
+
+    def test_container_lost_stands_down_when_role_refilled(self):
+        """Recovery-race guard: if the engine's failover already refilled
+        the role by the time the framework's container-lost notification
+        arrives, the late notification must be a no-op (not a second
+        relaunch)."""
+        _sim, _cluster, fw, launcher, scheduler = make(YarnScheduler,
+                                                       YarnFramework)
+        scheduler.on_schedule(plan())
+        assert fw.has_container("wc", TMASTER_ROLE)
+        before = len(launcher.tmasters)
+        scheduler.container_lost(TMASTER_ROLE, Resource(cpu=1, ram=1 * GB))
+        assert len(launcher.tmasters) == before
+        assert len(fw.job_containers("wc")) == 3

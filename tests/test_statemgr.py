@@ -208,6 +208,46 @@ class TestSessions:
         assert not statemgr.exists("/x")
 
 
+class TestFencingPrimitives:
+    """The three State Manager behaviours TM failover fencing rests on
+    (see DESIGN.md §14): one-shot expiry notification, optimistic-version
+    writes, and ephemeral-node mutual exclusion."""
+
+    def test_session_expiry_fires_watch_exactly_once(self, statemgr):
+        session = statemgr.session()
+        session.create_ephemeral("/tmasterlocation", b"tm-1")
+        events = []
+        statemgr.watch("/tmasterlocation", events.append)
+        session.expire()
+        session.expire()  # idempotent: no second notification
+        # Re-creating the node must not re-fire the consumed watch —
+        # the failover path re-arms explicitly inside its callback.
+        statemgr.session().create_ephemeral("/tmasterlocation", b"tm-2")
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+
+    def test_versioned_set_rejects_stale_writer(self, statemgr):
+        """Two masters race a read-modify-write of the epoch node: the
+        slower one holds a stale version and MUST lose."""
+        statemgr.create("/masterepoch", b"0")
+        _, version = statemgr.get("/masterepoch")
+        statemgr.set("/masterepoch", b"1", expected_version=version)
+        with pytest.raises(StateError):
+            statemgr.set("/masterepoch", b"1", expected_version=version)
+        assert statemgr.get_data("/masterepoch") == b"1"
+
+    def test_second_ephemeral_claim_fails_until_expiry(self, statemgr):
+        """Only one live master can hold tmasterlocation; a successor
+        waits out the incumbent's session instead of force-deleting."""
+        incumbent = statemgr.session()
+        incumbent.create_ephemeral("/tmasterlocation", b"tm-1")
+        challenger = statemgr.session()
+        with pytest.raises(StateError):
+            challenger.create_ephemeral("/tmasterlocation", b"tm-2")
+        incumbent.expire()
+        challenger.create_ephemeral("/tmasterlocation", b"tm-2")
+        assert statemgr.get_data("/tmasterlocation") == b"tm-2"
+
+
 class TestLocalFsPersistence:
     def test_survives_restart(self, tmp_path):
         root = tmp_path / "state"
